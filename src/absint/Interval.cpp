@@ -1,0 +1,270 @@
+//===- absint/Interval.cpp - Interval abstract domain ----------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Interval.h"
+
+#include "logic/LinearExpr.h"
+#include "program/CutSet.h"
+
+using namespace pathinv;
+
+Interval Interval::join(const Interval &RHS) const {
+  if (isEmpty())
+    return RHS;
+  if (RHS.isEmpty())
+    return *this;
+  Interval Result;
+  if (Lo && RHS.Lo)
+    Result.Lo = *Lo < *RHS.Lo ? *Lo : *RHS.Lo;
+  if (Hi && RHS.Hi)
+    Result.Hi = *Hi > *RHS.Hi ? *Hi : *RHS.Hi;
+  return Result;
+}
+
+Interval Interval::meet(const Interval &RHS) const {
+  Interval Result;
+  if (Lo && RHS.Lo)
+    Result.Lo = *Lo > *RHS.Lo ? *Lo : *RHS.Lo;
+  else
+    Result.Lo = Lo ? Lo : RHS.Lo;
+  if (Hi && RHS.Hi)
+    Result.Hi = *Hi < *RHS.Hi ? *Hi : *RHS.Hi;
+  else
+    Result.Hi = Hi ? Hi : RHS.Hi;
+  return Result;
+}
+
+Interval Interval::widen(const Interval &Newer) const {
+  Interval Result;
+  // Keep stable bounds; unstable ones go to infinity.
+  if (Lo && Newer.Lo && *Newer.Lo >= *Lo)
+    Result.Lo = Lo;
+  if (Hi && Newer.Hi && *Newer.Hi <= *Hi)
+    Result.Hi = Hi;
+  return Result;
+}
+
+Interval Interval::operator+(const Interval &RHS) const {
+  Interval Result;
+  if (Lo && RHS.Lo)
+    Result.Lo = *Lo + *RHS.Lo;
+  if (Hi && RHS.Hi)
+    Result.Hi = *Hi + *RHS.Hi;
+  return Result;
+}
+
+Interval Interval::scale(const Rational &Factor) const {
+  if (Factor.isZero())
+    return Interval::constant(Rational(0));
+  Interval Result;
+  if (Factor.isPositive()) {
+    if (Lo)
+      Result.Lo = *Lo * Factor;
+    if (Hi)
+      Result.Hi = *Hi * Factor;
+  } else {
+    if (Hi)
+      Result.Lo = *Hi * Factor;
+    if (Lo)
+      Result.Hi = *Lo * Factor;
+  }
+  return Result;
+}
+
+std::string Interval::toString() const {
+  std::string Result = "[";
+  Result += Lo ? Lo->toString() : "-inf";
+  Result += ", ";
+  Result += Hi ? Hi->toString() : "+inf";
+  Result += "]";
+  return Result;
+}
+
+namespace {
+
+/// Interval evaluation of a linear expression.
+Interval evalExpr(const LinearExpr &E, const IntervalState &S) {
+  Interval Result = Interval::constant(E.constant());
+  for (const auto &[Atom, Coeff] : E.coefficients()) {
+    Interval AtomVal =
+        Atom->isVar() && Atom->isInt() ? S.valueOf(Atom) : Interval::top();
+    Result = Result + AtomVal.scale(Coeff);
+  }
+  return Result;
+}
+
+/// Refines \p S with the guard `E REL 0` (REL in {Le, Lt, Eq}): for each
+/// variable with a nonzero coefficient, bound it using the interval of the
+/// remaining terms.
+bool applyGuard(const LinearExpr &E, RelKind Rel, IntervalState &S) {
+  // Feasibility check first.
+  Interval Whole = evalExpr(E, S);
+  if (Rel == RelKind::Eq) {
+    if ((Whole.Lo && Whole.Lo->isPositive()) ||
+        (Whole.Hi && Whole.Hi->isNegative()))
+      return false;
+  } else if (Whole.Lo && (Whole.Lo->isPositive() ||
+                          (Rel == RelKind::Lt && Whole.Lo->isZero()))) {
+    return false;
+  }
+
+  for (const auto &[Atom, Coeff] : E.coefficients()) {
+    if (!Atom->isVar() || !Atom->isInt())
+      continue;
+    // E = Coeff * Atom + Rest REL 0  ==>  Coeff * Atom REL -Rest.
+    LinearExpr Rest = E;
+    Rest.addTerm(Atom, -Coeff);
+    Interval RestVal = evalExpr(Rest, S).scale(Rational(-1));
+    Interval Bound; // interval for Coeff * Atom
+    if (Rel == RelKind::Eq) {
+      Bound = RestVal;
+    } else {
+      Bound.Hi = RestVal.Hi; // Coeff*Atom <= -Rest (upper side only).
+      if (Rel == RelKind::Lt && Bound.Hi)
+        Bound.Hi = *Bound.Hi - Rational(1); // Integer tightening.
+    }
+    Interval VarBound = Bound.scale(Coeff.inverse());
+    // Integer rounding of rational bounds.
+    if (VarBound.Lo && !VarBound.Lo->isInteger())
+      VarBound.Lo = Rational(VarBound.Lo->ceil());
+    if (VarBound.Hi && !VarBound.Hi->isInteger())
+      VarBound.Hi = Rational(VarBound.Hi->floor());
+    Interval Refined = S.valueOf(Atom).meet(VarBound);
+    if (Refined.isEmpty())
+      return false;
+    if (!Refined.isTop())
+      S.Vars[Atom] = Refined;
+  }
+  return true;
+}
+
+/// Abstract post of one builder-shaped transition.
+IntervalState postState(const Program &P, const Term *Rel,
+                        const IntervalState &In) {
+  if (In.Bottom)
+    return In;
+  TermManager &TM = P.termManager();
+  IntervalState Cur = In;
+
+  std::vector<const Term *> Conjuncts;
+  flattenConjuncts(Rel, Conjuncts);
+
+  // Split into guards and updates.
+  TermMap Defs;
+  for (const Term *C : Conjuncts) {
+    if (C->kind() == TermKind::Eq) {
+      const Term *Lhs = C->operand(0);
+      const Term *Rhs = C->operand(1);
+      if (isPrimedVar(Rhs))
+        std::swap(Lhs, Rhs);
+      if (isPrimedVar(Lhs)) {
+        Defs[Lhs] = Rhs;
+        continue;
+      }
+    }
+    // Guard: refine (only conjunctive linear atoms; disjunctions and
+    // disequalities are ignored, which is sound).
+    if (C->isAtom()) {
+      std::optional<LinearAtom> LA = decomposeAtom(C);
+      if (LA && !applyGuard(LA->Expr, LA->Rel, Cur)) {
+        IntervalState Bot;
+        return Bot;
+      }
+    } else if (C->isFalse()) {
+      IntervalState Bot;
+      return Bot;
+    }
+  }
+
+  IntervalState Out = IntervalState::top();
+  for (const Term *Var : P.variables()) {
+    if (Var->isArray())
+      continue; // Arrays are abstracted to top.
+    auto DefIt = Defs.find(primedVar(TM, Var));
+    if (DefIt == Defs.end()) {
+      // Havoc: top.
+      continue;
+    }
+    std::optional<LinearExpr> L = LinearExpr::fromTerm(DefIt->second);
+    Interval Value = L ? evalExpr(*L, Cur) : Interval::top();
+    if (!Value.isTop())
+      Out.Vars[Var] = Value;
+  }
+  return Out;
+}
+
+} // namespace
+
+const Term *IntervalAnalysisResult::stateToTerm(TermManager &TM,
+                                                LocId Loc) const {
+  const IntervalState &S = States[Loc];
+  if (S.Bottom)
+    return TM.mkFalse();
+  std::vector<const Term *> Conjuncts;
+  for (const auto &[Var, Iv] : S.Vars) {
+    if (Iv.Lo)
+      Conjuncts.push_back(TM.mkLe(TM.mkIntConst(*Iv.Lo), Var));
+    if (Iv.Hi)
+      Conjuncts.push_back(TM.mkLe(Var, TM.mkIntConst(*Iv.Hi)));
+  }
+  return TM.mkAnd(std::move(Conjuncts));
+}
+
+IntervalAnalysisResult pathinv::analyzeIntervals(const Program &P,
+                                                 unsigned WidenDelay) {
+  IntervalAnalysisResult Result;
+  Result.States.resize(P.numLocations());
+  std::set<LocId> Cuts = computeCutSet(P);
+  std::vector<unsigned> Visits(P.numLocations(), 0);
+
+  Result.States[P.entry()] = IntervalState::top();
+  std::vector<LocId> Worklist{P.entry()};
+  while (!Worklist.empty()) {
+    LocId Loc = Worklist.back();
+    Worklist.pop_back();
+    const IntervalState In = Result.States[Loc];
+    for (int TransIdx : P.successorsOf(Loc)) {
+      const Transition &T = P.transition(TransIdx);
+      IntervalState New = postState(P, T.Rel, In);
+      if (New.Bottom)
+        continue;
+      IntervalState &Old = Result.States[T.To];
+      IntervalState Joined;
+      if (Old.Bottom) {
+        Joined = New;
+      } else {
+        Joined = IntervalState::top();
+        // Join variable-wise (absent = top, so only shared keys survive).
+        for (const auto &[Var, Iv] : Old.Vars) {
+          auto It = New.Vars.find(Var);
+          if (It == New.Vars.end())
+            continue;
+          Interval J = Iv.join(It->second);
+          if (!J.isTop())
+            Joined.Vars[Var] = J;
+        }
+      }
+      if (Cuts.count(T.To) && ++Visits[T.To] > WidenDelay &&
+          !Old.Bottom) {
+        IntervalState Widened = IntervalState::top();
+        for (const auto &[Var, Iv] : Old.Vars) {
+          auto It = Joined.Vars.find(Var);
+          if (It == Joined.Vars.end())
+            continue;
+          Interval W = Iv.widen(It->second);
+          if (!W.isTop())
+            Widened.Vars[Var] = W;
+        }
+        Joined = std::move(Widened);
+      }
+      if (Old.Bottom || !(Joined == Old)) {
+        Old = std::move(Joined);
+        Worklist.push_back(T.To);
+      }
+    }
+  }
+  return Result;
+}

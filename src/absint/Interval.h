@@ -1,0 +1,87 @@
+//===- absint/Interval.h - Interval abstract domain ------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic interval domain with widening.
+///
+/// Section 4.2 notes that path-invariant generation "can equally well be
+/// instantiated with an algorithm based on abstract interpretation"; this
+/// module provides that alternative backend: a widening-based interval
+/// analysis over the scalar variables of a (path) program. Arrays are
+/// abstracted to top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_ABSINT_INTERVAL_H
+#define PATHINV_ABSINT_INTERVAL_H
+
+#include "program/Program.h"
+
+#include <map>
+#include <optional>
+
+namespace pathinv {
+
+/// An interval with optional (absent = infinite) bounds.
+struct Interval {
+  std::optional<Rational> Lo; ///< Absent = -infinity.
+  std::optional<Rational> Hi; ///< Absent = +infinity.
+
+  static Interval top() { return {}; }
+  static Interval constant(Rational V) { return {V, V}; }
+
+  bool isTop() const { return !Lo && !Hi; }
+  /// Empty interval (lo > hi) represents unreachability of the value.
+  bool isEmpty() const { return Lo && Hi && *Lo > *Hi; }
+
+  bool operator==(const Interval &RHS) const {
+    return Lo == RHS.Lo && Hi == RHS.Hi;
+  }
+
+  Interval join(const Interval &RHS) const;
+  Interval meet(const Interval &RHS) const;
+  /// Standard widening: unstable bounds jump to infinity.
+  Interval widen(const Interval &Newer) const;
+
+  Interval operator+(const Interval &RHS) const;
+  Interval scale(const Rational &Factor) const;
+
+  std::string toString() const;
+};
+
+/// Abstract state: interval per scalar variable (absent = top); a bottom
+/// flag for unreachable states.
+struct IntervalState {
+  bool Bottom = true;
+  std::map<const Term *, Interval, TermIdLess> Vars;
+
+  static IntervalState top() { return {false, {}}; }
+  bool operator==(const IntervalState &RHS) const {
+    return Bottom == RHS.Bottom && Vars == RHS.Vars;
+  }
+
+  Interval valueOf(const Term *Var) const {
+    auto It = Vars.find(Var);
+    return It == Vars.end() ? Interval::top() : It->second;
+  }
+};
+
+/// Result of the analysis: one abstract state per location.
+struct IntervalAnalysisResult {
+  std::vector<IntervalState> States;
+
+  /// Renders the state at \p Loc as a conjunction of bound atoms.
+  const Term *stateToTerm(TermManager &TM, LocId Loc) const;
+};
+
+/// Runs the interval analysis over \p P with widening at the cutpoints
+/// after \p WidenDelay visits.
+IntervalAnalysisResult analyzeIntervals(const Program &P,
+                                        unsigned WidenDelay = 3);
+
+} // namespace pathinv
+
+#endif // PATHINV_ABSINT_INTERVAL_H

@@ -1,0 +1,145 @@
+//===- cegar/AbstractReach.cpp - Abstract reachability ---------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/AbstractReach.h"
+
+#include "logic/TermPrinter.h"
+#include "smt/QuantInst.h"
+#include "smt/SmtSolver.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace pathinv;
+
+std::string PredicateMap::dump(const Program &P) const {
+  std::string Out;
+  for (const auto &[Loc, Set] : Preds) {
+    Out += "  Pi(" + P.locationName(Loc) + ") = {";
+    bool First = true;
+    for (const Term *Pred : Set) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += printTerm(Pred);
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+namespace {
+
+struct Node {
+  LocId Loc;
+  TermSet Literals; ///< Tracked predicates / negated predicates.
+  int Parent = -1;
+  int InTrans = -1; ///< Transition taken from the parent.
+};
+
+} // namespace
+
+ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
+                                   SmtSolver &Solver,
+                                   const ReachOptions &Opts) {
+  TermManager &TM = P.termManager();
+  ReachResult Result;
+
+  std::vector<Node> Nodes;
+  std::deque<int> Worklist;
+  // Expanded abstract states per location, for covering (stored by value:
+  // the node vector reallocates while children are appended).
+  std::map<LocId, std::vector<TermSet>> Expanded;
+
+  Nodes.push_back({P.entry(), {}, -1, -1});
+  Worklist.push_back(0);
+
+  auto stateFormula = [&TM](const TermSet &Literals) {
+    std::vector<const Term *> Conj(Literals.begin(), Literals.end());
+    return TM.mkAnd(std::move(Conj));
+  };
+
+  while (!Worklist.empty()) {
+    if (Result.NodesExpanded >= Opts.MaxNodes) {
+      Result.Kind = ReachResult::Kind::NodeLimit;
+      return Result;
+    }
+    int NodeIdx = Worklist.front();
+    Worklist.pop_front();
+    // Copy: Nodes may reallocate while children are appended.
+    const Node Cur = Nodes[NodeIdx];
+
+    // Covering: a weaker expanded state at this location subsumes Cur.
+    auto &Seen = Expanded[Cur.Loc];
+    bool Covered = false;
+    for (const TermSet &Old : Seen) {
+      if (std::includes(Cur.Literals.begin(), Cur.Literals.end(),
+                        Old.begin(), Old.end(), TermIdLess())) {
+        Covered = true;
+        break;
+      }
+    }
+    if (Covered)
+      continue;
+    ++Result.NodesExpanded;
+    Seen.push_back(Cur.Literals);
+
+    const Term *State = stateFormula(Cur.Literals);
+    for (int TransIdx : P.successorsOf(Cur.Loc)) {
+      const Transition &T = P.transition(TransIdx);
+      const Term *Post = TM.mkAnd(State, T.Rel);
+
+      // Abstract feasibility of the edge.
+      ++Result.EntailmentQueries;
+      if (!entailsWithQuant(TM, Solver, Post, TM.mkFalse())) {
+        // Feasible.
+      } else {
+        continue;
+      }
+
+      if (T.To == P.error()) {
+        // Abstract counterexample: path from the root.
+        Path Cex;
+        Cex.push_back(TransIdx);
+        for (int N = NodeIdx; Nodes[N].Parent >= 0; N = Nodes[N].Parent)
+          Cex.push_back(Nodes[N].InTrans);
+        std::reverse(Cex.begin(), Cex.end());
+        Result.Kind = ReachResult::Kind::Counterexample;
+        Result.ErrorPath = std::move(Cex);
+        return Result;
+      }
+
+      // Cartesian abstract post: track each predicate (or its negation)
+      // entailed by the concrete post-image.
+      Node Child;
+      Child.Loc = T.To;
+      Child.Parent = NodeIdx;
+      Child.InTrans = TransIdx;
+      for (const Term *Pred : Pi.at(T.To)) {
+        const Term *PredPrimed =
+            renameVars(TM, Pred, [&TM](const Term *Var) -> const Term * {
+              return primedVar(TM, Var);
+            });
+        ++Result.EntailmentQueries;
+        if (entailsWithQuant(TM, Solver, Post, PredPrimed)) {
+          Child.Literals.insert(Pred);
+          continue;
+        }
+        // Track definite falseness too (needed to refute paths whose
+        // infeasibility rests on a predicate being violated).
+        if (!containsQuantifier(Pred)) {
+          ++Result.EntailmentQueries;
+          if (entailsWithQuant(TM, Solver, Post, TM.mkNot(PredPrimed)))
+            Child.Literals.insert(TM.mkNot(Pred));
+        }
+      }
+      Nodes.push_back(std::move(Child));
+      Worklist.push_back(static_cast<int>(Nodes.size()) - 1);
+    }
+  }
+  Result.Kind = ReachResult::Kind::Proof;
+  return Result;
+}

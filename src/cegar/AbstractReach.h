@@ -1,0 +1,57 @@
+//===- cegar/AbstractReach.h - Abstract reachability -----------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract reachability phase of the CEGAR loop (Section 4.1): an
+/// abstract reachability tree over cartesian predicate abstraction.
+///
+/// A node carries a location and the set of tracked literals (predicates
+/// or their negations) that hold there. Expanding a node checks each
+/// outgoing transition for abstract feasibility and computes the child's
+/// literal set by entailment queries — with quantifier instantiation, so
+/// universally quantified predicates from path invariants participate.
+/// A node is covered when an already-expanded node at the same location
+/// carries a subset of its literals (its abstract state is weaker).
+/// BFS order makes the returned counterexample a shortest abstract error
+/// path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_CEGAR_ABSTRACTREACH_H
+#define PATHINV_CEGAR_ABSTRACTREACH_H
+
+#include "cegar/PredicateMap.h"
+#include "program/PathFormula.h"
+
+namespace pathinv {
+
+class SmtSolver;
+
+/// Outcome of one abstract reachability run.
+struct ReachResult {
+  enum class Kind : uint8_t {
+    Proof,        ///< Fixpoint reached without touching the error location.
+    Counterexample, ///< Abstract error path found.
+    NodeLimit,    ///< Exploration budget exhausted.
+  };
+  Kind Kind = Kind::Proof;
+  Path ErrorPath; ///< For Counterexample: transition indices from entry.
+  uint64_t NodesExpanded = 0;
+  uint64_t EntailmentQueries = 0;
+};
+
+/// Limits for one reachability run.
+struct ReachOptions {
+  uint64_t MaxNodes = 50000;
+};
+
+/// Runs abstract reachability on \p P under abstraction \p Pi.
+ReachResult abstractReach(const Program &P, const PredicateMap &Pi,
+                          SmtSolver &Solver, const ReachOptions &Opts = {});
+
+} // namespace pathinv
+
+#endif // PATHINV_CEGAR_ABSTRACTREACH_H

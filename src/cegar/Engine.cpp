@@ -1,0 +1,71 @@
+//===- cegar/Engine.cpp - The CEGAR verification engine --------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/Engine.h"
+
+#include "smt/SmtSolver.h"
+
+using namespace pathinv;
+
+EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
+                             const EngineOptions &Opts) {
+  TermManager &TM = P.termManager();
+  EngineResult Result;
+
+  for (uint64_t Iter = 0; Iter <= Opts.MaxRefinements; ++Iter) {
+    // Phase 1: abstract reachability.
+    ReachResult Reach =
+        abstractReach(P, Result.Predicates, Solver, Opts.Reach);
+    Result.Stats.NodesExpanded += Reach.NodesExpanded;
+    Result.Stats.EntailmentQueries += Reach.EntailmentQueries;
+
+    if (Reach.Kind == ReachResult::Kind::Proof) {
+      Result.Verdict = EngineResult::Verdict::Safe;
+      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+      return Result;
+    }
+    if (Reach.Kind == ReachResult::Kind::NodeLimit) {
+      Result.Note = "abstract reachability node limit reached";
+      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+      return Result;
+    }
+
+    // Phase 2: counterexample analysis.
+    const Path &Cex = Reach.ErrorPath;
+    PathFormula PF = buildPathFormula(P, Cex);
+    if (Solver.checkSat(PF.formula(TM)) == SmtSolver::Status::Sat) {
+      // Feasible: a real bug. Confirm independently of the solvers.
+      Result.Verdict = EngineResult::Verdict::Unsafe;
+      Result.Witness = Cex;
+      if (Opts.ValidateWitness) {
+        Result.Replay = replayFromModel(P, Cex, Solver.model());
+        Result.WitnessReplayed = Result.Replay.Feasible;
+      }
+      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+      return Result;
+    }
+
+    // Phase 3: refinement.
+    if (Iter == Opts.MaxRefinements)
+      break; // Budget spent; report below.
+    RefineResult Refined = refine(P, Cex, Result.Predicates, Solver,
+                                  Opts.Refiner, Opts.PathInv);
+    ++Result.Stats.Refinements;
+    Result.Stats.LpChecks += Refined.LpChecks;
+    Result.Stats.TemplateLevelsTried += Refined.TemplateLevelsTried;
+    if (Refined.UsedFallback)
+      ++Result.Stats.Fallbacks;
+    if (!Refined.Progress) {
+      Result.Note = "refinement made no progress";
+      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+      return Result;
+    }
+  }
+
+  Result.Note = "refinement budget exhausted";
+  Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- cegar/Engine.h - The CEGAR verification engine -----------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three-phase CEGAR loop of Section 4.1: abstract reachability,
+/// counterexample analysis (path-formula satisfiability + independent
+/// concrete replay of real bugs), and abstraction refinement through one
+/// of the pluggable strategies. Iterates until proof, bug, or budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_CEGAR_ENGINE_H
+#define PATHINV_CEGAR_ENGINE_H
+
+#include "cegar/AbstractReach.h"
+#include "cegar/Refiner.h"
+#include "interp/Interpreter.h"
+
+namespace pathinv {
+
+/// Engine configuration.
+struct EngineOptions {
+  RefinerKind Refiner = RefinerKind::PathInvariant;
+  uint64_t MaxRefinements = 40;
+  ReachOptions Reach;
+  PathInvOptions PathInv;
+  /// Replay bug witnesses concretely before reporting Unsafe.
+  bool ValidateWitness = true;
+};
+
+/// Aggregate statistics of one verification run.
+struct EngineStats {
+  uint64_t Refinements = 0;
+  uint64_t NodesExpanded = 0;
+  uint64_t EntailmentQueries = 0;
+  uint64_t LpChecks = 0;
+  uint64_t Fallbacks = 0;
+  uint64_t TemplateLevelsTried = 0;
+  size_t FinalPredicates = 0;
+};
+
+/// Verdict of a verification run.
+struct EngineResult {
+  enum class Verdict : uint8_t { Safe, Unsafe, Unknown } Verdict =
+      Verdict::Unknown;
+  /// For Unsafe: the feasible error path and a replay of it.
+  Path Witness;
+  ReplayResult Replay;
+  bool WitnessReplayed = false;
+  /// The abstraction that proved safety (or the state at exhaustion).
+  PredicateMap Predicates;
+  EngineStats Stats;
+  std::string Note; ///< Reason for Unknown verdicts.
+};
+
+/// Verifies \p P: Safe (error location unreachable), Unsafe (with
+/// witness), or Unknown (budgets exhausted / refinement stuck).
+EngineResult verify(const Program &P, SmtSolver &Solver,
+                    const EngineOptions &Opts = {});
+
+} // namespace pathinv
+
+#endif // PATHINV_CEGAR_ENGINE_H

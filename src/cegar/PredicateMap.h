@@ -1,0 +1,54 @@
+//===- cegar/PredicateMap.h - Location-indexed predicate sets --*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstraction Pi of the CEGAR loop: per program location, the set of
+/// predicates tracked by the abstract reachability phase (Section 4.1).
+/// Predicates are arbitrary formulas over the program variables —
+/// including universally quantified ones, which is exactly what path
+/// invariants contribute beyond classic predicate discovery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_CEGAR_PREDICATEMAP_H
+#define PATHINV_CEGAR_PREDICATEMAP_H
+
+#include "program/Program.h"
+
+#include <map>
+
+namespace pathinv {
+
+/// Pi : locations -> predicate sets.
+struct PredicateMap {
+  std::map<LocId, TermSet> Preds;
+
+  /// Adds \p Pred at \p Loc; returns true when it is new.
+  bool add(LocId Loc, const Term *Pred) {
+    if (Pred->isTrue() || Pred->isFalse())
+      return false;
+    return Preds[Loc].insert(Pred).second;
+  }
+
+  const TermSet &at(LocId Loc) const {
+    static const TermSet Empty;
+    auto It = Preds.find(Loc);
+    return It == Preds.end() ? Empty : It->second;
+  }
+
+  size_t totalPredicates() const {
+    size_t N = 0;
+    for (const auto &[Loc, Set] : Preds)
+      N += Set.size();
+    return N;
+  }
+
+  std::string dump(const Program &P) const;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_CEGAR_PREDICATEMAP_H

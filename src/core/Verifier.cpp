@@ -1,0 +1,68 @@
+//===- core/Verifier.cpp - Public verification facade ----------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+
+#include "smt/SmtSolver.h"
+
+using namespace pathinv;
+
+Verifier::Verifier(EngineOptions Opts)
+    : TM(std::make_unique<TermManager>()),
+      Solver(std::make_unique<SmtSolver>(*TM)), Opts(std::move(Opts)) {}
+
+Verifier::~Verifier() = default;
+
+Expected<Program> Verifier::loadSource(std::string_view PilSource) {
+  return loadProgram(*TM, PilSource);
+}
+
+EngineResult Verifier::verifyProgram(const Program &P) {
+  assert(&P.termManager() == TM.get() &&
+         "program built against a foreign term manager");
+  return verify(P, *Solver, Opts);
+}
+
+Expected<EngineResult> Verifier::verifySource(std::string_view PilSource) {
+  Expected<Program> P = loadSource(PilSource);
+  if (!P)
+    return Expected<EngineResult>(P.error());
+  return verifyProgram(P.get());
+}
+
+std::string pathinv::formatResult(const Program &P, const EngineResult &R) {
+  std::string Out;
+  switch (R.Verdict) {
+  case EngineResult::Verdict::Safe:
+    Out = "SAFE";
+    break;
+  case EngineResult::Verdict::Unsafe:
+    Out = "UNSAFE";
+    break;
+  case EngineResult::Verdict::Unknown:
+    Out = "UNKNOWN (" + R.Note + ")";
+    break;
+  }
+  Out += "\n  refinements:        " + std::to_string(R.Stats.Refinements);
+  Out += "\n  nodes expanded:     " + std::to_string(R.Stats.NodesExpanded);
+  Out += "\n  entailment queries: " +
+         std::to_string(R.Stats.EntailmentQueries);
+  Out += "\n  synthesis LPs:      " + std::to_string(R.Stats.LpChecks);
+  Out += "\n  predicates:         " +
+         std::to_string(R.Stats.FinalPredicates);
+  if (R.Verdict == EngineResult::Verdict::Unsafe) {
+    Out += "\n  witness steps:      " + std::to_string(R.Witness.size());
+    Out += R.WitnessReplayed ? "\n  witness replayed:   yes"
+                             : "\n  witness replayed:   no";
+    if (R.WitnessReplayed && !R.Replay.States.empty()) {
+      Out += "\n  witness input:     ";
+      for (const auto &[Var, Value] : R.Replay.States.front().Scalars)
+        Out += " " + Var->name() + "=" + Value.toString();
+    }
+  }
+  Out += "\n";
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- core/Verifier.h - Public verification facade ------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's front door: parse a PIL procedure, lower it to a
+/// transition system, and run the path-invariant CEGAR engine.
+///
+/// Minimal usage:
+/// \code
+///   pathinv::Verifier V;
+///   auto R = V.verifySource("proc f(n) { assert(n == n); }");
+///   if (R && R.get().Verdict == pathinv::EngineResult::Verdict::Safe)
+///     ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_CORE_VERIFIER_H
+#define PATHINV_CORE_VERIFIER_H
+
+#include "cegar/Engine.h"
+#include "lang/Lower.h"
+
+#include <memory>
+
+namespace pathinv {
+
+class SmtSolver;
+
+/// One verification context: owns the term manager and solver state,
+/// which are shared (and their caches kept warm) across queries.
+class Verifier {
+public:
+  explicit Verifier(EngineOptions Opts = {});
+  ~Verifier();
+  Verifier(const Verifier &) = delete;
+  Verifier &operator=(const Verifier &) = delete;
+
+  /// Parses, lowers, and verifies a PIL procedure.
+  Expected<EngineResult> verifySource(std::string_view PilSource);
+
+  /// Verifies an already-built transition system. The program must have
+  /// been built against termManager().
+  EngineResult verifyProgram(const Program &P);
+
+  /// Parses and lowers without verifying (for callers that want the CFG).
+  Expected<Program> loadSource(std::string_view PilSource);
+
+  TermManager &termManager() { return *TM; }
+  SmtSolver &solver() { return *Solver; }
+  const EngineOptions &options() const { return Opts; }
+  EngineOptions &options() { return Opts; }
+
+private:
+  std::unique_ptr<TermManager> TM;
+  std::unique_ptr<SmtSolver> Solver;
+  EngineOptions Opts;
+};
+
+/// Renders an engine result as a short human-readable report.
+std::string formatResult(const Program &P, const EngineResult &R);
+
+} // namespace pathinv
+
+#endif // PATHINV_CORE_VERIFIER_H

@@ -1,0 +1,213 @@
+//===- interp/Interpreter.cpp - Concrete program execution -----------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "logic/LinearExpr.h"
+
+using namespace pathinv;
+
+Rational pathinv::evalInt(const Term *T, const ConcreteState &State) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    return T->value();
+  case TermKind::Var:
+    return State.scalar(T);
+  case TermKind::Add: {
+    Rational Sum;
+    for (const Term *Op : T->operands())
+      Sum += evalInt(Op, State);
+    return Sum;
+  }
+  case TermKind::Mul:
+    return evalInt(T->operand(0), State) * evalInt(T->operand(1), State);
+  case TermKind::Select: {
+    const Term *ArrayVar = T->operand(0);
+    assert(ArrayVar->isVar() && "select from non-variable array");
+    Rational Index = evalInt(T->operand(1), State);
+    assert(Index.isInteger() && "fractional array index");
+    auto It = State.Arrays.find(ArrayVar);
+    if (It == State.Arrays.end())
+      return Rational();
+    return It->second.read(Index.floor().toInt64());
+  }
+  default:
+    assert(false && "cannot evaluate term kind concretely");
+    return Rational();
+  }
+}
+
+bool pathinv::evalBool(const Term *T, const ConcreteState &State) {
+  switch (T->kind()) {
+  case TermKind::True:
+    return true;
+  case TermKind::False:
+    return false;
+  case TermKind::Not:
+    return !evalBool(T->operand(0), State);
+  case TermKind::And:
+    for (const Term *Op : T->operands())
+      if (!evalBool(Op, State))
+        return false;
+    return true;
+  case TermKind::Or:
+    for (const Term *Op : T->operands())
+      if (evalBool(Op, State))
+        return true;
+    return false;
+  case TermKind::Eq:
+    if (T->operand(0)->isArray()) {
+      assert(false && "array equality in concrete evaluation");
+      return false;
+    }
+    return evalInt(T->operand(0), State) == evalInt(T->operand(1), State);
+  case TermKind::Le:
+    return evalInt(T->operand(0), State) <= evalInt(T->operand(1), State);
+  case TermKind::Lt:
+    return evalInt(T->operand(0), State) < evalInt(T->operand(1), State);
+  default:
+    assert(false && "cannot evaluate formula kind concretely");
+    return false;
+  }
+}
+
+namespace {
+
+/// Executes one builder-shaped transition relation. Returns false when a
+/// guard fails. Deterministic updates are conjuncts `v' = rhs` or
+/// `a' = store(...)`; everything else not mentioning primed variables is a
+/// guard; unconstrained (havocked) variables draw from HavocValues.
+bool executeStep(
+    const Program &P, const Term *Rel, unsigned StepIndex,
+    const ConcreteState &Cur, ConcreteState &Next,
+    const std::map<const Term *, Rational, TermIdLess> &HavocValues) {
+  TermManager &TM = P.termManager();
+  std::vector<const Term *> Conjuncts;
+  flattenConjuncts(Rel, Conjuncts);
+
+  TermMap Defs; // primed var -> defining rhs
+  std::vector<const Term *> Guards;
+  for (const Term *C : Conjuncts) {
+    if (C->kind() == TermKind::Eq) {
+      const Term *Lhs = C->operand(0);
+      const Term *Rhs = C->operand(1);
+      if (isPrimedVar(Rhs))
+        std::swap(Lhs, Rhs);
+      if (isPrimedVar(Lhs)) {
+        assert(!Defs.count(Lhs) && "double definition in transition");
+        Defs[Lhs] = Rhs;
+        continue;
+      }
+    }
+    Guards.push_back(C);
+  }
+
+  for (const Term *G : Guards) {
+    if (!evalBool(G, Cur))
+      return false;
+  }
+
+  Next = ConcreteState();
+  for (const Term *Var : P.variables()) {
+    const Term *Primed = primedVar(TM, Var);
+    auto DefIt = Defs.find(Primed);
+    if (Var->isArray()) {
+      ArrayValue NewValue;
+      auto CurIt = Cur.Arrays.find(Var);
+      if (CurIt != Cur.Arrays.end())
+        NewValue = CurIt->second;
+      if (DefIt != Defs.end()) {
+        const Term *Rhs = DefIt->second;
+        if (Rhs->kind() == TermKind::Store) {
+          assert(Rhs->operand(0) == Var && "store base mismatch");
+          Rational Index = evalInt(Rhs->operand(1), Cur);
+          assert(Index.isInteger() && "fractional store index");
+          NewValue.write(Index.floor().toInt64(),
+                         evalInt(Rhs->operand(2), Cur));
+        } else if (Rhs->isVar() && Rhs->isArray()) {
+          auto SrcIt = Cur.Arrays.find(Rhs);
+          NewValue = SrcIt == Cur.Arrays.end() ? ArrayValue() : SrcIt->second;
+        } else {
+          assert(false && "unsupported array update shape");
+        }
+      }
+      Next.Arrays[Var] = std::move(NewValue);
+      continue;
+    }
+    if (DefIt != Defs.end()) {
+      Next.Scalars[Var] = evalInt(DefIt->second, Cur);
+      continue;
+    }
+    // Havoc: take the model's value for the post-step SSA instance.
+    const Term *Instance = ssaVar(TM, Var, StepIndex + 1);
+    auto HavocIt = HavocValues.find(Instance);
+    Next.Scalars[Var] =
+        HavocIt == HavocValues.end() ? Cur.scalar(Var) : HavocIt->second;
+  }
+  return true;
+}
+
+} // namespace
+
+ReplayResult pathinv::replayPath(
+    const Program &P, const Path &Steps, const ConcreteState &Initial,
+    const std::map<const Term *, Rational, TermIdLess> &HavocValues) {
+  ReplayResult Result;
+  Result.States.push_back(Initial);
+  ConcreteState Cur = Initial;
+  for (size_t K = 0; K < Steps.size(); ++K) {
+    const Transition &T = P.transition(Steps[K]);
+    ConcreteState Next;
+    if (!executeStep(P, T.Rel, static_cast<unsigned>(K), Cur, Next,
+                     HavocValues)) {
+      Result.FailedStep = static_cast<int>(K);
+      return Result;
+    }
+    Cur = std::move(Next);
+    Result.States.push_back(Cur);
+  }
+  Result.Feasible = true;
+  return Result;
+}
+
+ReplayResult pathinv::replayFromModel(
+    const Program &P, const Path &Steps,
+    const std::map<const Term *, Rational, TermIdLess> &Model) {
+  TermManager &TM = P.termManager();
+  // Evaluates a linear SSA term using the model's atom values.
+  auto evalFromModel = [&Model](const Term *T) {
+    std::optional<LinearExpr> L = LinearExpr::fromTerm(T);
+    assert(L && "non-linear index in model evaluation");
+    Rational Result = L->constant();
+    for (const auto &[Atom, Coeff] : L->coefficients()) {
+      auto It = Model.find(Atom);
+      Result += Coeff * (It == Model.end() ? Rational() : It->second);
+    }
+    return Result;
+  };
+
+  ConcreteState Initial;
+  for (const Term *Var : P.variables()) {
+    if (Var->isArray()) {
+      ArrayValue Value;
+      // Cells of the initial array instance mentioned by the model.
+      const Term *Instance = ssaVar(TM, Var, 0);
+      for (const auto &[Atom, Val] : Model) {
+        if (Atom->kind() != TermKind::Select ||
+            Atom->operand(0) != Instance)
+          continue;
+        Rational Index = evalFromModel(Atom->operand(1));
+        if (Index.isInteger())
+          Value.write(Index.floor().toInt64(), Val);
+      }
+      Initial.Arrays[Var] = std::move(Value);
+      continue;
+    }
+    auto It = Model.find(ssaVar(TM, Var, 0));
+    Initial.Scalars[Var] = It == Model.end() ? Rational() : It->second;
+  }
+  return replayPath(P, Steps, Initial, Model);
+}

@@ -1,0 +1,61 @@
+//===- lang/AST.h - PIL abstract syntax ------------------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for PIL ("path-invariant language"), the C-like input
+/// language covering the paper's example programs: integer scalars, integer
+/// arrays, nondeterministic choice, assume/assert, if and while.
+///
+/// Expressions are parsed directly into logic terms; `nondet()` appears as
+/// a null condition/right-hand side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LANG_AST_H
+#define PATHINV_LANG_AST_H
+
+#include "logic/Term.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pathinv {
+
+/// A PIL statement node.
+struct Stmt {
+  enum class Kind : uint8_t {
+    Assign,      ///< Var = Rhs  (Rhs == nullptr means nondet()).
+    ArrayAssign, ///< Var[Index] = Rhs.
+    Assume,      ///< assume(Cond).
+    Assert,      ///< assert(Cond).
+    If,          ///< if (Cond) Children[0] else Children[1]; null Cond = *.
+    While,       ///< while (Cond) Children[0]; null Cond = *.
+    Block,       ///< { Children... }.
+    Skip,        ///< skip.
+  };
+
+  Kind K = Kind::Skip;
+  const Term *Var = nullptr;   ///< Assign/ArrayAssign target variable.
+  const Term *Index = nullptr; ///< ArrayAssign index.
+  const Term *Rhs = nullptr;   ///< Assign/ArrayAssign value (null = nondet).
+  const Term *Cond = nullptr;  ///< Assume/Assert/If/While condition.
+  std::vector<std::unique_ptr<Stmt>> Children;
+  SourceLoc Loc;
+};
+
+/// A parsed procedure: name, parameters, locals, body.
+struct ProcAst {
+  std::string Name;
+  std::vector<const Term *> Params; ///< Int or array variables.
+  std::vector<const Term *> Locals;
+  std::unique_ptr<Stmt> Body;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_LANG_AST_H

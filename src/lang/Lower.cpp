@@ -1,0 +1,134 @@
+//===- lang/Lower.cpp - PIL to transition-system lowering ------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lower.h"
+
+#include "lang/Parser.h"
+#include "logic/TermPrinter.h"
+
+using namespace pathinv;
+
+namespace {
+
+class Lowering {
+public:
+  Lowering(TermManager &TM, const ProcAst &Proc, Program &P)
+      : TM(TM), P(P) {
+    (void)Proc;
+  }
+
+  /// Lowers \p S between \p From and a fresh (or supplied) successor;
+  /// returns the location where control continues.
+  LocId lower(const Stmt &S, LocId From) {
+    switch (S.K) {
+    case Stmt::Kind::Block: {
+      LocId Cur = From;
+      for (const auto &Child : S.Children)
+        Cur = lower(*Child, Cur);
+      return Cur;
+    }
+    case Stmt::Kind::Skip:
+      return From; // No transition needed; blocks merge locations.
+    case Stmt::Kind::Assign: {
+      LocId Next = fresh();
+      if (S.Rhs) {
+        P.addTransition(From, P.mkAssign(S.Var, S.Rhs), Next,
+                        S.Var->name() + " := " + printTerm(S.Rhs));
+      } else {
+        P.addTransition(From, P.mkHavoc(S.Var), Next,
+                        S.Var->name() + " := nondet()");
+      }
+      return Next;
+    }
+    case Stmt::Kind::ArrayAssign: {
+      LocId Next = fresh();
+      P.addTransition(From, P.mkArrayAssign(S.Var, S.Index, S.Rhs), Next,
+                      S.Var->name() + "[" + printTerm(S.Index) +
+                          "] := " + printTerm(S.Rhs));
+      return Next;
+    }
+    case Stmt::Kind::Assume: {
+      LocId Next = fresh();
+      P.addTransition(From, P.mkAssume(S.Cond), Next,
+                      "[" + printTerm(S.Cond) + "]");
+      return Next;
+    }
+    case Stmt::Kind::Assert: {
+      LocId Next = fresh();
+      const Term *Neg = TM.mkNot(S.Cond);
+      P.addTransition(From, P.mkAssume(Neg), P.error(),
+                      "[" + printTerm(Neg) + "]");
+      P.addTransition(From, P.mkAssume(S.Cond), Next,
+                      "[" + printTerm(S.Cond) + "]");
+      return Next;
+    }
+    case Stmt::Kind::If: {
+      LocId Join = fresh();
+      const Term *CondT = S.Cond ? S.Cond : TM.mkTrue();
+      const Term *CondF = S.Cond ? TM.mkNot(S.Cond) : TM.mkTrue();
+      LocId ThenEntry = fresh();
+      P.addTransition(From, P.mkAssume(CondT), ThenEntry,
+                      "[" + printTerm(CondT) + "]");
+      LocId ThenExit = lower(*S.Children[0], ThenEntry);
+      P.addTransition(ThenExit, P.mkSkip(), Join, "skip");
+      LocId ElseEntry = fresh();
+      P.addTransition(From, P.mkAssume(CondF), ElseEntry,
+                      "[" + printTerm(CondF) + "]");
+      LocId ElseExit = S.Children.size() > 1
+                           ? lower(*S.Children[1], ElseEntry)
+                           : ElseEntry;
+      P.addTransition(ElseExit, P.mkSkip(), Join, "skip");
+      return Join;
+    }
+    case Stmt::Kind::While: {
+      // `From` becomes the loop head.
+      const Term *CondT = S.Cond ? S.Cond : TM.mkTrue();
+      const Term *CondF = S.Cond ? TM.mkNot(S.Cond) : TM.mkTrue();
+      LocId BodyEntry = fresh();
+      LocId Exit = fresh();
+      P.addTransition(From, P.mkAssume(CondT), BodyEntry,
+                      "[" + printTerm(CondT) + "]");
+      LocId BodyExit = lower(*S.Children[0], BodyEntry);
+      P.addTransition(BodyExit, P.mkSkip(), From, "skip(loop)");
+      P.addTransition(From, P.mkAssume(CondF), Exit,
+                      "[" + printTerm(CondF) + "]");
+      return Exit;
+    }
+    }
+    assert(false && "unknown statement kind");
+    return From;
+  }
+
+private:
+  LocId fresh() { return P.addLocation("L" + std::to_string(Counter++)); }
+
+  TermManager &TM;
+  Program &P;
+  int Counter = 1;
+};
+
+} // namespace
+
+Program pathinv::lowerProc(TermManager &TM, const ProcAst &Proc) {
+  std::vector<const Term *> Vars = Proc.Params;
+  Vars.insert(Vars.end(), Proc.Locals.begin(), Proc.Locals.end());
+  Program P(TM, std::move(Vars));
+  LocId Entry = P.addLocation("L0");
+  LocId Error = P.addLocation("LE");
+  P.setEntry(Entry);
+  P.setError(Error);
+  Lowering L(TM, Proc, P);
+  L.lower(*Proc.Body, Entry);
+  return P;
+}
+
+Expected<Program> pathinv::loadProgram(TermManager &TM,
+                                       std::string_view Source) {
+  Expected<ProcAst> Proc = parseProc(TM, Source);
+  if (!Proc)
+    return Expected<Program>(Proc.error());
+  return lowerProc(TM, Proc.get());
+}

@@ -1,0 +1,36 @@
+//===- lang/Lower.h - PIL to transition-system lowering --------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a PIL procedure to the transition-system representation of
+/// Section 3. Statements become guarded transitions:
+///   * `x = e` — x' = e plus frame condition,
+///   * `a[i] = e` — a' = a{i := e} plus frame,
+///   * `assume(c)` — [c] with identity update,
+///   * `assert(c)` — [!c] edge to the error location and [c] edge onward,
+///   * `if`/`while` — assume edges on both polarities (assume-true edges
+///     for nondeterministic `*` conditions),
+///   * `x = nondet()` — havoc of x.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LANG_LOWER_H
+#define PATHINV_LANG_LOWER_H
+
+#include "lang/AST.h"
+#include "program/Program.h"
+
+namespace pathinv {
+
+/// Lowers \p Proc into a Program. The result owns no AST references.
+Program lowerProc(TermManager &TM, const ProcAst &Proc);
+
+/// Convenience: parse + lower in one step.
+Expected<Program> loadProgram(TermManager &TM, std::string_view Source);
+
+} // namespace pathinv
+
+#endif // PATHINV_LANG_LOWER_H

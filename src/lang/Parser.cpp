@@ -1,0 +1,614 @@
+//===- lang/Parser.cpp - PIL parser ----------------------------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <cctype>
+#include <map>
+
+using namespace pathinv;
+
+namespace {
+
+enum class Tok : uint8_t {
+  End, Int, Ident, LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Assign, Plus, Minus, Star,
+  EqEq, Ne, Le, Lt, Ge, Gt, Not, AndAnd, OrOr,
+  KwProc, KwVar, KwArray, KwAssume, KwAssert, KwIf, KwElse, KwWhile,
+  KwSkip, KwNondet, KwTrue, KwFalse,
+};
+
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;
+  SourceLoc Loc;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  Expected<Token> next() {
+    skipSpaceAndComments();
+    Token T;
+    T.Loc = {Line, static_cast<unsigned>(Pos - LineStart + 1)};
+    if (Pos >= Text.size())
+      return T;
+    char C = Text[Pos];
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      T.Kind = Tok::Int;
+      T.Text = std::string(Text.substr(Start, Pos - Start));
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_'))
+        ++Pos;
+      T.Text = std::string(Text.substr(Start, Pos - Start));
+      static const std::map<std::string, Tok> Keywords = {
+          {"proc", Tok::KwProc},     {"var", Tok::KwVar},
+          {"array", Tok::KwArray},   {"assume", Tok::KwAssume},
+          {"assert", Tok::KwAssert}, {"if", Tok::KwIf},
+          {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+          {"skip", Tok::KwSkip},     {"nondet", Tok::KwNondet},
+          {"true", Tok::KwTrue},     {"false", Tok::KwFalse}};
+      auto It = Keywords.find(T.Text);
+      T.Kind = It == Keywords.end() ? Tok::Ident : It->second;
+      return T;
+    }
+    auto two = [&](char Second) {
+      return Pos + 1 < Text.size() && Text[Pos + 1] == Second;
+    };
+    switch (C) {
+    case '(': ++Pos; T.Kind = Tok::LParen; return T;
+    case ')': ++Pos; T.Kind = Tok::RParen; return T;
+    case '{': ++Pos; T.Kind = Tok::LBrace; return T;
+    case '}': ++Pos; T.Kind = Tok::RBrace; return T;
+    case '[': ++Pos; T.Kind = Tok::LBracket; return T;
+    case ']': ++Pos; T.Kind = Tok::RBracket; return T;
+    case ',': ++Pos; T.Kind = Tok::Comma; return T;
+    case ';': ++Pos; T.Kind = Tok::Semi; return T;
+    case '+': ++Pos; T.Kind = Tok::Plus; return T;
+    case '-': ++Pos; T.Kind = Tok::Minus; return T;
+    case '*': ++Pos; T.Kind = Tok::Star; return T;
+    case '=':
+      if (two('=')) { Pos += 2; T.Kind = Tok::EqEq; return T; }
+      ++Pos; T.Kind = Tok::Assign; return T;
+    case '!':
+      if (two('=')) { Pos += 2; T.Kind = Tok::Ne; return T; }
+      ++Pos; T.Kind = Tok::Not; return T;
+    case '<':
+      if (two('=')) { Pos += 2; T.Kind = Tok::Le; return T; }
+      ++Pos; T.Kind = Tok::Lt; return T;
+    case '>':
+      if (two('=')) { Pos += 2; T.Kind = Tok::Ge; return T; }
+      ++Pos; T.Kind = Tok::Gt; return T;
+    case '&':
+      if (two('&')) { Pos += 2; T.Kind = Tok::AndAnd; return T; }
+      break;
+    case '|':
+      if (two('|')) { Pos += 2; T.Kind = Tok::OrOr; return T; }
+      break;
+    default:
+      break;
+    }
+    return Expected<Token>::makeError(
+        std::string("unexpected character '") + C + "'", T.Loc);
+  }
+
+private:
+  void skipSpaceAndComments() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        LineStart = Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  size_t LineStart = 0;
+  unsigned Line = 1;
+};
+
+class ProcParser {
+public:
+  ProcParser(TermManager &TM, std::string_view Source)
+      : TM(TM), Lex(Source) {}
+
+  Expected<ProcAst> parse() {
+    if (!advance())
+      return fail();
+    if (!expect(Tok::KwProc, "expected 'proc'"))
+      return fail();
+    if (Cur.Kind != Tok::Ident)
+      return err("expected procedure name");
+    ProcAst Proc;
+    Proc.Name = Cur.Text;
+    if (!advance() || !expect(Tok::LParen, "expected '('"))
+      return fail();
+    if (Cur.Kind != Tok::RParen) {
+      while (true) {
+        if (Cur.Kind != Tok::Ident)
+          return err("expected parameter name");
+        std::string Name = Cur.Text;
+        if (!advance())
+          return fail();
+        Sort S = Sort::Int;
+        if (Cur.Kind == Tok::LBracket) {
+          if (!advance() || !expect(Tok::RBracket, "expected ']'"))
+            return fail();
+          S = Sort::ArrayIntInt;
+        }
+        if (!declare(Name, S))
+          return err("duplicate declaration of '" + Name + "'");
+        Proc.Params.push_back(TM.mkVar(Name, S));
+        if (Cur.Kind != Tok::Comma)
+          break;
+        if (!advance())
+          return fail();
+      }
+    }
+    if (!expect(Tok::RParen, "expected ')'"))
+      return fail();
+    auto Body = parseBlock(Proc);
+    if (!Body)
+      return Expected<ProcAst>(Body.error());
+    Proc.Body = Body.take();
+    if (Cur.Kind != Tok::End)
+      return err("trailing input after procedure body");
+    return Proc;
+  }
+
+private:
+  Expected<ProcAst> fail() { return Expected<ProcAst>(ErrDiag); }
+  Expected<ProcAst> err(std::string Msg) {
+    return Expected<ProcAst>::makeError(std::move(Msg), Cur.Loc);
+  }
+  template <typename T> Expected<T> errT(std::string Msg) {
+    return Expected<T>::makeError(std::move(Msg), Cur.Loc);
+  }
+
+  bool advance() {
+    Expected<Token> T = Lex.next();
+    if (!T) {
+      ErrDiag = T.error();
+      return false;
+    }
+    Cur = T.take();
+    return true;
+  }
+
+  bool expect(Tok Kind, const char *Msg) {
+    if (Cur.Kind != Kind) {
+      ErrDiag = {Msg, Cur.Loc};
+      return false;
+    }
+    return advance();
+  }
+
+  bool declare(const std::string &Name, Sort S) {
+    return Scope.try_emplace(Name, S).second;
+  }
+
+  using StmtPtr = std::unique_ptr<Stmt>;
+  using StmtResult = Expected<StmtPtr>;
+
+  StmtResult parseBlock(ProcAst &Proc) {
+    SourceLoc Loc = Cur.Loc;
+    if (Cur.Kind != Tok::LBrace)
+      return errT<StmtPtr>("expected '{'");
+    if (!advance())
+      return StmtResult(ErrDiag);
+    auto Block = std::make_unique<Stmt>();
+    Block->K = Stmt::Kind::Block;
+    Block->Loc = Loc;
+    while (Cur.Kind != Tok::RBrace) {
+      if (Cur.Kind == Tok::End)
+        return errT<StmtPtr>("unterminated block");
+      StmtResult S = parseStmt(Proc);
+      if (!S)
+        return S;
+      if (S.get()) // Declarations return null statements.
+        Block->Children.push_back(S.take());
+    }
+    if (!advance())
+      return StmtResult(ErrDiag);
+    return StmtResult(std::move(Block));
+  }
+
+  StmtResult parseStmt(ProcAst &Proc) {
+    SourceLoc Loc = Cur.Loc;
+    switch (Cur.Kind) {
+    case Tok::KwVar:
+    case Tok::KwArray: {
+      Sort S = Cur.Kind == Tok::KwVar ? Sort::Int : Sort::ArrayIntInt;
+      do {
+        if (!advance())
+          return StmtResult(ErrDiag);
+        if (Cur.Kind != Tok::Ident)
+          return errT<StmtPtr>("expected variable name");
+        if (!declare(Cur.Text, S))
+          return errT<StmtPtr>("duplicate declaration of '" + Cur.Text +
+                               "'");
+        Proc.Locals.push_back(TM.mkVar(Cur.Text, S));
+        if (!advance())
+          return StmtResult(ErrDiag);
+      } while (Cur.Kind == Tok::Comma);
+      if (!expect(Tok::Semi, "expected ';'"))
+        return StmtResult(ErrDiag);
+      return StmtResult(StmtPtr()); // No statement emitted.
+    }
+    case Tok::KwSkip: {
+      if (!advance() || !expect(Tok::Semi, "expected ';'"))
+        return StmtResult(ErrDiag);
+      auto S = std::make_unique<Stmt>();
+      S->K = Stmt::Kind::Skip;
+      S->Loc = Loc;
+      return StmtResult(std::move(S));
+    }
+    case Tok::KwAssume:
+    case Tok::KwAssert: {
+      bool IsAssume = Cur.Kind == Tok::KwAssume;
+      if (!advance() || !expect(Tok::LParen, "expected '('"))
+        return StmtResult(ErrDiag);
+      auto Cond = parseBoolExpr();
+      if (!Cond)
+        return StmtResult(Cond.error());
+      if (!expect(Tok::RParen, "expected ')'") ||
+          !expect(Tok::Semi, "expected ';'"))
+        return StmtResult(ErrDiag);
+      auto S = std::make_unique<Stmt>();
+      S->K = IsAssume ? Stmt::Kind::Assume : Stmt::Kind::Assert;
+      S->Cond = Cond.get();
+      S->Loc = Loc;
+      return StmtResult(std::move(S));
+    }
+    case Tok::KwIf: {
+      if (!advance() || !expect(Tok::LParen, "expected '('"))
+        return StmtResult(ErrDiag);
+      auto Cond = parseCond();
+      if (!Cond)
+        return StmtResult(Cond.error());
+      if (!expect(Tok::RParen, "expected ')'"))
+        return StmtResult(ErrDiag);
+      auto Then = parseBlock(Proc);
+      if (!Then)
+        return Then;
+      auto S = std::make_unique<Stmt>();
+      S->K = Stmt::Kind::If;
+      S->Cond = Cond.get();
+      S->Loc = Loc;
+      S->Children.push_back(Then.take());
+      if (Cur.Kind == Tok::KwElse) {
+        if (!advance())
+          return StmtResult(ErrDiag);
+        auto Else = parseBlock(Proc);
+        if (!Else)
+          return Else;
+        S->Children.push_back(Else.take());
+      }
+      return StmtResult(std::move(S));
+    }
+    case Tok::KwWhile: {
+      if (!advance() || !expect(Tok::LParen, "expected '('"))
+        return StmtResult(ErrDiag);
+      auto Cond = parseCond();
+      if (!Cond)
+        return StmtResult(Cond.error());
+      if (!expect(Tok::RParen, "expected ')'"))
+        return StmtResult(ErrDiag);
+      auto Body = parseBlock(Proc);
+      if (!Body)
+        return Body;
+      auto S = std::make_unique<Stmt>();
+      S->K = Stmt::Kind::While;
+      S->Cond = Cond.get();
+      S->Loc = Loc;
+      S->Children.push_back(Body.take());
+      return StmtResult(std::move(S));
+    }
+    case Tok::Ident: {
+      std::string Name = Cur.Text;
+      auto It = Scope.find(Name);
+      if (It == Scope.end())
+        return errT<StmtPtr>("undeclared identifier '" + Name + "'");
+      if (!advance())
+        return StmtResult(ErrDiag);
+      auto S = std::make_unique<Stmt>();
+      S->Loc = Loc;
+      if (Cur.Kind == Tok::LBracket) {
+        if (It->second != Sort::ArrayIntInt)
+          return errT<StmtPtr>("'" + Name + "' is not an array");
+        if (!advance())
+          return StmtResult(ErrDiag);
+        auto Index = parseExpr();
+        if (!Index)
+          return StmtResult(Index.error());
+        if (!expect(Tok::RBracket, "expected ']'") ||
+            !expect(Tok::Assign, "expected '='"))
+          return StmtResult(ErrDiag);
+        auto Rhs = parseRhs();
+        if (!Rhs)
+          return StmtResult(Rhs.error());
+        if (!expect(Tok::Semi, "expected ';'"))
+          return StmtResult(ErrDiag);
+        if (!Rhs.get())
+          return errT<StmtPtr>("nondet() array writes are not supported");
+        S->K = Stmt::Kind::ArrayAssign;
+        S->Var = TM.mkVar(Name, Sort::ArrayIntInt);
+        S->Index = Index.get();
+        S->Rhs = Rhs.get();
+        return StmtResult(std::move(S));
+      }
+      if (It->second != Sort::Int)
+        return errT<StmtPtr>("cannot assign whole array '" + Name + "'");
+      if (!expect(Tok::Assign, "expected '='"))
+        return StmtResult(ErrDiag);
+      auto Rhs = parseRhs();
+      if (!Rhs)
+        return StmtResult(Rhs.error());
+      if (!expect(Tok::Semi, "expected ';'"))
+        return StmtResult(ErrDiag);
+      S->K = Stmt::Kind::Assign;
+      S->Var = TM.mkVar(Name, Sort::Int);
+      S->Rhs = Rhs.get(); // May be null (nondet).
+      return StmtResult(std::move(S));
+    }
+    default:
+      return errT<StmtPtr>("expected a statement");
+    }
+  }
+
+  /// nondet() or expression; nondet is returned as nullptr.
+  Expected<const Term *> parseRhs() {
+    if (Cur.Kind == Tok::KwNondet) {
+      if (!advance() || !expect(Tok::LParen, "expected '('") ||
+          !expect(Tok::RParen, "expected ')'"))
+        return Expected<const Term *>(ErrDiag);
+      return Expected<const Term *>(nullptr);
+    }
+    return parseExpr();
+  }
+
+  /// '*' or nondet() (both nullptr) or a boolean expression.
+  Expected<const Term *> parseCond() {
+    if (Cur.Kind == Tok::Star) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return Expected<const Term *>(nullptr);
+    }
+    if (Cur.Kind == Tok::KwNondet) {
+      if (!advance() || !expect(Tok::LParen, "expected '('") ||
+          !expect(Tok::RParen, "expected ')'"))
+        return Expected<const Term *>(ErrDiag);
+      return Expected<const Term *>(nullptr);
+    }
+    return parseBoolExpr();
+  }
+
+  // --- Boolean expressions: || over && over ! over comparisons -----------
+
+  Expected<const Term *> parseBoolExpr() { return parseOr(); }
+
+  Expected<const Term *> parseOr() {
+    auto Lhs = parseAnd();
+    if (!Lhs)
+      return Lhs;
+    const Term *Result = Lhs.get();
+    while (Cur.Kind == Tok::OrOr) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Rhs = parseAnd();
+      if (!Rhs)
+        return Rhs;
+      Result = TM.mkOr(Result, Rhs.get());
+    }
+    return Result;
+  }
+
+  Expected<const Term *> parseAnd() {
+    auto Lhs = parseBoolUnary();
+    if (!Lhs)
+      return Lhs;
+    const Term *Result = Lhs.get();
+    while (Cur.Kind == Tok::AndAnd) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Rhs = parseBoolUnary();
+      if (!Rhs)
+        return Rhs;
+      Result = TM.mkAnd(Result, Rhs.get());
+    }
+    return Result;
+  }
+
+  Expected<const Term *> parseBoolUnary() {
+    if (Cur.Kind == Tok::Not) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Sub = parseBoolUnary();
+      if (!Sub)
+        return Sub;
+      return TM.mkNot(Sub.get());
+    }
+    if (Cur.Kind == Tok::KwTrue) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return TM.mkTrue();
+    }
+    if (Cur.Kind == Tok::KwFalse) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return TM.mkFalse();
+    }
+    if (Cur.Kind == Tok::LParen) {
+      // Could be a parenthesized boolean or the left side of a comparison;
+      // parse a comparison whose lhs starts with '('. We try boolean first
+      // by scanning: simplest correct approach is to parse an expression
+      // and require a comparison, unless the '(' leads a boolean operator
+      // sequence. PIL restricts parentheses in boolean position to whole
+      // boolean groups, so attempt boolean group first.
+      Lexer Saved = Lex;
+      Token SavedTok = Cur;
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Inner = parseBoolExpr();
+      if (Inner && Cur.Kind == Tok::RParen) {
+        if (!advance())
+          return Expected<const Term *>(ErrDiag);
+        return Inner;
+      }
+      Lex = Saved;
+      Cur = SavedTok;
+      return parseComparison();
+    }
+    return parseComparison();
+  }
+
+  Expected<const Term *> parseComparison() {
+    auto Lhs = parseExpr();
+    if (!Lhs)
+      return Lhs;
+    Tok Rel = Cur.Kind;
+    if (Rel != Tok::EqEq && Rel != Tok::Ne && Rel != Tok::Le &&
+        Rel != Tok::Lt && Rel != Tok::Ge && Rel != Tok::Gt)
+      return errT<const Term *>("expected a comparison operator");
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+    auto Rhs = parseExpr();
+    if (!Rhs)
+      return Rhs;
+    switch (Rel) {
+    case Tok::EqEq: return TM.mkEq(Lhs.get(), Rhs.get());
+    case Tok::Ne:   return TM.mkNe(Lhs.get(), Rhs.get());
+    case Tok::Le:   return TM.mkLe(Lhs.get(), Rhs.get());
+    case Tok::Lt:   return TM.mkLt(Lhs.get(), Rhs.get());
+    case Tok::Ge:   return TM.mkGe(Lhs.get(), Rhs.get());
+    default:        return TM.mkGt(Lhs.get(), Rhs.get());
+    }
+  }
+
+  // --- Integer expressions -------------------------------------------------
+
+  Expected<const Term *> parseExpr() {
+    auto Lhs = parseMul();
+    if (!Lhs)
+      return Lhs;
+    const Term *Result = Lhs.get();
+    while (Cur.Kind == Tok::Plus || Cur.Kind == Tok::Minus) {
+      bool IsMinus = Cur.Kind == Tok::Minus;
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Rhs = parseMul();
+      if (!Rhs)
+        return Rhs;
+      Result = IsMinus ? TM.mkSub(Result, Rhs.get())
+                       : TM.mkAdd(Result, Rhs.get());
+    }
+    return Result;
+  }
+
+  Expected<const Term *> parseMul() {
+    auto Lhs = parseUnary();
+    if (!Lhs)
+      return Lhs;
+    const Term *Result = Lhs.get();
+    while (Cur.Kind == Tok::Star) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Rhs = parseUnary();
+      if (!Rhs)
+        return Rhs;
+      Result = TM.mkMul(Result, Rhs.get());
+    }
+    return Result;
+  }
+
+  Expected<const Term *> parseUnary() {
+    if (Cur.Kind == Tok::Minus) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Sub = parseUnary();
+      if (!Sub)
+        return Sub;
+      return TM.mkNeg(Sub.get());
+    }
+    return parsePrimary();
+  }
+
+  Expected<const Term *> parsePrimary() {
+    if (Cur.Kind == Tok::Int) {
+      BigInt Value{std::string_view(Cur.Text)};
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return TM.mkIntConst(Rational(std::move(Value)));
+    }
+    if (Cur.Kind == Tok::LParen) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Inner = parseExpr();
+      if (!Inner)
+        return Inner;
+      if (!expect(Tok::RParen, "expected ')'"))
+        return Expected<const Term *>(ErrDiag);
+      return Inner;
+    }
+    if (Cur.Kind != Tok::Ident)
+      return errT<const Term *>("expected an expression");
+    std::string Name = Cur.Text;
+    auto It = Scope.find(Name);
+    if (It == Scope.end())
+      return errT<const Term *>("undeclared identifier '" + Name + "'");
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+    if (Cur.Kind == Tok::LBracket) {
+      if (It->second != Sort::ArrayIntInt)
+        return errT<const Term *>("'" + Name + "' is not an array");
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto Index = parseExpr();
+      if (!Index)
+        return Index;
+      if (!expect(Tok::RBracket, "expected ']'"))
+        return Expected<const Term *>(ErrDiag);
+      return TM.mkSelect(TM.mkVar(Name, Sort::ArrayIntInt), Index.get());
+    }
+    if (It->second != Sort::Int)
+      return errT<const Term *>("array '" + Name + "' used as a scalar");
+    return TM.mkVar(Name, Sort::Int);
+  }
+
+  TermManager &TM;
+  Lexer Lex;
+  Token Cur;
+  Diag ErrDiag;
+  std::map<std::string, Sort> Scope;
+};
+
+} // namespace
+
+Expected<ProcAst> pathinv::parseProc(TermManager &TM,
+                                     std::string_view Source) {
+  ProcParser P(TM, Source);
+  return P.parse();
+}

@@ -1,0 +1,40 @@
+//===- lang/Parser.h - PIL parser -------------------------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for PIL. Grammar sketch:
+///
+///   proc     := 'proc' IDENT '(' params? ')' block
+///   params   := param (',' param)*      param := IDENT ('[' ']')?
+///   block    := '{' stmt* '}'
+///   stmt     := 'var' IDENT (',' IDENT)* ';'
+///            |  'array' IDENT (',' IDENT)* ';'
+///            |  IDENT '=' rhs ';'  |  IDENT '[' expr ']' '=' rhs ';'
+///            |  'assume' '(' bexpr ')' ';'  |  'assert' '(' bexpr ')' ';'
+///            |  'if' '(' cond ')' block ('else' block)?
+///            |  'while' '(' cond ')' block
+///            |  'skip' ';'
+///   cond     := '*' | bexpr          rhs := 'nondet' '(' ')' | expr
+///   bexpr    := disjunctions/conjunctions/negations of comparisons
+///   expr     := linear integer expressions with [] reads
+///
+/// Line comments start with //.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LANG_PARSER_H
+#define PATHINV_LANG_PARSER_H
+
+#include "lang/AST.h"
+
+namespace pathinv {
+
+/// Parses a single PIL procedure from \p Source.
+Expected<ProcAst> parseProc(TermManager &TM, std::string_view Source);
+
+} // namespace pathinv
+
+#endif // PATHINV_LANG_PARSER_H

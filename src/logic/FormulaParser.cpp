@@ -1,0 +1,548 @@
+//===- logic/FormulaParser.cpp - Infix formula parser --------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/FormulaParser.h"
+
+#include <cctype>
+
+using namespace pathinv;
+
+namespace {
+
+enum class Tok : uint8_t {
+  End,
+  Int,
+  Ident,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Dot,
+  Plus,
+  Minus,
+  Star,
+  Eq,      // = or ==
+  Ne,      // !=
+  Le,      // <=
+  Lt,      // <
+  Ge,      // >=
+  Gt,      // >
+  Not,     // !
+  AndAnd,  // &&
+  OrOr,    // ||
+  Arrow,   // ->
+  KwTrue,
+  KwFalse,
+  KwForall,
+};
+
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;
+  SourceLoc Loc;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  Expected<Token> next() {
+    skipSpace();
+    Token T;
+    T.Loc = {Line, static_cast<unsigned>(Pos - LineStart + 1)};
+    if (Pos >= Text.size()) {
+      T.Kind = Tok::End;
+      return T;
+    }
+    char C = Text[Pos];
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      T.Kind = Tok::Int;
+      T.Text = std::string(Text.substr(Start, Pos - Start));
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_' || Text[Pos] == '\'' || Text[Pos] == '@' ||
+              std::isdigit(static_cast<unsigned char>(Text[Pos]))))
+        ++Pos;
+      T.Text = std::string(Text.substr(Start, Pos - Start));
+      if (T.Text == "true")
+        T.Kind = Tok::KwTrue;
+      else if (T.Text == "false")
+        T.Kind = Tok::KwFalse;
+      else if (T.Text == "forall")
+        T.Kind = Tok::KwForall;
+      else
+        T.Kind = Tok::Ident;
+      return T;
+    }
+    auto two = [&](char Second) {
+      return Pos + 1 < Text.size() && Text[Pos + 1] == Second;
+    };
+    switch (C) {
+    case '(':
+      ++Pos;
+      T.Kind = Tok::LParen;
+      return T;
+    case ')':
+      ++Pos;
+      T.Kind = Tok::RParen;
+      return T;
+    case '[':
+      ++Pos;
+      T.Kind = Tok::LBracket;
+      return T;
+    case ']':
+      ++Pos;
+      T.Kind = Tok::RBracket;
+      return T;
+    case ',':
+      ++Pos;
+      T.Kind = Tok::Comma;
+      return T;
+    case '.':
+      ++Pos;
+      T.Kind = Tok::Dot;
+      return T;
+    case '+':
+      ++Pos;
+      T.Kind = Tok::Plus;
+      return T;
+    case '-':
+      if (two('>')) {
+        Pos += 2;
+        T.Kind = Tok::Arrow;
+        return T;
+      }
+      ++Pos;
+      T.Kind = Tok::Minus;
+      return T;
+    case '*':
+      ++Pos;
+      T.Kind = Tok::Star;
+      return T;
+    case '=':
+      Pos += two('=') ? 2 : 1;
+      T.Kind = Tok::Eq;
+      return T;
+    case '!':
+      if (two('=')) {
+        Pos += 2;
+        T.Kind = Tok::Ne;
+        return T;
+      }
+      ++Pos;
+      T.Kind = Tok::Not;
+      return T;
+    case '<':
+      if (two('=')) {
+        Pos += 2;
+        T.Kind = Tok::Le;
+        return T;
+      }
+      ++Pos;
+      T.Kind = Tok::Lt;
+      return T;
+    case '>':
+      if (two('=')) {
+        Pos += 2;
+        T.Kind = Tok::Ge;
+        return T;
+      }
+      ++Pos;
+      T.Kind = Tok::Gt;
+      return T;
+    case '&':
+      if (two('&')) {
+        Pos += 2;
+        T.Kind = Tok::AndAnd;
+        return T;
+      }
+      break;
+    case '|':
+      if (two('|')) {
+        Pos += 2;
+        T.Kind = Tok::OrOr;
+        return T;
+      }
+      break;
+    default:
+      break;
+    }
+    return Expected<Token>::makeError(
+        std::string("unexpected character '") + C + "'", T.Loc);
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        LineStart = Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  size_t LineStart = 0;
+  unsigned Line = 1;
+};
+
+/// Recursive-descent parser over the unified expression grammar; sorts are
+/// checked as expressions are combined.
+class Parser {
+public:
+  Parser(TermManager &TM, std::string_view Text, SortEnv &Env)
+      : TM(TM), Lex(Text), Env(Env) {}
+
+  Expected<const Term *> parseTop(bool WantBool) {
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+    Expected<const Term *> Result = parseImplies();
+    if (!Result)
+      return Result;
+    if (Cur.Kind != Tok::End)
+      return err("trailing input after expression");
+    const Term *T = Result.get();
+    if (WantBool && !T->isBool())
+      return err("expected a formula, found an arithmetic term");
+    if (!WantBool && !T->isInt())
+      return err("expected an integer term, found a formula");
+    return T;
+  }
+
+private:
+  Expected<const Term *> err(std::string Message) {
+    return Expected<const Term *>::makeError(std::move(Message), Cur.Loc);
+  }
+
+  bool advance() {
+    Expected<Token> T = Lex.next();
+    if (!T) {
+      ErrDiag = T.error();
+      return false;
+    }
+    Cur = T.take();
+    return true;
+  }
+
+  Expected<const Term *> parseImplies() {
+    Expected<const Term *> Lhs = parseOr();
+    if (!Lhs)
+      return Lhs;
+    if (Cur.Kind != Tok::Arrow)
+      return Lhs;
+    if (!Lhs.get()->isBool())
+      return err("left operand of '->' must be a formula");
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+    Expected<const Term *> Rhs = parseImplies(); // right-assoc
+    if (!Rhs)
+      return Rhs;
+    if (!Rhs.get()->isBool())
+      return err("right operand of '->' must be a formula");
+    return TM.mkImplies(Lhs.get(), Rhs.get());
+  }
+
+  Expected<const Term *> parseOr() {
+    Expected<const Term *> Lhs = parseAnd();
+    if (!Lhs)
+      return Lhs;
+    while (Cur.Kind == Tok::OrOr) {
+      if (!Lhs.get()->isBool())
+        return err("operand of '||' must be a formula");
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      Expected<const Term *> Rhs = parseAnd();
+      if (!Rhs)
+        return Rhs;
+      if (!Rhs.get()->isBool())
+        return err("operand of '||' must be a formula");
+      Lhs = TM.mkOr(Lhs.get(), Rhs.get());
+    }
+    return Lhs;
+  }
+
+  Expected<const Term *> parseAnd() {
+    Expected<const Term *> Lhs = parseRel();
+    if (!Lhs)
+      return Lhs;
+    while (Cur.Kind == Tok::AndAnd) {
+      if (!Lhs.get()->isBool())
+        return err("operand of '&&' must be a formula");
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      Expected<const Term *> Rhs = parseRel();
+      if (!Rhs)
+        return Rhs;
+      if (!Rhs.get()->isBool())
+        return err("operand of '&&' must be a formula");
+      Lhs = TM.mkAnd(Lhs.get(), Rhs.get());
+    }
+    return Lhs;
+  }
+
+  Expected<const Term *> parseRel() {
+    Expected<const Term *> Lhs = parseAdd();
+    if (!Lhs)
+      return Lhs;
+    Tok Rel = Cur.Kind;
+    if (Rel != Tok::Eq && Rel != Tok::Ne && Rel != Tok::Le &&
+        Rel != Tok::Lt && Rel != Tok::Ge && Rel != Tok::Gt)
+      return Lhs;
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+    Expected<const Term *> Rhs = parseAdd();
+    if (!Rhs)
+      return Rhs;
+    const Term *A = Lhs.get(), *B = Rhs.get();
+    if (Rel == Tok::Eq || Rel == Tok::Ne) {
+      if (A->sort() != B->sort())
+        return err("equality over mismatched sorts");
+    } else if (!A->isInt() || !B->isInt()) {
+      return err("inequality over non-integer operands");
+    }
+    switch (Rel) {
+    case Tok::Eq:
+      return TM.mkEq(A, B);
+    case Tok::Ne:
+      return TM.mkNe(A, B);
+    case Tok::Le:
+      return TM.mkLe(A, B);
+    case Tok::Lt:
+      return TM.mkLt(A, B);
+    case Tok::Ge:
+      return TM.mkGe(A, B);
+    case Tok::Gt:
+      return TM.mkGt(A, B);
+    default:
+      break;
+    }
+    assert(false && "unreachable relation");
+    return err("internal parser error");
+  }
+
+  Expected<const Term *> parseAdd() {
+    Expected<const Term *> Lhs = parseMul();
+    if (!Lhs)
+      return Lhs;
+    while (Cur.Kind == Tok::Plus || Cur.Kind == Tok::Minus) {
+      bool IsMinus = Cur.Kind == Tok::Minus;
+      if (!Lhs.get()->isInt())
+        return err("operand of '+'/'-' must be an integer term");
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      Expected<const Term *> Rhs = parseMul();
+      if (!Rhs)
+        return Rhs;
+      if (!Rhs.get()->isInt())
+        return err("operand of '+'/'-' must be an integer term");
+      Lhs = IsMinus ? TM.mkSub(Lhs.get(), Rhs.get())
+                    : TM.mkAdd(Lhs.get(), Rhs.get());
+    }
+    return Lhs;
+  }
+
+  Expected<const Term *> parseMul() {
+    Expected<const Term *> Lhs = parseUnary();
+    if (!Lhs)
+      return Lhs;
+    while (Cur.Kind == Tok::Star) {
+      if (!Lhs.get()->isInt())
+        return err("operand of '*' must be an integer term");
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      Expected<const Term *> Rhs = parseUnary();
+      if (!Rhs)
+        return Rhs;
+      if (!Rhs.get()->isInt())
+        return err("operand of '*' must be an integer term");
+      Lhs = TM.mkMul(Lhs.get(), Rhs.get());
+    }
+    return Lhs;
+  }
+
+  Expected<const Term *> parseUnary() {
+    if (Cur.Kind == Tok::Minus) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      Expected<const Term *> Sub = parseUnary();
+      if (!Sub)
+        return Sub;
+      if (!Sub.get()->isInt())
+        return err("operand of unary '-' must be an integer term");
+      return TM.mkNeg(Sub.get());
+    }
+    if (Cur.Kind == Tok::Not) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      Expected<const Term *> Sub = parseUnary();
+      if (!Sub)
+        return Sub;
+      if (!Sub.get()->isBool())
+        return err("operand of '!' must be a formula");
+      return TM.mkNot(Sub.get());
+    }
+    if (Cur.Kind == Tok::KwForall)
+      return parseForall();
+    return parsePostfix();
+  }
+
+  Expected<const Term *> parseForall() {
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+    if (Cur.Kind != Tok::Ident)
+      return err("expected bound variable after 'forall'");
+    std::string Name = Cur.Text;
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+    if (Cur.Kind != Tok::Dot)
+      return err("expected '.' after quantified variable");
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+    // The bound variable shadows any same-named entry while parsing the body.
+    auto Saved = Env.find(Name) != Env.end()
+                     ? std::optional<Sort>(Env[Name])
+                     : std::nullopt;
+    Env[Name] = Sort::Int;
+    Expected<const Term *> Body = parseImplies();
+    if (Saved)
+      Env[Name] = *Saved;
+    else
+      Env.erase(Name);
+    if (!Body)
+      return Body;
+    if (!Body.get()->isBool())
+      return err("quantifier body must be a formula");
+    return TM.mkForall(TM.mkVar(Name, Sort::Int), Body.get());
+  }
+
+  Expected<const Term *> parsePostfix() {
+    if (Cur.Kind == Tok::Int) {
+      BigInt Value(std::string_view(Cur.Text));
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return TM.mkIntConst(Rational(std::move(Value)));
+    }
+    if (Cur.Kind == Tok::KwTrue) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return TM.mkTrue();
+    }
+    if (Cur.Kind == Tok::KwFalse) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return TM.mkFalse();
+    }
+    if (Cur.Kind == Tok::LParen) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      Expected<const Term *> Inner = parseImplies();
+      if (!Inner)
+        return Inner;
+      if (Cur.Kind != Tok::RParen)
+        return err("expected ')'");
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return Inner;
+    }
+    if (Cur.Kind != Tok::Ident)
+      return err("expected an identifier, literal, or '('");
+
+    std::string Name = Cur.Text;
+    if (!advance())
+      return Expected<const Term *>(ErrDiag);
+
+    // Array indexing: `name[index]`, possibly repeated via stores later.
+    if (Cur.Kind == Tok::LBracket) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      Expected<const Term *> Index = parseAdd();
+      if (!Index)
+        return Index;
+      if (!Index.get()->isInt())
+        return err("array index must be an integer term");
+      if (Cur.Kind != Tok::RBracket)
+        return err("expected ']'");
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      auto [It, Inserted] = Env.try_emplace(Name, Sort::ArrayIntInt);
+      if (!Inserted && It->second != Sort::ArrayIntInt)
+        return err("identifier '" + Name + "' is not an array");
+      return TM.mkSelect(TM.mkVar(Name, Sort::ArrayIntInt), Index.get());
+    }
+
+    // Function application: `name(args)`.
+    if (Cur.Kind == Tok::LParen) {
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      std::vector<const Term *> Args;
+      if (Cur.Kind != Tok::RParen) {
+        while (true) {
+          Expected<const Term *> Arg = parseAdd();
+          if (!Arg)
+            return Arg;
+          Args.push_back(Arg.get());
+          if (Cur.Kind != Tok::Comma)
+            break;
+          if (!advance())
+            return Expected<const Term *>(ErrDiag);
+        }
+      }
+      if (Cur.Kind != Tok::RParen)
+        return err("expected ')' after function arguments");
+      if (!advance())
+        return Expected<const Term *>(ErrDiag);
+      return TM.mkApply(Name, std::move(Args), Sort::Int);
+    }
+
+    // Plain variable.
+    auto [It, Inserted] = Env.try_emplace(Name, Sort::Int);
+    return TM.mkVar(Name, It->second);
+  }
+
+  TermManager &TM;
+  Lexer Lex;
+  SortEnv &Env;
+  Token Cur;
+  Diag ErrDiag;
+};
+
+} // namespace
+
+Expected<const Term *> pathinv::parseFormula(TermManager &TM,
+                                             std::string_view Text,
+                                             SortEnv &Env) {
+  Parser P(TM, Text, Env);
+  return P.parseTop(/*WantBool=*/true);
+}
+
+Expected<const Term *> pathinv::parseFormula(TermManager &TM,
+                                             std::string_view Text) {
+  SortEnv Env;
+  return parseFormula(TM, Text, Env);
+}
+
+Expected<const Term *> pathinv::parseIntTerm(TermManager &TM,
+                                             std::string_view Text,
+                                             SortEnv &Env) {
+  Parser P(TM, Text, Env);
+  return P.parseTop(/*WantBool=*/false);
+}

@@ -1,0 +1,47 @@
+//===- logic/FormulaParser.h - Infix formula parser ------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the infix formula notation emitted by TermPrinter.
+///
+/// Used by tests, tools, and the template front end; grammar (loosest to
+/// tightest): `->` (right-assoc), `||`, `&&`, `!`, relations
+/// (`= == != <= < >= >`), `+ -`, `*`, unary `-`, primaries
+/// (integers, identifiers, `a[i]`, `f(args)`, `forall k. ...`, parens).
+/// Identifier sorts come from the supplied environment; unknown identifiers
+/// are inferred (array when indexed, int otherwise) and added to it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LOGIC_FORMULAPARSER_H
+#define PATHINV_LOGIC_FORMULAPARSER_H
+
+#include "logic/Term.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+
+namespace pathinv {
+
+/// Name-to-sort environment threaded through parsing.
+using SortEnv = std::map<std::string, Sort>;
+
+/// Parses a boolean formula. \p Env supplies (and receives inferred)
+/// variable sorts.
+Expected<const Term *> parseFormula(TermManager &TM, std::string_view Text,
+                                    SortEnv &Env);
+
+/// Convenience overload with a throwaway environment.
+Expected<const Term *> parseFormula(TermManager &TM, std::string_view Text);
+
+/// Parses an integer term (no relational or boolean operators at top level).
+Expected<const Term *> parseIntTerm(TermManager &TM, std::string_view Text,
+                                    SortEnv &Env);
+
+} // namespace pathinv
+
+#endif // PATHINV_LOGIC_FORMULAPARSER_H

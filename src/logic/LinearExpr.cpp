@@ -1,0 +1,234 @@
+//===- logic/LinearExpr.cpp - Linear normal form for terms ---------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/LinearExpr.h"
+
+using namespace pathinv;
+
+std::optional<LinearExpr> LinearExpr::fromTerm(const Term *T) {
+  assert(T->isInt() && "linearizing a non-integer term");
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    return LinearExpr(T->value());
+  case TermKind::Var:
+  case TermKind::Select:
+  case TermKind::Apply:
+    return LinearExpr::atom(T);
+  case TermKind::Add: {
+    LinearExpr Result;
+    for (const Term *Op : T->operands()) {
+      std::optional<LinearExpr> Sub = fromTerm(Op);
+      if (!Sub)
+        return std::nullopt;
+      Result.add(*Sub);
+    }
+    return Result;
+  }
+  case TermKind::Mul: {
+    std::optional<LinearExpr> A = fromTerm(T->operand(0));
+    std::optional<LinearExpr> B = fromTerm(T->operand(1));
+    if (!A || !B)
+      return std::nullopt;
+    if (A->isConstant()) {
+      B->scale(A->constant());
+      return B;
+    }
+    if (B->isConstant()) {
+      A->scale(B->constant());
+      return A;
+    }
+    return std::nullopt; // Non-linear product.
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+Rational LinearExpr::coefficientOf(const Term *Atom) const {
+  auto It = Coeffs.find(Atom);
+  return It == Coeffs.end() ? Rational() : It->second;
+}
+
+void LinearExpr::addTerm(const Term *Atom, const Rational &Coeff) {
+  if (Coeff.isZero())
+    return;
+  auto [It, Inserted] = Coeffs.try_emplace(Atom, Coeff);
+  if (!Inserted) {
+    It->second += Coeff;
+    if (It->second.isZero())
+      Coeffs.erase(It);
+  }
+}
+
+void LinearExpr::add(const LinearExpr &RHS) {
+  Constant += RHS.Constant;
+  for (const auto &[Atom, Coeff] : RHS.Coeffs)
+    addTerm(Atom, Coeff);
+}
+
+void LinearExpr::sub(const LinearExpr &RHS) {
+  Constant -= RHS.Constant;
+  for (const auto &[Atom, Coeff] : RHS.Coeffs)
+    addTerm(Atom, -Coeff);
+}
+
+void LinearExpr::scale(const Rational &Factor) {
+  if (Factor.isZero()) {
+    Constant = Rational();
+    Coeffs.clear();
+    return;
+  }
+  Constant *= Factor;
+  for (auto &[Atom, Coeff] : Coeffs)
+    Coeff *= Factor;
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr &RHS) const {
+  LinearExpr Result = *this;
+  Result.add(RHS);
+  return Result;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr &RHS) const {
+  LinearExpr Result = *this;
+  Result.sub(RHS);
+  return Result;
+}
+
+LinearExpr LinearExpr::operator*(const Rational &Factor) const {
+  LinearExpr Result = *this;
+  Result.scale(Factor);
+  return Result;
+}
+
+const Term *LinearExpr::toTerm(TermManager &TM) const {
+  std::vector<const Term *> Summands;
+  for (const auto &[Atom, Coeff] : Coeffs)
+    Summands.push_back(TM.mkMul(TM.mkIntConst(Coeff), Atom));
+  if (!Constant.isZero() || Summands.empty())
+    Summands.push_back(TM.mkIntConst(Constant));
+  return TM.mkAdd(std::move(Summands));
+}
+
+std::string LinearExpr::toString() const {
+  std::string Result;
+  bool First = true;
+  for (const auto &[Atom, Coeff] : Coeffs) {
+    if (!First)
+      Result += Coeff.isNegative() ? " - " : " + ";
+    else if (Coeff.isNegative())
+      Result += "-";
+    First = false;
+    Rational AbsCoeff = Coeff.abs();
+    if (!AbsCoeff.isOne())
+      Result += AbsCoeff.toString() + "*";
+    Result += "#" + std::to_string(Atom->id());
+  }
+  if (!Constant.isZero() || First) {
+    if (!First)
+      Result += Constant.isNegative() ? " - " : " + ";
+    else if (Constant.isNegative())
+      Result += "-";
+    Result += Constant.abs().toString();
+  }
+  return Result;
+}
+
+LinearExpr pathinv::normalizeToIntegral(LinearExpr L) {
+  // Common denominator.
+  BigInt Lcm(1);
+  for (const auto &[Atom, Coeff] : L.coefficients())
+    Lcm = BigInt::lcm(Lcm, Coeff.denominator());
+  Lcm = BigInt::lcm(Lcm, L.constant().denominator());
+  L.scale(Rational(Lcm));
+  // Common factor.
+  BigInt Gcd;
+  for (const auto &[Atom, Coeff] : L.coefficients())
+    Gcd = BigInt::gcd(Gcd, Coeff.numerator());
+  Gcd = BigInt::gcd(Gcd, L.constant().numerator());
+  if (!Gcd.isZero() && !Gcd.isOne())
+    L.scale(Rational(BigInt(1), Gcd));
+  return L;
+}
+
+const Term *pathinv::mkCanonicalAtom(TermManager &TM, LinearExpr L,
+                                     RelKind Rel) {
+  L = normalizeToIntegral(std::move(L));
+  if (L.isConstant()) {
+    switch (Rel) {
+    case RelKind::Eq:
+      return TM.mkBool(L.constant().isZero());
+    case RelKind::Le:
+      return TM.mkBool(!L.constant().isPositive());
+    case RelKind::Lt:
+      return TM.mkBool(L.constant().isNegative());
+    }
+  }
+  if (Rel == RelKind::Eq && L.coefficients().begin()->second.isNegative())
+    L.scale(Rational(-1));
+  // Split into LHS (positive coefficients) and RHS (negated negative ones)
+  // so the rendered atom reads naturally, with the constant on the RHS.
+  LinearExpr Lhs, Rhs;
+  for (const auto &[Atom, Coeff] : L.coefficients()) {
+    if (Coeff.isPositive())
+      Lhs.addTerm(Atom, Coeff);
+    else
+      Rhs.addTerm(Atom, -Coeff);
+  }
+  Rhs.addConstant(-L.constant());
+  const Term *LhsT = Lhs.toTerm(TM);
+  const Term *RhsT = Rhs.toTerm(TM);
+  switch (Rel) {
+  case RelKind::Eq:
+    return TM.mkEq(LhsT, RhsT);
+  case RelKind::Le:
+    return TM.mkLe(LhsT, RhsT);
+  case RelKind::Lt:
+    return TM.mkLt(LhsT, RhsT);
+  }
+  assert(false && "unknown relation");
+  return TM.mkTrue();
+}
+
+const Term *LinearAtom::toTerm(TermManager &TM) const {
+  return mkCanonicalAtom(TM, Expr, Rel);
+}
+
+std::string LinearAtom::toString() const {
+  const char *RelName = Rel == RelKind::Eq ? " = 0"
+                        : Rel == RelKind::Le ? " <= 0"
+                                             : " < 0";
+  return Expr.toString() + RelName;
+}
+
+std::optional<LinearAtom> pathinv::decomposeAtom(const Term *Atom) {
+  if (!Atom->isAtom())
+    return std::nullopt;
+  const Term *A = Atom->operand(0);
+  const Term *B = Atom->operand(1);
+  if (!A->isInt() || !B->isInt())
+    return std::nullopt; // Array equality etc.
+  std::optional<LinearExpr> LhsE = LinearExpr::fromTerm(A);
+  std::optional<LinearExpr> RhsE = LinearExpr::fromTerm(B);
+  if (!LhsE || !RhsE)
+    return std::nullopt;
+  LinearAtom Result;
+  Result.Expr = *LhsE - *RhsE;
+  switch (Atom->kind()) {
+  case TermKind::Eq:
+    Result.Rel = RelKind::Eq;
+    break;
+  case TermKind::Le:
+    Result.Rel = RelKind::Le;
+    break;
+  case TermKind::Lt:
+    Result.Rel = RelKind::Lt;
+    break;
+  default:
+    return std::nullopt;
+  }
+  return Result;
+}

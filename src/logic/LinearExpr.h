@@ -1,0 +1,112 @@
+//===- logic/LinearExpr.h - Linear normal form for terms -------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear-combination normal form over "arithmetic atoms".
+///
+/// An arithmetic atom is a maximal non-arithmetic subterm: a variable, an
+/// array read, or an uninterpreted-function application. Every linear term
+/// decomposes as `Const + sum_i Coeff_i * Atom_i`; this form backs the
+/// simplex solver, Farkas encoding, and canonical predicate construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LOGIC_LINEAREXPR_H
+#define PATHINV_LOGIC_LINEAREXPR_H
+
+#include "logic/Term.h"
+
+#include <map>
+#include <optional>
+
+namespace pathinv {
+
+/// Relational operators of canonical linear atoms.
+enum class RelKind : uint8_t { Eq, Le, Lt };
+
+/// A linear expression Const + sum(Coeff * Atom) with deterministic
+/// (creation-order) atom ordering and no zero coefficients.
+class LinearExpr {
+public:
+  using CoeffMap = std::map<const Term *, Rational, TermIdLess>;
+
+  LinearExpr() = default;
+  explicit LinearExpr(Rational Constant) : Constant(std::move(Constant)) {}
+
+  /// Builds a linear expression denoting 1 * Atom.
+  static LinearExpr atom(const Term *Atom) {
+    LinearExpr Result;
+    Result.Coeffs[Atom] = Rational(1);
+    return Result;
+  }
+
+  /// Decomposes \p T into linear normal form. Returns std::nullopt when the
+  /// term is non-linear (e.g., a product of two variables).
+  static std::optional<LinearExpr> fromTerm(const Term *T);
+
+  const Rational &constant() const { return Constant; }
+  const CoeffMap &coefficients() const { return Coeffs; }
+  bool isConstant() const { return Coeffs.empty(); }
+  size_t numAtoms() const { return Coeffs.size(); }
+
+  /// Coefficient of \p Atom, zero when absent.
+  Rational coefficientOf(const Term *Atom) const;
+
+  void add(const LinearExpr &RHS);
+  void sub(const LinearExpr &RHS);
+  void scale(const Rational &Factor);
+  void addTerm(const Term *Atom, const Rational &Coeff);
+  void addConstant(const Rational &Value) { Constant += Value; }
+
+  LinearExpr operator+(const LinearExpr &RHS) const;
+  LinearExpr operator-(const LinearExpr &RHS) const;
+  LinearExpr operator*(const Rational &Factor) const;
+  LinearExpr operator-() const { return *this * Rational(-1); }
+
+  bool operator==(const LinearExpr &RHS) const {
+    return Constant == RHS.Constant && Coeffs == RHS.Coeffs;
+  }
+
+  /// Rebuilds a Term from this normal form.
+  const Term *toTerm(TermManager &TM) const;
+
+  std::string toString() const;
+
+private:
+  Rational Constant;
+  CoeffMap Coeffs;
+};
+
+/// A canonical linear atom `Expr REL 0` in integer-normalized form: all
+/// coefficients integral with gcd 1; for equalities the first atom's
+/// coefficient is positive. Canonicalization makes syntactically different
+/// but arithmetically identical predicates pointer-equal after conversion
+/// back to terms, which keeps predicate sets small during refinement.
+struct LinearAtom {
+  LinearExpr Expr; ///< Constraint is Expr REL 0.
+  RelKind Rel = RelKind::Le;
+
+  /// Canonicalizes and converts to a Term.
+  const Term *toTerm(TermManager &TM) const;
+
+  std::string toString() const;
+};
+
+/// Decomposes a relational atom term (Eq/Le/Lt over Int) into a normalized
+/// LinearAtom. Returns std::nullopt for non-linear or non-arithmetic atoms.
+std::optional<LinearAtom> decomposeAtom(const Term *Atom);
+
+/// Scales \p L so that all coefficients and the constant are integers with
+/// collective gcd 1, preserving sign. Integer tightening (e.g. turning
+/// `e < 0` into `e + 1 <= 0` over integer-valued atoms) relies on this.
+LinearExpr normalizeToIntegral(LinearExpr L);
+
+/// Builds the canonical term for `L REL 0`.
+const Term *mkCanonicalAtom(TermManager &TM, LinearExpr L, RelKind Rel);
+
+} // namespace pathinv
+
+#endif // PATHINV_LOGIC_LINEAREXPR_H

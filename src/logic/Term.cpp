@@ -1,0 +1,299 @@
+//===- logic/Term.cpp - Hash-consed term and formula IR ------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Term.h"
+
+#include <algorithm>
+
+using namespace pathinv;
+
+const char *pathinv::sortName(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "bool";
+  case Sort::Int:
+    return "int";
+  case Sort::ArrayIntInt:
+    return "int[]";
+  }
+  assert(false && "unknown sort");
+  return "<bad-sort>";
+}
+
+const char *pathinv::termKindName(TermKind K) {
+  switch (K) {
+  case TermKind::IntConst:
+    return "IntConst";
+  case TermKind::Var:
+    return "Var";
+  case TermKind::Add:
+    return "Add";
+  case TermKind::Mul:
+    return "Mul";
+  case TermKind::Select:
+    return "Select";
+  case TermKind::Store:
+    return "Store";
+  case TermKind::Apply:
+    return "Apply";
+  case TermKind::Eq:
+    return "Eq";
+  case TermKind::Le:
+    return "Le";
+  case TermKind::Lt:
+    return "Lt";
+  case TermKind::True:
+    return "True";
+  case TermKind::False:
+    return "False";
+  case TermKind::Not:
+    return "Not";
+  case TermKind::And:
+    return "And";
+  case TermKind::Or:
+    return "Or";
+  case TermKind::Forall:
+    return "Forall";
+  }
+  assert(false && "unknown term kind");
+  return "<bad-kind>";
+}
+
+static size_t hashTermKey(TermKind K, Sort S, const Rational &Value,
+                          const std::string &Name,
+                          const std::vector<const Term *> &Ops) {
+  size_t H = static_cast<size_t>(K) * 31 + static_cast<size_t>(S);
+  H = H * 1000003u + Value.hash();
+  H = H * 1000003u + std::hash<std::string>()(Name);
+  for (const Term *Op : Ops)
+    H = H * 1000003u + Op->id();
+  return H;
+}
+
+TermManager::TermManager() {
+  TrueTerm = intern(TermKind::True, Sort::Bool, Rational(), "", {});
+  FalseTerm = intern(TermKind::False, Sort::Bool, Rational(), "", {});
+}
+
+TermManager::~TermManager() = default;
+
+const Term *TermManager::intern(TermKind K, Sort S, Rational Value,
+                                std::string Name,
+                                std::vector<const Term *> Ops) {
+  size_t H = hashTermKey(K, S, Value, Name, Ops);
+  auto &Bucket = UniqueTable[H];
+  for (const Term *Existing : Bucket) {
+    if (Existing->Kind == K && Existing->TermSort == S &&
+        Existing->Value == Value && Existing->Name == Name &&
+        Existing->Ops == Ops)
+      return Existing;
+  }
+  auto Node = std::unique_ptr<Term>(new Term());
+  Node->Kind = K;
+  Node->TermSort = S;
+  Node->Id = static_cast<uint32_t>(AllTerms.size());
+  Node->Value = std::move(Value);
+  Node->Name = std::move(Name);
+  Node->Ops = std::move(Ops);
+  const Term *Result = Node.get();
+  AllTerms.push_back(std::move(Node));
+  Bucket.push_back(Result);
+  return Result;
+}
+
+const Term *TermManager::mkIntConst(Rational Value) {
+  return intern(TermKind::IntConst, Sort::Int, std::move(Value), "", {});
+}
+
+const Term *TermManager::mkVar(std::string_view Name, Sort S) {
+  assert(!Name.empty() && "variable needs a name");
+  return intern(TermKind::Var, S, Rational(), std::string(Name), {});
+}
+
+const Term *TermManager::mkAdd(std::vector<const Term *> Ops) {
+  std::vector<const Term *> Flat;
+  Rational ConstSum;
+  for (const Term *Op : Ops) {
+    assert(Op->isInt() && "Add over non-integer operand");
+    if (Op->kind() == TermKind::Add) {
+      for (const Term *Sub : Op->operands()) {
+        if (Sub->isIntConst())
+          ConstSum += Sub->value();
+        else
+          Flat.push_back(Sub);
+      }
+    } else if (Op->isIntConst()) {
+      ConstSum += Op->value();
+    } else {
+      Flat.push_back(Op);
+    }
+  }
+  if (!ConstSum.isZero() || Flat.empty())
+    Flat.push_back(mkIntConst(ConstSum));
+  if (Flat.size() == 1)
+    return Flat[0];
+  std::stable_sort(Flat.begin(), Flat.end(), TermIdLess());
+  return intern(TermKind::Add, Sort::Int, Rational(), "", std::move(Flat));
+}
+
+const Term *TermManager::mkSub(const Term *A, const Term *B) {
+  return mkAdd(A, mkNeg(B));
+}
+
+const Term *TermManager::mkNeg(const Term *A) {
+  return mkMul(mkIntConst(Rational(-1)), A);
+}
+
+const Term *TermManager::mkMul(const Term *A, const Term *B) {
+  assert(A->isInt() && B->isInt() && "Mul over non-integer operands");
+  if (A->isIntConst() && B->isIntConst())
+    return mkIntConst(A->value() * B->value());
+  // Keep a constant coefficient in the first slot for readability.
+  if (B->isIntConst())
+    std::swap(A, B);
+  if (A->isIntConst()) {
+    if (A->value().isZero())
+      return mkIntConst(Rational());
+    if (A->value().isOne())
+      return B;
+    // Fold c * (d * t) into (c*d) * t.
+    if (B->kind() == TermKind::Mul && B->operand(0)->isIntConst())
+      return mkMul(mkIntConst(A->value() * B->operand(0)->value()),
+                   B->operand(1));
+  }
+  return intern(TermKind::Mul, Sort::Int, Rational(), "", {A, B});
+}
+
+const Term *TermManager::mkSelect(const Term *Array, const Term *Index) {
+  assert(Array->isArray() && "Select from non-array");
+  assert(Index->isInt() && "Select with non-integer index");
+  return intern(TermKind::Select, Sort::Int, Rational(), "", {Array, Index});
+}
+
+const Term *TermManager::mkStore(const Term *Array, const Term *Index,
+                                 const Term *Value) {
+  assert(Array->isArray() && "Store into non-array");
+  assert(Index->isInt() && Value->isInt() && "Store index/value must be int");
+  return intern(TermKind::Store, Sort::ArrayIntInt, Rational(), "",
+                {Array, Index, Value});
+}
+
+const Term *TermManager::mkApply(std::string_view Function,
+                                 std::vector<const Term *> Args,
+                                 Sort ResultSort) {
+  assert(!Function.empty() && "function application needs a symbol");
+  return intern(TermKind::Apply, ResultSort, Rational(), std::string(Function),
+                std::move(Args));
+}
+
+const Term *TermManager::mkEq(const Term *A, const Term *B) {
+  assert(A->sort() == B->sort() && "Eq over mismatched sorts");
+  if (A == B)
+    return mkTrue();
+  if (A->isIntConst() && B->isIntConst())
+    return mkBool(A->value() == B->value());
+  if (TermIdLess()(B, A))
+    std::swap(A, B);
+  return intern(TermKind::Eq, Sort::Bool, Rational(), "", {A, B});
+}
+
+const Term *TermManager::mkLe(const Term *A, const Term *B) {
+  assert(A->isInt() && B->isInt() && "Le over non-integer operands");
+  if (A == B)
+    return mkTrue();
+  if (A->isIntConst() && B->isIntConst())
+    return mkBool(A->value() <= B->value());
+  return intern(TermKind::Le, Sort::Bool, Rational(), "", {A, B});
+}
+
+const Term *TermManager::mkLt(const Term *A, const Term *B) {
+  assert(A->isInt() && B->isInt() && "Lt over non-integer operands");
+  if (A == B)
+    return mkFalse();
+  if (A->isIntConst() && B->isIntConst())
+    return mkBool(A->value() < B->value());
+  return intern(TermKind::Lt, Sort::Bool, Rational(), "", {A, B});
+}
+
+const Term *TermManager::mkNot(const Term *A) {
+  assert(A->isBool() && "Not over non-boolean operand");
+  switch (A->kind()) {
+  case TermKind::True:
+    return mkFalse();
+  case TermKind::False:
+    return mkTrue();
+  case TermKind::Not:
+    return A->operand(0);
+  case TermKind::Le:
+    // !(a <= b)  ==  b < a
+    return mkLt(A->operand(1), A->operand(0));
+  case TermKind::Lt:
+    // !(a < b)  ==  b <= a
+    return mkLe(A->operand(1), A->operand(0));
+  default:
+    return intern(TermKind::Not, Sort::Bool, Rational(), "", {A});
+  }
+}
+
+const Term *TermManager::mkAnd(std::vector<const Term *> Ops) {
+  std::vector<const Term *> Flat;
+  for (const Term *Op : Ops) {
+    assert(Op->isBool() && "And over non-boolean operand");
+    if (Op->isFalse())
+      return mkFalse();
+    if (Op->isTrue())
+      continue;
+    if (Op->kind() == TermKind::And)
+      Flat.insert(Flat.end(), Op->operands().begin(), Op->operands().end());
+    else
+      Flat.push_back(Op);
+  }
+  std::stable_sort(Flat.begin(), Flat.end(), TermIdLess());
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  if (Flat.empty())
+    return mkTrue();
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(TermKind::And, Sort::Bool, Rational(), "", std::move(Flat));
+}
+
+const Term *TermManager::mkOr(std::vector<const Term *> Ops) {
+  std::vector<const Term *> Flat;
+  for (const Term *Op : Ops) {
+    assert(Op->isBool() && "Or over non-boolean operand");
+    if (Op->isTrue())
+      return mkTrue();
+    if (Op->isFalse())
+      continue;
+    if (Op->kind() == TermKind::Or)
+      Flat.insert(Flat.end(), Op->operands().begin(), Op->operands().end());
+    else
+      Flat.push_back(Op);
+  }
+  std::stable_sort(Flat.begin(), Flat.end(), TermIdLess());
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  if (Flat.empty())
+    return mkFalse();
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(TermKind::Or, Sort::Bool, Rational(), "", std::move(Flat));
+}
+
+const Term *TermManager::mkIff(const Term *A, const Term *B) {
+  if (A == B)
+    return mkTrue();
+  return mkAnd(mkImplies(A, B), mkImplies(B, A));
+}
+
+const Term *TermManager::mkForall(const Term *BoundVar, const Term *Body) {
+  assert(BoundVar->isVar() && BoundVar->isInt() &&
+         "quantified variable must be an integer variable");
+  assert(Body->isBool() && "quantifier body must be a formula");
+  if (Body->isTrue() || Body->isFalse())
+    return Body;
+  return intern(TermKind::Forall, Sort::Bool, Rational(), "",
+                {BoundVar, Body});
+}

@@ -1,0 +1,226 @@
+//===- logic/Term.h - Hash-consed term and formula IR ----------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable, hash-consed terms over the combined theory LI+UIF+arrays.
+///
+/// The paper's programs, path formulas, invariant templates, and predicate
+/// abstractions are all expressed in the combined theory of linear integer
+/// arithmetic, uninterpreted functions, arrays, and universal quantification
+/// over index variables (Section 3, "Invariants"). This module provides the
+/// shared term representation: structurally equal terms are pointer-equal,
+/// and every term carries a creation index used for deterministic ordering
+/// (never order by pointer value).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LOGIC_TERM_H
+#define PATHINV_LOGIC_TERM_H
+
+#include "support/Rational.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pathinv {
+
+/// Sorts of the term language.
+enum class Sort : uint8_t {
+  Bool,
+  Int,
+  ArrayIntInt, ///< Arrays from Int to Int (the paper's `int a[]`).
+};
+
+/// \returns a human-readable sort name.
+const char *sortName(Sort S);
+
+/// Term node kinds.
+enum class TermKind : uint8_t {
+  // Terms.
+  IntConst, ///< Rational constant (integer-valued in programs).
+  Var,      ///< Named variable of any sort.
+  Add,      ///< N-ary integer addition.
+  Mul,      ///< Binary multiplication.
+  Select,   ///< Array read a[i].
+  Store,    ///< Array write a{i := v}.
+  Apply,    ///< Uninterpreted function application f(t1, ..., tn).
+  // Atoms.
+  Eq, ///< Equality over Int or ArrayIntInt.
+  Le, ///< Integer <=.
+  Lt, ///< Integer <.
+  // Formulas.
+  True,
+  False,
+  Not,
+  And,    ///< N-ary conjunction.
+  Or,     ///< N-ary disjunction.
+  Forall, ///< Ops[0] = bound Int variable, Ops[1] = body.
+};
+
+/// \returns a human-readable kind name (for diagnostics).
+const char *termKindName(TermKind K);
+
+class TermManager;
+
+/// An immutable term node. Instances are created and uniqued exclusively by
+/// \c TermManager; clients hold `const Term *` and may compare by pointer.
+class Term {
+public:
+  TermKind kind() const { return Kind; }
+  Sort sort() const { return TermSort; }
+  /// Creation index; use for deterministic ordering.
+  uint32_t id() const { return Id; }
+
+  /// Constant value; valid only for IntConst.
+  const Rational &value() const {
+    assert(Kind == TermKind::IntConst && "value() on non-constant");
+    return Value;
+  }
+  /// Variable or function-symbol name; valid for Var and Apply.
+  const std::string &name() const {
+    assert((Kind == TermKind::Var || Kind == TermKind::Apply) &&
+           "name() on unnamed term");
+    return Name;
+  }
+
+  const std::vector<const Term *> &operands() const { return Ops; }
+  const Term *operand(size_t I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  size_t numOperands() const { return Ops.size(); }
+
+  bool isBool() const { return TermSort == Sort::Bool; }
+  bool isInt() const { return TermSort == Sort::Int; }
+  bool isArray() const { return TermSort == Sort::ArrayIntInt; }
+  bool isVar() const { return Kind == TermKind::Var; }
+  bool isIntConst() const { return Kind == TermKind::IntConst; }
+  bool isTrue() const { return Kind == TermKind::True; }
+  bool isFalse() const { return Kind == TermKind::False; }
+  /// \returns true for relational atoms Eq/Le/Lt.
+  bool isAtom() const {
+    return Kind == TermKind::Eq || Kind == TermKind::Le ||
+           Kind == TermKind::Lt;
+  }
+  /// \returns true for atoms or their negations (the literals of
+  /// predicate abstraction).
+  bool isLiteral() const {
+    return isAtom() || (Kind == TermKind::Not && Ops[0]->isAtom());
+  }
+
+private:
+  friend class TermManager;
+  Term() = default;
+
+  TermKind Kind = TermKind::True;
+  Sort TermSort = Sort::Bool;
+  uint32_t Id = 0;
+  Rational Value;
+  std::string Name;
+  std::vector<const Term *> Ops;
+};
+
+/// Comparator giving a deterministic (creation-order) total order on terms.
+struct TermIdLess {
+  bool operator()(const Term *A, const Term *B) const {
+    return A->id() < B->id();
+  }
+};
+
+/// Owner, uniquer, and factory for terms.
+///
+/// All `mk*` functions perform light local simplification (constant folding,
+/// flattening of And/Or/Add, involution of Not) so that trivially equal
+/// formulas are pointer-equal. Deep canonicalization of linear atoms lives
+/// in LinearExpr.
+class TermManager {
+public:
+  TermManager();
+  TermManager(const TermManager &) = delete;
+  TermManager &operator=(const TermManager &) = delete;
+  ~TermManager();
+
+  // --- Leaves ---------------------------------------------------------
+
+  const Term *mkTrue() { return TrueTerm; }
+  const Term *mkFalse() { return FalseTerm; }
+  const Term *mkBool(bool B) { return B ? TrueTerm : FalseTerm; }
+  const Term *mkIntConst(Rational Value);
+  const Term *mkIntConst(int64_t Value) { return mkIntConst(Rational(Value)); }
+  const Term *mkVar(std::string_view Name, Sort S);
+
+  // --- Integer terms --------------------------------------------------
+
+  /// N-ary addition; flattens nested Add and folds constants.
+  const Term *mkAdd(std::vector<const Term *> Ops);
+  const Term *mkAdd(const Term *A, const Term *B) { return mkAdd({A, B}); }
+  const Term *mkSub(const Term *A, const Term *B);
+  const Term *mkNeg(const Term *A);
+  /// Binary multiplication; folds constants and orders a constant first.
+  const Term *mkMul(const Term *A, const Term *B);
+  const Term *mkMul(const Rational &Coeff, const Term *A) {
+    return mkMul(mkIntConst(Coeff), A);
+  }
+
+  // --- Arrays and uninterpreted functions ------------------------------
+
+  const Term *mkSelect(const Term *Array, const Term *Index);
+  const Term *mkStore(const Term *Array, const Term *Index, const Term *Value);
+  const Term *mkApply(std::string_view Function,
+                      std::vector<const Term *> Args, Sort ResultSort);
+
+  // --- Atoms ------------------------------------------------------------
+
+  const Term *mkEq(const Term *A, const Term *B);
+  const Term *mkLe(const Term *A, const Term *B);
+  const Term *mkLt(const Term *A, const Term *B);
+  const Term *mkGe(const Term *A, const Term *B) { return mkLe(B, A); }
+  const Term *mkGt(const Term *A, const Term *B) { return mkLt(B, A); }
+  /// Disequality; represented as Not(Eq).
+  const Term *mkNe(const Term *A, const Term *B) { return mkNot(mkEq(A, B)); }
+
+  // --- Formulas ---------------------------------------------------------
+
+  /// Negation. Pushes through constants, eliminates double negation, and
+  /// flips strict/non-strict inequalities (&not;(a<=b) becomes b<a).
+  const Term *mkNot(const Term *A);
+  /// N-ary conjunction; flattens, deduplicates, simplifies units.
+  const Term *mkAnd(std::vector<const Term *> Ops);
+  const Term *mkAnd(const Term *A, const Term *B) { return mkAnd({A, B}); }
+  /// N-ary disjunction; flattens, deduplicates, simplifies units.
+  const Term *mkOr(std::vector<const Term *> Ops);
+  const Term *mkOr(const Term *A, const Term *B) { return mkOr({A, B}); }
+  const Term *mkImplies(const Term *A, const Term *B) {
+    return mkOr(mkNot(A), B);
+  }
+  const Term *mkIff(const Term *A, const Term *B);
+  /// Universal quantification over an Int-sorted bound variable.
+  const Term *mkForall(const Term *BoundVar, const Term *Body);
+
+  /// \returns total number of distinct terms created (diagnostics).
+  size_t numTerms() const { return AllTerms.size(); }
+
+private:
+  const Term *intern(TermKind K, Sort S, Rational Value, std::string Name,
+                     std::vector<const Term *> Ops);
+
+  struct KeyHash;
+  struct KeyEq;
+
+  std::vector<std::unique_ptr<Term>> AllTerms;
+  // Uniquing table from structural content to the canonical node. The key
+  // indexes into AllTerms to avoid storing duplicate structures.
+  std::unordered_map<size_t, std::vector<const Term *>> UniqueTable;
+  const Term *TrueTerm = nullptr;
+  const Term *FalseTerm = nullptr;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_LOGIC_TERM_H

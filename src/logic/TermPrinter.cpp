@@ -1,0 +1,201 @@
+//===- logic/TermPrinter.cpp - Human-readable term rendering -------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/TermPrinter.h"
+
+using namespace pathinv;
+
+namespace {
+
+// Precedence levels, loosest to tightest. A child is parenthesized when its
+// level is strictly looser than its context requires.
+enum Prec : int {
+  PrecForall = 0,
+  PrecOr = 1,
+  PrecAnd = 2,
+  PrecNot = 3,
+  PrecRel = 4,
+  PrecAdd = 5,
+  PrecMul = 6,
+  PrecUnary = 7,
+  PrecPrimary = 8,
+};
+
+int termPrec(const Term *T) {
+  switch (T->kind()) {
+  case TermKind::Forall:
+    return PrecForall;
+  case TermKind::Or:
+    return PrecOr;
+  case TermKind::And:
+    return PrecAnd;
+  case TermKind::Not:
+    return PrecNot;
+  case TermKind::Eq:
+  case TermKind::Le:
+  case TermKind::Lt:
+    return PrecRel;
+  case TermKind::Add:
+    return PrecAdd;
+  case TermKind::Mul:
+    return PrecMul;
+  default:
+    return PrecPrimary;
+  }
+}
+
+void print(const Term *T, int Context, std::string &Out);
+
+void printParen(const Term *T, int Context, std::string &Out) {
+  bool Paren = termPrec(T) < Context;
+  if (Paren)
+    Out += "(";
+  print(T, Paren ? PrecForall : Context, Out);
+  if (Paren)
+    Out += ")";
+}
+
+void printNary(const Term *T, const char *Sep, int ChildPrec,
+               std::string &Out) {
+  bool First = true;
+  for (const Term *Op : T->operands()) {
+    if (!First)
+      Out += Sep;
+    First = false;
+    printParen(Op, ChildPrec, Out);
+  }
+}
+
+void print(const Term *T, int Context, std::string &Out) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    if (T->value().isNegative() && Context > PrecAdd) {
+      Out += "(" + T->value().toString() + ")";
+    } else {
+      Out += T->value().toString();
+    }
+    return;
+  case TermKind::Var:
+    Out += T->name();
+    return;
+  case TermKind::Add: {
+    bool First = true;
+    for (const Term *Op : T->operands()) {
+      // Render negative summands with a minus sign.
+      Rational Coeff(1);
+      const Term *Body = Op;
+      if (Op->kind() == TermKind::Mul && Op->operand(0)->isIntConst()) {
+        Coeff = Op->operand(0)->value();
+        Body = Op->operand(1);
+      } else if (Op->isIntConst()) {
+        Coeff = Op->value();
+        Body = nullptr;
+      }
+      bool Negative = Coeff.isNegative();
+      if (First)
+        Out += Negative ? "-" : "";
+      else
+        Out += Negative ? " - " : " + ";
+      First = false;
+      Rational AbsCoeff = Coeff.abs();
+      if (!Body) {
+        Out += AbsCoeff.toString();
+        continue;
+      }
+      if (!AbsCoeff.isOne())
+        Out += AbsCoeff.toString() + "*";
+      printParen(Body, PrecMul + 1, Out);
+    }
+    return;
+  }
+  case TermKind::Mul:
+    printParen(T->operand(0), PrecMul, Out);
+    Out += "*";
+    printParen(T->operand(1), PrecMul + 1, Out);
+    return;
+  case TermKind::Select:
+    printParen(T->operand(0), PrecPrimary, Out);
+    Out += "[";
+    print(T->operand(1), PrecForall, Out);
+    Out += "]";
+    return;
+  case TermKind::Store:
+    printParen(T->operand(0), PrecPrimary, Out);
+    Out += "{";
+    print(T->operand(1), PrecForall, Out);
+    Out += " := ";
+    print(T->operand(2), PrecForall, Out);
+    Out += "}";
+    return;
+  case TermKind::Apply: {
+    Out += T->name();
+    Out += "(";
+    bool First = true;
+    for (const Term *Op : T->operands()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      print(Op, PrecForall, Out);
+    }
+    Out += ")";
+    return;
+  }
+  case TermKind::Eq:
+    printParen(T->operand(0), PrecAdd, Out);
+    Out += " = ";
+    printParen(T->operand(1), PrecAdd, Out);
+    return;
+  case TermKind::Le:
+    printParen(T->operand(0), PrecAdd, Out);
+    Out += " <= ";
+    printParen(T->operand(1), PrecAdd, Out);
+    return;
+  case TermKind::Lt:
+    printParen(T->operand(0), PrecAdd, Out);
+    Out += " < ";
+    printParen(T->operand(1), PrecAdd, Out);
+    return;
+  case TermKind::True:
+    Out += "true";
+    return;
+  case TermKind::False:
+    Out += "false";
+    return;
+  case TermKind::Not:
+    // Render !(a = b) as a != b.
+    if (T->operand(0)->kind() == TermKind::Eq) {
+      const Term *Eq = T->operand(0);
+      printParen(Eq->operand(0), PrecAdd, Out);
+      Out += " != ";
+      printParen(Eq->operand(1), PrecAdd, Out);
+      return;
+    }
+    Out += "!";
+    printParen(T->operand(0), PrecNot, Out);
+    return;
+  case TermKind::And:
+    printNary(T, " && ", PrecAnd + 1, Out);
+    return;
+  case TermKind::Or:
+    printNary(T, " || ", PrecOr + 1, Out);
+    return;
+  case TermKind::Forall:
+    Out += "forall ";
+    Out += T->operand(0)->name();
+    Out += ". ";
+    print(T->operand(1), PrecForall, Out);
+    return;
+  }
+  assert(false && "unknown term kind");
+}
+
+} // namespace
+
+std::string pathinv::printTerm(const Term *T) {
+  std::string Out;
+  print(T, PrecForall, Out);
+  return Out;
+}

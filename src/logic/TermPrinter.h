@@ -1,0 +1,28 @@
+//===- logic/TermPrinter.h - Human-readable term rendering -----*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Infix pretty-printer for terms and formulas, matching the notation used
+/// in the paper: `a + b = 3*i && i <= n`, `forall k. 0 <= k && k <= i - 1 ->
+/// a[k] = 0`, array updates as `a{i := 0}`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LOGIC_TERMPRINTER_H
+#define PATHINV_LOGIC_TERMPRINTER_H
+
+#include "logic/Term.h"
+
+#include <string>
+
+namespace pathinv {
+
+/// Renders \p T as an infix string with minimal parentheses.
+std::string printTerm(const Term *T);
+
+} // namespace pathinv
+
+#endif // PATHINV_LOGIC_TERMPRINTER_H

@@ -1,0 +1,204 @@
+//===- logic/TermRewrite.cpp - Substitution and term traversal -----------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/TermRewrite.h"
+
+using namespace pathinv;
+
+namespace {
+
+/// Memoized bottom-up rewriter. Rebuild() is applied to leaves; interior
+/// nodes are reconstructed through TermManager so simplifications re-fire.
+class Rewriter {
+public:
+  Rewriter(TermManager &TM,
+           std::function<const Term *(const Term *)> RewriteLeaf)
+      : TM(TM), RewriteLeaf(std::move(RewriteLeaf)) {}
+
+  const Term *visit(const Term *T) {
+    auto It = Cache.find(T);
+    if (It != Cache.end())
+      return It->second;
+    const Term *Result = visitUncached(T);
+    Cache[T] = Result;
+    return Result;
+  }
+
+private:
+  const Term *visitUncached(const Term *T) {
+    // Give the callback first shot at any node (enables whole-subterm
+    // substitution, e.g. replacing a[i] by a fresh variable).
+    if (const Term *Replacement = RewriteLeaf(T))
+      return Replacement;
+
+    switch (T->kind()) {
+    case TermKind::IntConst:
+    case TermKind::Var:
+    case TermKind::True:
+    case TermKind::False:
+      return T;
+    case TermKind::Forall: {
+      // The bound variable shadows rewrites of itself inside the body.
+      const Term *Bound = T->operand(0);
+      Rewriter Inner(TM, [&](const Term *Sub) -> const Term * {
+        if (Sub == Bound)
+          return Bound;
+        return RewriteLeaf(Sub);
+      });
+      const Term *NewBody = Inner.visit(T->operand(1));
+      if (NewBody == T->operand(1))
+        return T;
+      return TM.mkForall(Bound, NewBody);
+    }
+    default:
+      break;
+    }
+
+    std::vector<const Term *> NewOps;
+    NewOps.reserve(T->numOperands());
+    bool Changed = false;
+    for (const Term *Op : T->operands()) {
+      const Term *NewOp = visit(Op);
+      Changed |= NewOp != Op;
+      NewOps.push_back(NewOp);
+    }
+    if (!Changed)
+      return T;
+    return rebuild(T, std::move(NewOps));
+  }
+
+  const Term *rebuild(const Term *T, std::vector<const Term *> Ops) {
+    switch (T->kind()) {
+    case TermKind::Add:
+      return TM.mkAdd(std::move(Ops));
+    case TermKind::Mul:
+      return TM.mkMul(Ops[0], Ops[1]);
+    case TermKind::Select:
+      return TM.mkSelect(Ops[0], Ops[1]);
+    case TermKind::Store:
+      return TM.mkStore(Ops[0], Ops[1], Ops[2]);
+    case TermKind::Apply:
+      return TM.mkApply(T->name(), std::move(Ops), T->sort());
+    case TermKind::Eq:
+      return TM.mkEq(Ops[0], Ops[1]);
+    case TermKind::Le:
+      return TM.mkLe(Ops[0], Ops[1]);
+    case TermKind::Lt:
+      return TM.mkLt(Ops[0], Ops[1]);
+    case TermKind::Not:
+      return TM.mkNot(Ops[0]);
+    case TermKind::And:
+      return TM.mkAnd(std::move(Ops));
+    case TermKind::Or:
+      return TM.mkOr(std::move(Ops));
+    default:
+      assert(false && "unexpected term kind in rebuild");
+      return T;
+    }
+  }
+
+  TermManager &TM;
+  std::function<const Term *(const Term *)> RewriteLeaf;
+  std::map<const Term *, const Term *, TermIdLess> Cache;
+};
+
+} // namespace
+
+const Term *pathinv::substitute(TermManager &TM, const Term *T,
+                                const TermMap &Subst) {
+  if (Subst.empty())
+    return T;
+  Rewriter R(TM, [&Subst](const Term *Node) -> const Term * {
+    auto It = Subst.find(Node);
+    return It == Subst.end() ? nullptr : It->second;
+  });
+  return R.visit(T);
+}
+
+const Term *pathinv::renameVars(
+    TermManager &TM, const Term *T,
+    const std::function<const Term *(const Term *)> &Rename) {
+  Rewriter R(TM, [&Rename](const Term *Node) -> const Term * {
+    if (!Node->isVar())
+      return nullptr;
+    return Rename(Node);
+  });
+  return R.visit(T);
+}
+
+namespace {
+
+/// Generic traversal collecting nodes matching a predicate; tracks bound
+/// variables so they can be excluded from free-variable collection.
+void traverse(const Term *T, TermSet &Bound,
+              const std::function<void(const Term *, const TermSet &)> &Fn) {
+  Fn(T, Bound);
+  if (T->kind() == TermKind::Forall) {
+    const Term *Var = T->operand(0);
+    bool Inserted = Bound.insert(Var).second;
+    traverse(T->operand(1), Bound, Fn);
+    if (Inserted)
+      Bound.erase(Var);
+    return;
+  }
+  for (const Term *Op : T->operands())
+    traverse(Op, Bound, Fn);
+}
+
+} // namespace
+
+void pathinv::collectFreeVars(const Term *T, TermSet &Out) {
+  TermSet Bound;
+  traverse(T, Bound, [&Out](const Term *Node, const TermSet &BoundNow) {
+    if (Node->isVar() && !BoundNow.count(Node))
+      Out.insert(Node);
+  });
+}
+
+void pathinv::collectAtoms(const Term *T, TermSet &Out) {
+  TermSet Bound;
+  traverse(T, Bound, [&Out](const Term *Node, const TermSet &) {
+    if (Node->isAtom())
+      Out.insert(Node);
+  });
+}
+
+void pathinv::collectSelects(const Term *T, TermSet &Out) {
+  TermSet Bound;
+  traverse(T, Bound, [&Out](const Term *Node, const TermSet &) {
+    if (Node->kind() == TermKind::Select)
+      Out.insert(Node);
+  });
+}
+
+bool pathinv::containsQuantifier(const Term *T) {
+  if (T->kind() == TermKind::Forall)
+    return true;
+  for (const Term *Op : T->operands())
+    if (containsQuantifier(Op))
+      return true;
+  return false;
+}
+
+bool pathinv::containsStore(const Term *T) {
+  if (T->kind() == TermKind::Store)
+    return true;
+  for (const Term *Op : T->operands())
+    if (containsStore(Op))
+      return true;
+  return false;
+}
+
+void pathinv::flattenConjuncts(const Term *T, std::vector<const Term *> &Out) {
+  if (T->kind() == TermKind::And) {
+    for (const Term *Op : T->operands())
+      flattenConjuncts(Op, Out);
+    return;
+  }
+  if (T->isTrue())
+    return;
+  Out.push_back(T);
+}

@@ -1,0 +1,61 @@
+//===- logic/TermRewrite.h - Substitution and term traversal ---*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural rewriting over terms: substitution, variable renaming (for
+/// priming and SSA indexing of path formulas), and free-symbol collection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LOGIC_TERMREWRITE_H
+#define PATHINV_LOGIC_TERMREWRITE_H
+
+#include "logic/Term.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+namespace pathinv {
+
+/// Deterministically ordered term set/map aliases used across the analyses.
+using TermSet = std::set<const Term *, TermIdLess>;
+using TermMap = std::map<const Term *, const Term *, TermIdLess>;
+
+/// Replaces every occurrence of a key of \p Subst (any subterm, not only
+/// variables) by its image, bottom-up. Quantified bound variables shadow
+/// substitution keys of the same term.
+const Term *substitute(TermManager &TM, const Term *T, const TermMap &Subst);
+
+/// Renames free variables via the callback. Returning nullptr keeps the
+/// variable unchanged. Bound variables are never renamed.
+const Term *
+renameVars(TermManager &TM, const Term *T,
+           const std::function<const Term *(const Term *)> &Rename);
+
+/// Collects the free variables of \p T (bound variables excluded) into
+/// \p Out.
+void collectFreeVars(const Term *T, TermSet &Out);
+
+/// Collects all relational atoms (Eq/Le/Lt nodes) occurring in \p T.
+void collectAtoms(const Term *T, TermSet &Out);
+
+/// Collects all array-read terms a[i] occurring in \p T.
+void collectSelects(const Term *T, TermSet &Out);
+
+/// \returns true if \p T contains a quantifier.
+bool containsQuantifier(const Term *T);
+
+/// \returns true if \p T contains a Store node.
+bool containsStore(const Term *T);
+
+/// Conjunctive decomposition: pushes the conjuncts of a (possibly nested)
+/// conjunction into \p Out; a non-And term is emitted as a single conjunct.
+void flattenConjuncts(const Term *T, std::vector<const Term *> &Out);
+
+} // namespace pathinv
+
+#endif // PATHINV_LOGIC_TERMREWRITE_H

@@ -1,0 +1,202 @@
+//===- pathprog/PathProgram.cpp - Path program construction ---------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pathprog/PathProgram.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace pathinv;
+
+namespace {
+
+/// Dominator sets on the location graph spanned by the path's transitions,
+/// by the classic iterative dataflow (the graphs here are tiny).
+std::map<LocId, std::set<LocId>>
+computeDominators(const std::set<LocId> &Nodes,
+                  const std::map<LocId, std::set<LocId>> &Preds,
+                  LocId Entry) {
+  std::map<LocId, std::set<LocId>> Dom;
+  for (LocId N : Nodes)
+    Dom[N] = (N == Entry) ? std::set<LocId>{Entry} : Nodes;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (LocId N : Nodes) {
+      if (N == Entry)
+        continue;
+      std::set<LocId> NewDom = Nodes;
+      auto PredIt = Preds.find(N);
+      if (PredIt != Preds.end() && !PredIt->second.empty()) {
+        bool First = true;
+        for (LocId Pred : PredIt->second) {
+          if (First) {
+            NewDom = Dom[Pred];
+            First = false;
+          } else {
+            std::set<LocId> Inter;
+            std::set_intersection(NewDom.begin(), NewDom.end(),
+                                  Dom[Pred].begin(), Dom[Pred].end(),
+                                  std::inserter(Inter, Inter.begin()));
+            NewDom = std::move(Inter);
+          }
+        }
+      } else {
+        NewDom.clear(); // Unreachable from entry.
+      }
+      NewDom.insert(N);
+      if (NewDom != Dom[N]) {
+        Dom[N] = std::move(NewDom);
+        Changed = true;
+      }
+    }
+  }
+  return Dom;
+}
+
+} // namespace
+
+std::vector<PathBlock> pathinv::computePathBlocks(const Program &P,
+                                                  const Path &Pi) {
+  // The path graph: locations and (deduplicated) transitions of pi.
+  std::set<LocId> Nodes;
+  std::set<std::pair<LocId, LocId>> Edges;
+  std::map<LocId, std::set<LocId>> Preds;
+  for (int TransIdx : Pi) {
+    const Transition &T = P.transition(TransIdx);
+    Nodes.insert(T.From);
+    Nodes.insert(T.To);
+    if (Edges.insert({T.From, T.To}).second)
+      Preds[T.To].insert(T.From);
+  }
+  if (Nodes.empty())
+    return {};
+  LocId Entry = P.transition(Pi.front()).From;
+
+  auto Dom = computeDominators(Nodes, Preds, Entry);
+
+  // Back edges u -> h with h in Dom(u); natural loop of (u, h) = h plus
+  // everything reaching u without passing h. Loops sharing a header merge.
+  std::map<LocId, PathBlock> ByHeader;
+  for (const auto &[From, To] : Edges) {
+    if (!Dom[From].count(To))
+      continue; // Not a back edge.
+    LocId Header = To;
+    PathBlock &Block = ByHeader[Header];
+    Block.Header = Header;
+    Block.Members.insert(Header);
+    // Backward reachability from `From`, stopping at the header.
+    std::vector<LocId> Work;
+    if (Block.Members.insert(From).second)
+      Work.push_back(From);
+    while (!Work.empty()) {
+      LocId Cur = Work.back();
+      Work.pop_back();
+      auto PredIt = Preds.find(Cur);
+      if (PredIt == Preds.end())
+        continue;
+      for (LocId Pred : PredIt->second)
+        if (Block.Members.insert(Pred).second)
+          Work.push_back(Pred);
+    }
+  }
+
+  std::vector<PathBlock> Blocks;
+  for (auto &[Header, Block] : ByHeader)
+    Blocks.push_back(std::move(Block));
+  // Outermost (largest) first, deterministically.
+  std::sort(Blocks.begin(), Blocks.end(),
+            [](const PathBlock &A, const PathBlock &B) {
+              if (A.Members.size() != B.Members.size())
+                return A.Members.size() > B.Members.size();
+              return A.Header < B.Header;
+            });
+  return Blocks;
+}
+
+std::vector<LocId> PathProgram::copiesOf(LocId Orig) const {
+  std::vector<LocId> Result;
+  for (size_t I = 0; I < LocInfo.size(); ++I)
+    if (LocInfo[I].OrigLoc == Orig)
+      Result.push_back(static_cast<LocId>(I));
+  return Result;
+}
+
+PathProgram pathinv::buildPathProgram(const Program &P, const Path &Pi) {
+  assert(!Pi.empty() && "empty error path");
+  assert(isWellFormedPath(P, Pi) && "malformed error path");
+  assert(P.transition(Pi.back()).To == P.error() &&
+         "path program requires an error path");
+  TermManager &TM = P.termManager();
+
+  std::vector<PathBlock> Blocks = computePathBlocks(P, Pi);
+
+  PathProgram Result{Program(TM, P.variables())};
+  Program &PP = Result.Prog;
+  Result.Blocks = Blocks;
+
+  int K = static_cast<int>(Pi.size());
+  // Location sequence l_0 ... l_K of the path.
+  std::vector<LocId> Seq(K + 1);
+  Seq[0] = P.transition(Pi[0]).From;
+  for (int I = 0; I < K; ++I)
+    Seq[I + 1] = P.transition(Pi[I]).To;
+
+  auto newLoc = [&](LocId Orig, int Pos, bool Hat) {
+    LocId L = PP.addLocation((Hat ? "^" : "") + P.locationName(Orig) + "," +
+                             std::to_string(Pos));
+    Result.LocInfo.push_back({Orig, Pos, Hat});
+    return L;
+  };
+
+  // Plain copies (l_i, i).
+  std::vector<LocId> Plain(K + 1);
+  for (int I = 0; I <= K; ++I)
+    Plain[I] = newLoc(Seq[I], I, /*Hat=*/false);
+  PP.setEntry(Plain[0]);
+  PP.setError(Plain[K]);
+
+  // Path transitions.
+  for (int I = 0; I < K; ++I) {
+    const Transition &T = P.transition(Pi[I]);
+    PP.addTransition(Plain[I], T.Rel, Plain[I + 1], T.Label);
+  }
+
+  // Deduplicated transition set T.pi for intra-block copies.
+  std::set<int> TransSet(Pi.begin(), Pi.end());
+
+  // Hat copies at block exits.
+  const Term *Skip = PP.mkSkip();
+  for (int I = 0; I < K; ++I) {
+    const PathBlock *Exited = nullptr;
+    for (const PathBlock &B : Blocks) {
+      if (B.Members.count(Seq[I]) && !B.Members.count(Seq[I + 1])) {
+        Exited = &B; // Blocks are sorted outermost-first: first hit is
+        break;       // the maximal exited block.
+      }
+    }
+    if (!Exited)
+      continue;
+
+    // Hat copies of every block member at this position.
+    std::map<LocId, LocId> HatOf;
+    for (LocId Member : Exited->Members)
+      HatOf[Member] = newLoc(Member, I, /*Hat=*/true);
+
+    // (l_i, i) <-> (l^_i, i) identity bridges.
+    PP.addTransition(Plain[I], Skip, HatOf[Seq[I]], "enter-block");
+    PP.addTransition(HatOf[Seq[I]], Skip, Plain[I], "exit-block");
+
+    // All of pi's intra-block transitions among the hats.
+    for (int TransIdx : TransSet) {
+      const Transition &T = P.transition(TransIdx);
+      if (Exited->Members.count(T.From) && Exited->Members.count(T.To))
+        PP.addTransition(HatOf[T.From], T.Rel, HatOf[T.To], T.Label);
+    }
+  }
+
+  return Result;
+}

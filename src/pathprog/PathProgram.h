@@ -1,0 +1,82 @@
+//===- pathprog/PathProgram.h - Path program construction ------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Path programs per Section 3 of the paper.
+///
+/// Given a program P and an error path pi, the path program P[pi] is a new
+/// program over the same variables whose locations are positioned copies
+/// (l, i) of the path's locations plus "hat" copies (l^, i) added at every
+/// position where pi exits a nested block: the hats let executions re-enter
+/// the block and iterate its transitions arbitrarily often. P[pi] thus
+/// represents pi together with every loop unwinding of pi — the family of
+/// counterexamples that one path-invariant refinement eliminates at once.
+///
+/// Blocks.pi is computed as the natural loops of the control-flow graph
+/// formed by pi's transitions (back edges found via dominators), which
+/// reproduces the nested blocks B1 = {l0, l1, l2}, B2 = {l1, l2} of the
+/// worked example in Section 3.
+///
+/// Note: the formal construction adds hat copies at *every* block-exit
+/// position. The paper's worked example lists hats only at the first exit
+/// of each block (17 transitions); the formal rule also yields hats at the
+/// repeated exit (position 5), which strictly enlarges the represented
+/// counterexample family. We implement the formal rule; the integration
+/// test checks both that the 17 listed transitions are present and that
+/// the extra exit is covered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_PATHPROG_PATHPROGRAM_H
+#define PATHINV_PATHPROG_PATHPROGRAM_H
+
+#include "program/PathFormula.h"
+#include "program/Program.h"
+
+#include <set>
+
+namespace pathinv {
+
+/// A nested block of a path: a set of locations forming a natural loop
+/// (union of natural loops sharing the header).
+struct PathBlock {
+  LocId Header = -1;
+  std::set<LocId> Members;
+};
+
+/// Computes Blocks.pi: the nested blocks of the CFG spanned by the path's
+/// transitions, as natural loops.
+std::vector<PathBlock> computePathBlocks(const Program &P, const Path &Pi);
+
+/// Provenance of a path-program location.
+struct PathLocInfo {
+  LocId OrigLoc = -1;   ///< Location of the original program.
+  int Position = -1;    ///< Path position i of the copy (l, i).
+  bool IsHat = false;   ///< True for the block-iteration copies (l^, i).
+};
+
+/// A constructed path program with provenance maps.
+struct PathProgram {
+  Program Prog;
+  /// Per path-program location: where it came from.
+  std::vector<PathLocInfo> LocInfo;
+  /// The blocks that were used during construction.
+  std::vector<PathBlock> Blocks;
+
+  explicit PathProgram(Program Prog) : Prog(std::move(Prog)) {}
+
+  /// All path-program locations (plain and hat copies) projecting to
+  /// original location \p Orig.
+  std::vector<LocId> copiesOf(LocId Orig) const;
+};
+
+/// Builds P[pi] for error path \p Pi (a transition-index sequence ending at
+/// the error location).
+PathProgram buildPathProgram(const Program &P, const Path &Pi);
+
+} // namespace pathinv
+
+#endif // PATHINV_PATHPROG_PATHPROGRAM_H

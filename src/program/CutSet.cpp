@@ -1,0 +1,128 @@
+//===- program/CutSet.cpp - Cutpoint computation --------------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/CutSet.h"
+
+#include <functional>
+
+using namespace pathinv;
+
+std::set<LocId> pathinv::computeCutSet(const Program &P) {
+  std::set<LocId> Cuts;
+  if (P.entry() >= 0)
+    Cuts.insert(P.entry());
+  if (P.error() >= 0)
+    Cuts.insert(P.error());
+
+  // Iterative DFS marking gray (on stack) / black; a gray target is a back
+  // edge, and its target cuts every cycle through it.
+  enum Color : uint8_t { White, Gray, Black };
+  std::vector<Color> Colors(P.numLocations(), White);
+  struct Frame {
+    LocId Loc;
+    size_t NextSucc;
+  };
+  std::vector<Frame> Stack;
+  if (P.entry() < 0)
+    return Cuts;
+  Stack.push_back({P.entry(), 0});
+  Colors[P.entry()] = Gray;
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const auto &Succs = P.successorsOf(Top.Loc);
+    if (Top.NextSucc >= Succs.size()) {
+      Colors[Top.Loc] = Black;
+      Stack.pop_back();
+      continue;
+    }
+    LocId Next = P.transition(Succs[Top.NextSucc++]).To;
+    if (Colors[Next] == Gray) {
+      Cuts.insert(Next); // Back edge.
+    } else if (Colors[Next] == White) {
+      Colors[Next] = Gray;
+      Stack.push_back({Next, 0});
+    }
+  }
+
+  // Greedy minimization: drop cutpoints whose removal still cuts every
+  // cycle. Path programs profit: the identity bridges into hat copies
+  // create two-location cycles whose both endpoints the DFS marks, but a
+  // single one suffices — and every template location multiplies the
+  // synthesis search space.
+  for (auto It = Cuts.begin(); It != Cuts.end();) {
+    if (*It == P.entry() || *It == P.error()) {
+      ++It;
+      continue;
+    }
+    std::set<LocId> Without = Cuts;
+    Without.erase(*It);
+    if (isCutSet(P, Without)) {
+      It = Cuts.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  return Cuts;
+}
+
+bool pathinv::isCutSet(const Program &P, const std::set<LocId> &Cuts) {
+  // A cycle avoids Cuts iff the subgraph induced by the non-cut locations
+  // has a cycle; detect with a coloring DFS over that subgraph.
+  enum Color : uint8_t { White, Gray, Black };
+  std::vector<Color> Colors(P.numLocations(), White);
+  std::function<bool(LocId)> HasCycle = [&](LocId Loc) {
+    Colors[Loc] = Gray;
+    for (int TransIdx : P.successorsOf(Loc)) {
+      LocId Next = P.transition(TransIdx).To;
+      if (Cuts.count(Next))
+        continue;
+      if (Colors[Next] == Gray)
+        return true;
+      if (Colors[Next] == White && HasCycle(Next))
+        return true;
+    }
+    Colors[Loc] = Black;
+    return false;
+  };
+  for (LocId Loc = 0; Loc < P.numLocations(); ++Loc)
+    if (!Cuts.count(Loc) && Colors[Loc] == White && HasCycle(Loc))
+      return false;
+  return true;
+}
+
+namespace {
+
+void enumeratePaths(const Program &P, const std::set<LocId> &Cuts,
+                    LocId Loc, std::vector<int> &Prefix,
+                    std::vector<std::vector<int>> &Out, size_t MaxPaths) {
+  for (int TransIdx : P.successorsOf(Loc)) {
+    assert(Out.size() < MaxPaths && "cut-to-cut path explosion");
+    const Transition &T = P.transition(TransIdx);
+    Prefix.push_back(TransIdx);
+    if (Cuts.count(T.To) || P.successorsOf(T.To).empty()) {
+      // A segment ends at a cutpoint or at a terminal location (the
+      // latter yields vacuous consecution obligations but keeps every
+      // transition covered by some segment).
+      Out.push_back(Prefix);
+    } else {
+      enumeratePaths(P, Cuts, T.To, Prefix, Out, MaxPaths);
+    }
+    Prefix.pop_back();
+  }
+}
+
+} // namespace
+
+std::vector<std::vector<int>>
+pathinv::cutToCutPaths(const Program &P, const std::set<LocId> &Cuts,
+                       size_t MaxPaths) {
+  std::vector<std::vector<int>> Out;
+  std::vector<int> Prefix;
+  for (LocId Cut : Cuts) {
+    enumeratePaths(P, Cuts, Cut, Prefix, Out, MaxPaths);
+  }
+  return Out;
+}

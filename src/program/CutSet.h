@@ -1,0 +1,44 @@
+//===- program/CutSet.h - Cutpoint computation -----------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cutsets per the efficiency remark of Section 3: "a set of program
+/// locations such that every syntactic cycle in the CFG passes through
+/// some location in the cutset." Invariant templates are placed only at
+/// cutpoints; invariants elsewhere follow by strongest postconditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_PROGRAM_CUTSET_H
+#define PATHINV_PROGRAM_CUTSET_H
+
+#include "program/Program.h"
+
+#include <set>
+#include <vector>
+
+namespace pathinv {
+
+/// Computes a cutset of \p P: the targets of DFS back edges (every cycle
+/// contains a back edge, so this hits every cycle). The entry and error
+/// locations are always included for convenience of invariant maps.
+std::set<LocId> computeCutSet(const Program &P);
+
+/// \returns true if every syntactic cycle of \p P passes through some
+/// location of \p Cuts (the defining property of a cutset, Section 3).
+bool isCutSet(const Program &P, const std::set<LocId> &Cuts);
+
+/// Enumerates the simple "cut-to-cut" paths of \p P: paths that start at a
+/// location in \p Cuts, end at a location in \p Cuts, and have no interior
+/// cutpoint. Each returned vector holds transition indices. \p MaxPaths
+/// bounds the enumeration (asserts if exceeded — path programs are small).
+std::vector<std::vector<int>> cutToCutPaths(const Program &P,
+                                            const std::set<LocId> &Cuts,
+                                            size_t MaxPaths = 4096);
+
+} // namespace pathinv
+
+#endif // PATHINV_PROGRAM_CUTSET_H

@@ -1,0 +1,57 @@
+//===- program/PathFormula.cpp - SSA path formulas ------------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/PathFormula.h"
+
+using namespace pathinv;
+
+bool pathinv::isWellFormedPath(const Program &P, const Path &Steps) {
+  if (Steps.empty())
+    return true;
+  if (P.transition(Steps[0]).From != P.entry())
+    return false;
+  for (size_t I = 0; I + 1 < Steps.size(); ++I)
+    if (P.transition(Steps[I]).To != P.transition(Steps[I + 1]).From)
+      return false;
+  return true;
+}
+
+PathFormula pathinv::buildPathFormula(const Program &P, const Path &Steps) {
+#ifndef NDEBUG
+  // The formula is meaningful for any connected transition sequence (cut-
+  // to-cut segments included), not only paths from the entry.
+  for (size_t I = 0; I + 1 < Steps.size(); ++I)
+    assert(P.transition(Steps[I]).To == P.transition(Steps[I + 1]).From &&
+           "disconnected transition sequence");
+#endif
+  TermManager &TM = P.termManager();
+  PathFormula Result;
+
+  TermMap Current;
+  for (const Term *Var : P.variables())
+    Current[Var] = ssaVar(TM, Var, 0);
+  Result.InitialVars = Current;
+  Result.VarAt.push_back(Current);
+
+  for (size_t K = 0; K < Steps.size(); ++K) {
+    const Transition &T = P.transition(Steps[K]);
+    // Substitution: unprimed variable -> instance K, primed -> K+1.
+    TermMap Subst;
+    TermMap Next;
+    for (const Term *Var : P.variables()) {
+      Subst[Var] = Current[Var];
+      const Term *NextInstance = ssaVar(TM, Var, static_cast<unsigned>(K) + 1);
+      Subst[primedVar(TM, Var)] = NextInstance;
+      Next[Var] = NextInstance;
+    }
+    Result.StepFormulas.push_back(substitute(TM, T.Rel, Subst));
+    Current = std::move(Next);
+    Result.VarAt.push_back(Current);
+  }
+
+  Result.FinalVars = std::move(Current);
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===- program/PathFormula.h - SSA path formulas ---------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Path formulas per Section 2.1: the conjunction of the constraints along
+/// a path, written in static single assignment form (each step renames
+/// every variable to a fresh SSA instance). The path is feasible iff the
+/// formula is satisfiable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_PROGRAM_PATHFORMULA_H
+#define PATHINV_PROGRAM_PATHFORMULA_H
+
+#include "program/Program.h"
+
+namespace pathinv {
+
+/// A path is a sequence of transition indices of a program, starting at
+/// the entry location and with matching endpoints.
+using Path = std::vector<int>;
+
+/// SSA rendering of a path.
+struct PathFormula {
+  /// One conjunct per step (useful for core-to-step attribution).
+  std::vector<const Term *> StepFormulas;
+  /// SSA instance of each program variable before step 0.
+  TermMap InitialVars;
+  /// SSA instance of each program variable after the last step.
+  TermMap FinalVars;
+  /// SSA instance of each variable after each step: VarAt[K] maps program
+  /// variables to their instance after K steps (VarAt[0] = InitialVars).
+  std::vector<TermMap> VarAt;
+
+  /// The whole formula (conjunction of StepFormulas).
+  const Term *formula(TermManager &TM) const {
+    return TM.mkAnd(StepFormulas);
+  }
+};
+
+/// Builds the SSA path formula for \p P along \p Steps. Asserts that the
+/// path is well-formed (consecutive endpoints match, starts at entry).
+PathFormula buildPathFormula(const Program &P, const Path &Steps);
+
+/// \returns true if \p Steps is a syntactically well-formed path of \p P
+/// beginning at the entry location.
+bool isWellFormedPath(const Program &P, const Path &Steps);
+
+} // namespace pathinv
+
+#endif // PATHINV_PROGRAM_PATHFORMULA_H

@@ -1,0 +1,101 @@
+//===- program/Program.cpp - Transition-system program IR -----------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Program.h"
+
+#include "logic/TermPrinter.h"
+
+using namespace pathinv;
+
+const Term *pathinv::primedVar(TermManager &TM, const Term *Var) {
+  assert(Var->isVar() && "priming a non-variable");
+  return TM.mkVar(Var->name() + "'", Var->sort());
+}
+
+bool pathinv::isPrimedVar(const Term *Var) {
+  return Var->isVar() && !Var->name().empty() && Var->name().back() == '\'';
+}
+
+const Term *pathinv::unprimedVar(TermManager &TM, const Term *Var) {
+  if (!isPrimedVar(Var))
+    return Var;
+  std::string Name = Var->name();
+  Name.pop_back();
+  return TM.mkVar(Name, Var->sort());
+}
+
+const Term *pathinv::ssaVar(TermManager &TM, const Term *Var,
+                            unsigned Index) {
+  assert(Var->isVar() && "SSA-renaming a non-variable");
+  return TM.mkVar(Var->name() + "@" + std::to_string(Index), Var->sort());
+}
+
+LocId Program::addLocation(std::string Name) {
+  LocNames.push_back(std::move(Name));
+  Successors.emplace_back();
+  return static_cast<LocId>(LocNames.size()) - 1;
+}
+
+int Program::addTransition(LocId From, const Term *Rel, LocId To,
+                           std::string Label) {
+  assert(From >= 0 && From < numLocations() && "bad source location");
+  assert(To >= 0 && To < numLocations() && "bad target location");
+  if (Label.empty())
+    Label = printTerm(Rel);
+  int Index = static_cast<int>(Transitions.size());
+  Transitions.push_back({From, Rel, To, std::move(Label)});
+  Successors[From].push_back(Index);
+  return Index;
+}
+
+const Term *Program::frameExcept(const TermSet &Modified) const {
+  std::vector<const Term *> Conjuncts;
+  for (const Term *Var : Vars) {
+    if (Modified.count(Var))
+      continue;
+    Conjuncts.push_back(TM->mkEq(primedVar(*TM, Var), Var));
+  }
+  return TM->mkAnd(std::move(Conjuncts));
+}
+
+const Term *Program::mkAssign(const Term *Var, const Term *Rhs) const {
+  TermSet Modified;
+  Modified.insert(Var);
+  return TM->mkAnd(TM->mkEq(primedVar(*TM, Var), Rhs),
+                   frameExcept(Modified));
+}
+
+const Term *Program::mkArrayAssign(const Term *Array, const Term *Index,
+                                   const Term *Value) const {
+  TermSet Modified;
+  Modified.insert(Array);
+  return TM->mkAnd(
+      TM->mkEq(primedVar(*TM, Array), TM->mkStore(Array, Index, Value)),
+      frameExcept(Modified));
+}
+
+const Term *Program::mkAssume(const Term *Cond) const {
+  return TM->mkAnd(Cond, frameExcept({}));
+}
+
+const Term *Program::mkSkip() const { return frameExcept({}); }
+
+const Term *Program::mkHavoc(const Term *Var) const {
+  TermSet Modified;
+  Modified.insert(Var);
+  return frameExcept(Modified);
+}
+
+std::string Program::dump() const {
+  std::string Out;
+  Out += "program with " + std::to_string(numLocations()) + " locations, ";
+  Out += "entry=" + LocNames[Entry] + ", error=" + LocNames[Error] + "\n";
+  for (const Transition &T : Transitions) {
+    Out += "  " + LocNames[T.From] + " -> " + LocNames[T.To] + " : " +
+           T.Label + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,123 @@
+//===- program/Program.h - Transition-system program IR --------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programs as transition systems, following Section 3 of the paper:
+/// P = (X, locs, l0, T, lE) with transitions (l, rho, l') whose constraint
+/// rho ranges over X and the primed next-state variables X'.
+///
+/// Priming convention: the primed copy of variable `x` is the variable
+/// named `x'` of the same sort. Transition constraints are ordinary terms;
+/// builder helpers construct the common shapes (assignment with frame
+/// condition, assume, havoc, skip).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_PROGRAM_PROGRAM_H
+#define PATHINV_PROGRAM_PROGRAM_H
+
+#include "logic/Term.h"
+#include "logic/TermRewrite.h"
+
+#include <string>
+#include <vector>
+
+namespace pathinv {
+
+/// Dense location index within a Program.
+using LocId = int;
+
+/// A guarded command (l, rho, l').
+struct Transition {
+  LocId From = -1;
+  const Term *Rel = nullptr; ///< Constraint over X and X'.
+  LocId To = -1;
+  std::string Label; ///< Human-readable rendering, e.g. "i := i + 1".
+};
+
+/// \returns the primed twin x' of program variable \p Var.
+const Term *primedVar(TermManager &TM, const Term *Var);
+
+/// \returns true when \p Var is a primed variable (name ends in ').
+bool isPrimedVar(const Term *Var);
+
+/// \returns the unprimed original of \p Var (identity if not primed).
+const Term *unprimedVar(TermManager &TM, const Term *Var);
+
+/// \returns the SSA instance `x@K` of \p Var.
+const Term *ssaVar(TermManager &TM, const Term *Var, unsigned Index);
+
+/// A program over a fixed set of variables. Locations are dense indices;
+/// the error location is distinguished (Section 3: a program is unsafe iff
+/// the error location is reachable).
+class Program {
+public:
+  Program(TermManager &TM, std::vector<const Term *> Vars)
+      : TM(&TM), Vars(std::move(Vars)) {}
+
+  TermManager &termManager() const { return *TM; }
+  const std::vector<const Term *> &variables() const { return Vars; }
+
+  /// Creates a new location; \p Name is for diagnostics only.
+  LocId addLocation(std::string Name);
+  int numLocations() const { return static_cast<int>(LocNames.size()); }
+  const std::string &locationName(LocId Loc) const {
+    return LocNames[Loc];
+  }
+
+  void setEntry(LocId Loc) { Entry = Loc; }
+  void setError(LocId Loc) { Error = Loc; }
+  LocId entry() const { return Entry; }
+  LocId error() const { return Error; }
+
+  /// Adds a raw transition with explicit relation.
+  int addTransition(LocId From, const Term *Rel, LocId To,
+                    std::string Label = "");
+
+  const std::vector<Transition> &transitions() const { return Transitions; }
+  const Transition &transition(int Index) const {
+    return Transitions[Index];
+  }
+  int numTransitions() const { return static_cast<int>(Transitions.size()); }
+
+  /// Outgoing transition indices of \p Loc.
+  const std::vector<int> &successorsOf(LocId Loc) const {
+    return Successors[Loc];
+  }
+
+  // --- Relation builders -------------------------------------------------
+
+  /// x' = Rhs, all other variables unchanged.
+  const Term *mkAssign(const Term *Var, const Term *Rhs) const;
+  /// arr' = arr{Index := Value}, all other variables unchanged.
+  const Term *mkArrayAssign(const Term *Array, const Term *Index,
+                            const Term *Value) const;
+  /// [Cond], all variables unchanged.
+  const Term *mkAssume(const Term *Cond) const;
+  /// All variables unchanged (the X' = X transitions of path programs).
+  const Term *mkSkip() const;
+  /// \p Var unconstrained, all other variables unchanged.
+  const Term *mkHavoc(const Term *Var) const;
+
+  /// Frame condition v' = v for every variable except those in \p Modified.
+  const Term *frameExcept(const TermSet &Modified) const;
+
+  /// Renders the CFG in a compact text form (for tests and debugging).
+  std::string dump() const;
+
+private:
+  TermManager *TM;
+  std::vector<const Term *> Vars;
+  std::vector<std::string> LocNames;
+  std::vector<Transition> Transitions;
+  std::vector<std::vector<int>> Successors;
+  LocId Entry = -1;
+  LocId Error = -1;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_PROGRAM_PROGRAM_H

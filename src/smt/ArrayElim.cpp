@@ -1,0 +1,196 @@
+//===- smt/ArrayElim.cpp - Array write elimination ------------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/ArrayElim.h"
+
+#include "logic/TermRewrite.h"
+
+#include <set>
+
+using namespace pathinv;
+
+namespace {
+
+/// One array-update definition b = store(Base, Index, Value).
+struct StoreDef {
+  const Term *Defined; ///< The defined array variable b.
+  const Term *Base;    ///< The source array (variable after resolution).
+  const Term *Index;
+  const Term *Value;
+};
+
+} // namespace
+
+namespace {
+
+/// Finds a ground read-over-write Select(Store(b, i, v), j) node.
+const Term *findNestedSelect(const Term *T) {
+  if (T->kind() == TermKind::Select &&
+      T->operand(0)->kind() == TermKind::Store)
+    return T;
+  for (const Term *Op : T->operands())
+    if (const Term *Found = findNestedSelect(Op))
+      return Found;
+  return nullptr;
+}
+
+/// Ackermann-style elimination of reads over writes occurring anywhere in
+/// the formula (e.g. inside predicates produced by weakest-precondition
+/// propagation): each distinct Select(Store(b, i, v), j) is replaced by a
+/// fresh variable w defined by the read-over-write axiom
+///   (j = i -> w = v) /\ (j != i -> w = b[j]).
+/// The definition is polarity-neutral, so the replacement is sound in any
+/// position. Fresh names derive from the term's unique id, keeping
+/// identical queries identical (and the SMT cache warm).
+const Term *defineNestedSelects(TermManager &TM, const Term *Formula) {
+  while (const Term *Read = findNestedSelect(Formula)) {
+    const Term *Store = Read->operand(0);
+    const Term *J = Read->operand(1);
+    const Term *B = Store->operand(0);
+    const Term *I = Store->operand(1);
+    const Term *V = Store->operand(2);
+    const Term *W =
+        TM.mkVar("rw!" + std::to_string(Read->id()), Sort::Int);
+    TermMap Subst;
+    Subst[Read] = W;
+    const Term *Replaced = substitute(TM, Formula, Subst);
+    const Term *Hit = TM.mkImplies(TM.mkEq(J, I), TM.mkEq(W, V));
+    const Term *Miss =
+        TM.mkImplies(TM.mkNe(J, I), TM.mkEq(W, TM.mkSelect(B, J)));
+    Formula = TM.mkAnd({Replaced, Hit, Miss});
+  }
+  return Formula;
+}
+
+} // namespace
+
+Expected<const Term *> pathinv::eliminateArrayWrites(TermManager &TM,
+                                                     const Term *Formula) {
+  Formula = defineNestedSelects(TM, Formula);
+  if (!containsStore(Formula)) {
+    // Still resolve array-to-array aliases b = a if any.
+    std::vector<const Term *> Conjuncts;
+    flattenConjuncts(Formula, Conjuncts);
+    TermMap Alias;
+    bool HasAlias = false;
+    for (const Term *C : Conjuncts) {
+      if (C->kind() == TermKind::Eq && C->operand(0)->isArray() &&
+          C->operand(0)->isVar() && C->operand(1)->isVar()) {
+        Alias[C->operand(0)] = C->operand(1);
+        HasAlias = true;
+      }
+    }
+    if (!HasAlias)
+      return Formula;
+    // Substitute aliases to a fixpoint (chains are short in SSA form).
+    const Term *Cur = Formula;
+    for (int Iter = 0; Iter < 8; ++Iter) {
+      const Term *Next = substitute(TM, Cur, Alias);
+      if (Next == Cur)
+        break;
+      Cur = Next;
+    }
+    return Cur;
+  }
+
+  std::vector<const Term *> Conjuncts;
+  flattenConjuncts(Formula, Conjuncts);
+
+  std::vector<StoreDef> Defs;
+  std::vector<const Term *> Rest;
+  for (const Term *C : Conjuncts) {
+    // Recognize   b = store(base, i, v)   in either orientation.
+    const Term *Lhs = nullptr, *Store = nullptr;
+    if (C->kind() == TermKind::Eq) {
+      if (C->operand(0)->isVar() && C->operand(0)->isArray() &&
+          C->operand(1)->kind() == TermKind::Store) {
+        Lhs = C->operand(0);
+        Store = C->operand(1);
+      } else if (C->operand(1)->isVar() && C->operand(1)->isArray() &&
+                 C->operand(0)->kind() == TermKind::Store) {
+        Lhs = C->operand(1);
+        Store = C->operand(0);
+      }
+    }
+    if (Store) {
+      if (containsStore(Store->operand(0)) ||
+          containsStore(Store->operand(1)) ||
+          containsStore(Store->operand(2)))
+        return Expected<const Term *>::makeError(
+            "nested array stores are not supported");
+      if (!Store->operand(0)->isVar())
+        return Expected<const Term *>::makeError(
+            "store base must be an array variable");
+      Defs.push_back(
+          {Lhs, Store->operand(0), Store->operand(1), Store->operand(2)});
+      continue;
+    }
+    if (containsStore(C))
+      return Expected<const Term *>::makeError(
+          "array store in unsupported position (must be a top-level "
+          "conjunct 'b = store(a, i, v)')");
+    Rest.push_back(C);
+  }
+
+  // Defined arrays must be distinct (SSA form guarantees this).
+  std::set<const Term *, TermIdLess> Defined;
+  for (const StoreDef &D : Defs) {
+    if (!Defined.insert(D.Defined).second)
+      return Expected<const Term *>::makeError(
+          "array variable defined by two stores (input must be in SSA "
+          "form)");
+    if (D.Defined == D.Base)
+      return Expected<const Term *>::makeError(
+          "cyclic array store definition");
+  }
+
+  // Worklist over reads: instantiate read-over-write for every read of a
+  // defined array; reads of the base array introduced by the axioms are
+  // processed in turn (store chains terminate because SSA definitions are
+  // acyclic).
+  const Term *Body = TM.mkAnd(Rest);
+  TermSet Reads;
+  collectSelects(Body, Reads);
+  for (const StoreDef &D : Defs) {
+    TermSet Sub;
+    collectSelects(D.Index, Sub);
+    collectSelects(D.Value, Sub);
+    Reads.insert(Sub.begin(), Sub.end());
+  }
+
+  std::vector<const Term *> Axioms;
+  std::set<const Term *, TermIdLess> Processed;
+  std::vector<const Term *> Worklist(Reads.begin(), Reads.end());
+  while (!Worklist.empty()) {
+    const Term *Read = Worklist.back();
+    Worklist.pop_back();
+    if (!Processed.insert(Read).second)
+      continue;
+    const Term *Array = Read->operand(0);
+    const Term *Idx = Read->operand(1);
+    for (const StoreDef &D : Defs) {
+      if (Array != D.Defined)
+        continue;
+      const Term *BaseRead = TM.mkSelect(D.Base, Idx);
+      // (idx = i -> b[idx] = v) && (idx != i -> b[idx] = base[idx])
+      Axioms.push_back(
+          TM.mkImplies(TM.mkEq(Idx, D.Index), TM.mkEq(Read, D.Value)));
+      Axioms.push_back(TM.mkImplies(TM.mkNe(Idx, D.Index),
+                                    TM.mkEq(Read, BaseRead)));
+      Worklist.push_back(BaseRead);
+      break; // At most one definition per array.
+    }
+  }
+
+  std::vector<const Term *> All;
+  All.push_back(Body);
+  All.insert(All.end(), Axioms.begin(), Axioms.end());
+  const Term *Result = TM.mkAnd(std::move(All));
+  // The defined arrays are now observed only through their reads (plain
+  // UF applications); the store conjuncts themselves are dropped.
+  // Resolve any remaining array aliases.
+  return eliminateArrayWrites(TM, Result);
+}

@@ -1,0 +1,42 @@
+//===- smt/ArrayElim.h - Array write elimination ---------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reduction of array writes to read-over-write case splits.
+///
+/// Section 4.2 ("Primed Program Variables and Array Symbols") eliminates an
+/// update a' = a{i := 0} by case distinction: a read a'[k] equals the
+/// written value when k = i and the old content a[k] otherwise. This pass
+/// applies the same reduction to ground formulas: every top-level conjunct
+/// of the form  b = store(a, i, v)  is dropped and replaced by instantiated
+/// read-over-write axioms for every read of b occurring in the formula.
+/// Afterwards all arrays are plain variables and reads behave as
+/// uninterpreted function applications (handled by congruence closure).
+///
+/// Precondition: stores occur only positively, as top-level conjuncts
+/// `arrayVar = store(arrayTerm, idx, val)` — exactly the shape produced by
+/// SSA path formulas and transition constraints. Array-to-array identities
+/// `b = a` are resolved by substitution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SMT_ARRAYELIM_H
+#define PATHINV_SMT_ARRAYELIM_H
+
+#include "logic/Term.h"
+#include "support/Diagnostics.h"
+
+namespace pathinv {
+
+/// Eliminates array stores and array equalities from \p Formula.
+/// Returns the store-free equisatisfiable formula, or an error when the
+/// formula violates the positive-top-level-store precondition.
+Expected<const Term *> eliminateArrayWrites(TermManager &TM,
+                                            const Term *Formula);
+
+} // namespace pathinv
+
+#endif // PATHINV_SMT_ARRAYELIM_H

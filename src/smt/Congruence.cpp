@@ -1,0 +1,266 @@
+//===- smt/Congruence.cpp - Congruence closure for EUF -------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Congruence.h"
+
+#include <algorithm>
+
+using namespace pathinv;
+
+void CongruenceClosure::registerTerm(const Term *T) {
+  if (known(T))
+    return;
+  switch (T->kind()) {
+  case TermKind::Var:
+  case TermKind::IntConst:
+    break;
+  case TermKind::Select:
+  case TermKind::Apply: {
+    for (const Term *Op : T->operands())
+      registerTerm(Op);
+    break;
+  }
+  case TermKind::Add:
+  case TermKind::Mul:
+    // Arithmetic structure is the simplex's business; register only the
+    // embedded atoms.
+    for (const Term *Op : T->operands())
+      registerTerm(Op);
+    return;
+  default:
+    assert(false && "registering a non-term in congruence closure");
+    return;
+  }
+
+  Info.emplace(T, NodeInfo{T, nullptr, -1, nullptr, nullptr, {}});
+  Nodes.push_back(T);
+
+  if (T->kind() == TermKind::Select || T->kind() == TermKind::Apply) {
+    for (const Term *Op : T->operands()) {
+      if (!known(Op))
+        continue; // Arithmetic subterm; atoms inside were registered.
+      Info[find(Op)].Uses.push_back(T);
+    }
+    // Check for an existing congruent application.
+    std::vector<const Term *> Sig = signature(T);
+    for (const Term *Other : Nodes) {
+      if (Other == T || Other->kind() != T->kind())
+        continue;
+      if (T->kind() == TermKind::Apply && Other->name() != T->name())
+        continue;
+      if (Other->numOperands() != T->numOperands())
+        continue;
+      if (signature(Other) == Sig) {
+        merge(T, Other, CongruenceTag, T, Other);
+        break;
+      }
+    }
+  }
+}
+
+const Term *CongruenceClosure::find(const Term *T) {
+  NodeInfo &NI = Info.at(T);
+  if (NI.Parent == T)
+    return T;
+  const Term *Root = find(NI.Parent);
+  NI.Parent = Root; // Path compression (proof forest is separate).
+  return Root;
+}
+
+const Term *CongruenceClosure::representative(const Term *T) {
+  registerTerm(T);
+  return find(T);
+}
+
+std::vector<const Term *> CongruenceClosure::signature(const Term *App) {
+  std::vector<const Term *> Sig;
+  Sig.reserve(App->numOperands());
+  for (const Term *Op : App->operands())
+    Sig.push_back(known(Op) ? find(Op) : Op);
+  return Sig;
+}
+
+bool CongruenceClosure::assertEqual(const Term *T1, const Term *T2, int Tag) {
+  if (Conflict)
+    return false;
+  registerTerm(T1);
+  registerTerm(T2);
+  return merge(T1, T2, Tag, nullptr, nullptr);
+}
+
+bool CongruenceClosure::assertDisequal(const Term *T1, const Term *T2,
+                                       int Tag) {
+  if (Conflict)
+    return false;
+  registerTerm(T1);
+  registerTerm(T2);
+  if (find(T1) == find(T2)) {
+    Conflict = true;
+    std::vector<int> Core = explainEquality(T1, T2);
+    Core.push_back(Tag);
+    ConflictCore = std::move(Core);
+    return false;
+  }
+  Disequalities.emplace_back(T1, T2, Tag);
+  return true;
+}
+
+bool CongruenceClosure::areEqual(const Term *T1, const Term *T2) {
+  registerTerm(T1);
+  registerTerm(T2);
+  return find(T1) == find(T2);
+}
+
+/// Re-roots the proof tree of \p T so that \p T has no proof parent.
+static void reverseProofPath(
+    std::map<const Term *, CongruenceClosure *, TermIdLess> &) {}
+
+bool CongruenceClosure::merge(const Term *T1, const Term *T2, int Tag,
+                              const Term *CongrLhs, const Term *CongrRhs) {
+  const Term *R1 = find(T1);
+  const Term *R2 = find(T2);
+  if (R1 == R2)
+    return true;
+
+  // Re-root T1's proof tree so we can hang it under T2.
+  {
+    const Term *Cur = T1;
+    const Term *PrevParent = nullptr;
+    int PrevTag = -1;
+    const Term *PrevLhs = nullptr, *PrevRhs = nullptr;
+    while (Cur) {
+      NodeInfo &NI = Info.at(Cur);
+      const Term *Next = NI.ProofParent;
+      int NextTag = NI.ProofTag;
+      const Term *NextLhs = NI.CongrLhs, *NextRhs = NI.CongrRhs;
+      NI.ProofParent = PrevParent;
+      NI.ProofTag = PrevTag;
+      NI.CongrLhs = PrevLhs;
+      NI.CongrRhs = PrevRhs;
+      PrevParent = Cur;
+      PrevTag = NextTag;
+      PrevLhs = NextLhs;
+      PrevRhs = NextRhs;
+      Cur = Next;
+    }
+    NodeInfo &T1Info = Info.at(T1);
+    T1Info.ProofParent = T2;
+    T1Info.ProofTag = Tag;
+    T1Info.CongrLhs = CongrLhs;
+    T1Info.CongrRhs = CongrRhs;
+  }
+
+  // Distinct integer constants cannot be merged.
+  auto constWitness = [this](const Term *Root) -> const Term * {
+    for (const Term *Node : Nodes)
+      if (Node->isIntConst() && find(Node) == Root)
+        return Node;
+    return nullptr;
+  };
+  const Term *C1 = constWitness(R1);
+  const Term *C2 = constWitness(R2);
+
+  // Union (R1 into R2) and migrate use lists.
+  std::vector<const Term *> Uses1 = std::move(Info.at(R1).Uses);
+  std::vector<const Term *> Uses2 = Info.at(R2).Uses;
+  Info.at(R1).Parent = R2;
+  auto &MergedUses = Info.at(R2).Uses;
+  MergedUses.insert(MergedUses.end(), Uses1.begin(), Uses1.end());
+
+  if (C1 && C2 && C1->value() != C2->value()) {
+    Conflict = true;
+    ConflictCore = explainEquality(C1, C2);
+    return false;
+  }
+
+  // Congruence propagation between the two use lists.
+  for (const Term *U : Uses1) {
+    for (const Term *V : Uses2) {
+      if (U->kind() != V->kind() || U->numOperands() != V->numOperands())
+        continue;
+      if (U->kind() == TermKind::Apply && U->name() != V->name())
+        continue;
+      if (find(U) == find(V))
+        continue;
+      if (signature(U) == signature(V)) {
+        if (!merge(U, V, CongruenceTag, U, V))
+          return false;
+      }
+    }
+  }
+
+  // Re-check disequalities.
+  for (const auto &[A, B, DTag] : Disequalities) {
+    if (find(A) == find(B)) {
+      Conflict = true;
+      std::vector<int> Core = explainEquality(A, B);
+      Core.push_back(DTag);
+      ConflictCore = std::move(Core);
+      return false;
+    }
+  }
+  return true;
+}
+
+const Term *CongruenceClosure::nearestCommonAncestor(const Term *T1,
+                                                     const Term *T2) {
+  std::set<const Term *, TermIdLess> OnPath;
+  for (const Term *Cur = T1; Cur; Cur = Info.at(Cur).ProofParent)
+    OnPath.insert(Cur);
+  for (const Term *Cur = T2; Cur; Cur = Info.at(Cur).ProofParent)
+    if (OnPath.count(Cur))
+      return Cur;
+  return nullptr;
+}
+
+void CongruenceClosure::explainAlongPath(const Term *From, const Term *To,
+                                         std::set<int> &Tags) {
+  for (const Term *Cur = From; Cur != To;) {
+    NodeInfo &NI = Info.at(Cur);
+    assert(NI.ProofParent && "broken proof path");
+    if (NI.ProofTag == CongruenceTag) {
+      // Congruent applications: recursively explain argument equalities.
+      const Term *L = NI.CongrLhs;
+      const Term *R = NI.CongrRhs;
+      for (size_t I = 0; I < L->numOperands(); ++I) {
+        const Term *A = L->operand(I);
+        const Term *B = R->operand(I);
+        if (A == B || !known(A) || !known(B))
+          continue;
+        const Term *Nca = nearestCommonAncestor(A, B);
+        assert(Nca && "congruence premise not connected");
+        explainAlongPath(A, Nca, Tags);
+        explainAlongPath(B, Nca, Tags);
+      }
+    } else if (NI.ProofTag >= 0) {
+      Tags.insert(NI.ProofTag);
+    }
+    Cur = NI.ProofParent;
+  }
+}
+
+std::vector<int> CongruenceClosure::explainEquality(const Term *T1,
+                                                    const Term *T2) {
+  std::set<int> Tags;
+  const Term *Nca = nearestCommonAncestor(T1, T2);
+  assert(Nca && "explaining equality of unconnected terms");
+  explainAlongPath(T1, Nca, Tags);
+  explainAlongPath(T2, Nca, Tags);
+  return std::vector<int>(Tags.begin(), Tags.end());
+}
+
+std::vector<std::pair<const Term *, const Term *>>
+CongruenceClosure::equivalentPairs() {
+  std::map<const Term *, const Term *, TermIdLess> FirstMember;
+  std::vector<std::pair<const Term *, const Term *>> Result;
+  for (const Term *Node : Nodes) {
+    const Term *Root = find(Node);
+    auto [It, Inserted] = FirstMember.try_emplace(Root, Node);
+    if (!Inserted)
+      Result.emplace_back(It->second, Node);
+  }
+  return Result;
+}

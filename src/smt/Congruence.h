@@ -1,0 +1,108 @@
+//===- smt/Congruence.h - Congruence closure for EUF ----------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Congruence closure over uninterpreted functions and array reads.
+///
+/// Array read terms a[i] are treated as applications of a per-array
+/// function symbol (the "functionality axiom" of Section 4.2: reads from
+/// the same array at equal positions yield equal values). This is exactly
+/// the reduction the paper performs after eliminating array writes.
+///
+/// The solver maintains a union-find over registered terms, congruence
+/// propagation for Select/Apply nodes, and disequality constraints;
+/// explanations are tracked per merge so unsat cores stay small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SMT_CONGRUENCE_H
+#define PATHINV_SMT_CONGRUENCE_H
+
+#include "logic/Term.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace pathinv {
+
+/// Congruence-closure engine. Terms are registered lazily; equalities and
+/// disequalities carry integer tags used in conflict explanations.
+class CongruenceClosure {
+public:
+  /// Registers \p T and its subterms (Select/Apply arguments) as nodes.
+  void registerTerm(const Term *T);
+
+  /// Asserts T1 = T2 (registering both). Returns false on conflict.
+  bool assertEqual(const Term *T1, const Term *T2, int Tag);
+
+  /// Asserts T1 != T2 (registering both). Returns false on conflict.
+  bool assertDisequal(const Term *T1, const Term *T2, int Tag);
+
+  /// \returns true if the two terms are currently known equal.
+  bool areEqual(const Term *T1, const Term *T2);
+
+  /// \returns true when a conflict has been detected.
+  bool inConflict() const { return Conflict; }
+
+  /// Tags explaining the conflict (equality chain + the disequality).
+  const std::vector<int> &conflictTags() const {
+    assert(Conflict && "conflictTags() without conflict");
+    return ConflictCore;
+  }
+
+  /// All currently registered terms, in deterministic order.
+  const std::vector<const Term *> &nodes() const { return Nodes; }
+
+  /// Representative of the equivalence class of \p T.
+  const Term *representative(const Term *T);
+
+  /// Collects equations `A = B` implied by congruence between registered
+  /// terms, as pairs of class representatives (excluding trivial ones).
+  std::vector<std::pair<const Term *, const Term *>> equivalentPairs();
+
+  /// Tags of the merges explaining why T1 and T2 are equal (requires
+  /// areEqual(T1, T2)).
+  std::vector<int> explainEquality(const Term *T1, const Term *T2);
+
+private:
+  struct NodeInfo {
+    const Term *Parent = nullptr; ///< Union-find parent (self if root).
+    // Proof forest for explanations: edge to ProofParent justified by
+    // ProofTag (or by congruence when ProofTag == CongruenceTag, in which
+    // case the premise argument equalities are replayed recursively).
+    const Term *ProofParent = nullptr;
+    int ProofTag = -1;
+    const Term *CongrLhs = nullptr; ///< For congruence edges: merged apps.
+    const Term *CongrRhs = nullptr;
+    std::vector<const Term *> Uses; ///< Apply/Select terms using this node.
+  };
+
+  static constexpr int CongruenceTag = -2;
+
+  bool known(const Term *T) const { return Info.count(T) != 0; }
+  const Term *find(const Term *T);
+  /// Merges the classes of T1 and T2 with proof edge (Tag or congruence
+  /// premise Lhs/Rhs); propagates congruences. Returns false on conflict.
+  bool merge(const Term *T1, const Term *T2, int Tag, const Term *CongrLhs,
+             const Term *CongrRhs);
+  /// Signature of an application under current representatives.
+  std::vector<const Term *> signature(const Term *App);
+  void explainAlongPath(const Term *From, const Term *To,
+                        std::set<int> &Tags);
+  const Term *nearestCommonAncestor(const Term *T1, const Term *T2);
+
+  std::map<const Term *, NodeInfo, TermIdLess> Info;
+  std::vector<const Term *> Nodes;
+  /// Asserted disequalities (T1, T2, tag).
+  std::vector<std::tuple<const Term *, const Term *, int>> Disequalities;
+  bool Conflict = false;
+  std::vector<int> ConflictCore;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SMT_CONGRUENCE_H

@@ -1,0 +1,272 @@
+//===- smt/SatSolver.cpp - CDCL propositional solver ----------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SatSolver.h"
+
+#include <algorithm>
+
+using namespace pathinv;
+
+int SatSolver::addVar() {
+  int Var = static_cast<int>(Assign.size());
+  Assign.push_back(Unassigned);
+  Level.push_back(-1);
+  Reason.push_back(-1);
+  Activity.push_back(0.0);
+  Watches.emplace_back(); // positive literal
+  Watches.emplace_back(); // negative literal
+  return Var;
+}
+
+bool SatSolver::addClause(std::vector<Lit> Clause) {
+  if (KnownUnsat)
+    return false;
+  // Remove duplicates; detect tautologies.
+  std::sort(Clause.begin(), Clause.end(),
+            [](Lit A, Lit B) { return A.Value < B.Value; });
+  Clause.erase(std::unique(Clause.begin(), Clause.end()), Clause.end());
+  for (size_t I = 0; I + 1 < Clause.size(); ++I)
+    if (Clause[I].var() == Clause[I + 1].var())
+      return true; // Tautology: p || !p.
+
+  // Solving is restartable: clauses may arrive between solve() calls (the
+  // lazy SMT loop adds blocking clauses). Reset to level 0 first.
+  backtrack(0);
+
+  // Drop literals already false at level 0; a literal true at level 0
+  // satisfies the clause permanently.
+  std::vector<Lit> Pruned;
+  for (Lit L : Clause) {
+    if (litTrue(L))
+      return true;
+    if (!litFalse(L))
+      Pruned.push_back(L);
+  }
+  if (Pruned.empty()) {
+    KnownUnsat = true;
+    return false;
+  }
+  if (Pruned.size() == 1) {
+    enqueue(Pruned[0], -1);
+    if (propagate() >= 0) {
+      KnownUnsat = true;
+      return false;
+    }
+    return true;
+  }
+
+  int Idx = static_cast<int>(Clauses.size());
+  Watches[Pruned[0].Value].push_back(Idx);
+  Watches[Pruned[1].Value].push_back(Idx);
+  Clauses.push_back({std::move(Pruned), false});
+  return true;
+}
+
+void SatSolver::enqueue(Lit L, int ReasonClause) {
+  assert(litUnassigned(L) && "enqueueing an assigned literal");
+  Assign[L.var()] = L.negated() ? FalseVal : TrueVal;
+  Level[L.var()] = static_cast<int>(TrailLim.size());
+  Reason[L.var()] = ReasonClause;
+  Trail.push_back(L);
+}
+
+int SatSolver::propagate() {
+  while (PropHead < Trail.size()) {
+    Lit L = Trail[PropHead++];
+    ++Propagations;
+    // Clauses watching ~L must be inspected.
+    std::vector<int> &WatchList = Watches[(~L).Value];
+    std::vector<int> Kept;
+    Kept.reserve(WatchList.size());
+    for (size_t WI = 0; WI < WatchList.size(); ++WI) {
+      int CI = WatchList[WI];
+      Clause &C = Clauses[CI];
+      // Normalize: watched literal ~L at position 1.
+      if (C.Lits[0] == ~L)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == ~L && "watch list out of sync");
+      if (litTrue(C.Lits[0])) {
+        Kept.push_back(CI);
+        continue;
+      }
+      // Find a replacement watch.
+      bool Found = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (!litFalse(C.Lits[K])) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[C.Lits[1].Value].push_back(CI);
+          Found = true;
+          break;
+        }
+      }
+      if (Found)
+        continue;
+      // Unit or conflicting.
+      Kept.push_back(CI);
+      if (litFalse(C.Lits[0])) {
+        // Conflict: restore remaining watches and report.
+        for (size_t K = WI + 1; K < WatchList.size(); ++K)
+          Kept.push_back(WatchList[K]);
+        WatchList = std::move(Kept);
+        return CI;
+      }
+      enqueue(C.Lits[0], CI);
+    }
+    WatchList = std::move(Kept);
+  }
+  return -1;
+}
+
+void SatSolver::bumpVar(int Var) {
+  Activity[Var] += ActivityInc;
+  if (Activity[Var] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() { ActivityInc *= 1.05; }
+
+int SatSolver::analyze(int ConflictClause, std::vector<Lit> &Learned) {
+  Learned.clear();
+  Learned.push_back(Lit()); // Slot for the asserting (UIP) literal.
+  int CurrentLevel = static_cast<int>(TrailLim.size());
+  std::vector<bool> Seen(Assign.size(), false);
+  int Counter = 0;
+  Lit P;
+  bool HaveP = false;
+  size_t TrailIdx = Trail.size();
+  int ClauseIdx = ConflictClause;
+
+  do {
+    assert(ClauseIdx >= 0 && "conflict analysis lost its reason");
+    const Clause &C = Clauses[ClauseIdx];
+    // When following a reason clause, Lits[0] is the propagated literal P
+    // (propagation and learning both place it there, and it cannot be
+    // swapped away while the clause serves as a reason).
+    assert((!HaveP || C.Lits[0] == P) && "reason clause out of order");
+    for (size_t I = HaveP ? 1 : 0; I < C.Lits.size(); ++I) {
+      Lit Q = C.Lits[I];
+      int Var = Q.var();
+      if (Seen[Var] || Level[Var] == 0)
+        continue;
+      Seen[Var] = true;
+      bumpVar(Var);
+      if (Level[Var] == CurrentLevel)
+        ++Counter;
+      else
+        Learned.push_back(Q);
+    }
+    // Pick the next trail literal to resolve on.
+    while (!Seen[Trail[TrailIdx - 1].var()])
+      --TrailIdx;
+    --TrailIdx;
+    P = Trail[TrailIdx];
+    HaveP = true;
+    Seen[P.var()] = false;
+    ClauseIdx = Reason[P.var()];
+    --Counter;
+  } while (Counter > 0);
+
+  Learned[0] = ~P;
+
+  // Backjump level: highest level among the other literals.
+  int BackLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1; I < Learned.size(); ++I) {
+    if (Level[Learned[I].var()] > BackLevel) {
+      BackLevel = Level[Learned[I].var()];
+      MaxIdx = I;
+    }
+  }
+  if (Learned.size() > 1)
+    std::swap(Learned[1], Learned[MaxIdx]);
+  return BackLevel;
+}
+
+void SatSolver::backtrack(int TargetLevel) {
+  if (static_cast<int>(TrailLim.size()) <= TargetLevel)
+    return;
+  size_t Bound = TrailLim[TargetLevel];
+  while (Trail.size() > Bound) {
+    Lit L = Trail.back();
+    Trail.pop_back();
+    Assign[L.var()] = Unassigned;
+    Reason[L.var()] = -1;
+    Level[L.var()] = -1;
+  }
+  TrailLim.resize(TargetLevel);
+  PropHead = Trail.size();
+}
+
+int SatSolver::pickBranchVar() {
+  int Best = -1;
+  double BestActivity = -1.0;
+  for (int Var = 0; Var < numVars(); ++Var) {
+    if (Assign[Var] != Unassigned)
+      continue;
+    if (Activity[Var] > BestActivity) {
+      BestActivity = Activity[Var];
+      Best = Var;
+    }
+  }
+  return Best;
+}
+
+SatSolver::Result SatSolver::solve() {
+  if (KnownUnsat)
+    return Result::Unsat;
+  backtrack(0);
+  if (propagate() >= 0) {
+    KnownUnsat = true;
+    return Result::Unsat;
+  }
+
+  uint64_t ConflictsSinceRestart = 0;
+  uint64_t RestartLimit = 64;
+
+  while (true) {
+    int ConflictClause = propagate();
+    if (ConflictClause >= 0) {
+      ++Conflicts;
+      ++ConflictsSinceRestart;
+      if (TrailLim.empty()) {
+        KnownUnsat = true;
+        return Result::Unsat;
+      }
+      std::vector<Lit> Learned;
+      int BackLevel = analyze(ConflictClause, Learned);
+      backtrack(BackLevel);
+      if (Learned.size() == 1) {
+        enqueue(Learned[0], -1);
+      } else {
+        int Idx = static_cast<int>(Clauses.size());
+        Watches[Learned[0].Value].push_back(Idx);
+        Watches[Learned[1].Value].push_back(Idx);
+        Lit Asserting = Learned[0];
+        Clauses.push_back({std::move(Learned), true});
+        enqueue(Asserting, Idx);
+      }
+      decayActivities();
+      continue;
+    }
+
+    if (ConflictsSinceRestart >= RestartLimit) {
+      ConflictsSinceRestart = 0;
+      RestartLimit = RestartLimit + RestartLimit / 2;
+      backtrack(0);
+      continue;
+    }
+
+    int BranchVar = pickBranchVar();
+    if (BranchVar < 0)
+      return Result::Sat;
+    ++Decisions;
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    enqueue(Lit(BranchVar, /*Negated=*/true), -1); // Default polarity false.
+  }
+}

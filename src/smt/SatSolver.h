@@ -1,0 +1,121 @@
+//===- smt/SatSolver.h - CDCL propositional solver --------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conflict-driven clause-learning SAT solver.
+///
+/// The propositional engine under the lazy SMT loop: two-watched-literal
+/// propagation, first-UIP conflict analysis with clause learning, VSIDS-style
+/// activity ordering, and geometric restarts. Literals use the usual integer
+/// encoding: variable v has literals 2v (positive) and 2v+1 (negative).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SMT_SATSOLVER_H
+#define PATHINV_SMT_SATSOLVER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pathinv {
+
+/// Propositional literal: variable index with sign.
+struct Lit {
+  int Value = -1; ///< 2*var + (negated ? 1 : 0).
+
+  Lit() = default;
+  Lit(int Var, bool Negated) : Value(2 * Var + (Negated ? 1 : 0)) {}
+
+  int var() const { return Value >> 1; }
+  bool negated() const { return Value & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Value = Value ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &RHS) const { return Value == RHS.Value; }
+  bool operator!=(const Lit &RHS) const { return Value != RHS.Value; }
+};
+
+/// CDCL SAT solver over clauses added with addClause().
+class SatSolver {
+public:
+  enum class Result : uint8_t { Sat, Unsat };
+
+  /// Creates a fresh variable and returns its index.
+  int addVar();
+
+  int numVars() const { return static_cast<int>(Assign.size()); }
+
+  /// Adds a clause (empty clause makes the instance unsat). Returns false
+  /// if the solver is already known unsat.
+  bool addClause(std::vector<Lit> Clause);
+
+  /// Solves the current clause set.
+  Result solve();
+
+  /// After Sat: value of variable \p Var in the model.
+  bool modelValue(int Var) const {
+    assert(Assign[Var] != Unassigned && "model of unassigned variable");
+    return Assign[Var] == TrueVal;
+  }
+
+  /// Statistics.
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
+
+private:
+  static constexpr int8_t Unassigned = 0;
+  static constexpr int8_t TrueVal = 1;
+  static constexpr int8_t FalseVal = -1;
+
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+  };
+
+  bool litTrue(Lit L) const {
+    return Assign[L.var()] == (L.negated() ? FalseVal : TrueVal);
+  }
+  bool litFalse(Lit L) const {
+    return Assign[L.var()] == (L.negated() ? TrueVal : FalseVal);
+  }
+  bool litUnassigned(Lit L) const { return Assign[L.var()] == Unassigned; }
+
+  void enqueue(Lit L, int Reason);
+  /// Unit propagation; returns the index of a conflicting clause or -1.
+  int propagate();
+  /// First-UIP conflict analysis; fills the learned clause and returns the
+  /// backjump level.
+  int analyze(int ConflictClause, std::vector<Lit> &Learned);
+  void backtrack(int Level);
+  void bumpVar(int Var);
+  void decayActivities();
+  int pickBranchVar();
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<int>> Watches; ///< Literal -> clause indices.
+  std::vector<int8_t> Assign;            ///< Variable -> value.
+  std::vector<int> Level;                ///< Variable -> decision level.
+  std::vector<int> Reason;               ///< Variable -> clause index or -1.
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim; ///< Trail indices where levels start.
+  size_t PropHead = 0;
+  std::vector<double> Activity;
+  double ActivityInc = 1.0;
+  bool KnownUnsat = false;
+
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SMT_SATSOLVER_H

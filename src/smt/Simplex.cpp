@@ -1,0 +1,334 @@
+//===- smt/Simplex.cpp - Exact simplex for linear arithmetic -------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplex.h"
+
+using namespace pathinv;
+
+int Simplex::addVar() {
+  Vars.push_back(VarState());
+  return static_cast<int>(Vars.size()) - 1;
+}
+
+void Simplex::addConstraint(
+    const std::vector<std::pair<int, Rational>> &Coeffs, SimplexRel Rel,
+    const Rational &Rhs, int Tag) {
+  if (HasConflict)
+    return;
+
+  // Accumulate repeated variables.
+  std::map<int, Rational> Sum;
+  for (const auto &[Var, Coeff] : Coeffs) {
+    assert(Var >= 0 && Var < numVars() && "constraint over unknown variable");
+    Sum[Var] += Coeff;
+    if (Sum[Var].isZero())
+      Sum.erase(Var);
+  }
+
+  if (Sum.empty()) {
+    // Ground constraint: either trivially true or an immediate conflict.
+    Rational Zero;
+    bool Holds = true;
+    switch (Rel) {
+    case SimplexRel::Le:
+      Holds = Zero <= Rhs;
+      break;
+    case SimplexRel::Lt:
+      Holds = Zero < Rhs;
+      break;
+    case SimplexRel::Ge:
+      Holds = Zero >= Rhs;
+      break;
+    case SimplexRel::Gt:
+      Holds = Zero > Rhs;
+      break;
+    case SimplexRel::Eq:
+      Holds = Rhs.isZero();
+      break;
+    }
+    if (!Holds) {
+      HasConflict = true;
+      Core = {Tag};
+    }
+    return;
+  }
+
+  int BoundVar;
+  Rational Scale(1);
+  if (Sum.size() == 1) {
+    // Single-variable constraint: bound the variable directly, dividing
+    // through by the coefficient (flipping the relation when negative).
+    BoundVar = Sum.begin()->first;
+    Scale = Sum.begin()->second;
+  } else {
+    // Introduce a slack variable s = expr, substituting rows for any basic
+    // variables so the row mentions only nonbasic ones.
+    Row NewRow;
+    DeltaRational Beta;
+    for (const auto &[Var, Coeff] : Sum) {
+      if (Vars[Var].Basic) {
+        for (const auto &[Sub, SubCoeff] : Rows[Var]) {
+          NewRow[Sub] += Coeff * SubCoeff;
+          if (NewRow[Sub].isZero())
+            NewRow.erase(Sub);
+        }
+      } else {
+        NewRow[Var] += Coeff;
+        if (NewRow[Var].isZero())
+          NewRow.erase(Var);
+      }
+      Beta += Vars[Var].Beta * Coeff;
+    }
+    BoundVar = addVar();
+    Vars[BoundVar].Basic = true;
+    Vars[BoundVar].Beta = Beta;
+    Rows[BoundVar] = std::move(NewRow);
+  }
+
+  Rational Bound = Rhs / Scale;
+  bool Flip = Scale.isNegative();
+  SimplexRel EffRel = Rel;
+  if (Flip) {
+    switch (Rel) {
+    case SimplexRel::Le:
+      EffRel = SimplexRel::Ge;
+      break;
+    case SimplexRel::Lt:
+      EffRel = SimplexRel::Gt;
+      break;
+    case SimplexRel::Ge:
+      EffRel = SimplexRel::Le;
+      break;
+    case SimplexRel::Gt:
+      EffRel = SimplexRel::Lt;
+      break;
+    case SimplexRel::Eq:
+      break;
+    }
+  }
+
+  bool Ok = true;
+  switch (EffRel) {
+  case SimplexRel::Le:
+    Ok = assertUpper(BoundVar, DeltaRational(Bound), Tag);
+    break;
+  case SimplexRel::Lt:
+    Ok = assertUpper(BoundVar, DeltaRational(Bound, Rational(-1)), Tag);
+    break;
+  case SimplexRel::Ge:
+    Ok = assertLower(BoundVar, DeltaRational(Bound), Tag);
+    break;
+  case SimplexRel::Gt:
+    Ok = assertLower(BoundVar, DeltaRational(Bound, Rational(1)), Tag);
+    break;
+  case SimplexRel::Eq:
+    Ok = assertUpper(BoundVar, DeltaRational(Bound), Tag) &&
+         assertLower(BoundVar, DeltaRational(Bound), Tag);
+    break;
+  }
+  (void)Ok;
+}
+
+void Simplex::addBound(int Var, SimplexRel Rel, const Rational &Rhs,
+                       int Tag) {
+  addConstraint({{Var, Rational(1)}}, Rel, Rhs, Tag);
+}
+
+bool Simplex::assertLower(int Var, const DeltaRational &Value, int Tag) {
+  VarState &VS = Vars[Var];
+  if (VS.Lower.Present && Value <= VS.Lower.Value)
+    return true; // No tightening.
+  if (VS.Upper.Present && VS.Upper.Value < Value) {
+    HasConflict = true;
+    Core = {Tag, VS.Upper.Tag};
+    return false;
+  }
+  VS.Lower = {Value, Tag, true};
+  if (!VS.Basic && VS.Beta < Value)
+    updateNonbasic(Var, Value);
+  return true;
+}
+
+bool Simplex::assertUpper(int Var, const DeltaRational &Value, int Tag) {
+  VarState &VS = Vars[Var];
+  if (VS.Upper.Present && VS.Upper.Value <= Value)
+    return true;
+  if (VS.Lower.Present && Value < VS.Lower.Value) {
+    HasConflict = true;
+    Core = {Tag, VS.Lower.Tag};
+    return false;
+  }
+  VS.Upper = {Value, Tag, true};
+  if (!VS.Basic && Value < VS.Beta)
+    updateNonbasic(Var, Value);
+  return true;
+}
+
+void Simplex::updateNonbasic(int Var, const DeltaRational &Value) {
+  DeltaRational Diff = Value - Vars[Var].Beta;
+  for (auto &[BasicVar, TheRow] : Rows) {
+    auto It = TheRow.find(Var);
+    if (It != TheRow.end())
+      Vars[BasicVar].Beta += Diff * It->second;
+  }
+  Vars[Var].Beta = Value;
+}
+
+void Simplex::pivot(int Basic, int Nonbasic) {
+  Row OldRow = std::move(Rows[Basic]);
+  Rows.erase(Basic);
+  Rational PivotCoeff = OldRow[Nonbasic];
+  assert(!PivotCoeff.isZero() && "pivot on zero coefficient");
+
+  // Express Nonbasic in terms of Basic and the remaining row variables:
+  //   Basic = sum(a_k x_k)  ==>  Nonbasic = (Basic - sum_{k!=j} a_k x_k)/a_j
+  Row NewRow;
+  NewRow[Basic] = PivotCoeff.inverse();
+  for (const auto &[Var, Coeff] : OldRow) {
+    if (Var == Nonbasic)
+      continue;
+    NewRow[Var] = -(Coeff / PivotCoeff);
+  }
+
+  // Substitute into every other row that mentions Nonbasic.
+  for (auto &[OtherBasic, OtherRow] : Rows) {
+    auto It = OtherRow.find(Nonbasic);
+    if (It == OtherRow.end())
+      continue;
+    Rational Factor = It->second;
+    OtherRow.erase(It);
+    for (const auto &[Var, Coeff] : NewRow) {
+      OtherRow[Var] += Factor * Coeff;
+      if (OtherRow[Var].isZero())
+        OtherRow.erase(Var);
+    }
+  }
+
+  Rows[Nonbasic] = std::move(NewRow);
+  Vars[Basic].Basic = false;
+  Vars[Nonbasic].Basic = true;
+}
+
+void Simplex::pivotAndUpdate(int Basic, int Nonbasic,
+                             const DeltaRational &Target) {
+  const Rational &Coeff = Rows[Basic][Nonbasic];
+  DeltaRational Theta = (Target - Vars[Basic].Beta) * Coeff.inverse();
+  Vars[Basic].Beta = Target;
+  Vars[Nonbasic].Beta += Theta;
+  for (auto &[OtherBasic, TheRow] : Rows) {
+    if (OtherBasic == Basic)
+      continue;
+    auto It = TheRow.find(Nonbasic);
+    if (It != TheRow.end())
+      Vars[OtherBasic].Beta += Theta * It->second;
+  }
+  pivot(Basic, Nonbasic);
+}
+
+Simplex::Result Simplex::check() {
+  if (HasConflict)
+    return Result::Unsat;
+
+  while (true) {
+    // Bland's rule: smallest-index basic variable violating a bound.
+    int Violating = -1;
+    bool BelowLower = false;
+    for (const auto &[BasicVar, TheRow] : Rows) {
+      const VarState &VS = Vars[BasicVar];
+      if (VS.Lower.Present && VS.Beta < VS.Lower.Value) {
+        Violating = BasicVar;
+        BelowLower = true;
+        break;
+      }
+      if (VS.Upper.Present && VS.Upper.Value < VS.Beta) {
+        Violating = BasicVar;
+        BelowLower = false;
+        break;
+      }
+    }
+    if (Violating < 0)
+      return Result::Sat;
+
+    const Row &TheRow = Rows[Violating];
+    int Entering = -1;
+    for (const auto &[Var, Coeff] : TheRow) {
+      const VarState &VS = Vars[Var];
+      bool CanIncrease = !VS.Upper.Present || VS.Beta < VS.Upper.Value;
+      bool CanDecrease = !VS.Lower.Present || VS.Lower.Value < VS.Beta;
+      bool Suitable = BelowLower
+                          ? (Coeff.isPositive() ? CanIncrease : CanDecrease)
+                          : (Coeff.isPositive() ? CanDecrease : CanIncrease);
+      if (Suitable) {
+        Entering = Var; // Smallest index first (map is ordered): Bland.
+        break;
+      }
+    }
+
+    if (Entering < 0) {
+      // Infeasible: the violated bound plus the blocking bounds of every
+      // row variable form a Farkas-inconsistent set.
+      HasConflict = true;
+      Core.clear();
+      const VarState &VS = Vars[Violating];
+      Core.push_back(BelowLower ? VS.Lower.Tag : VS.Upper.Tag);
+      for (const auto &[Var, Coeff] : TheRow) {
+        const VarState &OV = Vars[Var];
+        bool UseUpper = BelowLower ? Coeff.isPositive() : Coeff.isNegative();
+        Core.push_back(UseUpper ? OV.Upper.Tag : OV.Lower.Tag);
+      }
+      return Result::Unsat;
+    }
+
+    pivotAndUpdate(Violating, Entering,
+                   BelowLower ? Vars[Violating].Lower.Value
+                              : Vars[Violating].Upper.Value);
+  }
+}
+
+Rational Simplex::concretizeDelta() const {
+  // Find delta > 0 such that replacing the infinitesimal by delta keeps
+  // every bound satisfied: for beta = (br, bi) against bound (r, i) with
+  // beta >= bound required, we need (br - r) + (bi - i) * delta >= 0.
+  // When br > r and bi < i the constraint caps delta at (br-r)/(i-bi).
+  Rational Delta(1);
+  auto Cap = [&Delta](const DeltaRational &Beta, const DeltaRational &Bound,
+                      bool BetaAtLeast) {
+    Rational RealDiff = BetaAtLeast ? Beta.real() - Bound.real()
+                                    : Bound.real() - Beta.real();
+    Rational InfDiff = BetaAtLeast
+                           ? Beta.infinitesimal() - Bound.infinitesimal()
+                           : Bound.infinitesimal() - Beta.infinitesimal();
+    if (InfDiff.isNegative() && RealDiff.isPositive()) {
+      Rational Limit = RealDiff / (-InfDiff);
+      if (Limit < Delta)
+        Delta = Limit;
+    }
+  };
+  for (const VarState &VS : Vars) {
+    if (VS.Lower.Present)
+      Cap(VS.Beta, VS.Lower.Value, /*BetaAtLeast=*/true);
+    if (VS.Upper.Present)
+      Cap(VS.Beta, VS.Upper.Value, /*BetaAtLeast=*/false);
+  }
+  // Halve to stay strictly inside open comparisons.
+  return Delta / Rational(2);
+}
+
+Rational Simplex::modelValue(int Var) const {
+  assert(Var >= 0 && Var < numVars() && "model of unknown variable");
+  Rational Delta = concretizeDelta();
+  const DeltaRational &Beta = Vars[Var].Beta;
+  return Beta.real() + Beta.infinitesimal() * Delta;
+}
+
+std::vector<Rational> Simplex::model() const {
+  Rational Delta = concretizeDelta();
+  std::vector<Rational> Result;
+  Result.reserve(Vars.size());
+  for (const VarState &VS : Vars)
+    Result.push_back(VS.Beta.real() + VS.Beta.infinitesimal() * Delta);
+  return Result;
+}

@@ -1,0 +1,115 @@
+//===- smt/Simplex.h - Exact simplex for linear arithmetic -----*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact-rational simplex deciding conjunctions of linear constraints.
+///
+/// This is the linear-arithmetic engine the paper delegates to SICStus
+/// CLP(Q) [29]: a general simplex in the style of Dutertre & de Moura
+/// ("A fast linear-arithmetic solver for DPLL(T)", CAV 2006) with
+/// * exact rational arithmetic (no floating point anywhere),
+/// * strict inequalities via infinitesimal delta-rationals,
+/// * Bland's rule for termination, and
+/// * unsat cores as sets of client-supplied constraint tags (a Farkas
+///   certificate: the violated row is a nonnegative combination of the
+///   returned constraints).
+///
+/// It serves three masters: path-formula feasibility checks (counterexample
+/// analysis), entailment queries of predicate abstraction, and the LP
+/// subproblems of template-parameter search in the synthesizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SMT_SIMPLEX_H
+#define PATHINV_SMT_SIMPLEX_H
+
+#include "support/DeltaRational.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace pathinv {
+
+/// Relation of a linear constraint `expr REL rhs`.
+enum class SimplexRel : uint8_t { Le, Lt, Ge, Gt, Eq };
+
+/// Exact simplex over rationals. Variables are dense integer indices
+/// created by addVar(); constraints are linear combinations of variables.
+class Simplex {
+public:
+  enum class Result : uint8_t { Sat, Unsat };
+
+  Simplex() = default;
+
+  /// Creates a fresh unconstrained variable and returns its index.
+  int addVar();
+
+  int numVars() const { return static_cast<int>(Vars.size()); }
+
+  /// Adds `sum Coeffs REL Rhs`. \p Tag identifies the constraint in unsat
+  /// cores (clients typically use literal indices). Variables may repeat in
+  /// \p Coeffs; coefficients are accumulated.
+  void addConstraint(const std::vector<std::pair<int, Rational>> &Coeffs,
+                     SimplexRel Rel, const Rational &Rhs, int Tag);
+
+  /// Convenience: bounds a single variable.
+  void addBound(int Var, SimplexRel Rel, const Rational &Rhs, int Tag);
+
+  /// Decides the asserted constraints. May be called repeatedly as
+  /// constraints are added (the tableau is incremental).
+  Result check();
+
+  /// After an Unsat result: tags of a (usually small) inconsistent subset.
+  const std::vector<int> &unsatCore() const {
+    assert(HasConflict && "unsatCore() without a conflict");
+    return Core;
+  }
+
+  /// After a Sat result: a rational model value for \p Var (delta is
+  /// concretized to a sufficiently small positive rational).
+  Rational modelValue(int Var) const;
+
+  /// After a Sat result: copies all model values (index = variable).
+  std::vector<Rational> model() const;
+
+private:
+  struct BoundInfo {
+    DeltaRational Value;
+    int Tag = -1;
+    bool Present = false;
+  };
+
+  struct VarState {
+    DeltaRational Beta;   ///< Current assignment.
+    BoundInfo Lower;
+    BoundInfo Upper;
+    bool Basic = false;
+  };
+
+  using Row = std::map<int, Rational>; ///< Nonbasic var -> coefficient.
+
+  bool assertLower(int Var, const DeltaRational &Value, int Tag);
+  bool assertUpper(int Var, const DeltaRational &Value, int Tag);
+  /// Sets beta of nonbasic \p Var to \p Value, updating basic rows.
+  void updateNonbasic(int Var, const DeltaRational &Value);
+  /// Pivots basic \p Basic with nonbasic \p Nonbasic and sets beta of
+  /// \p Basic to \p Target.
+  void pivotAndUpdate(int Basic, int Nonbasic, const DeltaRational &Target);
+  void pivot(int Basic, int Nonbasic);
+  /// Computes a concrete positive rational for delta, small enough that
+  /// substituting it preserves all strict comparisons of the model.
+  Rational concretizeDelta() const;
+
+  std::vector<VarState> Vars;
+  std::map<int, Row> Rows; ///< Basic var -> row over nonbasic vars.
+  std::vector<int> Core;
+  bool HasConflict = false;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SMT_SIMPLEX_H

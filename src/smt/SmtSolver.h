@@ -1,0 +1,75 @@
+//===- smt/SmtSolver.h - Lazy DPLL(T) over LRA+EUF+arrays ------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Satisfiability of quantifier-free formulas over linear arithmetic,
+/// uninterpreted functions, and arrays (ground writes).
+///
+/// Architecture: array writes are compiled away (read-over-write case
+/// splits), the boolean structure is Tseitin-encoded into the CDCL core,
+/// and full propositional models are validated by the conjunction-level
+/// theory solver; theory conflicts return as blocking clauses built from
+/// unsat cores. Conjunctions of literals bypass the SAT solver entirely —
+/// the common case for path formulas and abstraction queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SMT_SMTSOLVER_H
+#define PATHINV_SMT_SMTSOLVER_H
+
+#include "logic/TermRewrite.h"
+#include "smt/TheoryConj.h"
+
+#include <map>
+
+namespace pathinv {
+
+/// Lazy SMT solver. One instance may serve many queries; results of
+/// satisfiability checks are memoized by formula identity.
+class SmtSolver {
+public:
+  explicit SmtSolver(TermManager &TM) : TM(TM) {}
+
+  enum class Status : uint8_t { Sat, Unsat };
+
+  /// Decides satisfiability of quantifier-free \p Formula.
+  Status checkSat(const Term *Formula);
+
+  /// \returns true iff \p Formula is unsatisfiable (memoized).
+  bool isUnsat(const Term *Formula);
+
+  /// \returns true iff \p A entails \p B, i.e. A && !B is unsat.
+  bool entails(const Term *A, const Term *B);
+
+  /// Model of the last Sat checkSat() call: values of arithmetic atoms
+  /// (variables, array reads, applications).
+  const std::map<const Term *, Rational, TermIdLess> &model() const {
+    return Model;
+  }
+
+  /// Decides a conjunction of literals directly (no memoization); exposes
+  /// the unsat core for counterexample analysis.
+  ConjResult checkConjunction(const std::vector<const Term *> &Literals);
+
+  /// Statistics.
+  uint64_t numQueries() const { return Queries; }
+  uint64_t numTheoryChecks() const { return TheoryChecks; }
+  uint64_t numCacheHits() const { return CacheHits; }
+
+private:
+  Status checkSatUncached(const Term *Formula);
+
+  TermManager &TM;
+  std::map<const Term *, Rational, TermIdLess> Model;
+  std::map<const Term *, bool, TermIdLess> SatCache; ///< Formula -> isSat.
+  uint64_t Queries = 0;
+  uint64_t TheoryChecks = 0;
+  uint64_t CacheHits = 0;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SMT_SMTSOLVER_H

@@ -1,0 +1,345 @@
+//===- smt/TheoryConj.cpp - Conjunction solver for LRA+EUF ---------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/TheoryConj.h"
+
+#include "smt/Congruence.h"
+#include "smt/Simplex.h"
+
+#include <algorithm>
+
+using namespace pathinv;
+
+namespace {
+
+/// Evaluates an integer term under values for its arithmetic atoms.
+Rational evalUnderModel(
+    const Term *T,
+    const std::map<const Term *, Rational, TermIdLess> &AtomValues) {
+  std::optional<LinearExpr> L = LinearExpr::fromTerm(T);
+  assert(L && "evaluating a non-linear term");
+  Rational Result = L->constant();
+  for (const auto &[Atom, Coeff] : L->coefficients()) {
+    auto It = AtomValues.find(Atom);
+    // Unconstrained atoms default to zero.
+    Rational Value = It == AtomValues.end() ? Rational() : It->second;
+    Result += Coeff * Value;
+  }
+  return Result;
+}
+
+} // namespace
+
+ConjResult
+TheoryConjSolver::solve(const std::vector<const Term *> &Literals) {
+  SimplexRuns = 0;
+  std::vector<Fact> Facts;
+  Facts.reserve(Literals.size());
+  for (size_t I = 0; I < Literals.size(); ++I)
+    Facts.push_back({Literals[I], static_cast<int>(I)});
+
+  ConjResult Result = solveFacts(std::move(Facts), /*Depth=*/0);
+  if (!Result.IsSat) {
+    // Fact indices at the top level coincide with literal indices (all
+    // split decisions were removed when their branch unions were formed).
+    std::vector<int> Core;
+    for (int FactIdx : Result.Core) {
+      assert(FactIdx >= 0 && FactIdx < static_cast<int>(Literals.size()) &&
+             "decision leaked into top-level core");
+      Core.push_back(FactIdx);
+    }
+    std::sort(Core.begin(), Core.end());
+    Core.erase(std::unique(Core.begin(), Core.end()), Core.end());
+    Result.Core = std::move(Core);
+  }
+  return Result;
+}
+
+ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
+  assert(Depth < 256 && "runaway theory splitting");
+
+  // Runs one split branch. Appends BranchLit as a decision, recurses, and
+  // feeds the outcome to the caller: a SAT result or a decision-free core
+  // short-circuits; otherwise the branch's core (minus the decision)
+  // accumulates in UnionCore.
+  auto runBranch = [&](const Term *BranchLit, std::vector<int> &UnionCore,
+                       std::optional<ConjResult> &Final) {
+    std::vector<Fact> Child = Facts;
+    int DecisionIdx = static_cast<int>(Child.size());
+    Child.push_back({BranchLit, -1});
+    ConjResult R = solveFacts(std::move(Child), Depth + 1);
+    if (R.IsSat) {
+      Final = std::move(R);
+      return;
+    }
+    bool UsesDecision =
+        std::find(R.Core.begin(), R.Core.end(), DecisionIdx) != R.Core.end();
+    if (!UsesDecision) {
+      Final = std::move(R); // Core is valid without the split.
+      return;
+    }
+    for (int FactIdx : R.Core)
+      if (FactIdx != DecisionIdx)
+        UnionCore.push_back(FactIdx);
+  };
+
+  // --- Phase 1: syntactic congruence closure -----------------------------
+  // Only equalities whose both sides are congruence nodes (variables,
+  // constants, reads, applications) are asserted into the closure; mixed
+  // arithmetic equalities are the simplex's business, and disequalities
+  // over arithmetic are resolved by model-based splitting below.
+  auto isCCNode = [](const Term *T) {
+    switch (T->kind()) {
+    case TermKind::Var:
+    case TermKind::IntConst:
+    case TermKind::Select:
+    case TermKind::Apply:
+      return true;
+    default:
+      return false;
+    }
+  };
+  CongruenceClosure CC;
+  for (size_t I = 0; I < Facts.size(); ++I) {
+    const Term *Lit = Facts[I].Literal;
+    if (Lit->isTrue())
+      continue;
+    if (Lit->isFalse()) {
+      ConjResult R;
+      R.Core = {static_cast<int>(I)};
+      return R;
+    }
+    bool Negated = Lit->kind() == TermKind::Not;
+    const Term *Atom = Negated ? Lit->operand(0) : Lit;
+    assert(Atom->isAtom() && "non-literal input to theory solver");
+    const Term *A = Atom->operand(0);
+    const Term *B = Atom->operand(1);
+    bool Ok = true;
+    if (Atom->kind() == TermKind::Eq && isCCNode(A) && isCCNode(B)) {
+      assert((A->isInt() || !Negated) &&
+             "array disequalities are unsupported");
+      Ok = Negated ? CC.assertDisequal(A, B, static_cast<int>(I))
+                   : CC.assertEqual(A, B, static_cast<int>(I));
+    } else {
+      assert((!Negated || Atom->kind() == TermKind::Eq) &&
+             "negated inequalities must be normalized away");
+      CC.registerTerm(A);
+      CC.registerTerm(B);
+    }
+    if (!Ok) {
+      ConjResult R;
+      R.Core = CC.conflictTags();
+      return R;
+    }
+  }
+
+  // --- Phase 2: simplex over the arithmetic skeleton ---------------------
+  Simplex Splx;
+  ++SimplexRuns;
+  std::map<const Term *, int, TermIdLess> AtomVar;
+  auto varOf = [&](const Term *Atom) {
+    auto [It, Inserted] = AtomVar.try_emplace(Atom, -1);
+    if (Inserted)
+      It->second = Splx.addVar();
+    return It->second;
+  };
+  auto addLinear = [&](const LinearExpr &Expr, SimplexRel Rel, int Tag) {
+    std::vector<std::pair<int, Rational>> Coeffs;
+    for (const auto &[Atom, Coeff] : Expr.coefficients())
+      Coeffs.emplace_back(varOf(Atom), Coeff);
+    Splx.addConstraint(Coeffs, Rel, -Expr.constant(), Tag);
+  };
+
+  // Tag space: [0, Facts.size()) are facts; above that, derived equalities
+  // justified by the fact sets in TagJustification.
+  std::vector<std::vector<int>> TagJustification;
+  auto freshDerivedTag = [&](std::vector<int> Just) {
+    TagJustification.push_back(std::move(Just));
+    return static_cast<int>(Facts.size() + TagJustification.size() - 1);
+  };
+  auto expandTags = [&](const std::vector<int> &Tags) {
+    std::vector<int> Out;
+    for (int Tag : Tags) {
+      if (Tag < static_cast<int>(Facts.size())) {
+        Out.push_back(Tag);
+        continue;
+      }
+      const auto &Just = TagJustification[Tag - Facts.size()];
+      Out.insert(Out.end(), Just.begin(), Just.end());
+    }
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    return Out;
+  };
+
+  for (size_t I = 0; I < Facts.size(); ++I) {
+    const Term *Lit = Facts[I].Literal;
+    if (Lit->isTrue() || Lit->kind() == TermKind::Not)
+      continue; // Disequalities are handled by splitting below.
+    if (Lit->kind() == TermKind::Eq && Lit->operand(0)->isArray())
+      continue;
+    std::optional<LinearAtom> Atom = decomposeAtom(Lit);
+    assert(Atom && "non-linear atom in theory solver");
+    if (Atom->Rel == RelKind::Lt) {
+      // All atoms are integer-valued (program integers, reads of integer
+      // arrays, integer functions), so strict inequalities tighten:
+      // e < 0 becomes e + 1 <= 0 after scaling to integral coefficients.
+      // This keeps the simplex free of infinitesimals, whose fractional
+      // vertex values would otherwise keep branch-and-bound churning.
+      LinearExpr Tight = normalizeToIntegral(Atom->Expr);
+      Tight.addConstant(Rational(1));
+      addLinear(Tight, SimplexRel::Le, static_cast<int>(I));
+      continue;
+    }
+    addLinear(Atom->Expr,
+              Atom->Rel == RelKind::Eq ? SimplexRel::Eq : SimplexRel::Le,
+              static_cast<int>(I));
+  }
+
+  // Equality exchange: CC-merged classes become simplex equalities.
+  for (const auto &[A, B] : CC.equivalentPairs()) {
+    if (!A->isInt())
+      continue;
+    std::vector<int> Just = CC.explainEquality(A, B);
+    LinearExpr Diff = *LinearExpr::fromTerm(A) - *LinearExpr::fromTerm(B);
+    addLinear(Diff, SimplexRel::Eq, freshDerivedTag(std::move(Just)));
+  }
+
+  if (Splx.check() == Simplex::Result::Unsat) {
+    ConjResult R;
+    R.Core = expandTags(Splx.unsatCore());
+    return R;
+  }
+
+  // --- Phase 3: candidate model -------------------------------------------
+  std::map<const Term *, Rational, TermIdLess> AtomValues;
+  for (const auto &[Atom, Var] : AtomVar)
+    AtomValues[Atom] = Splx.modelValue(Var);
+  for (const Term *Node : CC.nodes()) {
+    if (!Node->isInt())
+      continue;
+    if (Node->isIntConst()) {
+      AtomValues[Node] = Node->value();
+      continue;
+    }
+    AtomValues.try_emplace(Node, Rational());
+  }
+
+  // --- Phase 4a: integrality splits (branch and bound) --------------------
+  // Program variables, array cells, and function values are integers; the
+  // simplex model is rational. A fractional value triggers the classic
+  // branch  atom <= floor(v)  \/  atom >= floor(v)+1, which is valid for
+  // integers without any supporting input literal. (This is what makes the
+  // FORWARD path formula of Section 2.1 infeasible: over the rationals it
+  // has a model with n between 0 and 1.)
+  for (const auto &[Atom, Value] : AtomValues) {
+    if (Value.isInteger())
+      continue;
+    const Term *FloorC = TM.mkIntConst(Rational(Value.floor()));
+    const Term *CeilC = TM.mkIntConst(Rational(Value.ceil()));
+    std::vector<int> UnionCore;
+    std::optional<ConjResult> Final;
+    runBranch(TM.mkLe(Atom, FloorC), UnionCore, Final);
+    if (Final)
+      return std::move(*Final);
+    runBranch(TM.mkLe(CeilC, Atom), UnionCore, Final);
+    if (Final)
+      return std::move(*Final);
+    ConjResult R;
+    R.Core = std::move(UnionCore);
+    return R;
+  }
+
+  // --- Phase 4: disequality splits ----------------------------------------
+  for (size_t I = 0; I < Facts.size(); ++I) {
+    const Term *Lit = Facts[I].Literal;
+    if (Lit->kind() != TermKind::Not)
+      continue;
+    const Term *Atom = Lit->operand(0);
+    const Term *A = Atom->operand(0);
+    const Term *B = Atom->operand(1);
+    if (!A->isInt())
+      continue;
+    if (evalUnderModel(A, AtomValues) != evalUnderModel(B, AtomValues))
+      continue; // Model already separates the two sides.
+    // A != B forces A < B or B < A.
+    std::vector<int> UnionCore;
+    std::optional<ConjResult> Final;
+    runBranch(TM.mkLt(A, B), UnionCore, Final);
+    if (Final)
+      return std::move(*Final);
+    runBranch(TM.mkLt(B, A), UnionCore, Final);
+    if (Final)
+      return std::move(*Final);
+    UnionCore.push_back(static_cast<int>(I)); // Justifies exhaustiveness.
+    ConjResult R;
+    R.Core = std::move(UnionCore);
+    return R;
+  }
+
+  // --- Phase 5: functional-consistency splits ------------------------------
+  const auto &Nodes = CC.nodes();
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    for (size_t J = I + 1; J < Nodes.size(); ++J) {
+      const Term *U = Nodes[I];
+      const Term *V = Nodes[J];
+      if (U->kind() != V->kind())
+        continue;
+      if (U->kind() != TermKind::Select && U->kind() != TermKind::Apply)
+        continue;
+      if (U->numOperands() != V->numOperands())
+        continue;
+      if (U->kind() == TermKind::Apply && U->name() != V->name())
+        continue;
+      if (U->kind() == TermKind::Select &&
+          !CC.areEqual(U->operand(0), V->operand(0)))
+        continue; // Reads of (so far) unrelated arrays.
+      if (CC.areEqual(U, V))
+        continue;
+      size_t FirstArg = U->kind() == TermKind::Select ? 1 : 0;
+      bool ArgsEqualInModel = true;
+      const Term *SplitX = nullptr, *SplitY = nullptr;
+      for (size_t K = FirstArg; K < U->numOperands(); ++K) {
+        const Term *X = U->operand(K);
+        const Term *Y = V->operand(K);
+        if (evalUnderModel(X, AtomValues) != evalUnderModel(Y, AtomValues)) {
+          ArgsEqualInModel = false;
+          break;
+        }
+        if (!CC.areEqual(X, Y) && !SplitX) {
+          SplitX = X;
+          SplitY = Y;
+        }
+      }
+      if (!ArgsEqualInModel)
+        continue;
+      if (evalUnderModel(U, AtomValues) == evalUnderModel(V, AtomValues))
+        continue; // Functionally consistent as-is.
+      assert(SplitX && "congruence violation without a splittable arg");
+      // SplitX < SplitY, SplitY < SplitX, or SplitX = SplitY (exhaustive).
+      std::vector<int> UnionCore;
+      std::optional<ConjResult> Final;
+      runBranch(TM.mkLt(SplitX, SplitY), UnionCore, Final);
+      if (Final)
+        return std::move(*Final);
+      runBranch(TM.mkLt(SplitY, SplitX), UnionCore, Final);
+      if (Final)
+        return std::move(*Final);
+      runBranch(TM.mkEq(SplitX, SplitY), UnionCore, Final);
+      if (Final)
+        return std::move(*Final);
+      ConjResult R;
+      R.Core = std::move(UnionCore);
+      return R;
+    }
+  }
+
+  // --- SAT -----------------------------------------------------------------
+  ConjResult R;
+  R.IsSat = true;
+  R.Model = std::move(AtomValues);
+  return R;
+}

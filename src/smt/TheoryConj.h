@@ -1,0 +1,81 @@
+//===- smt/TheoryConj.h - Conjunction solver for LRA+EUF -------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decision procedure for conjunctions of literals over linear arithmetic
+/// combined with uninterpreted functions and array reads.
+///
+/// Path formulas (Section 2.1) and the entailment queries of cartesian
+/// predicate abstraction are conjunctions, so this solver is the workhorse
+/// of both counterexample analysis and abstract post computation. The
+/// combination is
+///   * exact simplex for the arithmetic skeleton (atoms = opaque terms),
+///   * congruence closure for functional consistency of reads/applications,
+///   * equality exchange CC -> simplex for merged classes, and
+///   * model-based splitting (three-way: <, >, = with congruence) when a
+///     candidate arithmetic model violates functional consistency —
+///     giving a complete procedure for the convex combination.
+///
+/// Unsat cores are reported as indices into the input literal vector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SMT_THEORYCONJ_H
+#define PATHINV_SMT_THEORYCONJ_H
+
+#include "logic/LinearExpr.h"
+#include "logic/TermRewrite.h"
+
+#include <map>
+#include <vector>
+
+namespace pathinv {
+
+/// Result of a conjunction query.
+struct ConjResult {
+  bool IsSat = false;
+  /// On SAT: values for every arithmetic atom (variables, reads, applies).
+  std::map<const Term *, Rational, TermIdLess> Model;
+  /// On UNSAT: indices of an inconsistent subset of the input literals.
+  std::vector<int> Core;
+};
+
+/// Conjunction-of-literals solver over LRA + EUF + array reads.
+///
+/// Input literals must be store-free (run eliminateArrayWrites first) and
+/// quantifier-free; integer disequalities are accepted and handled by
+/// internal splitting.
+class TheoryConjSolver {
+public:
+  explicit TheoryConjSolver(TermManager &TM) : TM(TM) {}
+
+  /// Decides the conjunction of \p Literals. Each literal is a relational
+  /// atom, a negated equality, or a boolean constant.
+  ConjResult solve(const std::vector<const Term *> &Literals);
+
+  /// Statistics: simplex instances created during the last solve().
+  unsigned numSimplexRuns() const { return SimplexRuns; }
+
+private:
+  /// A constraint with provenance: Origin >= 0 is an input literal index,
+  /// Origin == -1 marks an internal split decision.
+  struct Fact {
+    const Term *Literal;
+    int Origin;
+  };
+
+  /// Recursive search over theory splits. Returned cores refer to fact
+  /// indices; decisions introduced at each split are removed before the
+  /// core propagates upward.
+  ConjResult solveFacts(std::vector<Fact> Facts, int Depth);
+
+  TermManager &TM;
+  unsigned SimplexRuns = 0;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SMT_THEORYCONJ_H

@@ -1,0 +1,359 @@
+//===- support/BigInt.cpp - Arbitrary-precision signed integers ----------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+
+using namespace pathinv;
+
+static constexpr uint64_t LimbBase = uint64_t(1) << 32;
+
+void BigInt::normalize() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Sign = 0;
+}
+
+BigInt::BigInt(int64_t Value) {
+  if (Value == 0)
+    return;
+  Sign = Value < 0 ? -1 : 1;
+  // Avoid UB on INT64_MIN by working in uint64_t.
+  uint64_t Mag = Value < 0 ? ~static_cast<uint64_t>(Value) + 1
+                           : static_cast<uint64_t>(Value);
+  Limbs.push_back(static_cast<uint32_t>(Mag & 0xffffffffu));
+  if (Mag >> 32)
+    Limbs.push_back(static_cast<uint32_t>(Mag >> 32));
+}
+
+BigInt::BigInt(std::string_view Decimal) {
+  [[maybe_unused]] bool Ok = fromString(Decimal, *this);
+  assert(Ok && "malformed decimal literal");
+}
+
+bool BigInt::fromString(std::string_view Decimal, BigInt &Out) {
+  bool Negative = false;
+  if (!Decimal.empty() && (Decimal[0] == '-' || Decimal[0] == '+')) {
+    Negative = Decimal[0] == '-';
+    Decimal.remove_prefix(1);
+  }
+  if (Decimal.empty())
+    return false;
+
+  BigInt Result;
+  const BigInt Ten(10);
+  for (char C : Decimal) {
+    if (C < '0' || C > '9')
+      return false;
+    Result = Result * Ten + BigInt(C - '0');
+  }
+  if (Negative)
+    Result = -Result;
+  Out = std::move(Result);
+  return true;
+}
+
+bool BigInt::fitsInt64() const {
+  if (Limbs.size() > 2)
+    return false;
+  if (Limbs.size() < 2)
+    return true;
+  uint64_t Mag = (static_cast<uint64_t>(Limbs[1]) << 32) | Limbs[0];
+  // INT64_MIN's magnitude is 2^63.
+  if (Sign < 0)
+    return Mag <= (uint64_t(1) << 63);
+  return Mag <= static_cast<uint64_t>(INT64_MAX);
+}
+
+int64_t BigInt::toInt64() const {
+  assert(fitsInt64() && "BigInt does not fit in int64_t");
+  uint64_t Mag = 0;
+  if (!Limbs.empty())
+    Mag = Limbs[0];
+  if (Limbs.size() > 1)
+    Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
+  if (Sign < 0)
+    return static_cast<int64_t>(~Mag + 1);
+  return static_cast<int64_t>(Mag);
+}
+
+int BigInt::compareMagnitude(const std::vector<uint32_t> &A,
+                             const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::addMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  const std::vector<uint32_t> &Long = A.size() >= B.size() ? A : B;
+  const std::vector<uint32_t> &Short = A.size() >= B.size() ? B : A;
+  std::vector<uint32_t> Result;
+  Result.reserve(Long.size() + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < Long.size(); ++I) {
+    uint64_t Sum = Carry + Long[I] + (I < Short.size() ? Short[I] : 0);
+    Result.push_back(static_cast<uint32_t>(Sum & 0xffffffffu));
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    Result.push_back(static_cast<uint32_t>(Carry));
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::subMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  assert(compareMagnitude(A, B) >= 0 && "subMagnitude requires |A| >= |B|");
+  std::vector<uint32_t> Result;
+  Result.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    if (Diff < 0) {
+      Diff += static_cast<int64_t>(LimbBase);
+      Borrow = 1;
+    } else {
+      Borrow = 0;
+    }
+    Result.push_back(static_cast<uint32_t>(Diff));
+  }
+  while (!Result.empty() && Result.back() == 0)
+    Result.pop_back();
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::mulMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<uint32_t> Result(A.size() + B.size(), 0);
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J < B.size(); ++J) {
+      uint64_t Cur = Result[I + J] +
+                     static_cast<uint64_t>(A[I]) * B[J] + Carry;
+      Result[I + J] = static_cast<uint32_t>(Cur & 0xffffffffu);
+      Carry = Cur >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry) {
+      uint64_t Cur = Result[K] + Carry;
+      Result[K] = static_cast<uint32_t>(Cur & 0xffffffffu);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  while (!Result.empty() && Result.back() == 0)
+    Result.pop_back();
+  return Result;
+}
+
+std::vector<uint32_t>
+BigInt::divModMagnitude(const std::vector<uint32_t> &A,
+                        const std::vector<uint32_t> &B,
+                        std::vector<uint32_t> &Rem) {
+  assert(!B.empty() && "division by zero magnitude");
+  if (compareMagnitude(A, B) < 0) {
+    Rem = A;
+    return {};
+  }
+  // Fast path: single-limb divisor.
+  if (B.size() == 1) {
+    uint64_t Div = B[0];
+    std::vector<uint32_t> Quot(A.size(), 0);
+    uint64_t Carry = 0;
+    for (size_t I = A.size(); I-- > 0;) {
+      uint64_t Cur = (Carry << 32) | A[I];
+      Quot[I] = static_cast<uint32_t>(Cur / Div);
+      Carry = Cur % Div;
+    }
+    while (!Quot.empty() && Quot.back() == 0)
+      Quot.pop_back();
+    Rem.clear();
+    if (Carry)
+      Rem.push_back(static_cast<uint32_t>(Carry));
+    return Quot;
+  }
+
+  // General case: bitwise long division. Slow but simple and exact; the
+  // synthesis pipeline keeps numbers small enough that this never dominates.
+  std::vector<uint32_t> Quot(A.size(), 0);
+  std::vector<uint32_t> Cur; // running remainder
+  for (size_t LimbIdx = A.size(); LimbIdx-- > 0;) {
+    for (int Bit = 31; Bit >= 0; --Bit) {
+      // Cur = Cur * 2 + bit.
+      uint32_t CarryBit = (A[LimbIdx] >> Bit) & 1;
+      for (auto &Limb : Cur) {
+        uint32_t NewCarry = Limb >> 31;
+        Limb = (Limb << 1) | CarryBit;
+        CarryBit = NewCarry;
+      }
+      if (CarryBit)
+        Cur.push_back(CarryBit);
+      if (compareMagnitude(Cur, B) >= 0) {
+        Cur = subMagnitude(Cur, B);
+        Quot[LimbIdx] |= uint32_t(1) << Bit;
+      }
+    }
+  }
+  while (!Quot.empty() && Quot.back() == 0)
+    Quot.pop_back();
+  Rem = std::move(Cur);
+  return Quot;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt Result = *this;
+  Result.Sign = -Result.Sign;
+  return Result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt Result = *this;
+  if (Result.Sign < 0)
+    Result.Sign = 1;
+  return Result;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  if (Sign == 0)
+    return RHS;
+  if (RHS.Sign == 0)
+    return *this;
+  BigInt Result;
+  if (Sign == RHS.Sign) {
+    Result.Sign = Sign;
+    Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
+    return Result;
+  }
+  int Cmp = compareMagnitude(Limbs, RHS.Limbs);
+  if (Cmp == 0)
+    return Result; // zero
+  if (Cmp > 0) {
+    Result.Sign = Sign;
+    Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
+  } else {
+    Result.Sign = RHS.Sign;
+    Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
+  }
+  return Result;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  BigInt Result;
+  if (Sign == 0 || RHS.Sign == 0)
+    return Result;
+  Result.Sign = Sign * RHS.Sign;
+  Result.Limbs = mulMagnitude(Limbs, RHS.Limbs);
+  Result.normalize();
+  return Result;
+}
+
+void BigInt::divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
+                    BigInt &Rem) {
+  assert(!Den.isZero() && "division by zero");
+  std::vector<uint32_t> RemMag;
+  std::vector<uint32_t> QuotMag = divModMagnitude(Num.Limbs, Den.Limbs, RemMag);
+  Quot = BigInt();
+  Rem = BigInt();
+  if (!QuotMag.empty()) {
+    Quot.Sign = Num.Sign * Den.Sign;
+    Quot.Limbs = std::move(QuotMag);
+  }
+  if (!RemMag.empty()) {
+    Rem.Sign = Num.Sign;
+    Rem.Limbs = std::move(RemMag);
+  }
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  BigInt Quot, Rem;
+  divMod(*this, RHS, Quot, Rem);
+  return Quot;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  BigInt Quot, Rem;
+  divMod(*this, RHS, Quot, Rem);
+  return Rem;
+}
+
+BigInt BigInt::floorDiv(const BigInt &RHS) const {
+  BigInt Quot, Rem;
+  divMod(*this, RHS, Quot, Rem);
+  // Truncation equals floor unless signs differ and there is a remainder.
+  if (!Rem.isZero() && (Sign * RHS.Sign) < 0)
+    Quot -= BigInt(1);
+  return Quot;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Sign != RHS.Sign)
+    return Sign < RHS.Sign ? -1 : 1;
+  int MagCmp = compareMagnitude(Limbs, RHS.Limbs);
+  return Sign >= 0 ? MagCmp : -MagCmp;
+}
+
+BigInt BigInt::gcd(BigInt A, BigInt B) {
+  A = A.abs();
+  B = B.abs();
+  while (!B.isZero()) {
+    BigInt R = A % B;
+    A = std::move(B);
+    B = std::move(R);
+  }
+  return A;
+}
+
+BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {
+  if (A.isZero() || B.isZero())
+    return BigInt();
+  BigInt G = gcd(A, B);
+  return (A.abs() / G) * B.abs();
+}
+
+std::string BigInt::toString() const {
+  if (Sign == 0)
+    return "0";
+  std::string Digits;
+  std::vector<uint32_t> Mag = Limbs;
+  while (!Mag.empty()) {
+    // Divide magnitude by 10^9 and emit the remainder.
+    uint64_t Carry = 0;
+    for (size_t I = Mag.size(); I-- > 0;) {
+      uint64_t Cur = (Carry << 32) | Mag[I];
+      Mag[I] = static_cast<uint32_t>(Cur / 1000000000u);
+      Carry = Cur % 1000000000u;
+    }
+    while (!Mag.empty() && Mag.back() == 0)
+      Mag.pop_back();
+    for (int I = 0; I < 9; ++I) {
+      Digits.push_back(static_cast<char>('0' + Carry % 10));
+      Carry /= 10;
+    }
+  }
+  while (Digits.size() > 1 && Digits.back() == '0')
+    Digits.pop_back();
+  if (Sign < 0)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+size_t BigInt::hash() const {
+  size_t H = static_cast<size_t>(Sign + 1);
+  for (uint32_t Limb : Limbs)
+    H = H * 1000003u + Limb;
+  return H;
+}

@@ -1,0 +1,130 @@
+//===- support/BigInt.h - Arbitrary-precision signed integers --*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision signed integer arithmetic.
+///
+/// Template-based invariant synthesis via Farkas' lemma produces linear
+/// systems whose exact-rational pivoting can grow coefficients well past
+/// 64 bits; this class provides the unbounded integers that back
+/// \c Rational. Representation is sign + little-endian base-2^32 magnitude
+/// with no leading zero limbs (canonical: zero has an empty magnitude and
+/// sign 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SUPPORT_BIGINT_H
+#define PATHINV_SUPPORT_BIGINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathinv {
+
+/// Arbitrary-precision signed integer.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a machine integer.
+  BigInt(int64_t Value);
+
+  /// Parses a decimal string with optional leading '-'.
+  /// Asserts on malformed input; use \c fromString for checked parsing.
+  explicit BigInt(std::string_view Decimal);
+
+  /// Checked decimal parse. Returns false (and leaves \p Out untouched) on
+  /// malformed input.
+  static bool fromString(std::string_view Decimal, BigInt &Out);
+
+  /// \returns -1, 0, or +1.
+  int sign() const { return Sign; }
+  bool isZero() const { return Sign == 0; }
+  bool isNegative() const { return Sign < 0; }
+  bool isOne() const { return Sign > 0 && Limbs.size() == 1 && Limbs[0] == 1; }
+
+  /// \returns the value as int64_t; asserts if it does not fit.
+  int64_t toInt64() const;
+
+  /// \returns true if the value fits in int64_t.
+  bool fitsInt64() const;
+
+  /// Decimal rendering (no leading zeros, '-' prefix when negative).
+  std::string toString() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+
+  /// Truncated division (C semantics: quotient rounds toward zero, remainder
+  /// has the sign of the dividend). Asserts on division by zero.
+  BigInt operator/(const BigInt &RHS) const;
+  BigInt operator%(const BigInt &RHS) const;
+
+  /// Computes quotient and remainder in one pass (truncated semantics).
+  static void divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
+                     BigInt &Rem);
+
+  /// Floor division: quotient rounds toward negative infinity.
+  BigInt floorDiv(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+
+  bool operator==(const BigInt &RHS) const {
+    return Sign == RHS.Sign && Limbs == RHS.Limbs;
+  }
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  /// Three-way comparison: negative, zero, or positive.
+  int compare(const BigInt &RHS) const;
+
+  /// Greatest common divisor (always non-negative).
+  static BigInt gcd(BigInt A, BigInt B);
+
+  /// Least common multiple (always non-negative; lcm(0,x) = 0).
+  static BigInt lcm(const BigInt &A, const BigInt &B);
+
+  /// Hash suitable for unordered containers.
+  size_t hash() const;
+
+private:
+  // Magnitude comparison helpers operating on raw limb vectors.
+  static int compareMagnitude(const std::vector<uint32_t> &A,
+                              const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> addMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<uint32_t> subMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> mulMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  /// Schoolbook long division on magnitudes; returns quotient, sets \p Rem.
+  static std::vector<uint32_t> divModMagnitude(const std::vector<uint32_t> &A,
+                                               const std::vector<uint32_t> &B,
+                                               std::vector<uint32_t> &Rem);
+
+  void normalize();
+
+  int Sign = 0;
+  std::vector<uint32_t> Limbs;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SUPPORT_BIGINT_H

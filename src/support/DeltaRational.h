@@ -1,0 +1,90 @@
+//===- support/DeltaRational.h - Rationals with infinitesimal --*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rational numbers extended with a symbolic infinitesimal delta.
+///
+/// The simplex core represents a strict bound t < c as t <= c - delta with
+/// delta an infinitesimal positive value (the standard technique from
+/// Dutertre & de Moura's "A fast linear-arithmetic solver for DPLL(T)").
+/// A DeltaRational is r + k*delta with r, k exact rationals; comparison is
+/// lexicographic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SUPPORT_DELTARATIONAL_H
+#define PATHINV_SUPPORT_DELTARATIONAL_H
+
+#include "support/Rational.h"
+
+namespace pathinv {
+
+/// Value of the form Real + Inf * delta for an infinitesimal delta > 0.
+class DeltaRational {
+public:
+  DeltaRational() = default;
+  DeltaRational(Rational Real) : Real(std::move(Real)) {}
+  DeltaRational(Rational Real, Rational Inf)
+      : Real(std::move(Real)), Inf(std::move(Inf)) {}
+  DeltaRational(int64_t Value) : Real(Value) {}
+
+  const Rational &real() const { return Real; }
+  const Rational &infinitesimal() const { return Inf; }
+  bool isRational() const { return Inf.isZero(); }
+  bool isZero() const { return Real.isZero() && Inf.isZero(); }
+
+  DeltaRational operator-() const { return DeltaRational(-Real, -Inf); }
+  DeltaRational operator+(const DeltaRational &RHS) const {
+    return DeltaRational(Real + RHS.Real, Inf + RHS.Inf);
+  }
+  DeltaRational operator-(const DeltaRational &RHS) const {
+    return DeltaRational(Real - RHS.Real, Inf - RHS.Inf);
+  }
+  /// Scaling by a (plain) rational; delta-rationals form a Q-vector space.
+  DeltaRational operator*(const Rational &Scale) const {
+    return DeltaRational(Real * Scale, Inf * Scale);
+  }
+  DeltaRational &operator+=(const DeltaRational &RHS) {
+    Real += RHS.Real;
+    Inf += RHS.Inf;
+    return *this;
+  }
+  DeltaRational &operator-=(const DeltaRational &RHS) {
+    Real -= RHS.Real;
+    Inf -= RHS.Inf;
+    return *this;
+  }
+
+  int compare(const DeltaRational &RHS) const {
+    int Cmp = Real.compare(RHS.Real);
+    if (Cmp != 0)
+      return Cmp;
+    return Inf.compare(RHS.Inf);
+  }
+  bool operator==(const DeltaRational &RHS) const {
+    return Real == RHS.Real && Inf == RHS.Inf;
+  }
+  bool operator!=(const DeltaRational &RHS) const { return !(*this == RHS); }
+  bool operator<(const DeltaRational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const DeltaRational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const DeltaRational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const DeltaRational &RHS) const { return compare(RHS) >= 0; }
+
+  std::string toString() const {
+    if (Inf.isZero())
+      return Real.toString();
+    return Real.toString() + (Inf.isNegative() ? "-" : "+") +
+           Inf.abs().toString() + "d";
+  }
+
+private:
+  Rational Real;
+  Rational Inf;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SUPPORT_DELTARATIONAL_H

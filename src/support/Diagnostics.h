@@ -1,0 +1,92 @@
+//===- support/Diagnostics.h - Error reporting helpers ---------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight error propagation without exceptions.
+///
+/// Library code reports recoverable failures (parse errors, unsupported
+/// constructs, solver resource limits) through \c Expected<T>, which carries
+/// either a value or a diagnostic message with optional source location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SUPPORT_DIAGNOSTICS_H
+#define PATHINV_SUPPORT_DIAGNOSTICS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pathinv {
+
+/// Source position (1-based) for front-end diagnostics. Line 0 means
+/// "no location".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string toString() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// A diagnostic message with optional source location.
+struct Diag {
+  std::string Message;
+  SourceLoc Loc;
+
+  std::string render() const {
+    if (!Loc.isValid())
+      return Message;
+    return Loc.toString() + ": " + Message;
+  }
+};
+
+/// Value-or-diagnostic result type. Minimal replacement for llvm::Expected
+/// suitable for exception-free error propagation.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Diag D) : Error(std::move(D)) {}
+
+  /// Creates an error result with message \p Message at \p Loc.
+  static Expected<T> makeError(std::string Message, SourceLoc Loc = {}) {
+    return Expected<T>(Diag{std::move(Message), Loc});
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &get() {
+    assert(hasValue() && "accessing value of failed Expected");
+    return *Value;
+  }
+  const T &get() const {
+    assert(hasValue() && "accessing value of failed Expected");
+    return *Value;
+  }
+  T &&take() {
+    assert(hasValue() && "taking value of failed Expected");
+    return std::move(*Value);
+  }
+
+  const Diag &error() const {
+    assert(!hasValue() && "accessing error of successful Expected");
+    return *Error;
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Diag> Error;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SUPPORT_DIAGNOSTICS_H

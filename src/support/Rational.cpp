@@ -1,0 +1,93 @@
+//===- support/Rational.cpp - Exact rational numbers ---------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+using namespace pathinv;
+
+Rational::Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
+  assert(!Den.isZero() && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNegative()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt G = BigInt::gcd(Num, Den);
+  if (!G.isOne()) {
+    Num = Num / G;
+    Den = Den / G;
+  }
+}
+
+bool Rational::fromString(std::string_view Text, Rational &Out) {
+  size_t Slash = Text.find('/');
+  BigInt N, D(1);
+  if (Slash == std::string_view::npos) {
+    if (!BigInt::fromString(Text, N))
+      return false;
+  } else {
+    if (!BigInt::fromString(Text.substr(0, Slash), N) ||
+        !BigInt::fromString(Text.substr(Slash + 1), D) || D.isZero())
+      return false;
+  }
+  Out = Rational(std::move(N), std::move(D));
+  return true;
+}
+
+BigInt Rational::floor() const { return Num.floorDiv(Den); }
+
+BigInt Rational::ceil() const {
+  BigInt F = floor();
+  if (isInteger())
+    return F;
+  return F + BigInt(1);
+}
+
+Rational Rational::operator-() const {
+  Rational Result = *this;
+  Result.Num = -Result.Num;
+  return Result;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "division by zero rational");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+Rational Rational::inverse() const {
+  assert(!isZero() && "inverse of zero");
+  return Rational(Den, Num);
+}
+
+int Rational::compare(const Rational &RHS) const {
+  // Cross-multiply; denominators are positive so the direction is preserved.
+  return (Num * RHS.Den).compare(RHS.Num * Den);
+}
+
+std::string Rational::toString() const {
+  if (isInteger())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}

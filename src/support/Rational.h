@@ -1,0 +1,105 @@
+//===- support/Rational.h - Exact rational numbers -------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational arithmetic over \c BigInt.
+///
+/// All linear-arithmetic reasoning in the simplex core and in Farkas
+/// constraint generation is performed over these rationals, mirroring the
+/// exactness guarantee the paper obtained from SICStus CLP(Q).
+/// Invariant: the denominator is strictly positive and gcd(num, den) == 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SUPPORT_RATIONAL_H
+#define PATHINV_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <string>
+
+namespace pathinv {
+
+/// Exact rational number in lowest terms with positive denominator.
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Den(1) {}
+
+  /// Constructs the integer \p Value.
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+
+  /// Constructs \p Num / \p Den; asserts \p Den != 0.
+  Rational(BigInt Num, BigInt Den);
+
+  /// Constructs the integer \p Value.
+  explicit Rational(BigInt Value) : Num(std::move(Value)), Den(1) {}
+
+  /// Convenience for small fractions in tests: \p Num / \p Den.
+  static Rational fraction(int64_t Num, int64_t Den) {
+    return Rational(BigInt(Num), BigInt(Den));
+  }
+
+  /// Parses "a", "-a", or "a/b" decimal forms. Returns false on bad input.
+  static bool fromString(std::string_view Text, Rational &Out);
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isNegative() const { return Num.isNegative(); }
+  bool isPositive() const { return Num.sign() > 0; }
+  bool isInteger() const { return Den.isOne(); }
+  bool isOne() const { return Num.isOne() && Den.isOne(); }
+  int sign() const { return Num.sign(); }
+
+  /// Largest integer <= this.
+  BigInt floor() const;
+  /// Smallest integer >= this.
+  BigInt ceil() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Asserts RHS != 0.
+  Rational operator/(const Rational &RHS) const;
+  /// Multiplicative inverse; asserts non-zero.
+  Rational inverse() const;
+  Rational abs() const { return isNegative() ? -*this : *this; }
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const Rational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const Rational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const Rational &RHS) const { return compare(RHS) >= 0; }
+
+  /// Three-way comparison.
+  int compare(const Rational &RHS) const;
+
+  /// Renders "n" for integers, "n/d" otherwise.
+  std::string toString() const;
+
+  size_t hash() const { return Num.hash() * 33 + Den.hash(); }
+
+private:
+  void normalize();
+
+  BigInt Num;
+  BigInt Den; ///< Always > 0.
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SUPPORT_RATIONAL_H

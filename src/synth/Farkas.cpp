@@ -1,0 +1,64 @@
+//===- synth/Farkas.cpp - Farkas-lemma encoding -----------------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Farkas.h"
+
+#include <set>
+
+using namespace pathinv;
+
+void pathinv::farkasEncode(UnknownPool &Pool,
+                           const std::vector<Row> &Antecedent,
+                           const std::optional<ParamLinExpr> &Target,
+                           std::vector<PolyConstraint> &Out,
+                           std::vector<int> &Multipliers) {
+  // One multiplier per antecedent row.
+  std::vector<Poly> Lambda;
+  Lambda.reserve(Antecedent.size());
+  for (size_t J = 0; J < Antecedent.size(); ++J) {
+    UnknownKind Kind = Antecedent[J].IsEq ? UnknownKind::FreeMult
+                                          : UnknownKind::Multiplier;
+    int Id = Pool.add(Kind, "l" + std::to_string(Pool.size()));
+    Multipliers.push_back(Id);
+    Lambda.push_back(Poly::unknown(Id));
+  }
+
+  // Columns of the combined system.
+  std::set<const Term *, TermIdLess> Columns;
+  for (const Row &R : Antecedent)
+    for (const auto &[Column, Coeff] : R.E.coefficients())
+      Columns.insert(Column);
+  if (Target)
+    for (const auto &[Column, Coeff] : Target->coefficients())
+      Columns.insert(Column);
+
+  // Column equations: sum_j lambda_j * A[j][c] = target[c] (0 for false).
+  for (const Term *Column : Columns) {
+    Poly Sum;
+    for (size_t J = 0; J < Antecedent.size(); ++J)
+      Sum.add(Lambda[J] * Antecedent[J].E.coefficientOf(Column));
+    if (Target)
+      Sum.sub(Target->coefficientOf(Column));
+    Out.push_back({std::move(Sum), /*IsEq=*/true});
+  }
+
+  // Constant row.
+  Poly ConstSum;
+  for (size_t J = 0; J < Antecedent.size(); ++J)
+    ConstSum.add(Lambda[J] * Antecedent[J].E.constant());
+  if (Target) {
+    // sum lambda_j * c_j >= target_const: the combination is at most the
+    // target as a function, so rows <= 0 imply target <= 0.
+    ConstSum.sub(Target->constant());
+    Out.push_back({std::move(ConstSum), /*IsEq=*/false});
+  } else {
+    // Derive a positive constant from rows that are all <= 0:
+    // sum lambda_j * c_j >= 1 with zero column coefficients refutes the
+    // antecedent.
+    ConstSum.sub(Poly(Rational(1)));
+    Out.push_back({std::move(ConstSum), /*IsEq=*/false});
+  }
+}

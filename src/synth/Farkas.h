@@ -1,0 +1,45 @@
+//===- synth/Farkas.h - Farkas-lemma encoding -------------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Implication Encoding" step of Section 4.2: the validity of a
+/// linear implication  /\ rows |= target  is encoded, via Farkas' lemma,
+/// as the existence of nonnegative multipliers (free-signed for equality
+/// rows) combining the antecedent rows into the target:
+///
+///   for every column c:   sum_j lambda_j * A[j][c]  =  target[c]
+///   for the constants:    sum_j lambda_j * A[j][const] >= target[const]
+///
+/// Deriving `false` (the safety conditions, and the vacuous-guard cases of
+/// quantified templates) is the target-free variant that combines the rows
+/// into a positive constant. Both produce PolyConstraints over the
+/// unknowns; products multiplier * parameter make them bilinear.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SYNTH_FARKAS_H
+#define PATHINV_SYNTH_FARKAS_H
+
+#include "synth/ParamLin.h"
+
+#include <optional>
+
+namespace pathinv {
+
+/// Encodes `/\ Antecedent |= Target` (or `|= false` when Target is
+/// absent). Fresh multipliers are added to \p Pool; their ids are appended
+/// to \p Multipliers. Constraints land in \p Out.
+///
+/// An equality target must be split by the caller into two inequality
+/// targets (E <= 0 and -E <= 0).
+void farkasEncode(UnknownPool &Pool, const std::vector<Row> &Antecedent,
+                  const std::optional<ParamLinExpr> &Target,
+                  std::vector<PolyConstraint> &Out,
+                  std::vector<int> &Multipliers);
+
+} // namespace pathinv
+
+#endif // PATHINV_SYNTH_FARKAS_H

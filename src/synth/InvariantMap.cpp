@@ -1,0 +1,80 @@
+//===- synth/InvariantMap.cpp - Invariant maps and checking ----------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/InvariantMap.h"
+
+#include "logic/TermPrinter.h"
+#include "program/CutSet.h"
+#include "program/PathFormula.h"
+#include "smt/QuantInst.h"
+#include "smt/SmtSolver.h"
+
+using namespace pathinv;
+
+std::string InvariantMap::dump(const Program &P) const {
+  std::string Out;
+  for (const auto &[Loc, Formula] : Inv) {
+    Out += "  eta(" + P.locationName(Loc) + ") = " + printTerm(Formula) +
+           "\n";
+  }
+  return Out;
+}
+
+InvariantCheckResult pathinv::checkInvariantMap(const Program &P,
+                                                const InvariantMap &Map,
+                                                SmtSolver &Solver) {
+  TermManager &TM = P.termManager();
+  InvariantCheckResult Result;
+
+  // (I0) Initiation: eta(entry) = true.
+  if (!Map.at(TM, P.entry())->isTrue()) {
+    Result.FailureReason = "entry location must map to true";
+    return Result;
+  }
+  // (I2) Safety: eta(error) = false.
+  if (!Map.at(TM, P.error())->isFalse()) {
+    Result.FailureReason = "error location must map to false";
+    return Result;
+  }
+
+  // The locations carrying (non-trivial) invariants must form a cutset,
+  // so inductiveness can be checked segment-wise (Section 3's efficiency
+  // remark; invariants elsewhere follow by strongest postconditions).
+  std::set<LocId> Cuts{P.entry(), P.error()};
+  for (const auto &[Loc, Formula] : Map.Inv)
+    Cuts.insert(Loc);
+  if (!isCutSet(P, Cuts)) {
+    Result.FailureReason = "invariant locations do not form a cutset";
+    return Result;
+  }
+
+  // (I1) Inductiveness, segment-composed:
+  //   eta(src)[X -> X@0] /\ SSA(segment) |= eta(dst)[X -> X@final].
+  for (const std::vector<int> &Seg : cutToCutPaths(P, Cuts)) {
+    LocId Src = P.transition(Seg.front()).From;
+    LocId Dst = P.transition(Seg.back()).To;
+    const Term *Post = Map.at(TM, Dst);
+    if (Dst == P.error())
+      Post = TM.mkFalse();
+    if (Post->isTrue())
+      continue;
+    const Term *Pre = Map.at(TM, Src);
+
+    PathFormula PF = buildPathFormula(P, Seg);
+    const Term *PreRenamed = substitute(TM, Pre, PF.InitialVars);
+    const Term *PostRenamed = substitute(TM, Post, PF.FinalVars);
+    const Term *Hyp = TM.mkAnd(PreRenamed, PF.formula(TM));
+    if (!entailsWithQuant(TM, Solver, Hyp, PostRenamed)) {
+      Result.FailureReason =
+          "inductiveness fails on segment " + P.locationName(Src) +
+          " ~> " + P.locationName(Dst) +
+          " for target " + printTerm(Post);
+      return Result;
+    }
+  }
+  Result.Ok = true;
+  return Result;
+}

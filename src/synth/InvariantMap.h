@@ -1,0 +1,62 @@
+//===- synth/InvariantMap.h - Invariant maps and checking ------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariant maps per Section 3: a mapping from program locations to
+/// formulas satisfying (I0) initiation — entry maps to true, (I1)
+/// inductiveness — eta(l) /\ rho entails eta(l')', and (I2) safety — the
+/// error location maps to false.
+///
+/// The checker validates a candidate map independently of how it was
+/// produced (constraint-based synthesis or abstract interpretation),
+/// using quantifier instantiation plus the ground SMT solver. Synthesized
+/// maps are only ever handed to the CEGAR loop after passing this check,
+/// so a heuristic or solver bug can cost completeness but never
+/// soundness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SYNTH_INVARIANTMAP_H
+#define PATHINV_SYNTH_INVARIANTMAP_H
+
+#include "program/Program.h"
+
+#include <map>
+#include <string>
+
+namespace pathinv {
+
+class SmtSolver;
+
+/// Location -> invariant formula (over the program variables).
+/// Locations absent from the map are implicitly `true`.
+struct InvariantMap {
+  std::map<LocId, const Term *> Inv;
+
+  const Term *at(TermManager &TM, LocId Loc) const {
+    auto It = Inv.find(Loc);
+    return It == Inv.end() ? TM.mkTrue() : It->second;
+  }
+
+  std::string dump(const Program &P) const;
+};
+
+/// Result of checking an invariant map.
+struct InvariantCheckResult {
+  bool Ok = false;
+  std::string FailureReason; ///< Human-readable violated obligation.
+};
+
+/// Verifies (I0)-(I2) for \p Map over \p P. Conditions are checked with
+/// sound quantifier instantiation; a false negative is possible outside
+/// the array-property fragment, a false positive is not.
+InvariantCheckResult checkInvariantMap(const Program &P,
+                                       const InvariantMap &Map,
+                                       SmtSolver &Solver);
+
+} // namespace pathinv
+
+#endif // PATHINV_SYNTH_INVARIANTMAP_H

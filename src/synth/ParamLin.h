@@ -1,0 +1,142 @@
+//===- synth/ParamLin.h - Parametric linear expressions --------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear expressions over "columns" (program variables, skolem indices,
+/// array-read atoms) whose coefficients are polynomials in the synthesis
+/// unknowns. A concrete program constraint has constant-polynomial
+/// coefficients; a template row has parameter coefficients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SYNTH_PARAMLIN_H
+#define PATHINV_SYNTH_PARAMLIN_H
+
+#include "logic/LinearExpr.h"
+#include "synth/Poly.h"
+
+namespace pathinv {
+
+/// Linear form `Const + sum Coeff_c * c` with Poly coefficients.
+class ParamLinExpr {
+public:
+  ParamLinExpr() = default;
+  explicit ParamLinExpr(Poly Constant) : Constant(std::move(Constant)) {}
+
+  /// Lifts a concrete linear expression (all coefficients constant).
+  static ParamLinExpr fromLinear(const LinearExpr &L) {
+    ParamLinExpr Result;
+    Result.Constant = Poly(L.constant());
+    for (const auto &[Atom, Coeff] : L.coefficients())
+      Result.Coeffs[Atom] = Poly(Coeff);
+    return Result;
+  }
+
+  const Poly &constant() const { return Constant; }
+  const std::map<const Term *, Poly, TermIdLess> &coefficients() const {
+    return Coeffs;
+  }
+
+  Poly coefficientOf(const Term *Column) const {
+    auto It = Coeffs.find(Column);
+    return It == Coeffs.end() ? Poly() : It->second;
+  }
+
+  void addTerm(const Term *Column, Poly Coeff) {
+    if (Coeff.isZero())
+      return;
+    auto [It, Inserted] = Coeffs.try_emplace(Column, std::move(Coeff));
+    if (!Inserted) {
+      It->second.add(Coeff);
+      if (It->second.isZero())
+        Coeffs.erase(It);
+    }
+  }
+  void addConstant(const Poly &P) { Constant.add(P); }
+
+  void add(const ParamLinExpr &RHS) {
+    Constant.add(RHS.Constant);
+    for (const auto &[Column, Coeff] : RHS.Coeffs)
+      addTerm(Column, Coeff);
+  }
+  void scale(const Rational &Factor) {
+    Constant.scale(Factor);
+    for (auto &[Column, Coeff] : Coeffs)
+      Coeff.scale(Factor);
+    normalize();
+  }
+  ParamLinExpr operator+(const ParamLinExpr &RHS) const {
+    ParamLinExpr Result = *this;
+    Result.add(RHS);
+    return Result;
+  }
+  ParamLinExpr operator-() const {
+    ParamLinExpr Result = *this;
+    Result.scale(Rational(-1));
+    return Result;
+  }
+  ParamLinExpr operator-(const ParamLinExpr &RHS) const {
+    return *this + (-RHS);
+  }
+
+  /// Substitutes columns by parametric expressions (used to rename
+  /// template rows from program variables to SSA instances).
+  ParamLinExpr
+  substituteColumns(const std::map<const Term *, const Term *, TermIdLess>
+                        &Renaming) const {
+    ParamLinExpr Result;
+    Result.Constant = Constant;
+    for (const auto &[Column, Coeff] : Coeffs) {
+      auto It = Renaming.find(Column);
+      Result.addTerm(It == Renaming.end() ? Column : It->second, Coeff);
+    }
+    return Result;
+  }
+
+  /// Substitutes unknowns with concrete values everywhere.
+  ParamLinExpr substituteUnknowns(const std::map<int, Rational> &Values) const {
+    ParamLinExpr Result;
+    Result.Constant = Constant.substitute(Values);
+    for (const auto &[Column, Coeff] : Coeffs)
+      Result.addTerm(Column, Coeff.substitute(Values));
+    return Result;
+  }
+
+  /// Evaluates to a concrete LinearExpr under a full unknown assignment.
+  LinearExpr evaluate(const std::vector<Rational> &Assignment) const {
+    LinearExpr Result;
+    Result.addConstant(Constant.evaluate(Assignment));
+    for (const auto &[Column, Coeff] : Coeffs)
+      Result.addTerm(Column, Coeff.evaluate(Assignment));
+    return Result;
+  }
+
+private:
+  void normalize() {
+    for (auto It = Coeffs.begin(); It != Coeffs.end();) {
+      if (It->second.isZero())
+        It = Coeffs.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  Poly Constant;
+  std::map<const Term *, Poly, TermIdLess> Coeffs;
+};
+
+/// A row `E <= 0` or `E = 0` of a condition's antecedent or target.
+struct Row {
+  ParamLinExpr E;
+  bool IsEq = false;
+
+  static Row le(ParamLinExpr E) { return {std::move(E), false}; }
+  static Row eq(ParamLinExpr E) { return {std::move(E), true}; }
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SYNTH_PARAMLIN_H

@@ -1,0 +1,58 @@
+//===- synth/PathInvariants.h - Path-invariant generation ------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete path-invariant pipeline of Sections 4.2 and 5: propose a
+/// template map over the cutpoints of the (path) program, compile the
+/// inductiveness and safety conditions, solve the Farkas systems, escalate
+/// the template on failure, and independently verify the resulting
+/// invariant map before anyone relies on it.
+///
+/// A second backend realizes the paper's remark that any invariant
+/// generator can be plugged in: the interval abstract interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SYNTH_PATHINVARIANTS_H
+#define PATHINV_SYNTH_PATHINVARIANTS_H
+
+#include "synth/ConstraintGen.h"
+#include "synth/InvariantMap.h"
+#include "synth/Solver.h"
+
+namespace pathinv {
+
+/// Knobs for path-invariant generation.
+struct PathInvOptions {
+  int MaxTemplateLevel = 2;
+  SynthOptions Synth;
+  GenOptions Gen;
+  bool VerifyMap = true; ///< Re-check the map before returning it.
+};
+
+/// Outcome of path-invariant generation.
+struct PathInvResult {
+  bool Found = false;
+  InvariantMap Map;
+  int LevelUsed = -1;  ///< Template escalation level that succeeded.
+  int LevelsTried = 0; ///< Number of template maps attempted.
+  uint64_t LpChecks = 0;
+  std::string FailureReason;
+};
+
+/// Constraint-based backend (the paper's instantiation).
+PathInvResult generatePathInvariants(const Program &P, SmtSolver &Solver,
+                                     const PathInvOptions &Opts = {});
+
+/// Abstract-interpretation backend (interval domain): succeeds when the
+/// interval fixpoint proves the error location unreachable.
+PathInvResult generateIntervalInvariants(const Program &P,
+                                         SmtSolver &Solver,
+                                         bool Verify = true);
+
+} // namespace pathinv
+
+#endif // PATHINV_SYNTH_PATHINVARIANTS_H

@@ -1,0 +1,123 @@
+//===- synth/Poly.cpp - Unknowns and low-degree polynomials ----------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Poly.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pathinv;
+
+Poly Poly::operator*(const Poly &RHS) const {
+  Poly Result;
+  for (const auto &[M1, C1] : Terms) {
+    for (const auto &[M2, C2] : RHS.Terms) {
+      int Degree = M1.degree() + M2.degree();
+      assert(Degree <= 2 && "polynomial degree above two");
+      Monomial M;
+      if (Degree == 0) {
+        M = Monomial::constant();
+      } else if (Degree == 1) {
+        M = Monomial::linear(M1.degree() == 1 ? M1.B : M2.B);
+      } else if (M1.degree() == 2) {
+        M = M1;
+      } else if (M2.degree() == 2) {
+        M = M2;
+      } else {
+        M = Monomial::quadratic(M1.B, M2.B);
+      }
+      Result.addTerm(M, C1 * C2);
+    }
+  }
+  return Result;
+}
+
+Poly Poly::substitute(const std::map<int, Rational> &Values) const {
+  Poly Result;
+  for (const auto &[M, C] : Terms) {
+    Rational Coeff = C;
+    int RemainA = -1, RemainB = -1;
+    for (int Id : {M.A, M.B}) {
+      if (Id < 0)
+        continue;
+      auto It = Values.find(Id);
+      if (It != Values.end()) {
+        Coeff *= It->second;
+      } else if (RemainA < 0) {
+        RemainA = Id;
+      } else {
+        RemainB = Id;
+      }
+    }
+    if (Coeff.isZero())
+      continue;
+    Monomial NewM;
+    if (RemainA < 0)
+      NewM = Monomial::constant();
+    else if (RemainB < 0)
+      NewM = Monomial::linear(RemainA);
+    else
+      NewM = Monomial::quadratic(RemainA, RemainB);
+    Result.addTerm(NewM, Coeff);
+  }
+  return Result;
+}
+
+std::vector<int> Poly::quadraticUnknowns() const {
+  std::vector<int> Out;
+  for (const auto &[M, C] : Terms) {
+    if (M.degree() == 2) {
+      Out.push_back(M.A);
+      Out.push_back(M.B);
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+Rational Poly::evaluate(const std::vector<Rational> &Assignment) const {
+  Rational Result;
+  for (const auto &[M, C] : Terms) {
+    Rational Value = C;
+    if (M.A >= 0) {
+      assert(M.A < static_cast<int>(Assignment.size()));
+      Value *= Assignment[M.A];
+    }
+    if (M.B >= 0) {
+      assert(M.B < static_cast<int>(Assignment.size()));
+      Value *= Assignment[M.B];
+    }
+    Result += Value;
+  }
+  return Result;
+}
+
+std::string Poly::toString(const UnknownPool &Pool) const {
+  if (Terms.empty())
+    return "0";
+  std::string Out;
+  bool First = true;
+  for (const auto &[M, C] : Terms) {
+    if (!First)
+      Out += C.isNegative() ? " - " : " + ";
+    else if (C.isNegative())
+      Out += "-";
+    First = false;
+    Rational AbsC = C.abs();
+    bool NeedCoeff = !AbsC.isOne() || M.degree() == 0;
+    if (NeedCoeff)
+      Out += AbsC.toString();
+    if (M.B >= 0) {
+      if (NeedCoeff)
+        Out += "*";
+      if (M.A >= 0)
+        Out += Pool.name(M.A) + "*";
+      Out += Pool.name(M.B);
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,183 @@
+//===- synth/Poly.h - Unknowns and low-degree polynomials ------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unknown pool and polynomial arithmetic for constraint-based
+/// invariant synthesis (Section 4.2).
+///
+/// Farkas' lemma turns each inductiveness condition into equations between
+/// template parameters and nonnegative multipliers. Because the antecedent
+/// rows themselves carry parameters, the equations are *bilinear*:
+/// products multiplier * parameter of total degree two. \c Poly represents
+/// exactly this fragment (degree <= 2), and the solver resolves the
+/// bilinearity by enumerating small integer values for the multipliers
+/// that participate in quadratic monomials (the standard practical
+/// technique for Colon-Sankaranarayanan-Sipma-style synthesis, replacing
+/// the paper's SICStus CLP(Q) search).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SYNTH_POLY_H
+#define PATHINV_SYNTH_POLY_H
+
+#include "support/Rational.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pathinv {
+
+/// What an unknown stands for; drives the solver's strategy.
+enum class UnknownKind : uint8_t {
+  Param,      ///< Template parameter (free rational).
+  Multiplier, ///< Farkas multiplier for an inequality row (>= 0).
+  FreeMult,   ///< Farkas multiplier for an equality row (free sign).
+};
+
+/// Registry of unknowns for one synthesis problem.
+class UnknownPool {
+public:
+  int add(UnknownKind Kind, std::string Name) {
+    Kinds.push_back(Kind);
+    Names.push_back(std::move(Name));
+    return static_cast<int>(Kinds.size()) - 1;
+  }
+  int size() const { return static_cast<int>(Kinds.size()); }
+  UnknownKind kind(int Id) const { return Kinds[Id]; }
+  const std::string &name(int Id) const { return Names[Id]; }
+
+private:
+  std::vector<UnknownKind> Kinds;
+  std::vector<std::string> Names;
+};
+
+/// A monomial over unknowns of degree at most two. Canonical form:
+/// (-1, -1) = constant, (-1, i) = unknown i, (i, j) with i <= j = product.
+struct Monomial {
+  int A = -1;
+  int B = -1;
+
+  static Monomial constant() { return {}; }
+  static Monomial linear(int Id) { return {-1, Id}; }
+  static Monomial quadratic(int I, int J) {
+    return I <= J ? Monomial{I, J} : Monomial{J, I};
+  }
+
+  int degree() const { return (A >= 0 ? 1 : 0) + (B >= 0 ? 1 : 0); }
+  bool operator<(const Monomial &RHS) const {
+    return A != RHS.A ? A < RHS.A : B < RHS.B;
+  }
+  bool operator==(const Monomial &RHS) const {
+    return A == RHS.A && B == RHS.B;
+  }
+};
+
+/// Polynomial of degree <= 2 over unknowns, with rational coefficients.
+class Poly {
+public:
+  Poly() = default;
+  /// Constant polynomial.
+  explicit Poly(Rational Constant) {
+    if (!Constant.isZero())
+      Terms[Monomial::constant()] = std::move(Constant);
+  }
+  /// The single unknown \p Id.
+  static Poly unknown(int Id) {
+    Poly P;
+    P.Terms[Monomial::linear(Id)] = Rational(1);
+    return P;
+  }
+
+  bool isZero() const { return Terms.empty(); }
+  bool isConstant() const {
+    return Terms.empty() ||
+           (Terms.size() == 1 && Terms.begin()->first.degree() == 0);
+  }
+  Rational constantValue() const {
+    auto It = Terms.find(Monomial::constant());
+    return It == Terms.end() ? Rational() : It->second;
+  }
+  bool isLinear() const {
+    for (const auto &[M, C] : Terms)
+      if (M.degree() > 1)
+        return false;
+    return true;
+  }
+
+  const std::map<Monomial, Rational> &terms() const { return Terms; }
+
+  void add(const Poly &RHS) {
+    for (const auto &[M, C] : RHS.Terms)
+      addTerm(M, C);
+  }
+  void sub(const Poly &RHS) {
+    for (const auto &[M, C] : RHS.Terms)
+      addTerm(M, -C);
+  }
+  void scale(const Rational &Factor) {
+    if (Factor.isZero()) {
+      Terms.clear();
+      return;
+    }
+    for (auto &[M, C] : Terms)
+      C *= Factor;
+  }
+  void addTerm(const Monomial &M, const Rational &C) {
+    if (C.isZero())
+      return;
+    auto [It, Inserted] = Terms.try_emplace(M, C);
+    if (!Inserted) {
+      It->second += C;
+      if (It->second.isZero())
+        Terms.erase(It);
+    }
+  }
+
+  Poly operator+(const Poly &RHS) const {
+    Poly Result = *this;
+    Result.add(RHS);
+    return Result;
+  }
+  Poly operator-(const Poly &RHS) const {
+    Poly Result = *this;
+    Result.sub(RHS);
+    return Result;
+  }
+  Poly operator*(const Rational &Factor) const {
+    Poly Result = *this;
+    Result.scale(Factor);
+    return Result;
+  }
+  /// Product; asserts the result stays within degree 2.
+  Poly operator*(const Poly &RHS) const;
+  Poly operator-() const { return *this * Rational(-1); }
+  bool operator==(const Poly &RHS) const { return Terms == RHS.Terms; }
+
+  /// Substitutes concrete values for the given unknowns.
+  Poly substitute(const std::map<int, Rational> &Values) const;
+
+  /// Unknown ids occurring in quadratic monomials.
+  std::vector<int> quadraticUnknowns() const;
+
+  /// Evaluates under a full assignment (asserts all unknowns assigned).
+  Rational evaluate(const std::vector<Rational> &Assignment) const;
+
+  std::string toString(const UnknownPool &Pool) const;
+
+private:
+  std::map<Monomial, Rational> Terms;
+};
+
+/// A constraint `P = 0` (IsEq) or `P >= 0` over the unknowns.
+struct PolyConstraint {
+  Poly P;
+  bool IsEq = false;
+};
+
+} // namespace pathinv
+
+#endif // PATHINV_SYNTH_POLY_H

@@ -1,0 +1,228 @@
+//===- synth/Solver.cpp - Bilinear constraint solving ----------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Solver.h"
+
+#include "smt/Simplex.h"
+#include "synth/Farkas.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace pathinv;
+
+namespace {
+
+/// A fully linearized way to discharge one condition: the constraints of
+/// one alternative with one integer assignment to its bilinear
+/// multipliers.
+struct Combo {
+  std::vector<PolyConstraint> Constraints; ///< Linear in the unknowns.
+  std::map<int, Rational> MultValues;      ///< The enumerated multipliers.
+};
+
+/// All locally feasible combos of one condition.
+struct PreparedCondition {
+  std::vector<Combo> Combos;
+};
+
+class Search {
+public:
+  Search(UnknownPool &Pool, const std::vector<Condition> &Conditions,
+         const SynthOptions &Opts)
+      : Pool(Pool), Conditions(Conditions), Opts(Opts),
+        Budget(Opts.MaxLpChecks) {}
+
+  SynthResult run() {
+    SynthResult Result;
+    prepare();
+    // Fail-first: conditions with the fewest ways to discharge go first.
+    std::vector<size_t> Order(Prepared.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::stable_sort(Order.begin(), Order.end(), [this](size_t A, size_t B) {
+      return Prepared[A].Combos.size() < Prepared[B].Combos.size();
+    });
+
+    bool Found = true;
+    for (size_t I : Order) {
+      if (Prepared[I].Combos.empty()) {
+        Found = false; // Some condition cannot be discharged at all.
+        break;
+      }
+    }
+    if (Found)
+      Found = dfs(Order, 0);
+    if (Found) {
+      Result.Found = true;
+      Result.Assignment = std::move(FinalAssignment);
+    }
+    Result.ResourceOut = Budget == 0;
+    Result.LpChecks = LpChecks;
+    return Result;
+  }
+
+private:
+  /// LP feasibility of a set of linear poly-constraints; optionally
+  /// extracts a model over the whole pool.
+  bool lpCheck(const std::vector<const PolyConstraint *> &Cs,
+               const std::map<int, Rational> *ExtractWith) {
+    if (Budget == 0)
+      return false;
+    --Budget;
+    ++LpChecks;
+    Simplex LP;
+    std::map<int, int> VarOf;
+    auto varOf = [&](int Id) {
+      auto [It, Inserted] = VarOf.try_emplace(Id, -1);
+      if (Inserted) {
+        It->second = LP.addVar();
+        if (Pool.kind(Id) == UnknownKind::Multiplier)
+          LP.addBound(It->second, SimplexRel::Ge, Rational(0), -1);
+      }
+      return It->second;
+    };
+    for (const PolyConstraint *PC : Cs) {
+      std::vector<std::pair<int, Rational>> Coeffs;
+      Rational Rhs;
+      for (const auto &[M, C] : PC->P.terms()) {
+        assert(M.degree() <= 1 && "quadratic monomial reached the LP");
+        if (M.degree() == 0)
+          Rhs -= C;
+        else
+          Coeffs.emplace_back(varOf(M.B), C);
+      }
+      LP.addConstraint(Coeffs, PC->IsEq ? SimplexRel::Eq : SimplexRel::Ge,
+                       Rhs, -1);
+    }
+    if (LP.check() != Simplex::Result::Sat)
+      return false;
+    if (ExtractWith) {
+      FinalAssignment.assign(Pool.size(), Rational(0));
+      for (const auto &[Id, Var] : VarOf)
+        FinalAssignment[Id] = LP.modelValue(Var);
+      for (const auto &[Id, Value] : *ExtractWith)
+        FinalAssignment[Id] = Value;
+    }
+    return true;
+  }
+
+  /// Enumerates the bilinear multipliers of one alternative's encoding,
+  /// keeping each locally feasible linearization as a combo.
+  void enumerateCombos(const std::vector<PolyConstraint> &Encoded,
+                       PreparedCondition &Out) {
+    // Multipliers occurring in quadratic monomials.
+    std::set<int> QuadSet;
+    for (const PolyConstraint &PC : Encoded)
+      for (int Id : PC.P.quadraticUnknowns())
+        if (Pool.kind(Id) != UnknownKind::Param)
+          QuadSet.insert(Id);
+    std::vector<int> Quad(QuadSet.begin(), QuadSet.end());
+
+    std::map<int, Rational> Assignment;
+    std::function<void(size_t)> Recurse = [&](size_t Idx) {
+      if (Out.Combos.size() >= MaxCombosPerCondition || Budget == 0)
+        return;
+      if (Idx == Quad.size()) {
+        Combo C;
+        C.MultValues = Assignment;
+        C.Constraints.reserve(Encoded.size());
+        for (const PolyConstraint &PC : Encoded) {
+          PolyConstraint Lin{PC.P.substitute(Assignment), PC.IsEq};
+          if (Lin.P.isConstant()) {
+            // Ground: check immediately.
+            Rational V = Lin.P.constantValue();
+            if (Lin.IsEq ? !V.isZero() : V.isNegative())
+              return; // Locally infeasible.
+            continue;
+          }
+          C.Constraints.push_back(std::move(Lin));
+        }
+        // Local LP filter.
+        std::vector<const PolyConstraint *> Ptrs;
+        for (const PolyConstraint &PC : C.Constraints)
+          Ptrs.push_back(&PC);
+        if (lpCheck(Ptrs, nullptr))
+          Out.Combos.push_back(std::move(C));
+        return;
+      }
+      int Id = Quad[Idx];
+      bool NonNeg = Pool.kind(Id) == UnknownKind::Multiplier;
+      for (int V = 0; V <= Opts.MultiplierBound; ++V) {
+        Assignment[Id] = Rational(V);
+        Recurse(Idx + 1);
+        if (!NonNeg && V > 0) {
+          Assignment[Id] = Rational(-V);
+          Recurse(Idx + 1);
+        }
+      }
+      Assignment.erase(Id);
+    };
+    Recurse(0);
+  }
+
+  void prepare() {
+    Prepared.resize(Conditions.size());
+    for (size_t I = 0; I < Conditions.size(); ++I) {
+      for (const ConditionAlternative &Alt : Conditions[I].Alternatives) {
+        std::vector<PolyConstraint> Encoded;
+        for (const FarkasInstance &FI : Alt.Instances) {
+          std::vector<int> Mults;
+          farkasEncode(Pool, FI.Antecedent, FI.Target, Encoded, Mults);
+        }
+        enumerateCombos(Encoded, Prepared[I]);
+      }
+    }
+  }
+
+  bool dfs(const std::vector<size_t> &Order, size_t Depth) {
+    if (Budget == 0)
+      return false;
+    if (Depth == Order.size()) {
+      // Final model extraction over the accumulated system.
+      std::map<int, Rational> AllMults;
+      for (const Combo *C : Chosen)
+        AllMults.insert(C->MultValues.begin(), C->MultValues.end());
+      return lpCheck(Accumulated, &AllMults);
+    }
+    const PreparedCondition &Cond = Prepared[Order[Depth]];
+    for (const Combo &C : Cond.Combos) {
+      size_t Mark = Accumulated.size();
+      for (const PolyConstraint &PC : C.Constraints)
+        Accumulated.push_back(&PC);
+      Chosen.push_back(&C);
+      if (lpCheck(Accumulated, nullptr) && dfs(Order, Depth + 1))
+        return true;
+      Chosen.pop_back();
+      Accumulated.resize(Mark);
+      if (Budget == 0)
+        return false;
+    }
+    return false;
+  }
+
+  static constexpr size_t MaxCombosPerCondition = 512;
+
+  UnknownPool &Pool;
+  const std::vector<Condition> &Conditions;
+  const SynthOptions &Opts;
+  std::vector<PreparedCondition> Prepared;
+  std::vector<const PolyConstraint *> Accumulated;
+  std::vector<const Combo *> Chosen;
+  std::vector<Rational> FinalAssignment;
+  uint64_t Budget;
+  uint64_t LpChecks = 0;
+};
+
+} // namespace
+
+SynthResult pathinv::solveConditions(UnknownPool &Pool,
+                                     const std::vector<Condition> &Conditions,
+                                     const SynthOptions &Opts) {
+  Search S(Pool, Conditions, Opts);
+  return S.run();
+}

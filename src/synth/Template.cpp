@@ -1,0 +1,58 @@
+//===- synth/Template.cpp - Invariant templates -----------------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Template.h"
+
+using namespace pathinv;
+
+ParamLinExpr pathinv::mkParamExpr(UnknownPool &Pool,
+                                  const std::vector<const Term *> &Columns,
+                                  const std::string &Prefix) {
+  ParamLinExpr E;
+  for (const Term *Column : Columns) {
+    int Id = Pool.add(UnknownKind::Param, Prefix + "_" + Column->name());
+    E.addTerm(Column, Poly::unknown(Id));
+  }
+  int ConstId = Pool.add(UnknownKind::Param, Prefix + "_c");
+  E.addConstant(Poly::unknown(ConstId));
+  return E;
+}
+
+const Term *pathinv::instantiateTemplate(
+    TermManager &TM, const LocTemplate &T,
+    const std::vector<Rational> &Assignment) {
+  std::vector<const Term *> Conjuncts;
+  for (const LinearTemplateRow &RowT : T.Linear) {
+    LinearExpr E = RowT.E.evaluate(Assignment);
+    const Term *Atom =
+        mkCanonicalAtom(TM, E, RowT.IsEq ? RelKind::Eq : RelKind::Le);
+    if (!Atom->isTrue())
+      Conjuncts.push_back(Atom);
+  }
+  for (const QuantTemplateRow &Q : T.Quant) {
+    LinearExpr Lower = Q.Lower.evaluate(Assignment);
+    LinearExpr Upper = Q.Upper.evaluate(Assignment);
+    LinearExpr Value = Q.Value.evaluate(Assignment);
+    const Term *K = Q.BoundVar;
+    // Guard: Lower <= k && k <= Upper.
+    LinearExpr LowerMinusK = Lower;
+    LowerMinusK.addTerm(K, Rational(-1));
+    LinearExpr KMinusUpper = Upper * Rational(-1);
+    KMinusUpper.addTerm(K, Rational(1));
+    const Term *Guard =
+        TM.mkAnd(mkCanonicalAtom(TM, LowerMinusK, RelKind::Le),
+                 mkCanonicalAtom(TM, KMinusUpper, RelKind::Le));
+    // Cell: CellCoeff * a[k] + Value REL 0.
+    LinearExpr Cell = Value;
+    Cell.addTerm(TM.mkSelect(Q.Array, K), Q.CellCoeff);
+    const Term *CellAtom =
+        mkCanonicalAtom(TM, Cell, Q.ValueIsEq ? RelKind::Eq : RelKind::Le);
+    const Term *Body = TM.mkImplies(Guard, CellAtom);
+    if (!Body->isTrue())
+      Conjuncts.push_back(TM.mkForall(K, Body));
+  }
+  return TM.mkAnd(std::move(Conjuncts));
+}

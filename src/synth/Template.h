@@ -1,0 +1,76 @@
+//===- synth/Template.h - Invariant templates -------------------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariant templates per Section 4.2: per cutpoint, a conjunction of
+/// parametric linear rows
+///
+///     c_1 x_1 + ... + c_n x_n + c_0  (= | <=)  0
+///
+/// optionally joined with quantified array rows in the paper's "tractable
+/// form" generalized to inequality cells:
+///
+///     forall k:  L(X) <= k  /\  k <= U(X)  ->  s * a[k] + V(X, k) (= | <=) 0
+///
+/// where L, U, V are parametric linear expressions and s is a fixed
+/// rational picked by the heuristic from the assertion's shape (s = 1,
+/// V = -p3(X) reproduces the paper's  a[k] = p3(X)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SYNTH_TEMPLATE_H
+#define PATHINV_SYNTH_TEMPLATE_H
+
+#include "program/Program.h"
+#include "synth/ParamLin.h"
+
+#include <map>
+
+namespace pathinv {
+
+/// Parametric linear conjunct over the program variables.
+struct LinearTemplateRow {
+  ParamLinExpr E;
+  bool IsEq = false; ///< E = 0 when true, E <= 0 otherwise.
+};
+
+/// Parametric universally quantified conjunct about one array.
+struct QuantTemplateRow {
+  const Term *Array = nullptr; ///< Unprimed array program variable.
+  ParamLinExpr Lower;          ///< L(X): lower bound on the index k.
+  ParamLinExpr Upper;          ///< U(X): upper bound on the index k.
+  Rational CellCoeff;          ///< s: coefficient of a[k].
+  ParamLinExpr Value;          ///< V(X, k); may use the BoundVar column.
+  bool ValueIsEq = true;       ///< Cell relation: = 0 or <= 0.
+  const Term *BoundVar = nullptr; ///< The k variable (column of Value).
+};
+
+/// The template attached to one cutpoint.
+struct LocTemplate {
+  std::vector<LinearTemplateRow> Linear;
+  std::vector<QuantTemplateRow> Quant;
+
+  bool empty() const { return Linear.empty() && Quant.empty(); }
+};
+
+/// Cutpoint -> template. Entry and error locations carry implicit
+/// true/false and need no entries.
+using TemplateMap = std::map<LocId, LocTemplate>;
+
+/// Creates a fresh parametric linear expression over \p Columns
+/// (parameter per column plus a free constant).
+ParamLinExpr mkParamExpr(UnknownPool &Pool,
+                         const std::vector<const Term *> &Columns,
+                         const std::string &Prefix);
+
+/// Instantiates \p T with solved unknown values into a formula over the
+/// program variables.
+const Term *instantiateTemplate(TermManager &TM, const LocTemplate &T,
+                                const std::vector<Rational> &Assignment);
+
+} // namespace pathinv
+
+#endif // PATHINV_SYNTH_TEMPLATE_H

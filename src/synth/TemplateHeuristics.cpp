@@ -1,0 +1,133 @@
+//===- synth/TemplateHeuristics.cpp - Template proposal ---------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/TemplateHeuristics.h"
+
+#include "logic/TermRewrite.h"
+
+using namespace pathinv;
+
+namespace {
+
+/// Shape of one quantified row to propose, extracted from a failing
+/// assertion atom that reads an array.
+struct CellShape {
+  const Term *Array;
+  Rational CellCoeff;
+  bool IsEq;
+};
+
+/// Extracts cell shapes from the guards of transitions into the error
+/// location (those guards are the negated assertions).
+std::vector<CellShape> assertedCells(const Program &P) {
+  std::vector<CellShape> Shapes;
+  TermSet SeenArrays;
+  for (const Transition &T : P.transitions()) {
+    if (T.To != P.error())
+      continue;
+    std::vector<const Term *> Conjuncts;
+    flattenConjuncts(T.Rel, Conjuncts);
+    for (const Term *C : Conjuncts) {
+      // The negated assertion literal; frames are primed equalities.
+      const Term *Atom = C->kind() == TermKind::Not ? C->operand(0) : C;
+      if (!Atom->isAtom() || !Atom->operand(0)->isInt())
+        continue;
+      TermSet Selects;
+      collectSelects(Atom, Selects);
+      if (Selects.empty())
+        continue;
+      auto LA = decomposeAtom(Atom);
+      if (!LA)
+        continue;
+      for (const Term *Read : Selects) {
+        const Term *Array = Read->operand(0);
+        if (!Array->isVar() || !SeenArrays.insert(Array).second)
+          continue;
+        Rational Coeff = LA->Expr.coefficientOf(Read);
+        if (Coeff.isZero())
+          continue;
+        // The guard is the *negation* of the assertion:
+        //   guard  e = 0  (from Not(Eq) via assert(a[i] != c)) — rare;
+        //   guard  Not(e = 0) — assertion was an equality;
+        //   guard  e <= 0 / e < 0 — assertion was e > 0 / e >= 0,
+        //     i.e. the asserted relation is  -e < 0 / -e <= 0.
+        bool GuardNegated = C->kind() == TermKind::Not;
+        if (LA->Rel == RelKind::Eq) {
+          Shapes.push_back({Array, Rational(1), /*IsEq=*/GuardNegated});
+        } else {
+          // Asserted: -e REL 0 with REL in {<, <=}; propose the <= form
+          // (integer tightening absorbs the strict case).
+          Shapes.push_back({Array, -Coeff, /*IsEq=*/false});
+        }
+      }
+    }
+  }
+  return Shapes;
+}
+
+} // namespace
+
+TemplateMap pathinv::proposeTemplates(const Program &P,
+                                      const std::set<LocId> &Cuts,
+                                      UnknownPool &Pool, int Level) {
+  TermManager &TM = P.termManager();
+  std::vector<const Term *> Scalars;
+  for (const Term *Var : P.variables())
+    if (!Var->isArray())
+      Scalars.push_back(Var);
+
+  std::vector<CellShape> Cells = assertedCells(P);
+  bool ArrayMode = !Cells.empty();
+
+  TemplateMap Map;
+  int Counter = 0;
+  for (LocId Cut : Cuts) {
+    if (Cut == P.entry() || Cut == P.error())
+      continue;
+    LocTemplate T;
+    std::string Prefix = "t" + std::to_string(Counter++);
+
+    if (ArrayMode) {
+      // Quantified row per asserted array, plus `Level + 2` inequality
+      // rows (Section 4.2's phi carries two: p4 <= 0 and p5 <= 0).
+      for (size_t CellIdx = 0; CellIdx < Cells.size(); ++CellIdx) {
+        const CellShape &Shape = Cells[CellIdx];
+        QuantTemplateRow Q;
+        Q.Array = Shape.Array;
+        Q.BoundVar =
+            TM.mkVar("k$" + std::to_string(Counter) + "_" +
+                         std::to_string(CellIdx),
+                     Sort::Int);
+        Q.Lower = mkParamExpr(Pool, Scalars,
+                              Prefix + "q" + std::to_string(CellIdx) + "L");
+        Q.Upper = mkParamExpr(Pool, Scalars,
+                              Prefix + "q" + std::to_string(CellIdx) + "U");
+        Q.CellCoeff = Shape.CellCoeff;
+        Q.Value = mkParamExpr(Pool, Scalars,
+                              Prefix + "q" + std::to_string(CellIdx) + "V");
+        Q.ValueIsEq = Shape.IsEq;
+        T.Quant.push_back(std::move(Q));
+      }
+      int NumIneqs = 2 + Level;
+      for (int I = 0; I < NumIneqs; ++I)
+        T.Linear.push_back(
+            {mkParamExpr(Pool, Scalars,
+                         Prefix + "i" + std::to_string(I)),
+             /*IsEq=*/false});
+    } else {
+      // Scalar mode: one equality, escalate by conjoining inequalities.
+      T.Linear.push_back(
+          {mkParamExpr(Pool, Scalars, Prefix + "e"), /*IsEq=*/true});
+      for (int I = 0; I < Level; ++I)
+        T.Linear.push_back(
+            {mkParamExpr(Pool, Scalars,
+                         Prefix + "i" + std::to_string(I)),
+             /*IsEq=*/false});
+    }
+    Map[Cut] = std::move(T);
+  }
+  return Map;
+}

@@ -1,0 +1,45 @@
+//===- synth/TemplateHeuristics.h - Template proposal ----------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The template-proposal heuristic of Section 5: start from the shape of
+/// the target assertion, escalate on failure.
+///
+///   * Scalar programs: level 0 proposes one parametric equality
+///     `c . X + c0 = 0` per cutpoint ("replacing the coefficients of the
+///     target assertion by parameters"); level 1 conjoins a parametric
+///     inequality (exactly the FORWARD refinement step, 40 ms failure ->
+///     130 ms success in the paper); level 2 conjoins a second one.
+///
+///   * Array programs (the failing assertion reads an array): every level
+///     additionally proposes, per asserted array, a quantified row whose
+///     cell relation mirrors the assertion (`a[k] = p3(X)` for
+///     `assert(a[i] == 0)`, `-ge[k] + V(X) <= 0` for
+///     `assert(ge[i] >= 0)`), with parametric index bounds, following the
+///     Section 4.2 template for INITCHECK.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SYNTH_TEMPLATEHEURISTICS_H
+#define PATHINV_SYNTH_TEMPLATEHEURISTICS_H
+
+#include "synth/Template.h"
+
+#include <set>
+
+namespace pathinv {
+
+/// Proposes a template map for the cutpoints \p Cuts of \p P at
+/// escalation \p Level (0-based). Entry and error locations are skipped.
+TemplateMap proposeTemplates(const Program &P, const std::set<LocId> &Cuts,
+                             UnknownPool &Pool, int Level);
+
+/// Maximum meaningful escalation level of the heuristic.
+constexpr int MaxTemplateLevel = 2;
+
+} // namespace pathinv
+
+#endif // PATHINV_SYNTH_TEMPLATEHEURISTICS_H

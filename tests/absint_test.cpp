@@ -1,0 +1,90 @@
+//===- tests/absint_test.cpp - Interval domain tests -----------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "absint/Interval.h"
+#include "lang/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathinv;
+
+namespace {
+
+TEST(IntervalTest, LatticeOps) {
+  Interval A{Rational(0), Rational(5)};
+  Interval B{Rational(3), Rational(9)};
+  Interval J = A.join(B);
+  EXPECT_EQ(J.Lo, Rational(0));
+  EXPECT_EQ(J.Hi, Rational(9));
+  Interval M = A.meet(B);
+  EXPECT_EQ(M.Lo, Rational(3));
+  EXPECT_EQ(M.Hi, Rational(5));
+  Interval Top = Interval::top();
+  EXPECT_TRUE(A.join(Top).isTop());
+  EXPECT_EQ(A.meet(Top).Hi, Rational(5));
+}
+
+TEST(IntervalTest, WideningJumpsToInfinity) {
+  Interval Old{Rational(0), Rational(5)};
+  Interval New{Rational(0), Rational(6)};
+  Interval W = Old.widen(New);
+  EXPECT_EQ(W.Lo, Rational(0)) << "stable bound kept";
+  EXPECT_FALSE(W.Hi.has_value()) << "unstable bound widened";
+}
+
+TEST(IntervalTest, ArithmeticScale) {
+  Interval A{Rational(1), Rational(3)};
+  Interval S = A.scale(Rational(-2));
+  EXPECT_EQ(S.Lo, Rational(-6));
+  EXPECT_EQ(S.Hi, Rational(-2));
+  Interval Sum = A + Interval{Rational(10), Rational(20)};
+  EXPECT_EQ(Sum.Lo, Rational(11));
+  EXPECT_EQ(Sum.Hi, Rational(23));
+}
+
+TEST(IntervalTest, AnalyzeBoundedLoop) {
+  TermManager TM;
+  auto P = loadProgram(TM, R"(
+    proc count(n) {
+      var x;
+      x = 0;
+      while (x < 10) {
+        x = x + 1;
+      }
+      assert(x >= 10);
+    }
+  )");
+  ASSERT_TRUE(P.hasValue());
+  IntervalAnalysisResult R = analyzeIntervals(P.get());
+  // The error location must be unreachable (x = 10 exactly at exit).
+  EXPECT_TRUE(R.States[P.get().error()].Bottom);
+}
+
+TEST(IntervalTest, AnalyzeDetectsPossibleFailure) {
+  TermManager TM;
+  auto P = loadProgram(TM, testprogs::ScalarBug);
+  ASSERT_TRUE(P.hasValue());
+  IntervalAnalysisResult R = analyzeIntervals(P.get());
+  EXPECT_FALSE(R.States[P.get().error()].Bottom);
+}
+
+TEST(IntervalTest, GuardRefinement) {
+  TermManager TM;
+  auto P = loadProgram(TM, R"(
+    proc guard(n) {
+      var x;
+      assume(n >= 0 && n <= 5);
+      x = n;
+      assert(x <= 5);
+    }
+  )");
+  ASSERT_TRUE(P.hasValue());
+  IntervalAnalysisResult R = analyzeIntervals(P.get());
+  EXPECT_TRUE(R.States[P.get().error()].Bottom);
+}
+
+} // namespace

@@ -1,0 +1,310 @@
+//===- tests/logic_test.cpp - Term IR unit tests --------------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/FormulaParser.h"
+#include "logic/LinearExpr.h"
+#include "logic/Term.h"
+#include "logic/TermPrinter.h"
+#include "logic/TermRewrite.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathinv;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  const Term *Y = TM.mkVar("y", Sort::Int);
+  const Term *Z = TM.mkVar("z", Sort::Int);
+  const Term *A = TM.mkVar("a", Sort::ArrayIntInt);
+};
+
+TEST_F(TermTest, HashConsing) {
+  EXPECT_EQ(TM.mkVar("x", Sort::Int), X);
+  EXPECT_EQ(TM.mkAdd(X, Y), TM.mkAdd(X, Y));
+  EXPECT_EQ(TM.mkIntConst(5), TM.mkIntConst(5));
+  EXPECT_NE(TM.mkIntConst(5), TM.mkIntConst(6));
+  EXPECT_NE(TM.mkVar("x", Sort::Int), TM.mkVar("x2", Sort::Int));
+  // N-ary flattening and ordering make (x+y)+z == x+(y+z).
+  EXPECT_EQ(TM.mkAdd(TM.mkAdd(X, Y), Z), TM.mkAdd(X, TM.mkAdd(Y, Z)));
+}
+
+TEST_F(TermTest, ConstantFolding) {
+  EXPECT_EQ(TM.mkAdd(TM.mkIntConst(2), TM.mkIntConst(3)), TM.mkIntConst(5));
+  EXPECT_EQ(TM.mkMul(TM.mkIntConst(2), TM.mkIntConst(3)), TM.mkIntConst(6));
+  EXPECT_EQ(TM.mkMul(TM.mkIntConst(0), X), TM.mkIntConst(0));
+  EXPECT_EQ(TM.mkMul(TM.mkIntConst(1), X), X);
+  EXPECT_TRUE(TM.mkLe(TM.mkIntConst(2), TM.mkIntConst(3))->isTrue());
+  EXPECT_TRUE(TM.mkLt(TM.mkIntConst(3), TM.mkIntConst(3))->isFalse());
+  EXPECT_TRUE(TM.mkEq(X, X)->isTrue());
+  EXPECT_TRUE(TM.mkLe(X, X)->isTrue());
+  EXPECT_TRUE(TM.mkLt(X, X)->isFalse());
+}
+
+TEST_F(TermTest, BooleanSimplification) {
+  const Term *P = TM.mkLe(X, Y);
+  EXPECT_EQ(TM.mkAnd(P, TM.mkTrue()), P);
+  EXPECT_TRUE(TM.mkAnd(P, TM.mkFalse())->isFalse());
+  EXPECT_EQ(TM.mkOr(P, TM.mkFalse()), P);
+  EXPECT_TRUE(TM.mkOr(P, TM.mkTrue())->isTrue());
+  EXPECT_EQ(TM.mkAnd(P, P), P);
+  EXPECT_EQ(TM.mkNot(TM.mkNot(P)), P);
+  // Negation flips inequalities.
+  EXPECT_EQ(TM.mkNot(TM.mkLe(X, Y)), TM.mkLt(Y, X));
+  EXPECT_EQ(TM.mkNot(TM.mkLt(X, Y)), TM.mkLe(Y, X));
+}
+
+TEST_F(TermTest, MulNormalization) {
+  // c * (d * t) folds to (c*d) * t.
+  const Term *T = TM.mkMul(TM.mkIntConst(2), TM.mkMul(TM.mkIntConst(3), X));
+  EXPECT_EQ(T, TM.mkMul(TM.mkIntConst(6), X));
+}
+
+TEST_F(TermTest, LiteralClassification) {
+  const Term *Atom = TM.mkEq(X, Y);
+  EXPECT_TRUE(Atom->isAtom());
+  EXPECT_TRUE(Atom->isLiteral());
+  EXPECT_TRUE(TM.mkNot(Atom)->isLiteral());
+  EXPECT_FALSE(TM.mkAnd(Atom, TM.mkLe(X, Y))->isAtom());
+}
+
+TEST_F(TermTest, ForallConstruction) {
+  const Term *K = TM.mkVar("k", Sort::Int);
+  const Term *Body = TM.mkEq(TM.mkSelect(A, K), TM.mkIntConst(0));
+  const Term *Q = TM.mkForall(K, Body);
+  EXPECT_EQ(Q->kind(), TermKind::Forall);
+  EXPECT_TRUE(containsQuantifier(Q));
+  EXPECT_FALSE(containsQuantifier(Body));
+}
+
+TEST_F(TermTest, LinearExprDecomposition) {
+  // 2x + 3y - x + 7 ==> x + 3y + 7
+  const Term *T = TM.mkAdd({TM.mkMul(TM.mkIntConst(2), X),
+                            TM.mkMul(TM.mkIntConst(3), Y), TM.mkNeg(X),
+                            TM.mkIntConst(7)});
+  auto L = LinearExpr::fromTerm(T);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->coefficientOf(X), Rational(1));
+  EXPECT_EQ(L->coefficientOf(Y), Rational(3));
+  EXPECT_EQ(L->constant(), Rational(7));
+  EXPECT_EQ(L->numAtoms(), 2u);
+}
+
+TEST_F(TermTest, LinearExprRejectsNonlinear) {
+  EXPECT_FALSE(LinearExpr::fromTerm(TM.mkMul(X, Y)).has_value());
+  // But x * 3 is linear.
+  EXPECT_TRUE(LinearExpr::fromTerm(TM.mkMul(X, TM.mkIntConst(3))).has_value());
+}
+
+TEST_F(TermTest, LinearExprTreatsSelectAsAtom) {
+  const Term *Read = TM.mkSelect(A, X);
+  const Term *T = TM.mkAdd(Read, TM.mkMul(TM.mkIntConst(2), X));
+  auto L = LinearExpr::fromTerm(T);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->coefficientOf(Read), Rational(1));
+  EXPECT_EQ(L->coefficientOf(X), Rational(2));
+}
+
+TEST_F(TermTest, LinearExprRoundTrip) {
+  const Term *T = TM.mkAdd({TM.mkMul(TM.mkIntConst(2), X), Y,
+                            TM.mkIntConst(-3)});
+  auto L = LinearExpr::fromTerm(T);
+  ASSERT_TRUE(L.has_value());
+  auto L2 = LinearExpr::fromTerm(L->toTerm(TM));
+  ASSERT_TRUE(L2.has_value());
+  EXPECT_EQ(*L, *L2);
+}
+
+TEST_F(TermTest, CanonicalAtomNormalizesScaling) {
+  // 2x <= 4y   and   x <= 2y   and   3x - 6y <= 0   are one canonical atom.
+  LinearAtom A1{*LinearExpr::fromTerm(
+                    TM.mkSub(TM.mkMul(TM.mkIntConst(2), X),
+                             TM.mkMul(TM.mkIntConst(4), Y))),
+                RelKind::Le};
+  LinearAtom A2{*LinearExpr::fromTerm(
+                    TM.mkSub(X, TM.mkMul(TM.mkIntConst(2), Y))),
+                RelKind::Le};
+  EXPECT_EQ(A1.toTerm(TM), A2.toTerm(TM));
+}
+
+TEST_F(TermTest, CanonicalAtomEqualitySignInvariance) {
+  // x - y = 0 and y - x = 0 canonicalize identically.
+  LinearAtom A1{*LinearExpr::fromTerm(TM.mkSub(X, Y)), RelKind::Eq};
+  LinearAtom A2{*LinearExpr::fromTerm(TM.mkSub(Y, X)), RelKind::Eq};
+  EXPECT_EQ(A1.toTerm(TM), A2.toTerm(TM));
+}
+
+TEST_F(TermTest, DecomposeAtom) {
+  const Term *Atom = TM.mkLe(TM.mkAdd(X, Y), TM.mkIntConst(5));
+  auto LA = decomposeAtom(Atom);
+  ASSERT_TRUE(LA.has_value());
+  EXPECT_EQ(LA->Rel, RelKind::Le);
+  EXPECT_EQ(LA->Expr.coefficientOf(X), Rational(1));
+  EXPECT_EQ(LA->Expr.constant(), Rational(-5));
+}
+
+TEST_F(TermTest, SubstitutionReplacesSubterms) {
+  const Term *T = TM.mkLe(TM.mkAdd(X, Y), Z);
+  TermMap Subst;
+  Subst[X] = TM.mkIntConst(1);
+  Subst[Y] = TM.mkIntConst(2);
+  const Term *R = substitute(TM, T, Subst);
+  EXPECT_EQ(R, TM.mkLe(TM.mkIntConst(3), Z));
+}
+
+TEST_F(TermTest, SubstitutionRespectsBoundVars) {
+  const Term *K = TM.mkVar("k", Sort::Int);
+  const Term *Q =
+      TM.mkForall(K, TM.mkLe(K, X)); // forall k. k <= x
+  TermMap Subst;
+  Subst[K] = TM.mkIntConst(9); // Must not replace the bound k.
+  Subst[X] = Y;
+  const Term *R = substitute(TM, Q, Subst);
+  EXPECT_EQ(R, TM.mkForall(K, TM.mkLe(K, Y)));
+}
+
+TEST_F(TermTest, SubstituteWholeSelect) {
+  const Term *Read = TM.mkSelect(A, X);
+  const Term *V = TM.mkVar("v", Sort::Int);
+  TermMap Subst;
+  Subst[Read] = V;
+  const Term *T = TM.mkEq(Read, TM.mkIntConst(0));
+  EXPECT_EQ(substitute(TM, T, Subst), TM.mkEq(V, TM.mkIntConst(0)));
+}
+
+TEST_F(TermTest, RenameVars) {
+  const Term *T = TM.mkLe(X, Y);
+  const Term *R = renameVars(TM, T, [&](const Term *V) -> const Term * {
+    if (V == X)
+      return TM.mkVar("x'", Sort::Int);
+    return nullptr;
+  });
+  EXPECT_EQ(R, TM.mkLe(TM.mkVar("x'", Sort::Int), Y));
+}
+
+TEST_F(TermTest, CollectFreeVars) {
+  const Term *K = TM.mkVar("k", Sort::Int);
+  const Term *Q = TM.mkForall(
+      K, TM.mkImplies(TM.mkLe(TM.mkIntConst(0), K),
+                      TM.mkEq(TM.mkSelect(A, K), X)));
+  TermSet Vars;
+  collectFreeVars(Q, Vars);
+  EXPECT_TRUE(Vars.count(X));
+  EXPECT_TRUE(Vars.count(A));
+  EXPECT_FALSE(Vars.count(K)) << "bound variable leaked";
+}
+
+TEST_F(TermTest, CollectAtomsAndSelects) {
+  const Term *Read = TM.mkSelect(A, X);
+  const Term *F = TM.mkAnd(TM.mkLe(X, Y), TM.mkEq(Read, TM.mkIntConst(0)));
+  TermSet Atoms, Selects;
+  collectAtoms(F, Atoms);
+  collectSelects(F, Selects);
+  EXPECT_EQ(Atoms.size(), 2u);
+  EXPECT_EQ(Selects.size(), 1u);
+  EXPECT_TRUE(Selects.count(Read));
+}
+
+TEST_F(TermTest, FlattenConjuncts) {
+  const Term *F = TM.mkAnd({TM.mkLe(X, Y), TM.mkAnd(TM.mkLe(Y, Z),
+                                                    TM.mkLe(Z, X))});
+  std::vector<const Term *> Conjuncts;
+  flattenConjuncts(F, Conjuncts);
+  EXPECT_EQ(Conjuncts.size(), 3u);
+}
+
+// --- Printer / parser round trips -----------------------------------------
+
+struct RoundTripCase {
+  const char *Input;
+};
+
+class ParserRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(ParserRoundTripTest, ParsePrintParse) {
+  TermManager TM;
+  SortEnv Env;
+  auto First = parseFormula(TM, GetParam().Input, Env);
+  ASSERT_TRUE(First.hasValue()) << First.error().render();
+  std::string Printed = printTerm(First.get());
+  SortEnv Env2 = Env;
+  auto Second = parseFormula(TM, Printed, Env2);
+  ASSERT_TRUE(Second.hasValue())
+      << "reparse of '" << Printed << "': " << Second.error().render();
+  EXPECT_EQ(First.get(), Second.get()) << "round trip changed: " << Printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formulas, ParserRoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"x + y <= 3"}, RoundTripCase{"a + b = 3*i"},
+        RoundTripCase{"x < y && y < z"},
+        RoundTripCase{"x = 1 || y = 2 || z = 3"},
+        RoundTripCase{"!(x = y)"}, RoundTripCase{"x != y"},
+        RoundTripCase{"i < n -> a[i] = 0"},
+        RoundTripCase{"forall k. 0 <= k && k <= i - 1 -> a[k] = 0"},
+        RoundTripCase{"2*x - 3*y + 4 <= z"},
+        RoundTripCase{"true"}, RoundTripCase{"false"},
+        RoundTripCase{"x - y - z <= 0 - 4"},
+        RoundTripCase{"a[i + 1] = a[j] + 2"},
+        RoundTripCase{"f(x, y) <= f(y, x)"},
+        RoundTripCase{"(x <= y || y <= z) && !(z = x)"}));
+
+TEST(ParserTest, ParseErrors) {
+  TermManager TM;
+  EXPECT_FALSE(parseFormula(TM, "x +").hasValue());
+  EXPECT_FALSE(parseFormula(TM, "x <= ").hasValue());
+  EXPECT_FALSE(parseFormula(TM, "&& y").hasValue());
+  EXPECT_FALSE(parseFormula(TM, "x").hasValue()) << "term is not a formula";
+  EXPECT_FALSE(parseFormula(TM, "(x <= y").hasValue());
+  EXPECT_FALSE(parseFormula(TM, "x <= y extra").hasValue());
+  EXPECT_FALSE(parseFormula(TM, "x && y").hasValue())
+      << "int operands to '&&'";
+}
+
+TEST(ParserTest, SortInference) {
+  TermManager TM;
+  SortEnv Env;
+  auto F = parseFormula(TM, "a[i] = 0 && i <= n", Env);
+  ASSERT_TRUE(F.hasValue());
+  EXPECT_EQ(Env["a"], Sort::ArrayIntInt);
+  EXPECT_EQ(Env["i"], Sort::Int);
+  EXPECT_EQ(Env["n"], Sort::Int);
+  // Using 'a' as a scalar afterwards is an error.
+  EXPECT_FALSE(parseFormula(TM, "a[i] = 0 && a <= n").hasValue());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  TermManager TM;
+  auto F = parseFormula(TM, "x = 1 && y = 2 || z = 3");
+  ASSERT_TRUE(F.hasValue());
+  // && binds tighter than ||.
+  EXPECT_EQ(F.get()->kind(), TermKind::Or);
+  auto G = parseFormula(TM, "x <= 1 + 2*y");
+  ASSERT_TRUE(G.hasValue());
+  auto LA = decomposeAtom(G.get());
+  ASSERT_TRUE(LA.has_value());
+  TermManager TM2; // arrow is right-associative and loosest
+  auto H = parseFormula(TM2, "x = 1 -> y = 2 -> z = 3");
+  ASSERT_TRUE(H.hasValue());
+}
+
+TEST(ParserTest, IntTermParsing) {
+  TermManager TM;
+  SortEnv Env;
+  auto T = parseIntTerm(TM, "2*i + n - 1", Env);
+  ASSERT_TRUE(T.hasValue());
+  auto L = LinearExpr::fromTerm(T.get());
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->coefficientOf(TM.mkVar("i", Sort::Int)), Rational(2));
+  EXPECT_EQ(L->constant(), Rational(-1));
+  EXPECT_FALSE(parseIntTerm(TM, "x <= y", Env).hasValue());
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/smt_sat_test.cpp - CDCL SAT solver tests ---------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SatSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace pathinv;
+
+namespace {
+
+TEST(SatSolverTest, EmptyInstanceIsSat) {
+  SatSolver S;
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(SatSolverTest, UnitClauses) {
+  SatSolver S;
+  int A = S.addVar();
+  int B = S.addVar();
+  S.addClause({Lit(A, false)});
+  S.addClause({Lit(B, true)});
+  ASSERT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_FALSE(S.modelValue(B));
+}
+
+TEST(SatSolverTest, ContradictoryUnits) {
+  SatSolver S;
+  int A = S.addVar();
+  S.addClause({Lit(A, false)});
+  EXPECT_FALSE(S.addClause({Lit(A, true)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, ImplicationChain) {
+  // a, a->b, b->c, c->d forces all true.
+  SatSolver S;
+  int V[4];
+  for (int &Var : V)
+    Var = S.addVar();
+  S.addClause({Lit(V[0], false)});
+  for (int I = 0; I < 3; ++I)
+    S.addClause({Lit(V[I], true), Lit(V[I + 1], false)});
+  ASSERT_EQ(S.solve(), SatSolver::Result::Sat);
+  for (int Var : V)
+    EXPECT_TRUE(S.modelValue(Var));
+}
+
+TEST(SatSolverTest, RequiresConflictAnalysis) {
+  // (a|b) (a|!b) (!a|b) (!a|!b) is unsat.
+  SatSolver S;
+  int A = S.addVar(), B = S.addVar();
+  S.addClause({Lit(A, false), Lit(B, false)});
+  S.addClause({Lit(A, false), Lit(B, true)});
+  S.addClause({Lit(A, true), Lit(B, false)});
+  S.addClause({Lit(A, true), Lit(B, true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, TautologyIgnored) {
+  SatSolver S;
+  int A = S.addVar();
+  EXPECT_TRUE(S.addClause({Lit(A, false), Lit(A, true)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+/// Pigeonhole principle: N+1 pigeons into N holes, unsat. Exercises clause
+/// learning heavily.
+static void addPigeonhole(SatSolver &S, int Holes) {
+  int Pigeons = Holes + 1;
+  std::vector<std::vector<int>> Var(Pigeons, std::vector<int>(Holes));
+  for (int P = 0; P < Pigeons; ++P)
+    for (int H = 0; H < Holes; ++H)
+      Var[P][H] = S.addVar();
+  for (int P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> AtLeastOne;
+    for (int H = 0; H < Holes; ++H)
+      AtLeastOne.push_back(Lit(Var[P][H], false));
+    S.addClause(std::move(AtLeastOne));
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause({Lit(Var[P1][H], true), Lit(Var[P2][H], true)});
+}
+
+TEST(SatSolverTest, Pigeonhole4Into3) {
+  SatSolver S;
+  addPigeonhole(S, 3);
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+  EXPECT_GT(S.numConflicts(), 0u);
+}
+
+TEST(SatSolverTest, Pigeonhole6Into5) {
+  SatSolver S;
+  addPigeonhole(S, 5);
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, IncrementalBlockingClauses) {
+  // Enumerate all 8 models of 3 free variables by blocking each.
+  SatSolver S;
+  int V[3];
+  for (int &Var : V)
+    Var = S.addVar();
+  // Touch the variables so they participate in solving.
+  S.addClause({Lit(V[0], false), Lit(V[0], true)});
+  int Models = 0;
+  while (S.solve() == SatSolver::Result::Sat && Models < 20) {
+    ++Models;
+    std::vector<Lit> Block;
+    for (int Var : V)
+      Block.push_back(Lit(Var, S.modelValue(Var)));
+    if (!S.addClause(std::move(Block)))
+      break;
+  }
+  EXPECT_EQ(Models, 8);
+}
+
+/// Exhaustive truth-table reference check.
+static bool bruteForceSat(int NumVars,
+                          const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint32_t Mask = 0; Mask < (1u << NumVars); ++Mask) {
+    bool All = true;
+    for (const auto &C : Clauses) {
+      bool Any = false;
+      for (Lit L : C) {
+        bool Val = (Mask >> L.var()) & 1;
+        if (Val != L.negated()) {
+          Any = true;
+          break;
+        }
+      }
+      if (!Any) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+class SatRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandomTest, AgreesWithBruteForce) {
+  std::mt19937_64 Rng(GetParam() * 7919);
+  for (int Round = 0; Round < 80; ++Round) {
+    int NumVars = 3 + static_cast<int>(Rng() % 8); // up to 10 vars
+    int NumClauses = 2 + static_cast<int>(Rng() % (NumVars * 5));
+    std::vector<std::vector<Lit>> Clauses;
+    SatSolver S;
+    for (int I = 0; I < NumVars; ++I)
+      S.addVar();
+    for (int C = 0; C < NumClauses; ++C) {
+      int Width = 1 + static_cast<int>(Rng() % 3);
+      std::vector<Lit> Clause;
+      for (int I = 0; I < Width; ++I)
+        Clause.push_back(
+            Lit(static_cast<int>(Rng() % NumVars), Rng() & 1));
+      Clauses.push_back(Clause);
+      S.addClause(Clause);
+    }
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    bool Actual = S.solve() == SatSolver::Result::Sat;
+    ASSERT_EQ(Actual, Expected) << "seed " << GetParam() << " round "
+                                << Round;
+    if (Actual) {
+      // The model must satisfy every clause.
+      for (const auto &C : Clauses) {
+        bool Any = false;
+        for (Lit L : C)
+          if (S.modelValue(L.var()) != L.negated())
+            Any = true;
+        EXPECT_TRUE(Any);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest, ::testing::Range(1, 9));
+
+} // namespace

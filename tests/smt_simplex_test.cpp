@@ -1,0 +1,267 @@
+//===- tests/smt_simplex_test.cpp - Simplex unit/property tests -----------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace pathinv;
+
+namespace {
+
+TEST(SimplexTest, TrivialFeasible) {
+  Simplex S;
+  int X = S.addVar();
+  S.addBound(X, SimplexRel::Ge, Rational(1), 0);
+  S.addBound(X, SimplexRel::Le, Rational(3), 1);
+  ASSERT_EQ(S.check(), Simplex::Result::Sat);
+  Rational V = S.modelValue(X);
+  EXPECT_GE(V, Rational(1));
+  EXPECT_LE(V, Rational(3));
+}
+
+TEST(SimplexTest, DirectBoundConflict) {
+  Simplex S;
+  int X = S.addVar();
+  S.addBound(X, SimplexRel::Ge, Rational(5), 7);
+  S.addBound(X, SimplexRel::Le, Rational(3), 9);
+  EXPECT_EQ(S.check(), Simplex::Result::Unsat);
+  auto Core = S.unsatCore();
+  EXPECT_EQ(Core.size(), 2u);
+  EXPECT_TRUE((Core[0] == 7 && Core[1] == 9) ||
+              (Core[0] == 9 && Core[1] == 7));
+}
+
+TEST(SimplexTest, StrictBoundsSeparate) {
+  // x < 1 && x > 0 is satisfiable over rationals.
+  Simplex S;
+  int X = S.addVar();
+  S.addBound(X, SimplexRel::Lt, Rational(1), 0);
+  S.addBound(X, SimplexRel::Gt, Rational(0), 1);
+  ASSERT_EQ(S.check(), Simplex::Result::Sat);
+  Rational V = S.modelValue(X);
+  EXPECT_LT(V, Rational(1));
+  EXPECT_GT(V, Rational(0));
+}
+
+TEST(SimplexTest, StrictConflict) {
+  // x < 1 && x > 1 is unsat; so is x < 1 && x >= 1.
+  {
+    Simplex S;
+    int X = S.addVar();
+    S.addBound(X, SimplexRel::Lt, Rational(1), 0);
+    S.addBound(X, SimplexRel::Gt, Rational(1), 1);
+    EXPECT_EQ(S.check(), Simplex::Result::Unsat);
+  }
+  {
+    Simplex S;
+    int X = S.addVar();
+    S.addBound(X, SimplexRel::Lt, Rational(1), 0);
+    S.addBound(X, SimplexRel::Ge, Rational(1), 1);
+    EXPECT_EQ(S.check(), Simplex::Result::Unsat);
+  }
+}
+
+TEST(SimplexTest, StrictBoundaryPointExcluded) {
+  // x + y <= 2 && x >= 1 && y >= 1 && x < 1 is unsat (x pinned to 1).
+  Simplex S;
+  int X = S.addVar();
+  int Y = S.addVar();
+  S.addConstraint({{X, Rational(1)}, {Y, Rational(1)}}, SimplexRel::Le,
+                  Rational(2), 0);
+  S.addBound(X, SimplexRel::Ge, Rational(1), 1);
+  S.addBound(Y, SimplexRel::Ge, Rational(1), 2);
+  ASSERT_EQ(S.check(), Simplex::Result::Sat);
+  Simplex S2;
+  X = S2.addVar();
+  Y = S2.addVar();
+  S2.addConstraint({{X, Rational(1)}, {Y, Rational(1)}}, SimplexRel::Le,
+                   Rational(2), 0);
+  S2.addBound(X, SimplexRel::Gt, Rational(1), 1);
+  S2.addBound(Y, SimplexRel::Ge, Rational(1), 2);
+  EXPECT_EQ(S2.check(), Simplex::Result::Unsat);
+}
+
+TEST(SimplexTest, EqualityChainPropagation) {
+  // x = y && y = z && x >= 3 && z <= 2 is unsat.
+  Simplex S;
+  int X = S.addVar(), Y = S.addVar(), Z = S.addVar();
+  S.addConstraint({{X, Rational(1)}, {Y, Rational(-1)}}, SimplexRel::Eq,
+                  Rational(0), 0);
+  S.addConstraint({{Y, Rational(1)}, {Z, Rational(-1)}}, SimplexRel::Eq,
+                  Rational(0), 1);
+  S.addBound(X, SimplexRel::Ge, Rational(3), 2);
+  S.addBound(Z, SimplexRel::Le, Rational(2), 3);
+  EXPECT_EQ(S.check(), Simplex::Result::Unsat);
+}
+
+TEST(SimplexTest, PaperPathFormulaRationalRelaxation) {
+  // The FORWARD counterexample path formula of Section 2.1:
+  //   n0 >= 0 && i1 = 0 && a1 = 0 && b1 = 0 && i1 < n0 &&
+  //   a2 = a1 + 1 && b2 = b1 + 2 && i2 = i1 + 1 && i2 >= n0 &&
+  //   a2 + b2 != 3 n0
+  // Over the *rationals* the '>' branch has a model (n0 = 1/2); only the
+  // '<' branch is rationally infeasible. The integer-level infeasibility
+  // is established by branch-and-bound in the theory solver (see
+  // SmtTest.PaperPathFormulaIntegerUnsat).
+  auto build = [](bool GreaterBranch) {
+    Simplex S;
+    int N0 = S.addVar(), I1 = S.addVar(), A1 = S.addVar(), B1 = S.addVar();
+    int A2 = S.addVar(), B2 = S.addVar(), I2 = S.addVar();
+    S.addBound(N0, SimplexRel::Ge, Rational(0), 0);
+    S.addBound(I1, SimplexRel::Eq, Rational(0), 1);
+    S.addBound(A1, SimplexRel::Eq, Rational(0), 2);
+    S.addBound(B1, SimplexRel::Eq, Rational(0), 3);
+    S.addConstraint({{I1, Rational(1)}, {N0, Rational(-1)}}, SimplexRel::Lt,
+                    Rational(0), 4);
+    S.addConstraint({{A2, Rational(1)}, {A1, Rational(-1)}}, SimplexRel::Eq,
+                    Rational(1), 5);
+    S.addConstraint({{B2, Rational(1)}, {B1, Rational(-1)}}, SimplexRel::Eq,
+                    Rational(2), 6);
+    S.addConstraint({{I2, Rational(1)}, {I1, Rational(-1)}}, SimplexRel::Eq,
+                    Rational(1), 7);
+    S.addConstraint({{I2, Rational(1)}, {N0, Rational(-1)}}, SimplexRel::Ge,
+                    Rational(0), 8);
+    S.addConstraint({{A2, Rational(1)}, {B2, Rational(1)},
+                     {N0, Rational(-3)}},
+                    GreaterBranch ? SimplexRel::Gt : SimplexRel::Lt,
+                    Rational(0), 9);
+    return S.check();
+  };
+  EXPECT_EQ(build(true), Simplex::Result::Sat);
+  EXPECT_EQ(build(false), Simplex::Result::Unsat);
+}
+
+TEST(SimplexTest, UnboundedDirectionIsFeasible) {
+  Simplex S;
+  int X = S.addVar(), Y = S.addVar();
+  // x - y >= 10 with no other bounds: feasible.
+  S.addConstraint({{X, Rational(1)}, {Y, Rational(-1)}}, SimplexRel::Ge,
+                  Rational(10), 0);
+  ASSERT_EQ(S.check(), Simplex::Result::Sat);
+  EXPECT_GE(S.modelValue(X) - S.modelValue(Y), Rational(10));
+}
+
+TEST(SimplexTest, RepeatedVariableAccumulates) {
+  // x + x + x <= 3 is x <= 1.
+  Simplex S;
+  int X = S.addVar();
+  S.addConstraint({{X, Rational(1)}, {X, Rational(1)}, {X, Rational(1)}},
+                  SimplexRel::Le, Rational(3), 0);
+  S.addBound(X, SimplexRel::Gt, Rational(1), 1);
+  EXPECT_EQ(S.check(), Simplex::Result::Unsat);
+}
+
+TEST(SimplexTest, GroundConflict) {
+  Simplex S;
+  (void)S.addVar();
+  // 0 <= -1 as a constraint with no variables.
+  S.addConstraint({}, SimplexRel::Le, Rational(-1), 42);
+  EXPECT_EQ(S.check(), Simplex::Result::Unsat);
+  ASSERT_EQ(S.unsatCore().size(), 1u);
+  EXPECT_EQ(S.unsatCore()[0], 42);
+}
+
+TEST(SimplexTest, IncrementalAddAfterCheck) {
+  Simplex S;
+  int X = S.addVar(), Y = S.addVar();
+  S.addConstraint({{X, Rational(1)}, {Y, Rational(1)}}, SimplexRel::Le,
+                  Rational(4), 0);
+  ASSERT_EQ(S.check(), Simplex::Result::Sat);
+  S.addBound(X, SimplexRel::Ge, Rational(3), 1);
+  ASSERT_EQ(S.check(), Simplex::Result::Sat);
+  S.addBound(Y, SimplexRel::Ge, Rational(2), 2);
+  EXPECT_EQ(S.check(), Simplex::Result::Unsat);
+}
+
+TEST(SimplexTest, NegativeCoefficientBoundFlip) {
+  // -2x <= -6  means x >= 3.
+  Simplex S;
+  int X = S.addVar();
+  S.addConstraint({{X, Rational(-2)}}, SimplexRel::Le, Rational(-6), 0);
+  S.addBound(X, SimplexRel::Lt, Rational(3), 1);
+  EXPECT_EQ(S.check(), Simplex::Result::Unsat);
+}
+
+// Property test: on random constraint systems, SAT models must satisfy
+// every constraint, and UNSAT cores must be infeasible when re-solved
+// alone. This is a self-certifying check that needs no external oracle.
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, ModelsAndCoresAreCertified) {
+  std::mt19937_64 Rng(GetParam());
+  for (int Round = 0; Round < 60; ++Round) {
+    int NumVars = 2 + static_cast<int>(Rng() % 4);
+    int NumCons = 1 + static_cast<int>(Rng() % 8);
+    struct Con {
+      std::vector<std::pair<int, Rational>> Coeffs;
+      SimplexRel Rel;
+      Rational Rhs;
+    };
+    std::vector<Con> Cons;
+    Simplex S;
+    for (int I = 0; I < NumVars; ++I)
+      S.addVar();
+    for (int C = 0; C < NumCons; ++C) {
+      Con Constraint;
+      for (int V = 0; V < NumVars; ++V) {
+        int64_t Coeff = static_cast<int64_t>(Rng() % 7) - 3;
+        if (Coeff != 0)
+          Constraint.Coeffs.emplace_back(V, Rational(Coeff));
+      }
+      Constraint.Rel = static_cast<SimplexRel>(Rng() % 5);
+      Constraint.Rhs = Rational(static_cast<int64_t>(Rng() % 21) - 10);
+      S.addConstraint(Constraint.Coeffs, Constraint.Rel, Constraint.Rhs, C);
+      Cons.push_back(std::move(Constraint));
+    }
+    if (S.check() == Simplex::Result::Sat) {
+      std::vector<Rational> M = S.model();
+      for (const Con &C : Cons) {
+        Rational Lhs;
+        for (const auto &[V, Coeff] : C.Coeffs)
+          Lhs += Coeff * M[V];
+        switch (C.Rel) {
+        case SimplexRel::Le:
+          EXPECT_LE(Lhs, C.Rhs);
+          break;
+        case SimplexRel::Lt:
+          EXPECT_LT(Lhs, C.Rhs);
+          break;
+        case SimplexRel::Ge:
+          EXPECT_GE(Lhs, C.Rhs);
+          break;
+        case SimplexRel::Gt:
+          EXPECT_GT(Lhs, C.Rhs);
+          break;
+        case SimplexRel::Eq:
+          EXPECT_EQ(Lhs, C.Rhs);
+          break;
+        }
+      }
+    } else {
+      // The reported core alone must be infeasible.
+      std::vector<int> Core = S.unsatCore();
+      Simplex S2;
+      for (int I = 0; I < NumVars; ++I)
+        S2.addVar();
+      for (int Tag : Core) {
+        ASSERT_GE(Tag, 0);
+        ASSERT_LT(Tag, static_cast<int>(Cons.size()));
+        S2.addConstraint(Cons[Tag].Coeffs, Cons[Tag].Rel, Cons[Tag].Rhs,
+                         Tag);
+      }
+      EXPECT_EQ(S2.check(), Simplex::Result::Unsat)
+          << "unsat core is not itself unsat";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Range(1, 11));
+
+} // namespace

@@ -1,0 +1,254 @@
+//===- tests/support_test.cpp - BigInt/Rational unit tests ----------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+#include "support/DeltaRational.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace pathinv;
+
+namespace {
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_EQ(Zero.sign(), 0);
+  EXPECT_EQ(Zero.toString(), "0");
+  EXPECT_EQ(Zero + Zero, Zero);
+  EXPECT_EQ(Zero * BigInt(42), Zero);
+  EXPECT_EQ((-Zero), Zero);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t V : {int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                    int64_t(-1234567890123LL), INT64_MAX, INT64_MIN}) {
+    BigInt B(V);
+    EXPECT_TRUE(B.fitsInt64()) << V;
+    EXPECT_EQ(B.toInt64(), V);
+    EXPECT_EQ(B.toString(), std::to_string(V));
+  }
+}
+
+TEST(BigIntTest, StringRoundTrip) {
+  const char *Cases[] = {"0", "1", "-1", "999999999999999999999999999999",
+                         "-123456789012345678901234567890123456789"};
+  for (const char *Text : Cases) {
+    BigInt B{std::string_view(Text)};
+    EXPECT_EQ(B.toString(), Text);
+  }
+}
+
+TEST(BigIntTest, RejectsMalformedStrings) {
+  BigInt Out;
+  EXPECT_FALSE(BigInt::fromString("", Out));
+  EXPECT_FALSE(BigInt::fromString("-", Out));
+  EXPECT_FALSE(BigInt::fromString("12a", Out));
+  EXPECT_FALSE(BigInt::fromString("1.5", Out));
+  EXPECT_TRUE(BigInt::fromString("+17", Out));
+  EXPECT_EQ(Out.toInt64(), 17);
+}
+
+TEST(BigIntTest, LargeMultiplication) {
+  BigInt A(std::string_view("123456789012345678901234567890"));
+  BigInt B(std::string_view("987654321098765432109876543210"));
+  EXPECT_EQ((A * B).toString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivModTruncatedSemantics) {
+  // C semantics: quotient toward zero, remainder signed like the dividend.
+  struct Case {
+    int64_t N, D, Q, R;
+  } Cases[] = {
+      {7, 2, 3, 1},   {-7, 2, -3, -1}, {7, -2, -3, 1},
+      {-7, -2, 3, -1}, {6, 3, 2, 0},   {0, 5, 0, 0},
+  };
+  for (const Case &C : Cases) {
+    BigInt Q, R;
+    BigInt::divMod(BigInt(C.N), BigInt(C.D), Q, R);
+    EXPECT_EQ(Q.toInt64(), C.Q) << C.N << "/" << C.D;
+    EXPECT_EQ(R.toInt64(), C.R) << C.N << "%" << C.D;
+  }
+}
+
+TEST(BigIntTest, FloorDiv) {
+  EXPECT_EQ(BigInt(7).floorDiv(BigInt(2)).toInt64(), 3);
+  EXPECT_EQ(BigInt(-7).floorDiv(BigInt(2)).toInt64(), -4);
+  EXPECT_EQ(BigInt(7).floorDiv(BigInt(-2)).toInt64(), -4);
+  EXPECT_EQ(BigInt(-7).floorDiv(BigInt(-2)).toInt64(), 3);
+  EXPECT_EQ(BigInt(-8).floorDiv(BigInt(2)).toInt64(), -4);
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).toInt64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).toInt64(), 0);
+  EXPECT_EQ(BigInt::lcm(BigInt(4), BigInt(6)).toInt64(), 12);
+  EXPECT_EQ(BigInt::lcm(BigInt(0), BigInt(6)).toInt64(), 0);
+}
+
+// Property sweep: all arithmetic agrees with __int128 on random 64-bit
+// inputs (products and sums verified in 128-bit, no overflow).
+TEST(BigIntTest, RandomizedAgainstInt128) {
+  std::mt19937_64 Rng(12345);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    int64_t X = static_cast<int64_t>(Rng()) >> (Rng() % 32);
+    int64_t Y = static_cast<int64_t>(Rng()) >> (Rng() % 32);
+    BigInt A(X), B(Y);
+    __int128 Sum = static_cast<__int128>(X) + Y;
+    __int128 Diff = static_cast<__int128>(X) - Y;
+    __int128 Prod = static_cast<__int128>(X) * Y;
+    auto toString128 = [](__int128 V) {
+      if (V == 0)
+        return std::string("0");
+      bool Neg = V < 0;
+      unsigned __int128 U = Neg ? -static_cast<unsigned __int128>(V)
+                                : static_cast<unsigned __int128>(V);
+      std::string S;
+      while (U) {
+        S.push_back(static_cast<char>('0' + static_cast<int>(U % 10)));
+        U /= 10;
+      }
+      if (Neg)
+        S.push_back('-');
+      std::reverse(S.begin(), S.end());
+      return S;
+    };
+    EXPECT_EQ((A + B).toString(), toString128(Sum));
+    EXPECT_EQ((A - B).toString(), toString128(Diff));
+    EXPECT_EQ((A * B).toString(), toString128(Prod));
+    if (Y != 0) {
+      EXPECT_EQ((A / B).toInt64(), X / Y);
+      EXPECT_EQ((A % B).toInt64(), X % Y);
+    }
+    EXPECT_EQ(A.compare(B), X < Y ? -1 : (X == Y ? 0 : 1));
+  }
+}
+
+// Property: (a/b)*b + a%b == a on random multi-limb values.
+TEST(BigIntTest, DivModReconstruction) {
+  std::mt19937_64 Rng(999);
+  auto randomBig = [&Rng]() {
+    std::string S = std::to_string(1 + Rng() % 9);
+    int Digits = static_cast<int>(Rng() % 40);
+    for (int I = 0; I < Digits; ++I)
+      S.push_back(static_cast<char>('0' + Rng() % 10));
+    BigInt B{std::string_view(S)};
+    return (Rng() & 1) ? -B : B;
+  };
+  for (int Iter = 0; Iter < 300; ++Iter) {
+    BigInt A = randomBig();
+    BigInt B = randomBig();
+    if (B.isZero())
+      continue;
+    BigInt Q, R;
+    BigInt::divMod(A, B, Q, R);
+    EXPECT_EQ(Q * B + R, A);
+    EXPECT_TRUE(R.abs() < B.abs());
+    // Remainder has the dividend's sign (or is zero).
+    if (!R.isZero())
+      EXPECT_EQ(R.sign(), A.sign());
+  }
+}
+
+TEST(RationalTest, NormalizationInvariant) {
+  Rational R = Rational::fraction(6, -4);
+  EXPECT_EQ(R.toString(), "-3/2");
+  EXPECT_TRUE(R.denominator() > BigInt(0));
+  EXPECT_EQ(Rational::fraction(0, 7).toString(), "0");
+  EXPECT_EQ(Rational::fraction(4, 2).toString(), "2");
+  EXPECT_TRUE(Rational::fraction(4, 2).isInteger());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half = Rational::fraction(1, 2);
+  Rational Third = Rational::fraction(1, 3);
+  EXPECT_EQ((Half + Third).toString(), "5/6");
+  EXPECT_EQ((Half - Third).toString(), "1/6");
+  EXPECT_EQ((Half * Third).toString(), "1/6");
+  EXPECT_EQ((Half / Third).toString(), "3/2");
+  EXPECT_EQ((-Half).toString(), "-1/2");
+  EXPECT_EQ(Half.inverse().toString(), "2");
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational::fraction(1, 3), Rational::fraction(1, 2));
+  EXPECT_LT(Rational::fraction(-1, 2), Rational::fraction(-1, 3));
+  EXPECT_EQ(Rational::fraction(2, 4), Rational::fraction(1, 2));
+  EXPECT_GT(Rational(1), Rational::fraction(99, 100));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational::fraction(7, 2).floor().toInt64(), 3);
+  EXPECT_EQ(Rational::fraction(7, 2).ceil().toInt64(), 4);
+  EXPECT_EQ(Rational::fraction(-7, 2).floor().toInt64(), -4);
+  EXPECT_EQ(Rational::fraction(-7, 2).ceil().toInt64(), -3);
+  EXPECT_EQ(Rational(5).floor().toInt64(), 5);
+  EXPECT_EQ(Rational(5).ceil().toInt64(), 5);
+}
+
+TEST(RationalTest, FromString) {
+  Rational R;
+  EXPECT_TRUE(Rational::fromString("-3/9", R));
+  EXPECT_EQ(R.toString(), "-1/3");
+  EXPECT_TRUE(Rational::fromString("17", R));
+  EXPECT_EQ(R.toString(), "17");
+  EXPECT_FALSE(Rational::fromString("1/0", R));
+  EXPECT_FALSE(Rational::fromString("x", R));
+}
+
+TEST(DeltaRationalTest, LexicographicOrder) {
+  DeltaRational A(Rational(1));                       // 1
+  DeltaRational B(Rational(1), Rational(-1));         // 1 - d
+  DeltaRational C(Rational(1), Rational(1));          // 1 + d
+  DeltaRational D(Rational(2), Rational(-1000));      // 2 - 1000d
+  EXPECT_LT(B, A);
+  EXPECT_LT(A, C);
+  EXPECT_LT(C, D);
+  EXPECT_EQ(A.compare(A), 0);
+}
+
+TEST(DeltaRationalTest, VectorSpaceOps) {
+  DeltaRational A(Rational(3), Rational(1));
+  DeltaRational B(Rational(1), Rational(-2));
+  EXPECT_EQ((A + B), DeltaRational(Rational(4), Rational(-1)));
+  EXPECT_EQ((A - B), DeltaRational(Rational(2), Rational(3)));
+  EXPECT_EQ(A * Rational(-2), DeltaRational(Rational(-6), Rational(-2)));
+  EXPECT_EQ((-A), DeltaRational(Rational(-3), Rational(-1)));
+}
+
+// Parameterized property: rational arithmetic is a field — check axioms on
+// a grid of small fractions.
+class RationalFieldTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RationalFieldTest, FieldAxioms) {
+  auto [NumA, NumB] = GetParam();
+  Rational A = Rational::fraction(NumA, 7);
+  Rational B = Rational::fraction(NumB, 5);
+  Rational C = Rational::fraction(3, 11);
+  EXPECT_EQ(A + B, B + A);
+  EXPECT_EQ(A * B, B * A);
+  EXPECT_EQ((A + B) + C, A + (B + C));
+  EXPECT_EQ((A * B) * C, A * (B * C));
+  EXPECT_EQ(A * (B + C), A * B + A * C);
+  EXPECT_EQ(A + Rational(0), A);
+  EXPECT_EQ(A * Rational(1), A);
+  EXPECT_EQ(A - A, Rational(0));
+  if (!A.isZero())
+    EXPECT_EQ(A * A.inverse(), Rational(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RationalFieldTest,
+                         ::testing::Combine(::testing::Range(-4, 5),
+                                            ::testing::Range(-4, 5)));
+
+} // namespace

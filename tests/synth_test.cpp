@@ -1,0 +1,219 @@
+//===- tests/synth_test.cpp - Invariant synthesis tests --------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "lang/Lower.h"
+#include "logic/FormulaParser.h"
+#include "logic/TermPrinter.h"
+#include "pathprog/PathProgram.h"
+#include "smt/QuantInst.h"
+#include "smt/SmtSolver.h"
+#include "synth/PathInvariants.h"
+#include "synth/TemplateHeuristics.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathinv;
+
+namespace {
+
+// --- Poly / Farkas units ----------------------------------------------------
+
+TEST(PolyTest, Arithmetic) {
+  UnknownPool Pool;
+  int P0 = Pool.add(UnknownKind::Param, "p0");
+  int L0 = Pool.add(UnknownKind::Multiplier, "l0");
+  Poly A = Poly::unknown(P0) + Poly(Rational(2));
+  Poly B = Poly::unknown(L0);
+  Poly Prod = A * B; // l0*p0 + 2*l0
+  EXPECT_EQ(Prod.terms().size(), 2u);
+  EXPECT_FALSE(Prod.isLinear());
+  auto Quad = Prod.quadraticUnknowns();
+  ASSERT_EQ(Quad.size(), 2u);
+  // Substituting the multiplier linearizes.
+  Poly Sub = Prod.substitute({{L0, Rational(3)}});
+  EXPECT_TRUE(Sub.isLinear());
+  EXPECT_EQ(Sub.evaluate({Rational(5), Rational(99)}), Rational(21));
+}
+
+TEST(PolyTest, SubstituteBothFactors) {
+  UnknownPool Pool;
+  int A = Pool.add(UnknownKind::Param, "a");
+  int B = Pool.add(UnknownKind::Multiplier, "b");
+  Poly P = Poly::unknown(A) * Poly::unknown(B);
+  Poly Q = P.substitute({{A, Rational(2)}, {B, Rational(7)}});
+  EXPECT_TRUE(Q.isConstant());
+  EXPECT_EQ(Q.constantValue(), Rational(14));
+}
+
+TEST(FarkasTest, SimpleImplication) {
+  // x - 1 <= 0 && -x <= 0  |=  x - 2 <= 0 must be derivable;
+  // |= x + 1 <= 0 must not.
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  auto mkRow = [&](int64_t CoeffX, int64_t Const) {
+    ParamLinExpr E;
+    E.addTerm(X, Poly(Rational(CoeffX)));
+    E.addConstant(Poly(Rational(Const)));
+    return E;
+  };
+  std::vector<Row> Ante{Row::le(mkRow(1, -1)), Row::le(mkRow(-1, 0))};
+
+  auto solvable = [&](ParamLinExpr Target) {
+    UnknownPool Pool;
+    Condition Cond;
+    ConditionAlternative Alt;
+    Alt.Instances.push_back({Ante, Target});
+    Cond.Alternatives.push_back(Alt);
+    SynthResult R = solveConditions(Pool, {Cond});
+    return R.Found;
+  };
+  EXPECT_TRUE(solvable(mkRow(1, -2)));
+  EXPECT_FALSE(solvable(mkRow(1, 1)));
+}
+
+TEST(FarkasTest, RefuteInfeasibleAntecedent) {
+  // x <= 0 && -x + 1 <= 0 (i.e. x >= 1) is infeasible: `false` derivable.
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  ParamLinExpr E1, E2;
+  E1.addTerm(X, Poly(Rational(1)));
+  E2.addTerm(X, Poly(Rational(-1)));
+  E2.addConstant(Poly(Rational(1)));
+  UnknownPool Pool;
+  Condition Cond;
+  ConditionAlternative Alt;
+  Alt.Instances.push_back(
+      {{Row::le(E1), Row::le(E2)}, std::nullopt});
+  Cond.Alternatives.push_back(Alt);
+  EXPECT_TRUE(solveConditions(Pool, {Cond}).Found);
+
+  // A feasible antecedent must not refute.
+  Condition Cond2;
+  ConditionAlternative Alt2;
+  Alt2.Instances.push_back({{Row::le(E1)}, std::nullopt});
+  Cond2.Alternatives.push_back(Alt2);
+  UnknownPool Pool2;
+  EXPECT_FALSE(solveConditions(Pool2, {Cond2}).Found);
+}
+
+// --- End-to-end synthesis on the paper's programs ----------------------------
+
+class SynthFixture : public ::testing::Test {
+protected:
+  Program load(const char *Source) {
+    auto P = loadProgram(TM, Source);
+    EXPECT_TRUE(P.hasValue()) << P.error().render();
+    return P.take();
+  }
+
+  TermManager TM;
+  SmtSolver Solver{TM};
+};
+
+TEST_F(SynthFixture, ForwardWholeProgram) {
+  // FORWARD needs the Section 5 template refinement: the pure equality
+  // template fails, equality + inequality succeeds.
+  Program P = load(testprogs::Forward);
+  PathInvResult R = generatePathInvariants(P, Solver);
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_GE(R.LevelsTried, 2) << "equality-only template should fail first";
+  // The loop-head invariant must entail a + b = 3i.
+  std::set<LocId> Cuts = computeCutSet(P);
+  const Term *Target = parseFormula(TM, "a + b = 3*i").get();
+  bool SomeCutEntails = false;
+  for (LocId Cut : Cuts) {
+    if (Cut == P.entry() || Cut == P.error())
+      continue;
+    const Term *Inv = R.Map.at(TM, Cut);
+    if (entailsWithQuant(TM, Solver, Inv, Target))
+      SomeCutEntails = true;
+  }
+  EXPECT_TRUE(SomeCutEntails)
+      << "no cutpoint invariant entails a+b=3i:\n" << R.Map.dump(P);
+}
+
+TEST_F(SynthFixture, ForwardInvariantMapVerifies) {
+  Program P = load(testprogs::Forward);
+  PathInvResult R = generatePathInvariants(P, Solver);
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  InvariantCheckResult Check = checkInvariantMap(P, R.Map, Solver);
+  EXPECT_TRUE(Check.Ok) << Check.FailureReason;
+}
+
+TEST_F(SynthFixture, InitcheckQuantifiedInvariant) {
+  Program P = load(testprogs::InitCheck);
+  PathInvResult R = generatePathInvariants(P, Solver);
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  // Some cutpoint invariant must entail the paper's solved template
+  // forall k: 0 <= k <= n-1 -> a[k] = 0 under i = n (after first loop).
+  const Term *FullyInit =
+      parseFormula(TM, "i = n -> (forall k. 0 <= k && k <= n - 1 -> "
+                       "a[k] = 0)")
+          .get();
+  bool Witness = false;
+  std::set<LocId> Cuts = computeCutSet(P);
+  for (LocId Cut : Cuts) {
+    if (Cut == P.entry() || Cut == P.error())
+      continue;
+    if (entailsWithQuant(TM, Solver, R.Map.at(TM, Cut), FullyInit))
+      Witness = true;
+  }
+  EXPECT_TRUE(Witness) << R.Map.dump(P);
+}
+
+TEST_F(SynthFixture, BuggyProgramHasNoSafeMap) {
+  // Section 6: for the buggy variant there is no safe invariant map; the
+  // synthesizer must fail at every template level.
+  Program P = load(testprogs::InitCheckBuggy);
+  PathInvResult R = generatePathInvariants(P, Solver);
+  EXPECT_FALSE(R.Found);
+}
+
+TEST_F(SynthFixture, StraightLineSafety) {
+  Program P = load(testprogs::StraightSafe);
+  PathInvResult R = generatePathInvariants(P, Solver);
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_TRUE(checkInvariantMap(P, R.Map, Solver).Ok);
+}
+
+TEST_F(SynthFixture, IntervalBackendOnSimpleLoop) {
+  // x counts 0..9; assertion x <= 20 is interval-provable.
+  Program P = load(R"(
+    proc count(n) {
+      var x;
+      x = 0;
+      while (x < 10) {
+        x = x + 1;
+      }
+      assert(x <= 20);
+    }
+  )");
+  PathInvResult R = generateIntervalInvariants(P, Solver);
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+}
+
+TEST_F(SynthFixture, IntervalBackendCannotDoRelational) {
+  // Intervals cannot prove FORWARD (needs a+b=3i); must fail gracefully.
+  Program P = load(testprogs::Forward);
+  PathInvResult R = generateIntervalInvariants(P, Solver);
+  EXPECT_FALSE(R.Found);
+}
+
+TEST_F(SynthFixture, CheckerRejectsBogusMap) {
+  Program P = load(testprogs::StraightSafe);
+  InvariantMap Bogus;
+  Bogus.Inv[P.error()] = TM.mkFalse();
+  // Claim x = 42 everywhere: not inductive.
+  SortEnv Env;
+  const Term *Claim = parseFormula(TM, "x = 42", Env).get();
+  for (LocId Loc = 0; Loc < P.numLocations(); ++Loc)
+    if (Loc != P.entry() && Loc != P.error())
+      Bogus.Inv[Loc] = Claim;
+  EXPECT_FALSE(checkInvariantMap(P, Bogus, Solver).Ok);
+}
+
+} // namespace
