@@ -266,5 +266,73 @@ IntervalAnalysisResult pathinv::analyzeIntervals(const Program &P,
       }
     }
   }
+
+  // Descending (narrowing) passes recover the precision thrown away by
+  // widening: recompute every non-entry state as the join of its
+  // predecessors' posts, and let infinite bounds tighten to the recomputed
+  // ones while finite bounds stay. Without this, a widened loop counter
+  // stays unbounded and trivially reachable assertions cannot be excluded.
+  for (unsigned Pass = 0; Pass < 3; ++Pass) {
+    bool Changed = false;
+    std::vector<IntervalState> Recomputed(P.numLocations());
+    for (int TransIdx = 0; TransIdx < P.numTransitions(); ++TransIdx) {
+      const Transition &T = P.transition(TransIdx);
+      if (Result.States[T.From].Bottom)
+        continue;
+      IntervalState New = postState(P, T.Rel, Result.States[T.From]);
+      if (New.Bottom)
+        continue;
+      IntervalState &Acc = Recomputed[T.To];
+      if (Acc.Bottom) {
+        Acc = std::move(New);
+        continue;
+      }
+      IntervalState Joined = IntervalState::top();
+      for (const auto &[Var, Iv] : Acc.Vars) {
+        auto It = New.Vars.find(Var);
+        if (It == New.Vars.end())
+          continue;
+        Interval J = Iv.join(It->second);
+        if (!J.isTop())
+          Joined.Vars[Var] = J;
+      }
+      Acc = std::move(Joined);
+    }
+    for (LocId Loc = 0; Loc < P.numLocations(); ++Loc) {
+      if (Loc == P.entry())
+        continue;
+      IntervalState &Old = Result.States[Loc];
+      IntervalState &New = Recomputed[Loc];
+      if (Old.Bottom)
+        continue; // Unreachable stays unreachable.
+      if (New.Bottom) {
+        Old = IntervalState();
+        Changed = true;
+        continue;
+      }
+      // Narrow per variable: adopt the recomputed bound where the current
+      // one is infinite (finite bounds are already sound and stay).
+      IntervalState Narrowed = IntervalState::top();
+      for (const auto &[Var, Iv] : New.Vars) {
+        Interval Cur = Old.valueOf(Var);
+        Interval N;
+        N.Lo = Cur.Lo ? Cur.Lo : Iv.Lo;
+        N.Hi = Cur.Hi ? Cur.Hi : Iv.Hi;
+        if (!N.isTop())
+          Narrowed.Vars[Var] = N;
+      }
+      // Variables bounded before but absent from the recomputation keep
+      // their old bounds.
+      for (const auto &[Var, Iv] : Old.Vars)
+        if (!Narrowed.Vars.count(Var))
+          Narrowed.Vars[Var] = Iv;
+      if (!(Narrowed == Old)) {
+        Old = std::move(Narrowed);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
   return Result;
 }

@@ -7,6 +7,7 @@
 #include "cegar/Engine.h"
 
 #include "smt/SmtSolver.h"
+#include "synth/PathInvariants.h"
 
 using namespace pathinv;
 
@@ -14,6 +15,7 @@ EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
                              const EngineOptions &Opts) {
   TermManager &TM = P.termManager();
   EngineResult Result;
+  bool TriedWholeProgram = false;
 
   for (uint64_t Iter = 0; Iter <= Opts.MaxRefinements; ++Iter) {
     // Phase 1: abstract reachability.
@@ -58,6 +60,31 @@ EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
     Result.Stats.TemplateLevelsTried += Refined.TemplateLevelsTried;
     if (Refined.UsedFallback)
       ++Result.Stats.Fallbacks;
+
+    // Escalation: when per-path synthesis starts falling back (or stalls),
+    // attempt one whole-program invariant map. A verified inductive map
+    // with eta(error) = false is a complete safety proof on its own
+    // (Section 3), and it covers programs whose individual path programs
+    // defeat the template heuristic.
+    if ((Refined.UsedFallback || !Refined.Progress) && !TriedWholeProgram &&
+        Opts.Refiner != RefinerKind::PathFormula) {
+      TriedWholeProgram = true;
+      PathInvResult Whole =
+          Opts.Refiner == RefinerKind::PathInvariantIntervals
+              ? generateIntervalInvariants(P, Solver)
+              : generatePathInvariants(P, Solver, Opts.PathInv);
+      Result.Stats.LpChecks += Whole.LpChecks;
+      Result.Stats.TemplateLevelsTried += Whole.LevelsTried;
+      if (Whole.Found) {
+        for (const auto &[Loc, Inv] : Whole.Map.Inv)
+          Result.Predicates.add(Loc, Inv);
+        Result.Verdict = EngineResult::Verdict::Safe;
+        Result.Note = "proved by whole-program invariant map";
+        Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+        return Result;
+      }
+    }
+
     if (!Refined.Progress) {
       Result.Note = "refinement made no progress";
       Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();

@@ -71,11 +71,19 @@ namespace {
 /// wp chain of this one path.
 RefineResult refineWithWpChain(const Program &P, const Path &Cex,
                                PredicateMap &Pi) {
+  // Iterated wp through loops compounds formula size geometrically; a
+  // predicate this large can neither be decided quickly nor survive
+  // another wp round without overflowing the term DAG, so growth is
+  // capped and oversized links skipped (the engine then reports lack of
+  // progress instead of diverging).
+  constexpr size_t MaxPredicateDagSize = 512;
   RefineResult Result;
   std::vector<const Term *> Chain = wpChain(P, Cex);
   // Position k sits at the source location of step k.
   for (size_t K = 0; K < Cex.size(); ++K) {
     LocId Loc = P.transition(Cex[K]).From;
+    if (termDagSize(Chain[K]) > MaxPredicateDagSize)
+      continue;
     Result.Progress |= Pi.add(Loc, Chain[K]);
   }
   return Result;

@@ -33,7 +33,7 @@ Expected<EngineResult> Verifier::verifySource(std::string_view PilSource) {
   return verifyProgram(P.get());
 }
 
-std::string pathinv::formatResult(const Program &P, const EngineResult &R) {
+std::string pathinv::formatResult(const Program &, const EngineResult &R) {
   std::string Out;
   switch (R.Verdict) {
   case EngineResult::Verdict::Safe:

@@ -204,9 +204,9 @@ std::string LinearAtom::toString() const {
   return Expr.toString() + RelName;
 }
 
-std::optional<LinearAtom> pathinv::decomposeAtom(const Term *Atom) {
-  if (!Atom->isAtom())
-    return std::nullopt;
+namespace {
+
+std::optional<LinearAtom> decomposeAtomUncached(const Term *Atom) {
   const Term *A = Atom->operand(0);
   const Term *B = Atom->operand(1);
   if (!A->isInt() || !B->isInt())
@@ -230,5 +230,24 @@ std::optional<LinearAtom> pathinv::decomposeAtom(const Term *Atom) {
   default:
     return std::nullopt;
   }
+  return Result;
+}
+
+} // namespace
+
+std::optional<LinearAtom> pathinv::decomposeAtom(const Term *Atom) {
+  if (!Atom->isAtom())
+    return std::nullopt;
+  // Farkas constraint generation and the theory solver re-normalize the
+  // same atoms on every query; memoize the decomposition per term in the
+  // owning manager so repeats are a lookup plus a copy.
+  TermManager &TM = Atom->manager();
+  if (void *Hit = TM.atomMemoGet(Atom->id()))
+    return *static_cast<std::optional<LinearAtom> *>(Hit);
+  std::optional<LinearAtom> Result = decomposeAtomUncached(Atom);
+  auto *Boxed = new std::optional<LinearAtom>(Result);
+  TM.atomMemoSet(Atom->id(), Boxed, [](void *Ptr) {
+    delete static_cast<std::optional<LinearAtom> *>(Ptr);
+  });
   return Result;
 }

@@ -7,6 +7,8 @@
 #include "logic/Term.h"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 
 using namespace pathinv;
 
@@ -62,59 +64,236 @@ const char *pathinv::termKindName(TermKind K) {
   return "<bad-kind>";
 }
 
-static size_t hashTermKey(TermKind K, Sort S, const Rational &Value,
-                          const std::string &Name,
-                          const std::vector<const Term *> &Ops) {
+namespace {
+
+/// Structural hash over kinds, sorts, symbol ids, constant values, and
+/// operand ids — no pointer values, so hashes (and hence table layouts and
+/// term ids) are identical across identical runs.
+size_t hashTermKey(TermKind K, Sort S, const Rational *Value, uint32_t Sym,
+                   const Term *const *Ops, uint32_t NumOps) {
   size_t H = static_cast<size_t>(K) * 31 + static_cast<size_t>(S);
-  H = H * 1000003u + Value.hash();
-  H = H * 1000003u + std::hash<std::string>()(Name);
-  for (const Term *Op : Ops)
-    H = H * 1000003u + Op->id();
+  H = H * 1000003u + Sym;
+  if (Value)
+    H = H * 1000003u + Value->hash();
+  for (uint32_t I = 0; I < NumOps; ++I)
+    H = H * 1000003u + Ops[I]->id();
+  // Final avalanche (splitmix64-style) so quadratic probing sees
+  // well-mixed low bits.
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ull;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebull;
+  H ^= H >> 31;
   return H;
 }
 
-TermManager::TermManager() {
-  TrueTerm = intern(TermKind::True, Sort::Bool, Rational(), "", {});
-  FalseTerm = intern(TermKind::False, Sort::Bool, Rational(), "", {});
+/// \returns true if \p Node has exactly the given structure.
+bool nodeEquals(const Term *Node, TermKind K, Sort S, const Rational *Value,
+                uint32_t Sym, const Term *const *Ops, uint32_t NumOps) {
+  if (Node->kind() != K || Node->sort() != S || Node->numOperands() != NumOps)
+    return false;
+  if (K == TermKind::Var || K == TermKind::Apply) {
+    if (Node->symbol() != Sym)
+      return false;
+  }
+  if (K == TermKind::IntConst && !(Node->value() == *Value))
+    return false;
+  OperandRange Existing = Node->operands();
+  for (uint32_t I = 0; I < NumOps; ++I)
+    if (Existing[I] != Ops[I])
+      return false;
+  return true;
 }
 
-TermManager::~TermManager() = default;
+} // namespace
 
-const Term *TermManager::intern(TermKind K, Sort S, Rational Value,
-                                std::string Name,
-                                std::vector<const Term *> Ops) {
-  size_t H = hashTermKey(K, S, Value, Name, Ops);
-  auto &Bucket = UniqueTable[H];
-  for (const Term *Existing : Bucket) {
-    if (Existing->Kind == K && Existing->TermSort == S &&
-        Existing->Value == Value && Existing->Name == Name &&
-        Existing->Ops == Ops)
-      return Existing;
+TermManager::TermManager() {
+  UniqueTable.assign(1u << 10, nullptr);
+  TrueTerm = intern(TermKind::True, Sort::Bool, nullptr, Term::NoSymbol, {});
+  FalseTerm = intern(TermKind::False, Sort::Bool, nullptr, Term::NoSymbol, {});
+}
+
+TermManager::~TermManager() {
+  for (OpaqueMemo &Memo : AtomMemo)
+    if (Memo.Ptr)
+      Memo.Deleter(Memo.Ptr);
+}
+
+void *TermManager::arenaAllocate(size_t Bytes) {
+  Bytes = (Bytes + 7u) & ~size_t(7); // Keep the bump pointer 8-aligned.
+  if (static_cast<size_t>(ArenaEnd - ArenaPtr) < Bytes) {
+    size_t ChunkBytes = std::max(Bytes, NextChunkBytes);
+    ArenaChunks.push_back(std::make_unique<char[]>(ChunkBytes));
+    ArenaPtr = ArenaChunks.back().get();
+    ArenaEnd = ArenaPtr + ChunkBytes;
+    ArenaReserved += ChunkBytes;
+    // Double up to 1 MiB chunks so large term populations amortize.
+    NextChunkBytes = std::min<size_t>(NextChunkBytes * 2, 1u << 20);
   }
-  auto Node = std::unique_ptr<Term>(new Term());
-  Node->Kind = K;
-  Node->TermSort = S;
-  Node->Id = static_cast<uint32_t>(AllTerms.size());
-  Node->Value = std::move(Value);
-  Node->Name = std::move(Name);
-  Node->Ops = std::move(Ops);
-  const Term *Result = Node.get();
-  AllTerms.push_back(std::move(Node));
-  Bucket.push_back(Result);
+  void *Result = ArenaPtr;
+  ArenaPtr += Bytes;
   return Result;
 }
 
+void TermManager::growUniqueTable() {
+  std::vector<const Term *> Old = std::move(UniqueTable);
+  UniqueTable.assign(Old.size() * 2, nullptr);
+  size_t Mask = UniqueTable.size() - 1;
+  for (const Term *Node : Old) {
+    if (!Node)
+      continue;
+    size_t Idx = Node->structuralHash() & Mask;
+    for (size_t Step = 1; UniqueTable[Idx]; ++Step)
+      Idx = (Idx + Step) & Mask;
+    UniqueTable[Idx] = Node;
+  }
+}
+
+const Term *TermManager::intern(TermKind K, Sort S, const Rational *Value,
+                                uint32_t Sym, const Term *const *Ops,
+                                uint32_t NumOps) {
+  size_t H = hashTermKey(K, S, Value, Sym, Ops, NumOps);
+
+  // Triangular probing visits every slot of a power-of-two table.
+  size_t Mask = UniqueTable.size() - 1;
+  size_t Idx = H & Mask;
+  size_t InsertAt;
+  for (size_t Step = 1;; ++Step) {
+    const Term *Existing = UniqueTable[Idx];
+    if (!Existing) {
+      InsertAt = Idx;
+      break;
+    }
+    if (Existing->structuralHash() == H &&
+        nodeEquals(Existing, K, S, Value, Sym, Ops, NumOps))
+      return Existing;
+    Idx = (Idx + Step) & Mask;
+  }
+
+  Term *Node = new (arenaAllocate(sizeof(Term) +
+                                  NumOps * sizeof(const Term *))) Term();
+  Node->Kind = K;
+  Node->TermSort = S;
+  Node->Id = static_cast<uint32_t>(AllTerms.size());
+  Node->Sym = Sym;
+  Node->NumOps = NumOps;
+  Node->StructHash = H;
+  Node->Mgr = this;
+  if (Value) {
+    ConstPool.push_back(*Value);
+    Node->ConstVal = &ConstPool.back();
+  }
+  uint8_t Flags = 0;
+  if (K == TermKind::Forall)
+    Flags |= Term::FlagHasForall;
+  if (K == TermKind::Store)
+    Flags |= Term::FlagHasStore;
+  const Term **Dst = Node->opsBeginMutable();
+  for (uint32_t I = 0; I < NumOps; ++I) {
+    Dst[I] = Ops[I];
+    Flags |= Ops[I]->Flags;
+  }
+  Node->Flags = Flags;
+
+  AllTerms.push_back(Node);
+  UniqueTable[InsertAt] = Node;
+  // Keep the load factor below ~0.7 so probe chains stay short.
+  if (++UniqueCount * 10 >= UniqueTable.size() * 7)
+    growUniqueTable();
+  return Node;
+}
+
+uint32_t TermManager::internSymbol(std::string_view Text) {
+  auto It = SymbolIds.find(Text);
+  if (It != SymbolIds.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(SymbolTexts.size());
+  SymbolTexts.emplace_back(Text);
+  SymbolIds.emplace(std::string_view(SymbolTexts.back()), Id);
+  return Id;
+}
+
+void TermManager::atomMemoSet(uint32_t Id, void *Ptr, void (*Deleter)(void *)) {
+  if (AtomMemo.size() <= Id)
+    AtomMemo.resize(AllTerms.size());
+  OpaqueMemo &Memo = AtomMemo[Id];
+  if (Memo.Ptr)
+    Memo.Deleter(Memo.Ptr);
+  Memo.Ptr = Ptr;
+  Memo.Deleter = Deleter;
+}
+
+const std::vector<const Term *> &TermManager::freeVarsOf(const Term *T) {
+  if (FreeVarsMemo.size() > T->id() && FreeVarsMemo[T->id()])
+    return *FreeVarsMemo[T->id()];
+
+  std::vector<const Term *> Result;
+  switch (T->kind()) {
+  case TermKind::Var:
+    Result.push_back(T);
+    break;
+  case TermKind::IntConst:
+  case TermKind::True:
+  case TermKind::False:
+    break;
+  case TermKind::Forall: {
+    const Term *Bound = T->operand(0);
+    Result = freeVarsOf(T->operand(1)); // Copy, then drop the bound var.
+    auto It = std::lower_bound(Result.begin(), Result.end(), Bound,
+                               TermIdLess());
+    if (It != Result.end() && *It == Bound)
+      Result.erase(It);
+    break;
+  }
+  default:
+    for (const Term *Op : T->operands()) {
+      const std::vector<const Term *> &Sub = freeVarsOf(Op);
+      Result.insert(Result.end(), Sub.begin(), Sub.end());
+    }
+    std::sort(Result.begin(), Result.end(), TermIdLess());
+    Result.erase(std::unique(Result.begin(), Result.end()), Result.end());
+    break;
+  }
+
+  // Recursion above may have resized the memo vector; index afresh.
+  if (FreeVarsMemo.size() <= T->id())
+    FreeVarsMemo.resize(AllTerms.size());
+  FreeVarsMemo[T->id()] =
+      std::make_unique<std::vector<const Term *>>(std::move(Result));
+  return *FreeVarsMemo[T->id()];
+}
+
 const Term *TermManager::mkIntConst(Rational Value) {
-  return intern(TermKind::IntConst, Sort::Int, std::move(Value), "", {});
+  return intern(TermKind::IntConst, Sort::Int, &Value, Term::NoSymbol, {});
 }
 
 const Term *TermManager::mkVar(std::string_view Name, Sort S) {
   assert(!Name.empty() && "variable needs a name");
-  return intern(TermKind::Var, S, Rational(), std::string(Name), {});
+  return intern(TermKind::Var, S, nullptr, internSymbol(Name), {});
+}
+
+const Term *TermManager::mkAdd(const Term *A, const Term *B) {
+  assert(A->isInt() && B->isInt() && "Add over non-integer operands");
+  // Nested sums still flatten through the n-ary path.
+  if (A->kind() == TermKind::Add || B->kind() == TermKind::Add)
+    return mkAdd(std::vector<const Term *>{A, B});
+  if (A->isIntConst()) {
+    if (B->isIntConst())
+      return mkIntConst(A->value() + B->value());
+    if (A->value().isZero())
+      return B;
+  } else if (B->isIntConst() && B->value().isZero()) {
+    return A;
+  }
+  const Term *Ops[2] = {A, B};
+  if (TermIdLess()(Ops[1], Ops[0]))
+    std::swap(Ops[0], Ops[1]);
+  return intern(TermKind::Add, Sort::Int, nullptr, Term::NoSymbol, Ops, 2);
 }
 
 const Term *TermManager::mkAdd(std::vector<const Term *> Ops) {
-  std::vector<const Term *> Flat;
+  std::vector<const Term *> &Flat = ScratchOps;
+  Flat.clear();
   Rational ConstSum;
   for (const Term *Op : Ops) {
     assert(Op->isInt() && "Add over non-integer operand");
@@ -132,11 +311,12 @@ const Term *TermManager::mkAdd(std::vector<const Term *> Ops) {
     }
   }
   if (!ConstSum.isZero() || Flat.empty())
-    Flat.push_back(mkIntConst(ConstSum));
+    Flat.push_back(mkIntConst(std::move(ConstSum)));
   if (Flat.size() == 1)
     return Flat[0];
   std::stable_sort(Flat.begin(), Flat.end(), TermIdLess());
-  return intern(TermKind::Add, Sort::Int, Rational(), "", std::move(Flat));
+  return intern(TermKind::Add, Sort::Int, nullptr, Term::NoSymbol,
+                Flat.data(), static_cast<uint32_t>(Flat.size()));
 }
 
 const Term *TermManager::mkSub(const Term *A, const Term *B) {
@@ -164,20 +344,21 @@ const Term *TermManager::mkMul(const Term *A, const Term *B) {
       return mkMul(mkIntConst(A->value() * B->operand(0)->value()),
                    B->operand(1));
   }
-  return intern(TermKind::Mul, Sort::Int, Rational(), "", {A, B});
+  return intern(TermKind::Mul, Sort::Int, nullptr, Term::NoSymbol, {A, B});
 }
 
 const Term *TermManager::mkSelect(const Term *Array, const Term *Index) {
   assert(Array->isArray() && "Select from non-array");
   assert(Index->isInt() && "Select with non-integer index");
-  return intern(TermKind::Select, Sort::Int, Rational(), "", {Array, Index});
+  return intern(TermKind::Select, Sort::Int, nullptr, Term::NoSymbol,
+                {Array, Index});
 }
 
 const Term *TermManager::mkStore(const Term *Array, const Term *Index,
                                  const Term *Value) {
   assert(Array->isArray() && "Store into non-array");
   assert(Index->isInt() && Value->isInt() && "Store index/value must be int");
-  return intern(TermKind::Store, Sort::ArrayIntInt, Rational(), "",
+  return intern(TermKind::Store, Sort::ArrayIntInt, nullptr, Term::NoSymbol,
                 {Array, Index, Value});
 }
 
@@ -185,8 +366,8 @@ const Term *TermManager::mkApply(std::string_view Function,
                                  std::vector<const Term *> Args,
                                  Sort ResultSort) {
   assert(!Function.empty() && "function application needs a symbol");
-  return intern(TermKind::Apply, ResultSort, Rational(), std::string(Function),
-                std::move(Args));
+  return intern(TermKind::Apply, ResultSort, nullptr, internSymbol(Function),
+                Args.data(), static_cast<uint32_t>(Args.size()));
 }
 
 const Term *TermManager::mkEq(const Term *A, const Term *B) {
@@ -197,7 +378,7 @@ const Term *TermManager::mkEq(const Term *A, const Term *B) {
     return mkBool(A->value() == B->value());
   if (TermIdLess()(B, A))
     std::swap(A, B);
-  return intern(TermKind::Eq, Sort::Bool, Rational(), "", {A, B});
+  return intern(TermKind::Eq, Sort::Bool, nullptr, Term::NoSymbol, {A, B});
 }
 
 const Term *TermManager::mkLe(const Term *A, const Term *B) {
@@ -206,7 +387,7 @@ const Term *TermManager::mkLe(const Term *A, const Term *B) {
     return mkTrue();
   if (A->isIntConst() && B->isIntConst())
     return mkBool(A->value() <= B->value());
-  return intern(TermKind::Le, Sort::Bool, Rational(), "", {A, B});
+  return intern(TermKind::Le, Sort::Bool, nullptr, Term::NoSymbol, {A, B});
 }
 
 const Term *TermManager::mkLt(const Term *A, const Term *B) {
@@ -215,7 +396,7 @@ const Term *TermManager::mkLt(const Term *A, const Term *B) {
     return mkFalse();
   if (A->isIntConst() && B->isIntConst())
     return mkBool(A->value() < B->value());
-  return intern(TermKind::Lt, Sort::Bool, Rational(), "", {A, B});
+  return intern(TermKind::Lt, Sort::Bool, nullptr, Term::NoSymbol, {A, B});
 }
 
 const Term *TermManager::mkNot(const Term *A) {
@@ -234,12 +415,32 @@ const Term *TermManager::mkNot(const Term *A) {
     // !(a < b)  ==  b <= a
     return mkLe(A->operand(1), A->operand(0));
   default:
-    return intern(TermKind::Not, Sort::Bool, Rational(), "", {A});
+    return intern(TermKind::Not, Sort::Bool, nullptr, Term::NoSymbol, {A});
   }
 }
 
+const Term *TermManager::mkAnd(const Term *A, const Term *B) {
+  assert(A->isBool() && B->isBool() && "And over non-boolean operands");
+  if (A->isFalse() || B->isFalse())
+    return mkFalse();
+  if (A->isTrue())
+    return B;
+  if (B->isTrue())
+    return A;
+  if (A == B)
+    return A;
+  // Nested conjunctions still flatten through the n-ary path.
+  if (A->kind() == TermKind::And || B->kind() == TermKind::And)
+    return mkAnd(std::vector<const Term *>{A, B});
+  const Term *Ops[2] = {A, B};
+  if (TermIdLess()(Ops[1], Ops[0]))
+    std::swap(Ops[0], Ops[1]);
+  return intern(TermKind::And, Sort::Bool, nullptr, Term::NoSymbol, Ops, 2);
+}
+
 const Term *TermManager::mkAnd(std::vector<const Term *> Ops) {
-  std::vector<const Term *> Flat;
+  std::vector<const Term *> &Flat = ScratchOps;
+  Flat.clear();
   for (const Term *Op : Ops) {
     assert(Op->isBool() && "And over non-boolean operand");
     if (Op->isFalse())
@@ -257,11 +458,32 @@ const Term *TermManager::mkAnd(std::vector<const Term *> Ops) {
     return mkTrue();
   if (Flat.size() == 1)
     return Flat[0];
-  return intern(TermKind::And, Sort::Bool, Rational(), "", std::move(Flat));
+  return intern(TermKind::And, Sort::Bool, nullptr, Term::NoSymbol,
+                Flat.data(), static_cast<uint32_t>(Flat.size()));
+}
+
+const Term *TermManager::mkOr(const Term *A, const Term *B) {
+  assert(A->isBool() && B->isBool() && "Or over non-boolean operands");
+  if (A->isTrue() || B->isTrue())
+    return mkTrue();
+  if (A->isFalse())
+    return B;
+  if (B->isFalse())
+    return A;
+  if (A == B)
+    return A;
+  // Nested disjunctions still flatten through the n-ary path.
+  if (A->kind() == TermKind::Or || B->kind() == TermKind::Or)
+    return mkOr(std::vector<const Term *>{A, B});
+  const Term *Ops[2] = {A, B};
+  if (TermIdLess()(Ops[1], Ops[0]))
+    std::swap(Ops[0], Ops[1]);
+  return intern(TermKind::Or, Sort::Bool, nullptr, Term::NoSymbol, Ops, 2);
 }
 
 const Term *TermManager::mkOr(std::vector<const Term *> Ops) {
-  std::vector<const Term *> Flat;
+  std::vector<const Term *> &Flat = ScratchOps;
+  Flat.clear();
   for (const Term *Op : Ops) {
     assert(Op->isBool() && "Or over non-boolean operand");
     if (Op->isTrue())
@@ -279,7 +501,8 @@ const Term *TermManager::mkOr(std::vector<const Term *> Ops) {
     return mkFalse();
   if (Flat.size() == 1)
     return Flat[0];
-  return intern(TermKind::Or, Sort::Bool, Rational(), "", std::move(Flat));
+  return intern(TermKind::Or, Sort::Bool, nullptr, Term::NoSymbol,
+                Flat.data(), static_cast<uint32_t>(Flat.size()));
 }
 
 const Term *TermManager::mkIff(const Term *A, const Term *B) {
@@ -294,6 +517,6 @@ const Term *TermManager::mkForall(const Term *BoundVar, const Term *Body) {
   assert(Body->isBool() && "quantifier body must be a formula");
   if (Body->isTrue() || Body->isFalse())
     return Body;
-  return intern(TermKind::Forall, Sort::Bool, Rational(), "",
+  return intern(TermKind::Forall, Sort::Bool, nullptr, Term::NoSymbol,
                 {BoundVar, Body});
 }

@@ -15,6 +15,15 @@
 /// and every term carries a creation index used for deterministic ordering
 /// (never order by pointer value).
 ///
+/// Representation: nodes live in a bump-pointer arena owned by TermManager.
+/// A node is a fixed header followed by its operand pointers inline, so a
+/// term and its operand list are one allocation and one cache line for the
+/// common small arities. Variable and function names are interned in a
+/// per-manager symbol table and nodes store only the 32-bit symbol id;
+/// constants store a pointer into a stable Rational pool. Each node caches
+/// its structural hash, and uniquing goes through an open-addressing
+/// (quadratic-probe) table keyed by that hash.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHINV_LOGIC_TERM_H
@@ -22,6 +31,7 @@
 
 #include "support/Rational.h"
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -66,35 +76,73 @@ enum class TermKind : uint8_t {
 /// \returns a human-readable kind name (for diagnostics).
 const char *termKindName(TermKind K);
 
+class Term;
 class TermManager;
+
+/// Non-owning view of a term's operand array (stored inline in the arena
+/// right after the node header). Iterates like a const vector of
+/// `const Term *`.
+class OperandRange {
+public:
+  using value_type = const Term *;
+  using iterator = const Term *const *;
+  using const_iterator = iterator;
+
+  OperandRange() = default;
+  OperandRange(const Term *const *Data, size_t Size)
+      : Data(Data), Count(Size) {}
+
+  iterator begin() const { return Data; }
+  iterator end() const { return Data + Count; }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  const Term *operator[](size_t I) const {
+    assert(I < Count && "operand index out of range");
+    return Data[I];
+  }
+  const Term *front() const { return (*this)[0]; }
+  const Term *back() const { return (*this)[Count - 1]; }
+
+private:
+  const Term *const *Data = nullptr;
+  size_t Count = 0;
+};
 
 /// An immutable term node. Instances are created and uniqued exclusively by
 /// \c TermManager; clients hold `const Term *` and may compare by pointer.
-class Term {
+class Term final {
 public:
   TermKind kind() const { return Kind; }
   Sort sort() const { return TermSort; }
   /// Creation index; use for deterministic ordering.
   uint32_t id() const { return Id; }
+  /// Cached structural hash (stable within a run; also stable across
+  /// identical runs since it mixes only ids, kinds, and symbol ids).
+  size_t structuralHash() const { return StructHash; }
+  /// The manager that owns this node.
+  TermManager &manager() const { return *Mgr; }
 
   /// Constant value; valid only for IntConst.
   const Rational &value() const {
     assert(Kind == TermKind::IntConst && "value() on non-constant");
-    return Value;
+    return *ConstVal;
   }
-  /// Variable or function-symbol name; valid for Var and Apply.
-  const std::string &name() const {
+  /// Interned symbol id; valid for Var and Apply.
+  uint32_t symbol() const {
     assert((Kind == TermKind::Var || Kind == TermKind::Apply) &&
-           "name() on unnamed term");
-    return Name;
+           "symbol() on unnamed term");
+    return Sym;
   }
+  /// Variable or function-symbol name; valid for Var and Apply. The
+  /// returned reference is stable for the life of the manager.
+  const std::string &name() const; // Defined after TermManager.
 
-  const std::vector<const Term *> &operands() const { return Ops; }
+  OperandRange operands() const { return OperandRange(opsBegin(), NumOps); }
   const Term *operand(size_t I) const {
-    assert(I < Ops.size() && "operand index out of range");
-    return Ops[I];
+    assert(I < NumOps && "operand index out of range");
+    return opsBegin()[I];
   }
-  size_t numOperands() const { return Ops.size(); }
+  size_t numOperands() const { return NumOps; }
 
   bool isBool() const { return TermSort == Sort::Bool; }
   bool isInt() const { return TermSort == Sort::Int; }
@@ -111,19 +159,41 @@ public:
   /// \returns true for atoms or their negations (the literals of
   /// predicate abstraction).
   bool isLiteral() const {
-    return isAtom() || (Kind == TermKind::Not && Ops[0]->isAtom());
+    return isAtom() || (Kind == TermKind::Not && operand(0)->isAtom());
   }
+  /// \returns true if any subterm is a Forall (O(1); computed at intern
+  /// time from the operands' flags).
+  bool containsForall() const { return Flags & FlagHasForall; }
+  /// \returns true if any subterm is a Store (O(1)).
+  bool containsArrayStore() const { return Flags & FlagHasStore; }
 
 private:
   friend class TermManager;
   Term() = default;
 
+  static constexpr uint32_t NoSymbol = 0xffffffffu;
+  enum : uint8_t { FlagHasForall = 1u << 0, FlagHasStore = 1u << 1 };
+
+  /// Operands are stored inline, immediately after the node header.
+  const Term *const *opsBegin() const {
+    return reinterpret_cast<const Term *const *>(
+        reinterpret_cast<const char *>(this) + sizeof(Term));
+  }
+  const Term **opsBeginMutable() {
+    return reinterpret_cast<const Term **>(reinterpret_cast<char *>(this) +
+                                           sizeof(Term));
+  }
+
   TermKind Kind = TermKind::True;
   Sort TermSort = Sort::Bool;
+  uint8_t Flags = 0;
   uint32_t Id = 0;
-  Rational Value;
-  std::string Name;
-  std::vector<const Term *> Ops;
+  uint32_t Sym = NoSymbol;
+  uint32_t NumOps = 0;
+  size_t StructHash = 0;
+  TermManager *Mgr = nullptr;
+  const Rational *ConstVal = nullptr;
+  // Trailing: const Term *Ops[NumOps];
 };
 
 /// Comparator giving a deterministic (creation-order) total order on terms.
@@ -152,14 +222,26 @@ public:
   const Term *mkFalse() { return FalseTerm; }
   const Term *mkBool(bool B) { return B ? TrueTerm : FalseTerm; }
   const Term *mkIntConst(Rational Value);
-  const Term *mkIntConst(int64_t Value) { return mkIntConst(Rational(Value)); }
+  /// Small machine integers resolve through a direct cache — they are the
+  /// bulk of all constants (coefficients, bounds, increments) and skipping
+  /// the Rational construction and table probe is a measurable win.
+  const Term *mkIntConst(int64_t Value) {
+    if (Value >= SmallIntMin && Value <= SmallIntMax) {
+      const Term *&Slot = SmallInts[Value - SmallIntMin];
+      if (!Slot)
+        Slot = mkIntConst(Rational(Value));
+      return Slot;
+    }
+    return mkIntConst(Rational(Value));
+  }
   const Term *mkVar(std::string_view Name, Sort S);
 
   // --- Integer terms --------------------------------------------------
 
   /// N-ary addition; flattens nested Add and folds constants.
   const Term *mkAdd(std::vector<const Term *> Ops);
-  const Term *mkAdd(const Term *A, const Term *B) { return mkAdd({A, B}); }
+  /// Binary addition; allocation-free fast path for the common case.
+  const Term *mkAdd(const Term *A, const Term *B);
   const Term *mkSub(const Term *A, const Term *B);
   const Term *mkNeg(const Term *A);
   /// Binary multiplication; folds constants and orders a constant first.
@@ -192,10 +274,12 @@ public:
   const Term *mkNot(const Term *A);
   /// N-ary conjunction; flattens, deduplicates, simplifies units.
   const Term *mkAnd(std::vector<const Term *> Ops);
-  const Term *mkAnd(const Term *A, const Term *B) { return mkAnd({A, B}); }
+  /// Binary conjunction; allocation-free fast path for the common case.
+  const Term *mkAnd(const Term *A, const Term *B);
   /// N-ary disjunction; flattens, deduplicates, simplifies units.
   const Term *mkOr(std::vector<const Term *> Ops);
-  const Term *mkOr(const Term *A, const Term *B) { return mkOr({A, B}); }
+  /// Binary disjunction; allocation-free fast path for the common case.
+  const Term *mkOr(const Term *A, const Term *B);
   const Term *mkImplies(const Term *A, const Term *B) {
     return mkOr(mkNot(A), B);
   }
@@ -203,23 +287,111 @@ public:
   /// Universal quantification over an Int-sorted bound variable.
   const Term *mkForall(const Term *BoundVar, const Term *Body);
 
+  // --- Symbols ----------------------------------------------------------
+
+  /// Interns \p Text and returns its stable symbol id (ids are assigned in
+  /// first-use order, so identical runs produce identical ids).
+  uint32_t internSymbol(std::string_view Text);
+  /// \returns the text of an interned symbol; the reference is stable for
+  /// the life of the manager.
+  const std::string &symbolText(uint32_t Sym) const {
+    assert(Sym < SymbolTexts.size() && "symbol id out of range");
+    return SymbolTexts[Sym];
+  }
+  size_t numSymbols() const { return SymbolTexts.size(); }
+
+  // --- Introspection ----------------------------------------------------
+
   /// \returns total number of distinct terms created (diagnostics).
   size_t numTerms() const { return AllTerms.size(); }
+  /// \returns the term with creation index \p Id.
+  const Term *termOfId(uint32_t Id) const {
+    assert(Id < AllTerms.size() && "term id out of range");
+    return AllTerms[Id];
+  }
+  /// \returns bytes currently reserved by the node arena (diagnostics).
+  size_t arenaBytes() const { return ArenaReserved; }
+
+  // --- Memoized traversals ---------------------------------------------
+
+  /// Free variables of \p T (bound variables excluded), sorted by id.
+  /// Computed once per node and cached; the reference is stable for the
+  /// life of the manager.
+  const std::vector<const Term *> &freeVarsOf(const Term *T);
+
+  /// \name Opaque per-term memo slot used by LinearExpr's atom normalizer.
+  /// Values are owned by the manager and freed through the deleter.
+  /// @{
+  void *atomMemoGet(uint32_t Id) const {
+    return Id < AtomMemo.size() ? AtomMemo[Id].Ptr : nullptr;
+  }
+  void atomMemoSet(uint32_t Id, void *Ptr, void (*Deleter)(void *));
+  /// @}
 
 private:
-  const Term *intern(TermKind K, Sort S, Rational Value, std::string Name,
-                     std::vector<const Term *> Ops);
+  struct OpaqueMemo {
+    void *Ptr = nullptr;
+    void (*Deleter)(void *) = nullptr;
+  };
 
-  struct KeyHash;
-  struct KeyEq;
+  /// Bump-pointer allocation of \p Bytes (8-aligned) in the node arena.
+  void *arenaAllocate(size_t Bytes);
+  /// Uniquing core: find-or-create the node for the given structure.
+  /// \p Value is non-null only for IntConst keys.
+  const Term *intern(TermKind K, Sort S, const Rational *Value, uint32_t Sym,
+                     const Term *const *Ops, uint32_t NumOps);
+  const Term *intern(TermKind K, Sort S, const Rational *Value, uint32_t Sym,
+                     std::initializer_list<const Term *> Ops) {
+    return intern(K, S, Value, Sym, Ops.begin(),
+                  static_cast<uint32_t>(Ops.size()));
+  }
+  void growUniqueTable();
 
-  std::vector<std::unique_ptr<Term>> AllTerms;
-  // Uniquing table from structural content to the canonical node. The key
-  // indexes into AllTerms to avoid storing duplicate structures.
-  std::unordered_map<size_t, std::vector<const Term *>> UniqueTable;
+  // Node arena: chunked, geometrically growing; nodes are trivially
+  // destructible so chunks are freed wholesale.
+  std::vector<std::unique_ptr<char[]>> ArenaChunks;
+  char *ArenaPtr = nullptr;
+  char *ArenaEnd = nullptr;
+  size_t NextChunkBytes = 1u << 16;
+  size_t ArenaReserved = 0;
+
+  // Creation index -> node (also the deterministic iteration order).
+  std::vector<const Term *> AllTerms;
+  // Open-addressing uniquing table (power-of-two capacity, triangular
+  // probing). Entries carry their hash in the node itself.
+  std::vector<const Term *> UniqueTable;
+  size_t UniqueCount = 0;
+
+  // Interned symbols. The deque keeps string storage stable so nodes and
+  // callers can hold references; the map's string_view keys alias it.
+  std::deque<std::string> SymbolTexts;
+  std::unordered_map<std::string_view, uint32_t> SymbolIds;
+
+  // Stable pool of IntConst payloads.
+  std::deque<Rational> ConstPool;
+
+  // Reusable flatten buffer for the n-ary constructors (mkAdd/mkAnd/mkOr
+  // never re-enter one another before interning, so one buffer suffices).
+  std::vector<const Term *> ScratchOps;
+
+  // Direct-mapped cache of small integer constants.
+  static constexpr int64_t SmallIntMin = -16;
+  static constexpr int64_t SmallIntMax = 255;
+  const Term *SmallInts[SmallIntMax - SmallIntMin + 1] = {};
+
+  // Traversal memos, indexed by term id.
+  std::vector<std::unique_ptr<std::vector<const Term *>>> FreeVarsMemo;
+  std::vector<OpaqueMemo> AtomMemo;
+
   const Term *TrueTerm = nullptr;
   const Term *FalseTerm = nullptr;
 };
+
+inline const std::string &Term::name() const {
+  assert((Kind == TermKind::Var || Kind == TermKind::Apply) &&
+         "name() on unnamed term");
+  return Mgr->symbolText(Sym);
+}
 
 } // namespace pathinv
 

@@ -6,24 +6,82 @@
 
 #include "logic/TermRewrite.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
 using namespace pathinv;
 
 namespace {
 
+/// Flat open-addressing map from term id to rewritten term: one backing
+/// allocation total, no per-entry nodes (a node-based map would pay one
+/// heap allocation per visited subterm).
+class IdResultCache {
+public:
+  const Term *lookup(uint32_t Id) const {
+    size_t Mask = Slots.size() - 1;
+    for (size_t Idx = hashId(Id) & Mask;; Idx = (Idx + 1) & Mask) {
+      const Slot &S = Slots[Idx];
+      if (!S.Used)
+        return nullptr;
+      if (S.Id == Id)
+        return S.Result;
+    }
+  }
+
+  void insert(uint32_t Id, const Term *Result) {
+    if ((Count + 1) * 4 >= Slots.size() * 3)
+      grow();
+    insertNoGrow(Id, Result);
+    ++Count;
+  }
+
+private:
+  struct Slot {
+    uint32_t Id = 0;
+    bool Used = false;
+    const Term *Result = nullptr;
+  };
+
+  static size_t hashId(uint32_t Id) { return Id * 2654435761u; }
+
+  void insertNoGrow(uint32_t Id, const Term *Result) {
+    size_t Mask = Slots.size() - 1;
+    size_t Idx = hashId(Id) & Mask;
+    while (Slots[Idx].Used)
+      Idx = (Idx + 1) & Mask;
+    Slots[Idx] = {Id, true, Result};
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 64 : Old.size() * 2, Slot());
+    for (const Slot &S : Old)
+      if (S.Used)
+        insertNoGrow(S.Id, S.Result);
+  }
+
+  std::vector<Slot> Slots = std::vector<Slot>(64);
+  size_t Count = 0;
+};
+
 /// Memoized bottom-up rewriter. Rebuild() is applied to leaves; interior
 /// nodes are reconstructed through TermManager so simplifications re-fire.
-class Rewriter {
+/// The memo is keyed by term id (dense, hash-free to compare) so repeated
+/// shared subterms — the common case in hash-consed path formulas — are
+/// rewritten once. Templated over the callback so per-node dispatch is a
+/// direct call, not a std::function indirection.
+template <typename LeafFn> class Rewriter {
 public:
-  Rewriter(TermManager &TM,
-           std::function<const Term *(const Term *)> RewriteLeaf)
+  Rewriter(TermManager &TM, LeafFn RewriteLeaf)
       : TM(TM), RewriteLeaf(std::move(RewriteLeaf)) {}
 
   const Term *visit(const Term *T) {
-    auto It = Cache.find(T);
-    if (It != Cache.end())
-      return It->second;
+    if (const Term *Hit = Cache.lookup(T->id()))
+      return Hit;
     const Term *Result = visitUncached(T);
-    Cache[T] = Result;
+    Cache.insert(T->id(), Result);
     return Result;
   }
 
@@ -42,12 +100,15 @@ private:
       return T;
     case TermKind::Forall: {
       // The bound variable shadows rewrites of itself inside the body.
+      // Type-erase at the binder boundary so the template recursion stays
+      // finite; quantifiers are rare enough that the indirection is noise.
       const Term *Bound = T->operand(0);
-      Rewriter Inner(TM, [&](const Term *Sub) -> const Term * {
-        if (Sub == Bound)
-          return Bound;
-        return RewriteLeaf(Sub);
-      });
+      Rewriter<std::function<const Term *(const Term *)>> Inner(
+          TM, [this, Bound](const Term *Sub) -> const Term * {
+            if (Sub == Bound)
+              return Bound;
+            return RewriteLeaf(Sub);
+          });
       const Term *NewBody = Inner.visit(T->operand(1));
       if (NewBody == T->operand(1))
         return T;
@@ -101,9 +162,15 @@ private:
   }
 
   TermManager &TM;
-  std::function<const Term *(const Term *)> RewriteLeaf;
-  std::map<const Term *, const Term *, TermIdLess> Cache;
+  LeafFn RewriteLeaf;
+  IdResultCache Cache;
 };
+
+template <typename LeafFn>
+const Term *rewriteWith(TermManager &TM, const Term *T, LeafFn Fn) {
+  Rewriter<LeafFn> R(TM, std::move(Fn));
+  return R.visit(T);
+}
 
 } // namespace
 
@@ -111,85 +178,83 @@ const Term *pathinv::substitute(TermManager &TM, const Term *T,
                                 const TermMap &Subst) {
   if (Subst.empty())
     return T;
-  Rewriter R(TM, [&Subst](const Term *Node) -> const Term * {
-    auto It = Subst.find(Node);
-    return It == Subst.end() ? nullptr : It->second;
+  // Re-key the substitution into a flat id-sorted array once (TermMap is
+  // already id-ordered), so the per-node probe during the traversal is a
+  // binary search over packed u32 keys instead of an ordered-map walk.
+  std::vector<std::pair<uint32_t, const Term *>> ById;
+  ById.reserve(Subst.size());
+  for (const auto &[Key, Image] : Subst)
+    ById.emplace_back(Key->id(), Image);
+  return rewriteWith(TM, T, [&ById](const Term *Node) -> const Term * {
+    auto It = std::lower_bound(
+        ById.begin(), ById.end(), Node->id(),
+        [](const auto &Entry, uint32_t Id) { return Entry.first < Id; });
+    return It != ById.end() && It->first == Node->id() ? It->second
+                                                       : nullptr;
   });
-  return R.visit(T);
 }
 
 const Term *pathinv::renameVars(
     TermManager &TM, const Term *T,
     const std::function<const Term *(const Term *)> &Rename) {
-  Rewriter R(TM, [&Rename](const Term *Node) -> const Term * {
+  return rewriteWith(TM, T, [&Rename](const Term *Node) -> const Term * {
     if (!Node->isVar())
       return nullptr;
     return Rename(Node);
   });
-  return R.visit(T);
+}
+
+void pathinv::collectFreeVars(const Term *T, TermSet &Out) {
+  // The per-node free-variable sets are memoized by the owning manager.
+  const std::vector<const Term *> &Vars = T->manager().freeVarsOf(T);
+  Out.insert(Vars.begin(), Vars.end());
 }
 
 namespace {
 
-/// Generic traversal collecting nodes matching a predicate; tracks bound
-/// variables so they can be excluded from free-variable collection.
-void traverse(const Term *T, TermSet &Bound,
-              const std::function<void(const Term *, const TermSet &)> &Fn) {
-  Fn(T, Bound);
-  if (T->kind() == TermKind::Forall) {
-    const Term *Var = T->operand(0);
-    bool Inserted = Bound.insert(Var).second;
-    traverse(T->operand(1), Bound, Fn);
-    if (Inserted)
-      Bound.erase(Var);
-    return;
+/// DAG-aware traversal: each distinct subterm is visited once (the match
+/// predicates below are context-free, so shared subterms need no revisit).
+template <typename Fn> void visitOnce(const Term *Root, const Fn &Visit) {
+  std::unordered_set<uint32_t> Seen;
+  std::vector<const Term *> Stack{Root};
+  while (!Stack.empty()) {
+    const Term *T = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(T->id()).second)
+      continue;
+    Visit(T);
+    for (const Term *Op : T->operands())
+      Stack.push_back(Op);
   }
-  for (const Term *Op : T->operands())
-    traverse(Op, Bound, Fn);
 }
 
 } // namespace
 
-void pathinv::collectFreeVars(const Term *T, TermSet &Out) {
-  TermSet Bound;
-  traverse(T, Bound, [&Out](const Term *Node, const TermSet &BoundNow) {
-    if (Node->isVar() && !BoundNow.count(Node))
-      Out.insert(Node);
-  });
-}
-
 void pathinv::collectAtoms(const Term *T, TermSet &Out) {
-  TermSet Bound;
-  traverse(T, Bound, [&Out](const Term *Node, const TermSet &) {
+  visitOnce(T, [&Out](const Term *Node) {
     if (Node->isAtom())
       Out.insert(Node);
   });
 }
 
 void pathinv::collectSelects(const Term *T, TermSet &Out) {
-  TermSet Bound;
-  traverse(T, Bound, [&Out](const Term *Node, const TermSet &) {
+  visitOnce(T, [&Out](const Term *Node) {
     if (Node->kind() == TermKind::Select)
       Out.insert(Node);
   });
 }
 
 bool pathinv::containsQuantifier(const Term *T) {
-  if (T->kind() == TermKind::Forall)
-    return true;
-  for (const Term *Op : T->operands())
-    if (containsQuantifier(Op))
-      return true;
-  return false;
+  // O(1): the flag is computed from the operands' flags at intern time.
+  return T->containsForall();
 }
 
-bool pathinv::containsStore(const Term *T) {
-  if (T->kind() == TermKind::Store)
-    return true;
-  for (const Term *Op : T->operands())
-    if (containsStore(Op))
-      return true;
-  return false;
+bool pathinv::containsStore(const Term *T) { return T->containsArrayStore(); }
+
+size_t pathinv::termDagSize(const Term *T) {
+  size_t Count = 0;
+  visitOnce(T, [&Count](const Term *) { ++Count; });
+  return Count;
 }
 
 void pathinv::flattenConjuncts(const Term *T, std::vector<const Term *> &Out) {

@@ -56,6 +56,10 @@ bool containsStore(const Term *T);
 /// conjunction into \p Out; a non-And term is emitted as a single conjunct.
 void flattenConjuncts(const Term *T, std::vector<const Term *> &Out);
 
+/// Number of distinct subterms of \p T (DAG size, each shared subterm
+/// counted once). Cheap size gauge for capping formula growth.
+size_t termDagSize(const Term *T);
+
 } // namespace pathinv
 
 #endif // PATHINV_LOGIC_TERMREWRITE_H

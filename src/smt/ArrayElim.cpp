@@ -69,32 +69,51 @@ const Term *defineNestedSelects(TermManager &TM, const Term *Formula) {
 
 Expected<const Term *> pathinv::eliminateArrayWrites(TermManager &TM,
                                                      const Term *Formula) {
-  Formula = defineNestedSelects(TM, Formula);
-  if (!containsStore(Formula)) {
-    // Still resolve array-to-array aliases b = a if any.
+  // Resolve array-to-array aliases b = a FIRST (union-find, earliest
+  // instance as representative), so every read and every store sees one
+  // representative per array class. Resolving after the store pass is too
+  // late: a read through an alias of a written array (the SSA frame chains
+  // produce exactly this) would never meet its read-over-write axiom and
+  // the write would silently disappear from the query.
+  {
     std::vector<const Term *> Conjuncts;
     flattenConjuncts(Formula, Conjuncts);
-    TermMap Alias;
-    bool HasAlias = false;
+    std::map<const Term *, const Term *, TermIdLess> Parent;
+    std::function<const Term *(const Term *)> Find =
+        [&](const Term *V) -> const Term * {
+      auto It = Parent.find(V);
+      if (It == Parent.end() || It->second == V)
+        return V;
+      const Term *Root = Find(It->second);
+      It->second = Root;
+      return Root;
+    };
     for (const Term *C : Conjuncts) {
       if (C->kind() == TermKind::Eq && C->operand(0)->isArray() &&
           C->operand(0)->isVar() && C->operand(1)->isVar()) {
-        Alias[C->operand(0)] = C->operand(1);
-        HasAlias = true;
+        const Term *RA = Find(C->operand(0));
+        const Term *RB = Find(C->operand(1));
+        if (RA == RB)
+          continue;
+        if (RA->id() > RB->id())
+          std::swap(RA, RB);
+        Parent[RB] = RA;
       }
     }
-    if (!HasAlias)
-      return Formula;
-    // Substitute aliases to a fixpoint (chains are short in SSA form).
-    const Term *Cur = Formula;
-    for (int Iter = 0; Iter < 8; ++Iter) {
-      const Term *Next = substitute(TM, Cur, Alias);
-      if (Next == Cur)
-        break;
-      Cur = Next;
+    if (!Parent.empty()) {
+      TermMap Alias;
+      for (const auto &[V, Par] : Parent) {
+        const Term *Root = Find(V);
+        if (Root != V)
+          Alias[V] = Root;
+      }
+      Formula = substitute(TM, Formula, Alias);
     }
-    return Cur;
   }
+
+  Formula = defineNestedSelects(TM, Formula);
+  if (!containsStore(Formula))
+    return Formula;
 
   std::vector<const Term *> Conjuncts;
   flattenConjuncts(Formula, Conjuncts);

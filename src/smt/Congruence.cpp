@@ -109,14 +109,17 @@ bool CongruenceClosure::assertDisequal(const Term *T1, const Term *T2,
 }
 
 bool CongruenceClosure::areEqual(const Term *T1, const Term *T2) {
+  if (T1 == T2)
+    return true;
   registerTerm(T1);
   registerTerm(T2);
+  // Arithmetic terms (Add/Mul) are not congruence nodes — their equality
+  // is the simplex's business — so answer conservatively instead of
+  // looking them up.
+  if (!known(T1) || !known(T2))
+    return false;
   return find(T1) == find(T2);
 }
-
-/// Re-roots the proof tree of \p T so that \p T has no proof parent.
-static void reverseProofPath(
-    std::map<const Term *, CongruenceClosure *, TermIdLess> &) {}
 
 bool CongruenceClosure::merge(const Term *T1, const Term *T2, int Tag,
                               const Term *CongrLhs, const Term *CongrRhs) {

@@ -24,32 +24,56 @@ int SatSolver::addVar() {
 bool SatSolver::addClause(std::vector<Lit> Clause) {
   if (KnownUnsat)
     return false;
-  // Remove duplicates; detect tautologies.
-  std::sort(Clause.begin(), Clause.end(),
-            [](Lit A, Lit B) { return A.Value < B.Value; });
-  Clause.erase(std::unique(Clause.begin(), Clause.end()), Clause.end());
-  for (size_t I = 0; I + 1 < Clause.size(); ++I)
-    if (Clause[I].var() == Clause[I + 1].var())
-      return true; // Tautology: p || !p.
-
-  // Solving is restartable: clauses may arrive between solve() calls (the
-  // lazy SMT loop adds blocking clauses). Reset to level 0 first.
-  backtrack(0);
-
-  // Drop literals already false at level 0; a literal true at level 0
-  // satisfies the clause permanently.
-  std::vector<Lit> Pruned;
+  // Remove duplicates and detect tautologies with a stamped marker buffer —
+  // no sort, no per-call allocation. The lazy SMT loop funnels a blocking
+  // clause through here after every theory conflict, so this path is hot.
+  if (LitMark.size() < 2 * Assign.size())
+    LitMark.resize(2 * Assign.size(), 0);
+  ++MarkStamp;
+  ScratchLits.clear();
   for (Lit L : Clause) {
-    if (litTrue(L))
-      return true;
-    if (!litFalse(L))
-      Pruned.push_back(L);
+    assert(L.var() < numVars() && "literal over unknown variable");
+    if (LitMark[L.Value] == MarkStamp)
+      continue; // Duplicate literal.
+    if (LitMark[(~L).Value] == MarkStamp)
+      return true; // Tautology: p || !p.
+    LitMark[L.Value] = MarkStamp;
+    ScratchLits.push_back(L);
   }
+
+  // Drop literals already false at level 0 (false forever); a literal true
+  // at level 0 satisfies the clause permanently. Literals assigned above
+  // level 0 are kept verbatim: solve() re-enters through backtrack(0), so
+  // no backtrack is needed here — the old unconditional backtrack(0) threw
+  // away the whole trail on every blocking clause. Filtering is done in
+  // place in the scratch buffer; the surviving literals are copied out
+  // only when a clause is actually stored.
+  size_t Kept = 0;
+  for (Lit L : ScratchLits) {
+    if (!litUnassigned(L) && Level[L.var()] == 0) {
+      if (litTrue(L))
+        return true;
+      continue;
+    }
+    ScratchLits[Kept++] = L;
+  }
+  ScratchLits.resize(Kept);
+  std::vector<Lit> &Pruned = ScratchLits;
   if (Pruned.empty()) {
     KnownUnsat = true;
     return false;
   }
   if (Pruned.size() == 1) {
+    // A unit must be asserted at level 0; backtrack only in this case (and
+    // only when a literal is actually assigned above level 0).
+    backtrack(0);
+    if (!litUnassigned(Pruned[0])) {
+      // Still assigned after backtracking means decided at level 0.
+      if (litTrue(Pruned[0]))
+        return true;
+      KnownUnsat = true;
+      return false;
+    }
     enqueue(Pruned[0], -1);
     if (propagate() >= 0) {
       KnownUnsat = true;
@@ -58,10 +82,16 @@ bool SatSolver::addClause(std::vector<Lit> Clause) {
     return true;
   }
 
+  // Any two kept literals are valid watches: each is unassigned at level 0
+  // (or assigned above it, which the next backtrack(0) undoes), so the
+  // watch invariant holds whenever propagation runs at this clause's
+  // resolution level.
   int Idx = static_cast<int>(Clauses.size());
   Watches[Pruned[0].Value].push_back(Idx);
   Watches[Pruned[1].Value].push_back(Idx);
-  Clauses.push_back({std::move(Pruned), false});
+  // Copy (not move) so the scratch buffer keeps its capacity for the next
+  // call; the stored clause needs its own allocation either way.
+  Clauses.push_back({std::vector<Lit>(Pruned.begin(), Pruned.end()), false});
   return true;
 }
 

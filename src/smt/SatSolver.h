@@ -111,6 +111,12 @@ private:
   double ActivityInc = 1.0;
   bool KnownUnsat = false;
 
+  // addClause scratch state: stamped per-literal markers for sort-free
+  // dedup/tautology detection, and a reusable literal buffer.
+  std::vector<uint64_t> LitMark;
+  uint64_t MarkStamp = 0;
+  std::vector<Lit> ScratchLits;
+
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
   uint64_t Propagations = 0;

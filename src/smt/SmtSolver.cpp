@@ -146,8 +146,18 @@ SmtSolver::Status SmtSolver::checkSatUncached(const Term *Formula) {
     return R.IsSat ? Status::Sat : Status::Unsat;
   }
 
-  // Lazy DPLL(T) loop.
+  // Lazy DPLL(T) loop. The per-query CDCL core's counters are folded into
+  // the solver-wide statistics on exit.
   SatSolver Sat;
+  struct StatFold {
+    SmtSolver &S;
+    SatSolver &Sat;
+    ~StatFold() {
+      S.SatConflicts += Sat.numConflicts();
+      S.SatDecisions += Sat.numDecisions();
+      S.SatPropagations += Sat.numPropagations();
+    }
+  } Fold{*this, Sat};
   TseitinEncoder Encoder(Sat);
   Lit Root = Encoder.encode(F);
   if (!Sat.addClause({Root}))

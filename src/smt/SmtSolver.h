@@ -58,6 +58,10 @@ public:
   uint64_t numQueries() const { return Queries; }
   uint64_t numTheoryChecks() const { return TheoryChecks; }
   uint64_t numCacheHits() const { return CacheHits; }
+  /// Cumulative CDCL-core statistics across all lazy-loop queries.
+  uint64_t numSatConflicts() const { return SatConflicts; }
+  uint64_t numSatDecisions() const { return SatDecisions; }
+  uint64_t numSatPropagations() const { return SatPropagations; }
 
 private:
   Status checkSatUncached(const Term *Formula);
@@ -68,6 +72,9 @@ private:
   uint64_t Queries = 0;
   uint64_t TheoryChecks = 0;
   uint64_t CacheHits = 0;
+  uint64_t SatConflicts = 0;
+  uint64_t SatDecisions = 0;
+  uint64_t SatPropagations = 0;
 };
 
 } // namespace pathinv

@@ -164,13 +164,13 @@ private:
     std::string SegDesc =
         P.locationName(Src) + " ~> " + P.locationName(Dst);
     for (const auto &Branch : Branches) {
-      if (!processBranch(Seg, PF, Branch, SrcT, DstT, DstError, SegDesc))
+      if (!processBranch(PF, Branch, SrcT, DstT, DstError, SegDesc))
         return false;
     }
     return true;
   }
 
-  bool processBranch(const std::vector<int> &Seg, const PathFormula &PF,
+  bool processBranch(const PathFormula &PF,
                      const std::vector<const Term *> &Literals,
                      const LocTemplate *SrcT, const LocTemplate *DstT,
                      bool DstError, const std::string &SegDesc) {
@@ -377,19 +377,26 @@ private:
 
     // --- Emit conditions per row set.
     for (const auto &RowSet : RowSets) {
-      if (!emitConditions(Seg, PF, Find, RowSet, Stores, SrcT, DstT,
-                          DstError, SegDesc))
+      if (!emitConditions(PF, Find, ScalarAlias, RowSet, Stores, SrcT,
+                          DstT, DstError, SegDesc))
         return false;
     }
     return true;
   }
 
-  /// Renaming of template columns (program variables) to SSA instances.
-  TermMap renameAt(const PathFormula &PF, bool Final) const {
+  /// Renaming of template columns (program variables) to SSA instances,
+  /// collapsed through the branch's scalar-alias map. Skipping the
+  /// collapse would rename template columns to instances that appear in
+  /// no (rewritten) antecedent row, forcing their parameters to zero in
+  /// every Farkas column equation.
+  TermMap renameAt(const PathFormula &PF, bool Final,
+                   const TermMap &ScalarAlias) const {
     TermMap Result;
     const TermMap &Inst = Final ? PF.FinalVars : PF.InitialVars;
-    for (const auto &[Var, Instance] : Inst)
-      Result[Var] = Instance;
+    for (const auto &[Var, Instance] : Inst) {
+      auto It = ScalarAlias.find(Instance);
+      Result[Var] = It == ScalarAlias.end() ? Instance : It->second;
+    }
     return Result;
   }
 
@@ -414,6 +421,7 @@ private:
 
   /// Builds the source-template antecedent rows and hypothesis candidates.
   void sourceSide(const PathFormula &PF, const LocTemplate *SrcT,
+                  const TermMap &ScalarAlias,
                   const std::vector<Row> &PathRows,
                   const std::function<const Term *(const Term *)> &Find,
                   std::vector<Row> &AnteBase,
@@ -422,7 +430,7 @@ private:
     AnteBase = PathRows;
     if (!SrcT)
       return;
-    TermMap SrcRename = renameAt(PF, /*Final=*/false);
+    TermMap SrcRename = renameAt(PF, /*Final=*/false, ScalarAlias);
     for (const LinearTemplateRow &LR : SrcT->Linear) {
       ParamLinExpr E = LR.E.substituteColumns(SrcRename);
       AnteBase.push_back(LR.IsEq ? Row::eq(std::move(E))
@@ -506,12 +514,24 @@ private:
         addAlternative({I}, false, "target+inst");
       addAlternative({}, false, "target");
     }
+    // Refutation may equally need the quantified facts: the safety
+    // conditions of Section 4.2 contradict the negated assertion with an
+    // instantiated cell fact (e.g. a[i] = 0 against a[i] != 0).
+    for (size_t I = 0; I < Candidates.size(); ++I)
+      addAlternative({I}, true, "refute+inst");
+    if (Candidates.size() > 1) {
+      std::vector<size_t> All(Candidates.size());
+      for (size_t I = 0; I < All.size(); ++I)
+        All[I] = I;
+      addAlternative(All, true, "refute+all-insts");
+    }
     addAlternative({}, true, "refute-antecedent");
     Conditions.push_back(std::move(Cond));
   }
 
-  bool emitConditions(const std::vector<int> &Seg, const PathFormula &PF,
+  bool emitConditions(const PathFormula &PF,
                       const std::function<const Term *(const Term *)> &Find,
+                      const TermMap &ScalarAlias,
                       const std::vector<Row> &PathRows,
                       const std::vector<StoreInfo> &Stores,
                       const LocTemplate *SrcT, const LocTemplate *DstT,
@@ -520,18 +540,20 @@ private:
     if (DstError) {
       std::vector<Row> AnteBase;
       std::vector<HypCandidate> Candidates;
-      sourceSide(PF, SrcT, PathRows, Find, AnteBase, Candidates, {});
+      sourceSide(PF, SrcT, ScalarAlias, PathRows, Find, AnteBase, Candidates,
+                 {});
       pushCondition("safety " + SegDesc, AnteBase, Candidates, {});
       return true;
     }
 
-    TermMap DstRename = renameAt(PF, /*Final=*/true);
+    TermMap DstRename = renameAt(PF, /*Final=*/true, ScalarAlias);
 
     // --- Linear target rows.
     for (const LinearTemplateRow &LR : DstT->Linear) {
       std::vector<Row> AnteBase;
       std::vector<HypCandidate> Candidates;
-      sourceSide(PF, SrcT, PathRows, Find, AnteBase, Candidates, {});
+      sourceSide(PF, SrcT, ScalarAlias, PathRows, Find, AnteBase, Candidates,
+                 {});
       ParamLinExpr T = LR.E.substituteColumns(DstRename);
       std::vector<ParamLinExpr> Targets{T};
       if (LR.IsEq)
@@ -589,8 +611,8 @@ private:
         std::vector<Row> AnteBase;
         std::vector<HypCandidate> Candidates;
         const Term *ReadAtK = TM.mkSelect(ReadBase, K);
-        sourceSide(PF, SrcT, CaseRows, Find, AnteBase, Candidates,
-                   {ReadAtK});
+        sourceSide(PF, SrcT, ScalarAlias, CaseRows, Find, AnteBase,
+                   Candidates, {ReadAtK});
         pushCondition(std::string("quant-") + CaseName + " " + SegDesc,
                       AnteBase, Candidates, std::move(Targets));
       };

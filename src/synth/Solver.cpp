@@ -30,6 +30,15 @@ struct PreparedCondition {
   std::vector<Combo> Combos;
 };
 
+/// An incremental LP context: a simplex tableau plus the pool-id to
+/// LP-variable mapping. Copied at every search depth so a child node only
+/// pays for its own constraints (the parent tableau is already solved)
+/// instead of re-solving the whole accumulated system from scratch.
+struct LpState {
+  Simplex LP;
+  std::map<int, int> VarOf;
+};
+
 class Search {
 public:
   Search(UnknownPool &Pool, const std::vector<Condition> &Conditions,
@@ -55,8 +64,11 @@ public:
         break;
       }
     }
-    if (Found)
-      Found = dfs(Order, 0);
+    if (Found) {
+      LpState Root;
+      Root.LP.check(); // Empty system: Sat, so leaf models always exist.
+      Found = dfs(Order, 0, Root) == FoundSolution;
+    }
     if (Found) {
       Result.Found = true;
       Result.Assignment = std::move(FinalAssignment);
@@ -67,46 +79,45 @@ public:
   }
 
 private:
-  /// LP feasibility of a set of linear poly-constraints; optionally
-  /// extracts a model over the whole pool.
-  bool lpCheck(const std::vector<const PolyConstraint *> &Cs,
-               const std::map<int, Rational> *ExtractWith) {
+  int lpVarOf(LpState &S, int Id) {
+    auto [It, Inserted] = S.VarOf.try_emplace(Id, -1);
+    if (Inserted) {
+      It->second = S.LP.addVar();
+      if (Pool.kind(Id) == UnknownKind::Multiplier)
+        S.LP.addBound(It->second, SimplexRel::Ge, Rational(0), -1);
+    }
+    return It->second;
+  }
+
+  /// Adds \p Cs to \p S tagged with \p Tag and re-checks incrementally.
+  /// On infeasibility, \p ConflictTag (when provided) receives the largest
+  /// tag in the unsat core — the deepest search choice implicated.
+  bool lpAddCheck(LpState &S, const std::vector<PolyConstraint> &Cs, int Tag,
+                  int *ConflictTag) {
     if (Budget == 0)
       return false;
     --Budget;
     ++LpChecks;
-    Simplex LP;
-    std::map<int, int> VarOf;
-    auto varOf = [&](int Id) {
-      auto [It, Inserted] = VarOf.try_emplace(Id, -1);
-      if (Inserted) {
-        It->second = LP.addVar();
-        if (Pool.kind(Id) == UnknownKind::Multiplier)
-          LP.addBound(It->second, SimplexRel::Ge, Rational(0), -1);
-      }
-      return It->second;
-    };
-    for (const PolyConstraint *PC : Cs) {
+    for (const PolyConstraint &PC : Cs) {
       std::vector<std::pair<int, Rational>> Coeffs;
       Rational Rhs;
-      for (const auto &[M, C] : PC->P.terms()) {
+      for (const auto &[M, C] : PC.P.terms()) {
         assert(M.degree() <= 1 && "quadratic monomial reached the LP");
         if (M.degree() == 0)
           Rhs -= C;
         else
-          Coeffs.emplace_back(varOf(M.B), C);
+          Coeffs.emplace_back(lpVarOf(S, M.B), C);
       }
-      LP.addConstraint(Coeffs, PC->IsEq ? SimplexRel::Eq : SimplexRel::Ge,
-                       Rhs, -1);
+      S.LP.addConstraint(Coeffs, PC.IsEq ? SimplexRel::Eq : SimplexRel::Ge,
+                         Rhs, Tag);
     }
-    if (LP.check() != Simplex::Result::Sat)
+    if (S.LP.check() != Simplex::Result::Sat) {
+      if (ConflictTag) {
+        *ConflictTag = -1;
+        for (int CoreTag : S.LP.unsatCore())
+          *ConflictTag = std::max(*ConflictTag, CoreTag);
+      }
       return false;
-    if (ExtractWith) {
-      FinalAssignment.assign(Pool.size(), Rational(0));
-      for (const auto &[Id, Var] : VarOf)
-        FinalAssignment[Id] = LP.modelValue(Var);
-      for (const auto &[Id, Value] : *ExtractWith)
-        FinalAssignment[Id] = Value;
     }
     return true;
   }
@@ -123,46 +134,58 @@ private:
           QuadSet.insert(Id);
     std::vector<int> Quad(QuadSet.begin(), QuadSet.end());
 
+    // Depth-first over multiplier values, substituting each assignment
+    // into the constraint set immediately. A constraint that becomes a
+    // violated constant prunes the whole subtree, so the expensive exact
+    // LP filter only ever runs on leaves that survived every ground
+    // check — a tiny fraction of the 3^k assignment tree.
     std::map<int, Rational> Assignment;
-    std::function<void(size_t)> Recurse = [&](size_t Idx) {
-      if (Out.Combos.size() >= MaxCombosPerCondition || Budget == 0)
-        return;
-      if (Idx == Quad.size()) {
-        Combo C;
-        C.MultValues = Assignment;
-        C.Constraints.reserve(Encoded.size());
-        for (const PolyConstraint &PC : Encoded) {
-          PolyConstraint Lin{PC.P.substitute(Assignment), PC.IsEq};
-          if (Lin.P.isConstant()) {
-            // Ground: check immediately.
-            Rational V = Lin.P.constantValue();
-            if (Lin.IsEq ? !V.isZero() : V.isNegative())
-              return; // Locally infeasible.
-            continue;
+    // The cap is per alternative, not per condition: a combinatorial
+    // alternative must not starve the simpler alternatives enumerated
+    // after it (their combos are often the only ones that discharge the
+    // condition).
+    size_t Cap = Out.Combos.size() + MaxCombosPerAlternative;
+    std::function<void(size_t, const std::vector<PolyConstraint> &)>
+        Recurse = [&](size_t Idx, const std::vector<PolyConstraint> &Cs) {
+          if (Out.Combos.size() >= Cap || Budget == 0)
+            return;
+          if (Idx == Quad.size()) {
+            Combo C;
+            C.MultValues = Assignment;
+            C.Constraints = Cs;
+            // Local LP filter.
+            LpState Local;
+            if (lpAddCheck(Local, C.Constraints, 0, nullptr))
+              Out.Combos.push_back(std::move(C));
+            return;
           }
-          C.Constraints.push_back(std::move(Lin));
-        }
-        // Local LP filter.
-        std::vector<const PolyConstraint *> Ptrs;
-        for (const PolyConstraint &PC : C.Constraints)
-          Ptrs.push_back(&PC);
-        if (lpCheck(Ptrs, nullptr))
-          Out.Combos.push_back(std::move(C));
-        return;
-      }
-      int Id = Quad[Idx];
-      bool NonNeg = Pool.kind(Id) == UnknownKind::Multiplier;
-      for (int V = 0; V <= Opts.MultiplierBound; ++V) {
-        Assignment[Id] = Rational(V);
-        Recurse(Idx + 1);
-        if (!NonNeg && V > 0) {
-          Assignment[Id] = Rational(-V);
-          Recurse(Idx + 1);
-        }
-      }
-      Assignment.erase(Id);
-    };
-    Recurse(0);
+          int Id = Quad[Idx];
+          bool NonNeg = Pool.kind(Id) == UnknownKind::Multiplier;
+          auto tryValue = [&](Rational V) {
+            std::map<int, Rational> One{{Id, std::move(V)}};
+            std::vector<PolyConstraint> Next;
+            Next.reserve(Cs.size());
+            for (const PolyConstraint &PC : Cs) {
+              PolyConstraint Lin{PC.P.substitute(One), PC.IsEq};
+              if (Lin.P.isConstant()) {
+                Rational C0 = Lin.P.constantValue();
+                if (Lin.IsEq ? !C0.isZero() : C0.isNegative())
+                  return; // Ground violation: prune this subtree.
+                continue;
+              }
+              Next.push_back(std::move(Lin));
+            }
+            Assignment[Id] = One.begin()->second;
+            Recurse(Idx + 1, Next);
+            Assignment.erase(Id);
+          };
+          for (int V = 0; V <= Opts.MultiplierBound; ++V) {
+            tryValue(Rational(V));
+            if (!NonNeg && V > 0)
+              tryValue(Rational(-V));
+          }
+        };
+    Recurse(0, Encoded);
   }
 
   void prepare() {
@@ -179,39 +202,60 @@ private:
     }
   }
 
-  bool dfs(const std::vector<size_t> &Order, size_t Depth) {
+  /// Search outcome of one subtree: FoundSolution, or failure carrying the
+  /// deepest depth implicated in any infeasibility (the backjump target —
+  /// sibling choices above that depth cannot repair the conflict).
+  static constexpr int FoundSolution = -2;
+
+  int dfs(const std::vector<size_t> &Order, int Depth, const LpState &Cur) {
     if (Budget == 0)
-      return false;
-    if (Depth == Order.size()) {
-      // Final model extraction over the accumulated system.
-      std::map<int, Rational> AllMults;
+      return -1;
+    if (static_cast<size_t>(Depth) == Order.size()) {
+      // Cur already satisfies every chosen combo's constraints: extract.
+      FinalAssignment.assign(Pool.size(), Rational(0));
+      for (const auto &[Id, Var] : Cur.VarOf)
+        FinalAssignment[Id] = Cur.LP.modelValue(Var);
       for (const Combo *C : Chosen)
-        AllMults.insert(C->MultValues.begin(), C->MultValues.end());
-      return lpCheck(Accumulated, &AllMults);
+        for (const auto &[Id, Value] : C->MultValues)
+          FinalAssignment[Id] = Value;
+      return FoundSolution;
     }
     const PreparedCondition &Cond = Prepared[Order[Depth]];
+    int DeepestConflict = -1;
     for (const Combo &C : Cond.Combos) {
-      size_t Mark = Accumulated.size();
-      for (const PolyConstraint &PC : C.Constraints)
-        Accumulated.push_back(&PC);
       Chosen.push_back(&C);
-      if (lpCheck(Accumulated, nullptr) && dfs(Order, Depth + 1))
-        return true;
+      int ConflictTag = Depth;
+      int Sub;
+      if (C.Constraints.empty()) {
+        Sub = dfs(Order, Depth + 1, Cur);
+      } else {
+        LpState Child = Cur;
+        Sub = lpAddCheck(Child, C.Constraints, Depth, &ConflictTag)
+                  ? dfs(Order, Depth + 1, Child)
+                  : ConflictTag;
+      }
       Chosen.pop_back();
-      Accumulated.resize(Mark);
+      if (Sub == FoundSolution)
+        return FoundSolution;
       if (Budget == 0)
-        return false;
+        return -1;
+      if (Sub < Depth)
+        // This choice did not participate in the conflict: siblings
+        // cannot fix it either. Propagate the backjump upward.
+        return Sub;
+      DeepestConflict = std::max(DeepestConflict, Sub);
     }
-    return false;
+    // All combos conflicted at this depth; the caller's choice (or an
+    // earlier one appearing in some core) must change.
+    return std::min<int>(DeepestConflict, Depth - 1);
   }
 
-  static constexpr size_t MaxCombosPerCondition = 512;
+  static constexpr size_t MaxCombosPerAlternative = 128;
 
   UnknownPool &Pool;
   const std::vector<Condition> &Conditions;
   const SynthOptions &Opts;
   std::vector<PreparedCondition> Prepared;
-  std::vector<const PolyConstraint *> Accumulated;
   std::vector<const Combo *> Chosen;
   std::vector<Rational> FinalAssignment;
   uint64_t Budget;

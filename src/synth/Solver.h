@@ -28,8 +28,12 @@ namespace pathinv {
 struct SynthOptions {
   /// Enumerated multiplier magnitude bound (domain {0..K} or {-K..K}).
   int MultiplierBound = 1;
-  /// Hard budget on LP feasibility checks.
-  uint64_t MaxLpChecks = 200000;
+  /// Hard budget on LP feasibility checks. Successful syntheses of the
+  /// paper's programs finish within a few thousand checks; an unsat
+  /// template level that is still churning past this bound is better
+  /// escalated than ground out (the search reports ResourceOut, so
+  /// callers distinguish "proved impossible" from "gave up").
+  uint64_t MaxLpChecks = 25000;
 };
 
 /// Outcome of a synthesis run.

@@ -154,8 +154,9 @@ TEST(BigIntTest, DivModReconstruction) {
     EXPECT_EQ(Q * B + R, A);
     EXPECT_TRUE(R.abs() < B.abs());
     // Remainder has the dividend's sign (or is zero).
-    if (!R.isZero())
+    if (!R.isZero()) {
       EXPECT_EQ(R.sign(), A.sign());
+    }
   }
 }
 
@@ -243,8 +244,9 @@ TEST_P(RationalFieldTest, FieldAxioms) {
   EXPECT_EQ(A + Rational(0), A);
   EXPECT_EQ(A * Rational(1), A);
   EXPECT_EQ(A - A, Rational(0));
-  if (!A.isZero())
+  if (!A.isZero()) {
     EXPECT_EQ(A * A.inverse(), Rational(1));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, RationalFieldTest,

@@ -1,0 +1,228 @@
+//===- tests/term_core_test.cpp - Arena/interning term-core tests ---------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariants of the arena-interned term core: uniquing across arena
+/// growth, symbol-interning round trips, rewrite-cache correctness under
+/// nested substitution, memoized traversals, and deterministic term ids
+/// across identical runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "logic/LinearExpr.h"
+#include "logic/Term.h"
+#include "logic/TermPrinter.h"
+#include "logic/TermRewrite.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathinv;
+
+namespace {
+
+TEST(TermCoreTest, UniquingSurvivesArenaGrowth) {
+  // Enough distinct terms to force many arena chunks, then re-create
+  // everything and demand pointer equality (structural equality ==
+  // identity is the hash-consing contract).
+  TermManager TM;
+  auto build = [&TM]() {
+    std::vector<const Term *> Out;
+    const Term *Acc = TM.mkIntConst(0);
+    for (int I = 0; I < 20000; ++I) {
+      const Term *V = TM.mkVar("v" + std::to_string(I % 257), Sort::Int);
+      Acc = TM.mkAdd(TM.mkMul(TM.mkIntConst(I % 13 + 1), V),
+                     TM.mkIntConst(I));
+      Out.push_back(TM.mkLe(Acc, V));
+    }
+    return Out;
+  };
+  std::vector<const Term *> First = build();
+  size_t Terms = TM.numTerms();
+  std::vector<const Term *> Second = build();
+  EXPECT_EQ(TM.numTerms(), Terms) << "second build interned new terms";
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I)
+    EXPECT_EQ(First[I], Second[I]);
+  EXPECT_GT(TM.arenaBytes(), size_t(1) << 16)
+      << "test did not actually grow the arena past one chunk";
+}
+
+TEST(TermCoreTest, SymbolInterningRoundTrip) {
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  const Term *XArr = TM.mkVar("x", Sort::ArrayIntInt);
+  const Term *Y = TM.mkVar("y", Sort::Int);
+  EXPECT_EQ(X->name(), "x");
+  EXPECT_EQ(Y->name(), "y");
+  // Same text, different sort: distinct terms sharing one symbol id.
+  EXPECT_NE(X, XArr);
+  EXPECT_EQ(X->symbol(), XArr->symbol());
+  EXPECT_NE(X->symbol(), Y->symbol());
+  // Function applications intern through the same table.
+  const Term *F = TM.mkApply("x", {Y}, Sort::Int);
+  EXPECT_EQ(F->symbol(), X->symbol());
+  EXPECT_EQ(F->name(), "x");
+  // Ids round-trip through the table.
+  EXPECT_EQ(TM.internSymbol("x"), X->symbol());
+  EXPECT_EQ(TM.symbolText(Y->symbol()), "y");
+  EXPECT_GE(TM.numSymbols(), 2u);
+}
+
+TEST(TermCoreTest, StructuralHashAgreesWithIdentity) {
+  TermManager TM;
+  const Term *A = TM.mkAdd(TM.mkVar("p", Sort::Int), TM.mkIntConst(3));
+  const Term *B = TM.mkAdd(TM.mkVar("p", Sort::Int), TM.mkIntConst(3));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A->structuralHash(), B->structuralHash());
+}
+
+TEST(TermCoreTest, OperandRangeMatchesOperandAccessors) {
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  const Term *Y = TM.mkVar("y", Sort::Int);
+  const Term *Z = TM.mkVar("z", Sort::Int);
+  const Term *Sum = TM.mkAdd({X, Y, Z});
+  ASSERT_EQ(Sum->numOperands(), 3u);
+  size_t I = 0;
+  for (const Term *Op : Sum->operands())
+    EXPECT_EQ(Op, Sum->operand(I++));
+  EXPECT_EQ(I, 3u);
+  EXPECT_EQ(Sum->operands().front(), Sum->operand(0));
+  EXPECT_EQ(Sum->operands().back(), Sum->operand(2));
+}
+
+TEST(TermCoreTest, RewriteCacheNestedSubstitution) {
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  const Term *Y = TM.mkVar("y", Sort::Int);
+  const Term *K = TM.mkVar("k", Sort::Int);
+  // Shared subterm under a shadowing quantifier: the outer substitution
+  // must not leak through the bound occurrence of k, while the same
+  // subterm outside the quantifier is rewritten (this is where a naive
+  // global rewrite cache would go wrong).
+  const Term *Shared = TM.mkLe(K, X);
+  const Term *F = TM.mkAnd(Shared, TM.mkForall(K, Shared));
+  TermMap Subst;
+  Subst[K] = TM.mkIntConst(7);
+  Subst[X] = Y;
+  const Term *R = substitute(TM, F, Subst);
+  const Term *Expected = TM.mkAnd(TM.mkLe(TM.mkIntConst(7), Y),
+                                  TM.mkForall(K, TM.mkLe(K, Y)));
+  EXPECT_EQ(R, Expected) << printTerm(R);
+
+  // Substituting twice through the cache is idempotent in structure.
+  EXPECT_EQ(substitute(TM, F, Subst), R);
+
+  // Nested chains: (x -> y) then (y -> x) round-trips.
+  TermMap Fwd, Bwd;
+  Fwd[X] = Y;
+  Bwd[Y] = X;
+  EXPECT_EQ(substitute(TM, substitute(TM, F, Fwd), Bwd), F);
+}
+
+TEST(TermCoreTest, FreeVarMemoConsistency) {
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  const Term *A = TM.mkVar("a", Sort::ArrayIntInt);
+  const Term *K = TM.mkVar("k", Sort::Int);
+  const Term *Body = TM.mkEq(TM.mkSelect(A, K), X);
+  const Term *Q = TM.mkForall(K, Body);
+  // Same subterm free and bound in one formula.
+  const Term *F = TM.mkAnd(TM.mkLe(K, X), Q);
+
+  TermSet Vars;
+  collectFreeVars(F, Vars);
+  EXPECT_TRUE(Vars.count(X));
+  EXPECT_TRUE(Vars.count(A));
+  EXPECT_TRUE(Vars.count(K)) << "outer free occurrence of k lost";
+
+  TermSet QVars;
+  collectFreeVars(Q, QVars);
+  EXPECT_FALSE(QVars.count(K)) << "bound variable leaked";
+  EXPECT_TRUE(QVars.count(A));
+
+  // Second query hits the memo and must agree.
+  TermSet Again;
+  collectFreeVars(F, Again);
+  EXPECT_EQ(Vars.size(), Again.size());
+}
+
+TEST(TermCoreTest, ContainsFlagsPropagate) {
+  TermManager TM;
+  const Term *A = TM.mkVar("a", Sort::ArrayIntInt);
+  const Term *I = TM.mkVar("i", Sort::Int);
+  const Term *K = TM.mkVar("k", Sort::Int);
+  const Term *Stored = TM.mkStore(A, I, TM.mkIntConst(0));
+  const Term *WithStore = TM.mkEq(TM.mkSelect(Stored, I), TM.mkIntConst(0));
+  EXPECT_TRUE(containsStore(WithStore));
+  EXPECT_FALSE(containsQuantifier(WithStore));
+  const Term *Q = TM.mkForall(K, TM.mkLe(K, I));
+  EXPECT_TRUE(containsQuantifier(TM.mkAnd(Q, WithStore)));
+  EXPECT_TRUE(containsStore(TM.mkAnd(Q, WithStore)));
+  EXPECT_FALSE(containsStore(Q));
+}
+
+TEST(TermCoreTest, DecomposeAtomMemoStable) {
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  const Term *Y = TM.mkVar("y", Sort::Int);
+  const Term *Atom =
+      TM.mkLe(TM.mkAdd(TM.mkMul(TM.mkIntConst(2), X), Y), TM.mkIntConst(5));
+  auto First = decomposeAtom(Atom);
+  ASSERT_TRUE(First.has_value());
+  auto Second = decomposeAtom(Atom); // Memo hit.
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_EQ(First->Rel, Second->Rel);
+  EXPECT_TRUE(First->Expr == Second->Expr);
+  EXPECT_EQ(First->Expr.coefficientOf(X), Rational(2));
+  // Non-atoms are rejected both before and after the memo warms up.
+  const Term *Conj = TM.mkAnd(Atom, TM.mkLe(X, Y));
+  EXPECT_FALSE(decomposeAtom(Conj).has_value());
+  EXPECT_FALSE(decomposeAtom(Conj).has_value());
+}
+
+/// Builds a fixed workload and returns the (id, rendering) trace.
+std::vector<std::pair<uint32_t, std::string>> idTrace() {
+  TermManager TM;
+  std::vector<std::pair<uint32_t, std::string>> Trace;
+  std::vector<const Term *> Vars;
+  for (int I = 0; I < 8; ++I)
+    Vars.push_back(TM.mkVar("w" + std::to_string(I), Sort::Int));
+  const Term *Acc = TM.mkTrue();
+  for (int R = 0; R < 50; ++R) {
+    const Term *Sum = TM.mkAdd(
+        {TM.mkMul(TM.mkIntConst(R % 5 + 1), Vars[R % 8]), Vars[(R + 3) % 8],
+         TM.mkIntConst(R)});
+    const Term *Atom = TM.mkLe(Sum, Vars[(R + 1) % 8]);
+    Acc = TM.mkAnd(Acc, R % 2 ? Atom : TM.mkNot(Atom));
+    Trace.emplace_back(Acc->id(), printTerm(Acc));
+  }
+  return Trace;
+}
+
+TEST(TermCoreTest, DeterministicIdsAcrossRuns) {
+  // Two identical runs in fresh managers must assign identical creation
+  // indices (the ids feed TermIdLess everywhere — nondeterminism here
+  // would poison every ordered container downstream).
+  auto First = idTrace();
+  auto Second = idTrace();
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I) {
+    EXPECT_EQ(First[I].first, Second[I].first) << "id diverged at step " << I;
+    EXPECT_EQ(First[I].second, Second[I].second);
+  }
+}
+
+TEST(TermCoreTest, ManagerIntrospection) {
+  TermManager TM;
+  size_t Before = TM.numTerms();
+  const Term *X = TM.mkVar("fresh_x", Sort::Int);
+  EXPECT_EQ(TM.numTerms(), Before + 1);
+  EXPECT_EQ(TM.termOfId(X->id()), X);
+  EXPECT_EQ(&X->manager(), &TM);
+}
+
+} // namespace

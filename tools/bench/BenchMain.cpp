@@ -1,0 +1,365 @@
+//===- tools/bench/BenchMain.cpp - Perf trajectory benchmark harness ------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Benchmark harness seeding the repo's perf trajectory (BENCH_*.json).
+///
+/// Two layers:
+///  * Microbenchmarks of the term core: hash-consed construction and
+///    memoized substitution. Each workload runs twice in the same process —
+///    once against pathinv::TermManager (arena/interned) and once against
+///    the reference-mode transcription of the pre-refactor core
+///    (RefTermCore.h) — so the emitted JSON carries a genuine before/after
+///    throughput ratio.
+///  * End-to-end verification of the paper's example programs
+///    (tests/TestPrograms.h) through the CEGAR engine, recording wall time,
+///    peak term counts, and cumulative SMT/SAT statistics.
+///
+/// Usage: pathinv_bench [--out FILE] [--iters N] [--smoke]
+///
+//===----------------------------------------------------------------------===//
+
+#include "RefTermCore.h"
+#include "TestPrograms.h"
+#include "core/Verifier.h"
+#include "logic/Term.h"
+#include "logic/TermRewrite.h"
+#include "smt/SmtSolver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsedMs(Clock::time_point Start, Clock::time_point End) {
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+/// Adapters giving the two term cores one surface for the templated
+/// workloads.
+struct ArenaCore {
+  static constexpr const char *Name = "arena";
+  using Manager = pathinv::TermManager;
+  using Term = pathinv::Term;
+  using Map = pathinv::TermMap;
+  static constexpr pathinv::Sort IntSort = pathinv::Sort::Int;
+  static const Term *subst(Manager &TM, const Term *T, const Map &M) {
+    return pathinv::substitute(TM, T, M);
+  }
+};
+
+struct ReferenceCore {
+  static constexpr const char *Name = "reference";
+  using Manager = refcore::TermManager;
+  using Term = refcore::Term;
+  using Map = refcore::TermMap;
+  static constexpr refcore::Sort IntSort = refcore::Sort::Int;
+  static const Term *subst(Manager &TM, const Term *T, const Map &M) {
+    return refcore::substitute(TM, T, M);
+  }
+};
+
+/// Construction workload: builds `Rounds` batches of linear atoms and
+/// boolean combinations over a fixed variable pool. Roughly one third of
+/// the factory calls re-create already-interned structure, matching the
+/// hit/miss mix of path-formula construction. \returns the number of
+/// factory calls (the throughput unit).
+template <typename Core>
+uint64_t constructWorkload(typename Core::Manager &TM, int Rounds) {
+  constexpr int NumVars = 16;
+  std::vector<const typename Core::Term *> Vars;
+  Vars.reserve(NumVars);
+  for (int I = 0; I < NumVars; ++I)
+    Vars.push_back(TM.mkVar("x" + std::to_string(I), Core::IntSort));
+
+  uint64_t Ops = 0;
+  const typename Core::Term *Sink = TM.mkTrue();
+  for (int R = 0; R < Rounds; ++R) {
+    std::vector<const typename Core::Term *> Atoms;
+    for (int A = 0; A < 8; ++A) {
+      // sum_j c_j * x_j + k  <=  x_m   with coefficients cycling per round.
+      std::vector<const typename Core::Term *> Summands;
+      for (int J = 0; J < 6; ++J) {
+        int Coeff = ((R + A + J) % 7) + 1;
+        Summands.push_back(
+            TM.mkMul(TM.mkIntConst(Coeff), Vars[(A + J) % NumVars]));
+        Ops += 2;
+      }
+      Summands.push_back(TM.mkIntConst(R % 11));
+      const typename Core::Term *Sum = TM.mkAdd(std::move(Summands));
+      Ops += 2;
+      const typename Core::Term *Rhs = Vars[(R + A) % NumVars];
+      const typename Core::Term *Atom =
+          A % 3 == 0   ? TM.mkLe(Sum, Rhs)
+          : A % 3 == 1 ? TM.mkLt(Sum, Rhs)
+                       : TM.mkEq(Sum, Rhs);
+      ++Ops;
+      Atoms.push_back(A % 2 ? Atom : TM.mkNot(Atom));
+      ++Ops;
+    }
+    std::vector<const typename Core::Term *> FirstHalf(Atoms.begin(),
+                                                       Atoms.begin() + 4);
+    std::vector<const typename Core::Term *> SecondHalf(Atoms.begin() + 4,
+                                                        Atoms.end());
+    Sink = TM.mkOr({TM.mkAnd(std::move(FirstHalf)),
+                    TM.mkAnd(std::move(SecondHalf)), Sink});
+    Ops += 3;
+  }
+  // Defeat dead-code elimination.
+  if (Sink == nullptr)
+    std::abort();
+  return Ops;
+}
+
+/// Substitution workload: one shared conjunction, rewritten `Rounds` times
+/// under cycling variable renamings (the SSA/priming pattern of path-formula
+/// construction). \returns the number of substitute() calls.
+template <typename Core>
+uint64_t rewriteWorkload(typename Core::Manager &TM, int Rounds) {
+  constexpr int NumVars = 12;
+  std::vector<const typename Core::Term *> Vars;
+  for (int I = 0; I < NumVars; ++I)
+    Vars.push_back(TM.mkVar("v" + std::to_string(I), Core::IntSort));
+
+  // A wide conjunction with heavy subterm sharing.
+  std::vector<const typename Core::Term *> Atoms;
+  for (int I = 0; I < NumVars; ++I) {
+    const typename Core::Term *Sum = TM.mkAdd(
+        TM.mkMul(TM.mkIntConst(I + 1), Vars[I]), Vars[(I + 1) % NumVars]);
+    Atoms.push_back(TM.mkLe(Sum, Vars[(I + 2) % NumVars]));
+  }
+  const typename Core::Term *Formula = TM.mkAnd(std::move(Atoms));
+
+  uint64_t Ops = 0;
+  const typename Core::Term *Sink = Formula;
+  for (int R = 0; R < Rounds; ++R) {
+    typename Core::Map Subst;
+    for (int I = 0; I < NumVars; ++I)
+      Subst[Vars[I]] = Vars[(I + 1 + R % (NumVars - 1)) % NumVars];
+    Sink = Core::subst(TM, Formula, Subst);
+    ++Ops;
+  }
+  if (Sink == nullptr)
+    std::abort();
+  return Ops;
+}
+
+struct MicroResult {
+  uint64_t Ops = 0;
+  double WallMs = 0;
+  size_t PeakTerms = 0;
+
+  double opsPerSec() const {
+    return WallMs > 0 ? 1000.0 * static_cast<double>(Ops) / WallMs : 0;
+  }
+};
+
+/// Runs \p Fn(Manager&, Rounds) \p Iters times on fresh managers and keeps
+/// the fastest run (each run re-interns from scratch).
+template <typename Core, typename Fn>
+MicroResult runMicro(const Fn &Workload, int Rounds, int Iters) {
+  MicroResult Best;
+  for (int I = 0; I < Iters; ++I) {
+    typename Core::Manager TM;
+    auto Start = Clock::now();
+    uint64_t Ops = Workload(TM, Rounds);
+    double Ms = elapsedMs(Start, Clock::now());
+    if (I == 0 || Ms < Best.WallMs) {
+      Best.Ops = Ops;
+      Best.WallMs = Ms;
+      Best.PeakTerms = TM.numTerms();
+    }
+  }
+  return Best;
+}
+
+struct E2EResult {
+  std::string Program;
+  std::string Verdict;
+  double WallMs = 0;
+  size_t PeakTerms = 0;
+  uint64_t SmtQueries = 0;
+  uint64_t TheoryChecks = 0;
+  uint64_t SatConflicts = 0;
+  uint64_t SatDecisions = 0;
+  uint64_t SatPropagations = 0;
+  uint64_t Refinements = 0;
+};
+
+E2EResult runProgram(const char *Name, const char *Source) {
+  E2EResult R;
+  R.Program = Name;
+  pathinv::Verifier V;
+  auto Start = Clock::now();
+  pathinv::Expected<pathinv::EngineResult> Res = V.verifySource(Source);
+  R.WallMs = elapsedMs(Start, Clock::now());
+  if (!Res) {
+    R.Verdict = "error: " + Res.error().render();
+  } else {
+    switch (Res.get().Verdict) {
+    case pathinv::EngineResult::Verdict::Safe:
+      R.Verdict = "safe";
+      break;
+    case pathinv::EngineResult::Verdict::Unsafe:
+      R.Verdict = "unsafe";
+      break;
+    case pathinv::EngineResult::Verdict::Unknown:
+      R.Verdict = "unknown";
+      break;
+    }
+    R.Refinements = Res.get().Stats.Refinements;
+  }
+  R.PeakTerms = V.termManager().numTerms();
+  R.SmtQueries = V.solver().numQueries();
+  R.TheoryChecks = V.solver().numTheoryChecks();
+  R.SatConflicts = V.solver().numSatConflicts();
+  R.SatDecisions = V.solver().numSatDecisions();
+  R.SatPropagations = V.solver().numSatPropagations();
+  return R;
+}
+
+void emitMicro(std::ostream &Out, const char *Key, const MicroResult &Arena,
+               const MicroResult &Ref) {
+  auto Entry = [&](const char *Mode, const MicroResult &M) {
+    Out << "      \"" << Mode << "\": {\"ops\": " << M.Ops
+        << ", \"wall_ms\": " << M.WallMs
+        << ", \"ops_per_sec\": " << M.opsPerSec()
+        << ", \"peak_terms\": " << M.PeakTerms << "}";
+  };
+  Out << "    \"" << Key << "\": {\n";
+  Entry("arena", Arena);
+  Out << ",\n";
+  Entry("reference", Ref);
+  Out << ",\n      \"speedup_vs_reference\": "
+      << (Arena.opsPerSec() > 0 && Ref.opsPerSec() > 0
+              ? Arena.opsPerSec() / Ref.opsPerSec()
+              : 0)
+      << "\n    }";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = "BENCH_1.json";
+  int Iters = 5;
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      OutPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--iters") == 0 && I + 1 < Argc) {
+      Iters = std::atoi(Argv[++I]);
+    } else if (std::strcmp(Argv[I], "--smoke") == 0) {
+      Smoke = true;
+    } else {
+      std::cerr << "usage: pathinv_bench [--out FILE] [--iters N] [--smoke]\n";
+      return 2;
+    }
+  }
+  if (Smoke)
+    Iters = 1;
+  Iters = std::max(Iters, 1);
+  const int ConstructRounds = Smoke ? 200 : 4000;
+  const int RewriteRounds = Smoke ? 100 : 2000;
+
+  // Fail on an unwritable output path now, not after minutes of benching.
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::cerr << "cannot write " << OutPath << "\n";
+    return 1;
+  }
+
+  std::cerr << "[bench] microbench: construct (" << ConstructRounds
+            << " rounds x " << Iters << " iters)\n";
+  MicroResult ConstructArena = runMicro<ArenaCore>(
+      [](ArenaCore::Manager &TM, int Rounds) {
+        return constructWorkload<ArenaCore>(TM, Rounds);
+      },
+      ConstructRounds, Iters);
+  MicroResult ConstructRef = runMicro<ReferenceCore>(
+      [](ReferenceCore::Manager &TM, int Rounds) {
+        return constructWorkload<ReferenceCore>(TM, Rounds);
+      },
+      ConstructRounds, Iters);
+
+  std::cerr << "[bench] microbench: rewrite (" << RewriteRounds
+            << " rounds x " << Iters << " iters)\n";
+  MicroResult RewriteArena = runMicro<ArenaCore>(
+      [](ArenaCore::Manager &TM, int Rounds) {
+        return rewriteWorkload<ArenaCore>(TM, Rounds);
+      },
+      RewriteRounds, Iters);
+  MicroResult RewriteRef = runMicro<ReferenceCore>(
+      [](ReferenceCore::Manager &TM, int Rounds) {
+        return rewriteWorkload<ReferenceCore>(TM, Rounds);
+      },
+      RewriteRounds, Iters);
+
+  struct {
+    const char *Name;
+    const char *Source;
+  } Programs[] = {
+      {"forward", pathinv::testprogs::Forward},
+      {"init_check", pathinv::testprogs::InitCheck},
+      {"partition", pathinv::testprogs::Partition},
+      {"init_check_buggy", pathinv::testprogs::InitCheckBuggy},
+      {"scalar_bug", pathinv::testprogs::ScalarBug},
+      {"straight_safe", pathinv::testprogs::StraightSafe},
+  };
+  std::vector<E2EResult> E2E;
+  double E2ETotalMs = 0;
+  for (const auto &P : Programs) {
+    std::cerr << "[bench] end-to-end: " << P.Name << "\n";
+    E2E.push_back(runProgram(P.Name, P.Source));
+    E2ETotalMs += E2E.back().WallMs;
+    std::cerr << "[bench]   " << E2E.back().Verdict << " in "
+              << E2E.back().WallMs << " ms, " << E2E.back().PeakTerms
+              << " terms\n";
+  }
+
+  std::ostringstream Json;
+  Json << "{\n";
+  Json << "  \"schema\": \"pathinv-bench-v1\",\n";
+  Json << "  \"config\": {\"iters\": " << Iters
+       << ", \"smoke\": " << (Smoke ? "true" : "false")
+       << ", \"construct_rounds\": " << ConstructRounds
+       << ", \"rewrite_rounds\": " << RewriteRounds << "},\n";
+  Json << "  \"microbench\": {\n";
+  emitMicro(Json, "construct", ConstructArena, ConstructRef);
+  Json << ",\n";
+  emitMicro(Json, "rewrite", RewriteArena, RewriteRef);
+  Json << "\n  },\n";
+  Json << "  \"end_to_end\": [\n";
+  for (size_t I = 0; I < E2E.size(); ++I) {
+    const E2EResult &R = E2E[I];
+    Json << "    {\"program\": \"" << R.Program << "\", \"verdict\": \""
+         << R.Verdict << "\", \"wall_ms\": " << R.WallMs
+         << ", \"peak_terms\": " << R.PeakTerms
+         << ", \"smt_queries\": " << R.SmtQueries
+         << ", \"theory_checks\": " << R.TheoryChecks
+         << ", \"sat_conflicts\": " << R.SatConflicts
+         << ", \"sat_decisions\": " << R.SatDecisions
+         << ", \"sat_propagations\": " << R.SatPropagations
+         << ", \"refinements\": " << R.Refinements << "}"
+         << (I + 1 < E2E.size() ? "," : "") << "\n";
+  }
+  Json << "  ],\n";
+  Json << "  \"end_to_end_total_wall_ms\": " << E2ETotalMs << "\n";
+  Json << "}\n";
+
+  Out << Json.str();
+  std::cerr << "[bench] wrote " << OutPath << "\n";
+  std::cout << Json.str();
+  return 0;
+}

@@ -1,0 +1,263 @@
+//===- tools/bench/RefTermCore.cpp - Pre-refactor reference term core -----===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RefTermCore.h"
+
+#include <algorithm>
+
+using namespace refcore;
+
+static size_t hashTermKey(TermKind K, Sort S, const Rational &Value,
+                          const std::string &Name,
+                          const std::vector<const Term *> &Ops) {
+  size_t H = static_cast<size_t>(K) * 31 + static_cast<size_t>(S);
+  H = H * 1000003u + Value.hash();
+  H = H * 1000003u + std::hash<std::string>()(Name);
+  for (const Term *Op : Ops)
+    H = H * 1000003u + Op->id();
+  return H;
+}
+
+TermManager::TermManager() {
+  TrueTerm = intern(TermKind::True, Sort::Bool, Rational(), "", {});
+  FalseTerm = intern(TermKind::False, Sort::Bool, Rational(), "", {});
+}
+
+const Term *TermManager::intern(TermKind K, Sort S, Rational Value,
+                                std::string Name,
+                                std::vector<const Term *> Ops) {
+  size_t H = hashTermKey(K, S, Value, Name, Ops);
+  auto &Bucket = UniqueTable[H];
+  for (const Term *Existing : Bucket) {
+    if (Existing->Kind == K && Existing->TermSort == S &&
+        Existing->Value == Value && Existing->Name == Name &&
+        Existing->Ops == Ops)
+      return Existing;
+  }
+  auto Node = std::unique_ptr<Term>(new Term());
+  Node->Kind = K;
+  Node->TermSort = S;
+  Node->Id = static_cast<uint32_t>(AllTerms.size());
+  Node->Value = std::move(Value);
+  Node->Name = std::move(Name);
+  Node->Ops = std::move(Ops);
+  const Term *Result = Node.get();
+  AllTerms.push_back(std::move(Node));
+  Bucket.push_back(Result);
+  return Result;
+}
+
+const Term *TermManager::mkIntConst(Rational Value) {
+  return intern(TermKind::IntConst, Sort::Int, std::move(Value), "", {});
+}
+
+const Term *TermManager::mkVar(std::string_view Name, Sort S) {
+  return intern(TermKind::Var, S, Rational(), std::string(Name), {});
+}
+
+const Term *TermManager::mkAdd(std::vector<const Term *> Ops) {
+  std::vector<const Term *> Flat;
+  Rational ConstSum;
+  for (const Term *Op : Ops) {
+    if (Op->kind() == TermKind::Add) {
+      for (const Term *Sub : Op->operands()) {
+        if (Sub->isIntConst())
+          ConstSum += Sub->value();
+        else
+          Flat.push_back(Sub);
+      }
+    } else if (Op->isIntConst()) {
+      ConstSum += Op->value();
+    } else {
+      Flat.push_back(Op);
+    }
+  }
+  if (!ConstSum.isZero() || Flat.empty())
+    Flat.push_back(mkIntConst(ConstSum));
+  if (Flat.size() == 1)
+    return Flat[0];
+  std::stable_sort(Flat.begin(), Flat.end(), TermIdLess());
+  return intern(TermKind::Add, Sort::Int, Rational(), "", std::move(Flat));
+}
+
+const Term *TermManager::mkMul(const Term *A, const Term *B) {
+  if (A->isIntConst() && B->isIntConst())
+    return mkIntConst(A->value() * B->value());
+  if (B->isIntConst())
+    std::swap(A, B);
+  if (A->isIntConst()) {
+    if (A->value().isZero())
+      return mkIntConst(Rational());
+    if (A->value().isOne())
+      return B;
+    if (B->kind() == TermKind::Mul && B->operand(0)->isIntConst())
+      return mkMul(mkIntConst(A->value() * B->operand(0)->value()),
+                   B->operand(1));
+  }
+  return intern(TermKind::Mul, Sort::Int, Rational(), "", {A, B});
+}
+
+const Term *TermManager::mkEq(const Term *A, const Term *B) {
+  if (A == B)
+    return mkTrue();
+  if (A->isIntConst() && B->isIntConst())
+    return mkBool(A->value() == B->value());
+  if (TermIdLess()(B, A))
+    std::swap(A, B);
+  return intern(TermKind::Eq, Sort::Bool, Rational(), "", {A, B});
+}
+
+const Term *TermManager::mkLe(const Term *A, const Term *B) {
+  if (A == B)
+    return mkTrue();
+  if (A->isIntConst() && B->isIntConst())
+    return mkBool(A->value() <= B->value());
+  return intern(TermKind::Le, Sort::Bool, Rational(), "", {A, B});
+}
+
+const Term *TermManager::mkLt(const Term *A, const Term *B) {
+  if (A == B)
+    return mkFalse();
+  if (A->isIntConst() && B->isIntConst())
+    return mkBool(A->value() < B->value());
+  return intern(TermKind::Lt, Sort::Bool, Rational(), "", {A, B});
+}
+
+const Term *TermManager::mkNot(const Term *A) {
+  switch (A->kind()) {
+  case TermKind::True:
+    return mkFalse();
+  case TermKind::False:
+    return mkTrue();
+  case TermKind::Not:
+    return A->operand(0);
+  case TermKind::Le:
+    return mkLt(A->operand(1), A->operand(0));
+  case TermKind::Lt:
+    return mkLe(A->operand(1), A->operand(0));
+  default:
+    return intern(TermKind::Not, Sort::Bool, Rational(), "", {A});
+  }
+}
+
+const Term *TermManager::mkAnd(std::vector<const Term *> Ops) {
+  std::vector<const Term *> Flat;
+  for (const Term *Op : Ops) {
+    if (Op->isFalse())
+      return mkFalse();
+    if (Op->isTrue())
+      continue;
+    if (Op->kind() == TermKind::And)
+      Flat.insert(Flat.end(), Op->operands().begin(), Op->operands().end());
+    else
+      Flat.push_back(Op);
+  }
+  std::stable_sort(Flat.begin(), Flat.end(), TermIdLess());
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  if (Flat.empty())
+    return mkTrue();
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(TermKind::And, Sort::Bool, Rational(), "", std::move(Flat));
+}
+
+const Term *TermManager::mkOr(std::vector<const Term *> Ops) {
+  std::vector<const Term *> Flat;
+  for (const Term *Op : Ops) {
+    if (Op->isTrue())
+      return mkTrue();
+    if (Op->isFalse())
+      continue;
+    if (Op->kind() == TermKind::Or)
+      Flat.insert(Flat.end(), Op->operands().begin(), Op->operands().end());
+    else
+      Flat.push_back(Op);
+  }
+  std::stable_sort(Flat.begin(), Flat.end(), TermIdLess());
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  if (Flat.empty())
+    return mkFalse();
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(TermKind::Or, Sort::Bool, Rational(), "", std::move(Flat));
+}
+
+namespace {
+
+/// The seed's memoized bottom-up rewriter, cut down to substitution.
+class Rewriter {
+public:
+  Rewriter(TermManager &TM, const TermMap &Subst) : TM(TM), Subst(Subst) {}
+
+  const Term *visit(const Term *T) {
+    auto It = Cache.find(T);
+    if (It != Cache.end())
+      return It->second;
+    const Term *Result = visitUncached(T);
+    Cache[T] = Result;
+    return Result;
+  }
+
+private:
+  const Term *visitUncached(const Term *T) {
+    auto Hit = Subst.find(T);
+    if (Hit != Subst.end())
+      return Hit->second;
+    switch (T->kind()) {
+    case TermKind::IntConst:
+    case TermKind::Var:
+    case TermKind::True:
+    case TermKind::False:
+      return T;
+    default:
+      break;
+    }
+    std::vector<const Term *> NewOps;
+    NewOps.reserve(T->numOperands());
+    bool Changed = false;
+    for (const Term *Op : T->operands()) {
+      const Term *NewOp = visit(Op);
+      Changed |= NewOp != Op;
+      NewOps.push_back(NewOp);
+    }
+    if (!Changed)
+      return T;
+    switch (T->kind()) {
+    case TermKind::Add:
+      return TM.mkAdd(std::move(NewOps));
+    case TermKind::Mul:
+      return TM.mkMul(NewOps[0], NewOps[1]);
+    case TermKind::Eq:
+      return TM.mkEq(NewOps[0], NewOps[1]);
+    case TermKind::Le:
+      return TM.mkLe(NewOps[0], NewOps[1]);
+    case TermKind::Lt:
+      return TM.mkLt(NewOps[0], NewOps[1]);
+    case TermKind::Not:
+      return TM.mkNot(NewOps[0]);
+    case TermKind::And:
+      return TM.mkAnd(std::move(NewOps));
+    case TermKind::Or:
+      return TM.mkOr(std::move(NewOps));
+    default:
+      return T;
+    }
+  }
+
+  TermManager &TM;
+  const TermMap &Subst;
+  std::map<const Term *, const Term *, TermIdLess> Cache;
+};
+
+} // namespace
+
+const Term *refcore::substitute(TermManager &TM, const Term *T,
+                                const TermMap &Subst) {
+  if (Subst.empty())
+    return T;
+  Rewriter R(TM, Subst);
+  return R.visit(T);
+}

@@ -1,0 +1,141 @@
+//===- tools/bench/RefTermCore.h - Pre-refactor reference term core -------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference mode for the benchmark harness: a faithful transcription of
+/// the term core as it was BEFORE the arena/interning refactor — one heap
+/// allocation per node, a std::string name and std::vector operand list in
+/// every node, and a bucket-chained `unordered_map<size_t, vector>` uniquing
+/// table. The microbenchmarks run the identical workload against this and
+/// against pathinv::TermManager in the same process, so BENCH_*.json records
+/// an apples-to-apples before/after throughput ratio.
+///
+/// Only the subset of the factory API exercised by the microbenchmarks is
+/// kept. Do not use outside tools/bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_TOOLS_BENCH_REFTERMCORE_H
+#define PATHINV_TOOLS_BENCH_REFTERMCORE_H
+
+#include "support/Rational.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace refcore {
+
+using pathinv::Rational;
+
+enum class Sort : uint8_t { Bool, Int, ArrayIntInt };
+
+enum class TermKind : uint8_t {
+  IntConst,
+  Var,
+  Add,
+  Mul,
+  Select,
+  Store,
+  Apply,
+  Eq,
+  Le,
+  Lt,
+  True,
+  False,
+  Not,
+  And,
+  Or,
+  Forall,
+};
+
+class TermManager;
+
+class Term {
+public:
+  TermKind kind() const { return Kind; }
+  Sort sort() const { return TermSort; }
+  uint32_t id() const { return Id; }
+  const Rational &value() const { return Value; }
+  const std::string &name() const { return Name; }
+  const std::vector<const Term *> &operands() const { return Ops; }
+  const Term *operand(size_t I) const { return Ops[I]; }
+  size_t numOperands() const { return Ops.size(); }
+
+  bool isInt() const { return TermSort == Sort::Int; }
+  bool isBool() const { return TermSort == Sort::Bool; }
+  bool isVar() const { return Kind == TermKind::Var; }
+  bool isIntConst() const { return Kind == TermKind::IntConst; }
+  bool isTrue() const { return Kind == TermKind::True; }
+  bool isFalse() const { return Kind == TermKind::False; }
+
+private:
+  friend class TermManager;
+  Term() = default;
+
+  TermKind Kind = TermKind::True;
+  Sort TermSort = Sort::Bool;
+  uint32_t Id = 0;
+  Rational Value;
+  std::string Name;
+  std::vector<const Term *> Ops;
+};
+
+struct TermIdLess {
+  bool operator()(const Term *A, const Term *B) const {
+    return A->id() < B->id();
+  }
+};
+
+/// Seed-layout owner/uniquer (see file comment).
+class TermManager {
+public:
+  TermManager();
+  TermManager(const TermManager &) = delete;
+  TermManager &operator=(const TermManager &) = delete;
+
+  const Term *mkTrue() { return TrueTerm; }
+  const Term *mkFalse() { return FalseTerm; }
+  const Term *mkBool(bool B) { return B ? TrueTerm : FalseTerm; }
+  const Term *mkIntConst(Rational Value);
+  const Term *mkIntConst(int64_t Value) { return mkIntConst(Rational(Value)); }
+  const Term *mkVar(std::string_view Name, Sort S);
+  const Term *mkAdd(std::vector<const Term *> Ops);
+  const Term *mkAdd(const Term *A, const Term *B) { return mkAdd({A, B}); }
+  const Term *mkMul(const Term *A, const Term *B);
+  const Term *mkLe(const Term *A, const Term *B);
+  const Term *mkLt(const Term *A, const Term *B);
+  const Term *mkEq(const Term *A, const Term *B);
+  const Term *mkNot(const Term *A);
+  const Term *mkAnd(std::vector<const Term *> Ops);
+  const Term *mkAnd(const Term *A, const Term *B) { return mkAnd({A, B}); }
+  const Term *mkOr(std::vector<const Term *> Ops);
+
+  size_t numTerms() const { return AllTerms.size(); }
+
+private:
+  const Term *intern(TermKind K, Sort S, Rational Value, std::string Name,
+                     std::vector<const Term *> Ops);
+
+  std::vector<std::unique_ptr<Term>> AllTerms;
+  std::unordered_map<size_t, std::vector<const Term *>> UniqueTable;
+  const Term *TrueTerm = nullptr;
+  const Term *FalseTerm = nullptr;
+};
+
+using TermMap = std::map<const Term *, const Term *, TermIdLess>;
+
+/// Seed-style memoized substitution (std::map cache keyed by pointer with
+/// id ordering, exactly as the pre-refactor TermRewrite did).
+const Term *substitute(TermManager &TM, const Term *T, const TermMap &Subst);
+
+} // namespace refcore
+
+#endif // PATHINV_TOOLS_BENCH_REFTERMCORE_H
