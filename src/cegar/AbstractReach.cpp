@@ -9,6 +9,7 @@
 #include "logic/TermPrinter.h"
 #include "smt/QuantInst.h"
 #include "smt/SmtSolver.h"
+#include "smt/SolverContext.h"
 
 #include <algorithm>
 #include <deque>
@@ -42,11 +43,29 @@ struct Node {
 
 } // namespace
 
+namespace {
+
+/// True when \p F can be asserted into a SolverContext directly (no
+/// quantifier instantiation, no whole-formula array-write elimination).
+bool isGround(const Term *F) {
+  return !containsQuantifier(F) && !containsStore(F);
+}
+
+} // namespace
+
 ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
                                    SmtSolver &Solver,
                                    const ReachOptions &Opts) {
   TermManager &TM = P.termManager();
   ReachResult Result;
+
+  // One incremental context per node-expansion wave. Per node the abstract
+  // state is asserted once; per outgoing transition its relation is pushed
+  // on top; the per-predicate entailment batch then only flips assumption
+  // literals. Quantified or store-carrying queries fall back to the
+  // one-shot solver (quantifier instantiation depends on both sides of an
+  // entailment, and array-write elimination is whole-formula).
+  smt::SolverContext Ctx(TM);
 
   std::vector<Node> Nodes;
   std::deque<int> Worklist;
@@ -88,15 +107,32 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
     Seen.push_back(Cur.Literals);
 
     const Term *State = stateFormula(Cur.Literals);
+    bool StateInCtx = isGround(State);
+    if (StateInCtx) {
+      Ctx.push();
+      Ctx.assertTerm(State);
+    }
     for (int TransIdx : P.successorsOf(Cur.Loc)) {
       const Transition &T = P.transition(TransIdx);
       const Term *Post = TM.mkAnd(State, T.Rel);
+      bool PostInCtx = StateInCtx && isGround(T.Rel);
+      if (PostInCtx) {
+        Ctx.push();
+        Ctx.assertTerm(T.Rel);
+      }
+      auto popPost = [&]() {
+        if (PostInCtx)
+          Ctx.pop();
+      };
 
-      // Abstract feasibility of the edge.
+      // Abstract feasibility of the edge: is the concrete post-image
+      // non-empty?
       ++Result.EntailmentQueries;
-      if (!entailsWithQuant(TM, Solver, Post, TM.mkFalse())) {
-        // Feasible.
-      } else {
+      bool Infeasible = PostInCtx
+                            ? Ctx.checkSat().isUnsat()
+                            : entailsWithQuant(TM, Solver, Post, TM.mkFalse());
+      if (Infeasible) {
+        popPost();
         continue;
       }
 
@@ -113,7 +149,9 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
       }
 
       // Cartesian abstract post: track each predicate (or its negation)
-      // entailed by the concrete post-image.
+      // entailed by the concrete post-image. With the post asserted in the
+      // context, each entailment is one assumption flip — the post's
+      // encoding and tableau are reused across the whole batch.
       Node Child;
       Child.Loc = T.To;
       Child.Parent = NodeIdx;
@@ -123,8 +161,15 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
             renameVars(TM, Pred, [&TM](const Term *Var) -> const Term * {
               return primedVar(TM, Var);
             });
+        bool PredInCtx = PostInCtx && isGround(PredPrimed);
         ++Result.EntailmentQueries;
-        if (entailsWithQuant(TM, Solver, Post, PredPrimed)) {
+        if (PredInCtx)
+          ++Result.AssumptionQueries;
+        bool Entailed =
+            PredInCtx
+                ? Ctx.checkSat({TM.mkNot(PredPrimed)}).isUnsat()
+                : entailsWithQuant(TM, Solver, Post, PredPrimed);
+        if (Entailed) {
           Child.Literals.insert(Pred);
           continue;
         }
@@ -132,13 +177,22 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
         // infeasibility rests on a predicate being violated).
         if (!containsQuantifier(Pred)) {
           ++Result.EntailmentQueries;
-          if (entailsWithQuant(TM, Solver, Post, TM.mkNot(PredPrimed)))
+          if (PredInCtx)
+            ++Result.AssumptionQueries;
+          bool NegEntailed =
+              PredInCtx
+                  ? Ctx.checkSat({PredPrimed}).isUnsat()
+                  : entailsWithQuant(TM, Solver, Post, TM.mkNot(PredPrimed));
+          if (NegEntailed)
             Child.Literals.insert(TM.mkNot(Pred));
         }
       }
+      popPost();
       Nodes.push_back(std::move(Child));
       Worklist.push_back(static_cast<int>(Nodes.size()) - 1);
     }
+    if (StateInCtx)
+      Ctx.pop();
   }
   Result.Kind = ReachResult::Kind::Proof;
   return Result;

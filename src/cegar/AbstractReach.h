@@ -18,6 +18,11 @@
 /// BFS order makes the returned counterexample a shortest abstract error
 /// path.
 ///
+/// Each wave runs one smt::SolverContext: the post-image of a transition
+/// is asserted once and the per-predicate entailment batch is answered by
+/// flipping assumption literals, so the shared prefix is never re-encoded.
+/// Quantified or store-carrying queries fall back to the one-shot solver.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHINV_CEGAR_ABSTRACTREACH_H
@@ -41,6 +46,9 @@ struct ReachResult {
   Path ErrorPath; ///< For Counterexample: transition indices from entry.
   uint64_t NodesExpanded = 0;
   uint64_t EntailmentQueries = 0;
+  /// Entailment queries answered by flipping an assumption literal on the
+  /// wave's incremental context (post-image asserted once per transition).
+  uint64_t AssumptionQueries = 0;
 };
 
 /// Limits for one reachability run.

@@ -6,16 +6,74 @@
 
 #include "cegar/Engine.h"
 
+#include "smt/ArrayElim.h"
 #include "smt/SmtSolver.h"
+#include "smt/SolverContext.h"
 #include "synth/PathInvariants.h"
 
 using namespace pathinv;
+
+namespace {
+
+/// Incremental feasibility checking of counterexample path formulas.
+///
+/// Successive CEGAR iterations analyze paths that share long SSA
+/// prefixes (the abstract error path grows or shifts near its tail).
+/// The checker keeps a dedicated SolverContext with one scope per path
+/// conjunct: on a new path, only the divergent suffix is popped and the
+/// new conjuncts asserted, so the common prefix is asserted once per
+/// refinement and its encoding and tableau survive.
+class PathFormulaChecker {
+public:
+  explicit PathFormulaChecker(TermManager &TM) : TM(TM), Ctx(TM) {}
+
+  smt::CheckResult check(const Term *Formula) {
+    const Term *F = Formula;
+    if (containsStore(F)) {
+      // Whole-formula transformation; must precede conjunct splitting.
+      Expected<const Term *> Reduced = eliminateArrayWrites(TM, F);
+      assert(Reduced && "path formula outside the supported array fragment");
+      F = Reduced.get();
+    }
+    std::vector<const Term *> Conjuncts;
+    flattenConjuncts(F, Conjuncts);
+    size_t Common = 0;
+    while (Common < Conjuncts.size() && Common < Asserted.size() &&
+           Asserted[Common] == Conjuncts[Common])
+      ++Common;
+    ReusedConjuncts += Common;
+    while (Asserted.size() > Common) {
+      Ctx.pop();
+      Asserted.pop_back();
+    }
+    for (size_t I = Common; I < Conjuncts.size(); ++I) {
+      Ctx.push();
+      Ctx.assertTerm(Conjuncts[I]);
+      Asserted.push_back(Conjuncts[I]);
+      ++AssertedConjuncts;
+    }
+    return Ctx.checkSat();
+  }
+
+  uint64_t reusedConjuncts() const { return ReusedConjuncts; }
+  uint64_t assertedConjuncts() const { return AssertedConjuncts; }
+
+private:
+  TermManager &TM;
+  smt::SolverContext Ctx;
+  std::vector<const Term *> Asserted; ///< One context scope per entry.
+  uint64_t ReusedConjuncts = 0;
+  uint64_t AssertedConjuncts = 0;
+};
+
+} // namespace
 
 EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
                              const EngineOptions &Opts) {
   TermManager &TM = P.termManager();
   EngineResult Result;
   bool TriedWholeProgram = false;
+  PathFormulaChecker PathChecker(TM);
 
   for (uint64_t Iter = 0; Iter <= Opts.MaxRefinements; ++Iter) {
     // Phase 1: abstract reachability.
@@ -23,6 +81,7 @@ EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
         abstractReach(P, Result.Predicates, Solver, Opts.Reach);
     Result.Stats.NodesExpanded += Reach.NodesExpanded;
     Result.Stats.EntailmentQueries += Reach.EntailmentQueries;
+    Result.Stats.AssumptionQueries += Reach.AssumptionQueries;
 
     if (Reach.Kind == ReachResult::Kind::Proof) {
       Result.Verdict = EngineResult::Verdict::Safe;
@@ -35,15 +94,20 @@ EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
       return Result;
     }
 
-    // Phase 2: counterexample analysis.
+    // Phase 2: counterexample analysis. The path formula's common prefix
+    // with the previous iteration's path stays asserted in the checker's
+    // context; only the divergent suffix is re-asserted.
     const Path &Cex = Reach.ErrorPath;
     PathFormula PF = buildPathFormula(P, Cex);
-    if (Solver.checkSat(PF.formula(TM)) == SmtSolver::Status::Sat) {
+    smt::CheckResult Feasibility = PathChecker.check(PF.formula(TM));
+    Result.Stats.PathConjunctsReused = PathChecker.reusedConjuncts();
+    Result.Stats.PathConjunctsAsserted = PathChecker.assertedConjuncts();
+    if (Feasibility.isSat()) {
       // Feasible: a real bug. Confirm independently of the solvers.
       Result.Verdict = EngineResult::Verdict::Unsafe;
       Result.Witness = Cex;
       if (Opts.ValidateWitness) {
-        Result.Replay = replayFromModel(P, Cex, Solver.model());
+        Result.Replay = replayFromModel(P, Cex, Feasibility.model().values());
         Result.WitnessReplayed = Result.Replay.Feasible;
       }
       Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();

@@ -36,6 +36,13 @@ struct EngineStats {
   uint64_t Refinements = 0;
   uint64_t NodesExpanded = 0;
   uint64_t EntailmentQueries = 0;
+  /// Entailment queries served incrementally (assumption flips on an
+  /// asserted post-image) during abstract reachability.
+  uint64_t AssumptionQueries = 0;
+  /// Path-formula conjuncts found already asserted from the previous
+  /// iteration's path (prefix reuse) vs. conjuncts freshly asserted.
+  uint64_t PathConjunctsReused = 0;
+  uint64_t PathConjunctsAsserted = 0;
   uint64_t LpChecks = 0;
   uint64_t Fallbacks = 0;
   uint64_t TemplateLevelsTried = 0;

@@ -20,6 +20,46 @@ Expected<Program> Verifier::loadSource(std::string_view PilSource) {
   return loadProgram(*TM, PilSource);
 }
 
+smt::SolverContext &Verifier::solverContext() { return Solver->context(); }
+
+Verifier::SolverLayerStats Verifier::solverStats() const {
+  SolverLayerStats S;
+  S.SmtQueries = Solver->numQueries();
+  S.SmtCacheHits = Solver->numCacheHits();
+  smt::ContextStats C = Solver->context().stats();
+  S.ContextChecks = C.Checks;
+  S.ConjunctionChecks = C.ConjunctionChecks;
+  S.LazyChecks = C.LazyChecks;
+  S.TheoryChecks = Solver->numTheoryChecks();
+  S.Pushes = C.Pushes;
+  S.Pops = C.Pops;
+  S.BaseReuses = C.BaseReuses;
+  S.BaseRebuilds = C.BaseRebuilds;
+  S.SatConflicts = C.SatConflicts;
+  S.SatDecisions = C.SatDecisions;
+  S.SatPropagations = C.SatPropagations;
+  return S;
+}
+
+std::string pathinv::formatSolverStats(const Verifier::SolverLayerStats &S) {
+  std::string Out;
+  Out += "solver layer:\n";
+  Out += "  facade queries:     " + std::to_string(S.SmtQueries) +
+         " (cache hits: " + std::to_string(S.SmtCacheHits) + ")\n";
+  Out += "  context checks:     " + std::to_string(S.ContextChecks) +
+         " (conjunction: " + std::to_string(S.ConjunctionChecks) +
+         ", lazy: " + std::to_string(S.LazyChecks) + ")\n";
+  Out += "  theory checks:      " + std::to_string(S.TheoryChecks) + "\n";
+  Out += "  scopes:             push " + std::to_string(S.Pushes) +
+         " / pop " + std::to_string(S.Pops) + "\n";
+  Out += "  base tableau:       " + std::to_string(S.BaseReuses) +
+         " reuses, " + std::to_string(S.BaseRebuilds) + " rebuilds\n";
+  Out += "  cdcl:               " + std::to_string(S.SatConflicts) +
+         " conflicts, " + std::to_string(S.SatDecisions) + " decisions, " +
+         std::to_string(S.SatPropagations) + " propagations\n";
+  return Out;
+}
+
 EngineResult Verifier::verifyProgram(const Program &P) {
   assert(&P.termManager() == TM.get() &&
          "program built against a foreign term manager");
@@ -49,7 +89,11 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
   Out += "\n  refinements:        " + std::to_string(R.Stats.Refinements);
   Out += "\n  nodes expanded:     " + std::to_string(R.Stats.NodesExpanded);
   Out += "\n  entailment queries: " +
-         std::to_string(R.Stats.EntailmentQueries);
+         std::to_string(R.Stats.EntailmentQueries) + " (incremental: " +
+         std::to_string(R.Stats.AssumptionQueries) + ")";
+  Out += "\n  path conjuncts:     " +
+         std::to_string(R.Stats.PathConjunctsAsserted) + " asserted, " +
+         std::to_string(R.Stats.PathConjunctsReused) + " reused";
   Out += "\n  synthesis LPs:      " + std::to_string(R.Stats.LpChecks);
   Out += "\n  predicates:         " +
          std::to_string(R.Stats.FinalPredicates);

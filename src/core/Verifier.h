@@ -29,6 +29,9 @@
 namespace pathinv {
 
 class SmtSolver;
+namespace smt {
+class SolverContext;
+}
 
 /// One verification context: owns the term manager and solver state,
 /// which are shared (and their caches kept warm) across queries.
@@ -51,14 +54,47 @@ public:
 
   TermManager &termManager() { return *TM; }
   SmtSolver &solver() { return *Solver; }
+  /// The incremental context behind solver(): push/pop scopes, persistent
+  /// assertions, assumption-based checks (smt/SolverContext.h). Assertions
+  /// made here are honored (and cache-keyed) by the one-shot façade
+  /// queries routed through solver(); the engine's ground reachability
+  /// and path-feasibility batches run on their own private contexts and
+  /// do not see them.
+  smt::SolverContext &solverContext();
   const EngineOptions &options() const { return Opts; }
   EngineOptions &options() { return Opts; }
+
+  /// Structured statistics of the solver layer (the engine layer's stats
+  /// live in EngineResult::Stats).
+  struct SolverLayerStats {
+    // Façade (one-shot queries).
+    uint64_t SmtQueries = 0;
+    uint64_t SmtCacheHits = 0;
+    // Context layer.
+    uint64_t ContextChecks = 0;
+    uint64_t ConjunctionChecks = 0;
+    uint64_t LazyChecks = 0;
+    uint64_t TheoryChecks = 0;
+    uint64_t Pushes = 0;
+    uint64_t Pops = 0;
+    // Theory base tableau.
+    uint64_t BaseReuses = 0;
+    uint64_t BaseRebuilds = 0;
+    // CDCL core.
+    uint64_t SatConflicts = 0;
+    uint64_t SatDecisions = 0;
+    uint64_t SatPropagations = 0;
+  };
+  SolverLayerStats solverStats() const;
 
 private:
   std::unique_ptr<TermManager> TM;
   std::unique_ptr<SmtSolver> Solver;
   EngineOptions Opts;
 };
+
+/// Renders the solver-layer statistics as a short human-readable block.
+std::string formatSolverStats(const Verifier::SolverLayerStats &S);
 
 /// Renders an engine result as a short human-readable report.
 std::string formatResult(const Program &P, const EngineResult &R);

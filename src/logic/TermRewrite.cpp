@@ -267,3 +267,12 @@ void pathinv::flattenConjuncts(const Term *T, std::vector<const Term *> &Out) {
     return;
   Out.push_back(T);
 }
+
+bool pathinv::isLiteralConjunction(const Term *T,
+                                   std::vector<const Term *> &Literals) {
+  flattenConjuncts(T, Literals);
+  for (const Term *C : Literals)
+    if (!C->isLiteral() && !C->isTrue() && !C->isFalse())
+      return false;
+  return true;
+}

@@ -56,6 +56,11 @@ bool containsStore(const Term *T);
 /// conjunction into \p Out; a non-And term is emitted as a single conjunct.
 void flattenConjuncts(const Term *T, std::vector<const Term *> &Out);
 
+/// Flattens \p T into \p Literals and reports whether every conjunct is a
+/// literal or boolean constant — the shape the conjunction-level theory
+/// solver decides directly.
+bool isLiteralConjunction(const Term *T, std::vector<const Term *> &Literals);
+
 /// Number of distinct subterms of \p T (DAG size, each shared subterm
 /// counted once). Cheap size gauge for capping formula growth.
 size_t termDagSize(const Term *T);

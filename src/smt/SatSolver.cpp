@@ -233,6 +233,34 @@ void SatSolver::backtrack(int TargetLevel) {
   PropHead = Trail.size();
 }
 
+void SatSolver::analyzeFinal(Lit Failed) {
+  FailedAssumptions.clear();
+  FailedAssumptions.push_back(Failed);
+  if (Level[Failed.var()] == 0 || TrailLim.empty())
+    return; // ~Failed holds at level 0: Failed alone contradicts the DB.
+  // Walk the trail top-down from the first decision level. Every decision
+  // above level 0 is an assumption here: analyzeFinal only runs while
+  // assumptions are being (re-)established, before any free decision.
+  std::vector<bool> Seen(Assign.size(), false);
+  Seen[Failed.var()] = true;
+  for (size_t I = Trail.size(); I-- > static_cast<size_t>(TrailLim[0]);) {
+    Lit L = Trail[I];
+    if (!Seen[L.var()])
+      continue;
+    Seen[L.var()] = false;
+    if (Reason[L.var()] < 0) {
+      FailedAssumptions.push_back(L);
+      continue;
+    }
+    const Clause &C = Clauses[Reason[L.var()]];
+    for (size_t K = 1; K < C.Lits.size(); ++K) {
+      int Var = C.Lits[K].var();
+      if (Level[Var] > 0)
+        Seen[Var] = true;
+    }
+  }
+}
+
 int SatSolver::pickBranchVar() {
   int Best = -1;
   double BestActivity = -1.0;
@@ -247,7 +275,8 @@ int SatSolver::pickBranchVar() {
   return Best;
 }
 
-SatSolver::Result SatSolver::solve() {
+SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
+  FailedAssumptions.clear();
   if (KnownUnsat)
     return Result::Unsat;
   backtrack(0);
@@ -289,6 +318,31 @@ SatSolver::Result SatSolver::solve() {
       ConflictsSinceRestart = 0;
       RestartLimit = RestartLimit + RestartLimit / 2;
       backtrack(0);
+      continue;
+    }
+
+    // (Re-)establish assumptions before any free decision. Backjumps may
+    // cancel assumption levels; this loop restores them in order, so all
+    // decisions above level 0 are assumptions until every assumption is
+    // decided.
+    if (TrailLim.size() < Assumptions.size()) {
+      Lit A = Assumptions[TrailLim.size()];
+      assert(A.var() < numVars() && "assumption over unknown variable");
+      if (litTrue(A)) {
+        // Already implied: open an (empty) level so assumption indices and
+        // decision levels stay aligned.
+        TrailLim.push_back(static_cast<int>(Trail.size()));
+        continue;
+      }
+      if (litFalse(A)) {
+        // Forced false by the clauses and earlier assumptions: unsat under
+        // assumptions, with the responsible subset as the core. The clause
+        // set itself stays (potentially) satisfiable.
+        analyzeFinal(A);
+        return Result::Unsat;
+      }
+      TrailLim.push_back(static_cast<int>(Trail.size()));
+      enqueue(A, -1);
       continue;
     }
 

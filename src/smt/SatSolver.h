@@ -56,8 +56,24 @@ public:
   /// if the solver is already known unsat.
   bool addClause(std::vector<Lit> Clause);
 
-  /// Solves the current clause set.
-  Result solve();
+  /// Solves the current clause set, optionally under a list of assumption
+  /// literals. Assumptions are decided (in order) before any free decision,
+  /// so learned clauses never depend on them: the clause database — and
+  /// everything learned from it — stays valid across calls with different
+  /// assumption sets. On Unsat under assumptions, failedAssumptions()
+  /// holds a subset of the assumptions that is inconsistent with the
+  /// clauses; when it is empty the clause set itself is unsatisfiable.
+  Result solve(const std::vector<Lit> &Assumptions = {});
+
+  /// After an Unsat solve(): the responsible assumption subset (original
+  /// assumption literals; empty when the clause set alone is unsat).
+  const std::vector<Lit> &failedAssumptions() const {
+    return FailedAssumptions;
+  }
+
+  /// \returns true once the clause set is unsatisfiable independent of any
+  /// assumptions.
+  bool knownUnsat() const { return KnownUnsat; }
 
   /// After Sat: value of variable \p Var in the model.
   bool modelValue(int Var) const {
@@ -94,6 +110,10 @@ private:
   /// First-UIP conflict analysis; fills the learned clause and returns the
   /// backjump level.
   int analyze(int ConflictClause, std::vector<Lit> &Learned);
+  /// Explains a false assumption \p Failed: walks the implication graph of
+  /// ~Failed and collects the assumption decisions it rests on into
+  /// FailedAssumptions (together with \p Failed itself).
+  void analyzeFinal(Lit Failed);
   void backtrack(int Level);
   void bumpVar(int Var);
   void decayActivities();
@@ -116,6 +136,7 @@ private:
   std::vector<uint64_t> LitMark;
   uint64_t MarkStamp = 0;
   std::vector<Lit> ScratchLits;
+  std::vector<Lit> FailedAssumptions;
 
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;

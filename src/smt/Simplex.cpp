@@ -137,6 +137,44 @@ void Simplex::addBound(int Var, SimplexRel Rel, const Rational &Rhs,
   addConstraint({{Var, Rational(1)}}, Rel, Rhs, Tag);
 }
 
+void Simplex::recordBoundUndo(int Var, bool IsLower) {
+  if (Scopes.empty())
+    return;
+  const VarState &VS = Vars[Var];
+  UndoTrail.push_back({Var, IsLower, IsLower ? VS.Lower : VS.Upper});
+}
+
+void Simplex::push() {
+  Scopes.push_back({UndoTrail.size(), numVars(), HasConflict});
+}
+
+void Simplex::pop() {
+  assert(!Scopes.empty() && "pop without matching push");
+  ScopeMark M = Scopes.back();
+  Scopes.pop_back();
+  // Restore bounds in reverse assertion order. Bounds only tighten within
+  // a scope, so the surviving (looser) bounds are still satisfied by every
+  // nonbasic variable's current assignment; basic violations are repaired
+  // by the next check() as usual.
+  for (size_t I = UndoTrail.size(); I-- > M.UndoMark;) {
+    const BoundUndo &U = UndoTrail[I];
+    (U.IsLower ? Vars[U.Var].Lower : Vars[U.Var].Upper) = U.Old;
+  }
+  UndoTrail.resize(M.UndoMark);
+  // Variables introduced in the scope become unconstrained dead columns;
+  // drop the rows they still own.
+  for (int Var = M.VarMark; Var < numVars(); ++Var) {
+    if (Vars[Var].Basic) {
+      Rows.erase(Var);
+      Vars[Var].Basic = false;
+    }
+  }
+  if (!M.HadConflict) {
+    HasConflict = false;
+    Core.clear();
+  }
+}
+
 bool Simplex::assertLower(int Var, const DeltaRational &Value, int Tag) {
   VarState &VS = Vars[Var];
   if (VS.Lower.Present && Value <= VS.Lower.Value)
@@ -146,6 +184,7 @@ bool Simplex::assertLower(int Var, const DeltaRational &Value, int Tag) {
     Core = {Tag, VS.Upper.Tag};
     return false;
   }
+  recordBoundUndo(Var, /*IsLower=*/true);
   VS.Lower = {Value, Tag, true};
   if (!VS.Basic && VS.Beta < Value)
     updateNonbasic(Var, Value);
@@ -161,6 +200,7 @@ bool Simplex::assertUpper(int Var, const DeltaRational &Value, int Tag) {
     Core = {Tag, VS.Lower.Tag};
     return false;
   }
+  recordBoundUndo(Var, /*IsLower=*/false);
   VS.Upper = {Value, Tag, true};
   if (!VS.Basic && Value < VS.Beta)
     updateNonbasic(Var, Value);

@@ -63,6 +63,21 @@ public:
   /// constraints are added (the tableau is incremental).
   Result check();
 
+  /// \name Scopes
+  /// Backtrackable constraint assertion in the Dutertre–de Moura style:
+  /// pop() restores every bound (the semantic content of a constraint) to
+  /// its pre-push value and clears conflicts raised inside the scope. The
+  /// tableau itself is not rewound — rows remain valid slack definitions —
+  /// but rows owned by slack variables introduced in the scope are dropped
+  /// when still basic, and popped variables linger as unconstrained dead
+  /// columns (their indices are never reused). Clients that pop often
+  /// should rebuild once dead columns dominate (see numVars()).
+  /// @{
+  void push();
+  void pop();
+  size_t numScopes() const { return Scopes.size(); }
+  /// @}
+
   /// After an Unsat result: tags of a (usually small) inconsistent subset.
   const std::vector<int> &unsatCore() const {
     assert(HasConflict && "unsatCore() without a conflict");
@@ -94,6 +109,9 @@ private:
 
   bool assertLower(int Var, const DeltaRational &Value, int Tag);
   bool assertUpper(int Var, const DeltaRational &Value, int Tag);
+  /// Records the current state of a bound about to be overwritten (no-op
+  /// outside any scope, so unscoped use stays allocation-free).
+  void recordBoundUndo(int Var, bool IsLower);
   /// Sets beta of nonbasic \p Var to \p Value, updating basic rows.
   void updateNonbasic(int Var, const DeltaRational &Value);
   /// Pivots basic \p Basic with nonbasic \p Nonbasic and sets beta of
@@ -104,10 +122,23 @@ private:
   /// substituting it preserves all strict comparisons of the model.
   Rational concretizeDelta() const;
 
+  struct BoundUndo {
+    int Var;
+    bool IsLower;
+    BoundInfo Old;
+  };
+  struct ScopeMark {
+    size_t UndoMark;  ///< UndoTrail size at push.
+    int VarMark;      ///< numVars() at push.
+    bool HadConflict; ///< Conflict state at push.
+  };
+
   std::vector<VarState> Vars;
   std::map<int, Row> Rows; ///< Basic var -> row over nonbasic vars.
   std::vector<int> Core;
   bool HasConflict = false;
+  std::vector<BoundUndo> UndoTrail;
+  std::vector<ScopeMark> Scopes;
 };
 
 } // namespace pathinv

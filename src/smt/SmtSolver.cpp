@@ -1,4 +1,4 @@
-//===- smt/SmtSolver.cpp - Lazy DPLL(T) over LRA+EUF+arrays ---------------===//
+//===- smt/SmtSolver.cpp - One-shot façade over SolverContext -------------===//
 //
 // Part of the path-invariants reproduction. MIT license.
 //
@@ -7,193 +7,65 @@
 #include "smt/SmtSolver.h"
 
 #include "smt/ArrayElim.h"
-#include "smt/SatSolver.h"
 
 using namespace pathinv;
 
-namespace {
-
-/// Checks whether a normalized formula is a conjunction of literals.
-bool isLiteralConjunction(const Term *T,
-                          std::vector<const Term *> &Literals) {
-  std::vector<const Term *> Conjuncts;
-  flattenConjuncts(T, Conjuncts);
-  for (const Term *C : Conjuncts) {
-    if (!C->isLiteral() && !C->isTrue() && !C->isFalse())
-      return false;
-    Literals.push_back(C);
-  }
-  return true;
-}
-
-/// Tseitin encoder: maps formula nodes to SAT literals, emitting defining
-/// clauses into the solver. Relational atoms become SAT variables directly.
-class TseitinEncoder {
-public:
-  TseitinEncoder(SatSolver &Sat) : Sat(Sat) {}
-
-  Lit encode(const Term *T) {
-    auto It = NodeLit.find(T);
-    if (It != NodeLit.end())
-      return It->second;
-    Lit Result = encodeUncached(T);
-    NodeLit.emplace(T, Result);
-    return Result;
-  }
-
-  /// Atom term for each SAT variable that represents one (else nullptr).
-  const std::vector<const Term *> &atomOfVar() const { return AtomOfVar; }
-
-private:
-  int freshVar(const Term *Atom) {
-    int Var = Sat.addVar();
-    assert(static_cast<size_t>(Var) == AtomOfVar.size() &&
-           "SAT variables must be created only through the encoder");
-    AtomOfVar.push_back(Atom);
-    return Var;
-  }
-
-  Lit encodeUncached(const Term *T) {
-    switch (T->kind()) {
-    case TermKind::True: {
-      int Var = freshVar(nullptr);
-      Sat.addClause({Lit(Var, false)});
-      return Lit(Var, false);
-    }
-    case TermKind::False: {
-      int Var = freshVar(nullptr);
-      Sat.addClause({Lit(Var, false)});
-      return Lit(Var, true);
-    }
-    case TermKind::Eq:
-    case TermKind::Le:
-    case TermKind::Lt:
-      return Lit(freshVar(T), false);
-    case TermKind::Not:
-      return ~encode(T->operand(0));
-    case TermKind::And:
-    case TermKind::Or: {
-      bool IsAnd = T->kind() == TermKind::And;
-      std::vector<Lit> OpLits;
-      OpLits.reserve(T->numOperands());
-      for (const Term *Op : T->operands())
-        OpLits.push_back(encode(Op));
-      Lit Aux(freshVar(nullptr), false);
-      // IsAnd:  aux <-> /\ ops;  else aux <-> \/ ops.
-      std::vector<Lit> Long; // (aux -> \/ops) or (/\ops -> aux)
-      Long.reserve(OpLits.size() + 1);
-      Long.push_back(IsAnd ? Aux : ~Aux);
-      for (Lit L : OpLits) {
-        Sat.addClause({IsAnd ? ~Aux : Aux, IsAnd ? L : ~L});
-        Long.push_back(IsAnd ? ~L : L);
-      }
-      Sat.addClause(std::move(Long));
-      return Aux;
-    }
-    default:
-      assert(false && "unexpected node in propositional skeleton");
-      return Lit(freshVar(nullptr), false);
-    }
-  }
-
-  SatSolver &Sat;
-  std::map<const Term *, Lit, TermIdLess> NodeLit;
-  std::vector<const Term *> AtomOfVar;
-};
-
-} // namespace
-
 ConjResult
 SmtSolver::checkConjunction(const std::vector<const Term *> &Literals) {
-  ++TheoryChecks;
+  ++DirectTheoryChecks;
   TheoryConjSolver Theory(TM);
   return Theory.solve(Literals);
 }
 
 SmtSolver::Status SmtSolver::checkSat(const Term *Formula) {
   ++Queries;
-  auto It = SatCache.find(Formula);
+  assert(!containsQuantifier(Formula) &&
+         "SMT core is quantifier-free; instantiate quantifiers first");
+
+  // Memoize on the original formula, before any transformation: cache
+  // hits must stay one map lookup.
+  auto Key = std::make_pair(Ctx.assertionFingerprint(), Formula->id());
+  auto It = SatCache.find(Key);
   if (It != SatCache.end() && !It->second) {
     // Unsat results need no model and can be replayed from cache. Sat
     // results are re-solved to repopulate the model.
     ++CacheHits;
     return Status::Unsat;
   }
-  Status Result = checkSatUncached(Formula);
-  SatCache[Formula] = Result == Status::Sat;
-  return Result;
-}
 
-SmtSolver::Status SmtSolver::checkSatUncached(const Term *Formula) {
-  assert(!containsQuantifier(Formula) &&
-         "SMT core is quantifier-free; instantiate quantifiers first");
-  Expected<const Term *> Reduced = eliminateArrayWrites(TM, Formula);
-  assert(Reduced && "array-write elimination failed; unsupported shape");
-  const Term *F = Reduced.get();
+  // Array-write elimination is a whole-formula transformation (array
+  // aliasing is resolved globally), so it runs here — before the formula
+  // is split across the context's scopes. containsStore is an O(1) flag.
+  const Term *F = Formula;
+  if (containsStore(Formula)) {
+    Expected<const Term *> Reduced = eliminateArrayWrites(TM, Formula);
+    assert(Reduced && "array-write elimination failed; unsupported shape");
+    F = Reduced.get();
+  }
+
   Model.clear();
 
-  if (F->isTrue())
-    return Status::Sat;
-  if (F->isFalse())
-    return Status::Unsat;
-
-  // Fast path: conjunction of literals.
+  // Standalone conjunction queries (the context holds no assertions to
+  // combine with) go straight to the theory solver: there is no prefix to
+  // amortize, so the context's cached-tableau probe would only add
+  // overhead when the query needs theory splits.
   std::vector<const Term *> Literals;
-  if (isLiteralConjunction(F, Literals)) {
+  if (!Ctx.hasAssertions() && isLiteralConjunction(F, Literals)) {
     ConjResult R = checkConjunction(Literals);
     if (R.IsSat)
       Model = std::move(R.Model);
+    SatCache[Key] = R.IsSat;
     return R.IsSat ? Status::Sat : Status::Unsat;
   }
 
-  // Lazy DPLL(T) loop. The per-query CDCL core's counters are folded into
-  // the solver-wide statistics on exit.
-  SatSolver Sat;
-  struct StatFold {
-    SmtSolver &S;
-    SatSolver &Sat;
-    ~StatFold() {
-      S.SatConflicts += Sat.numConflicts();
-      S.SatDecisions += Sat.numDecisions();
-      S.SatPropagations += Sat.numPropagations();
-    }
-  } Fold{*this, Sat};
-  TseitinEncoder Encoder(Sat);
-  Lit Root = Encoder.encode(F);
-  if (!Sat.addClause({Root}))
-    return Status::Unsat;
-
-  while (true) {
-    if (Sat.solve() == SatSolver::Result::Unsat)
-      return Status::Unsat;
-
-    // Collect the theory literals of the propositional model.
-    std::vector<const Term *> TheoryLits;
-    std::vector<Lit> SatLits;
-    const auto &AtomOfVar = Encoder.atomOfVar();
-    for (int Var = 0; Var < static_cast<int>(AtomOfVar.size()); ++Var) {
-      const Term *Atom = AtomOfVar[Var];
-      if (!Atom)
-        continue;
-      bool Positive = Sat.modelValue(Var);
-      TheoryLits.push_back(Positive ? Atom : TM.mkNot(Atom));
-      SatLits.push_back(Lit(Var, !Positive));
-    }
-
-    ConjResult R = checkConjunction(TheoryLits);
-    if (R.IsSat) {
-      Model = std::move(R.Model);
-      return Status::Sat;
-    }
-
-    // Block this theory-inconsistent assignment (negate the core).
-    std::vector<Lit> Blocking;
-    Blocking.reserve(R.Core.size());
-    for (int LitIdx : R.Core)
-      Blocking.push_back(~SatLits[LitIdx]);
-    if (Blocking.empty() || !Sat.addClause(std::move(Blocking)))
-      return Status::Unsat;
-  }
+  Ctx.push();
+  Ctx.assertTerm(F);
+  smt::CheckResult R = Ctx.checkSat();
+  Ctx.pop();
+  if (R.isSat())
+    Model = R.model().values();
+  SatCache[Key] = R.isSat();
+  return R.isSat() ? Status::Sat : Status::Unsat;
 }
 
 bool SmtSolver::isUnsat(const Term *Formula) {

@@ -1,41 +1,48 @@
-//===- smt/SmtSolver.h - Lazy DPLL(T) over LRA+EUF+arrays ------*- C++ -*-===//
+//===- smt/SmtSolver.h - One-shot façade over SolverContext ----*- C++ -*-===//
 //
 // Part of the path-invariants reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Satisfiability of quantifier-free formulas over linear arithmetic,
-/// uninterpreted functions, and arrays (ground writes).
+/// The classic one-shot SMT entry points (checkSat/isUnsat/entails over a
+/// whole formula), kept as a thin adapter over smt::SolverContext.
 ///
-/// Architecture: array writes are compiled away (read-over-write case
-/// splits), the boolean structure is Tseitin-encoded into the CDCL core,
-/// and full propositional models are validated by the conjunction-level
-/// theory solver; theory conflicts return as blocking clauses built from
-/// unsat cores. Conjunctions of literals bypass the SAT solver entirely —
-/// the common case for path formulas and abstraction queries.
+/// New code should prefer the context API directly: push/pop scopes,
+/// assertTerm, and checkSat(assumptions) with value-typed models and unsat
+/// cores (smt/SolverContext.h). The one-shot calls here remain for callers
+/// whose queries genuinely share no structure; each call runs in a fresh
+/// scope of the adapter's context, so Tseitin encodings, learned clauses,
+/// and theory lemmas still persist across calls.
+///
+/// Semantics note: checkSat(F) decides F *under the current assertions of
+/// context()* — empty unless a caller asserted into it, which reproduces
+/// the historical standalone behavior. Results are memoized keyed by the
+/// context's assertion fingerprint, so state held in the context
+/// invalidates the cache correctly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHINV_SMT_SMTSOLVER_H
 #define PATHINV_SMT_SMTSOLVER_H
 
-#include "logic/TermRewrite.h"
-#include "smt/TheoryConj.h"
+#include "smt/SolverContext.h"
 
 #include <map>
 
 namespace pathinv {
 
-/// Lazy SMT solver. One instance may serve many queries; results of
-/// satisfiability checks are memoized by formula identity.
+/// One-shot SMT solver façade. One instance may serve many queries;
+/// unsatisfiability results are memoized by (context state, formula).
 class SmtSolver {
 public:
-  explicit SmtSolver(TermManager &TM) : TM(TM) {}
+  explicit SmtSolver(TermManager &TM) : TM(TM), Ctx(TM) {}
 
   enum class Status : uint8_t { Sat, Unsat };
 
-  /// Decides satisfiability of quantifier-free \p Formula.
+  /// Decides satisfiability of quantifier-free \p Formula under the
+  /// current assertions of context(). Array writes are eliminated on the
+  /// whole formula first.
   Status checkSat(const Term *Formula);
 
   /// \returns true iff \p Formula is unsatisfiable (memoized).
@@ -54,27 +61,33 @@ public:
   /// the unsat core for counterexample analysis.
   ConjResult checkConjunction(const std::vector<const Term *> &Literals);
 
+  /// The underlying incremental context. Assertions made here persist and
+  /// are honored (and cache-keyed) by the one-shot calls above.
+  smt::SolverContext &context() { return Ctx; }
+  const smt::SolverContext &context() const { return Ctx; }
+
   /// Statistics.
   uint64_t numQueries() const { return Queries; }
-  uint64_t numTheoryChecks() const { return TheoryChecks; }
+  uint64_t numTheoryChecks() const {
+    return Ctx.stats().TheoryChecks + DirectTheoryChecks;
+  }
   uint64_t numCacheHits() const { return CacheHits; }
-  /// Cumulative CDCL-core statistics across all lazy-loop queries.
-  uint64_t numSatConflicts() const { return SatConflicts; }
-  uint64_t numSatDecisions() const { return SatDecisions; }
-  uint64_t numSatPropagations() const { return SatPropagations; }
+  /// Cumulative CDCL-core statistics of the underlying context.
+  uint64_t numSatConflicts() const { return Ctx.stats().SatConflicts; }
+  uint64_t numSatDecisions() const { return Ctx.stats().SatDecisions; }
+  uint64_t numSatPropagations() const { return Ctx.stats().SatPropagations; }
 
 private:
-  Status checkSatUncached(const Term *Formula);
-
   TermManager &TM;
+  smt::SolverContext Ctx;
   std::map<const Term *, Rational, TermIdLess> Model;
-  std::map<const Term *, bool, TermIdLess> SatCache; ///< Formula -> isSat.
+  /// (assertion fingerprint, formula id) -> isSat. Keying on the
+  /// fingerprint invalidates entries whenever context() holds different
+  /// asserted state.
+  std::map<std::pair<uint64_t, uint32_t>, bool> SatCache;
   uint64_t Queries = 0;
-  uint64_t TheoryChecks = 0;
   uint64_t CacheHits = 0;
-  uint64_t SatConflicts = 0;
-  uint64_t SatDecisions = 0;
-  uint64_t SatPropagations = 0;
+  uint64_t DirectTheoryChecks = 0;
 };
 
 } // namespace pathinv

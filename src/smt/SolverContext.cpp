@@ -1,0 +1,277 @@
+//===- smt/SolverContext.cpp - Incremental assumption-based SMT -----------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SolverContext.h"
+
+#include <algorithm>
+
+using namespace pathinv;
+using namespace pathinv::smt;
+
+namespace {
+
+/// Mixes a term id into a running order-sensitive fingerprint.
+uint64_t mixFingerprint(uint64_t Fp, uint32_t Id) {
+  Fp ^= Id + 0x9e3779b97f4a7c15ull + (Fp << 12) + (Fp >> 4);
+  return Fp * 0x100000001b3ull;
+}
+
+} // namespace
+
+Lit SolverContext::encodeFormula(const Term *F) {
+  auto It = NodeLit.find(F);
+  if (It != NodeLit.end())
+    return It->second;
+
+  Lit Result;
+  switch (F->kind()) {
+  case TermKind::True: {
+    int Var = Sat.addVar();
+    Sat.addClause({Lit(Var, false)});
+    Result = Lit(Var, false);
+    break;
+  }
+  case TermKind::False: {
+    int Var = Sat.addVar();
+    Sat.addClause({Lit(Var, false)});
+    Result = Lit(Var, true);
+    break;
+  }
+  case TermKind::Eq:
+  case TermKind::Le:
+  case TermKind::Lt:
+    Result = Lit(Sat.addVar(), false);
+    break;
+  case TermKind::Not:
+    Result = ~encodeFormula(F->operand(0));
+    break;
+  case TermKind::And:
+  case TermKind::Or: {
+    bool IsAnd = F->kind() == TermKind::And;
+    std::vector<Lit> OpLits;
+    OpLits.reserve(F->numOperands());
+    for (const Term *Op : F->operands())
+      OpLits.push_back(encodeFormula(Op));
+    Lit Aux(Sat.addVar(), false);
+    // IsAnd:  aux <-> /\ ops;  else aux <-> \/ ops. The defining clauses
+    // are equivalences — valid in every scope, so never guarded.
+    std::vector<Lit> Long; // (aux -> \/ops) or (/\ops -> aux)
+    Long.reserve(OpLits.size() + 1);
+    Long.push_back(IsAnd ? Aux : ~Aux);
+    for (Lit L : OpLits) {
+      Sat.addClause({IsAnd ? ~Aux : Aux, IsAnd ? L : ~L});
+      Long.push_back(IsAnd ? ~L : L);
+    }
+    Sat.addClause(std::move(Long));
+    Result = Aux;
+    break;
+  }
+  default:
+    assert(false && "unexpected node in propositional skeleton");
+    Result = Lit(Sat.addVar(), false);
+    break;
+  }
+  NodeLit.emplace(F, Result);
+  return Result;
+}
+
+std::optional<Lit> SolverContext::currentSelector() {
+  if (Scopes.empty())
+    return std::nullopt;
+  Scope &S = Scopes.back();
+  if (S.SelectorVar < 0)
+    S.SelectorVar = Sat.addVar();
+  return Lit(S.SelectorVar, false);
+}
+
+void SolverContext::push() {
+  ++Stats.Pushes;
+  Scopes.push_back({-1, Assertions.size(), NumComplexActive, Fingerprint});
+  Theory.pushBase();
+}
+
+void SolverContext::pop() {
+  assert(!Scopes.empty() && "pop without matching push");
+  ++Stats.Pops;
+  Scope S = Scopes.back();
+  Scopes.pop_back();
+  if (S.SelectorVar >= 0) {
+    // Permanently disable the scope's guarded clauses. Learned clauses
+    // mentioning the selector stay valid and become satisfied.
+    Sat.addClause({Lit(S.SelectorVar, true)});
+  }
+  Assertions.resize(S.AssertionMark);
+  NumComplexActive = S.ComplexMark;
+  Fingerprint = S.SavedFingerprint;
+  Theory.popBase();
+}
+
+void SolverContext::assertTerm(const Term *F) {
+  assert(F->isBool() && "asserting a non-formula");
+  assert(!containsQuantifier(F) &&
+         "SolverContext is quantifier-free; instantiate quantifiers first");
+  assert(!containsStore(F) &&
+         "SolverContext is store-free; run array-write elimination on the "
+         "whole query first");
+  ++Stats.Assertions;
+  Fingerprint = mixFingerprint(Fingerprint, F->id());
+
+  Assertion A;
+  A.Formula = F;
+  std::vector<const Term *> Conjuncts;
+  A.IsConjunction = isLiteralConjunction(F, Conjuncts);
+  {
+    TermSet Atoms;
+    collectAtoms(F, Atoms);
+    A.Atoms.assign(Atoms.begin(), Atoms.end());
+  }
+
+  if (A.IsConjunction) {
+    for (const Term *C : Conjuncts)
+      Theory.assertBase(C);
+  } else {
+    ++NumComplexActive;
+  }
+  if (Scopes.empty())
+    ++NumPermanentAssertions;
+
+  // SAT side: guard the root literal with the scope's selector so pop()
+  // can retract it; depth-0 assertions are permanent units.
+  if (!F->isTrue()) {
+    Lit Root = encodeFormula(F);
+    if (std::optional<Lit> Sel = currentSelector())
+      Sat.addClause({~*Sel, Root});
+    else
+      Sat.addClause({Root});
+  }
+
+  Assertions.push_back(std::move(A));
+}
+
+CheckResult
+SolverContext::checkSat(const std::vector<const Term *> &Assumptions) {
+  ++Stats.Checks;
+  bool AllLiteral = NumComplexActive == 0;
+  for (const Term *A : Assumptions) {
+    if (!A->isLiteral() && !A->isTrue() && !A->isFalse()) {
+      AllLiteral = false;
+      break;
+    }
+  }
+  if (AllLiteral)
+    return checkConjunctions(Assumptions);
+  return checkLazy(Assumptions);
+}
+
+CheckResult
+SolverContext::checkConjunctions(const std::vector<const Term *> &Assumptions) {
+  ++Stats.ConjunctionChecks;
+  ++Stats.TheoryChecks;
+  ConjResult R = Theory.solveWithBase(Assumptions);
+  if (R.IsSat)
+    return CheckResult::sat(Model(std::move(R.Model)));
+  std::vector<const Term *> Failed;
+  Failed.reserve(R.Core.size());
+  for (int I : R.Core)
+    Failed.push_back(Assumptions[I]);
+  return CheckResult::unsat(
+      UnsatCore(std::move(Failed), R.BaseInCore || R.Core.empty()));
+}
+
+CheckResult
+SolverContext::checkLazy(const std::vector<const Term *> &Assumptions) {
+  ++Stats.LazyChecks;
+  if (Sat.knownUnsat())
+    return CheckResult::unsat(UnsatCore({}, /*FromAssertions=*/true));
+
+  // Assumption vector: live scope selectors first, then the encodings of
+  // the caller's assumption formulas.
+  std::vector<Lit> SatAssumps;
+  std::map<int, const Term *> AssumpOfLit; // Lit.Value -> assumption term.
+  for (const Scope &S : Scopes)
+    if (S.SelectorVar >= 0)
+      SatAssumps.push_back(Lit(S.SelectorVar, false));
+  for (const Term *A : Assumptions) {
+    if (A->isTrue())
+      continue;
+    if (A->isFalse())
+      return CheckResult::unsat(UnsatCore({A}, /*FromAssertions=*/false));
+    assert(!containsQuantifier(A) && !containsStore(A) &&
+           "assumptions must be ground and store-free");
+    Lit L = encodeFormula(A);
+    SatAssumps.push_back(L);
+    AssumpOfLit[L.Value] = A;
+  }
+
+  // Relevant atoms: only atoms of live assertions and of this check's
+  // assumptions join the theory check. Atoms from popped scopes or from
+  // other checks sharing this context would otherwise bloat every theory
+  // query with stale literals.
+  TermSet Active;
+  for (const Assertion &A : Assertions)
+    Active.insert(A.Atoms.begin(), A.Atoms.end());
+  for (const Term *A : Assumptions)
+    collectAtoms(A, Active);
+
+  while (true) {
+    if (Sat.solve(SatAssumps) == SatSolver::Result::Unsat) {
+      // Depth-0 assertions live as permanent units with no selector, so
+      // their participation cannot be traced; assume it.
+      bool FromAssertions =
+          Sat.failedAssumptions().empty() || NumPermanentAssertions > 0;
+      std::vector<const Term *> Failed;
+      for (Lit L : Sat.failedAssumptions()) {
+        auto It = AssumpOfLit.find(L.Value);
+        if (It != AssumpOfLit.end())
+          Failed.push_back(It->second);
+        else
+          FromAssertions = true; // A scope selector: asserted state.
+      }
+      std::sort(Failed.begin(), Failed.end(), TermIdLess());
+      Failed.erase(std::unique(Failed.begin(), Failed.end()), Failed.end());
+      return CheckResult::unsat(
+          UnsatCore(std::move(Failed), FromAssertions || Failed.empty()));
+    }
+
+    // Theory-validate the propositional model over the relevant atoms.
+    std::vector<const Term *> TheoryLits;
+    std::vector<Lit> SatLits;
+    TheoryLits.reserve(Active.size());
+    SatLits.reserve(Active.size());
+    for (const Term *Atom : Active) {
+      auto It = NodeLit.find(Atom);
+      assert(It != NodeLit.end() && "active atom was never encoded");
+      int Var = It->second.var();
+      bool Positive = Sat.modelValue(Var) != It->second.negated();
+      TheoryLits.push_back(Positive ? Atom : TM.mkNot(Atom));
+      SatLits.push_back(Lit(Var, !Positive));
+    }
+    ++Stats.TheoryChecks;
+    ConjResult R = Theory.solve(TheoryLits);
+    if (R.IsSat)
+      return CheckResult::sat(Model(std::move(R.Model)));
+
+    // Block this theory-inconsistent assignment (negate the core). The
+    // lemma is theory-valid, so it is never guarded: it survives pops and
+    // serves every future check.
+    std::vector<Lit> Blocking;
+    Blocking.reserve(R.Core.size());
+    for (int LitIdx : R.Core)
+      Blocking.push_back(~SatLits[LitIdx]);
+    if (Blocking.empty() || !Sat.addClause(std::move(Blocking)))
+      return CheckResult::unsat(UnsatCore({}, /*FromAssertions=*/true));
+  }
+}
+
+ContextStats SolverContext::stats() const {
+  ContextStats S = Stats;
+  S.SatConflicts = Sat.numConflicts();
+  S.SatDecisions = Sat.numDecisions();
+  S.SatPropagations = Sat.numPropagations();
+  S.BaseReuses = Theory.numBaseReuses();
+  S.BaseRebuilds = Theory.numBaseRebuilds();
+  return S;
+}

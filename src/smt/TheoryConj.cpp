@@ -7,7 +7,6 @@
 #include "smt/TheoryConj.h"
 
 #include "smt/Congruence.h"
-#include "smt/Simplex.h"
 
 #include <algorithm>
 
@@ -31,11 +30,168 @@ Rational evalUnderModel(
   return Result;
 }
 
+using AtomVarMap = std::map<const Term *, int, TermIdLess>;
+
+/// Simplex variable of \p Atom, created on demand. When \p Inserted is
+/// non-null, newly created atoms are recorded there so the caller can roll
+/// the map back after a tableau scope is popped.
+int simplexVarOf(Simplex &Splx, AtomVarMap &AtomVar, const Term *Atom,
+                 std::vector<const Term *> *Inserted) {
+  auto [It, WasNew] = AtomVar.try_emplace(Atom, -1);
+  if (WasNew) {
+    It->second = Splx.addVar();
+    if (Inserted)
+      Inserted->push_back(Atom);
+  }
+  return It->second;
+}
+
+void addLinearConstraint(Simplex &Splx, AtomVarMap &AtomVar,
+                         std::vector<const Term *> *Inserted,
+                         const LinearExpr &Expr, SimplexRel Rel, int Tag) {
+  std::vector<std::pair<int, Rational>> Coeffs;
+  for (const auto &[Atom, Coeff] : Expr.coefficients())
+    Coeffs.emplace_back(simplexVarOf(Splx, AtomVar, Atom, Inserted), Coeff);
+  Splx.addConstraint(Coeffs, Rel, -Expr.constant(), Tag);
+}
+
+/// Adds the arithmetic content of one literal to the tableau; no-op for
+/// boolean constants, disequalities (handled by splitting), and array
+/// equalities (the congruence closure's business).
+void addFactArith(Simplex &Splx, AtomVarMap &AtomVar,
+                  std::vector<const Term *> *Inserted, const Term *Lit,
+                  int Tag) {
+  if (Lit->isTrue() || Lit->isFalse() || Lit->kind() == TermKind::Not)
+    return;
+  if (Lit->kind() == TermKind::Eq && Lit->operand(0)->isArray())
+    return;
+  std::optional<LinearAtom> Atom = decomposeAtom(Lit);
+  assert(Atom && "non-linear atom in theory solver");
+  if (Atom->Rel == RelKind::Lt) {
+    // All atoms are integer-valued (program integers, reads of integer
+    // arrays, integer functions), so strict inequalities tighten:
+    // e < 0 becomes e + 1 <= 0 after scaling to integral coefficients.
+    // This keeps the simplex free of infinitesimals, whose fractional
+    // vertex values would otherwise keep branch-and-bound churning.
+    LinearExpr Tight = normalizeToIntegral(Atom->Expr);
+    Tight.addConstant(Rational(1));
+    addLinearConstraint(Splx, AtomVar, Inserted, Tight, SimplexRel::Le, Tag);
+    return;
+  }
+  addLinearConstraint(Splx, AtomVar, Inserted, Atom->Expr,
+                      Atom->Rel == RelKind::Eq ? SimplexRel::Eq
+                                               : SimplexRel::Le,
+                      Tag);
+}
+
+/// Asserts one literal into the congruence closure (phase 1). Only
+/// equalities whose both sides are congruence nodes (variables, constants,
+/// reads, applications) are asserted; mixed arithmetic equalities are the
+/// simplex's business, and disequalities over arithmetic are resolved by
+/// model-based splitting. Returns false on conflict with the conflicting
+/// tags in \p ConflictCore.
+bool assertIntoClosure(CongruenceClosure &CC, const Term *Lit, int Tag,
+                       std::vector<int> &ConflictCore) {
+  auto isCCNode = [](const Term *T) {
+    switch (T->kind()) {
+    case TermKind::Var:
+    case TermKind::IntConst:
+    case TermKind::Select:
+    case TermKind::Apply:
+      return true;
+    default:
+      return false;
+    }
+  };
+  if (Lit->isTrue())
+    return true;
+  if (Lit->isFalse()) {
+    ConflictCore = {Tag};
+    return false;
+  }
+  bool Negated = Lit->kind() == TermKind::Not;
+  const Term *Atom = Negated ? Lit->operand(0) : Lit;
+  assert(Atom->isAtom() && "non-literal input to theory solver");
+  const Term *A = Atom->operand(0);
+  const Term *B = Atom->operand(1);
+  bool Ok = true;
+  if (Atom->kind() == TermKind::Eq && isCCNode(A) && isCCNode(B)) {
+    assert((A->isInt() || !Negated) && "array disequalities are unsupported");
+    Ok = Negated ? CC.assertDisequal(A, B, Tag) : CC.assertEqual(A, B, Tag);
+  } else {
+    assert((!Negated || Atom->kind() == TermKind::Eq) &&
+           "negated inequalities must be normalized away");
+    CC.registerTerm(A);
+    CC.registerTerm(B);
+  }
+  if (!Ok) {
+    ConflictCore = CC.conflictTags();
+    return false;
+  }
+  return true;
+}
+
+/// An argument pair whose ordering must be decided to restore functional
+/// consistency of two reads/applications.
+struct FunctionalSplit {
+  const Term *X;
+  const Term *Y;
+};
+
+/// Finds the first pair of reads/applications that violates functional
+/// consistency under \p AtomValues: same kind and symbol, argument values
+/// equal in the model, result values different, and not already congruent.
+std::optional<FunctionalSplit> findFunctionalViolation(
+    CongruenceClosure &CC,
+    const std::map<const Term *, Rational, TermIdLess> &AtomValues) {
+  const auto &Nodes = CC.nodes();
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    for (size_t J = I + 1; J < Nodes.size(); ++J) {
+      const Term *U = Nodes[I];
+      const Term *V = Nodes[J];
+      if (U->kind() != V->kind())
+        continue;
+      if (U->kind() != TermKind::Select && U->kind() != TermKind::Apply)
+        continue;
+      if (U->numOperands() != V->numOperands())
+        continue;
+      if (U->kind() == TermKind::Apply && U->name() != V->name())
+        continue;
+      if (U->kind() == TermKind::Select &&
+          !CC.areEqual(U->operand(0), V->operand(0)))
+        continue; // Reads of (so far) unrelated arrays.
+      if (CC.areEqual(U, V))
+        continue;
+      size_t FirstArg = U->kind() == TermKind::Select ? 1 : 0;
+      bool ArgsEqualInModel = true;
+      const Term *SplitX = nullptr, *SplitY = nullptr;
+      for (size_t K = FirstArg; K < U->numOperands(); ++K) {
+        const Term *X = U->operand(K);
+        const Term *Y = V->operand(K);
+        if (evalUnderModel(X, AtomValues) != evalUnderModel(Y, AtomValues)) {
+          ArgsEqualInModel = false;
+          break;
+        }
+        if (!CC.areEqual(X, Y) && !SplitX) {
+          SplitX = X;
+          SplitY = Y;
+        }
+      }
+      if (!ArgsEqualInModel)
+        continue;
+      if (evalUnderModel(U, AtomValues) == evalUnderModel(V, AtomValues))
+        continue; // Functionally consistent as-is.
+      assert(SplitX && "congruence violation without a splittable arg");
+      return FunctionalSplit{SplitX, SplitY};
+    }
+  }
+  return std::nullopt;
+}
+
 } // namespace
 
 ConjResult
 TheoryConjSolver::solve(const std::vector<const Term *> &Literals) {
-  SimplexRuns = 0;
   std::vector<Fact> Facts;
   Facts.reserve(Literals.size());
   for (size_t I = 0; I < Literals.size(); ++I)
@@ -56,6 +212,182 @@ TheoryConjSolver::solve(const std::vector<const Term *> &Literals) {
     Result.Core = std::move(Core);
   }
   return Result;
+}
+
+bool TheoryConjSolver::ensureBaseTableau() {
+  // Dead columns accumulate in the shared tableau as query scopes are
+  // popped; rebuild once they dominate the live base.
+  if (!BaseDirty && BaseSplx.numVars() > 2 * BaseVarCount + 128)
+    BaseDirty = true;
+  if (BaseDirty) {
+    ++BaseRebuilds;
+    ++SimplexRuns;
+    BaseSplx = Simplex();
+    BaseAtomVar.clear();
+    for (size_t I = 0; I < BaseLits.size(); ++I)
+      addFactArith(BaseSplx, BaseAtomVar, nullptr, BaseLits[I],
+                   static_cast<int>(I));
+    BaseUnsat = BaseSplx.check() == Simplex::Result::Unsat;
+    BaseVarCount = BaseSplx.numVars();
+    BaseDirty = false;
+  }
+  return !BaseUnsat;
+}
+
+bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
+                                      ConjResult &Out) {
+  const int NumBase = static_cast<int>(BaseLits.size());
+  const int NumFacts = NumBase + static_cast<int>(Query.size());
+  auto factLiteral = [&](int I) {
+    return I < NumBase ? BaseLits[I] : Query[I - NumBase];
+  };
+  auto finishUnsat = [&](std::vector<int> GlobalCore) {
+    Out = ConjResult();
+    for (int I : GlobalCore) {
+      if (I < NumBase)
+        Out.BaseInCore = true;
+      else
+        Out.Core.push_back(I - NumBase);
+    }
+    std::sort(Out.Core.begin(), Out.Core.end());
+    Out.Core.erase(std::unique(Out.Core.begin(), Out.Core.end()),
+                   Out.Core.end());
+  };
+
+  // Phase 1: congruence closure over base ++ query.
+  CongruenceClosure CC;
+  for (int I = 0; I < NumFacts; ++I) {
+    std::vector<int> Conflict;
+    if (!assertIntoClosure(CC, factLiteral(I), I, Conflict)) {
+      finishUnsat(std::move(Conflict));
+      return true;
+    }
+  }
+
+  if (!ensureBaseTableau()) {
+    Out = ConjResult();
+    Out.BaseInCore = true;
+    return true;
+  }
+  ++BaseReuses;
+
+  // Phase 2 (scoped): query constraints plus CC equality exchange, asserted
+  // inside a tableau scope on top of the solved base.
+  std::vector<std::vector<int>> TagJust;
+  auto freshDerivedTag = [&](std::vector<int> Just) {
+    TagJust.push_back(std::move(Just));
+    return NumFacts + static_cast<int>(TagJust.size()) - 1;
+  };
+  auto expandTags = [&](const std::vector<int> &Tags) {
+    std::vector<int> Expanded;
+    for (int Tag : Tags) {
+      if (Tag < NumFacts) {
+        Expanded.push_back(Tag);
+        continue;
+      }
+      const auto &Just = TagJust[Tag - NumFacts];
+      Expanded.insert(Expanded.end(), Just.begin(), Just.end());
+    }
+    return Expanded;
+  };
+
+  std::vector<const Term *> InsertedAtoms;
+  BaseSplx.push();
+  auto cleanupScope = [&]() {
+    BaseSplx.pop();
+    for (const Term *Atom : InsertedAtoms)
+      BaseAtomVar.erase(Atom);
+  };
+
+  ++SimplexRuns;
+  for (int I = NumBase; I < NumFacts; ++I)
+    addFactArith(BaseSplx, BaseAtomVar, &InsertedAtoms, factLiteral(I), I);
+  for (const auto &[A, B] : CC.equivalentPairs()) {
+    if (!A->isInt())
+      continue;
+    std::vector<int> Just = CC.explainEquality(A, B);
+    LinearExpr Diff = *LinearExpr::fromTerm(A) - *LinearExpr::fromTerm(B);
+    addLinearConstraint(BaseSplx, BaseAtomVar, &InsertedAtoms, Diff,
+                        SimplexRel::Eq, freshDerivedTag(std::move(Just)));
+  }
+
+  if (BaseSplx.check() == Simplex::Result::Unsat) {
+    finishUnsat(expandTags(BaseSplx.unsatCore()));
+    cleanupScope();
+    return true;
+  }
+
+  // Phase 3: candidate model (extracted before the scope is popped; a
+  // single delta concretization covers all variables).
+  std::map<const Term *, Rational, TermIdLess> AtomValues;
+  {
+    std::vector<Rational> M = BaseSplx.model();
+    for (const auto &[Atom, Var] : BaseAtomVar)
+      AtomValues[Atom] = M[Var];
+  }
+  for (const Term *Node : CC.nodes()) {
+    if (!Node->isInt())
+      continue;
+    if (Node->isIntConst()) {
+      AtomValues[Node] = Node->value();
+      continue;
+    }
+    AtomValues.try_emplace(Node, Rational());
+  }
+  cleanupScope();
+
+  // Split detection (phases 4a/4/5 of the full solver): if completing this
+  // model needs case analysis, fall back to the from-scratch solver.
+  for (const auto &[Atom, Value] : AtomValues) {
+    (void)Atom;
+    if (!Value.isInteger())
+      return false; // Integrality branch needed.
+  }
+  for (int I = 0; I < NumFacts; ++I) {
+    const Term *Lit = factLiteral(I);
+    if (Lit->kind() != TermKind::Not)
+      continue;
+    const Term *Atom = Lit->operand(0);
+    const Term *A = Atom->operand(0);
+    if (!A->isInt())
+      continue;
+    if (evalUnderModel(A, AtomValues) ==
+        evalUnderModel(Atom->operand(1), AtomValues))
+      return false; // Disequality split needed.
+  }
+  if (findFunctionalViolation(CC, AtomValues))
+    return false; // Functional-consistency split needed.
+
+  Out = ConjResult();
+  Out.IsSat = true;
+  Out.Model = std::move(AtomValues);
+  return true;
+}
+
+ConjResult
+TheoryConjSolver::solveWithBase(const std::vector<const Term *> &Query) {
+  ConjResult Fast;
+  if (trySolveScoped(Query, Fast))
+    return Fast;
+
+  // Theory splits required: solve base ++ query from scratch and remap the
+  // core onto query indices.
+  std::vector<const Term *> All;
+  All.reserve(BaseLits.size() + Query.size());
+  All.insert(All.end(), BaseLits.begin(), BaseLits.end());
+  All.insert(All.end(), Query.begin(), Query.end());
+  ConjResult R = solve(All);
+  if (!R.IsSat) {
+    std::vector<int> QueryCore;
+    for (int I : R.Core) {
+      if (I < static_cast<int>(BaseLits.size()))
+        R.BaseInCore = true;
+      else
+        QueryCore.push_back(I - static_cast<int>(BaseLits.size()));
+    }
+    R.Core = std::move(QueryCore);
+  }
+  return R;
 }
 
 ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
@@ -87,51 +419,13 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
   };
 
   // --- Phase 1: syntactic congruence closure -----------------------------
-  // Only equalities whose both sides are congruence nodes (variables,
-  // constants, reads, applications) are asserted into the closure; mixed
-  // arithmetic equalities are the simplex's business, and disequalities
-  // over arithmetic are resolved by model-based splitting below.
-  auto isCCNode = [](const Term *T) {
-    switch (T->kind()) {
-    case TermKind::Var:
-    case TermKind::IntConst:
-    case TermKind::Select:
-    case TermKind::Apply:
-      return true;
-    default:
-      return false;
-    }
-  };
   CongruenceClosure CC;
   for (size_t I = 0; I < Facts.size(); ++I) {
-    const Term *Lit = Facts[I].Literal;
-    if (Lit->isTrue())
-      continue;
-    if (Lit->isFalse()) {
+    std::vector<int> Conflict;
+    if (!assertIntoClosure(CC, Facts[I].Literal, static_cast<int>(I),
+                           Conflict)) {
       ConjResult R;
-      R.Core = {static_cast<int>(I)};
-      return R;
-    }
-    bool Negated = Lit->kind() == TermKind::Not;
-    const Term *Atom = Negated ? Lit->operand(0) : Lit;
-    assert(Atom->isAtom() && "non-literal input to theory solver");
-    const Term *A = Atom->operand(0);
-    const Term *B = Atom->operand(1);
-    bool Ok = true;
-    if (Atom->kind() == TermKind::Eq && isCCNode(A) && isCCNode(B)) {
-      assert((A->isInt() || !Negated) &&
-             "array disequalities are unsupported");
-      Ok = Negated ? CC.assertDisequal(A, B, static_cast<int>(I))
-                   : CC.assertEqual(A, B, static_cast<int>(I));
-    } else {
-      assert((!Negated || Atom->kind() == TermKind::Eq) &&
-             "negated inequalities must be normalized away");
-      CC.registerTerm(A);
-      CC.registerTerm(B);
-    }
-    if (!Ok) {
-      ConjResult R;
-      R.Core = CC.conflictTags();
+      R.Core = std::move(Conflict);
       return R;
     }
   }
@@ -139,19 +433,7 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
   // --- Phase 2: simplex over the arithmetic skeleton ---------------------
   Simplex Splx;
   ++SimplexRuns;
-  std::map<const Term *, int, TermIdLess> AtomVar;
-  auto varOf = [&](const Term *Atom) {
-    auto [It, Inserted] = AtomVar.try_emplace(Atom, -1);
-    if (Inserted)
-      It->second = Splx.addVar();
-    return It->second;
-  };
-  auto addLinear = [&](const LinearExpr &Expr, SimplexRel Rel, int Tag) {
-    std::vector<std::pair<int, Rational>> Coeffs;
-    for (const auto &[Atom, Coeff] : Expr.coefficients())
-      Coeffs.emplace_back(varOf(Atom), Coeff);
-    Splx.addConstraint(Coeffs, Rel, -Expr.constant(), Tag);
-  };
+  AtomVarMap AtomVar;
 
   // Tag space: [0, Facts.size()) are facts; above that, derived equalities
   // justified by the fact sets in TagJustification.
@@ -175,29 +457,9 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
     return Out;
   };
 
-  for (size_t I = 0; I < Facts.size(); ++I) {
-    const Term *Lit = Facts[I].Literal;
-    if (Lit->isTrue() || Lit->kind() == TermKind::Not)
-      continue; // Disequalities are handled by splitting below.
-    if (Lit->kind() == TermKind::Eq && Lit->operand(0)->isArray())
-      continue;
-    std::optional<LinearAtom> Atom = decomposeAtom(Lit);
-    assert(Atom && "non-linear atom in theory solver");
-    if (Atom->Rel == RelKind::Lt) {
-      // All atoms are integer-valued (program integers, reads of integer
-      // arrays, integer functions), so strict inequalities tighten:
-      // e < 0 becomes e + 1 <= 0 after scaling to integral coefficients.
-      // This keeps the simplex free of infinitesimals, whose fractional
-      // vertex values would otherwise keep branch-and-bound churning.
-      LinearExpr Tight = normalizeToIntegral(Atom->Expr);
-      Tight.addConstant(Rational(1));
-      addLinear(Tight, SimplexRel::Le, static_cast<int>(I));
-      continue;
-    }
-    addLinear(Atom->Expr,
-              Atom->Rel == RelKind::Eq ? SimplexRel::Eq : SimplexRel::Le,
-              static_cast<int>(I));
-  }
+  for (size_t I = 0; I < Facts.size(); ++I)
+    addFactArith(Splx, AtomVar, nullptr, Facts[I].Literal,
+                 static_cast<int>(I));
 
   // Equality exchange: CC-merged classes become simplex equalities.
   for (const auto &[A, B] : CC.equivalentPairs()) {
@@ -205,7 +467,8 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
       continue;
     std::vector<int> Just = CC.explainEquality(A, B);
     LinearExpr Diff = *LinearExpr::fromTerm(A) - *LinearExpr::fromTerm(B);
-    addLinear(Diff, SimplexRel::Eq, freshDerivedTag(std::move(Just)));
+    addLinearConstraint(Splx, AtomVar, nullptr, Diff, SimplexRel::Eq,
+                        freshDerivedTag(std::move(Just)));
   }
 
   if (Splx.check() == Simplex::Result::Unsat) {
@@ -216,8 +479,11 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
 
   // --- Phase 3: candidate model -------------------------------------------
   std::map<const Term *, Rational, TermIdLess> AtomValues;
-  for (const auto &[Atom, Var] : AtomVar)
-    AtomValues[Atom] = Splx.modelValue(Var);
+  {
+    std::vector<Rational> M = Splx.model();
+    for (const auto &[Atom, Var] : AtomVar)
+      AtomValues[Atom] = M[Var];
+  }
   for (const Term *Node : CC.nodes()) {
     if (!Node->isInt())
       continue;
@@ -281,60 +547,23 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
   }
 
   // --- Phase 5: functional-consistency splits ------------------------------
-  const auto &Nodes = CC.nodes();
-  for (size_t I = 0; I < Nodes.size(); ++I) {
-    for (size_t J = I + 1; J < Nodes.size(); ++J) {
-      const Term *U = Nodes[I];
-      const Term *V = Nodes[J];
-      if (U->kind() != V->kind())
-        continue;
-      if (U->kind() != TermKind::Select && U->kind() != TermKind::Apply)
-        continue;
-      if (U->numOperands() != V->numOperands())
-        continue;
-      if (U->kind() == TermKind::Apply && U->name() != V->name())
-        continue;
-      if (U->kind() == TermKind::Select &&
-          !CC.areEqual(U->operand(0), V->operand(0)))
-        continue; // Reads of (so far) unrelated arrays.
-      if (CC.areEqual(U, V))
-        continue;
-      size_t FirstArg = U->kind() == TermKind::Select ? 1 : 0;
-      bool ArgsEqualInModel = true;
-      const Term *SplitX = nullptr, *SplitY = nullptr;
-      for (size_t K = FirstArg; K < U->numOperands(); ++K) {
-        const Term *X = U->operand(K);
-        const Term *Y = V->operand(K);
-        if (evalUnderModel(X, AtomValues) != evalUnderModel(Y, AtomValues)) {
-          ArgsEqualInModel = false;
-          break;
-        }
-        if (!CC.areEqual(X, Y) && !SplitX) {
-          SplitX = X;
-          SplitY = Y;
-        }
-      }
-      if (!ArgsEqualInModel)
-        continue;
-      if (evalUnderModel(U, AtomValues) == evalUnderModel(V, AtomValues))
-        continue; // Functionally consistent as-is.
-      assert(SplitX && "congruence violation without a splittable arg");
-      // SplitX < SplitY, SplitY < SplitX, or SplitX = SplitY (exhaustive).
-      std::vector<int> UnionCore;
-      std::optional<ConjResult> Final;
-      runBranch(TM.mkLt(SplitX, SplitY), UnionCore, Final);
-      if (Final)
-        return std::move(*Final);
-      runBranch(TM.mkLt(SplitY, SplitX), UnionCore, Final);
-      if (Final)
-        return std::move(*Final);
-      runBranch(TM.mkEq(SplitX, SplitY), UnionCore, Final);
-      if (Final)
-        return std::move(*Final);
-      ConjResult R;
-      R.Core = std::move(UnionCore);
-      return R;
-    }
+  if (std::optional<FunctionalSplit> Split =
+          findFunctionalViolation(CC, AtomValues)) {
+    // X < Y, Y < X, or X = Y (exhaustive).
+    std::vector<int> UnionCore;
+    std::optional<ConjResult> Final;
+    runBranch(TM.mkLt(Split->X, Split->Y), UnionCore, Final);
+    if (Final)
+      return std::move(*Final);
+    runBranch(TM.mkLt(Split->Y, Split->X), UnionCore, Final);
+    if (Final)
+      return std::move(*Final);
+    runBranch(TM.mkEq(Split->X, Split->Y), UnionCore, Final);
+    if (Final)
+      return std::move(*Final);
+    ConjResult R;
+    R.Core = std::move(UnionCore);
+    return R;
   }
 
   // --- SAT -----------------------------------------------------------------

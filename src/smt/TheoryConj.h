@@ -28,6 +28,7 @@
 
 #include "logic/LinearExpr.h"
 #include "logic/TermRewrite.h"
+#include "smt/Simplex.h"
 
 #include <map>
 #include <vector>
@@ -40,7 +41,12 @@ struct ConjResult {
   /// On SAT: values for every arithmetic atom (variables, reads, applies).
   std::map<const Term *, Rational, TermIdLess> Model;
   /// On UNSAT: indices of an inconsistent subset of the input literals.
+  /// For solveWithBase() the indices refer to the query vector only.
   std::vector<int> Core;
+  /// Set only by solveWithBase(): retained base literals participate in
+  /// the inconsistency (an empty Core with BaseInCore set means the base
+  /// alone is unsatisfiable).
+  bool BaseInCore = false;
 };
 
 /// Conjunction-of-literals solver over LRA + EUF + array reads.
@@ -48,6 +54,13 @@ struct ConjResult {
 /// Input literals must be store-free (run eliminateArrayWrites first) and
 /// quantifier-free; integer disequalities are accepted and handled by
 /// internal splitting.
+///
+/// Besides the one-shot solve(), the solver retains a scoped *base* of
+/// asserted literals (pushBase/popBase/assertBase). solveWithBase() decides
+/// base AND query conjunctions against a cached simplex tableau of the
+/// base — queries run inside a tableau scope that is popped afterwards —
+/// so the arithmetic of a long asserted prefix is encoded and solved once
+/// per base change instead of once per query.
 class TheoryConjSolver {
 public:
   explicit TheoryConjSolver(TermManager &TM) : TM(TM) {}
@@ -56,8 +69,35 @@ public:
   /// atom, a negated equality, or a boolean constant.
   ConjResult solve(const std::vector<const Term *> &Literals);
 
-  /// Statistics: simplex instances created during the last solve().
+  /// \name Retained assertions (the incremental base)
+  /// @{
+  void pushBase() { BaseMarks.push_back(BaseLits.size()); }
+  void popBase() {
+    assert(!BaseMarks.empty() && "popBase without matching pushBase");
+    if (BaseLits.size() != BaseMarks.back())
+      BaseDirty = true;
+    BaseLits.resize(BaseMarks.back());
+    BaseMarks.pop_back();
+  }
+  void assertBase(const Term *Literal) {
+    if (Literal->isTrue())
+      return;
+    BaseLits.push_back(Literal);
+    BaseDirty = true;
+  }
+  size_t numBaseLiterals() const { return BaseLits.size(); }
+  size_t numBaseScopes() const { return BaseMarks.size(); }
+
+  /// Decides base AND \p Query. Unsat cores index into \p Query;
+  /// ConjResult::BaseInCore marks participation of retained literals.
+  ConjResult solveWithBase(const std::vector<const Term *> &Query);
+  /// @}
+
+  /// Statistics (cumulative): simplex systems solved, queries served from
+  /// the cached base tableau, and cache rebuilds.
   unsigned numSimplexRuns() const { return SimplexRuns; }
+  uint64_t numBaseReuses() const { return BaseReuses; }
+  uint64_t numBaseRebuilds() const { return BaseRebuilds; }
 
 private:
   /// A constraint with provenance: Origin >= 0 is an input literal index,
@@ -72,8 +112,30 @@ private:
   /// core propagates upward.
   ConjResult solveFacts(std::vector<Fact> Facts, int Depth);
 
+  /// Split-free fast path over the cached base tableau. Returns false when
+  /// completing the query would need theory splits (fractional values,
+  /// violated disequalities, functional inconsistencies); the caller then
+  /// falls back to a from-scratch combined solve.
+  bool trySolveScoped(const std::vector<const Term *> &Query,
+                      ConjResult &Out);
+
+  /// Rebuilds the cached base tableau when stale (or when dead columns
+  /// from popped query scopes dominate). Returns false when the base is
+  /// arithmetically unsatisfiable on its own.
+  bool ensureBaseTableau();
+
   TermManager &TM;
   unsigned SimplexRuns = 0;
+
+  std::vector<const Term *> BaseLits;
+  std::vector<size_t> BaseMarks;
+  bool BaseDirty = false;
+  bool BaseUnsat = false;
+  Simplex BaseSplx;
+  std::map<const Term *, int, TermIdLess> BaseAtomVar;
+  int BaseVarCount = 0;
+  uint64_t BaseReuses = 0;
+  uint64_t BaseRebuilds = 0;
 };
 
 } // namespace pathinv

@@ -31,12 +31,27 @@ struct PreparedCondition {
 };
 
 /// An incremental LP context: a simplex tableau plus the pool-id to
-/// LP-variable mapping. Copied at every search depth so a child node only
-/// pays for its own constraints (the parent tableau is already solved)
-/// instead of re-solving the whole accumulated system from scratch.
+/// LP-variable mapping, with scopes. The search runs one shared tableau
+/// and brackets each branch in push()/pop() — a child node only pays for
+/// its own constraints and the pop undoes them — instead of copying the
+/// whole tableau at every depth as the previous design did.
 struct LpState {
   Simplex LP;
   std::map<int, int> VarOf;
+  /// Pool ids first seen in each open scope; pop() forgets them so their
+  /// (now unconstrained, dead) LP columns are not reused.
+  std::vector<std::vector<int>> ScopeIds;
+
+  void push() {
+    LP.push();
+    ScopeIds.emplace_back();
+  }
+  void pop() {
+    for (int Id : ScopeIds.back())
+      VarOf.erase(Id);
+    ScopeIds.pop_back();
+    LP.pop();
+  }
 };
 
 class Search {
@@ -65,9 +80,8 @@ public:
       }
     }
     if (Found) {
-      LpState Root;
-      Root.LP.check(); // Empty system: Sat, so leaf models always exist.
-      Found = dfs(Order, 0, Root) == FoundSolution;
+      Lp.LP.check(); // Empty system: Sat, so leaf models always exist.
+      Found = dfs(Order, 0) == FoundSolution;
     }
     if (Found) {
       Result.Found = true;
@@ -83,21 +97,17 @@ private:
     auto [It, Inserted] = S.VarOf.try_emplace(Id, -1);
     if (Inserted) {
       It->second = S.LP.addVar();
+      if (!S.ScopeIds.empty())
+        S.ScopeIds.back().push_back(Id);
       if (Pool.kind(Id) == UnknownKind::Multiplier)
         S.LP.addBound(It->second, SimplexRel::Ge, Rational(0), -1);
     }
     return It->second;
   }
 
-  /// Adds \p Cs to \p S tagged with \p Tag and re-checks incrementally.
-  /// On infeasibility, \p ConflictTag (when provided) receives the largest
-  /// tag in the unsat core — the deepest search choice implicated.
-  bool lpAddCheck(LpState &S, const std::vector<PolyConstraint> &Cs, int Tag,
-                  int *ConflictTag) {
-    if (Budget == 0)
-      return false;
-    --Budget;
-    ++LpChecks;
+  /// Translates \p Cs into LP constraints of \p S tagged with \p Tag.
+  void lpAddConstraints(LpState &S, const std::vector<PolyConstraint> &Cs,
+                        int Tag) {
     for (const PolyConstraint &PC : Cs) {
       std::vector<std::pair<int, Rational>> Coeffs;
       Rational Rhs;
@@ -111,6 +121,18 @@ private:
       S.LP.addConstraint(Coeffs, PC.IsEq ? SimplexRel::Eq : SimplexRel::Ge,
                          Rhs, Tag);
     }
+  }
+
+  /// Adds \p Cs to \p S tagged with \p Tag and re-checks incrementally.
+  /// On infeasibility, \p ConflictTag (when provided) receives the largest
+  /// tag in the unsat core — the deepest search choice implicated.
+  bool lpAddCheck(LpState &S, const std::vector<PolyConstraint> &Cs, int Tag,
+                  int *ConflictTag) {
+    if (Budget == 0)
+      return false;
+    --Budget;
+    ++LpChecks;
+    lpAddConstraints(S, Cs, Tag);
     if (S.LP.check() != Simplex::Result::Sat) {
       if (ConflictTag) {
         *ConflictTag = -1;
@@ -207,14 +229,15 @@ private:
   /// sibling choices above that depth cannot repair the conflict).
   static constexpr int FoundSolution = -2;
 
-  int dfs(const std::vector<size_t> &Order, int Depth, const LpState &Cur) {
+  int dfs(const std::vector<size_t> &Order, int Depth) {
     if (Budget == 0)
       return -1;
     if (static_cast<size_t>(Depth) == Order.size()) {
-      // Cur already satisfies every chosen combo's constraints: extract.
+      // The shared tableau already satisfies every chosen combo's
+      // constraints: extract.
       FinalAssignment.assign(Pool.size(), Rational(0));
-      for (const auto &[Id, Var] : Cur.VarOf)
-        FinalAssignment[Id] = Cur.LP.modelValue(Var);
+      for (const auto &[Id, Var] : Lp.VarOf)
+        FinalAssignment[Id] = Lp.LP.modelValue(Var);
       for (const Combo *C : Chosen)
         for (const auto &[Id, Value] : C->MultValues)
           FinalAssignment[Id] = Value;
@@ -223,16 +246,21 @@ private:
     const PreparedCondition &Cond = Prepared[Order[Depth]];
     int DeepestConflict = -1;
     for (const Combo &C : Cond.Combos) {
+      maybeRebuildLp();
       Chosen.push_back(&C);
       int ConflictTag = Depth;
       int Sub;
       if (C.Constraints.empty()) {
-        Sub = dfs(Order, Depth + 1, Cur);
+        Sub = dfs(Order, Depth + 1);
       } else {
-        LpState Child = Cur;
-        Sub = lpAddCheck(Child, C.Constraints, Depth, &ConflictTag)
-                  ? dfs(Order, Depth + 1, Child)
+        Lp.push();
+        ActiveFrames.push_back({&C.Constraints, Depth});
+        Sub = lpAddCheck(Lp, C.Constraints, Depth, &ConflictTag)
+                  ? dfs(Order, Depth + 1)
                   : ConflictTag;
+        ActiveFrames.pop_back();
+        Lp.pop();
+        ++PopsSinceRebuild;
       }
       Chosen.pop_back();
       if (Sub == FoundSolution)
@@ -250,12 +278,41 @@ private:
     return std::min<int>(DeepestConflict, Depth - 1);
   }
 
+  /// Rebuilds the shared tableau from the active branch's constraint
+  /// frames once enough pops have accumulated. Popped scopes leave dead
+  /// columns (and rows pivoted onto pre-scope variables) behind; without
+  /// compaction the per-check Bland scan degrades linearly in everything
+  /// the search ever tried. Called only between combos, where the scope
+  /// stack matches ActiveFrames exactly.
+  void maybeRebuildLp() {
+    if (PopsSinceRebuild < RebuildInterval)
+      return;
+    PopsSinceRebuild = 0;
+    Lp = LpState();
+    for (const auto &[Cs, Tag] : ActiveFrames) {
+      Lp.push();
+      lpAddConstraints(Lp, *Cs, Tag);
+    }
+    // The active branch was feasible before the rebuild; replaying it is
+    // bookkeeping, not exploration, so it is not charged to the budget.
+    Simplex::Result R = Lp.LP.check();
+    assert(R == Simplex::Result::Sat && "active branch became infeasible");
+    (void)R;
+  }
+
   static constexpr size_t MaxCombosPerAlternative = 128;
+  static constexpr uint64_t RebuildInterval = 128;
 
   UnknownPool &Pool;
   const std::vector<Condition> &Conditions;
   const SynthOptions &Opts;
   std::vector<PreparedCondition> Prepared;
+  LpState Lp; ///< Shared scoped tableau for the whole search.
+  /// Constraint sets (with their depth tags) of the active branch, for
+  /// tableau compaction.
+  std::vector<std::pair<const std::vector<PolyConstraint> *, int>>
+      ActiveFrames;
+  uint64_t PopsSinceRebuild = 0;
   std::vector<const Combo *> Chosen;
   std::vector<Rational> FinalAssignment;
   uint64_t Budget;

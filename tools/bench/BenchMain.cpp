@@ -28,6 +28,7 @@
 #include "logic/Term.h"
 #include "logic/TermRewrite.h"
 #include "smt/SmtSolver.h"
+#include "smt/SolverContext.h"
 
 #include <algorithm>
 #include <chrono>
@@ -185,6 +186,82 @@ MicroResult runMicro(const Fn &Workload, int Rounds, int Iters) {
   return Best;
 }
 
+/// Incremental-query workload: the abstract-reach/CEGAR pattern of many
+/// entailment checks against one shared prefix. A chain of N SSA-style
+/// conjuncts (x0 = 0, x_{k+1} = x_k + 1) is the prefix; the queries ask
+/// x_N <= bound for a sweep of bounds (a mix of entailed and refutable).
+/// One-shot mode re-encodes prefix AND query through SmtSolver::checkSat
+/// for every bound — the pre-redesign API. Context mode asserts the prefix
+/// once into a SolverContext and flips one assumption literal per query.
+/// Both modes must agree on every verdict; the harness aborts otherwise.
+struct IncResult {
+  uint64_t Queries = 0;
+  double OneShotMs = 0;
+  double ContextMs = 0;
+
+  double speedup() const { return ContextMs > 0 ? OneShotMs / ContextMs : 0; }
+};
+
+IncResult incrementalWorkload(int ChainLen, int QueriesPerRound, int Rounds) {
+  IncResult R;
+  pathinv::TermManager TM;
+
+  // Build the prefix chain and the query atoms.
+  std::vector<const pathinv::Term *> Conjuncts;
+  const pathinv::Term *Prev =
+      TM.mkVar("x0", pathinv::Sort::Int);
+  Conjuncts.push_back(TM.mkEq(Prev, TM.mkIntConst(0)));
+  for (int K = 1; K <= ChainLen; ++K) {
+    const pathinv::Term *Cur =
+        TM.mkVar("x" + std::to_string(K), pathinv::Sort::Int);
+    Conjuncts.push_back(TM.mkEq(Cur, TM.mkAdd(Prev, TM.mkIntConst(1))));
+    Prev = Cur;
+  }
+  const pathinv::Term *Prefix = TM.mkAnd(Conjuncts);
+  // x_N = ChainLen under the prefix; bounds straddle that value.
+  std::vector<const pathinv::Term *> QueryAtoms;
+  for (int Q = 0; Q < QueriesPerRound; ++Q) {
+    int Bound = ChainLen - QueriesPerRound / 2 + Q;
+    QueryAtoms.push_back(TM.mkLe(Prev, TM.mkIntConst(Bound)));
+  }
+
+  std::vector<bool> OneShotVerdicts;
+  {
+    auto Start = Clock::now();
+    for (int Round = 0; Round < Rounds; ++Round) {
+      // Fresh solver per round: the one-shot API memoizes by formula, and
+      // the pre-redesign pattern pays the full re-encoding per round.
+      pathinv::SmtSolver Solver(TM);
+      for (const pathinv::Term *Atom : QueryAtoms) {
+        bool Entailed = Solver.isUnsat(TM.mkAnd(Prefix, TM.mkNot(Atom)));
+        if (Round == 0)
+          OneShotVerdicts.push_back(Entailed);
+      }
+    }
+    R.OneShotMs = elapsedMs(Start, Clock::now());
+  }
+
+  {
+    auto Start = Clock::now();
+    size_t Idx = 0;
+    for (int Round = 0; Round < Rounds; ++Round) {
+      pathinv::smt::SolverContext Ctx(TM);
+      Ctx.assertTerm(Prefix);
+      for (const pathinv::Term *Atom : QueryAtoms) {
+        bool Entailed = Ctx.checkSat({TM.mkNot(Atom)}).isUnsat();
+        if (Entailed != OneShotVerdicts[Idx % QueryAtoms.size()]) {
+          std::cerr << "[bench] incremental/one-shot verdict mismatch\n";
+          std::abort();
+        }
+        ++Idx;
+      }
+    }
+    R.ContextMs = elapsedMs(Start, Clock::now());
+  }
+  R.Queries = static_cast<uint64_t>(Rounds) * QueryAtoms.size();
+  return R;
+}
+
 struct E2EResult {
   std::string Program;
   std::string Verdict;
@@ -196,6 +273,8 @@ struct E2EResult {
   uint64_t SatDecisions = 0;
   uint64_t SatPropagations = 0;
   uint64_t Refinements = 0;
+  uint64_t AssumptionQueries = 0;
+  uint64_t PathConjunctsReused = 0;
 };
 
 E2EResult runProgram(const char *Name, const char *Source) {
@@ -220,6 +299,8 @@ E2EResult runProgram(const char *Name, const char *Source) {
       break;
     }
     R.Refinements = Res.get().Stats.Refinements;
+    R.AssumptionQueries = Res.get().Stats.AssumptionQueries;
+    R.PathConjunctsReused = Res.get().Stats.PathConjunctsReused;
   }
   R.PeakTerms = V.termManager().numTerms();
   R.SmtQueries = V.solver().numQueries();
@@ -252,7 +333,7 @@ void emitMicro(std::ostream &Out, const char *Key, const MicroResult &Arena,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string OutPath = "BENCH_1.json";
+  std::string OutPath = "BENCH_2.json";
   int Iters = 5;
   bool Smoke = false;
   for (int I = 1; I < Argc; ++I) {
@@ -272,6 +353,9 @@ int main(int Argc, char **Argv) {
   Iters = std::max(Iters, 1);
   const int ConstructRounds = Smoke ? 200 : 4000;
   const int RewriteRounds = Smoke ? 100 : 2000;
+  const int IncChainLen = Smoke ? 40 : 120;
+  const int IncQueries = Smoke ? 16 : 40;
+  const int IncRounds = Smoke ? 5 : 25;
 
   // Fail on an unwritable output path now, not after minutes of benching.
   std::ofstream Out(OutPath);
@@ -306,6 +390,13 @@ int main(int Argc, char **Argv) {
       },
       RewriteRounds, Iters);
 
+  std::cerr << "[bench] incremental entailment (chain " << IncChainLen
+            << ", " << IncQueries << " queries x " << IncRounds
+            << " rounds)\n";
+  IncResult Inc = incrementalWorkload(IncChainLen, IncQueries, IncRounds);
+  std::cerr << "[bench]   one-shot " << Inc.OneShotMs << " ms, context "
+            << Inc.ContextMs << " ms (speedup " << Inc.speedup() << "x)\n";
+
   struct {
     const char *Name;
     const char *Source;
@@ -330,16 +421,23 @@ int main(int Argc, char **Argv) {
 
   std::ostringstream Json;
   Json << "{\n";
-  Json << "  \"schema\": \"pathinv-bench-v1\",\n";
+  Json << "  \"schema\": \"pathinv-bench-v2\",\n";
   Json << "  \"config\": {\"iters\": " << Iters
        << ", \"smoke\": " << (Smoke ? "true" : "false")
        << ", \"construct_rounds\": " << ConstructRounds
-       << ", \"rewrite_rounds\": " << RewriteRounds << "},\n";
+       << ", \"rewrite_rounds\": " << RewriteRounds
+       << ", \"inc_chain_len\": " << IncChainLen
+       << ", \"inc_queries\": " << IncQueries
+       << ", \"inc_rounds\": " << IncRounds << "},\n";
   Json << "  \"microbench\": {\n";
   emitMicro(Json, "construct", ConstructArena, ConstructRef);
   Json << ",\n";
   emitMicro(Json, "rewrite", RewriteArena, RewriteRef);
   Json << "\n  },\n";
+  Json << "  \"incremental\": {\"queries\": " << Inc.Queries
+       << ", \"one_shot_wall_ms\": " << Inc.OneShotMs
+       << ", \"context_wall_ms\": " << Inc.ContextMs
+       << ", \"speedup_vs_one_shot\": " << Inc.speedup() << "},\n";
   Json << "  \"end_to_end\": [\n";
   for (size_t I = 0; I < E2E.size(); ++I) {
     const E2EResult &R = E2E[I];
@@ -351,7 +449,9 @@ int main(int Argc, char **Argv) {
          << ", \"sat_conflicts\": " << R.SatConflicts
          << ", \"sat_decisions\": " << R.SatDecisions
          << ", \"sat_propagations\": " << R.SatPropagations
-         << ", \"refinements\": " << R.Refinements << "}"
+         << ", \"refinements\": " << R.Refinements
+         << ", \"assumption_queries\": " << R.AssumptionQueries
+         << ", \"path_conjuncts_reused\": " << R.PathConjunctsReused << "}"
          << (I + 1 < E2E.size() ? "," : "") << "\n";
   }
   Json << "  ],\n";

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate on benchmark regressions between two BENCH_<n>.json files.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--max-regression 0.20]
+
+Compares end_to_end_total_wall_ms (current may be at most
+(1 + max-regression) x baseline) and checks that every end-to-end program
+still reports the expected verdict recorded in the baseline. Exits 0 when
+both gates hold, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="allowed fractional wall-time regression")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    ok = True
+
+    base_verdicts = {e["program"]: e["verdict"] for e in base["end_to_end"]}
+    for entry in cur["end_to_end"]:
+        expected = base_verdicts.get(entry["program"])
+        if expected is None:
+            continue
+        if entry["verdict"] != expected:
+            print(f"FAIL: {entry['program']} verdict changed: "
+                  f"{expected} -> {entry['verdict']}")
+            ok = False
+
+    base_ms = base["end_to_end_total_wall_ms"]
+    cur_ms = cur["end_to_end_total_wall_ms"]
+    limit = base_ms * (1.0 + args.max_regression)
+    ratio = cur_ms / base_ms if base_ms else float("inf")
+    line = (f"end_to_end_total_wall_ms: baseline {base_ms:.1f}, "
+            f"current {cur_ms:.1f} ({ratio:.2f}x, limit {limit:.1f})")
+    if cur_ms > limit:
+        print("FAIL: " + line)
+        ok = False
+    else:
+        print("OK:   " + line)
+
+    if "incremental" in cur:
+        inc = cur["incremental"]
+        print(f"info: incremental speedup_vs_one_shot = "
+              f"{inc['speedup_vs_one_shot']:.2f}x over {inc['queries']} queries")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+//===- tools/pathinv/PathInvMain.cpp - CLI verification driver ------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver: verify a PIL procedure from a file (or stdin).
+///
+/// Usage: pathinv [options] <file.pil | ->
+///   --refiner=pathinv|intervals|pathformula   refinement strategy
+///   --max-refinements=N                       CEGAR iteration budget
+///   --max-nodes=N                             abstract reachability budget
+///   --stats                                   per-layer statistics
+///   --quiet                                   verdict only
+///
+/// Exit codes: 0 Safe, 1 Unsafe, 2 Unknown, 3 usage/parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "smt/SolverContext.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::cerr
+      << "usage: " << Argv0 << " [options] <file.pil | ->\n"
+      << "  --refiner=pathinv|intervals|pathformula  refinement strategy\n"
+      << "                                           (default: pathinv)\n"
+      << "  --max-refinements=N  CEGAR iteration budget (default 40)\n"
+      << "  --max-nodes=N        abstract reachability node budget\n"
+      << "  --stats              print per-layer statistics\n"
+      << "  --quiet              print only the verdict line\n"
+      << "exit codes: 0 Safe, 1 Unsafe, 2 Unknown, 3 usage/parse error\n";
+  return 3;
+}
+
+bool parseUint(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  pathinv::EngineOptions Opts;
+  bool Stats = false;
+  bool Quiet = false;
+  std::string InputPath;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = valueOf("--refiner=")) {
+      if (std::strcmp(V, "pathinv") == 0) {
+        Opts.Refiner = pathinv::RefinerKind::PathInvariant;
+      } else if (std::strcmp(V, "intervals") == 0) {
+        Opts.Refiner = pathinv::RefinerKind::PathInvariantIntervals;
+      } else if (std::strcmp(V, "pathformula") == 0) {
+        Opts.Refiner = pathinv::RefinerKind::PathFormula;
+      } else {
+        std::cerr << "unknown refiner '" << V << "'\n";
+        return usage(Argv[0]);
+      }
+    } else if (const char *V = valueOf("--max-refinements=")) {
+      if (!parseUint(V, Opts.MaxRefinements))
+        return usage(Argv[0]);
+    } else if (const char *V = valueOf("--max-nodes=")) {
+      if (!parseUint(V, Opts.Reach.MaxNodes))
+        return usage(Argv[0]);
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::cerr << "unknown option '" << Arg << "'\n";
+      return usage(Argv[0]);
+    } else if (InputPath.empty()) {
+      InputPath = Arg;
+    } else {
+      std::cerr << "multiple input files\n";
+      return usage(Argv[0]);
+    }
+  }
+  if (InputPath.empty())
+    return usage(Argv[0]);
+
+  std::string Source;
+  if (InputPath == "-") {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    Source = Buf.str();
+  } else {
+    std::ifstream In(InputPath);
+    if (!In) {
+      std::cerr << "cannot read " << InputPath << "\n";
+      return 3;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  pathinv::Verifier V(Opts);
+  pathinv::Expected<pathinv::Program> P = V.loadSource(Source);
+  if (!P) {
+    std::cerr << InputPath << ": " << P.error().render() << "\n";
+    return 3;
+  }
+  pathinv::EngineResult R = V.verifyProgram(P.get());
+
+  if (Quiet) {
+    switch (R.Verdict) {
+    case pathinv::EngineResult::Verdict::Safe:
+      std::cout << "SAFE\n";
+      break;
+    case pathinv::EngineResult::Verdict::Unsafe:
+      std::cout << "UNSAFE\n";
+      break;
+    case pathinv::EngineResult::Verdict::Unknown:
+      std::cout << "UNKNOWN\n";
+      break;
+    }
+  } else {
+    std::cout << pathinv::formatResult(P.get(), R);
+    if (R.Verdict == pathinv::EngineResult::Verdict::Safe &&
+        R.Stats.FinalPredicates != 0) {
+      std::cout << "abstraction:\n" << R.Predicates.dump(P.get());
+    }
+  }
+  if (Stats)
+    std::cout << pathinv::formatSolverStats(V.solverStats());
+
+  switch (R.Verdict) {
+  case pathinv::EngineResult::Verdict::Safe:
+    return 0;
+  case pathinv::EngineResult::Verdict::Unsafe:
+    return 1;
+  case pathinv::EngineResult::Verdict::Unknown:
+    return 2;
+  }
+  return 2;
+}
