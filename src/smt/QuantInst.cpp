@@ -15,7 +15,7 @@ namespace {
 /// Rewrites negative-polarity universals into skolemized matrices and
 /// leaves positive ones in place. Polarity tracks evenness of negations.
 const Term *skolemize(TermManager &TM, const Term *F, bool Positive,
-                      unsigned &FreshCounter) {
+                      uint64_t &FreshCounter) {
   switch (F->kind()) {
   case TermKind::Not: {
     const Term *Sub = skolemize(TM, F->operand(0), !Positive, FreshCounter);
@@ -97,7 +97,7 @@ const Term *instantiate(TermManager &TM, const Term *F,
 } // namespace
 
 const Term *pathinv::instantiateQuantifiers(TermManager &TM, const Term *F,
-                                            unsigned &FreshCounter) {
+                                            uint64_t &FreshCounter) {
   const Term *Skolemized = skolemize(TM, F, /*Positive=*/true, FreshCounter);
   if (!containsQuantifier(Skolemized))
     return Skolemized;
@@ -112,7 +112,7 @@ const Term *pathinv::instantiateQuantifiers(TermManager &TM, const Term *F,
 bool pathinv::entailsWithQuant(TermManager &TM, SmtSolver &Solver,
                                const Term *Hyp, const Term *Concl) {
   const Term *Query = TM.mkAnd(Hyp, TM.mkNot(Concl));
-  unsigned LocalCounter = 0;
+  uint64_t LocalCounter = 0;
   const Term *Ground = instantiateQuantifiers(TM, Query, LocalCounter);
   return Solver.isUnsat(Ground);
 }

@@ -29,6 +29,8 @@
 
 #include "logic/TermRewrite.h"
 
+#include <cstdint>
+
 namespace pathinv {
 
 class SmtSolver;
@@ -37,7 +39,7 @@ class SmtSolver;
 /// implies the unsatisfiability of \p F. \p FreshCounter provides unique
 /// skolem names across calls.
 const Term *instantiateQuantifiers(TermManager &TM, const Term *F,
-                                   unsigned &FreshCounter);
+                                   uint64_t &FreshCounter);
 
 /// Sound entailment with quantifiers: returns true only if
 /// \p Hyp entails \p Concl. (May return false on entailments outside the

@@ -23,9 +23,10 @@ void Simplex::addConstraint(
   std::map<int, Rational> Sum;
   for (const auto &[Var, Coeff] : Coeffs) {
     assert(Var >= 0 && Var < numVars() && "constraint over unknown variable");
-    Sum[Var] += Coeff;
-    if (Sum[Var].isZero())
-      Sum.erase(Var);
+    auto It = Sum.try_emplace(Var).first;
+    It->second += Coeff;
+    if (It->second.isZero())
+      Sum.erase(It);
   }
 
   if (Sum.empty()) {
@@ -71,16 +72,18 @@ void Simplex::addConstraint(
     for (const auto &[Var, Coeff] : Sum) {
       if (Vars[Var].Basic) {
         for (const auto &[Sub, SubCoeff] : Rows[Var]) {
-          NewRow[Sub] += Coeff * SubCoeff;
-          if (NewRow[Sub].isZero())
-            NewRow.erase(Sub);
+          auto It = NewRow.try_emplace(Sub).first;
+          It->second.addMul(Coeff, SubCoeff);
+          if (It->second.isZero())
+            NewRow.erase(It);
         }
       } else {
-        NewRow[Var] += Coeff;
-        if (NewRow[Var].isZero())
-          NewRow.erase(Var);
+        auto It = NewRow.try_emplace(Var).first;
+        It->second += Coeff;
+        if (It->second.isZero())
+          NewRow.erase(It);
       }
-      Beta += Vars[Var].Beta * Coeff;
+      Beta.addMul(Vars[Var].Beta, Coeff);
     }
     BoundVar = addVar();
     Vars[BoundVar].Basic = true;
@@ -212,7 +215,7 @@ void Simplex::updateNonbasic(int Var, const DeltaRational &Value) {
   for (auto &[BasicVar, TheRow] : Rows) {
     auto It = TheRow.find(Var);
     if (It != TheRow.end())
-      Vars[BasicVar].Beta += Diff * It->second;
+      Vars[BasicVar].Beta.addMul(Diff, It->second);
   }
   Vars[Var].Beta = Value;
 }
@@ -238,12 +241,14 @@ void Simplex::pivot(int Basic, int Nonbasic) {
     auto It = OtherRow.find(Nonbasic);
     if (It == OtherRow.end())
       continue;
-    Rational Factor = It->second;
+    Rational Factor = std::move(It->second);
     OtherRow.erase(It);
     for (const auto &[Var, Coeff] : NewRow) {
-      OtherRow[Var] += Factor * Coeff;
-      if (OtherRow[Var].isZero())
-        OtherRow.erase(Var);
+      // Accumulate in place: no product temporary, one map lookup.
+      auto Slot = OtherRow.try_emplace(Var).first;
+      Slot->second.addMul(Factor, Coeff);
+      if (Slot->second.isZero())
+        OtherRow.erase(Slot);
     }
   }
 
@@ -263,7 +268,7 @@ void Simplex::pivotAndUpdate(int Basic, int Nonbasic,
       continue;
     auto It = TheRow.find(Nonbasic);
     if (It != TheRow.end())
-      Vars[OtherBasic].Beta += Theta * It->second;
+      Vars[OtherBasic].Beta.addMul(Theta, It->second);
   }
   pivot(Basic, Nonbasic);
 }

@@ -23,9 +23,10 @@ Rational evalUnderModel(
   Rational Result = L->constant();
   for (const auto &[Atom, Coeff] : L->coefficients()) {
     auto It = AtomValues.find(Atom);
-    // Unconstrained atoms default to zero.
-    Rational Value = It == AtomValues.end() ? Rational() : It->second;
-    Result += Coeff * Value;
+    // Unconstrained atoms default to zero; accumulate in place (this runs
+    // once per atom per bound-propagation/model-completion pass).
+    if (It != AtomValues.end())
+      Result.addMul(Coeff, It->second);
   }
   return Result;
 }

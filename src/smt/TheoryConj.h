@@ -94,8 +94,9 @@ public:
   /// @}
 
   /// Statistics (cumulative): simplex systems solved, queries served from
-  /// the cached base tableau, and cache rebuilds.
-  unsigned numSimplexRuns() const { return SimplexRuns; }
+  /// the cached base tableau, and cache rebuilds. 64-bit: long-lived
+  /// contexts can push query counts past 2^31.
+  uint64_t numSimplexRuns() const { return SimplexRuns; }
   uint64_t numBaseReuses() const { return BaseReuses; }
   uint64_t numBaseRebuilds() const { return BaseRebuilds; }
 
@@ -125,7 +126,7 @@ private:
   bool ensureBaseTableau();
 
   TermManager &TM;
-  unsigned SimplexRuns = 0;
+  uint64_t SimplexRuns = 0;
 
   std::vector<const Term *> BaseLits;
   std::vector<size_t> BaseMarks;

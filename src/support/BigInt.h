@@ -5,14 +5,31 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Arbitrary-precision signed integer arithmetic.
+/// Arbitrary-precision signed integer arithmetic with an inline-limb
+/// small-value fast path.
 ///
 /// Template-based invariant synthesis via Farkas' lemma produces linear
 /// systems whose exact-rational pivoting can grow coefficients well past
-/// 64 bits; this class provides the unbounded integers that back
-/// \c Rational. Representation is sign + little-endian base-2^32 magnitude
-/// with no leading zero limbs (canonical: zero has an empty magnitude and
-/// sign 0).
+/// 64 bits, but profiles show the overwhelming majority of values flowing
+/// through the simplex stay tiny. The representation is therefore a tagged
+/// union:
+///
+///  * inline: any value representable as int64_t is stored directly in the
+///    object — no heap allocation, and all arithmetic runs as
+///    overflow-checked machine ops (__builtin_*_overflow);
+///  * heap: values outside [INT64_MIN, INT64_MAX] fall back to the classic
+///    sign + little-endian base-2^32 limb vector.
+///
+/// The representation is canonical: a value fits in int64_t if and only if
+/// it is stored inline (operations that shrink a heap value demote the
+/// result), so equality, comparison, and hashing never need to reconcile
+/// two encodings of the same number. Promotion on overflow routes through
+/// __int128 (any product or sum of two int64 values fits) or through the
+/// limb helpers for genuinely large operands.
+///
+/// The accumulate entry points addMul()/subMul() are alias-safe:
+/// x.addMul(x, y) and x.addMul(y, x) read every operand before the first
+/// write to x.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,40 +38,64 @@
 
 #include <cassert>
 #include <cstdint>
+#include <new>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace pathinv {
 
-/// Arbitrary-precision signed integer.
+/// Arbitrary-precision signed integer (inline int64_t fast path).
 class BigInt {
 public:
   /// Constructs zero.
-  BigInt() = default;
+  BigInt() noexcept : InlineValue(0), IsInline(true) {}
 
-  /// Constructs from a machine integer.
-  BigInt(int64_t Value);
+  /// Constructs from a machine integer (always inline, never allocates).
+  BigInt(int64_t Value) noexcept : InlineValue(Value), IsInline(true) {}
 
   /// Parses a decimal string with optional leading '-'.
   /// Asserts on malformed input; use \c fromString for checked parsing.
   explicit BigInt(std::string_view Decimal);
 
+  BigInt(const BigInt &RHS);
+  BigInt(BigInt &&RHS) noexcept;
+  BigInt &operator=(const BigInt &RHS);
+  BigInt &operator=(BigInt &&RHS) noexcept;
+  ~BigInt() {
+    if (!IsInline)
+      Heap.~HeapRep();
+  }
+
   /// Checked decimal parse. Returns false (and leaves \p Out untouched) on
   /// malformed input.
   static bool fromString(std::string_view Decimal, BigInt &Out);
 
+  /// Constructs from a 128-bit value (inline when it fits in int64_t).
+  static BigInt fromInt128(__int128 Value);
+
+  /// \returns true when the value is stored inline (no heap allocation).
+  /// Canonicality makes this equivalent to fitsInt64().
+  bool isInline() const { return IsInline; }
+
   /// \returns -1, 0, or +1.
-  int sign() const { return Sign; }
-  bool isZero() const { return Sign == 0; }
-  bool isNegative() const { return Sign < 0; }
-  bool isOne() const { return Sign > 0 && Limbs.size() == 1 && Limbs[0] == 1; }
+  int sign() const {
+    if (IsInline)
+      return (InlineValue > 0) - (InlineValue < 0);
+    return Heap.Sign;
+  }
+  bool isZero() const { return IsInline && InlineValue == 0; }
+  bool isNegative() const { return sign() < 0; }
+  bool isOne() const { return IsInline && InlineValue == 1; }
 
   /// \returns the value as int64_t; asserts if it does not fit.
-  int64_t toInt64() const;
+  int64_t toInt64() const {
+    assert(IsInline && "BigInt does not fit in int64_t");
+    return InlineValue;
+  }
 
   /// \returns true if the value fits in int64_t.
-  bool fitsInt64() const;
+  bool fitsInt64() const { return IsInline; }
 
   /// Decimal rendering (no leading zeros, '-' prefix when negative).
   std::string toString() const;
@@ -72,18 +113,28 @@ public:
   BigInt operator%(const BigInt &RHS) const;
 
   /// Computes quotient and remainder in one pass (truncated semantics).
+  /// \p Quot and \p Rem may alias \p Num or \p Den.
   static void divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
                      BigInt &Rem);
 
   /// Floor division: quotient rounds toward negative infinity.
   BigInt floorDiv(const BigInt &RHS) const;
 
-  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
-  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
-  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+  BigInt &operator+=(const BigInt &RHS);
+  BigInt &operator-=(const BigInt &RHS);
+  BigInt &operator*=(const BigInt &RHS);
+
+  /// Accumulates `*this += A * B` / `*this -= A * B` without materializing
+  /// the product when every operand is inline. Operands may alias *this.
+  void addMul(const BigInt &A, const BigInt &B);
+  void subMul(const BigInt &A, const BigInt &B);
 
   bool operator==(const BigInt &RHS) const {
-    return Sign == RHS.Sign && Limbs == RHS.Limbs;
+    if (IsInline != RHS.IsInline)
+      return false; // Canonical representation: tags of equal values agree.
+    if (IsInline)
+      return InlineValue == RHS.InlineValue;
+    return Heap.Sign == RHS.Heap.Sign && Heap.Limbs == RHS.Heap.Limbs;
   }
   bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
   bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
@@ -92,37 +143,58 @@ public:
   bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
 
   /// Three-way comparison: negative, zero, or positive.
-  int compare(const BigInt &RHS) const;
+  int compare(const BigInt &RHS) const {
+    if (IsInline && RHS.IsInline)
+      return (InlineValue > RHS.InlineValue) - (InlineValue < RHS.InlineValue);
+    return compareSlow(RHS);
+  }
 
   /// Greatest common divisor (always non-negative).
-  static BigInt gcd(BigInt A, BigInt B);
+  static BigInt gcd(const BigInt &A, const BigInt &B);
 
   /// Least common multiple (always non-negative; lcm(0,x) = 0).
   static BigInt lcm(const BigInt &A, const BigInt &B);
 
-  /// Hash suitable for unordered containers.
+  /// Hash suitable for unordered containers (equal values hash equal; the
+  /// canonical representation guarantees it across the two encodings).
   size_t hash() const;
 
 private:
-  // Magnitude comparison helpers operating on raw limb vectors.
-  static int compareMagnitude(const std::vector<uint32_t> &A,
-                              const std::vector<uint32_t> &B);
-  static std::vector<uint32_t> addMagnitude(const std::vector<uint32_t> &A,
-                                            const std::vector<uint32_t> &B);
-  /// Requires |A| >= |B|.
-  static std::vector<uint32_t> subMagnitude(const std::vector<uint32_t> &A,
-                                            const std::vector<uint32_t> &B);
-  static std::vector<uint32_t> mulMagnitude(const std::vector<uint32_t> &A,
-                                            const std::vector<uint32_t> &B);
-  /// Schoolbook long division on magnitudes; returns quotient, sets \p Rem.
-  static std::vector<uint32_t> divModMagnitude(const std::vector<uint32_t> &A,
-                                               const std::vector<uint32_t> &B,
-                                               std::vector<uint32_t> &Rem);
+  struct HeapRep {
+    std::vector<uint32_t> Limbs; ///< Little-endian base-2^32, no leading 0s.
+    int8_t Sign;                 ///< -1 or +1 (zero is always inline).
+  };
 
-  void normalize();
+  /// Builds a canonical value from sign and magnitude limbs: strips leading
+  /// zeros and demotes to inline whenever the value fits in int64_t.
+  static BigInt fromSignMagnitude(int Sign, std::vector<uint32_t> Limbs);
 
-  int Sign = 0;
-  std::vector<uint32_t> Limbs;
+  /// Exposes the magnitude as a limb array without allocating: inline
+  /// values render into \p Buf, heap values return their own storage.
+  const uint32_t *magnitude(uint32_t (&Buf)[2], size_t &NumLimbs) const;
+
+  void adoptHeap(int8_t Sign, std::vector<uint32_t> &&Limbs) {
+    assert(IsInline && "adoptHeap over live heap state");
+    new (&Heap) HeapRep{std::move(Limbs), Sign};
+    IsInline = false;
+  }
+  void resetToInline(int64_t Value) {
+    if (!IsInline) {
+      Heap.~HeapRep();
+      IsInline = true;
+    }
+    InlineValue = Value;
+  }
+
+  static BigInt addSlow(const BigInt &A, const BigInt &B);
+  BigInt mulSlow(const BigInt &RHS) const;
+  int compareSlow(const BigInt &RHS) const;
+
+  union {
+    int64_t InlineValue; ///< Valid when IsInline.
+    HeapRep Heap;        ///< Valid when !IsInline.
+  };
+  bool IsInline;
 };
 
 } // namespace pathinv

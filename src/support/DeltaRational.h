@@ -57,6 +57,18 @@ public:
     Inf -= RHS.Inf;
     return *this;
   }
+  /// Accumulates `*this += X * Scale` (resp. `-=`) componentwise without
+  /// materializing the scaled delta-rational. \p X may alias *this.
+  DeltaRational &addMul(const DeltaRational &X, const Rational &Scale) {
+    Real.addMul(X.Real, Scale);
+    Inf.addMul(X.Inf, Scale);
+    return *this;
+  }
+  DeltaRational &subMul(const DeltaRational &X, const Rational &Scale) {
+    Real.subMul(X.Real, Scale);
+    Inf.subMul(X.Inf, Scale);
+    return *this;
+  }
 
   int compare(const DeltaRational &RHS) const {
     int Cmp = Real.compare(RHS.Real);

@@ -1,0 +1,39 @@
+//===- support/IntUtil.h - Small machine-integer helpers -------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Overflow-sensitive machine-integer helpers shared by the inline-limb
+/// fast paths of BigInt and Rational.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SUPPORT_INTUTIL_H
+#define PATHINV_SUPPORT_INTUTIL_H
+
+#include <cstdint>
+
+namespace pathinv {
+namespace detail {
+
+/// Magnitude of an int64_t without overflow on INT64_MIN.
+inline uint64_t absU64(int64_t Value) {
+  return Value < 0 ? ~static_cast<uint64_t>(Value) + 1
+                   : static_cast<uint64_t>(Value);
+}
+
+inline uint64_t gcdU64(uint64_t A, uint64_t B) {
+  while (B) {
+    uint64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+} // namespace detail
+} // namespace pathinv
+
+#endif // PATHINV_SUPPORT_INTUTIL_H

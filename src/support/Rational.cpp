@@ -3,10 +3,63 @@
 // Part of the path-invariants reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Every binary operation carries a fast path that runs entirely in 64/128-bit
+// machine arithmetic when all participating numerators and denominators are
+// inline (fit in int64_t) — the overwhelmingly common case in the simplex.
+// Overflow audit for the int128 intermediates, with |n| <= 2^63 and
+// 1 <= d <= 2^63 - 1 for every inline component:
+//   n1*d2 + n2*d1 : each product < 2^126, the sum < 2^127       (add/sub)
+//   d1*d2         : < 2^126                                     (add/sub)
+//   cross-reduced products in mul/addMul: bounded by the above.
+// All of these fit in a signed __int128.
+//
+//===----------------------------------------------------------------------===//
 
 #include "support/Rational.h"
 
+#include "support/IntUtil.h"
+
 using namespace pathinv;
+using pathinv::detail::absU64;
+using pathinv::detail::gcdU64;
+
+namespace {
+
+unsigned __int128 gcdU128(unsigned __int128 A, unsigned __int128 B) {
+  while (B) {
+    unsigned __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+bool allInline(const BigInt &A, const BigInt &B) {
+  return A.isInline() && B.isInline();
+}
+
+} // namespace
+
+Rational Rational::fromReduced128(__int128 N, __int128 D) {
+  assert(D > 0 && "fromReduced128 requires a positive denominator");
+  if (N == 0)
+    return Rational();
+  unsigned __int128 MagN =
+      N < 0 ? -static_cast<unsigned __int128>(N)
+            : static_cast<unsigned __int128>(N);
+  // The common case fits 64 bits; gcdU128's software __int128 divisions
+  // would dominate exactly the fast paths this routine serves.
+  unsigned __int128 G =
+      (MagN >> 64) == 0 && (static_cast<unsigned __int128>(D) >> 64) == 0
+          ? gcdU64(static_cast<uint64_t>(MagN), static_cast<uint64_t>(D))
+          : gcdU128(MagN, static_cast<unsigned __int128>(D));
+  if (G > 1) {
+    N /= static_cast<__int128>(G);
+    D /= static_cast<__int128>(G);
+  }
+  return Rational::fromReduced(BigInt::fromInt128(N), BigInt::fromInt128(D));
+}
 
 Rational::Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
   assert(!Den.isZero() && "rational with zero denominator");
@@ -20,6 +73,16 @@ void Rational::normalize() {
   }
   if (Num.isZero()) {
     Den = BigInt(1);
+    return;
+  }
+  if (allInline(Num, Den)) {
+    int64_t N = Num.toInt64(), D = Den.toInt64(); // D > 0 here.
+    uint64_t G = gcdU64(absU64(N), static_cast<uint64_t>(D));
+    if (G > 1) {
+      // G <= D < 2^63, so the cast is safe and the divisions are exact.
+      Num = BigInt(N / static_cast<int64_t>(G));
+      Den = BigInt(D / static_cast<int64_t>(G));
+    }
     return;
   }
   BigInt G = BigInt::gcd(Num, Den);
@@ -60,28 +123,109 @@ Rational Rational::operator-() const {
 }
 
 Rational Rational::operator+(const Rational &RHS) const {
+  if (allInline(Num, Den) && allInline(RHS.Num, RHS.Den)) {
+    int64_t N1 = Num.toInt64(), D1 = Den.toInt64();
+    int64_t N2 = RHS.Num.toInt64(), D2 = RHS.Den.toInt64();
+    __int128 N = static_cast<__int128>(N1) * D2 +
+                 static_cast<__int128>(N2) * D1;
+    __int128 D = static_cast<__int128>(D1) * D2;
+    return fromReduced128(N, D);
+  }
   return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
 }
 
 Rational Rational::operator-(const Rational &RHS) const {
+  if (allInline(Num, Den) && allInline(RHS.Num, RHS.Den)) {
+    int64_t N1 = Num.toInt64(), D1 = Den.toInt64();
+    int64_t N2 = RHS.Num.toInt64(), D2 = RHS.Den.toInt64();
+    __int128 N = static_cast<__int128>(N1) * D2 -
+                 static_cast<__int128>(N2) * D1;
+    __int128 D = static_cast<__int128>(D1) * D2;
+    return fromReduced128(N, D);
+  }
   return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
 }
 
 Rational Rational::operator*(const Rational &RHS) const {
+  if (allInline(Num, Den) && allInline(RHS.Num, RHS.Den)) {
+    int64_t N1 = Num.toInt64(), D1 = Den.toInt64();
+    int64_t N2 = RHS.Num.toInt64(), D2 = RHS.Den.toInt64();
+    if (N1 == 0 || N2 == 0)
+      return Rational();
+    // Cross-gcd reduction: because gcd(N1,D1) = gcd(N2,D2) = 1, dividing
+    // out gcd(N1,D2) and gcd(N2,D1) leaves the product already in lowest
+    // terms — no 128-bit gcd needed.
+    int64_t G1 = static_cast<int64_t>(gcdU64(absU64(N1), absU64(D2)));
+    int64_t G2 = static_cast<int64_t>(gcdU64(absU64(N2), absU64(D1)));
+    __int128 N = static_cast<__int128>(N1 / G1) * (N2 / G2);
+    __int128 D = static_cast<__int128>(D1 / G2) * (D2 / G1);
+    return fromReduced(BigInt::fromInt128(N), BigInt::fromInt128(D));
+  }
   return Rational(Num * RHS.Num, Den * RHS.Den);
 }
 
 Rational Rational::operator/(const Rational &RHS) const {
   assert(!RHS.isZero() && "division by zero rational");
+  if (allInline(Num, Den) && allInline(RHS.Num, RHS.Den)) {
+    int64_t N1 = Num.toInt64(), D1 = Den.toInt64();
+    int64_t N2 = RHS.Num.toInt64(), D2 = RHS.Den.toInt64();
+    __int128 N = static_cast<__int128>(N1) * D2;
+    __int128 D = static_cast<__int128>(D1) * N2;
+    if (D < 0) {
+      N = -N;
+      D = -D;
+    }
+    return fromReduced128(N, D);
+  }
   return Rational(Num * RHS.Den, Den * RHS.Num);
 }
 
 Rational Rational::inverse() const {
   assert(!isZero() && "inverse of zero");
+  if (allInline(Num, Den)) {
+    // gcd(Num, Den) == 1 already; only the sign moves to the numerator.
+    __int128 N = Den.toInt64(), D = Num.toInt64();
+    if (D < 0) {
+      N = -N;
+      D = -D;
+    }
+    return fromReduced(BigInt::fromInt128(N), BigInt::fromInt128(D));
+  }
   return Rational(Den, Num);
 }
 
+Rational &Rational::accumMul(const Rational &A, const Rational &B,
+                             bool Negate) {
+  if (allInline(Num, Den) && allInline(A.Num, A.Den) &&
+      allInline(B.Num, B.Den)) {
+    int64_t An = A.Num.toInt64(), Ad = A.Den.toInt64();
+    int64_t Bn = B.Num.toInt64(), Bd = B.Den.toInt64();
+    if (An == 0 || Bn == 0)
+      return *this;
+    int64_t G1 = static_cast<int64_t>(gcdU64(absU64(An), absU64(Bd)));
+    int64_t G2 = static_cast<int64_t>(gcdU64(absU64(Bn), absU64(Ad)));
+    __int128 Pn = static_cast<__int128>(An / G1) * (Bn / G2);
+    __int128 Pd = static_cast<__int128>(Ad / G2) * (Bd / G1);
+    if (Pn >= INT64_MIN && Pn <= INT64_MAX && Pd <= INT64_MAX) {
+      int64_t N1 = Num.toInt64(), D1 = Den.toInt64();
+      __int128 Prod = Pn * D1;
+      __int128 N = static_cast<__int128>(N1) * static_cast<int64_t>(Pd) +
+                   (Negate ? -Prod : Prod);
+      __int128 D = static_cast<__int128>(D1) * static_cast<int64_t>(Pd);
+      return *this = fromReduced128(N, D);
+    }
+    // The reduced product itself escapes int64; fall through to the
+    // generic path (which still uses the BigInt fast paths piecewise).
+  }
+  return Negate ? *this -= A * B : *this += A * B;
+}
+
 int Rational::compare(const Rational &RHS) const {
+  if (allInline(Num, Den) && allInline(RHS.Num, RHS.Den)) {
+    __int128 L = static_cast<__int128>(Num.toInt64()) * RHS.Den.toInt64();
+    __int128 R = static_cast<__int128>(RHS.Num.toInt64()) * Den.toInt64();
+    return (L > R) - (L < R);
+  }
   // Cross-multiply; denominators are positive so the direction is preserved.
   return (Num * RHS.Den).compare(RHS.Num * Den);
 }

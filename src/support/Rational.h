@@ -76,6 +76,18 @@ public:
   Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
   Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
 
+  /// Accumulate ops for the simplex inner loop: `*this += A * B` (resp.
+  /// `-=`) without materializing the product rational. When every
+  /// component is inline the whole update runs in 128-bit machine
+  /// arithmetic with cross-gcd reduction and performs no allocation.
+  /// Operands may alias *this (all reads happen before the first write).
+  Rational &addMul(const Rational &A, const Rational &B) {
+    return accumMul(A, B, /*Negate=*/false);
+  }
+  Rational &subMul(const Rational &A, const Rational &B) {
+    return accumMul(A, B, /*Negate=*/true);
+  }
+
   bool operator==(const Rational &RHS) const {
     return Num == RHS.Num && Den == RHS.Den;
   }
@@ -95,6 +107,23 @@ public:
 
 private:
   void normalize();
+
+  /// Shared body of addMul/subMul: `*this += A * B * (Negate ? -1 : 1)`.
+  Rational &accumMul(const Rational &A, const Rational &B, bool Negate);
+
+  /// Reduces N/D (D > 0) by their 128-bit gcd and builds the rational;
+  /// components still exceeding int64 promote to heap BigInts.
+  static Rational fromReduced128(__int128 N, __int128 D);
+
+  /// Builds a rational already known to be in lowest terms with a positive
+  /// denominator, skipping normalization.
+  static Rational fromReduced(BigInt N, BigInt D) {
+    Rational R;
+    R.Num = std::move(N);
+    R.Den = std::move(D);
+    assert(R.Den.sign() > 0 && "fromReduced with non-positive denominator");
+    return R;
+  }
 
   BigInt Num;
   BigInt Den; ///< Always > 0.

@@ -657,7 +657,7 @@ private:
   GenOptions Opts;
   std::vector<Condition> Conditions;
   std::string Error;
-  unsigned SkolemCounter = 0;
+  uint64_t SkolemCounter = 0;
 };
 
 } // namespace

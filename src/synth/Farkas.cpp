@@ -36,10 +36,11 @@ void pathinv::farkasEncode(UnknownPool &Pool,
       Columns.insert(Column);
 
   // Column equations: sum_j lambda_j * A[j][c] = target[c] (0 for false).
+  // Accumulated in place: no product polynomial per (row, column) pair.
   for (const Term *Column : Columns) {
     Poly Sum;
     for (size_t J = 0; J < Antecedent.size(); ++J)
-      Sum.add(Lambda[J] * Antecedent[J].E.coefficientOf(Column));
+      Sum.addMul(Lambda[J], Antecedent[J].E.coefficientOf(Column));
     if (Target)
       Sum.sub(Target->coefficientOf(Column));
     Out.push_back({std::move(Sum), /*IsEq=*/true});
@@ -48,7 +49,7 @@ void pathinv::farkasEncode(UnknownPool &Pool,
   // Constant row.
   Poly ConstSum;
   for (size_t J = 0; J < Antecedent.size(); ++J)
-    ConstSum.add(Lambda[J] * Antecedent[J].E.constant());
+    ConstSum.addMul(Lambda[J], Antecedent[J].E.constant());
   if (Target) {
     // sum lambda_j * c_j >= target_const: the combination is at most the
     // target as a function, so rows <= 0 imply target <= 0.

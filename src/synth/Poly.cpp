@@ -11,26 +11,68 @@
 
 using namespace pathinv;
 
+namespace {
+
+/// Product monomial of \p M1 and \p M2; asserts the degree stays <= 2.
+Monomial mulMonomial(const Monomial &M1, const Monomial &M2) {
+  int Degree = M1.degree() + M2.degree();
+  assert(Degree <= 2 && "polynomial degree above two");
+  if (Degree == 0)
+    return Monomial::constant();
+  if (Degree == 1)
+    return Monomial::linear(M1.degree() == 1 ? M1.B : M2.B);
+  if (M1.degree() == 2)
+    return M1;
+  if (M2.degree() == 2)
+    return M2;
+  return Monomial::quadratic(M1.B, M2.B);
+}
+
+} // namespace
+
 Poly Poly::operator*(const Poly &RHS) const {
   Poly Result;
-  for (const auto &[M1, C1] : Terms) {
-    for (const auto &[M2, C2] : RHS.Terms) {
-      int Degree = M1.degree() + M2.degree();
-      assert(Degree <= 2 && "polynomial degree above two");
-      Monomial M;
-      if (Degree == 0) {
-        M = Monomial::constant();
-      } else if (Degree == 1) {
-        M = Monomial::linear(M1.degree() == 1 ? M1.B : M2.B);
-      } else if (M1.degree() == 2) {
-        M = M1;
-      } else if (M2.degree() == 2) {
-        M = M2;
-      } else {
-        M = Monomial::quadratic(M1.B, M2.B);
-      }
-      Result.addTerm(M, C1 * C2);
+  Result.addMul(*this, RHS);
+  return Result;
+}
+
+void Poly::addMul(const Poly &A, const Poly &B) {
+  if (&A == this || &B == this) {
+    // Aliased accumulation would read terms while mutating them.
+    Poly Product = A * B;
+    add(Product);
+    return;
+  }
+  for (const auto &[M1, C1] : A.Terms) {
+    for (const auto &[M2, C2] : B.Terms) {
+      Monomial M = mulMonomial(M1, M2);
+      auto It = Terms.try_emplace(M).first;
+      It->second.addMul(C1, C2);
+      if (It->second.isZero())
+        Terms.erase(It);
     }
+  }
+}
+
+Poly Poly::substituteOne(int Id, const Rational &Value) const {
+  // -1 is the empty-slot sentinel inside Monomial; matching it below
+  // would spin forever without making progress.
+  assert(Id >= 0 && "substituteOne over the empty-slot sentinel");
+  Poly Result;
+  for (const auto &[M, C] : Terms) {
+    Monomial NewM = M;
+    Rational Coeff = C;
+    // A quadratic monomial may mention Id twice (Id*Id).
+    while (NewM.B == Id || NewM.A == Id) {
+      if (NewM.B == Id) {
+        NewM.B = NewM.A;
+        NewM.A = -1;
+      } else {
+        NewM.A = -1;
+      }
+      Coeff *= Value;
+    }
+    Result.addTerm(NewM, Coeff);
   }
   return Result;
 }

@@ -136,6 +136,27 @@ public:
         Terms.erase(It);
     }
   }
+  /// Accumulates `*this += RHS * Factor` without a temporary polynomial.
+  /// Alias-safe: `P.addMul(P, f)` takes a copy first (erasing a cancelled
+  /// term would otherwise invalidate the live iteration).
+  void addMul(const Poly &RHS, const Rational &Factor) {
+    if (Factor.isZero())
+      return;
+    if (&RHS == this) {
+      addMul(Poly(*this), Factor);
+      return;
+    }
+    for (const auto &[M, C] : RHS.Terms) {
+      auto It = Terms.try_emplace(M).first;
+      It->second.addMul(C, Factor);
+      if (It->second.isZero())
+        Terms.erase(It);
+    }
+  }
+  /// Accumulates `*this += A * B` (degree-checked) without materializing
+  /// the product polynomial. Fuses the Farkas column-equation pattern
+  /// `Sum.add(Lambda * Coeff)` into in-place updates.
+  void addMul(const Poly &A, const Poly &B);
 
   Poly operator+(const Poly &RHS) const {
     Poly Result = *this;
@@ -159,6 +180,10 @@ public:
 
   /// Substitutes concrete values for the given unknowns.
   Poly substitute(const std::map<int, Rational> &Values) const;
+
+  /// Substitutes a single unknown (the multiplier-enumeration hot path:
+  /// no map to build or probe).
+  Poly substituteOne(int Id, const Rational &Value) const;
 
   /// Unknown ids occurring in quadratic monomials.
   std::vector<int> quadraticUnknowns() const;

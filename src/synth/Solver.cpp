@@ -184,11 +184,10 @@ private:
           int Id = Quad[Idx];
           bool NonNeg = Pool.kind(Id) == UnknownKind::Multiplier;
           auto tryValue = [&](Rational V) {
-            std::map<int, Rational> One{{Id, std::move(V)}};
             std::vector<PolyConstraint> Next;
             Next.reserve(Cs.size());
             for (const PolyConstraint &PC : Cs) {
-              PolyConstraint Lin{PC.P.substitute(One), PC.IsEq};
+              PolyConstraint Lin{PC.P.substituteOne(Id, V), PC.IsEq};
               if (Lin.P.isConstant()) {
                 Rational C0 = Lin.P.constantValue();
                 if (Lin.IsEq ? !C0.isZero() : C0.isNegative())
@@ -197,7 +196,7 @@ private:
               }
               Next.push_back(std::move(Lin));
             }
-            Assignment[Id] = One.begin()->second;
+            Assignment[Id] = std::move(V);
             Recurse(Idx + 1, Next);
             Assignment.erase(Id);
           };

@@ -1,0 +1,544 @@
+//===- tests/arith_differential_test.cpp - Randomized differential tests --===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized differential test suite for the inline-limb BigInt/Rational
+/// fast paths.
+///
+/// A hand-rolled two-representation number type is a classic source of
+/// silent soundness bugs: a wrong overflow check or a missed demotion
+/// produces values that are *plausible* but not *equal*, and the CEGAR
+/// loop would happily trust them. This suite drives >= 100k randomized
+/// operations — with operand magnitudes deliberately straddling the
+/// inline/heap boundary (powers of two +/- 1, INT64_MIN/MAX neighborhoods,
+/// multi-limb decimal literals) — and checks every result against a naive
+/// schoolbook reference implementation kept local to this file (sign +
+/// base-10^9 digit vector, no fast paths, no shared code with the
+/// implementation under test).
+///
+/// Division and gcd are pinned by complete algebraic characterizations
+/// (q*b + r == a with |r| < |b| and sign(r) == sign(a); g | a, g | b,
+/// gcd(a/g, b/g) == 1) so the reference needs no long division of its own.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace pathinv;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Seeded PRNG (xorshift64*): deterministic across platforms and runs.
+//===----------------------------------------------------------------------===//
+
+class XorShift {
+public:
+  explicit XorShift(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 2685821657736338717ull;
+  }
+  /// Uniform in [0, Bound).
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+//===----------------------------------------------------------------------===//
+// Schoolbook reference integers: sign + little-endian base-10^9 digits.
+//===----------------------------------------------------------------------===//
+
+constexpr uint32_t RefBase = 1000000000u;
+
+struct RefInt {
+  int Sign = 0;                 ///< -1, 0, +1.
+  std::vector<uint32_t> Digits; ///< Little-endian base-10^9, no leading 0s.
+};
+
+void refTrim(std::vector<uint32_t> &D) {
+  while (!D.empty() && D.back() == 0)
+    D.pop_back();
+}
+
+RefInt refFromDecimal(std::string_view Text) {
+  RefInt R;
+  bool Negative = false;
+  if (!Text.empty() && (Text[0] == '-' || Text[0] == '+')) {
+    Negative = Text[0] == '-';
+    Text.remove_prefix(1);
+  }
+  // Consume 9-digit chunks from the least-significant end.
+  for (size_t End = Text.size(); End > 0;) {
+    size_t Begin = End >= 9 ? End - 9 : 0;
+    uint32_t Chunk = 0;
+    for (size_t I = Begin; I < End; ++I)
+      Chunk = Chunk * 10 + static_cast<uint32_t>(Text[I] - '0');
+    R.Digits.push_back(Chunk);
+    End = Begin;
+  }
+  refTrim(R.Digits);
+  R.Sign = R.Digits.empty() ? 0 : (Negative ? -1 : 1);
+  return R;
+}
+
+std::string refToString(const RefInt &R) {
+  if (R.Sign == 0)
+    return "0";
+  std::string Out = R.Sign < 0 ? "-" : "";
+  Out += std::to_string(R.Digits.back());
+  for (size_t I = R.Digits.size() - 1; I-- > 0;) {
+    std::string Chunk = std::to_string(R.Digits[I]);
+    Out += std::string(9 - Chunk.size(), '0') + Chunk;
+  }
+  return Out;
+}
+
+int refCmpMag(const std::vector<uint32_t> &A, const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<uint32_t> refAddMag(const std::vector<uint32_t> &A,
+                                const std::vector<uint32_t> &B) {
+  std::vector<uint32_t> Out;
+  uint32_t Carry = 0;
+  for (size_t I = 0; I < std::max(A.size(), B.size()) || Carry; ++I) {
+    uint64_t Sum = Carry;
+    if (I < A.size())
+      Sum += A[I];
+    if (I < B.size())
+      Sum += B[I];
+    Out.push_back(static_cast<uint32_t>(Sum % RefBase));
+    Carry = static_cast<uint32_t>(Sum / RefBase);
+  }
+  refTrim(Out);
+  return Out;
+}
+
+/// Requires |A| >= |B|.
+std::vector<uint32_t> refSubMag(const std::vector<uint32_t> &A,
+                                const std::vector<uint32_t> &B) {
+  std::vector<uint32_t> Out;
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    if (Diff < 0) {
+      Diff += RefBase;
+      Borrow = 1;
+    } else {
+      Borrow = 0;
+    }
+    Out.push_back(static_cast<uint32_t>(Diff));
+  }
+  refTrim(Out);
+  return Out;
+}
+
+RefInt refAdd(const RefInt &A, const RefInt &B) {
+  if (A.Sign == 0)
+    return B;
+  if (B.Sign == 0)
+    return A;
+  RefInt R;
+  if (A.Sign == B.Sign) {
+    R.Sign = A.Sign;
+    R.Digits = refAddMag(A.Digits, B.Digits);
+    return R;
+  }
+  int Cmp = refCmpMag(A.Digits, B.Digits);
+  if (Cmp == 0)
+    return R;
+  const RefInt &Big = Cmp > 0 ? A : B;
+  const RefInt &Small = Cmp > 0 ? B : A;
+  R.Sign = Big.Sign;
+  R.Digits = refSubMag(Big.Digits, Small.Digits);
+  return R;
+}
+
+RefInt refNeg(RefInt A) {
+  A.Sign = -A.Sign;
+  return A;
+}
+
+RefInt refSub(const RefInt &A, const RefInt &B) { return refAdd(A, refNeg(B)); }
+
+RefInt refMul(const RefInt &A, const RefInt &B) {
+  RefInt R;
+  if (A.Sign == 0 || B.Sign == 0)
+    return R;
+  std::vector<uint64_t> Acc(A.Digits.size() + B.Digits.size(), 0);
+  for (size_t I = 0; I < A.Digits.size(); ++I)
+    for (size_t J = 0; J < B.Digits.size(); ++J) {
+      Acc[I + J] += static_cast<uint64_t>(A.Digits[I]) * B.Digits[J];
+      // Defuse carries early: base^2 < 2^60, so a few additions fit, but
+      // normalize whenever the slot could approach overflow.
+      if (Acc[I + J] >= (uint64_t(1) << 62)) {
+        Acc[I + J + 1] += Acc[I + J] / RefBase;
+        Acc[I + J] %= RefBase;
+      }
+    }
+  uint64_t Carry = 0;
+  R.Digits.reserve(Acc.size());
+  for (uint64_t Slot : Acc) {
+    uint64_t Cur = Slot + Carry;
+    R.Digits.push_back(static_cast<uint32_t>(Cur % RefBase));
+    Carry = Cur / RefBase;
+  }
+  while (Carry) {
+    R.Digits.push_back(static_cast<uint32_t>(Carry % RefBase));
+    Carry /= RefBase;
+  }
+  refTrim(R.Digits);
+  R.Sign = A.Sign * B.Sign;
+  return R;
+}
+
+int refCompare(const RefInt &A, const RefInt &B) {
+  if (A.Sign != B.Sign)
+    return A.Sign < B.Sign ? -1 : 1;
+  int MagCmp = refCmpMag(A.Digits, B.Digits);
+  return A.Sign >= 0 ? MagCmp : -MagCmp;
+}
+
+bool refEqual(const RefInt &A, const RefInt &B) { return refCompare(A, B) == 0; }
+
+//===----------------------------------------------------------------------===//
+// Boundary-straddling operand generator (emits decimal strings so both
+// implementations parse the same text).
+//===----------------------------------------------------------------------===//
+
+std::string dec128(__int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  unsigned __int128 U = Neg ? -static_cast<unsigned __int128>(V)
+                            : static_cast<unsigned __int128>(V);
+  std::string S;
+  while (U) {
+    S.push_back(static_cast<char>('0' + static_cast<int>(U % 10)));
+    U /= 10;
+  }
+  if (Neg)
+    S.push_back('-');
+  std::reverse(S.begin(), S.end());
+  return S;
+}
+
+/// Random operand whose magnitude class straddles the inline/heap boundary.
+std::string genOperand(XorShift &Rng) {
+  switch (Rng.below(8)) {
+  case 0: // Tiny values: the bulk of real simplex traffic.
+    return dec128(static_cast<int64_t>(Rng.below(33)) - 16);
+  case 1: { // Random int64 with varying magnitude.
+    int64_t V = static_cast<int64_t>(Rng.next()) >>
+                static_cast<int>(Rng.below(63));
+    return dec128(V);
+  }
+  case 2: { // Powers of two +/- {-1,0,1} up to 2^126: crosses both the
+            // int32 limb boundary and the int64 inline boundary.
+    int Shift = 1 + static_cast<int>(Rng.below(126));
+    __int128 P = static_cast<__int128>(1) << Shift;
+    P += static_cast<__int128>(Rng.below(3)) - 1;
+    return dec128(Rng.below(2) ? P : -P);
+  }
+  case 3: { // INT64_MIN/MAX neighborhoods: the promotion edge itself.
+    __int128 Base = Rng.below(2) ? static_cast<__int128>(INT64_MAX)
+                                 : static_cast<__int128>(INT64_MIN);
+    return dec128(Base + static_cast<__int128>(Rng.below(5)) - 2);
+  }
+  case 4: { // Products of two random int64s: dense two-to-four limb values.
+    __int128 P = static_cast<__int128>(static_cast<int64_t>(Rng.next())) *
+                 static_cast<int64_t>(Rng.next());
+    return dec128(P);
+  }
+  default: { // Wide decimal literals (up to ~40 digits, far past 128 bits).
+    size_t Len = 1 + Rng.below(40);
+    std::string S = Rng.below(2) ? "-" : "";
+    S += static_cast<char>('1' + Rng.below(9));
+    for (size_t I = 1; I < Len; ++I)
+      S += static_cast<char>('0' + Rng.below(10));
+    return S;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BigInt differential sweep
+//===----------------------------------------------------------------------===//
+
+TEST(ArithDifferentialTest, BigIntAgainstSchoolbookReference) {
+  XorShift Rng(0x5eed5eed5eed5eedull);
+  uint64_t Ops = 0;
+
+  for (int Iter = 0; Iter < 10000; ++Iter) {
+    std::string SA = genOperand(Rng);
+    std::string SB = genOperand(Rng);
+    BigInt A{std::string_view(SA)}, B{std::string_view(SB)};
+    RefInt RA = refFromDecimal(SA), RB = refFromDecimal(SB);
+
+    // Parsing/printing roundtrip (both directions).
+    ASSERT_EQ(A.toString(), refToString(RA)) << SA;
+    ASSERT_EQ(B.toString(), refToString(RB)) << SB;
+
+    // Ring operations against the reference.
+    BigInt Sum = A + B;
+    BigInt Diff = A - B;
+    BigInt Prod = A * B;
+    Ops += 3;
+    ASSERT_EQ(Sum.toString(), refToString(refAdd(RA, RB))) << SA << " + " << SB;
+    ASSERT_EQ(Diff.toString(), refToString(refSub(RA, RB))) << SA << " - " << SB;
+    ASSERT_EQ(Prod.toString(), refToString(refMul(RA, RB))) << SA << " * " << SB;
+
+    // Comparison and hashing.
+    int Cmp = A.compare(B);
+    ++Ops;
+    ASSERT_EQ(Cmp, refCompare(RA, RB)) << SA << " <=> " << SB;
+    ASSERT_EQ(A == B, Cmp == 0);
+
+    // a + b - b == a, and the rebuilt value hashes identically.
+    BigInt Rebuilt = Sum - B;
+    ++Ops;
+    ASSERT_EQ(Rebuilt, A) << SA << " via +" << SB << " -" << SB;
+    ASSERT_EQ(Rebuilt.hash(), A.hash());
+    ASSERT_EQ(Rebuilt.fitsInt64(), A.fitsInt64())
+        << "representation not canonical for " << SA;
+
+    // Accumulate ops agree with the expression forms.
+    BigInt Acc = A;
+    Acc.addMul(B, Diff);
+    ++Ops;
+    ASSERT_EQ(Acc, A + B * Diff);
+    Acc = A;
+    Acc.subMul(B, Diff);
+    ++Ops;
+    ASSERT_EQ(Acc, A - B * Diff);
+
+    // Truncated division, fully characterized: a = q*b + r, |r| < |b|,
+    // sign(r) == sign(a) (or r == 0).
+    if (!B.isZero()) {
+      BigInt Q, R;
+      BigInt::divMod(A, B, Q, R);
+      ++Ops;
+      RefInt RQ = refFromDecimal(Q.toString());
+      RefInt RR = refFromDecimal(R.toString());
+      ASSERT_TRUE(refEqual(refAdd(refMul(RQ, RB), RR), RA))
+          << SA << " divmod " << SB;
+      ASSERT_TRUE(R.abs() < B.abs());
+      if (!R.isZero()) {
+        ASSERT_EQ(R.sign(), A.sign());
+      }
+      // floorDiv: q_floor <= a/b < q_floor + 1, i.e.
+      // q_floor*b <= a (b>0) / >= a (b<0), and off by less than one b.
+      BigInt FQ = A.floorDiv(B);
+      ++Ops;
+      BigInt Lo = FQ * B;
+      BigInt Hi = (FQ + BigInt(1)) * B;
+      if (B.sign() > 0) {
+        ASSERT_TRUE(Lo <= A && A < Hi) << SA << " floorDiv " << SB;
+      } else {
+        ASSERT_TRUE(Hi < A && A <= Lo) << SA << " floorDiv " << SB;
+      }
+    }
+
+    // gcd, fully characterized: g >= 0, g | a, g | b, gcd(a/g, b/g) == 1.
+    BigInt G = BigInt::gcd(A, B);
+    ++Ops;
+    if (A.isZero() && B.isZero()) {
+      ASSERT_TRUE(G.isZero());
+    } else {
+      ASSERT_GT(G.sign(), 0);
+      ASSERT_TRUE((A % G).isZero());
+      ASSERT_TRUE((B % G).isZero());
+      ASSERT_TRUE(BigInt::gcd(A / G, B / G).isOne());
+      Ops += 5;
+    }
+
+    // String roundtrip through the implementation under test.
+    BigInt Reparsed;
+    ASSERT_TRUE(BigInt::fromString(Prod.toString(), Reparsed));
+    ASSERT_EQ(Reparsed, Prod);
+  }
+  // The tentpole contract: this sweep alone covers ~100k randomized ops.
+  EXPECT_GE(Ops, 100000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rational differential sweep
+//===----------------------------------------------------------------------===//
+
+/// Reference fraction: un-normalized pair of RefInts with Den != 0.
+struct RefFrac {
+  RefInt Num;
+  RefInt Den;
+};
+
+/// Fraction equality by cross-multiplication (sign-correct for any nonzero
+/// denominators).
+bool refFracEquals(const RefFrac &F, const Rational &R) {
+  RefInt RN = refFromDecimal(R.numerator().toString());
+  RefInt RD = refFromDecimal(R.denominator().toString());
+  return refEqual(refMul(F.Num, RD), refMul(RN, F.Den));
+}
+
+TEST(ArithDifferentialTest, RationalAgainstSchoolbookReference) {
+  XorShift Rng(0xfeedface0badf00dull);
+  uint64_t Ops = 0;
+
+  for (int Iter = 0; Iter < 4000; ++Iter) {
+    std::string N1 = genOperand(Rng), D1 = genOperand(Rng);
+    std::string N2 = genOperand(Rng), D2 = genOperand(Rng);
+    BigInt BD1{std::string_view(D1)}, BD2{std::string_view(D2)};
+    if (BD1.isZero() || BD2.isZero())
+      continue;
+    Rational A(BigInt{std::string_view(N1)}, BD1);
+    Rational B(BigInt{std::string_view(N2)}, BD2);
+    RefFrac FA{refFromDecimal(N1), refFromDecimal(D1)};
+    RefFrac FB{refFromDecimal(N2), refFromDecimal(D2)};
+
+    // Canonical-form invariants hold after every construction.
+    auto checkCanonical = [&](const Rational &R) {
+      ASSERT_GT(R.denominator().sign(), 0);
+      ASSERT_TRUE(R.isZero() ? R.denominator().isOne()
+                             : BigInt::gcd(R.numerator(), R.denominator())
+                                   .isOne());
+    };
+    checkCanonical(A);
+    checkCanonical(B);
+    ASSERT_TRUE(refFracEquals(FA, A)) << N1 << "/" << D1;
+    ASSERT_TRUE(refFracEquals(FB, B)) << N2 << "/" << D2;
+
+    // Field operations against reference cross-multiplication.
+    Rational Sum = A + B;
+    Rational Diff = A - B;
+    Rational Prod = A * B;
+    Ops += 3;
+    checkCanonical(Sum);
+    checkCanonical(Diff);
+    checkCanonical(Prod);
+    RefFrac FSum{refAdd(refMul(FA.Num, FB.Den), refMul(FB.Num, FA.Den)),
+                 refMul(FA.Den, FB.Den)};
+    RefFrac FDiff{refSub(refMul(FA.Num, FB.Den), refMul(FB.Num, FA.Den)),
+                  refMul(FA.Den, FB.Den)};
+    RefFrac FProd{refMul(FA.Num, FB.Num), refMul(FA.Den, FB.Den)};
+    ASSERT_TRUE(refFracEquals(FSum, Sum)) << Sum.toString();
+    ASSERT_TRUE(refFracEquals(FDiff, Diff)) << Diff.toString();
+    ASSERT_TRUE(refFracEquals(FProd, Prod)) << Prod.toString();
+
+    if (!B.isZero()) {
+      Rational Quot = A / B;
+      ++Ops;
+      checkCanonical(Quot);
+      RefFrac FQuot{refMul(FA.Num, FB.Den), refMul(FA.Den, FB.Num)};
+      ASSERT_TRUE(refFracEquals(FQuot, Quot)) << Quot.toString();
+      Rational Round = Quot * B;
+      ++Ops;
+      ASSERT_EQ(Round, A) << "(a/b)*b != a";
+      ASSERT_EQ(B * B.inverse(), Rational(1));
+      Ops += 2;
+    }
+
+    // Ordering: sign of a*d2' - b*d1' with denominators forced positive.
+    auto positiveDen = [](RefFrac F) {
+      if (F.Den.Sign < 0) {
+        F.Den.Sign = 1;
+        F.Num.Sign = -F.Num.Sign;
+      }
+      return F;
+    };
+    RefFrac PA = positiveDen(FA), PB = positiveDen(FB);
+    int RefCmp =
+        refCompare(refMul(PA.Num, PB.Den), refMul(PB.Num, PA.Den));
+    ASSERT_EQ(A.compare(B), RefCmp);
+    ++Ops;
+
+    // Accumulate ops agree with the expression forms and the reference.
+    Rational Acc = Sum;
+    Acc.addMul(A, B);
+    ++Ops;
+    checkCanonical(Acc);
+    ASSERT_EQ(Acc, Sum + Prod);
+    RefFrac FAcc{refAdd(refMul(FSum.Num, FProd.Den),
+                        refMul(FProd.Num, FSum.Den)),
+                 refMul(FSum.Den, FProd.Den)};
+    ASSERT_TRUE(refFracEquals(FAcc, Acc));
+    Acc.subMul(A, B);
+    ++Ops;
+    ASSERT_EQ(Acc, Sum) << "x.addMul(a,b); x.subMul(a,b) must round-trip";
+
+    // a + b - b == a, hash/compare consistency across construction routes.
+    Rational Rebuilt = Sum - B;
+    ++Ops;
+    ASSERT_EQ(Rebuilt, A);
+    ASSERT_EQ(Rebuilt.hash(), A.hash());
+    ASSERT_EQ(Rebuilt.compare(A), 0);
+
+    // floor/ceil bracket the value.
+    Rational FloorR{BigInt(A.floor())};
+    Rational CeilR{BigInt(A.ceil())};
+    Ops += 2;
+    ASSERT_LE(FloorR, A);
+    ASSERT_LT(A, FloorR + Rational(1));
+    ASSERT_GE(CeilR, A);
+    ASSERT_GT(A + Rational(1), CeilR);
+  }
+  EXPECT_GE(Ops, 40000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Targeted regression seeds: cases that once straddled the boundary badly.
+//===----------------------------------------------------------------------===//
+
+TEST(ArithDifferentialTest, BoundaryPinpoints) {
+  // 2^63 +/- 1 arithmetic crossing the inline boundary in both directions.
+  BigInt Max(INT64_MAX), Min(INT64_MIN), One(1);
+  EXPECT_EQ((Max + One).toString(), "9223372036854775808");
+  EXPECT_EQ((Max + One - One), Max);
+  EXPECT_EQ((Min - One).toString(), "-9223372036854775809");
+  EXPECT_EQ((Min - One + One), Min);
+  EXPECT_EQ((Min * BigInt(-1)).toString(), "9223372036854775808");
+  EXPECT_EQ(((Min * BigInt(-1)) + Min).toString(), "0");
+
+  // INT64_MIN / -1 is the one int64/int64 quotient that overflows.
+  BigInt Q, R;
+  BigInt::divMod(Min, BigInt(-1), Q, R);
+  EXPECT_EQ(Q.toString(), "9223372036854775808");
+  EXPECT_TRUE(R.isZero());
+
+  // gcd(INT64_MIN, 0) == 2^63 exceeds int64.
+  EXPECT_EQ(BigInt::gcd(Min, BigInt(0)).toString(), "9223372036854775808");
+
+  // Rational normalization across the boundary: (2^64)/(2^65) demotes to
+  // the fully inline 1/2.
+  Rational Half(BigInt("18446744073709551616"), BigInt("36893488147419103232"));
+  EXPECT_EQ(Half.toString(), "1/2");
+  EXPECT_TRUE(Half.numerator().fitsInt64());
+  EXPECT_TRUE(Half.denominator().fitsInt64());
+
+  // addMul promoting the accumulator: 1 + INT64_MAX * INT64_MAX.
+  Rational AccP(1);
+  AccP.addMul(Rational(INT64_MAX), Rational(INT64_MAX));
+  EXPECT_EQ(AccP.toString(), "85070591730234615847396907784232501250");
+}
+
+} // namespace

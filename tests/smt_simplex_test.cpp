@@ -264,4 +264,152 @@ TEST_P(SimplexRandomTest, ModelsAndCoresAreCertified) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
                          ::testing::Range(1, 11));
 
+// Regression coverage for push/pop interacting with the accumulate-API
+// pivoting: a scoped pivot storm — batches of dense constraints asserted
+// inside scopes, solved (forcing many pivots through addMul), then popped
+// — after which every batch verdict is differentially re-checked against
+// a from-scratch solve, and the base system must still answer exactly as
+// it did before the storm.
+TEST(SimplexScopedPivotStormTest, PopRestoresAndMatchesFreshSolves) {
+  std::mt19937_64 Rng(0xdeadbeef);
+  constexpr int NumVars = 6;
+
+  struct Con {
+    std::vector<std::pair<int, Rational>> Coeffs;
+    SimplexRel Rel;
+    Rational Rhs;
+  };
+  auto randomBatch = [&Rng](int Tag0) {
+    std::vector<std::pair<Con, int>> Batch;
+    int NumCons = 2 + static_cast<int>(Rng() % 5);
+    for (int C = 0; C < NumCons; ++C) {
+      Con Constraint;
+      for (int V = 0; V < NumVars; ++V) {
+        // Fractional coefficients force rational (not integer) pivots.
+        int64_t Num = static_cast<int64_t>(Rng() % 9) - 4;
+        int64_t Den = 1 + static_cast<int64_t>(Rng() % 3);
+        if (Num != 0)
+          Constraint.Coeffs.emplace_back(V, Rational::fraction(Num, Den));
+      }
+      Constraint.Rel = static_cast<SimplexRel>(Rng() % 5);
+      Constraint.Rhs = Rational(static_cast<int64_t>(Rng() % 13) - 6);
+      Batch.emplace_back(std::move(Constraint), Tag0 + C);
+    }
+    return Batch;
+  };
+
+  // Shared base system (kept satisfiable): box bounds plus one dense row.
+  Simplex S;
+  std::vector<Con> BaseCons;
+  for (int V = 0; V < NumVars; ++V)
+    S.addVar();
+  for (int V = 0; V < NumVars; ++V) {
+    BaseCons.push_back({{{V, Rational(1)}}, SimplexRel::Ge, Rational(-20)});
+    BaseCons.push_back({{{V, Rational(1)}}, SimplexRel::Le, Rational(20)});
+  }
+  {
+    Con Dense;
+    for (int V = 0; V < NumVars; ++V)
+      Dense.Coeffs.emplace_back(V, Rational::fraction(V + 1, 2));
+    Dense.Rel = SimplexRel::Le;
+    Dense.Rhs = Rational(15);
+    BaseCons.push_back(std::move(Dense));
+  }
+  for (size_t I = 0; I < BaseCons.size(); ++I)
+    S.addConstraint(BaseCons[I].Coeffs, BaseCons[I].Rel, BaseCons[I].Rhs,
+                    static_cast<int>(I));
+  ASSERT_EQ(S.check(), Simplex::Result::Sat);
+  std::vector<Rational> BaseModel = S.model();
+
+  // The storm: scoped batches, recording each verdict.
+  std::vector<std::pair<std::vector<std::pair<Con, int>>, Simplex::Result>>
+      Recorded;
+  for (int Round = 0; Round < 120; ++Round) {
+    auto Batch = randomBatch(1000 + Round * 16);
+    S.push();
+    for (const auto &[C, Tag] : Batch)
+      S.addConstraint(C.Coeffs, C.Rel, C.Rhs, Tag);
+    Simplex::Result R = S.check();
+    if (R == Simplex::Result::Sat) {
+      // The scoped model must satisfy base and batch alike.
+      std::vector<Rational> M = S.model();
+      auto holds = [&M](const Con &C) {
+        Rational Lhs;
+        for (const auto &[V, Coeff] : C.Coeffs)
+          Lhs.addMul(Coeff, M[V]);
+        switch (C.Rel) {
+        case SimplexRel::Le:
+          return Lhs <= C.Rhs;
+        case SimplexRel::Lt:
+          return Lhs < C.Rhs;
+        case SimplexRel::Ge:
+          return Lhs >= C.Rhs;
+        case SimplexRel::Gt:
+          return Lhs > C.Rhs;
+        case SimplexRel::Eq:
+          return Lhs == C.Rhs;
+        }
+        return false;
+      };
+      for (const Con &C : BaseCons)
+        ASSERT_TRUE(holds(C)) << "scoped model violates the base, round "
+                              << Round;
+      for (const auto &[C, Tag] : Batch)
+        ASSERT_TRUE(holds(C)) << "scoped model violates batch, round "
+                              << Round;
+    }
+    S.pop();
+    Recorded.emplace_back(std::move(Batch), R);
+
+    // After the pop, the base must still be satisfiable and the model
+    // must still satisfy every base constraint.
+    ASSERT_EQ(S.check(), Simplex::Result::Sat) << "round " << Round;
+  }
+
+  // Differential re-check: every recorded verdict must match a fresh
+  // solver fed base + batch from scratch.
+  for (size_t I = 0; I < Recorded.size(); ++I) {
+    const auto &[Batch, Expected] = Recorded[I];
+    Simplex Fresh;
+    for (int V = 0; V < NumVars; ++V)
+      Fresh.addVar();
+    for (size_t J = 0; J < BaseCons.size(); ++J)
+      Fresh.addConstraint(BaseCons[J].Coeffs, BaseCons[J].Rel,
+                          BaseCons[J].Rhs, static_cast<int>(J));
+    for (const auto &[C, Tag] : Batch)
+      Fresh.addConstraint(C.Coeffs, C.Rel, C.Rhs, Tag);
+    EXPECT_EQ(Fresh.check(), Expected)
+        << "scoped verdict diverges from fresh solve for batch " << I;
+  }
+
+  // And the storm-surviving tableau still answers base queries exactly.
+  // (Popped scopes leave dead slack columns behind, so the model can have
+  // grown — but the original columns must still satisfy the base.)
+  ASSERT_EQ(S.check(), Simplex::Result::Sat);
+  std::vector<Rational> After = S.model();
+  ASSERT_GE(After.size(), BaseModel.size());
+  for (const Con &C : BaseCons) {
+    Rational Lhs;
+    for (const auto &[V, Coeff] : C.Coeffs)
+      Lhs.addMul(Coeff, After[V]);
+    switch (C.Rel) {
+    case SimplexRel::Le:
+      EXPECT_LE(Lhs, C.Rhs);
+      break;
+    case SimplexRel::Lt:
+      EXPECT_LT(Lhs, C.Rhs);
+      break;
+    case SimplexRel::Ge:
+      EXPECT_GE(Lhs, C.Rhs);
+      break;
+    case SimplexRel::Gt:
+      EXPECT_GT(Lhs, C.Rhs);
+      break;
+    case SimplexRel::Eq:
+      EXPECT_EQ(Lhs, C.Rhs);
+      break;
+    }
+  }
+}
+
 } // namespace

@@ -160,6 +160,185 @@ TEST(BigIntTest, DivModReconstruction) {
   }
 }
 
+// --- Representation-transition coverage for the inline-limb fast path ---
+
+TEST(BigIntRepresentationTest, PromotionOnEveryOperation) {
+  // Addition/subtraction at the int64 edges.
+  BigInt Max(INT64_MAX), Min(INT64_MIN), One(1);
+  EXPECT_TRUE(Max.isInline());
+  EXPECT_TRUE(Min.isInline());
+  BigInt Over = Max + One;
+  EXPECT_FALSE(Over.isInline());
+  EXPECT_FALSE(Over.fitsInt64());
+  EXPECT_EQ(Over.toString(), "9223372036854775808");
+  BigInt Under = Min - One;
+  EXPECT_FALSE(Under.isInline());
+  EXPECT_EQ(Under.toString(), "-9223372036854775809");
+
+  // Multiplication.
+  BigInt Sq = BigInt(INT64_C(4000000000)) * BigInt(INT64_C(4000000000));
+  EXPECT_FALSE(Sq.isInline());
+  EXPECT_EQ(Sq.toString(), "16000000000000000000");
+
+  // Negation of INT64_MIN.
+  EXPECT_FALSE((-Min).isInline());
+  EXPECT_EQ((-Min).toString(), "9223372036854775808");
+  EXPECT_FALSE(Min.abs().isInline());
+
+  // Division: the only inline/inline quotient that overflows.
+  BigInt Q = Min / BigInt(-1);
+  EXPECT_FALSE(Q.isInline());
+  EXPECT_EQ(Q.toString(), "9223372036854775808");
+
+  // gcd with a 2^63 magnitude.
+  EXPECT_FALSE(BigInt::gcd(Min, BigInt(0)).isInline());
+
+  // In-place forms promote too.
+  BigInt X = Max;
+  X += One;
+  EXPECT_FALSE(X.isInline());
+  X -= One;
+  EXPECT_TRUE(X.isInline());
+  EXPECT_EQ(X, Max);
+  BigInt Y(INT64_C(1) << 62);
+  Y *= BigInt(4);
+  EXPECT_FALSE(Y.isInline());
+  BigInt Z(1);
+  Z.addMul(Max, Max);
+  EXPECT_FALSE(Z.isInline());
+  EXPECT_EQ(Z.toString(), "85070591730234615847396907784232501250");
+}
+
+TEST(BigIntRepresentationTest, DemotionBackToInline) {
+  BigInt Big = BigInt(INT64_MAX) + BigInt(INT64_MAX);
+  ASSERT_FALSE(Big.isInline());
+  // Every shrinking operation demotes back to the inline encoding.
+  EXPECT_TRUE((Big - BigInt(INT64_MAX)).isInline());
+  EXPECT_TRUE((Big / BigInt(2)).isInline());
+  EXPECT_TRUE((Big % (Big - BigInt(1))).isInline());
+  EXPECT_TRUE((Big * BigInt(0)).isInline());
+  // Subtraction meeting exactly at INT64_MIN must demote (heap magnitude
+  // 2^63 with negative sign IS int64-representable).
+  BigInt NegOver = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_TRUE((NegOver + BigInt(1)).isInline());
+  EXPECT_EQ(NegOver + BigInt(1), BigInt(INT64_MIN));
+  // Canonicality: equal values always share a representation, so hashes
+  // and equality never need cross-encoding reconciliation.
+  BigInt ViaHeap = (BigInt(INT64_MAX) + BigInt(1)) - BigInt(1);
+  EXPECT_TRUE(ViaHeap.isInline());
+  EXPECT_EQ(ViaHeap, BigInt(INT64_MAX));
+  EXPECT_EQ(ViaHeap.hash(), BigInt(INT64_MAX).hash());
+}
+
+TEST(BigIntRepresentationTest, SelfAliasingOps) {
+  // Inline self-aliasing.
+  BigInt X(7);
+  X += X;
+  EXPECT_EQ(X.toInt64(), 14);
+  X.addMul(X, X); // x += x*x
+  EXPECT_EQ(X.toInt64(), 14 + 14 * 14);
+  X.subMul(X, BigInt(1)); // x -= x*1
+  EXPECT_TRUE(X.isZero());
+
+  // Self-aliasing across the promotion boundary.
+  BigInt Y(INT64_C(6000000000));
+  Y *= Y;
+  EXPECT_FALSE(Y.isInline());
+  EXPECT_EQ(Y.toString(), "36000000000000000000");
+
+  // Heap self-aliasing.
+  BigInt H = BigInt(INT64_MAX) + BigInt(INT64_MAX);
+  BigInt HBefore = H;
+  H += H;
+  EXPECT_EQ(H, HBefore * BigInt(2));
+  H.addMul(H, BigInt(1)); // h += h
+  EXPECT_EQ(H, HBefore * BigInt(4));
+
+  // divMod with aliased outputs.
+  BigInt A(1234567), B(1000);
+  BigInt::divMod(A, B, A, B); // Quot aliases Num, Rem aliases Den.
+  EXPECT_EQ(A.toInt64(), 1234);
+  EXPECT_EQ(B.toInt64(), 567);
+  BigInt C = BigInt("123456789012345678901234567890");
+  BigInt D = BigInt("987654321098765432");
+  BigInt CBefore = C, DBefore = D;
+  BigInt::divMod(C, D, C, D);
+  EXPECT_EQ(C * DBefore + D, CBefore);
+}
+
+TEST(BigIntRepresentationTest, CopyAndMoveBothEncodings) {
+  // Inline copy/move.
+  BigInt I(42);
+  BigInt ICopy = I;
+  BigInt IMoved = std::move(I);
+  EXPECT_EQ(ICopy.toInt64(), 42);
+  EXPECT_EQ(IMoved.toInt64(), 42);
+
+  // Heap copy is independent of the source.
+  BigInt H = BigInt(INT64_MAX) + BigInt(1);
+  BigInt HCopy = H;
+  HCopy += BigInt(1);
+  EXPECT_EQ(H.toString(), "9223372036854775808");
+  EXPECT_EQ(HCopy.toString(), "9223372036854775809");
+
+  // Heap move leaves the source in the canonical zero state (still usable).
+  BigInt HMoved = std::move(H);
+  EXPECT_EQ(HMoved.toString(), "9223372036854775808");
+  EXPECT_TRUE(H.isZero());         // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(H.isInline());       // NOLINT(bugprone-use-after-move)
+  H = BigInt(5);
+  EXPECT_EQ(H.toInt64(), 5);
+
+  // Assignments across encodings, both directions.
+  BigInt X(3);
+  X = HMoved; // inline <- heap (copy)
+  EXPECT_EQ(X, HMoved);
+  BigInt Y = BigInt(INT64_MIN) - BigInt(2);
+  Y = BigInt(9); // heap <- inline
+  EXPECT_TRUE(Y.isInline());
+  EXPECT_EQ(Y.toInt64(), 9);
+  Y = std::move(X); // heap-capable <- heap (move)
+  EXPECT_EQ(Y, HMoved);
+  BigInt &YAlias = Y; // self-assign through an alias stays intact
+  Y = YAlias;
+  EXPECT_EQ(Y, HMoved);
+}
+
+TEST(RationalRepresentationTest, TransitionsThroughOperations) {
+  // Promotion via accumulate, demotion via cancellation.
+  Rational Acc(1);
+  Rational Big(INT64_MAX);
+  Acc.addMul(Big, Big);
+  EXPECT_FALSE(Acc.numerator().fitsInt64());
+  Acc.subMul(Big, Big);
+  EXPECT_EQ(Acc, Rational(1));
+  EXPECT_TRUE(Acc.numerator().fitsInt64());
+
+  // Denominator overflow in +: 1/p + 1/q with p*q > int64.
+  Rational P = Rational(1) / Rational(INT64_C(4000000001));
+  Rational Q = Rational(1) / Rational(INT64_C(4000000003));
+  Rational S = P + Q;
+  EXPECT_FALSE(S.denominator().fitsInt64());
+  Rational Back = S - Q;
+  EXPECT_EQ(Back, P);
+  EXPECT_TRUE(Back.denominator().fitsInt64());
+
+  // Self-aliasing accumulate.
+  Rational X = Rational::fraction(3, 2);
+  X.addMul(X, X); // x += x*x = 3/2 + 9/4 = 15/4
+  EXPECT_EQ(X.toString(), "15/4");
+  X.subMul(X, Rational(1));
+  EXPECT_TRUE(X.isZero());
+  EXPECT_TRUE(X.denominator().isOne());
+
+  // INT64_MIN numerators flow through every operator.
+  Rational M(INT64_MIN);
+  EXPECT_EQ((M * Rational(-1)).toString(), "9223372036854775808");
+  EXPECT_EQ(M.inverse().toString(), "-1/9223372036854775808");
+  EXPECT_EQ((M / M), Rational(1));
+  EXPECT_EQ((M + M).toString(), "-18446744073709551616");
+}
+
 TEST(RationalTest, NormalizationInvariant) {
   Rational R = Rational::fraction(6, -4);
   EXPECT_EQ(R.toString(), "-3/2");

@@ -39,6 +39,40 @@ TEST(PolyTest, Arithmetic) {
   EXPECT_EQ(Sub.evaluate({Rational(5), Rational(99)}), Rational(21));
 }
 
+TEST(PolyTest, AccumulateOpsAliasSafe) {
+  UnknownPool Pool;
+  int P0 = Pool.add(UnknownKind::Param, "p0");
+  int L0 = Pool.add(UnknownKind::Multiplier, "l0");
+  Poly A = Poly::unknown(P0) + Poly(Rational(2));
+
+  // addMul against distinct operands matches the expression form.
+  Poly Acc = Poly::unknown(L0);
+  Poly Expected = Acc + A * Rational(3);
+  Acc.addMul(A, Rational(3));
+  EXPECT_EQ(Acc, Expected);
+
+  // Self-aliased scale-accumulate: P.addMul(P, -1) cancels to zero and
+  // must not invalidate the live iteration.
+  Poly SelfCancel = A;
+  SelfCancel.addMul(SelfCancel, Rational(-1));
+  EXPECT_TRUE(SelfCancel.isZero());
+  Poly SelfDouble = A;
+  SelfDouble.addMul(SelfDouble, Rational(1));
+  EXPECT_EQ(SelfDouble, A * Rational(2));
+
+  // Self-aliased polynomial product accumulate.
+  Poly Q = Poly::unknown(L0);
+  Poly QExpected = Q + Q * Q;
+  Poly QSelf = Q;
+  QSelf.addMul(QSelf, QSelf);
+  EXPECT_EQ(QSelf, QExpected);
+
+  // Single-unknown substitution matches the map form.
+  Poly P = Poly::unknown(P0) * Poly::unknown(P0) + Poly::unknown(L0);
+  EXPECT_EQ(P.substituteOne(P0, Rational(3)),
+            P.substitute({{P0, Rational(3)}}));
+}
+
 TEST(PolyTest, SubstituteBothFactors) {
   UnknownPool Pool;
   int A = Pool.add(UnknownKind::Param, "a");

@@ -7,13 +7,18 @@
 /// \file
 /// Benchmark harness seeding the repo's perf trajectory (BENCH_*.json).
 ///
-/// Two layers:
+/// Three layers:
 ///  * Microbenchmarks of the term core: hash-consed construction and
 ///    memoized substitution. Each workload runs twice in the same process —
 ///    once against pathinv::TermManager (arena/interned) and once against
 ///    the reference-mode transcription of the pre-refactor core
 ///    (RefTermCore.h) — so the emitted JSON carries a genuine before/after
 ///    throughput ratio.
+///  * A rational-pivot microbenchmark pitting the inline-limb
+///    BigInt/Rational fast path (with the addMul/subMul accumulate API)
+///    against the pre-refactor heap-always arithmetic (RefArith.h) on the
+///    simplex row-accumulate pattern, with an in-process differential
+///    checksum.
 ///  * End-to-end verification of the paper's example programs
 ///    (tests/TestPrograms.h) through the CEGAR engine, recording wall time,
 ///    peak term counts, and cumulative SMT/SAT statistics.
@@ -22,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "RefArith.h"
 #include "RefTermCore.h"
 #include "TestPrograms.h"
 #include "core/Verifier.h"
@@ -29,6 +35,7 @@
 #include "logic/TermRewrite.h"
 #include "smt/SmtSolver.h"
 #include "smt/SolverContext.h"
+#include "support/Rational.h"
 
 #include <algorithm>
 #include <chrono>
@@ -186,6 +193,110 @@ MicroResult runMicro(const Fn &Workload, int Rounds, int Iters) {
   return Best;
 }
 
+/// Rational-pivot workload: repeated full Gauss-Jordan eliminations of
+/// dense rational matrices — the row-accumulate pattern of the simplex
+/// inner loop (`row[j] -= factor * pivot[j]`). Matrix entries are small
+/// fractions whose intermediates occasionally cross the int64 boundary,
+/// matching the value profile of real pivoting. The workload is templated
+/// over the arithmetic so the same operation sequence runs once on
+/// pathinv::Rational (inline fast path + subMul accumulate API) and once
+/// on the refarith transcription of the pre-refactor heap-always types;
+/// both must produce identical checksums (in-process differential check).
+/// \returns the number of accumulate operations (the throughput unit).
+template <typename Rat, typename AccumOps>
+uint64_t rationalPivotWorkload(int Size, int Rounds, std::string &Checksum) {
+  uint64_t Ops = 0;
+  // FNV-1a over the decimal renderings: an exact running rational sum
+  // would accumulate unrelated denominators across rounds and grow
+  // without bound, which is not what a tableau ever does.
+  uint64_t Hash = 14695981039346656037ull;
+  std::vector<std::vector<Rat>> M(Size, std::vector<Rat>(Size));
+  for (int Round = 0; Round < Rounds; ++Round) {
+    for (int I = 0; I < Size; ++I)
+      for (int J = 0; J < Size; ++J)
+        M[I][J] = Rat::fraction(((Round * 31 + I * 7 + J * 3) % 19) - 9,
+                                ((Round + I + J) % 4) + 1);
+    for (int K = 0; K < Size; ++K) {
+      if (M[K][K].isZero())
+        M[K][K] = Rat::fraction((Round + K) % 5 + 1, 1);
+      Rat Inv = M[K][K].inverse();
+      for (int I = 0; I < Size; ++I) {
+        if (I == K)
+          continue;
+        Rat Factor = M[I][K] * Inv;
+        if (Factor.isZero())
+          continue;
+        for (int J = 0; J < Size; ++J) {
+          AccumOps::subMul(M[I][J], Factor, M[K][J]);
+          ++Ops;
+        }
+      }
+    }
+    for (int I = 0; I < Size; ++I)
+      for (int J = 0; J < Size; ++J)
+        for (char C : M[I][J].toString())
+          Hash = (Hash ^ static_cast<uint8_t>(C)) * 1099511628211ull;
+  }
+  Checksum = std::to_string(Hash);
+  return Ops;
+}
+
+/// Accumulate-op adapters: the fast side uses the new in-place API, the
+/// reference side the pre-refactor temporary-heavy expression chains.
+struct FastAccumOps {
+  static void subMul(pathinv::Rational &Acc, const pathinv::Rational &A,
+                     const pathinv::Rational &B) {
+    Acc.subMul(A, B);
+  }
+  static void addMul(pathinv::Rational &Acc, const pathinv::Rational &A,
+                     const pathinv::Rational &B) {
+    Acc.addMul(A, B);
+  }
+};
+struct RefAccumOps {
+  static void subMul(refarith::Rational &Acc, const refarith::Rational &A,
+                     const refarith::Rational &B) {
+    Acc = Acc - A * B;
+  }
+  static void addMul(refarith::Rational &Acc, const refarith::Rational &A,
+                     const refarith::Rational &B) {
+    Acc = Acc + A * B;
+  }
+};
+
+/// Runs the pivot workload \p Iters times per implementation, keeps the
+/// fastest run each, and aborts on a checksum mismatch between the two.
+void runRationalPivot(int Size, int Rounds, int Iters, MicroResult &Fast,
+                      MicroResult &Ref) {
+  std::string FastSum, RefSum;
+  for (int I = 0; I < Iters; ++I) {
+    auto Start = Clock::now();
+    uint64_t Ops = rationalPivotWorkload<pathinv::Rational, FastAccumOps>(
+        Size, Rounds, FastSum);
+    double Ms = elapsedMs(Start, Clock::now());
+    if (I == 0 || Ms < Fast.WallMs) {
+      Fast.Ops = Ops;
+      Fast.WallMs = Ms;
+    }
+  }
+  for (int I = 0; I < Iters; ++I) {
+    auto Start = Clock::now();
+    uint64_t Ops = rationalPivotWorkload<refarith::Rational, RefAccumOps>(
+        Size, Rounds, RefSum);
+    double Ms = elapsedMs(Start, Clock::now());
+    if (I == 0 || Ms < Ref.WallMs) {
+      Ref.Ops = Ops;
+      Ref.WallMs = Ms;
+    }
+  }
+  if (FastSum != RefSum || Fast.Ops != Ref.Ops) {
+    std::cerr << "[bench] rational-pivot differential mismatch: fast "
+              << FastSum << " (" << Fast.Ops << " ops) vs reference "
+              << RefSum << " (" << Ref.Ops << " ops)\n";
+    std::abort();
+  }
+}
+
 /// Incremental-query workload: the abstract-reach/CEGAR pattern of many
 /// entailment checks against one shared prefix. A chain of N SSA-style
 /// conjuncts (x0 = 0, x_{k+1} = x_k + 1) is the prefix; the queries ask
@@ -311,8 +422,8 @@ E2EResult runProgram(const char *Name, const char *Source) {
   return R;
 }
 
-void emitMicro(std::ostream &Out, const char *Key, const MicroResult &Arena,
-               const MicroResult &Ref) {
+void emitMicro(std::ostream &Out, const char *Key, const char *NewMode,
+               const MicroResult &New, const MicroResult &Ref) {
   auto Entry = [&](const char *Mode, const MicroResult &M) {
     Out << "      \"" << Mode << "\": {\"ops\": " << M.Ops
         << ", \"wall_ms\": " << M.WallMs
@@ -320,12 +431,12 @@ void emitMicro(std::ostream &Out, const char *Key, const MicroResult &Arena,
         << ", \"peak_terms\": " << M.PeakTerms << "}";
   };
   Out << "    \"" << Key << "\": {\n";
-  Entry("arena", Arena);
+  Entry(NewMode, New);
   Out << ",\n";
   Entry("reference", Ref);
   Out << ",\n      \"speedup_vs_reference\": "
-      << (Arena.opsPerSec() > 0 && Ref.opsPerSec() > 0
-              ? Arena.opsPerSec() / Ref.opsPerSec()
+      << (New.opsPerSec() > 0 && Ref.opsPerSec() > 0
+              ? New.opsPerSec() / Ref.opsPerSec()
               : 0)
       << "\n    }";
 }
@@ -333,7 +444,7 @@ void emitMicro(std::ostream &Out, const char *Key, const MicroResult &Arena,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string OutPath = "BENCH_2.json";
+  std::string OutPath = "BENCH_3.json";
   int Iters = 5;
   bool Smoke = false;
   for (int I = 1; I < Argc; ++I) {
@@ -353,6 +464,8 @@ int main(int Argc, char **Argv) {
   Iters = std::max(Iters, 1);
   const int ConstructRounds = Smoke ? 200 : 4000;
   const int RewriteRounds = Smoke ? 100 : 2000;
+  const int PivotSize = 10;
+  const int PivotRounds = Smoke ? 25 : 400;
   const int IncChainLen = Smoke ? 40 : 120;
   const int IncQueries = Smoke ? 16 : 40;
   const int IncRounds = Smoke ? 5 : 25;
@@ -390,6 +503,18 @@ int main(int Argc, char **Argv) {
       },
       RewriteRounds, Iters);
 
+  std::cerr << "[bench] microbench: rational-pivot (" << PivotSize << "x"
+            << PivotSize << " x " << PivotRounds << " rounds x " << Iters
+            << " iters)\n";
+  MicroResult PivotFast, PivotRef;
+  runRationalPivot(PivotSize, PivotRounds, Iters, PivotFast, PivotRef);
+  std::cerr << "[bench]   fast " << PivotFast.WallMs << " ms, reference "
+            << PivotRef.WallMs << " ms (speedup "
+            << (PivotRef.WallMs > 0 ? PivotFast.opsPerSec() /
+                                          PivotRef.opsPerSec()
+                                    : 0)
+            << "x)\n";
+
   std::cerr << "[bench] incremental entailment (chain " << IncChainLen
             << ", " << IncQueries << " queries x " << IncRounds
             << " rounds)\n";
@@ -421,18 +546,22 @@ int main(int Argc, char **Argv) {
 
   std::ostringstream Json;
   Json << "{\n";
-  Json << "  \"schema\": \"pathinv-bench-v2\",\n";
+  Json << "  \"schema\": \"pathinv-bench-v3\",\n";
   Json << "  \"config\": {\"iters\": " << Iters
        << ", \"smoke\": " << (Smoke ? "true" : "false")
        << ", \"construct_rounds\": " << ConstructRounds
        << ", \"rewrite_rounds\": " << RewriteRounds
+       << ", \"pivot_size\": " << PivotSize
+       << ", \"pivot_rounds\": " << PivotRounds
        << ", \"inc_chain_len\": " << IncChainLen
        << ", \"inc_queries\": " << IncQueries
        << ", \"inc_rounds\": " << IncRounds << "},\n";
   Json << "  \"microbench\": {\n";
-  emitMicro(Json, "construct", ConstructArena, ConstructRef);
+  emitMicro(Json, "construct", "arena", ConstructArena, ConstructRef);
   Json << ",\n";
-  emitMicro(Json, "rewrite", RewriteArena, RewriteRef);
+  emitMicro(Json, "rewrite", "arena", RewriteArena, RewriteRef);
+  Json << ",\n";
+  emitMicro(Json, "rational_pivot", "fast", PivotFast, PivotRef);
   Json << "\n  },\n";
   Json << "  \"incremental\": {\"queries\": " << Inc.Queries
        << ", \"one_shot_wall_ms\": " << Inc.OneShotMs

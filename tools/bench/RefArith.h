@@ -1,0 +1,377 @@
+//===- tools/bench/RefArith.h - Pre-refactor exact arithmetic --*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference-mode transcription of the pre-inline-limb BigInt/Rational:
+/// every value is a sign + heap-allocated base-2^32 limb vector, all
+/// compound updates materialize expression temporaries, and normalization
+/// always runs the BigInt gcd. Benchmarks pit pathinv::Rational (inline
+/// fast path + accumulate API) against this in the same process so
+/// BENCH_<n>.json carries a genuine before/after throughput ratio.
+///
+/// Deliberately NOT shared with src/support — this header freezes the old
+/// behavior the way tools/bench/RefTermCore.h freezes the old term core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_TOOLS_BENCH_REFARITH_H
+#define PATHINV_TOOLS_BENCH_REFARITH_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace refarith {
+
+/// Arbitrary-precision signed integer: sign + little-endian base-2^32
+/// magnitude, heap-allocated even for single-limb values.
+class BigInt {
+public:
+  BigInt() = default;
+  BigInt(int64_t Value) {
+    if (Value == 0)
+      return;
+    Sign = Value < 0 ? -1 : 1;
+    uint64_t Mag = Value < 0 ? ~static_cast<uint64_t>(Value) + 1
+                             : static_cast<uint64_t>(Value);
+    Limbs.push_back(static_cast<uint32_t>(Mag & 0xffffffffu));
+    if (Mag >> 32)
+      Limbs.push_back(static_cast<uint32_t>(Mag >> 32));
+  }
+
+  int sign() const { return Sign; }
+  bool isZero() const { return Sign == 0; }
+  bool isNegative() const { return Sign < 0; }
+  bool isOne() const { return Sign > 0 && Limbs.size() == 1 && Limbs[0] == 1; }
+
+  std::string toString() const {
+    if (Sign == 0)
+      return "0";
+    std::string Digits;
+    std::vector<uint32_t> Mag = Limbs;
+    while (!Mag.empty()) {
+      uint64_t Carry = 0;
+      for (size_t I = Mag.size(); I-- > 0;) {
+        uint64_t Cur = (Carry << 32) | Mag[I];
+        Mag[I] = static_cast<uint32_t>(Cur / 1000000000u);
+        Carry = Cur % 1000000000u;
+      }
+      while (!Mag.empty() && Mag.back() == 0)
+        Mag.pop_back();
+      for (int I = 0; I < 9; ++I) {
+        Digits.push_back(static_cast<char>('0' + Carry % 10));
+        Carry /= 10;
+      }
+    }
+    while (Digits.size() > 1 && Digits.back() == '0')
+      Digits.pop_back();
+    if (Sign < 0)
+      Digits.push_back('-');
+    std::string Out(Digits.rbegin(), Digits.rend());
+    return Out;
+  }
+
+  BigInt operator-() const {
+    BigInt Result = *this;
+    Result.Sign = -Result.Sign;
+    return Result;
+  }
+  BigInt abs() const {
+    BigInt Result = *this;
+    if (Result.Sign < 0)
+      Result.Sign = 1;
+    return Result;
+  }
+
+  BigInt operator+(const BigInt &RHS) const {
+    if (Sign == 0)
+      return RHS;
+    if (RHS.Sign == 0)
+      return *this;
+    BigInt Result;
+    if (Sign == RHS.Sign) {
+      Result.Sign = Sign;
+      Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
+      return Result;
+    }
+    int Cmp = compareMagnitude(Limbs, RHS.Limbs);
+    if (Cmp == 0)
+      return Result;
+    if (Cmp > 0) {
+      Result.Sign = Sign;
+      Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
+    } else {
+      Result.Sign = RHS.Sign;
+      Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
+    }
+    return Result;
+  }
+  BigInt operator-(const BigInt &RHS) const { return *this + (-RHS); }
+  BigInt operator*(const BigInt &RHS) const {
+    BigInt Result;
+    if (Sign == 0 || RHS.Sign == 0)
+      return Result;
+    Result.Sign = Sign * RHS.Sign;
+    Result.Limbs = mulMagnitude(Limbs, RHS.Limbs);
+    if (Result.Limbs.empty())
+      Result.Sign = 0;
+    return Result;
+  }
+
+  static void divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
+                     BigInt &Rem) {
+    assert(!Den.isZero() && "division by zero");
+    std::vector<uint32_t> RemMag;
+    std::vector<uint32_t> QuotMag =
+        divModMagnitude(Num.Limbs, Den.Limbs, RemMag);
+    int NumSign = Num.Sign, DenSign = Den.Sign;
+    Quot = BigInt();
+    Rem = BigInt();
+    if (!QuotMag.empty()) {
+      Quot.Sign = NumSign * DenSign;
+      Quot.Limbs = std::move(QuotMag);
+    }
+    if (!RemMag.empty()) {
+      Rem.Sign = NumSign;
+      Rem.Limbs = std::move(RemMag);
+    }
+  }
+  BigInt operator/(const BigInt &RHS) const {
+    BigInt Quot, Rem;
+    divMod(*this, RHS, Quot, Rem);
+    return Quot;
+  }
+  BigInt operator%(const BigInt &RHS) const {
+    BigInt Quot, Rem;
+    divMod(*this, RHS, Quot, Rem);
+    return Rem;
+  }
+
+  int compare(const BigInt &RHS) const {
+    if (Sign != RHS.Sign)
+      return Sign < RHS.Sign ? -1 : 1;
+    int MagCmp = compareMagnitude(Limbs, RHS.Limbs);
+    return Sign >= 0 ? MagCmp : -MagCmp;
+  }
+  bool operator==(const BigInt &RHS) const {
+    return Sign == RHS.Sign && Limbs == RHS.Limbs;
+  }
+
+  static BigInt gcd(BigInt A, BigInt B) {
+    A = A.abs();
+    B = B.abs();
+    while (!B.isZero()) {
+      BigInt R = A % B;
+      A = std::move(B);
+      B = std::move(R);
+    }
+    return A;
+  }
+
+private:
+  static int compareMagnitude(const std::vector<uint32_t> &A,
+                              const std::vector<uint32_t> &B) {
+    if (A.size() != B.size())
+      return A.size() < B.size() ? -1 : 1;
+    for (size_t I = A.size(); I-- > 0;)
+      if (A[I] != B[I])
+        return A[I] < B[I] ? -1 : 1;
+    return 0;
+  }
+  static std::vector<uint32_t> addMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B) {
+    const std::vector<uint32_t> &Long = A.size() >= B.size() ? A : B;
+    const std::vector<uint32_t> &Short = A.size() >= B.size() ? B : A;
+    std::vector<uint32_t> Result;
+    Result.reserve(Long.size() + 1);
+    uint64_t Carry = 0;
+    for (size_t I = 0; I < Long.size(); ++I) {
+      uint64_t Sum = Carry + Long[I] + (I < Short.size() ? Short[I] : 0);
+      Result.push_back(static_cast<uint32_t>(Sum & 0xffffffffu));
+      Carry = Sum >> 32;
+    }
+    if (Carry)
+      Result.push_back(static_cast<uint32_t>(Carry));
+    return Result;
+  }
+  static std::vector<uint32_t> subMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B) {
+    std::vector<uint32_t> Result;
+    Result.reserve(A.size());
+    int64_t Borrow = 0;
+    for (size_t I = 0; I < A.size(); ++I) {
+      int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                     (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+      if (Diff < 0) {
+        Diff += static_cast<int64_t>(uint64_t(1) << 32);
+        Borrow = 1;
+      } else {
+        Borrow = 0;
+      }
+      Result.push_back(static_cast<uint32_t>(Diff));
+    }
+    while (!Result.empty() && Result.back() == 0)
+      Result.pop_back();
+    return Result;
+  }
+  static std::vector<uint32_t> mulMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B) {
+    if (A.empty() || B.empty())
+      return {};
+    std::vector<uint32_t> Result(A.size() + B.size(), 0);
+    for (size_t I = 0; I < A.size(); ++I) {
+      uint64_t Carry = 0;
+      for (size_t J = 0; J < B.size(); ++J) {
+        uint64_t Cur =
+            Result[I + J] + static_cast<uint64_t>(A[I]) * B[J] + Carry;
+        Result[I + J] = static_cast<uint32_t>(Cur & 0xffffffffu);
+        Carry = Cur >> 32;
+      }
+      size_t K = I + B.size();
+      while (Carry) {
+        uint64_t Cur = Result[K] + Carry;
+        Result[K] = static_cast<uint32_t>(Cur & 0xffffffffu);
+        Carry = Cur >> 32;
+        ++K;
+      }
+    }
+    while (!Result.empty() && Result.back() == 0)
+      Result.pop_back();
+    return Result;
+  }
+  static std::vector<uint32_t>
+  divModMagnitude(const std::vector<uint32_t> &A,
+                  const std::vector<uint32_t> &B, std::vector<uint32_t> &Rem) {
+    if (compareMagnitude(A, B) < 0) {
+      Rem = A;
+      return {};
+    }
+    if (B.size() == 1) {
+      uint64_t Div = B[0];
+      std::vector<uint32_t> Quot(A.size(), 0);
+      uint64_t Carry = 0;
+      for (size_t I = A.size(); I-- > 0;) {
+        uint64_t Cur = (Carry << 32) | A[I];
+        Quot[I] = static_cast<uint32_t>(Cur / Div);
+        Carry = Cur % Div;
+      }
+      while (!Quot.empty() && Quot.back() == 0)
+        Quot.pop_back();
+      Rem.clear();
+      if (Carry)
+        Rem.push_back(static_cast<uint32_t>(Carry));
+      return Quot;
+    }
+    std::vector<uint32_t> Quot(A.size(), 0);
+    std::vector<uint32_t> Cur;
+    for (size_t LimbIdx = A.size(); LimbIdx-- > 0;) {
+      for (int Bit = 31; Bit >= 0; --Bit) {
+        uint32_t CarryBit = (A[LimbIdx] >> Bit) & 1;
+        for (auto &Limb : Cur) {
+          uint32_t NewCarry = Limb >> 31;
+          Limb = (Limb << 1) | CarryBit;
+          CarryBit = NewCarry;
+        }
+        if (CarryBit)
+          Cur.push_back(CarryBit);
+        if (compareMagnitude(Cur, B) >= 0) {
+          Cur = subMagnitude(Cur, B);
+          Quot[LimbIdx] |= uint32_t(1) << Bit;
+        }
+      }
+    }
+    while (!Quot.empty() && Quot.back() == 0)
+      Quot.pop_back();
+    Rem = std::move(Cur);
+    return Quot;
+  }
+
+  int Sign = 0;
+  std::vector<uint32_t> Limbs;
+};
+
+/// Exact rational in lowest terms with positive denominator, pre-refactor
+/// style: every operation builds numerator/denominator temporaries and
+/// runs a full BigInt gcd to normalize.
+class Rational {
+public:
+  Rational() : Den(1) {}
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
+    assert(!Den.isZero() && "rational with zero denominator");
+    normalize();
+  }
+  static Rational fraction(int64_t N, int64_t D) {
+    return Rational(BigInt(N), BigInt(D));
+  }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isNegative() const { return Num.isNegative(); }
+  bool isOne() const { return Num.isOne() && Den.isOne(); }
+
+  Rational operator-() const {
+    Rational Result = *this;
+    Result.Num = -Result.Num;
+    return Result;
+  }
+  Rational operator+(const Rational &RHS) const {
+    return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+  }
+  Rational operator-(const Rational &RHS) const {
+    return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+  }
+  Rational operator*(const Rational &RHS) const {
+    return Rational(Num * RHS.Num, Den * RHS.Den);
+  }
+  Rational operator/(const Rational &RHS) const {
+    assert(!RHS.isZero() && "division by zero rational");
+    return Rational(Num * RHS.Den, Den * RHS.Num);
+  }
+  Rational inverse() const {
+    assert(!isZero() && "inverse of zero");
+    return Rational(Den, Num);
+  }
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  int compare(const Rational &RHS) const {
+    return (Num * RHS.Den).compare(RHS.Num * Den);
+  }
+
+  std::string toString() const {
+    if (Den.isOne())
+      return Num.toString();
+    return Num.toString() + "/" + Den.toString();
+  }
+
+private:
+  void normalize() {
+    if (Den.isNegative()) {
+      Num = -Num;
+      Den = -Den;
+    }
+    if (Num.isZero()) {
+      Den = BigInt(1);
+      return;
+    }
+    BigInt G = BigInt::gcd(Num, Den);
+    if (!G.isOne()) {
+      Num = Num / G;
+      Den = Den / G;
+    }
+  }
+
+  BigInt Num;
+  BigInt Den;
+};
+
+} // namespace refarith
+
+#endif // PATHINV_TOOLS_BENCH_REFARITH_H

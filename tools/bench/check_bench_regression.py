@@ -1,12 +1,25 @@
 #!/usr/bin/env python3
 """Gate on benchmark regressions between two BENCH_<n>.json files.
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [--max-regression 0.20]
+Usage: check_bench_regression.py BASELINE.json CURRENT.json
+           [--max-regression 0.20]
+           [--require-microbench KEY:MINSPEEDUP ...]
 
-Compares end_to_end_total_wall_ms (current may be at most
-(1 + max-regression) x baseline) and checks that every end-to-end program
-still reports the expected verdict recorded in the baseline. Exits 0 when
-both gates hold, 1 otherwise.
+Gates:
+  * end_to_end_total_wall_ms: current may be at most
+    (1 + max-regression) x baseline;
+  * every end-to-end program still reports the verdict recorded in the
+    baseline;
+  * microbench throughput (ops_per_sec of the system-under-test mode)
+    for keys present in BOTH files may not regress by more than
+    max-regression — absolute and therefore machine-dependent, so only
+    compare files produced on the same machine (CI's cross-machine smoke
+    run passes --max-regression 1000 to reduce this gate to a
+    verdict check);
+  * --require-microbench KEY:MIN enforces an absolute floor on a current
+    microbench's speedup_vs_reference (e.g. rational_pivot:1.5).
+
+Exits 0 when every gate holds, 1 otherwise.
 """
 
 import argparse
@@ -19,7 +32,11 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--max-regression", type=float, default=0.20,
-                    help="allowed fractional wall-time regression")
+                    help="allowed fractional wall-time/speedup regression")
+    ap.add_argument("--require-microbench", action="append", default=[],
+                    metavar="KEY:MINSPEEDUP",
+                    help="fail unless current microbench KEY reaches "
+                         "MINSPEEDUP x vs its in-process reference")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -50,6 +67,48 @@ def main():
         ok = False
     else:
         print("OK:   " + line)
+
+    # Microbench throughput of the system under test must not regress on
+    # workloads both files know about. Compared on absolute ops_per_sec of
+    # the non-reference mode: the in-process speedup ratio is NOT a stable
+    # cross-PR metric, because a PR that accelerates shared substrate
+    # (e.g. the number types) legitimately speeds the reference up too.
+    def under_test(entry):
+        for mode, stats in entry.items():
+            if mode not in ("reference", "speedup_vs_reference"):
+                return stats.get("ops_per_sec")
+        return None
+
+    base_micro = base.get("microbench", {})
+    cur_micro = cur.get("microbench", {})
+    for key in sorted(set(base_micro) & set(cur_micro)):
+        b = under_test(base_micro[key])
+        c = under_test(cur_micro[key])
+        if not b or not c:
+            continue
+        floor = b * (1.0 - args.max_regression)
+        line = (f"microbench {key}: ops/s {b:.3g} -> {c:.3g} "
+                f"(floor {floor:.3g})")
+        if c < floor:
+            print("FAIL: " + line)
+            ok = False
+        else:
+            print("OK:   " + line)
+
+    for spec in args.require_microbench:
+        key, _, min_text = spec.partition(":")
+        minimum = float(min_text)
+        speedup = cur_micro.get(key, {}).get("speedup_vs_reference")
+        if speedup is None:
+            print(f"FAIL: required microbench '{key}' missing from current")
+            ok = False
+            continue
+        line = f"required microbench {key}: {speedup:.2f}x (>= {minimum}x)"
+        if speedup < minimum:
+            print("FAIL: " + line)
+            ok = False
+        else:
+            print("OK:   " + line)
 
     if "incremental" in cur:
         inc = cur["incremental"]
