@@ -6,7 +6,6 @@
 
 #include "cegar/AbstractReach.h"
 
-#include "logic/TermPrinter.h"
 #include "smt/QuantInst.h"
 #include "smt/SmtSolver.h"
 #include "smt/SolverContext.h"
@@ -15,22 +14,6 @@
 #include <deque>
 
 using namespace pathinv;
-
-std::string PredicateMap::dump(const Program &P) const {
-  std::string Out;
-  for (const auto &[Loc, Set] : Preds) {
-    Out += "  Pi(" + P.locationName(Loc) + ") = {";
-    bool First = true;
-    for (const Term *Pred : Set) {
-      if (!First)
-        Out += ", ";
-      First = false;
-      Out += printTerm(Pred);
-    }
-    Out += "}\n";
-  }
-  return Out;
-}
 
 namespace {
 
@@ -156,7 +139,9 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
       Child.Loc = T.To;
       Child.Parent = NodeIdx;
       Child.InTrans = TransIdx;
-      for (const Term *Pred : Pi.at(T.To)) {
+      std::vector<const Term *> Relevant;
+      Pi.collectRelevant(T.To, Relevant);
+      for (const Term *Pred : Relevant) {
         const Term *PredPrimed =
             renameVars(TM, Pred, [&TM](const Term *Var) -> const Term * {
               return primedVar(TM, Var);

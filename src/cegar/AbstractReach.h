@@ -5,8 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The abstract reachability phase of the CEGAR loop (Section 4.1): an
-/// abstract reachability tree over cartesian predicate abstraction.
+/// The *restart-the-world* abstract reachability phase of the CEGAR loop
+/// (Section 4.1): an abstract reachability tree over cartesian predicate
+/// abstraction, rebuilt from scratch on every refinement.
+///
+/// This is the legacy engine, kept for one release behind
+/// `ReachMode::Restart` (CLI: `--reach=restart`) as the differential
+/// oracle for the persistent abstract reachability graph in cegar/Arg.h,
+/// which retains nodes across refinements and prunes only the subtree a
+/// refinement invalidated.
 ///
 /// A node carries a location and the set of tracked literals (predicates
 /// or their negations) that hold there. Expanding a node checks each
@@ -51,9 +58,16 @@ struct ReachResult {
   uint64_t AssumptionQueries = 0;
 };
 
-/// Limits for one reachability run.
+/// Which reachability engine the CEGAR loop drives.
+enum class ReachMode : uint8_t {
+  Arg,     ///< Persistent ARG with subtree-scoped refinement (default).
+  Restart, ///< Legacy restart-the-world tree (differential oracle).
+};
+
+/// Limits and mode for abstract reachability.
 struct ReachOptions {
   uint64_t MaxNodes = 50000;
+  ReachMode Mode = ReachMode::Arg;
 };
 
 /// Runs abstract reachability on \p P under abstraction \p Pi.

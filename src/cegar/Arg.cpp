@@ -1,0 +1,446 @@
+//===- cegar/Arg.cpp - Persistent abstract reachability graph --------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/Arg.h"
+
+#include "smt/QuantInst.h"
+#include "smt/SmtSolver.h"
+
+#include <algorithm>
+
+using namespace pathinv;
+
+namespace {
+
+/// True when \p F can be asserted into a SolverContext directly (no
+/// quantifier instantiation, no whole-formula array-write elimination).
+bool isGround(const Term *F) {
+  return !containsQuantifier(F) && !containsStore(F);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Arg
+//===----------------------------------------------------------------------===//
+
+size_t Arg::numLive() const {
+  size_t N = 0;
+  for (const ArgNode &Node : Nodes)
+    if (Node.isLive())
+      ++N;
+  return N;
+}
+
+std::string Arg::verifyInvariants() const {
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const ArgNode &N = Nodes[I];
+    auto at = [&](const char *Msg) {
+      return std::string(Msg) + " (node " + std::to_string(I) + ")";
+    };
+
+    // Parent/child edge consistency.
+    for (int C : N.Children) {
+      if (C <= static_cast<int>(I) || C >= static_cast<int>(Nodes.size()))
+        return at("child id not greater than parent's");
+      if (Nodes[C].Parent != static_cast<int>(I))
+        return at("child's Parent does not point back");
+    }
+    if (N.Parent >= 0) {
+      const ArgNode &Par = Nodes[N.Parent];
+      bool Listed = std::find(Par.Children.begin(), Par.Children.end(),
+                              static_cast<int>(I)) != Par.Children.end();
+      if (N.isLive()) {
+        if (!Par.isLive())
+          return at("live node under a pruned parent");
+        if (!Listed)
+          return at("live node missing from its parent's child list");
+      } else if (Par.isLive() && Listed) {
+        return at("pruned node still linked from a live parent");
+      }
+    }
+    // Pruning is wholesale: no live descendants under a pruned node.
+    if (!N.isLive()) {
+      for (int C : N.Children)
+        if (Nodes[C].isLive())
+          return at("live child under a pruned node");
+    }
+
+    // Covering. The covering rule itself is canCover() — coverers are
+    // live expanded complete nodes at the same location with a (weaker)
+    // subset label — and covered nodes are never expanded, which also
+    // makes the covering relation structurally acyclic: an expanded node
+    // never carries a CoveredBy link.
+    if ((N.CoveredBy >= 0) != (N.St == ArgNode::State::Covered))
+      return at("CoveredBy link inconsistent with node state");
+    if (N.St == ArgNode::State::Covered) {
+      if (N.CoveredBy >= static_cast<int>(Nodes.size()))
+        return at("CoveredBy out of range");
+      if (!canCover(Nodes[N.CoveredBy], N))
+        return at("coverer violates the covering rule");
+      if (!N.Children.empty())
+        return at("covered node has children");
+    }
+  }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// ReachEngine
+//===----------------------------------------------------------------------===//
+
+ReachEngine::ReachEngine(const Program &P, const Precision &Pi,
+                         SmtSolver &Solver, const ReachOptions &Opts)
+    : P(P), TM(P.termManager()), Pi(Pi), Solver(Solver), Opts(Opts),
+      Ctx(TM), ExpandedAt(P.numLocations()) {
+  ArgNode Root;
+  Root.Loc = P.entry();
+  Root.St = ArgNode::State::Leaf;
+  Root.HasLabel = true;
+  // The root's label is definitionally empty (entry is unconstrained), so
+  // it is never stale: stamp it beyond any precision size.
+  Root.PrecStamp = static_cast<size_t>(-1);
+  Graph.Nodes.push_back(std::move(Root));
+  enqueue(0);
+}
+
+void ReachEngine::enqueue(int Id) {
+  if (node(Id).InWorklist)
+    return;
+  node(Id).InWorklist = true;
+  Worklist.push({node(Id).Depth, Id});
+}
+
+int ReachEngine::makeShell(int Parent, int TransIdx) {
+  int Id = static_cast<int>(Graph.Nodes.size());
+  ArgNode N;
+  N.Loc = P.transition(TransIdx).To;
+  N.Parent = Parent;
+  N.InTrans = TransIdx;
+  N.Depth = node(Parent).Depth + 1;
+  Graph.Nodes.push_back(std::move(N));
+  node(Parent).Children.push_back(Id);
+  enqueue(Id);
+  return Id;
+}
+
+bool ReachEngine::labelNode(int Id) {
+  const int ParentId = node(Id).Parent;
+  const Transition &T = P.transition(node(Id).InTrans);
+  std::vector<const Term *> Conj(node(ParentId).Literals.begin(),
+                                 node(ParentId).Literals.end());
+  const Term *State = TM.mkAnd(std::move(Conj));
+  const Term *Post = TM.mkAnd(State, T.Rel);
+
+  // One scope serves the edge feasibility check and the whole labelling
+  // batch: the post-image is asserted once, every predicate entailment is
+  // an assumption flip on top. Quantified or store-carrying queries fall
+  // back to the one-shot solver (quantifier instantiation depends on both
+  // sides of an entailment, and array-write elimination is whole-formula).
+  bool InCtx = isGround(State) && isGround(T.Rel);
+  if (InCtx) {
+    Ctx.push();
+    Ctx.assertTerm(State);
+    Ctx.assertTerm(T.Rel);
+  }
+  auto popCtx = [&]() {
+    if (InCtx)
+      Ctx.pop();
+  };
+
+  // Abstract feasibility of the edge: is the concrete post-image
+  // non-empty? It depends on the parent's label (not the precision
+  // directly), so the settle sweep re-runs it exactly when the parent
+  // strengthened — a flip here is the semantic pivot that prunes the
+  // subtree below.
+  ++Stats.EntailmentQueries;
+  bool Infeasible = InCtx ? Ctx.checkSat().isUnsat()
+                          : entailsWithQuant(TM, Solver, Post, TM.mkFalse());
+  if (Infeasible) {
+    popCtx();
+    node(Id).St = ArgNode::State::Infeasible;
+    ++Stats.InfeasibleEdges;
+    return false;
+  }
+
+  // Error-location nodes are never labelled: the caller reports the
+  // abstract counterexample instead.
+  if (node(Id).Loc == P.error()) {
+    node(Id).ParentStale = false;
+    popCtx();
+    return true;
+  }
+
+  // Cartesian abstract post: track each relevant predicate (or its
+  // negation) entailed by the concrete post-image.
+  ArgNode &N = node(Id);
+  TermSet OldLiterals = std::move(N.Literals);
+  N.Literals.clear();
+  std::vector<const Term *> Relevant;
+  Pi.collectRelevant(N.Loc, Relevant);
+  for (const Term *Pred : Relevant) {
+    const Term *PredPrimed =
+        renameVars(TM, Pred, [this](const Term *Var) -> const Term * {
+          return primedVar(TM, Var);
+        });
+    bool PredInCtx = InCtx && isGround(PredPrimed);
+    ++Stats.EntailmentQueries;
+    if (PredInCtx)
+      ++Stats.AssumptionQueries;
+    bool Entailed = PredInCtx
+                        ? Ctx.checkSat({TM.mkNot(PredPrimed)}).isUnsat()
+                        : entailsWithQuant(TM, Solver, Post, PredPrimed);
+    if (Entailed) {
+      N.Literals.insert(Pred);
+      continue;
+    }
+    // Track definite falseness too (needed to refute paths whose
+    // infeasibility rests on a predicate being violated).
+    if (!containsQuantifier(Pred)) {
+      ++Stats.EntailmentQueries;
+      if (PredInCtx)
+        ++Stats.AssumptionQueries;
+      bool NegEntailed =
+          PredInCtx ? Ctx.checkSat({PredPrimed}).isUnsat()
+                    : entailsWithQuant(TM, Solver, Post, TM.mkNot(PredPrimed));
+      if (NegEntailed)
+        N.Literals.insert(TM.mkNot(Pred));
+    }
+  }
+  popCtx();
+  ++Stats.NodesLabelled;
+  bool Strengthened = N.HasLabel && N.Literals != OldLiterals;
+  N.HasLabel = true;
+  N.ParentStale = false;
+  N.PrecStamp = Pi.sizeAt(N.Loc);
+  // Labels strengthen monotonically (the precision only grows and parent
+  // labels only strengthen). A changed label makes every child's label out
+  // of date — still sound, but computed from a weaker post-image — so
+  // staleness cascades one generation: each child relabels on its next
+  // visit (or path replay) and marks its own children in turn.
+  if (Strengthened)
+    for (int C : N.Children)
+      node(C).ParentStale = true;
+  return true;
+}
+
+int ReachEngine::findCoverer(int Id) {
+  const ArgNode &N = node(Id);
+  std::vector<int> &Cands = ExpandedAt[N.Loc];
+  size_t Kept = 0;
+  int Found = -1;
+  for (int CandId : Cands) {
+    // Compact out candidates a refinement pruned.
+    if (node(CandId).St != ArgNode::State::Expanded)
+      continue;
+    Cands[Kept++] = CandId;
+    if (Found >= 0)
+      continue;
+    ++Stats.CoverChecks;
+    if (canCover(node(CandId), N))
+      Found = CandId;
+  }
+  Cands.resize(Kept);
+  return Found;
+}
+
+ArgRunResult ReachEngine::run() {
+  ArgRunResult Result;
+  // The budget is per resumption, mirroring the restart engine's per-wave
+  // semantics: the same --max-nodes value admits the same amount of work
+  // per reachability phase under either engine (the ARG engine just needs
+  // far less of it after the first phase).
+  uint64_t ExpandedAtEntry = Stats.NodesExpanded;
+  while (!Worklist.empty()) {
+    if (Stats.NodesExpanded - ExpandedAtEntry >= Opts.MaxNodes) {
+      Result.Kind = ArgRunResult::Kind::NodeLimit;
+      return Result;
+    }
+    int Id = Worklist.top().second;
+    Worklist.pop();
+    node(Id).InWorklist = false;
+    // Stale queue entries: pruning and covering happen while a node waits.
+    if (node(Id).St != ArgNode::State::Shell &&
+        node(Id).St != ArgNode::State::Leaf)
+      continue;
+
+    bool ForcedAttempt = false;
+    if (node(Id).St == ArgNode::State::Shell) {
+      if (node(Id).Loc == P.error()) {
+        if (!labelNode(Id))
+          continue; // Edge to error abstractly infeasible.
+        // Abstract counterexample: path from the root.
+        std::vector<int> Chain;
+        for (int C = Id; C >= 0; C = node(C).Parent)
+          Chain.push_back(C);
+        std::reverse(Chain.begin(), Chain.end());
+        for (size_t I = 1; I < Chain.size(); ++I)
+          Result.ErrorPath.push_back(node(Chain[I]).InTrans);
+        Result.PathNodes = std::move(Chain);
+        Result.Kind = ArgRunResult::Kind::Counterexample;
+        return Result;
+      }
+      if (!labelNode(Id))
+        continue;
+      node(Id).St = ArgNode::State::Leaf;
+    } else if (node(Id).staleUnder(Pi)) {
+      // Forced-covering attempt: a re-visited leaf whose location gained
+      // predicates since labelling is relabelled under the current
+      // precision — the strengthened label may let an existing expanded
+      // node cover it, saving the expansion entirely.
+      ForcedAttempt = true;
+      if (!labelNode(Id))
+        continue;
+    }
+
+    int Cov = findCoverer(Id);
+    if (Cov >= 0) {
+      ArgNode &N = node(Id);
+      N.St = ArgNode::State::Covered;
+      N.CoveredBy = Cov;
+      ++Stats.NodesCovered;
+      if (ForcedAttempt)
+        ++Stats.ForcedCovers;
+      continue;
+    }
+
+    for (int TransIdx : P.successorsOf(node(Id).Loc))
+      makeShell(Id, TransIdx);
+    ArgNode &N = node(Id);
+    N.St = ArgNode::State::Expanded;
+    ExpandedAt[N.Loc].push_back(Id);
+    ++Stats.NodesExpanded;
+  }
+  Result.Kind = ArgRunResult::Kind::Proof;
+  return Result;
+}
+
+void ReachEngine::pruneSubtree(int Id) {
+  std::vector<int> Stack{Id};
+  size_t Pruned = 0;
+  while (!Stack.empty()) {
+    int X = Stack.back();
+    Stack.pop_back();
+    ArgNode &N = node(X);
+    if (!N.isLive())
+      continue;
+    N.St = ArgNode::State::Pruned;
+    N.CoveredBy = -1;
+    ++Pruned;
+    for (int C : N.Children)
+      Stack.push_back(C);
+  }
+  Stats.NodesPruned += Pruned;
+}
+
+void ReachEngine::refreshCovers() {
+  for (size_t I = 0; I < Graph.Nodes.size(); ++I) {
+    ArgNode &M = Graph.Nodes[I];
+    if (M.St != ArgNode::State::Covered)
+      continue;
+    // Pruning removes coverers, relabelling strengthens them, and a
+    // dropped error edge makes one incomplete. Any of these invalidates a
+    // cover: the coveree becomes a leaf again and must re-attempt
+    // covering (or expand).
+    if (!canCover(node(M.CoveredBy), M)) {
+      M.St = ArgNode::State::Leaf;
+      M.CoveredBy = -1;
+      enqueue(static_cast<int>(I));
+    }
+  }
+}
+
+bool ReachEngine::settleAndRecheck(const ArgRunResult &R) {
+  assert(R.Kind == ArgRunResult::Kind::Counterexample &&
+         R.PathNodes.size() >= 2 && "settle without a counterexample");
+  // Top-down sweep: relabel every stale expanded node. Ids increase
+  // child-ward, so one pass sees a parent's strengthening (labelNode
+  // marks the children ParentStale) before it reaches the children, and
+  // nodes pruned mid-sweep (their ancestor's edge died) are skipped by
+  // the state check. Nodes whose labels come out unchanged cut the
+  // cascade: their subtrees are reused verbatim.
+  for (size_t I = 0; I < Graph.Nodes.size(); ++I) {
+    if (Graph.Nodes[I].St != ArgNode::State::Expanded ||
+        !Graph.Nodes[I].staleUnder(Pi))
+      continue;
+    int Id = static_cast<int>(I);
+    if (!labelNode(Id)) {
+      // The edge's post-image became empty under the strengthened
+      // labels: this is the semantic pivot. Everything below is
+      // abstractly unreachable now; the node stays as an Infeasible
+      // marker so the parent never re-creates the edge.
+      std::vector<int> Kids = node(Id).Children;
+      for (int C : Kids)
+        pruneSubtree(C);
+      node(Id).Children.clear();
+    }
+  }
+  refreshCovers();
+
+  // The error node carries no label; re-decide its edge when its parent's
+  // label strengthened (or the sweep already pruned it).
+  int ErrId = R.PathNodes.back();
+  if (!node(ErrId).isLive())
+    return true;
+  if (node(ErrId).ParentStale)
+    return !labelNode(ErrId); // False: marked Infeasible — refuted.
+  return false;
+}
+
+void ReachEngine::applyRefinement(const ArgRunResult &R) {
+  uint64_t LabelsBefore = Stats.NodesLabelled;
+  if (!settleAndRecheck(R)) {
+    // The grown precision failed to refute the path abstractly (e.g. the
+    // wp-chain size cap skipped the crucial link). The caller proved the
+    // SSA path formula infeasible, so no concrete execution follows this
+    // exact transition sequence: drop the error node so exploration does
+    // not rediscover it, and let the next counterexample (if any) drive
+    // refinement. Every ancestor's subtree now under-represents its
+    // abstract continuations (the dropped edge was abstractly feasible,
+    // and its concrete-infeasibility proof is specific to this one root
+    // path), so the whole ancestor chain is disqualified from covering
+    // and any covers its nodes hold are released.
+    int ErrId = R.PathNodes.back();
+    int Parent = node(ErrId).Parent;
+    pruneSubtree(ErrId);
+    std::vector<int> &Kids = node(Parent).Children;
+    Kids.erase(std::find(Kids.begin(), Kids.end(), ErrId));
+    for (int A = Parent; A >= 0; A = node(A).Parent)
+      node(A).Incomplete = true;
+    refreshCovers();
+  }
+
+  // Every expanded node that survived without relabelling is work the
+  // restart engine would redo from scratch.
+  uint64_t Relabelled = Stats.NodesLabelled - LabelsBefore;
+  uint64_t ExpandedLive = 0;
+  for (const ArgNode &N : Graph.Nodes)
+    if (N.St == ArgNode::State::Expanded)
+      ++ExpandedLive;
+  Stats.NodesReused += ExpandedLive > Relabelled ? ExpandedLive - Relabelled
+                                                 : 0;
+
+#ifndef NDEBUG
+  std::string Violation = Graph.verifyInvariants();
+  assert(Violation.empty() && "ARG invariants violated after refinement");
+#endif
+}
+
+bool ReachEngine::reconcileStalePath(const ArgRunResult &R) {
+  bool AnyStale = node(R.PathNodes.back()).ParentStale;
+  for (size_t Pos = 1; Pos + 1 < R.PathNodes.size() && !AnyStale; ++Pos)
+    AnyStale = node(R.PathNodes[Pos]).staleUnder(Pi);
+  if (!AnyStale)
+    return false;
+  if (!settleAndRecheck(R))
+    return false; // The path stands under the full current precision.
+  ++Stats.Reconciliations;
+#ifndef NDEBUG
+  std::string Violation = Graph.verifyInvariants();
+  assert(Violation.empty() && "ARG invariants violated after reconciliation");
+#endif
+  return true;
+}

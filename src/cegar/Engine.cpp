@@ -6,6 +6,7 @@
 
 #include "cegar/Engine.h"
 
+#include "cegar/Arg.h"
 #include "smt/ArrayElim.h"
 #include "smt/SmtSolver.h"
 #include "smt/SolverContext.h"
@@ -66,10 +67,151 @@ private:
   uint64_t AssertedConjuncts = 0;
 };
 
-} // namespace
+/// Escalation: when per-path synthesis starts falling back (or stalls),
+/// attempt one whole-program invariant map. A verified inductive map
+/// with eta(error) = false is a complete safety proof on its own
+/// (Section 3), and it covers programs whose individual path programs
+/// defeat the template heuristic. \returns true when it proved Safe.
+bool tryWholeProgramEscalation(const Program &P, SmtSolver &Solver,
+                               const EngineOptions &Opts,
+                               const RefineResult &Refined, bool &Tried,
+                               EngineResult &Result) {
+  if (!(Refined.UsedFallback || !Refined.Progress) || Tried ||
+      Opts.Refiner == RefinerKind::PathFormula)
+    return false;
+  Tried = true;
+  PathInvResult Whole =
+      Opts.Refiner == RefinerKind::PathInvariantIntervals
+          ? generateIntervalInvariants(P, Solver)
+          : generatePathInvariants(P, Solver, Opts.PathInv);
+  Result.Stats.LpChecks += Whole.LpChecks;
+  Result.Stats.TemplateLevelsTried += Whole.LevelsTried;
+  if (!Whole.Found)
+    return false;
+  std::vector<std::pair<LocId, const Term *>> Localized;
+  Whole.Map.collectLocalized(Localized);
+  for (const auto &[Loc, Pred] : Localized)
+    Result.Predicates.add(Loc, Pred);
+  Result.Verdict = EngineResult::Verdict::Safe;
+  Result.Note = "proved by whole-program invariant map";
+  return true;
+}
 
-EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
-                             const EngineOptions &Opts) {
+/// Phase 2 of the loop: decides the abstract counterexample's SSA path
+/// formula. On Sat — a real bug — fills the Unsafe verdict, the witness,
+/// and (optionally) its independent concrete replay, and returns true.
+bool analyzeCounterexample(const Program &P, const Path &Cex,
+                           PathFormulaChecker &Checker,
+                           const EngineOptions &Opts, EngineResult &Result) {
+  TermManager &TM = P.termManager();
+  PathFormula PF = buildPathFormula(P, Cex);
+  smt::CheckResult Feasibility = Checker.check(PF.formula(TM));
+  if (!Feasibility.isSat())
+    return false;
+  Result.Verdict = EngineResult::Verdict::Unsafe;
+  Result.Witness = Cex;
+  if (Opts.ValidateWitness) {
+    Result.Replay = replayFromModel(P, Cex, Feasibility.model().values());
+    Result.WitnessReplayed = Result.Replay.Feasible;
+  }
+  return true;
+}
+
+/// Mirrors the ARG engine's cumulative reach-layer statistics into the
+/// engine-level aggregate (overwrite, not accumulate: ArgStats are
+/// lifetime totals of the one persistent engine).
+void syncReachStats(EngineStats &S, const ArgStats &A) {
+  S.NodesExpanded = A.NodesExpanded;
+  S.EntailmentQueries = A.EntailmentQueries;
+  S.AssumptionQueries = A.AssumptionQueries;
+  S.NodesReused = A.NodesReused;
+  S.NodesPruned = A.NodesPruned;
+  S.CoverChecks = A.CoverChecks;
+  S.NodesCovered = A.NodesCovered;
+  S.ForcedCovers = A.ForcedCovers;
+}
+
+/// The CEGAR loop over the persistent ARG (ReachMode::Arg): refinement
+/// prunes the pivot subtree and resumes instead of restarting.
+EngineResult verifyArg(const Program &P, SmtSolver &Solver,
+                       const EngineOptions &Opts) {
+  TermManager &TM = P.termManager();
+  EngineResult Result;
+  bool TriedWholeProgram = false;
+  PathFormulaChecker PathChecker(TM);
+  ReachEngine Reach(P, Result.Predicates, Solver, Opts.Reach);
+
+  auto finish = [&]() -> EngineResult & {
+    syncReachStats(Result.Stats, Reach.stats());
+    smt::ContextStats Ctx = Reach.context().stats();
+    Result.Stats.ReachContextChecks = Ctx.Checks;
+    Result.Stats.ReachLearnedPurges = Ctx.LearnedPurges;
+    Result.Stats.ReachClausesPurged = Ctx.ClausesPurged;
+    Result.Stats.ReachRedundantClauses = Ctx.RedundantClauses;
+    Result.Stats.PathConjunctsReused = PathChecker.reusedConjuncts();
+    Result.Stats.PathConjunctsAsserted = PathChecker.assertedConjuncts();
+    Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+    return Result;
+  };
+
+  for (uint64_t Iter = 0;;) {
+    // Phase 1: resume abstract reachability on the persistent graph.
+    ArgRunResult Reached = Reach.run();
+    if (Reached.Kind == ArgRunResult::Kind::Proof) {
+      Result.Verdict = EngineResult::Verdict::Safe;
+      return finish();
+    }
+    if (Reached.Kind == ArgRunResult::Kind::NodeLimit) {
+      Result.Note = "abstract reachability node limit reached";
+      return finish();
+    }
+
+    // Stale counterexamples (label computed before the precision grew at
+    // a path location) are reconciled — pruned at the earliest stale node
+    // and re-explored — not analyzed: the refiner only ever sees paths
+    // that reflect the full current precision.
+    if (Reach.reconcileStalePath(Reached))
+      continue;
+
+    // Phase 2: counterexample analysis.
+    const Path &Cex = Reached.ErrorPath;
+    if (analyzeCounterexample(P, Cex, PathChecker, Opts, Result))
+      return finish();
+
+    // Phase 3: refinement.
+    if (Iter == Opts.MaxRefinements) {
+      Result.Note = "refinement budget exhausted";
+      return finish();
+    }
+    RefineResult Refined = refine(P, Cex, Result.Predicates, Solver,
+                                  Opts.Refiner, Opts.PathInv);
+    ++Iter;
+    ++Result.Stats.Refinements;
+    Result.Stats.LpChecks += Refined.LpChecks;
+    Result.Stats.TemplateLevelsTried += Refined.TemplateLevelsTried;
+    if (Refined.UsedFallback)
+      ++Result.Stats.Fallbacks;
+
+    if (tryWholeProgramEscalation(P, Solver, Opts, Refined,
+                                  TriedWholeProgram, Result))
+      return finish();
+
+    if (!Refined.Progress) {
+      Result.Note = "refinement made no progress";
+      return finish();
+    }
+
+    // Subtree-scoped refinement: replay the path under the grown
+    // precision and prune below the first edge it refutes; everything
+    // the new predicates cannot invalidate survives.
+    Reach.applyRefinement(Reached);
+  }
+}
+
+/// The legacy loop (ReachMode::Restart): every refinement throws the
+/// whole abstract reachability tree away and re-explores from scratch.
+EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
+                           const EngineOptions &Opts) {
   TermManager &TM = P.termManager();
   EngineResult Result;
   bool TriedWholeProgram = false;
@@ -98,18 +240,10 @@ EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
     // with the previous iteration's path stays asserted in the checker's
     // context; only the divergent suffix is re-asserted.
     const Path &Cex = Reach.ErrorPath;
-    PathFormula PF = buildPathFormula(P, Cex);
-    smt::CheckResult Feasibility = PathChecker.check(PF.formula(TM));
+    bool Feasible = analyzeCounterexample(P, Cex, PathChecker, Opts, Result);
     Result.Stats.PathConjunctsReused = PathChecker.reusedConjuncts();
     Result.Stats.PathConjunctsAsserted = PathChecker.assertedConjuncts();
-    if (Feasibility.isSat()) {
-      // Feasible: a real bug. Confirm independently of the solvers.
-      Result.Verdict = EngineResult::Verdict::Unsafe;
-      Result.Witness = Cex;
-      if (Opts.ValidateWitness) {
-        Result.Replay = replayFromModel(P, Cex, Feasibility.model().values());
-        Result.WitnessReplayed = Result.Replay.Feasible;
-      }
+    if (Feasible) {
       Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
       return Result;
     }
@@ -125,28 +259,10 @@ EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
     if (Refined.UsedFallback)
       ++Result.Stats.Fallbacks;
 
-    // Escalation: when per-path synthesis starts falling back (or stalls),
-    // attempt one whole-program invariant map. A verified inductive map
-    // with eta(error) = false is a complete safety proof on its own
-    // (Section 3), and it covers programs whose individual path programs
-    // defeat the template heuristic.
-    if ((Refined.UsedFallback || !Refined.Progress) && !TriedWholeProgram &&
-        Opts.Refiner != RefinerKind::PathFormula) {
-      TriedWholeProgram = true;
-      PathInvResult Whole =
-          Opts.Refiner == RefinerKind::PathInvariantIntervals
-              ? generateIntervalInvariants(P, Solver)
-              : generatePathInvariants(P, Solver, Opts.PathInv);
-      Result.Stats.LpChecks += Whole.LpChecks;
-      Result.Stats.TemplateLevelsTried += Whole.LevelsTried;
-      if (Whole.Found) {
-        for (const auto &[Loc, Inv] : Whole.Map.Inv)
-          Result.Predicates.add(Loc, Inv);
-        Result.Verdict = EngineResult::Verdict::Safe;
-        Result.Note = "proved by whole-program invariant map";
-        Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-        return Result;
-      }
+    if (tryWholeProgramEscalation(P, Solver, Opts, Refined,
+                                  TriedWholeProgram, Result)) {
+      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+      return Result;
     }
 
     if (!Refined.Progress) {
@@ -159,4 +275,13 @@ EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
   Result.Note = "refinement budget exhausted";
   Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
   return Result;
+}
+
+} // namespace
+
+EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
+                             const EngineOptions &Opts) {
+  return Opts.Reach.Mode == ReachMode::Restart
+             ? verifyRestart(P, Solver, Opts)
+             : verifyArg(P, Solver, Opts);
 }

@@ -10,6 +10,12 @@
 /// concrete replay of real bugs), and abstraction refinement through one
 /// of the pluggable strategies. Iterates until proof, bug, or budget.
 ///
+/// Two reachability backends (ReachOptions::Mode): the default drives the
+/// persistent abstract reachability graph of cegar/Arg.h — nodes survive
+/// refinements, refinement prunes only the pivot subtree, and covering is
+/// graph-wide — while ReachMode::Restart keeps the legacy
+/// restart-the-world tree as a differential oracle for one release.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHINV_CEGAR_ENGINE_H
@@ -39,6 +45,26 @@ struct EngineStats {
   /// Entailment queries served incrementally (assumption flips on an
   /// asserted post-image) during abstract reachability.
   uint64_t AssumptionQueries = 0;
+  // ARG engine only: incremental reuse vs. fresh work at the engine level.
+  /// Expanded nodes retained across refinements (summed per refinement) —
+  /// exploration the restart engine would redo.
+  uint64_t NodesReused = 0;
+  /// Nodes removed by subtree-scoped pruning (refinements and stale-path
+  /// reconciliations).
+  uint64_t NodesPruned = 0;
+  /// Covering candidate comparisons, and how many nodes ended covered.
+  uint64_t CoverChecks = 0;
+  uint64_t NodesCovered = 0;
+  /// Stale leaves relabelled under a grown precision that an existing
+  /// expanded node then covered (expansion saved).
+  uint64_t ForcedCovers = 0;
+  // ARG engine only: the run-lifetime solver context behind reachability
+  // (its checks, and the learned-clause garbage collection keeping it
+  // bounded). The facade solver's stats live in Verifier::solverStats().
+  uint64_t ReachContextChecks = 0;
+  uint64_t ReachLearnedPurges = 0;
+  uint64_t ReachClausesPurged = 0;
+  uint64_t ReachRedundantClauses = 0;
   /// Path-formula conjuncts found already asserted from the previous
   /// iteration's path (prefix reuse) vs. conjuncts freshly asserted.
   uint64_t PathConjunctsReused = 0;

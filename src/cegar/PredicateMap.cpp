@@ -1,0 +1,31 @@
+//===- cegar/PredicateMap.cpp - Per-location precision ---------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/PredicateMap.h"
+
+#include "logic/TermPrinter.h"
+
+using namespace pathinv;
+
+std::string Precision::dump(const Program &P) const {
+  std::string Out;
+  auto renderSet = [](const TermSet &Set) {
+    std::string S = "{";
+    bool First = true;
+    for (const Term *Pred : Set) {
+      if (!First)
+        S += ", ";
+      First = false;
+      S += printTerm(Pred);
+    }
+    return S + "}";
+  };
+  if (!Global.empty())
+    Out += "  Pi(*) = " + renderSet(Global) + "\n";
+  for (const auto &[Loc, Set] : Scoped)
+    Out += "  Pi(" + P.locationName(Loc) + ") = " + renderSet(Set) + "\n";
+  return Out;
+}

@@ -84,7 +84,10 @@ RefineResult refineWithWpChain(const Program &P, const Path &Cex,
     LocId Loc = P.transition(Cex[K]).From;
     if (termDagSize(Chain[K]) > MaxPredicateDagSize)
       continue;
-    Result.Progress |= Pi.add(Loc, Chain[K]);
+    if (Pi.add(Loc, Chain[K])) {
+      Result.Progress = true;
+      Result.NewPredicates.emplace_back(Loc, Chain[K]);
+    }
   }
   return Result;
 }
@@ -95,7 +98,7 @@ RefineResult refineWithWpChain(const Program &P, const Path &Cex,
 /// original location.
 void distributeInvariants(const Program &P, const PathProgram &PP,
                           const InvariantMap &Map, PredicateMap &Pi,
-                          bool &Progress) {
+                          RefineResult &Result) {
   TermManager &TM = P.termManager();
   const Program &PProg = PP.Prog;
 
@@ -105,14 +108,21 @@ void distributeInvariants(const Program &P, const PathProgram &PP,
     LocId Orig = PP.LocInfo[PathLoc].OrigLoc;
     std::vector<const Term *> Conjuncts;
     flattenConjuncts(Formula, Conjuncts);
-    for (const Term *C : Conjuncts)
-      Progress |= Pi.add(Orig, C);
+    for (const Term *C : Conjuncts) {
+      if (Pi.add(Orig, C)) {
+        Result.Progress = true;
+        Result.NewPredicates.emplace_back(Orig, C);
+      }
+    }
   };
 
-  // Invariants at their own (cutpoint) locations.
-  for (const auto &[Loc, Inv] : Map.Inv) {
+  // Invariants at their own (cutpoint) locations, one conjunct at a time
+  // (the localized attribution the per-location precision tracks).
+  std::vector<std::pair<LocId, const Term *>> Localized;
+  Map.collectLocalized(Localized);
+  for (const auto &[Loc, Pred] : Localized) {
     if (Loc != PProg.error())
-      addAt(Loc, Inv);
+      addAt(Loc, Pred);
   }
 
   // WP propagation along segments.
@@ -176,11 +186,12 @@ RefineResult pathinv::refine(const Program &P, const Path &Cex,
     return Fallback;
   }
 
-  distributeInvariants(P, PP, Inv.Map, Pi, Result.Progress);
+  distributeInvariants(P, PP, Inv.Map, Pi, Result);
   if (!Result.Progress) {
     // The invariants were already known; make sure the loop still moves.
     RefineResult Fallback = refineWithWpChain(P, Cex, Pi);
     Result.Progress = Fallback.Progress;
+    Result.NewPredicates = std::move(Fallback.NewPredicates);
     Result.UsedFallback = true;
   }
   return Result;

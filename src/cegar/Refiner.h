@@ -44,6 +44,13 @@ struct RefineResult {
                              ///< single-path baseline predicates were used.
   int TemplateLevelsTried = 0;
   uint64_t LpChecks = 0;
+  /// The predicates this refinement actually added to the precision,
+  /// attributed to the locations they were added at — the refinement's
+  /// localized contribution. The ARG engine reacts to the contribution
+  /// through the precision itself (per-location staleness stamps drive
+  /// its settle sweep); this record exists so callers and tests can
+  /// observe *where* a refinement landed without diffing the precision.
+  std::vector<std::pair<LocId, const Term *>> NewPredicates;
 };
 
 /// Strategy selector.

@@ -38,6 +38,9 @@ Verifier::SolverLayerStats Verifier::solverStats() const {
   S.SatConflicts = C.SatConflicts;
   S.SatDecisions = C.SatDecisions;
   S.SatPropagations = C.SatPropagations;
+  S.LearnedPurges = C.LearnedPurges;
+  S.ClausesPurged = C.ClausesPurged;
+  S.RedundantClauses = C.RedundantClauses;
   return S;
 }
 
@@ -57,6 +60,9 @@ std::string pathinv::formatSolverStats(const Verifier::SolverLayerStats &S) {
   Out += "  cdcl:               " + std::to_string(S.SatConflicts) +
          " conflicts, " + std::to_string(S.SatDecisions) + " decisions, " +
          std::to_string(S.SatPropagations) + " propagations\n";
+  Out += "  clause gc:          " + std::to_string(S.LearnedPurges) +
+         " purges, " + std::to_string(S.ClausesPurged) + " deleted, " +
+         std::to_string(S.RedundantClauses) + " live\n";
   return Out;
 }
 
@@ -88,6 +94,22 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
   }
   Out += "\n  refinements:        " + std::to_string(R.Stats.Refinements);
   Out += "\n  nodes expanded:     " + std::to_string(R.Stats.NodesExpanded);
+  // The ARG engine's reuse/covering/context counters; the restart engine
+  // has no persistent graph, so the lines would be meaningless zeros.
+  if (R.Stats.ReachContextChecks != 0 || R.Stats.CoverChecks != 0 ||
+      R.Stats.NodesReused != 0 || R.Stats.NodesPruned != 0) {
+    Out += "\n  nodes reused:       " + std::to_string(R.Stats.NodesReused) +
+           " (pruned: " + std::to_string(R.Stats.NodesPruned) + ")";
+    Out += "\n  covering:           " +
+           std::to_string(R.Stats.NodesCovered) + " covered / " +
+           std::to_string(R.Stats.CoverChecks) + " checks (forced: " +
+           std::to_string(R.Stats.ForcedCovers) + ")";
+    Out += "\n  reach solver:       " +
+           std::to_string(R.Stats.ReachContextChecks) + " checks, gc " +
+           std::to_string(R.Stats.ReachLearnedPurges) + " purges / " +
+           std::to_string(R.Stats.ReachClausesPurged) + " deleted / " +
+           std::to_string(R.Stats.ReachRedundantClauses) + " live clauses";
+  }
   Out += "\n  entailment queries: " +
          std::to_string(R.Stats.EntailmentQueries) + " (incremental: " +
          std::to_string(R.Stats.AssumptionQueries) + ")";

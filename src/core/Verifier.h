@@ -84,6 +84,10 @@ public:
     uint64_t SatConflicts = 0;
     uint64_t SatDecisions = 0;
     uint64_t SatPropagations = 0;
+    // Learned-clause garbage collection.
+    uint64_t LearnedPurges = 0;
+    uint64_t ClausesPurged = 0;
+    uint64_t RedundantClauses = 0;
   };
   SolverLayerStats solverStats() const;
 

@@ -22,6 +22,14 @@ int SatSolver::addVar() {
 }
 
 bool SatSolver::addClause(std::vector<Lit> Clause) {
+  return addClauseImpl(std::move(Clause), /*Redundant=*/false);
+}
+
+bool SatSolver::addLemma(std::vector<Lit> Clause) {
+  return addClauseImpl(std::move(Clause), /*Redundant=*/true);
+}
+
+bool SatSolver::addClauseImpl(std::vector<Lit> Clause, bool Redundant) {
   if (KnownUnsat)
     return false;
   // Remove duplicates and detect tautologies with a stamped marker buffer —
@@ -91,7 +99,13 @@ bool SatSolver::addClause(std::vector<Lit> Clause) {
   Watches[Pruned[1].Value].push_back(Idx);
   // Copy (not move) so the scratch buffer keeps its capacity for the next
   // call; the stored clause needs its own allocation either way.
-  Clauses.push_back({std::vector<Lit>(Pruned.begin(), Pruned.end()), false});
+  // Redundant clauses are seeded with the current activity increment
+  // (like CDCL-learned ones): a fresh theory lemma must not be the first
+  // purge victim just because it has not joined a conflict yet.
+  Clauses.push_back({std::vector<Lit>(Pruned.begin(), Pruned.end()),
+                     Redundant, Redundant ? ClauseActivityInc : 0.0});
+  if (Redundant)
+    ++RedundantClauses;
   return true;
 }
 
@@ -159,7 +173,20 @@ void SatSolver::bumpVar(int Var) {
   }
 }
 
-void SatSolver::decayActivities() { ActivityInc *= 1.05; }
+void SatSolver::bumpClause(int ClauseIdx) {
+  Clause &C = Clauses[ClauseIdx];
+  C.Activity += ClauseActivityInc;
+  if (C.Activity > 1e20) {
+    for (Clause &D : Clauses)
+      D.Activity *= 1e-20;
+    ClauseActivityInc *= 1e-20;
+  }
+}
+
+void SatSolver::decayActivities() {
+  ActivityInc *= 1.05;
+  ClauseActivityInc *= 1.001;
+}
 
 int SatSolver::analyze(int ConflictClause, std::vector<Lit> &Learned) {
   Learned.clear();
@@ -174,6 +201,7 @@ int SatSolver::analyze(int ConflictClause, std::vector<Lit> &Learned) {
 
   do {
     assert(ClauseIdx >= 0 && "conflict analysis lost its reason");
+    bumpClause(ClauseIdx);
     const Clause &C = Clauses[ClauseIdx];
     // When following a reason clause, Lits[0] is the propagated literal P
     // (propagation and learning both place it there, and it cannot be
@@ -231,6 +259,62 @@ void SatSolver::backtrack(int TargetLevel) {
   }
   TrailLim.resize(TargetLevel);
   PropHead = Trail.size();
+}
+
+void SatSolver::purgeLearned(size_t MaxKeep) {
+  if (RedundantClauses <= MaxKeep || KnownUnsat)
+    return;
+  backtrack(0);
+
+  // Keep every irredundant clause, every redundant clause serving as the
+  // reason of a (level-0) assignment, and the MaxKeep most active
+  // redundant clauses beyond those.
+  std::vector<char> IsReason(Clauses.size(), 0);
+  for (Lit L : Trail)
+    if (Reason[L.var()] >= 0)
+      IsReason[Reason[L.var()]] = 1;
+
+  std::vector<std::pair<double, int>> Candidates;
+  Candidates.reserve(RedundantClauses);
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    if (Clauses[I].Learned && !IsReason[I])
+      Candidates.push_back({Clauses[I].Activity, static_cast<int>(I)});
+  if (Candidates.size() <= MaxKeep)
+    return;
+  std::nth_element(Candidates.begin(), Candidates.begin() + MaxKeep,
+                   Candidates.end(),
+                   [](const auto &A, const auto &B) { return A.first > B.first; });
+
+  std::vector<char> Drop(Clauses.size(), 0);
+  for (size_t I = MaxKeep; I < Candidates.size(); ++I)
+    Drop[Candidates[I].second] = 1;
+
+  // Compact the clause store and remap reasons; watches are rebuilt
+  // wholesale (the two watch positions were valid before the purge and
+  // the trail did not change, so they remain valid).
+  std::vector<int> NewIdx(Clauses.size(), -1);
+  size_t Next = 0;
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    if (Drop[I]) {
+      --RedundantClauses;
+      ++PurgedClauses;
+      continue;
+    }
+    NewIdx[I] = static_cast<int>(Next);
+    if (Next != I)
+      Clauses[Next] = std::move(Clauses[I]);
+    ++Next;
+  }
+  Clauses.resize(Next);
+  for (int &R : Reason)
+    if (R >= 0)
+      R = NewIdx[R];
+  for (std::vector<int> &W : Watches)
+    W.clear();
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    Watches[Clauses[I].Lits[0].Value].push_back(static_cast<int>(I));
+    Watches[Clauses[I].Lits[1].Value].push_back(static_cast<int>(I));
+  }
 }
 
 void SatSolver::analyzeFinal(Lit Failed) {
@@ -307,7 +391,8 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
         Watches[Learned[0].Value].push_back(Idx);
         Watches[Learned[1].Value].push_back(Idx);
         Lit Asserting = Learned[0];
-        Clauses.push_back({std::move(Learned), true});
+        Clauses.push_back({std::move(Learned), true, ClauseActivityInc});
+        ++RedundantClauses;
         enqueue(Asserting, Idx);
       }
       decayActivities();

@@ -56,6 +56,27 @@ public:
   /// if the solver is already known unsat.
   bool addClause(std::vector<Lit> Clause);
 
+  /// Adds a *redundant* clause: one implied by the problem (a theory
+  /// lemma, e.g. the blocking clause of a lazy-SMT conflict) rather than
+  /// defining it. Redundant clauses — together with CDCL-learned ones —
+  /// are eligible for purgeLearned(); everything added via addClause() is
+  /// irredundant and permanent.
+  bool addLemma(std::vector<Lit> Clause);
+
+  /// Number of deletable clauses currently stored (CDCL-learned clauses
+  /// and lemmas added via addLemma()).
+  size_t numRedundantClauses() const { return RedundantClauses; }
+  size_t numClauses() const { return Clauses.size(); }
+  uint64_t numPurgedClauses() const { return PurgedClauses; }
+
+  /// Garbage-collects the redundant clause set down to (at most)
+  /// \p MaxKeep clauses, preferring the most active ones (activity is
+  /// bumped whenever a clause participates in conflict analysis). Clauses
+  /// currently serving as the reason of an assigned literal are always
+  /// kept. Sound: redundant clauses are implied, so deleting them only
+  /// costs re-derivation. Backtracks to decision level 0.
+  void purgeLearned(size_t MaxKeep);
+
   /// Solves the current clause set, optionally under a list of assumption
   /// literals. Assumptions are decided (in order) before any free decision,
   /// so learned clauses never depend on them: the clause database — and
@@ -93,7 +114,8 @@ private:
 
   struct Clause {
     std::vector<Lit> Lits;
-    bool Learned = false;
+    bool Learned = false; ///< Redundant (CDCL-learned or theory lemma).
+    double Activity = 0;  ///< Conflict-analysis participation (decayed).
   };
 
   bool litTrue(Lit L) const {
@@ -104,6 +126,7 @@ private:
   }
   bool litUnassigned(Lit L) const { return Assign[L.var()] == Unassigned; }
 
+  bool addClauseImpl(std::vector<Lit> Clause, bool Redundant);
   void enqueue(Lit L, int Reason);
   /// Unit propagation; returns the index of a conflicting clause or -1.
   int propagate();
@@ -116,6 +139,7 @@ private:
   void analyzeFinal(Lit Failed);
   void backtrack(int Level);
   void bumpVar(int Var);
+  void bumpClause(int ClauseIdx);
   void decayActivities();
   int pickBranchVar();
 
@@ -129,6 +153,9 @@ private:
   size_t PropHead = 0;
   std::vector<double> Activity;
   double ActivityInc = 1.0;
+  double ClauseActivityInc = 1.0;
+  size_t RedundantClauses = 0;
+  uint64_t PurgedClauses = 0;
   bool KnownUnsat = false;
 
   // addClause scratch state: stamped per-literal markers for sort-free

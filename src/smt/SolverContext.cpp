@@ -161,9 +161,22 @@ SolverContext::checkSat(const std::vector<const Term *> &Assumptions) {
       break;
     }
   }
-  if (AllLiteral)
-    return checkConjunctions(Assumptions);
-  return checkLazy(Assumptions);
+  CheckResult R = AllLiteral ? checkConjunctions(Assumptions)
+                             : checkLazy(Assumptions);
+  // Garbage-collect deletable clauses between checks (never mid-loop: the
+  // lazy loop relies on its freshly added blocking clause). Purging only
+  // removes implied clauses, so every future answer is unchanged — the
+  // refutation is just re-derived if it is ever needed again.
+  if (LearnedBudget != 0 && Sat.numRedundantClauses() > LearnedBudget) {
+    // Count only purges that deleted something (the solver declines to
+    // purge when known-unsat, and reason-pinned clauses may fill the
+    // whole keep set).
+    uint64_t Before = Sat.numPurgedClauses();
+    Sat.purgeLearned(LearnedBudget / 2);
+    if (Sat.numPurgedClauses() != Before)
+      ++Stats.LearnedPurges;
+  }
+  return R;
 }
 
 CheckResult
@@ -261,7 +274,7 @@ SolverContext::checkLazy(const std::vector<const Term *> &Assumptions) {
     Blocking.reserve(R.Core.size());
     for (int LitIdx : R.Core)
       Blocking.push_back(~SatLits[LitIdx]);
-    if (Blocking.empty() || !Sat.addClause(std::move(Blocking)))
+    if (Blocking.empty() || !Sat.addLemma(std::move(Blocking)))
       return CheckResult::unsat(UnsatCore({}, /*FromAssertions=*/true));
   }
 }
@@ -273,5 +286,7 @@ ContextStats SolverContext::stats() const {
   S.SatPropagations = Sat.numPropagations();
   S.BaseReuses = Theory.numBaseReuses();
   S.BaseRebuilds = Theory.numBaseRebuilds();
+  S.ClausesPurged = Sat.numPurgedClauses();
+  S.RedundantClauses = Sat.numRedundantClauses();
   return S;
 }

@@ -149,6 +149,11 @@ struct ContextStats {
   uint64_t Assertions = 0;
   uint64_t Pushes = 0;
   uint64_t Pops = 0;
+  // Learned-clause garbage collection (long-lived contexts would
+  // otherwise grow their clause database without bound).
+  uint64_t LearnedPurges = 0;   ///< purgeLearned() invocations.
+  uint64_t ClausesPurged = 0;   ///< Redundant clauses deleted, cumulative.
+  uint64_t RedundantClauses = 0; ///< Currently stored deletable clauses.
   // CDCL core (cumulative over the context's lifetime).
   uint64_t SatConflicts = 0;
   uint64_t SatDecisions = 0;
@@ -193,6 +198,14 @@ public:
   /// may be cached keyed by (fingerprint, formula).
   uint64_t assertionFingerprint() const { return Fingerprint; }
 
+  /// Budget for deletable clauses (CDCL-learned clauses and theory
+  /// lemmas). When a checkSat() leaves more than this many stored, the
+  /// least active half is garbage-collected — so a long-lived context's
+  /// clause database stays bounded no matter how many scopes it churns
+  /// through. 0 disables purging.
+  void setLearnedClauseBudget(size_t Budget) { LearnedBudget = Budget; }
+  size_t learnedClauseBudget() const { return LearnedBudget; }
+
   /// Snapshot of the context's statistics.
   ContextStats stats() const;
 
@@ -233,6 +246,7 @@ private:
   size_t NumPermanentAssertions = 0;
   uint64_t Fingerprint = 0x9e3779b97f4a7c15ull;
   std::map<const Term *, Lit, TermIdLess> NodeLit; ///< Tseitin cache.
+  size_t LearnedBudget = 20000;
   ContextStats Stats;
 };
 

@@ -14,6 +14,16 @@
 
 using namespace pathinv;
 
+void InvariantMap::collectLocalized(
+    std::vector<std::pair<LocId, const Term *>> &Out) const {
+  for (const auto &[Loc, Formula] : Inv) {
+    std::vector<const Term *> Conjuncts;
+    flattenConjuncts(Formula, Conjuncts);
+    for (const Term *C : Conjuncts)
+      Out.emplace_back(Loc, C);
+  }
+}
+
 std::string InvariantMap::dump(const Program &P) const {
   std::string Out;
   for (const auto &[Loc, Formula] : Inv) {

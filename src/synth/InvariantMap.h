@@ -41,6 +41,15 @@ struct InvariantMap {
     return It == Inv.end() ? TM.mkTrue() : It->second;
   }
 
+  /// Localized predicate attribution: splits each location's invariant
+  /// into its conjuncts and appends one (location, conjunct) pair per
+  /// predicate. This is the granularity at which refiners contribute
+  /// invariants to a per-location precision — tracking conjuncts
+  /// individually lets cartesian abstraction keep the pieces that still
+  /// hold where the whole conjunction does not.
+  void collectLocalized(
+      std::vector<std::pair<LocId, const Term *>> &Out) const;
+
   std::string dump(const Program &P) const;
 };
 

@@ -14,6 +14,13 @@
 /// A second backend realizes the paper's remark that any invariant
 /// generator can be plugged in: the interval abstract interpreter.
 ///
+/// Localized predicate attribution: the resulting InvariantMap hands its
+/// invariants to the refiner one (location, conjunct) pair at a time
+/// (InvariantMap::collectLocalized), which is the granularity the
+/// per-location precision of the CEGAR loop tracks — each conjunct is
+/// scoped to the location that earned it, and the ARG engine uses the
+/// attribution to keep refinement subtree-scoped.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHINV_SYNTH_PATHINVARIANTS_H

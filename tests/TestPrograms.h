@@ -13,6 +13,8 @@
 #ifndef PATHINV_TESTS_TESTPROGRAMS_H
 #define PATHINV_TESTS_TESTPROGRAMS_H
 
+#include <string>
+
 namespace pathinv::testprogs {
 
 /// Figure 1(a): FORWARD. Correct; needs the invariant a+b = 3i.
@@ -117,6 +119,29 @@ proc straight(x) {
   assert(y >= 1);
 }
 )";
+
+/// A family of \p K sequential nondeterministic loops, each guarding its
+/// own assertion: every loop needs its own refinement, so a verification
+/// run refines at least K times. Refinement N+1 concerns loop N+1 only —
+/// the workload behind the `refinement_reuse` benchmark, where the
+/// persistent-ARG engine keeps the already-verified prefix while the
+/// restart engine re-explores everything per refinement.
+inline std::string sequentialLoops(int K) {
+  std::string Src = "proc reuse(n) {\n  var i";
+  for (int J = 0; J < K; ++J)
+    Src += ", a" + std::to_string(J);
+  Src += ";\n  assume(n >= 0);\n";
+  for (int J = 0; J < K; ++J) {
+    std::string A = "a" + std::to_string(J);
+    std::string Lo = std::to_string(J);
+    Src += "  i = 0; " + A + " = " + Lo + ";\n";
+    Src += "  while (i < n) { if (*) { " + A + " = " + A +
+           " + 1; } else { " + A + " = " + A + " + 2; } i = i + 1; }\n";
+    Src += "  assert(" + A + " >= " + Lo + ");\n";
+  }
+  Src += "}\n";
+  return Src;
+}
 
 } // namespace pathinv::testprogs
 

@@ -19,6 +19,11 @@
 ///    against the pre-refactor heap-always arithmetic (RefArith.h) on the
 ///    simplex row-accumulate pattern, with an in-process differential
 ///    checksum.
+///  * A refinement-reuse workload: a family of sequential loops forcing
+///    one refinement per loop, verified twice in-process — once on the
+///    persistent-ARG engine (subtree-scoped refinement) and once on the
+///    legacy restart engine — so the JSON carries a genuine node-expansion
+///    ratio and wall-time speedup between the two. Verdicts must agree.
 ///  * End-to-end verification of the paper's example programs
 ///    (tests/TestPrograms.h) through the CEGAR engine, recording wall time,
 ///    peak term counts, and cumulative SMT/SAT statistics.
@@ -386,7 +391,83 @@ struct E2EResult {
   uint64_t Refinements = 0;
   uint64_t AssumptionQueries = 0;
   uint64_t PathConjunctsReused = 0;
+  uint64_t NodesExpanded = 0;
+  uint64_t NodesReused = 0;
 };
+
+const char *verdictName(const pathinv::EngineResult &R) {
+  switch (R.Verdict) {
+  case pathinv::EngineResult::Verdict::Safe:
+    return "safe";
+  case pathinv::EngineResult::Verdict::Unsafe:
+    return "unsafe";
+  case pathinv::EngineResult::Verdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+/// Refinement-reuse workload: verify testprogs::sequentialLoops(Loops) —
+/// one refinement per loop, >= 2 per loop in practice — on both
+/// reachability engines. The ARG engine must agree on the verdict while
+/// expanding a fraction of the nodes; the harness aborts on a verdict
+/// mismatch (in-process differential check).
+struct ReuseResult {
+  int Loops = 0;
+  std::string ArgVerdict, RestartVerdict;
+  double ArgMs = 0, RestartMs = 0;
+  uint64_t ArgNodes = 0, RestartNodes = 0;
+  uint64_t ArgRefinements = 0, RestartRefinements = 0;
+  uint64_t ArgReused = 0, ArgPruned = 0, ArgCovered = 0;
+
+  double nodeRatio() const {
+    return ArgNodes ? static_cast<double>(RestartNodes) /
+                          static_cast<double>(ArgNodes)
+                    : 0;
+  }
+  double speedup() const { return ArgMs > 0 ? RestartMs / ArgMs : 0; }
+};
+
+ReuseResult refinementReuseWorkload(int Loops) {
+  ReuseResult R;
+  R.Loops = Loops;
+  std::string Src = pathinv::testprogs::sequentialLoops(Loops);
+  auto run = [&](pathinv::ReachMode Mode, std::string &Verdict, double &Ms,
+                 pathinv::EngineStats &Stats) {
+    pathinv::EngineOptions Opts;
+    // The interval backend keeps refinement cheap, so the measurement is
+    // dominated by the reachability engines under comparison.
+    Opts.Refiner = pathinv::RefinerKind::PathInvariantIntervals;
+    Opts.Reach.Mode = Mode;
+    pathinv::Verifier V(Opts);
+    auto Start = Clock::now();
+    auto Res = V.verifySource(Src);
+    Ms = elapsedMs(Start, Clock::now());
+    if (!Res) {
+      Verdict = "error: " + Res.error().render();
+      return;
+    }
+    Verdict = verdictName(Res.get());
+    Stats = Res.get().Stats;
+  };
+  pathinv::EngineStats ArgStats, RestartStats;
+  run(pathinv::ReachMode::Arg, R.ArgVerdict, R.ArgMs, ArgStats);
+  run(pathinv::ReachMode::Restart, R.RestartVerdict, R.RestartMs,
+      RestartStats);
+  R.ArgNodes = ArgStats.NodesExpanded;
+  R.RestartNodes = RestartStats.NodesExpanded;
+  R.ArgRefinements = ArgStats.Refinements;
+  R.RestartRefinements = RestartStats.Refinements;
+  R.ArgReused = ArgStats.NodesReused;
+  R.ArgPruned = ArgStats.NodesPruned;
+  R.ArgCovered = ArgStats.NodesCovered;
+  if (R.ArgVerdict != R.RestartVerdict) {
+    std::cerr << "[bench] refinement-reuse verdict mismatch: arg "
+              << R.ArgVerdict << " vs restart " << R.RestartVerdict << "\n";
+    std::abort();
+  }
+  return R;
+}
 
 E2EResult runProgram(const char *Name, const char *Source) {
   E2EResult R;
@@ -398,20 +479,12 @@ E2EResult runProgram(const char *Name, const char *Source) {
   if (!Res) {
     R.Verdict = "error: " + Res.error().render();
   } else {
-    switch (Res.get().Verdict) {
-    case pathinv::EngineResult::Verdict::Safe:
-      R.Verdict = "safe";
-      break;
-    case pathinv::EngineResult::Verdict::Unsafe:
-      R.Verdict = "unsafe";
-      break;
-    case pathinv::EngineResult::Verdict::Unknown:
-      R.Verdict = "unknown";
-      break;
-    }
+    R.Verdict = verdictName(Res.get());
     R.Refinements = Res.get().Stats.Refinements;
     R.AssumptionQueries = Res.get().Stats.AssumptionQueries;
     R.PathConjunctsReused = Res.get().Stats.PathConjunctsReused;
+    R.NodesExpanded = Res.get().Stats.NodesExpanded;
+    R.NodesReused = Res.get().Stats.NodesReused;
   }
   R.PeakTerms = V.termManager().numTerms();
   R.SmtQueries = V.solver().numQueries();
@@ -444,7 +517,7 @@ void emitMicro(std::ostream &Out, const char *Key, const char *NewMode,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string OutPath = "BENCH_3.json";
+  std::string OutPath = "BENCH_4.json";
   int Iters = 5;
   bool Smoke = false;
   for (int I = 1; I < Argc; ++I) {
@@ -469,6 +542,7 @@ int main(int Argc, char **Argv) {
   const int IncChainLen = Smoke ? 40 : 120;
   const int IncQueries = Smoke ? 16 : 40;
   const int IncRounds = Smoke ? 5 : 25;
+  const int ReuseLoops = Smoke ? 4 : 10;
 
   // Fail on an unwritable output path now, not after minutes of benching.
   std::ofstream Out(OutPath);
@@ -522,6 +596,15 @@ int main(int Argc, char **Argv) {
   std::cerr << "[bench]   one-shot " << Inc.OneShotMs << " ms, context "
             << Inc.ContextMs << " ms (speedup " << Inc.speedup() << "x)\n";
 
+  std::cerr << "[bench] refinement reuse (" << ReuseLoops
+            << " sequential loops, arg vs restart)\n";
+  ReuseResult Reuse = refinementReuseWorkload(ReuseLoops);
+  std::cerr << "[bench]   arg " << Reuse.ArgMs << " ms / "
+            << Reuse.ArgNodes << " nodes, restart " << Reuse.RestartMs
+            << " ms / " << Reuse.RestartNodes << " nodes (node ratio "
+            << Reuse.nodeRatio() << "x, speedup " << Reuse.speedup()
+            << "x)\n";
+
   struct {
     const char *Name;
     const char *Source;
@@ -546,7 +629,7 @@ int main(int Argc, char **Argv) {
 
   std::ostringstream Json;
   Json << "{\n";
-  Json << "  \"schema\": \"pathinv-bench-v3\",\n";
+  Json << "  \"schema\": \"pathinv-bench-v4\",\n";
   Json << "  \"config\": {\"iters\": " << Iters
        << ", \"smoke\": " << (Smoke ? "true" : "false")
        << ", \"construct_rounds\": " << ConstructRounds
@@ -555,7 +638,8 @@ int main(int Argc, char **Argv) {
        << ", \"pivot_rounds\": " << PivotRounds
        << ", \"inc_chain_len\": " << IncChainLen
        << ", \"inc_queries\": " << IncQueries
-       << ", \"inc_rounds\": " << IncRounds << "},\n";
+       << ", \"inc_rounds\": " << IncRounds
+       << ", \"reuse_loops\": " << ReuseLoops << "},\n";
   Json << "  \"microbench\": {\n";
   emitMicro(Json, "construct", "arena", ConstructArena, ConstructRef);
   Json << ",\n";
@@ -567,6 +651,20 @@ int main(int Argc, char **Argv) {
        << ", \"one_shot_wall_ms\": " << Inc.OneShotMs
        << ", \"context_wall_ms\": " << Inc.ContextMs
        << ", \"speedup_vs_one_shot\": " << Inc.speedup() << "},\n";
+  Json << "  \"refinement_reuse\": {\"loops\": " << Reuse.Loops
+       << ",\n    \"arg\": {\"verdict\": \"" << Reuse.ArgVerdict
+       << "\", \"wall_ms\": " << Reuse.ArgMs
+       << ", \"nodes_expanded\": " << Reuse.ArgNodes
+       << ", \"refinements\": " << Reuse.ArgRefinements
+       << ", \"nodes_reused\": " << Reuse.ArgReused
+       << ", \"nodes_pruned\": " << Reuse.ArgPruned
+       << ", \"nodes_covered\": " << Reuse.ArgCovered << "},\n"
+       << "    \"restart\": {\"verdict\": \"" << Reuse.RestartVerdict
+       << "\", \"wall_ms\": " << Reuse.RestartMs
+       << ", \"nodes_expanded\": " << Reuse.RestartNodes
+       << ", \"refinements\": " << Reuse.RestartRefinements << "},\n"
+       << "    \"node_ratio\": " << Reuse.nodeRatio()
+       << ", \"speedup_vs_restart\": " << Reuse.speedup() << "},\n";
   Json << "  \"end_to_end\": [\n";
   for (size_t I = 0; I < E2E.size(); ++I) {
     const E2EResult &R = E2E[I];
@@ -580,7 +678,9 @@ int main(int Argc, char **Argv) {
          << ", \"sat_propagations\": " << R.SatPropagations
          << ", \"refinements\": " << R.Refinements
          << ", \"assumption_queries\": " << R.AssumptionQueries
-         << ", \"path_conjuncts_reused\": " << R.PathConjunctsReused << "}"
+         << ", \"path_conjuncts_reused\": " << R.PathConjunctsReused
+         << ", \"nodes_expanded\": " << R.NodesExpanded
+         << ", \"nodes_reused\": " << R.NodesReused << "}"
          << (I + 1 < E2E.size() ? "," : "") << "\n";
   }
   Json << "  ],\n";

@@ -4,6 +4,7 @@
 Usage: check_bench_regression.py BASELINE.json CURRENT.json
            [--max-regression 0.20]
            [--require-microbench KEY:MINSPEEDUP ...]
+           [--require-reuse MINRATIO]
 
 Gates:
   * end_to_end_total_wall_ms: current may be at most
@@ -17,7 +18,10 @@ Gates:
     run passes --max-regression 1000 to reduce this gate to a
     verdict check);
   * --require-microbench KEY:MIN enforces an absolute floor on a current
-    microbench's speedup_vs_reference (e.g. rational_pivot:1.5).
+    microbench's speedup_vs_reference (e.g. rational_pivot:1.5);
+  * --require-reuse MIN enforces a floor on the refinement_reuse
+    workload's node-expansion ratio (restart nodes / arg nodes) and
+    re-checks that both reachability engines agreed on the verdict.
 
 Exits 0 when every gate holds, 1 otherwise.
 """
@@ -37,6 +41,11 @@ def main():
                     metavar="KEY:MINSPEEDUP",
                     help="fail unless current microbench KEY reaches "
                          "MINSPEEDUP x vs its in-process reference")
+    ap.add_argument("--require-reuse", type=float, default=None,
+                    metavar="MINRATIO",
+                    help="fail unless refinement_reuse.node_ratio (restart "
+                         "nodes / arg nodes) reaches MINRATIO and both "
+                         "engines agree on the verdict")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -109,6 +118,25 @@ def main():
             ok = False
         else:
             print("OK:   " + line)
+
+    if args.require_reuse is not None:
+        reuse = cur.get("refinement_reuse")
+        if reuse is None:
+            print("FAIL: refinement_reuse workload missing from current")
+            ok = False
+        else:
+            ratio = reuse.get("node_ratio", 0.0)
+            arg_v = reuse.get("arg", {}).get("verdict")
+            restart_v = reuse.get("restart", {}).get("verdict")
+            line = (f"refinement_reuse: node ratio {ratio:.2f}x "
+                    f"(>= {args.require_reuse}x), verdicts "
+                    f"arg={arg_v} restart={restart_v}, speedup "
+                    f"{reuse.get('speedup_vs_restart', 0.0):.2f}x")
+            if ratio < args.require_reuse or arg_v != restart_v:
+                print("FAIL: " + line)
+                ok = False
+            else:
+                print("OK:   " + line)
 
     if "incremental" in cur:
         inc = cur["incremental"]

@@ -9,6 +9,7 @@
 ///
 /// Usage: pathinv [options] <file.pil | ->
 ///   --refiner=pathinv|intervals|pathformula   refinement strategy
+///   --reach=arg|restart                       reachability engine
 ///   --max-refinements=N                       CEGAR iteration budget
 ///   --max-nodes=N                             abstract reachability budget
 ///   --stats                                   per-layer statistics
@@ -34,6 +35,9 @@ int usage(const char *Argv0) {
       << "usage: " << Argv0 << " [options] <file.pil | ->\n"
       << "  --refiner=pathinv|intervals|pathformula  refinement strategy\n"
       << "                                           (default: pathinv)\n"
+      << "  --reach=arg|restart  reachability engine: persistent ARG with\n"
+      << "                       subtree-scoped refinement (default), or\n"
+      << "                       the legacy restart-the-world tree\n"
       << "  --max-refinements=N  CEGAR iteration budget (default 40)\n"
       << "  --max-nodes=N        abstract reachability node budget\n"
       << "  --stats              print per-layer statistics\n"
@@ -74,6 +78,15 @@ int main(int Argc, char **Argv) {
         Opts.Refiner = pathinv::RefinerKind::PathFormula;
       } else {
         std::cerr << "unknown refiner '" << V << "'\n";
+        return usage(Argv[0]);
+      }
+    } else if (const char *V = valueOf("--reach=")) {
+      if (std::strcmp(V, "arg") == 0) {
+        Opts.Reach.Mode = pathinv::ReachMode::Arg;
+      } else if (std::strcmp(V, "restart") == 0) {
+        Opts.Reach.Mode = pathinv::ReachMode::Restart;
+      } else {
+        std::cerr << "unknown reachability engine '" << V << "'\n";
         return usage(Argv[0]);
       }
     } else if (const char *V = valueOf("--max-refinements=")) {
