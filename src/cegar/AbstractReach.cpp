@@ -109,10 +109,16 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
       };
 
       // Abstract feasibility of the edge: is the concrete post-image
-      // non-empty?
+      // non-empty? The Sat model doubles as a witness for the entailment
+      // batch below: a predicate it values definitely false cannot be
+      // entailed, one it values definitely true cannot be refuted, so
+      // those queries are skipped instead of routed to the solver.
       ++Result.EntailmentQueries;
+      std::optional<smt::CheckResult> Feas;
+      if (PostInCtx)
+        Feas = Ctx.checkSat();
       bool Infeasible = PostInCtx
-                            ? Ctx.checkSat().isUnsat()
+                            ? Feas->isUnsat()
                             : entailsWithQuant(TM, Solver, Post, TM.mkFalse());
       if (Infeasible) {
         popPost();
@@ -147,13 +153,21 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
               return primedVar(TM, Var);
             });
         bool PredInCtx = PostInCtx && isGround(PredPrimed);
-        ++Result.EntailmentQueries;
+        std::optional<bool> Witness;
         if (PredInCtx)
-          ++Result.AssumptionQueries;
-        bool Entailed =
-            PredInCtx
-                ? Ctx.checkSat({TM.mkNot(PredPrimed)}).isUnsat()
-                : entailsWithQuant(TM, Solver, Post, PredPrimed);
+          Witness = smt::evalLiteral(Feas->model(), PredPrimed);
+        bool Entailed;
+        if (Witness && !*Witness) {
+          Entailed = false; // The feasibility model refutes entailment.
+          ++Result.ModelFilteredQueries;
+        } else {
+          ++Result.EntailmentQueries;
+          if (PredInCtx)
+            ++Result.AssumptionQueries;
+          Entailed = PredInCtx
+                         ? Ctx.checkSat({TM.mkNot(PredPrimed)}).isUnsat()
+                         : entailsWithQuant(TM, Solver, Post, PredPrimed);
+        }
         if (Entailed) {
           Child.Literals.insert(Pred);
           continue;
@@ -161,13 +175,19 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
         // Track definite falseness too (needed to refute paths whose
         // infeasibility rests on a predicate being violated).
         if (!containsQuantifier(Pred)) {
-          ++Result.EntailmentQueries;
-          if (PredInCtx)
-            ++Result.AssumptionQueries;
-          bool NegEntailed =
-              PredInCtx
-                  ? Ctx.checkSat({PredPrimed}).isUnsat()
-                  : entailsWithQuant(TM, Solver, Post, TM.mkNot(PredPrimed));
+          bool NegEntailed;
+          if (Witness && *Witness) {
+            NegEntailed = false; // The model satisfies the predicate.
+            ++Result.ModelFilteredQueries;
+          } else {
+            ++Result.EntailmentQueries;
+            if (PredInCtx)
+              ++Result.AssumptionQueries;
+            NegEntailed =
+                PredInCtx
+                    ? Ctx.checkSat({PredPrimed}).isUnsat()
+                    : entailsWithQuant(TM, Solver, Post, TM.mkNot(PredPrimed));
+          }
           if (NegEntailed)
             Child.Literals.insert(TM.mkNot(Pred));
         }

@@ -56,6 +56,10 @@ struct ReachResult {
   /// Entailment queries answered by flipping an assumption literal on the
   /// wave's incremental context (post-image asserted once per transition).
   uint64_t AssumptionQueries = 0;
+  /// Entailment queries skipped because the edge-feasibility model already
+  /// witnessed the answer (theory models are integral, so the witness is
+  /// genuine over the integers).
+  uint64_t ModelFilteredQueries = 0;
 };
 
 /// Which reachability engine the CEGAR loop drives.

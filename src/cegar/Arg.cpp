@@ -135,6 +135,43 @@ bool ReachEngine::labelNode(int Id) {
   const Term *State = TM.mkAnd(std::move(Conj));
   const Term *Post = TM.mkAnd(State, T.Rel);
 
+  // Label batching: the label is a pure function of (state formula,
+  // transition, location) under a fixed precision, so the first outcome
+  // serves every later node with the same key — until the precision
+  // grows at this location (stamp mismatch) and the entry goes stale.
+  RelabelKey MemoKey{State, T.Rel, node(Id).Loc};
+  const size_t CurStamp = Pi.sizeAt(node(Id).Loc);
+  auto applyLabel = [&](bool Feasible, const TermSet &Literals) {
+    if (!Feasible) {
+      node(Id).St = ArgNode::State::Infeasible;
+      ++Stats.InfeasibleEdges;
+      return false;
+    }
+    if (node(Id).Loc == P.error()) {
+      node(Id).ParentStale = false;
+      return true;
+    }
+    ArgNode &N = node(Id);
+    TermSet OldLiterals = std::move(N.Literals);
+    N.Literals = Literals;
+    ++Stats.NodesLabelled;
+    bool Strengthened = N.HasLabel && N.Literals != OldLiterals;
+    N.HasLabel = true;
+    N.ParentStale = false;
+    N.PrecStamp = Pi.sizeAt(N.Loc);
+    if (Strengthened)
+      for (int C : N.Children)
+        node(C).ParentStale = true;
+    return true;
+  };
+  {
+    auto It = LabelMemo.find(MemoKey);
+    if (It != LabelMemo.end() && It->second.PrecStamp == CurStamp) {
+      ++Stats.RelabelsBatched;
+      return applyLabel(It->second.Feasible, It->second.Literals);
+    }
+  }
+
   // One scope serves the edge feasibility check and the whole labelling
   // batch: the post-image is asserted once, every predicate entailment is
   // an assumption flip on top. Quantified or store-carrying queries fall
@@ -155,76 +192,88 @@ bool ReachEngine::labelNode(int Id) {
   // non-empty? It depends on the parent's label (not the precision
   // directly), so the settle sweep re-runs it exactly when the parent
   // strengthened — a flip here is the semantic pivot that prunes the
-  // subtree below.
+  // subtree below. The Sat model doubles as a witness for the entailment
+  // batch: a predicate it values definitely false cannot be entailed, one
+  // it values definitely true cannot be refuted, so those queries are
+  // skipped (theory models are integral, so the witness is genuine).
   ++Stats.EntailmentQueries;
-  bool Infeasible = InCtx ? Ctx.checkSat().isUnsat()
+  std::optional<smt::CheckResult> Feas;
+  if (InCtx)
+    Feas = Ctx.checkSat();
+  bool Infeasible = InCtx ? Feas->isUnsat()
                           : entailsWithQuant(TM, Solver, Post, TM.mkFalse());
   if (Infeasible) {
     popCtx();
-    node(Id).St = ArgNode::State::Infeasible;
-    ++Stats.InfeasibleEdges;
-    return false;
+    LabelMemo[MemoKey] = {false, {}, CurStamp};
+    return applyLabel(false, {});
   }
 
   // Error-location nodes are never labelled: the caller reports the
   // abstract counterexample instead.
   if (node(Id).Loc == P.error()) {
-    node(Id).ParentStale = false;
     popCtx();
-    return true;
+    LabelMemo[MemoKey] = {true, {}, CurStamp};
+    return applyLabel(true, {});
   }
 
   // Cartesian abstract post: track each relevant predicate (or its
   // negation) entailed by the concrete post-image.
-  ArgNode &N = node(Id);
-  TermSet OldLiterals = std::move(N.Literals);
-  N.Literals.clear();
+  TermSet NewLiterals;
   std::vector<const Term *> Relevant;
-  Pi.collectRelevant(N.Loc, Relevant);
+  Pi.collectRelevant(node(Id).Loc, Relevant);
   for (const Term *Pred : Relevant) {
     const Term *PredPrimed =
         renameVars(TM, Pred, [this](const Term *Var) -> const Term * {
           return primedVar(TM, Var);
         });
     bool PredInCtx = InCtx && isGround(PredPrimed);
-    ++Stats.EntailmentQueries;
+    std::optional<bool> Witness;
     if (PredInCtx)
-      ++Stats.AssumptionQueries;
-    bool Entailed = PredInCtx
-                        ? Ctx.checkSat({TM.mkNot(PredPrimed)}).isUnsat()
-                        : entailsWithQuant(TM, Solver, Post, PredPrimed);
+      Witness = smt::evalLiteral(Feas->model(), PredPrimed);
+    bool Entailed;
+    if (Witness && !*Witness) {
+      Entailed = false; // The feasibility model refutes entailment.
+      ++Stats.ModelFilteredQueries;
+    } else {
+      ++Stats.EntailmentQueries;
+      if (PredInCtx)
+        ++Stats.AssumptionQueries;
+      Entailed = PredInCtx
+                     ? Ctx.checkSat({TM.mkNot(PredPrimed)}).isUnsat()
+                     : entailsWithQuant(TM, Solver, Post, PredPrimed);
+    }
     if (Entailed) {
-      N.Literals.insert(Pred);
+      NewLiterals.insert(Pred);
       continue;
     }
     // Track definite falseness too (needed to refute paths whose
     // infeasibility rests on a predicate being violated).
     if (!containsQuantifier(Pred)) {
-      ++Stats.EntailmentQueries;
-      if (PredInCtx)
-        ++Stats.AssumptionQueries;
-      bool NegEntailed =
-          PredInCtx ? Ctx.checkSat({PredPrimed}).isUnsat()
-                    : entailsWithQuant(TM, Solver, Post, TM.mkNot(PredPrimed));
+      bool NegEntailed;
+      if (Witness && *Witness) {
+        NegEntailed = false; // The model satisfies the predicate.
+        ++Stats.ModelFilteredQueries;
+      } else {
+        ++Stats.EntailmentQueries;
+        if (PredInCtx)
+          ++Stats.AssumptionQueries;
+        NegEntailed =
+            PredInCtx
+                ? Ctx.checkSat({PredPrimed}).isUnsat()
+                : entailsWithQuant(TM, Solver, Post, TM.mkNot(PredPrimed));
+      }
       if (NegEntailed)
-        N.Literals.insert(TM.mkNot(Pred));
+        NewLiterals.insert(TM.mkNot(Pred));
     }
   }
   popCtx();
-  ++Stats.NodesLabelled;
-  bool Strengthened = N.HasLabel && N.Literals != OldLiterals;
-  N.HasLabel = true;
-  N.ParentStale = false;
-  N.PrecStamp = Pi.sizeAt(N.Loc);
+  LabelMemo[MemoKey] = {true, NewLiterals, CurStamp};
   // Labels strengthen monotonically (the precision only grows and parent
   // labels only strengthen). A changed label makes every child's label out
   // of date — still sound, but computed from a weaker post-image — so
   // staleness cascades one generation: each child relabels on its next
   // visit (or path replay) and marks its own children in turn.
-  if (Strengthened)
-    for (int C : N.Children)
-      node(C).ParentStale = true;
-  return true;
+  return applyLabel(true, NewLiterals);
 }
 
 int ReachEngine::findCoverer(int Id) {
@@ -361,7 +410,10 @@ bool ReachEngine::settleAndRecheck(const ArgRunResult &R) {
   // marks the children ParentStale) before it reaches the children, and
   // nodes pruned mid-sweep (their ancestor's edge died) are skipped by
   // the state check. Nodes whose labels come out unchanged cut the
-  // cascade: their subtrees are reused verbatim.
+  // cascade: their subtrees are reused verbatim. Relabels are batched per
+  // (location, post-image) through labelNode's LabelMemo: the precision
+  // is fixed for the whole sweep, so identical labelling batches run
+  // once and replay for the rest of the cohort.
   for (size_t I = 0; I < Graph.Nodes.size(); ++I) {
     if (Graph.Nodes[I].St != ArgNode::State::Expanded ||
         !Graph.Nodes[I].staleUnder(Pi))

@@ -72,7 +72,9 @@
 #include "smt/SolverContext.h"
 
 #include <algorithm>
+#include <map>
 #include <queue>
+#include <tuple>
 
 namespace pathinv {
 
@@ -169,6 +171,14 @@ struct ArgStats {
   uint64_t NodesLabelled = 0;     ///< Label batches run (incl. relabels).
   uint64_t EntailmentQueries = 0;
   uint64_t AssumptionQueries = 0; ///< Served as assumption flips.
+  /// Entailment queries skipped because the edge-feasibility model already
+  /// witnessed the answer (integral theory models are genuine witnesses).
+  uint64_t ModelFilteredQueries = 0;
+  /// Labelling batches served from another node's memoized outcome (same
+  /// location, same post-image, same precision): the assumption-flip
+  /// group ran once per location/post pair instead of once per node —
+  /// settle-sweep cohorts and converged loop unrollings both batch.
+  uint64_t RelabelsBatched = 0;
   uint64_t CoverChecks = 0;       ///< Candidate subset comparisons.
   uint64_t NodesCovered = 0;
   uint64_t ForcedCovers = 0;      ///< Stale-leaf relabels ending covered.
@@ -280,6 +290,24 @@ private:
       Worklist;
   /// Live expanded node ids per location — the covering candidate index.
   std::vector<std::vector<int>> ExpandedAt;
+  /// Label batching: a node's label is a pure function of (state formula,
+  /// transition relation, location) under a fixed precision, so the
+  /// outcome of one labelling batch is memoized under that key and
+  /// replayed for every node that matches — loop unrollings whose parents
+  /// converged to the same label, reconvergent branches, and above all
+  /// the settle sweep, where whole cohorts of stale nodes at a location
+  /// share one post-image. Entries carry the precision stamp the
+  /// staleness machinery already uses (Precision::sizeAt at the keyed
+  /// location); a stamp mismatch is a miss, so entries self-invalidate
+  /// when a refinement grows the precision — no clearing protocol.
+  /// Terms are interned: pointer identity is formula identity.
+  struct RelabelOutcome {
+    bool Feasible;
+    TermSet Literals;
+    size_t PrecStamp;
+  };
+  using RelabelKey = std::tuple<const Term *, const Term *, LocId>;
+  std::map<RelabelKey, RelabelOutcome> LabelMemo;
   ArgStats Stats;
 };
 

@@ -124,11 +124,13 @@ void syncReachStats(EngineStats &S, const ArgStats &A) {
   S.NodesExpanded = A.NodesExpanded;
   S.EntailmentQueries = A.EntailmentQueries;
   S.AssumptionQueries = A.AssumptionQueries;
+  S.ModelFilteredQueries = A.ModelFilteredQueries;
   S.NodesReused = A.NodesReused;
   S.NodesPruned = A.NodesPruned;
   S.CoverChecks = A.CoverChecks;
   S.NodesCovered = A.NodesCovered;
   S.ForcedCovers = A.ForcedCovers;
+  S.RelabelsBatched = A.RelabelsBatched;
 }
 
 /// The CEGAR loop over the persistent ARG (ReachMode::Arg): refinement
@@ -148,6 +150,8 @@ EngineResult verifyArg(const Program &P, SmtSolver &Solver,
     Result.Stats.ReachLearnedPurges = Ctx.LearnedPurges;
     Result.Stats.ReachClausesPurged = Ctx.ClausesPurged;
     Result.Stats.ReachRedundantClauses = Ctx.RedundantClauses;
+    Result.Stats.ReachBnbNodes = Ctx.BnbNodes;
+    Result.Stats.ReachScratchFallbacks = Ctx.ScratchFallbacks;
     Result.Stats.PathConjunctsReused = PathChecker.reusedConjuncts();
     Result.Stats.PathConjunctsAsserted = PathChecker.assertedConjuncts();
     Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
@@ -224,6 +228,7 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
     Result.Stats.NodesExpanded += Reach.NodesExpanded;
     Result.Stats.EntailmentQueries += Reach.EntailmentQueries;
     Result.Stats.AssumptionQueries += Reach.AssumptionQueries;
+    Result.Stats.ModelFilteredQueries += Reach.ModelFilteredQueries;
 
     if (Reach.Kind == ReachResult::Kind::Proof) {
       Result.Verdict = EngineResult::Verdict::Safe;

@@ -45,6 +45,9 @@ struct EngineStats {
   /// Entailment queries served incrementally (assumption flips on an
   /// asserted post-image) during abstract reachability.
   uint64_t AssumptionQueries = 0;
+  /// Entailment queries skipped outright because the post-image's
+  /// feasibility model already witnessed the answer.
+  uint64_t ModelFilteredQueries = 0;
   // ARG engine only: incremental reuse vs. fresh work at the engine level.
   /// Expanded nodes retained across refinements (summed per refinement) —
   /// exploration the restart engine would redo.
@@ -58,6 +61,10 @@ struct EngineStats {
   /// Stale leaves relabelled under a grown precision that an existing
   /// expanded node then covered (expansion saved).
   uint64_t ForcedCovers = 0;
+  /// Labelling batches replayed from an identical memoized batch at the
+  /// same location (one assumption-flip group per location/post pair per
+  /// precision state) — settle sweeps and converged loop unrollings.
+  uint64_t RelabelsBatched = 0;
   // ARG engine only: the run-lifetime solver context behind reachability
   // (its checks, and the learned-clause garbage collection keeping it
   // bounded). The facade solver's stats live in Verifier::solverStats().
@@ -65,6 +72,11 @@ struct EngineStats {
   uint64_t ReachLearnedPurges = 0;
   uint64_t ReachClausesPurged = 0;
   uint64_t ReachRedundantClauses = 0;
+  /// Branch-and-bound work inside the reach context's theory solver, and
+  /// how often a query still had to abandon the cached tableau. A rising
+  /// fallback count is a regression in incrementality.
+  uint64_t ReachBnbNodes = 0;
+  uint64_t ReachScratchFallbacks = 0;
   /// Path-formula conjuncts found already asserted from the previous
   /// iteration's path (prefix reuse) vs. conjuncts freshly asserted.
   uint64_t PathConjunctsReused = 0;

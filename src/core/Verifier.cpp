@@ -35,6 +35,10 @@ Verifier::SolverLayerStats Verifier::solverStats() const {
   S.Pops = C.Pops;
   S.BaseReuses = C.BaseReuses;
   S.BaseRebuilds = C.BaseRebuilds;
+  S.BnbNodes = C.BnbNodes;
+  S.BnbRepairPivots = C.BnbRepairPivots;
+  S.BnbLemmas = C.BnbLemmas;
+  S.ScratchFallbacks = C.ScratchFallbacks;
   S.SatConflicts = C.SatConflicts;
   S.SatDecisions = C.SatDecisions;
   S.SatPropagations = C.SatPropagations;
@@ -57,6 +61,11 @@ std::string pathinv::formatSolverStats(const Verifier::SolverLayerStats &S) {
          " / pop " + std::to_string(S.Pops) + "\n";
   Out += "  base tableau:       " + std::to_string(S.BaseReuses) +
          " reuses, " + std::to_string(S.BaseRebuilds) + " rebuilds\n";
+  Out += "  theory b&b:         " + std::to_string(S.BnbNodes) +
+         " nodes, " + std::to_string(S.BnbRepairPivots) +
+         " repair pivots, " + std::to_string(S.BnbLemmas) +
+         " bound lemmas, " + std::to_string(S.ScratchFallbacks) +
+         " scratch fallbacks\n";
   Out += "  cdcl:               " + std::to_string(S.SatConflicts) +
          " conflicts, " + std::to_string(S.SatDecisions) + " decisions, " +
          std::to_string(S.SatPropagations) + " propagations\n";
@@ -99,7 +108,9 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
   if (R.Stats.ReachContextChecks != 0 || R.Stats.CoverChecks != 0 ||
       R.Stats.NodesReused != 0 || R.Stats.NodesPruned != 0) {
     Out += "\n  nodes reused:       " + std::to_string(R.Stats.NodesReused) +
-           " (pruned: " + std::to_string(R.Stats.NodesPruned) + ")";
+           " (pruned: " + std::to_string(R.Stats.NodesPruned) +
+           ", relabels batched: " + std::to_string(R.Stats.RelabelsBatched) +
+           ")";
     Out += "\n  covering:           " +
            std::to_string(R.Stats.NodesCovered) + " covered / " +
            std::to_string(R.Stats.CoverChecks) + " checks (forced: " +
@@ -109,10 +120,15 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
            std::to_string(R.Stats.ReachLearnedPurges) + " purges / " +
            std::to_string(R.Stats.ReachClausesPurged) + " deleted / " +
            std::to_string(R.Stats.ReachRedundantClauses) + " live clauses";
+    Out += "\n  reach theory b&b:   " +
+           std::to_string(R.Stats.ReachBnbNodes) + " nodes, " +
+           std::to_string(R.Stats.ReachScratchFallbacks) +
+           " scratch fallbacks";
   }
   Out += "\n  entailment queries: " +
          std::to_string(R.Stats.EntailmentQueries) + " (incremental: " +
-         std::to_string(R.Stats.AssumptionQueries) + ")";
+         std::to_string(R.Stats.AssumptionQueries) + ", model-filtered: " +
+         std::to_string(R.Stats.ModelFilteredQueries) + ")";
   Out += "\n  path conjuncts:     " +
          std::to_string(R.Stats.PathConjunctsAsserted) + " asserted, " +
          std::to_string(R.Stats.PathConjunctsReused) + " reused";

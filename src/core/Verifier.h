@@ -80,6 +80,13 @@ public:
     // Theory base tableau.
     uint64_t BaseReuses = 0;
     uint64_t BaseRebuilds = 0;
+    // Scoped branch-and-bound (integer/disequality splits served on the
+    // cached tableau) vs. scratch fallbacks. ScratchFallbacks creeping up
+    // means split-requiring queries are losing incrementality again.
+    uint64_t BnbNodes = 0;
+    uint64_t BnbRepairPivots = 0;
+    uint64_t BnbLemmas = 0;
+    uint64_t ScratchFallbacks = 0;
     // CDCL core.
     uint64_t SatConflicts = 0;
     uint64_t SatDecisions = 0;

@@ -221,6 +221,7 @@ void Simplex::updateNonbasic(int Var, const DeltaRational &Value) {
 }
 
 void Simplex::pivot(int Basic, int Nonbasic) {
+  ++NumPivots;
   Row OldRow = std::move(Rows[Basic]);
   Rows.erase(Basic);
   Rational PivotCoeff = OldRow[Nonbasic];

@@ -72,6 +72,16 @@ public:
   /// when still basic, and popped variables linger as unconstrained dead
   /// columns (their indices are never reused). Clients that pop often
   /// should rebuild once dead columns dominate (see numVars()).
+  ///
+  /// Scopes nest arbitrarily, which is what the theory solver's scoped
+  /// branch-and-bound relies on: a query scope holds the query's
+  /// constraints, and every branch node pushes a further scope carrying
+  /// only its branch bound. check() after such a push performs
+  /// dual-simplex-style repair — it starts from the current (previously
+  /// feasible) assignment and pivots only on bound violations the new
+  /// bounds introduced — so branching and backtracking never rebuild or
+  /// re-solve the tableau from scratch. numPivots() exposes the
+  /// cumulative repair-pivot count so callers can attribute that work.
   /// @{
   void push();
   void pop();
@@ -90,6 +100,11 @@ public:
 
   /// After a Sat result: copies all model values (index = variable).
   std::vector<Rational> model() const;
+
+  /// Cumulative pivots performed by check() over this tableau's lifetime.
+  /// The delta across one scoped check() is the cost of repairing the
+  /// assignment after the scope's bound assertions.
+  uint64_t numPivots() const { return NumPivots; }
 
 private:
   struct BoundInfo {
@@ -139,6 +154,7 @@ private:
   bool HasConflict = false;
   std::vector<BoundUndo> UndoTrail;
   std::vector<ScopeMark> Scopes;
+  uint64_t NumPivots = 0;
 };
 
 } // namespace pathinv

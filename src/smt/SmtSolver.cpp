@@ -10,13 +10,6 @@
 
 using namespace pathinv;
 
-ConjResult
-SmtSolver::checkConjunction(const std::vector<const Term *> &Literals) {
-  ++DirectTheoryChecks;
-  TheoryConjSolver Theory(TM);
-  return Theory.solve(Literals);
-}
-
 SmtSolver::Status SmtSolver::checkSat(const Term *Formula) {
   ++Queries;
   assert(!containsQuantifier(Formula) &&
@@ -45,23 +38,22 @@ SmtSolver::Status SmtSolver::checkSat(const Term *Formula) {
 
   Model.clear();
 
-  // Standalone conjunction queries (the context holds no assertions to
-  // combine with) go straight to the theory solver: there is no prefix to
-  // amortize, so the context's cached-tableau probe would only add
-  // overhead when the query needs theory splits.
+  // Literal conjunctions ride the context's theory fast path as one batch
+  // of assumption literals: no scope churn in the theory base, splits are
+  // served by the scoped branch-and-bound on the cached tableau, and any
+  // branch-derived bound lemmas persist in the context across queries.
+  // (Before the scoped search existed, these queries bypassed the context
+  // entirely because a needed split forced a from-scratch solve anyway.)
   std::vector<const Term *> Literals;
-  if (!Ctx.hasAssertions() && isLiteralConjunction(F, Literals)) {
-    ConjResult R = checkConjunction(Literals);
-    if (R.IsSat)
-      Model = std::move(R.Model);
-    SatCache[Key] = R.IsSat;
-    return R.IsSat ? Status::Sat : Status::Unsat;
-  }
-
-  Ctx.push();
-  Ctx.assertTerm(F);
-  smt::CheckResult R = Ctx.checkSat();
-  Ctx.pop();
+  smt::CheckResult R = [&] {
+    if (isLiteralConjunction(F, Literals))
+      return Ctx.checkSat(Literals);
+    Ctx.push();
+    Ctx.assertTerm(F);
+    smt::CheckResult Scoped = Ctx.checkSat();
+    Ctx.pop();
+    return Scoped;
+  }();
   if (R.isSat())
     Model = R.model().values();
   SatCache[Key] = R.isSat();

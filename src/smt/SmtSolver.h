@@ -57,10 +57,6 @@ public:
     return Model;
   }
 
-  /// Decides a conjunction of literals directly (no memoization); exposes
-  /// the unsat core for counterexample analysis.
-  ConjResult checkConjunction(const std::vector<const Term *> &Literals);
-
   /// The underlying incremental context. Assertions made here persist and
   /// are honored (and cache-keyed) by the one-shot calls above.
   smt::SolverContext &context() { return Ctx; }
@@ -68,9 +64,7 @@ public:
 
   /// Statistics.
   uint64_t numQueries() const { return Queries; }
-  uint64_t numTheoryChecks() const {
-    return Ctx.stats().TheoryChecks + DirectTheoryChecks;
-  }
+  uint64_t numTheoryChecks() const { return Ctx.stats().TheoryChecks; }
   uint64_t numCacheHits() const { return CacheHits; }
   /// Cumulative CDCL-core statistics of the underlying context.
   uint64_t numSatConflicts() const { return Ctx.stats().SatConflicts; }
@@ -87,7 +81,6 @@ private:
   std::map<std::pair<uint64_t, uint32_t>, bool> SatCache;
   uint64_t Queries = 0;
   uint64_t CacheHits = 0;
-  uint64_t DirectTheoryChecks = 0;
 };
 
 } // namespace pathinv

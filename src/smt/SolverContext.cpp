@@ -184,6 +184,25 @@ SolverContext::checkConjunctions(const std::vector<const Term *> &Assumptions) {
   ++Stats.ConjunctionChecks;
   ++Stats.TheoryChecks;
   ConjResult R = Theory.solveWithBase(Assumptions);
+
+  // Persist branch-derived bound lemmas: each says premises -> bound and
+  // is theory-valid on its own, so the clause !P1 \/ ... \/ !Pk \/ bound
+  // joins the SAT core unguarded — it survives pops, is activity-managed
+  // by the learned-clause GC, and prunes future lazy checks that would
+  // otherwise rediscover the same integer bound by branching.
+  for (const BranchLemma &L : Theory.takeBranchLemmas()) {
+    std::vector<Lit> Clause;
+    Clause.reserve(L.Premises.size() + 1);
+    for (const Term *P : L.Premises) {
+      if (P->isTrue())
+        continue;
+      Clause.push_back(~encodeFormula(P));
+    }
+    Clause.push_back(encodeFormula(L.Bound));
+    if (Sat.addLemma(std::move(Clause)))
+      ++Stats.BnbLemmas;
+  }
+
   if (R.IsSat)
     return CheckResult::sat(Model(std::move(R.Model)));
   std::vector<const Term *> Failed;
@@ -286,7 +305,38 @@ ContextStats SolverContext::stats() const {
   S.SatPropagations = Sat.numPropagations();
   S.BaseReuses = Theory.numBaseReuses();
   S.BaseRebuilds = Theory.numBaseRebuilds();
+  S.BnbNodes = Theory.numBnbNodes();
+  S.BnbRepairPivots = Theory.numBnbRepairPivots();
+  S.ScratchFallbacks = Theory.numScratchFallbacks();
   S.ClausesPurged = Sat.numPurgedClauses();
   S.RedundantClauses = Sat.numRedundantClauses();
   return S;
+}
+
+std::optional<bool> smt::evalLiteral(const Model &M, const Term *L) {
+  bool Negated = L->kind() == TermKind::Not;
+  const Term *Atom = Negated ? L->operand(0) : L;
+  std::optional<LinearAtom> Lin = decomposeAtom(Atom);
+  if (!Lin)
+    return std::nullopt;
+  Rational Value = Lin->Expr.constant();
+  for (const auto &[A, Coeff] : Lin->Expr.coefficients()) {
+    std::optional<Rational> V = M.value(A);
+    if (!V)
+      return std::nullopt; // The model says nothing about this atom.
+    Value.addMul(Coeff, *V);
+  }
+  bool Holds = false;
+  switch (Lin->Rel) {
+  case RelKind::Eq:
+    Holds = Value.isZero();
+    break;
+  case RelKind::Le:
+    Holds = !Value.isPositive();
+    break;
+  case RelKind::Lt:
+    Holds = Value.isNegative();
+    break;
+  }
+  return Negated ? !Holds : Holds;
 }

@@ -161,6 +161,12 @@ struct ContextStats {
   // Theory base tableau.
   uint64_t BaseReuses = 0;
   uint64_t BaseRebuilds = 0;
+  // Scoped branch-and-bound over the cached tableau (integrality and
+  // disequality splits served without abandoning the base).
+  uint64_t BnbNodes = 0;        ///< Branch nodes explored.
+  uint64_t BnbRepairPivots = 0; ///< Pivots repairing branch-bound scopes.
+  uint64_t BnbLemmas = 0;       ///< Branch-derived bound lemmas learned.
+  uint64_t ScratchFallbacks = 0; ///< Queries that left the cached tableau.
 };
 
 /// Incremental SMT context. See the file comment for the architecture.
@@ -206,6 +212,14 @@ public:
   void setLearnedClauseBudget(size_t Budget) { LearnedBudget = Budget; }
   size_t learnedClauseBudget() const { return LearnedBudget; }
 
+  /// Budgets for the theory solver's scoped branch-and-bound (nodes per
+  /// query, branch depth). A zero node budget disables the scoped search:
+  /// every split-requiring query re-solves from scratch, the
+  /// pre-branch-and-bound behavior (bench harness reference mode).
+  void setTheoryBnbBudgets(uint32_t MaxNodes, uint32_t MaxDepth) {
+    Theory.setBnbBudgets(MaxNodes, MaxDepth);
+  }
+
   /// Snapshot of the context's statistics.
   ContextStats stats() const;
 
@@ -249,6 +263,15 @@ private:
   size_t LearnedBudget = 20000;
   ContextStats Stats;
 };
+
+/// Evaluates ground literal \p L (a linear relational atom or its
+/// negation) under \p M. Returns nullopt when the literal is not a linear
+/// literal or mentions an atom the model assigns no value — callers use
+/// this to skip entailment queries whose answer the model already
+/// witnesses, and must fall back to a real query on nullopt. Theory models
+/// are integral and functionally consistent, so a definite answer is a
+/// genuine witness over the integers.
+std::optional<bool> evalLiteral(const Model &M, const Term *L);
 
 } // namespace smt
 } // namespace pathinv

@@ -235,6 +235,252 @@ bool TheoryConjSolver::ensureBaseTableau() {
   return !BaseUnsat;
 }
 
+namespace {
+
+using ModelMap = std::map<const Term *, Rational, TermIdLess>;
+
+/// Rebuilds the candidate model from the tableau and the congruence
+/// closure's node set (integer constants take their value, everything
+/// else defaults to zero). Runs once per branch-and-bound node.
+void extractModel(const Simplex &Splx, const AtomVarMap &AtomVar,
+                  CongruenceClosure &CC, ModelMap &Out) {
+  Out.clear();
+  std::vector<Rational> M = Splx.model();
+  for (const auto &[Atom, Var] : AtomVar)
+    Out[Atom] = M[Var];
+  for (const Term *Node : CC.nodes()) {
+    if (!Node->isInt())
+      continue;
+    if (Node->isIntConst()) {
+      Out[Node] = Node->value();
+      continue;
+    }
+    Out.try_emplace(Node, Rational());
+  }
+}
+
+/// One side of a branch: assert `Expr <= 0`; when the side is refuted by
+/// input facts alone, \c Complement is the integer bound those facts
+/// entail (the lemma head).
+struct BranchSide {
+  LinearExpr Expr;
+  const Term *Complement;
+};
+
+/// A two-way case split chosen from the candidate model. Sides are tried
+/// in order; \c ExhaustTag justifies exhaustiveness (the disequality fact
+/// for disequality splits, absent for integrality splits, which are valid
+/// for integer-valued atoms unconditionally).
+struct BranchPlan {
+  BranchSide Sides[2];
+  std::optional<int> ExhaustTag;
+};
+
+/// The scoped branch-and-bound search over the shared tableau. Every
+/// branch node is one Simplex scope holding one bound; check() repairs
+/// the assignment in place and pop() backtracks, so the base and query
+/// constraints are never re-asserted.
+struct BnbSearch {
+  enum class Status : uint8_t { Sat, Unsat, Exhausted };
+
+  TermManager &TM;
+  Simplex &Splx;
+  AtomVarMap &AtomVar;
+  std::vector<const Term *> *InsertedAtoms;
+  CongruenceClosure &CC;
+  const std::vector<const Term *> &FactLits;
+
+  // Tag bookkeeping shared with the caller: tags >= FactLits.size() index
+  // DerivedJust; branch decisions are marked in IsBranchTag.
+  std::vector<std::vector<int>> &DerivedJust;
+  std::vector<bool> &IsBranchTag;
+
+  uint32_t NodesLeft;
+  uint32_t MaxDepth;
+  uint64_t &NodesCounter;
+  uint64_t &RepairPivots;
+  std::vector<BranchLemma> &Lemmas;
+  uint64_t &LemmasProduced;
+  static constexpr size_t MaxPendingLemmas = 64;
+  static constexpr size_t MaxLemmaPremises = 12;
+
+  int numFacts() const { return static_cast<int>(FactLits.size()); }
+
+  int freshBranchTag() {
+    DerivedJust.emplace_back();
+    IsBranchTag.push_back(true);
+    return numFacts() + static_cast<int>(DerivedJust.size()) - 1;
+  }
+
+  bool isBranchTag(int Tag) const {
+    return Tag >= numFacts() && IsBranchTag[Tag - numFacts()];
+  }
+
+  /// Expands derived (non-branch) tags to the fact indices justifying
+  /// them. Branch tags must have been stripped by the caller.
+  std::vector<int> expandToFacts(const std::vector<int> &Tags) const {
+    std::vector<int> Out;
+    for (int Tag : Tags) {
+      if (Tag < numFacts()) {
+        Out.push_back(Tag);
+        continue;
+      }
+      assert(!IsBranchTag[Tag - numFacts()] &&
+             "branch decision leaked into an expanded core");
+      const auto &Just = DerivedJust[Tag - numFacts()];
+      Out.insert(Out.end(), Just.begin(), Just.end());
+    }
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    return Out;
+  }
+
+  /// Picks the next case split under \p Values, or nothing when the model
+  /// is integral and separates every disequality. Integrality first, by
+  /// best-first fractionality (fractional part closest to 1/2), with the
+  /// side nearer the relaxation value ordered first.
+  std::optional<BranchPlan> chooseSplit(const ModelMap &Values) const {
+    const Term *FracAtom = nullptr;
+    Rational FracVal;
+    Rational BestScore;
+    for (const auto &[Atom, Value] : Values) {
+      if (Value.isInteger())
+        continue;
+      Rational Frac = Value - Rational(Value.floor());
+      Rational Score = Frac <= Rational(BigInt(1), BigInt(2))
+                           ? Frac
+                           : Rational(1) - Frac;
+      if (!FracAtom || Score > BestScore) {
+        FracAtom = Atom;
+        FracVal = Value;
+        BestScore = Score;
+      }
+    }
+    if (FracAtom) {
+      const Term *FloorC = TM.mkIntConst(Rational(FracVal.floor()));
+      const Term *CeilC = TM.mkIntConst(Rational(FracVal.ceil()));
+      // Low side: Atom - floor <= 0. High side: ceil - Atom <= 0.
+      BranchSide Low{LinearExpr::atom(FracAtom), TM.mkLe(CeilC, FracAtom)};
+      Low.Expr.addConstant(-Rational(FracVal.floor()));
+      BranchSide High{-LinearExpr::atom(FracAtom), TM.mkLe(FracAtom, FloorC)};
+      High.Expr.addConstant(Rational(FracVal.ceil()));
+      BranchPlan Plan;
+      bool LowFirst =
+          FracVal - Rational(FracVal.floor()) <= Rational(BigInt(1), BigInt(2));
+      Plan.Sides[0] = LowFirst ? Low : High;
+      Plan.Sides[1] = LowFirst ? High : Low;
+      return Plan;
+    }
+
+    for (int I = 0; I < numFacts(); ++I) {
+      const Term *Lit = FactLits[I];
+      if (Lit->kind() != TermKind::Not)
+        continue;
+      const Term *Atom = Lit->operand(0);
+      const Term *A = Atom->operand(0);
+      const Term *B = Atom->operand(1);
+      if (!A->isInt())
+        continue;
+      if (evalUnderModel(A, Values) != evalUnderModel(B, Values))
+        continue; // Model already separates the two sides.
+      // A != B forces A <= B - 1 or A >= B + 1 over the integers (the
+      // same tightening addFactArith applies to strict inequalities).
+      LinearExpr Diff = *LinearExpr::fromTerm(A) - *LinearExpr::fromTerm(B);
+      BranchPlan Plan;
+      Plan.Sides[0].Expr = normalizeToIntegral(Diff);
+      Plan.Sides[0].Expr.addConstant(Rational(1));
+      Plan.Sides[0].Complement = TM.mkLe(B, A);
+      Plan.Sides[1].Expr = normalizeToIntegral(-Diff);
+      Plan.Sides[1].Expr.addConstant(Rational(1));
+      Plan.Sides[1].Complement = TM.mkLe(A, B);
+      Plan.ExhaustTag = I;
+      return Plan;
+    }
+    return std::nullopt;
+  }
+
+  /// Surfaces `premises -> Complement` when a refuted side's core rests on
+  /// input facts alone (no ancestor branch decision participates).
+  void maybeSurfaceLemma(const BranchSide &Side,
+                         const std::vector<int> &CoreSansTag) {
+    if (Lemmas.size() >= MaxPendingLemmas)
+      return;
+    for (int Tag : CoreSansTag)
+      if (isBranchTag(Tag))
+        return; // Conditional on an ancestor decision; not a fact lemma.
+    std::vector<int> Facts = expandToFacts(CoreSansTag);
+    if (Facts.size() > MaxLemmaPremises)
+      return;
+    BranchLemma L;
+    L.Bound = Side.Complement;
+    L.Premises.reserve(Facts.size());
+    for (int I : Facts)
+      L.Premises.push_back(FactLits[I]);
+    Lemmas.push_back(std::move(L));
+    ++LemmasProduced;
+  }
+
+  /// One search node. Entered with the tableau feasible under all
+  /// enclosing scopes; on Sat fills \p ModelOut, on Unsat fills
+  /// \p CoreOut with raw tags (ancestor branch tags may remain — each is
+  /// stripped at its own node's join).
+  Status search(int Depth, ModelMap &ModelOut, std::vector<int> &CoreOut) {
+    ModelMap Values;
+    extractModel(Splx, AtomVar, CC, Values);
+    std::optional<BranchPlan> Plan = chooseSplit(Values);
+    if (!Plan) {
+      if (findFunctionalViolation(CC, Values))
+        return Status::Exhausted; // Needs a congruence split; use scratch.
+      ModelOut = std::move(Values);
+      return Status::Sat;
+    }
+
+    std::vector<int> Union;
+    for (const BranchSide &Side : Plan->Sides) {
+      if (NodesLeft == 0 || Depth >= static_cast<int>(MaxDepth))
+        return Status::Exhausted;
+      --NodesLeft;
+      ++NodesCounter;
+      int Tag = freshBranchTag();
+      Splx.push();
+      addLinearConstraint(Splx, AtomVar, InsertedAtoms, Side.Expr,
+                          SimplexRel::Le, Tag);
+      uint64_t PivotsBefore = Splx.numPivots();
+      bool SideFeasible = Splx.check() == Simplex::Result::Sat;
+      RepairPivots += Splx.numPivots() - PivotsBefore;
+      std::vector<int> Core;
+      if (SideFeasible) {
+        Status R = search(Depth + 1, ModelOut, Core);
+        if (R != Status::Unsat) {
+          Splx.pop();
+          return R; // Sat (model extracted) or Exhausted.
+        }
+      } else {
+        Core = Splx.unsatCore();
+      }
+      Splx.pop();
+      auto It = std::find(Core.begin(), Core.end(), Tag);
+      if (It == Core.end()) {
+        // The refutation does not use this branch's decision: it is a
+        // valid core for the node as a whole, so the sibling need not run.
+        CoreOut = std::move(Core);
+        return Status::Unsat;
+      }
+      Core.erase(It);
+      maybeSurfaceLemma(Side, Core);
+      Union.insert(Union.end(), Core.begin(), Core.end());
+    }
+    if (Plan->ExhaustTag)
+      Union.push_back(*Plan->ExhaustTag);
+    std::sort(Union.begin(), Union.end());
+    Union.erase(std::unique(Union.begin(), Union.end()), Union.end());
+    CoreOut = std::move(Union);
+    return Status::Unsat;
+  }
+};
+
+} // namespace
+
 bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
                                       ConjResult &Out) {
   const int NumBase = static_cast<int>(BaseLits.size());
@@ -273,11 +519,16 @@ bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
   ++BaseReuses;
 
   // Phase 2 (scoped): query constraints plus CC equality exchange, asserted
-  // inside a tableau scope on top of the solved base.
-  std::vector<std::vector<int>> TagJust;
+  // inside a tableau scope on top of the solved base. Tags >= NumFacts are
+  // derived: CC equalities carry the fact indices justifying them, branch
+  // decisions (added by the search below) are marked and stripped at
+  // their own node's join.
+  std::vector<std::vector<int>> DerivedJust;
+  std::vector<bool> IsBranchTag;
   auto freshDerivedTag = [&](std::vector<int> Just) {
-    TagJust.push_back(std::move(Just));
-    return NumFacts + static_cast<int>(TagJust.size()) - 1;
+    DerivedJust.push_back(std::move(Just));
+    IsBranchTag.push_back(false);
+    return NumFacts + static_cast<int>(DerivedJust.size()) - 1;
   };
   auto expandTags = [&](const std::vector<int> &Tags) {
     std::vector<int> Expanded;
@@ -286,7 +537,9 @@ bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
         Expanded.push_back(Tag);
         continue;
       }
-      const auto &Just = TagJust[Tag - NumFacts];
+      assert(!IsBranchTag[Tag - NumFacts] &&
+             "branch decision leaked into a final core");
+      const auto &Just = DerivedJust[Tag - NumFacts];
       Expanded.insert(Expanded.end(), Just.begin(), Just.end());
     }
     return Expanded;
@@ -318,46 +571,42 @@ bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
     return true;
   }
 
-  // Phase 3: candidate model (extracted before the scope is popped; a
-  // single delta concretization covers all variables).
-  std::map<const Term *, Rational, TermIdLess> AtomValues;
-  {
-    std::vector<Rational> M = BaseSplx.model();
-    for (const auto &[Atom, Var] : BaseAtomVar)
-      AtomValues[Atom] = M[Var];
+  // Phases 3/4 (scoped): complete the rational relaxation to an integral,
+  // disequality-separating model by branch-and-bound over the same
+  // tableau. All facts live (base ++ query ++ CC equalities), so literals
+  // are never re-asserted; each branch is one nested bound scope.
+  std::vector<const Term *> FactLits;
+  FactLits.reserve(NumFacts);
+  for (int I = 0; I < NumFacts; ++I)
+    FactLits.push_back(factLiteral(I));
+
+  BnbSearch Search{TM,
+                   BaseSplx,
+                   BaseAtomVar,
+                   &InsertedAtoms,
+                   CC,
+                   FactLits,
+                   DerivedJust,
+                   IsBranchTag,
+                   BnbNodeBudget,
+                   BnbDepthBudget,
+                   BnbNodes,
+                   BnbRepairPivots,
+                   PendingLemmas,
+                   BranchLemmasProduced};
+  ModelMap AtomValues;
+  std::vector<int> Core;
+  BnbSearch::Status R = Search.search(/*Depth=*/0, AtomValues, Core);
+  if (R == BnbSearch::Status::Exhausted) {
+    cleanupScope();
+    return false; // Budget spent or congruence split needed: use scratch.
   }
-  for (const Term *Node : CC.nodes()) {
-    if (!Node->isInt())
-      continue;
-    if (Node->isIntConst()) {
-      AtomValues[Node] = Node->value();
-      continue;
-    }
-    AtomValues.try_emplace(Node, Rational());
+  if (R == BnbSearch::Status::Unsat) {
+    finishUnsat(expandTags(Core));
+    cleanupScope();
+    return true;
   }
   cleanupScope();
-
-  // Split detection (phases 4a/4/5 of the full solver): if completing this
-  // model needs case analysis, fall back to the from-scratch solver.
-  for (const auto &[Atom, Value] : AtomValues) {
-    (void)Atom;
-    if (!Value.isInteger())
-      return false; // Integrality branch needed.
-  }
-  for (int I = 0; I < NumFacts; ++I) {
-    const Term *Lit = factLiteral(I);
-    if (Lit->kind() != TermKind::Not)
-      continue;
-    const Term *Atom = Lit->operand(0);
-    const Term *A = Atom->operand(0);
-    if (!A->isInt())
-      continue;
-    if (evalUnderModel(A, AtomValues) ==
-        evalUnderModel(Atom->operand(1), AtomValues))
-      return false; // Disequality split needed.
-  }
-  if (findFunctionalViolation(CC, AtomValues))
-    return false; // Functional-consistency split needed.
 
   Out = ConjResult();
   Out.IsSat = true;
@@ -370,9 +619,12 @@ TheoryConjSolver::solveWithBase(const std::vector<const Term *> &Query) {
   ConjResult Fast;
   if (trySolveScoped(Query, Fast))
     return Fast;
+  ++ScratchFallbacks;
 
-  // Theory splits required: solve base ++ query from scratch and remap the
-  // core onto query indices.
+  // The scoped search could not finish (branch budget exhausted, or a
+  // functional-consistency split would require re-running congruence
+  // closure): solve base ++ query from scratch and remap the core onto
+  // query indices.
   std::vector<const Term *> All;
   All.reserve(BaseLits.size() + Query.size());
   All.insert(All.end(), BaseLits.begin(), BaseLits.end());

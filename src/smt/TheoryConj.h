@@ -31,6 +31,7 @@
 #include "smt/Simplex.h"
 
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace pathinv {
@@ -49,6 +50,17 @@ struct ConjResult {
   bool BaseInCore = false;
 };
 
+/// A bound lemma derived by the scoped branch-and-bound: the conjunction
+/// of \c Premises (input literals of the base/query) entails \c Bound, an
+/// integer bound literal derived from a refuted branch. The implication is
+/// theory-valid on its own — the clause !P1 \/ ... \/ !Pk \/ Bound may be
+/// learned permanently (SolverContext plumbs these through
+/// SatSolver::addLemma so learned integer bounds persist across queries).
+struct BranchLemma {
+  std::vector<const Term *> Premises;
+  const Term *Bound;
+};
+
 /// Conjunction-of-literals solver over LRA + EUF + array reads.
 ///
 /// Input literals must be store-free (run eliminateArrayWrites first) and
@@ -61,6 +73,19 @@ struct ConjResult {
 /// base — queries run inside a tableau scope that is popped afterwards —
 /// so the arithmetic of a long asserted prefix is encoded and solved once
 /// per base change instead of once per query.
+///
+/// Queries whose rational relaxation needs integrality or disequality
+/// case splits stay on the cached tableau too: a scoped branch-and-bound
+/// pushes one bound scope per branch node (`x <= floor(v)` / `x >= ceil(v)`
+/// for a fractional value, the `<=`/`>=` tightenings for a violated
+/// disequality), lets check() dual-repair the assignment, and backtracks
+/// by popping the scope — never rebuilding the tableau or re-asserting the
+/// conjunction. The branching variable is chosen best-first by
+/// fractionality (value closest to 1/2) and the side nearer the relaxation
+/// value is explored first. The search is budgeted (setBnbBudgets); on
+/// exhaustion — or when a functional-consistency split is needed, which
+/// would have to re-run congruence closure — it falls back soundly to the
+/// from-scratch combined solve (counted by numScratchFallbacks()).
 class TheoryConjSolver {
 public:
   explicit TheoryConjSolver(TermManager &TM) : TM(TM) {}
@@ -93,12 +118,42 @@ public:
   ConjResult solveWithBase(const std::vector<const Term *> &Query);
   /// @}
 
+  /// \name Scoped branch-and-bound tuning and introspection
+  /// @{
+  /// Budgets for the scoped search: at most \p MaxNodes branch nodes per
+  /// query and branch stacks at most \p MaxDepth deep. Exhaustion falls
+  /// back to the from-scratch solve (always sound, just slower). A zero
+  /// node budget disables the scoped search entirely — every
+  /// split-requiring query takes the scratch path, which is exactly the
+  /// pre-branch-and-bound behavior (used by the bench harness as its
+  /// in-process reference, and by tests pinning the fallback).
+  void setBnbBudgets(uint32_t MaxNodes, uint32_t MaxDepth) {
+    BnbNodeBudget = MaxNodes;
+    BnbDepthBudget = MaxDepth;
+  }
+  /// Bound lemmas derived since the last call (drained; see BranchLemma).
+  /// Capped so an undrained solver stays bounded.
+  std::vector<BranchLemma> takeBranchLemmas() {
+    return std::exchange(PendingLemmas, {});
+  }
+  /// @}
+
   /// Statistics (cumulative): simplex systems solved, queries served from
-  /// the cached base tableau, and cache rebuilds. 64-bit: long-lived
-  /// contexts can push query counts past 2^31.
+  /// the cached base tableau, cache rebuilds, branch-and-bound work, and
+  /// scratch fallbacks. 64-bit: long-lived contexts can push query counts
+  /// past 2^31.
   uint64_t numSimplexRuns() const { return SimplexRuns; }
   uint64_t numBaseReuses() const { return BaseReuses; }
   uint64_t numBaseRebuilds() const { return BaseRebuilds; }
+  /// Branch nodes explored by the scoped search.
+  uint64_t numBnbNodes() const { return BnbNodes; }
+  /// Tableau pivots spent repairing assignments after branch bounds.
+  uint64_t numBnbRepairPivots() const { return BnbRepairPivots; }
+  /// solveWithBase() queries that abandoned the cached tableau for a
+  /// from-scratch solve (budget exhaustion or functional splits).
+  uint64_t numScratchFallbacks() const { return ScratchFallbacks; }
+  /// Branch lemmas produced (whether or not they were drained).
+  uint64_t numBranchLemmas() const { return BranchLemmasProduced; }
 
 private:
   /// A constraint with provenance: Origin >= 0 is an input literal index,
@@ -113,10 +168,11 @@ private:
   /// core propagates upward.
   ConjResult solveFacts(std::vector<Fact> Facts, int Depth);
 
-  /// Split-free fast path over the cached base tableau. Returns false when
-  /// completing the query would need theory splits (fractional values,
-  /// violated disequalities, functional inconsistencies); the caller then
-  /// falls back to a from-scratch combined solve.
+  /// Fast path over the cached base tableau, including the scoped
+  /// branch-and-bound for integrality/disequality splits. Returns false
+  /// only when the scoped search cannot complete the query (budget
+  /// exhaustion or a functional-consistency split); the caller then falls
+  /// back to a from-scratch combined solve.
   bool trySolveScoped(const std::vector<const Term *> &Query,
                       ConjResult &Out);
 
@@ -137,6 +193,14 @@ private:
   int BaseVarCount = 0;
   uint64_t BaseReuses = 0;
   uint64_t BaseRebuilds = 0;
+
+  uint32_t BnbNodeBudget = 4096;
+  uint32_t BnbDepthBudget = 64;
+  uint64_t BnbNodes = 0;
+  uint64_t BnbRepairPivots = 0;
+  uint64_t ScratchFallbacks = 0;
+  uint64_t BranchLemmasProduced = 0;
+  std::vector<BranchLemma> PendingLemmas;
 };
 
 } // namespace pathinv

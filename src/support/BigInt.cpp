@@ -9,6 +9,7 @@
 #include "support/IntUtil.h"
 
 #include <algorithm>
+#include <cstddef>
 
 using namespace pathinv;
 using pathinv::detail::absU64;
@@ -558,20 +559,98 @@ int BigInt::compareSlow(const BigInt &RHS) const {
   return SA > 0 ? MagCmp : -MagCmp;
 }
 
+namespace {
+
+/// Index of the lowest set bit of a nonzero magnitude.
+size_t trailingZeroBits(const std::vector<uint32_t> &M) {
+  size_t Limb = 0;
+  while (M[Limb] == 0)
+    ++Limb;
+  return Limb * 32 +
+         static_cast<size_t>(__builtin_ctz(M[Limb]));
+}
+
+/// In-place right shift of a magnitude by \p Bits (leading zeros stripped).
+void shiftRightBits(std::vector<uint32_t> &M, size_t Bits) {
+  size_t Limbs = Bits / 32;
+  unsigned Rem = static_cast<unsigned>(Bits % 32);
+  if (Limbs >= M.size()) {
+    M.clear();
+    return;
+  }
+  if (Limbs)
+    M.erase(M.begin(), M.begin() + static_cast<std::ptrdiff_t>(Limbs));
+  if (Rem) {
+    for (size_t I = 0; I < M.size(); ++I) {
+      uint32_t High = I + 1 < M.size() ? M[I + 1] : 0;
+      M[I] = (M[I] >> Rem) | (High << (32 - Rem));
+    }
+  }
+  while (!M.empty() && M.back() == 0)
+    M.pop_back();
+}
+
+/// In-place left shift of a magnitude by \p Bits.
+void shiftLeftBits(std::vector<uint32_t> &M, size_t Bits) {
+  if (M.empty() || Bits == 0)
+    return;
+  size_t Limbs = Bits / 32;
+  unsigned Rem = static_cast<unsigned>(Bits % 32);
+  if (Rem) {
+    uint32_t Carry = 0;
+    for (size_t I = 0; I < M.size(); ++I) {
+      uint32_t Cur = M[I];
+      M[I] = (Cur << Rem) | Carry;
+      Carry = Cur >> (32 - Rem);
+    }
+    if (Carry)
+      M.push_back(Carry);
+  }
+  M.insert(M.begin(), Limbs, 0);
+}
+
+} // namespace
+
 BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
   if (A.IsInline && B.IsInline) {
     uint64_t G = gcdU64(absU64(A.InlineValue), absU64(B.InlineValue));
     // gcd(INT64_MIN, 0) == 2^63 exceeds int64; route through int128.
     return fromInt128(static_cast<__int128>(G));
   }
-  BigInt X = A.abs();
-  BigInt Y = B.abs();
-  while (!Y.isZero()) {
-    BigInt R = X % Y;
-    X = std::move(Y);
-    Y = std::move(R);
+  // At least one heap operand: binary (Stein) gcd on magnitudes. Each
+  // round costs one compare and one subtraction plus shifts — no long
+  // division — which matters because branch-and-bound scopes churn out
+  // mid-size rationals whose normalization lands here once values
+  // outgrow the inline fast path above (which stays division-based; for
+  // machine words the hardware divider beats the shift loop).
+  uint32_t BufA[2], BufB[2];
+  size_t NA, NB;
+  const uint32_t *MA = A.magnitude(BufA, NA);
+  const uint32_t *MB = B.magnitude(BufB, NB);
+  if (NA == 0)
+    return B.abs();
+  if (NB == 0)
+    return A.abs();
+  std::vector<uint32_t> X(MA, MA + NA);
+  std::vector<uint32_t> Y(MB, MB + NB);
+  size_t ShiftX = trailingZeroBits(X);
+  size_t ShiftY = trailingZeroBits(Y);
+  size_t Common = std::min(ShiftX, ShiftY);
+  shiftRightBits(X, ShiftX);
+  shiftRightBits(Y, ShiftY);
+  // Both odd from here on: the difference of two distinct odd values is
+  // even and nonzero, so every round strips at least one bit.
+  while (true) {
+    int Cmp = compareMag(X.data(), X.size(), Y.data(), Y.size());
+    if (Cmp == 0)
+      break;
+    if (Cmp < 0)
+      X.swap(Y);
+    X = subMag(X.data(), X.size(), Y.data(), Y.size());
+    shiftRightBits(X, trailingZeroBits(X));
   }
-  return X;
+  shiftLeftBits(X, Common);
+  return fromSignMagnitude(/*Sign=*/1, std::move(X));
 }
 
 BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {

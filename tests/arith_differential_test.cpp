@@ -384,6 +384,60 @@ TEST(ArithDifferentialTest, BigIntAgainstSchoolbookReference) {
 }
 
 //===----------------------------------------------------------------------===//
+// Heap gcd: binary (Stein) vs. Euclid reference
+//===----------------------------------------------------------------------===//
+
+// The heap-encoded gcd path is binary (Stein): compare, subtract, and
+// shift — no long division. This sweep pins it against a test-local
+// transcription of the pre-Stein implementation (Euclid over BigInt's own
+// divMod), on operands deliberately sharing power-of-two and odd factors
+// so the gcd itself is frequently a multi-limb value (the common-shift
+// and subtract-shift paths both fire every round). The inline fast path
+// is untouched by the rewrite and is covered by the characterization
+// sweep above.
+TEST(ArithDifferentialTest, HeapGcdMatchesEuclidReference) {
+  auto euclidGcd = [](const BigInt &A, const BigInt &B) {
+    BigInt X = A.abs();
+    BigInt Y = B.abs();
+    while (!Y.isZero()) {
+      BigInt R = X % Y;
+      X = std::move(Y);
+      Y = std::move(R);
+    }
+    return X;
+  };
+  XorShift Rng(0xb17a6cdb17a6cdull);
+  for (int Iter = 0; Iter < 4000; ++Iter) {
+    std::string SA = genOperand(Rng);
+    std::string SB = genOperand(Rng);
+    BigInt A{std::string_view(SA)};
+    BigInt B{std::string_view(SB)};
+    // Plant a shared 2^k (and sometimes odd) factor to grow the gcd.
+    int K = static_cast<int>(Rng.below(80));
+    BigInt Shared(1);
+    for (int I = 0; I < K; ++I)
+      Shared *= BigInt(2);
+    if (Rng.below(2))
+      Shared *= BigInt(static_cast<int64_t>(2 * Rng.below(1000) + 1));
+    A *= Shared;
+    B *= Shared;
+
+    BigInt G = BigInt::gcd(A, B);
+    ASSERT_EQ(G, euclidGcd(A, B)) << SA << " gcd " << SB << " << " << K;
+    // Commutativity, sign-insensitivity, and the zero identities.
+    ASSERT_EQ(G, BigInt::gcd(B, A));
+    ASSERT_EQ(G, BigInt::gcd(-A, B));
+    ASSERT_EQ(G, BigInt::gcd(A, -B));
+    ASSERT_EQ(BigInt::gcd(A, BigInt(0)), A.abs());
+    ASSERT_EQ(BigInt::gcd(BigInt(0), B), B.abs());
+    // The planted factor divides the gcd (unless both operands are zero).
+    if (!A.isZero() || !B.isZero()) {
+      ASSERT_TRUE((G % Shared).isZero()) << SA << " gcd " << SB;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Rational differential sweep
 //===----------------------------------------------------------------------===//
 

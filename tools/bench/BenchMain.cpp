@@ -378,6 +378,109 @@ IncResult incrementalWorkload(int ChainLen, int QueriesPerRound, int Rounds) {
   return R;
 }
 
+/// Integer-split workload: an entailment chain whose every query needs
+/// integrality and/or disequality splits. The prefix pins x0 = 2*s with
+/// s >= 0 and steps by 2 (so the chain's last variable is even and
+/// otherwise free); each query brackets twice the last variable within one
+/// unit of a target and optionally adds the matching disequality, so the
+/// rational relaxation is feasible at half-integers and the verdict is
+/// only reachable by branching. The same query stream runs on two
+/// contexts in the same process: one with the scoped branch-and-bound
+/// (default budgets), one with it disabled (node budget 0) — the exact
+/// pre-branch-and-bound behavior, where every split abandons the cached
+/// tableau for a from-scratch solve. Verdicts must agree query-by-query
+/// (differential check, abort on mismatch), the incremental context must
+/// report zero scratch fallbacks, and the reference context must take
+/// the scratch path at least once per split query.
+struct SplitResult {
+  uint64_t Queries = 0;
+  double IncMs = 0;
+  double ScratchMs = 0;
+  uint64_t BnbNodes = 0;
+  uint64_t IncFallbacks = 0;
+  uint64_t RefFallbacks = 0;
+
+  double speedup() const { return IncMs > 0 ? ScratchMs / IncMs : 0; }
+};
+
+SplitResult integerSplitWorkload(int ChainLen, int QueriesPerRound,
+                                 int Rounds) {
+  SplitResult R;
+  pathinv::TermManager TM;
+
+  // Prefix: x0 = 2*s, s >= 0, x_{k+1} = x_k + 2.
+  const pathinv::Term *S = TM.mkVar("s", pathinv::Sort::Int);
+  std::vector<const pathinv::Term *> Conjuncts;
+  Conjuncts.push_back(
+      TM.mkLe(TM.mkIntConst(0), S));
+  const pathinv::Term *Prev = TM.mkVar("x0", pathinv::Sort::Int);
+  Conjuncts.push_back(
+      TM.mkEq(Prev, TM.mkMul(TM.mkIntConst(2), S)));
+  for (int K = 1; K <= ChainLen; ++K) {
+    const pathinv::Term *Cur =
+        TM.mkVar("x" + std::to_string(K), pathinv::Sort::Int);
+    Conjuncts.push_back(TM.mkEq(Cur, TM.mkAdd(Prev, TM.mkIntConst(2))));
+    Prev = Cur;
+  }
+  const pathinv::Term *Prefix = TM.mkAnd(Conjuncts);
+  const pathinv::Term *Last = Prev; // == 2*s + 2*ChainLen, even, free above.
+  const pathinv::Term *Two = TM.mkIntConst(2);
+
+  // Query q: bracket 2*Last in [2T-1, 2T+1]. Odd targets are unsat by
+  // parity (integrality branches), even targets are sat unless the
+  // matching disequality is added (disequality + integrality branches).
+  std::vector<std::vector<const pathinv::Term *>> Queries;
+  std::vector<bool> Expected;
+  for (int Q = 0; Q < QueriesPerRound; ++Q) {
+    int64_t Offset = 2 * (Q / 3 + 1);
+    int64_t Target = 2 * ChainLen + Offset + (Q % 3 == 0 ? 1 : 0);
+    std::vector<const pathinv::Term *> Assumps;
+    Assumps.push_back(
+        TM.mkLe(TM.mkIntConst(2 * Target - 1), TM.mkMul(Two, Last)));
+    Assumps.push_back(
+        TM.mkLe(TM.mkMul(Two, Last), TM.mkIntConst(2 * Target + 1)));
+    if (Q % 3 == 2)
+      Assumps.push_back(TM.mkNot(TM.mkEq(Last, TM.mkIntConst(Target))));
+    Queries.push_back(std::move(Assumps));
+    Expected.push_back(Q % 3 == 1); // Even target, no disequality.
+  }
+
+  auto runMode = [&](bool Bnb, double &Ms, uint64_t &Fallbacks,
+                     uint64_t &Nodes) {
+    pathinv::smt::SolverContext Ctx(TM);
+    if (!Bnb)
+      Ctx.setTheoryBnbBudgets(0, 0);
+    Ctx.assertTerm(Prefix);
+    auto Start = Clock::now();
+    for (int Round = 0; Round < Rounds; ++Round) {
+      for (size_t Q = 0; Q < Queries.size(); ++Q) {
+        bool IsSat = Ctx.checkSat(Queries[Q]).isSat();
+        if (IsSat != Expected[Q]) {
+          std::cerr << "[bench] integer-split verdict mismatch (bnb="
+                    << Bnb << ", query " << Q << ")\n";
+          std::abort();
+        }
+      }
+    }
+    Ms = elapsedMs(Start, Clock::now());
+    pathinv::smt::ContextStats Stats = Ctx.stats();
+    Fallbacks = Stats.ScratchFallbacks;
+    Nodes = Stats.BnbNodes;
+  };
+
+  uint64_t RefNodes = 0;
+  runMode(/*Bnb=*/true, R.IncMs, R.IncFallbacks, R.BnbNodes);
+  runMode(/*Bnb=*/false, R.ScratchMs, R.RefFallbacks, RefNodes);
+  R.Queries = static_cast<uint64_t>(Rounds) * Queries.size();
+  if (R.IncFallbacks != 0 || RefNodes != 0 || R.RefFallbacks == 0) {
+    std::cerr << "[bench] integer-split mode mix-up: incremental fallbacks "
+              << R.IncFallbacks << ", reference bnb nodes " << RefNodes
+              << ", reference fallbacks " << R.RefFallbacks << "\n";
+    std::abort();
+  }
+  return R;
+}
+
 struct E2EResult {
   std::string Program;
   std::string Verdict;
@@ -517,7 +620,7 @@ void emitMicro(std::ostream &Out, const char *Key, const char *NewMode,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string OutPath = "BENCH_4.json";
+  std::string OutPath = "BENCH_5.json";
   int Iters = 5;
   bool Smoke = false;
   for (int I = 1; I < Argc; ++I) {
@@ -542,6 +645,9 @@ int main(int Argc, char **Argv) {
   const int IncChainLen = Smoke ? 40 : 120;
   const int IncQueries = Smoke ? 16 : 40;
   const int IncRounds = Smoke ? 5 : 25;
+  const int SplitChainLen = Smoke ? 40 : 100;
+  const int SplitQueries = Smoke ? 12 : 30;
+  const int SplitRounds = Smoke ? 5 : 20;
   const int ReuseLoops = Smoke ? 4 : 10;
 
   // Fail on an unwritable output path now, not after minutes of benching.
@@ -596,6 +702,16 @@ int main(int Argc, char **Argv) {
   std::cerr << "[bench]   one-shot " << Inc.OneShotMs << " ms, context "
             << Inc.ContextMs << " ms (speedup " << Inc.speedup() << "x)\n";
 
+  std::cerr << "[bench] integer split (chain " << SplitChainLen << ", "
+            << SplitQueries << " queries x " << SplitRounds << " rounds)\n";
+  SplitResult Split =
+      integerSplitWorkload(SplitChainLen, SplitQueries, SplitRounds);
+  std::cerr << "[bench]   scoped b&b " << Split.IncMs << " ms ("
+            << Split.BnbNodes << " nodes, " << Split.IncFallbacks
+            << " fallbacks), scratch " << Split.ScratchMs << " ms ("
+            << Split.RefFallbacks << " fallbacks) — speedup "
+            << Split.speedup() << "x\n";
+
   std::cerr << "[bench] refinement reuse (" << ReuseLoops
             << " sequential loops, arg vs restart)\n";
   ReuseResult Reuse = refinementReuseWorkload(ReuseLoops);
@@ -629,7 +745,7 @@ int main(int Argc, char **Argv) {
 
   std::ostringstream Json;
   Json << "{\n";
-  Json << "  \"schema\": \"pathinv-bench-v4\",\n";
+  Json << "  \"schema\": \"pathinv-bench-v5\",\n";
   Json << "  \"config\": {\"iters\": " << Iters
        << ", \"smoke\": " << (Smoke ? "true" : "false")
        << ", \"construct_rounds\": " << ConstructRounds
@@ -639,6 +755,9 @@ int main(int Argc, char **Argv) {
        << ", \"inc_chain_len\": " << IncChainLen
        << ", \"inc_queries\": " << IncQueries
        << ", \"inc_rounds\": " << IncRounds
+       << ", \"split_chain_len\": " << SplitChainLen
+       << ", \"split_queries\": " << SplitQueries
+       << ", \"split_rounds\": " << SplitRounds
        << ", \"reuse_loops\": " << ReuseLoops << "},\n";
   Json << "  \"microbench\": {\n";
   emitMicro(Json, "construct", "arena", ConstructArena, ConstructRef);
@@ -646,6 +765,28 @@ int main(int Argc, char **Argv) {
   emitMicro(Json, "rewrite", "arena", RewriteArena, RewriteRef);
   Json << ",\n";
   emitMicro(Json, "rational_pivot", "fast", PivotFast, PivotRef);
+  Json << ",\n";
+  {
+    // Same differential-checksum style as rational_pivot: both modes run
+    // the identical query stream in-process and must agree (the workload
+    // aborts otherwise). "reference" is the scratch-fallback path (node
+    // budget 0 — the pre-branch-and-bound behavior).
+    auto SplitOps = [&](double Ms) {
+      return Ms > 0 ? 1000.0 * static_cast<double>(Split.Queries) / Ms : 0;
+    };
+    Json << "    \"integer_split\": {\n"
+         << "      \"incremental\": {\"ops\": " << Split.Queries
+         << ", \"wall_ms\": " << Split.IncMs
+         << ", \"ops_per_sec\": " << SplitOps(Split.IncMs) << "},\n"
+         << "      \"reference\": {\"ops\": " << Split.Queries
+         << ", \"wall_ms\": " << Split.ScratchMs
+         << ", \"ops_per_sec\": " << SplitOps(Split.ScratchMs) << "},\n"
+         << "      \"speedup_vs_reference\": " << Split.speedup() << ",\n"
+         << "      \"bnb_nodes\": " << Split.BnbNodes << ",\n"
+         << "      \"scratch_fallbacks\": " << Split.IncFallbacks << ",\n"
+         << "      \"reference_scratch_fallbacks\": " << Split.RefFallbacks
+         << "\n    }";
+  }
   Json << "\n  },\n";
   Json << "  \"incremental\": {\"queries\": " << Inc.Queries
        << ", \"one_shot_wall_ms\": " << Inc.OneShotMs

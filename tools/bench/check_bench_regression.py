@@ -84,7 +84,11 @@ def main():
     # (e.g. the number types) legitimately speeds the reference up too.
     def under_test(entry):
         for mode, stats in entry.items():
-            if mode not in ("reference", "speedup_vs_reference"):
+            # Skip the reference mode, the ratio, and scalar side-channel
+            # fields (e.g. integer_split's bnb_nodes/scratch_fallbacks).
+            if mode in ("reference", "speedup_vs_reference"):
+                continue
+            if isinstance(stats, dict):
                 return stats.get("ops_per_sec")
         return None
 
