@@ -6,6 +6,7 @@
 
 #include "cegar/AbstractReach.h"
 
+#include "core/Resource.h"
 #include "smt/QuantInst.h"
 #include "smt/SmtSolver.h"
 #include "smt/SolverContext.h"
@@ -67,6 +68,10 @@ ReachResult pathinv::abstractReach(const Program &P, const PredicateMap &Pi,
   while (!Worklist.empty()) {
     if (Result.NodesExpanded >= Opts.MaxNodes) {
       Result.Kind = ReachResult::Kind::NodeLimit;
+      return Result;
+    }
+    if (!resourceCharge(ResourceKind::ArgExpansions)) {
+      Result.Kind = ReachResult::Kind::ResourceOut;
       return Result;
     }
     int NodeIdx = Worklist.front();

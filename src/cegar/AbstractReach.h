@@ -48,6 +48,7 @@ struct ReachResult {
     Proof,        ///< Fixpoint reached without touching the error location.
     Counterexample, ///< Abstract error path found.
     NodeLimit,    ///< Exploration budget exhausted.
+    ResourceOut,  ///< The job's ResourceController tripped mid-run.
   };
   Kind Kind = Kind::Proof;
   Path ErrorPath; ///< For Counterexample: transition indices from entry.

@@ -6,6 +6,7 @@
 
 #include "cegar/Arg.h"
 
+#include "core/Resource.h"
 #include "smt/QuantInst.h"
 #include "smt/SmtSolver.h"
 
@@ -308,6 +309,11 @@ ArgRunResult ReachEngine::run() {
       Result.Kind = ArgRunResult::Kind::NodeLimit;
       return Result;
     }
+    if (resourceExhausted()) {
+      // Unprocessed nodes stay queued; a later run() resumes exactly here.
+      Result.Kind = ArgRunResult::Kind::ResourceOut;
+      return Result;
+    }
     int Id = Worklist.top().second;
     Worklist.pop();
     node(Id).InWorklist = false;
@@ -362,6 +368,8 @@ ArgRunResult ReachEngine::run() {
     N.St = ArgNode::State::Expanded;
     ExpandedAt[N.Loc].push_back(Id);
     ++Stats.NodesExpanded;
+    // Trip detection happens at the next loop head (the node is complete).
+    (void)resourceCharge(ResourceKind::ArgExpansions);
   }
   Result.Kind = ArgRunResult::Kind::Proof;
   return Result;

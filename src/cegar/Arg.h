@@ -198,6 +198,8 @@ struct ArgRunResult {
     Proof,          ///< Fixpoint reached without reaching the error node.
     Counterexample, ///< Abstract error path found.
     NodeLimit,      ///< Cumulative expansion budget exhausted.
+    ResourceOut,    ///< The job's ResourceController tripped; the graph
+                    ///< stays valid and run() may resume later.
   };
   Kind Kind = Kind::Proof;
   Path ErrorPath; ///< For Counterexample: transition indices from entry.

@@ -8,6 +8,7 @@
 
 #include "cegar/Arg.h"
 #include "smt/ArrayElim.h"
+#include "support/BigInt.h"
 #include "smt/SmtSolver.h"
 #include "smt/SolverContext.h"
 #include "synth/PathInvariants.h"
@@ -33,7 +34,10 @@ public:
     if (containsStore(F)) {
       // Whole-formula transformation; must precede conjunct splitting.
       Expected<const Term *> Reduced = eliminateArrayWrites(TM, F);
-      assert(Reduced && "path formula outside the supported array fragment");
+      if (!Reduced)
+        // Outside the supported array fragment: neither refutable nor
+        // witnessed here. The engine surfaces Unknown instead of dying.
+        return smt::CheckResult::unknown();
       F = Reduced.get();
     }
     std::vector<const Term *> Conjuncts;
@@ -106,6 +110,14 @@ bool analyzeCounterexample(const Program &P, const Path &Cex,
   TermManager &TM = P.termManager();
   PathFormula PF = buildPathFormula(P, Cex);
   smt::CheckResult Feasibility = Checker.check(PF.formula(TM));
+  if (Feasibility.isUnknown()) {
+    // Resources ran out (or the formula left the supported fragment)
+    // mid-analysis: the path is neither refuted nor witnessed. Stop the
+    // loop with Verdict::Unknown — refining on an undecided path would
+    // refute nothing, and reporting it Unsafe would be a guess.
+    Result.Note = "counterexample analysis inconclusive";
+    return true;
+  }
   if (!Feasibility.isSat())
     return false;
   Result.Verdict = EngineResult::Verdict::Unsafe;
@@ -114,6 +126,38 @@ bool analyzeCounterexample(const Program &P, const Path &Cex,
     Result.Replay = replayFromModel(P, Cex, Feasibility.model().values());
     Result.WitnessReplayed = Result.Replay.Feasible;
   }
+  return true;
+}
+
+/// Escalation ladder (resource governance): a refinement whose template
+/// synthesis ground out its scoped combination budget (RefineResult::
+/// ResourceOut) retries once with the cheap interval backend before the
+/// engine accepts a degraded outcome. Skipped when the run's
+/// ResourceController has tripped — no refiner can run to completion
+/// under a tripped controller, so a retry would only burn the deadline.
+/// \returns true when the retry contributed new predicates.
+bool escalateBudgetedRefinement(const Program &P, const Path &Cex,
+                                SmtSolver &Solver, const EngineOptions &Opts,
+                                RefineResult &Refined, EngineResult &Result) {
+  // Retry only when the budgeted refinement is about to give up — a
+  // refinement that made progress despite draining its local synthesis
+  // budget is the normal template-escalation path, and piling interval
+  // predicates on top of its result would bloat the precision (and the
+  // runtime) of perfectly healthy runs. A tripped controller fails every
+  // charge, so a retry under it could never succeed either.
+  if (!Refined.ResourceOut || Refined.Progress || resourceExhausted() ||
+      Opts.Refiner != RefinerKind::PathInvariant)
+    return false;
+  ++Result.Stats.EscalationRetries;
+  RefineResult Retry = refine(P, Cex, Result.Predicates, Solver,
+                              RefinerKind::PathInvariantIntervals,
+                              Opts.PathInv);
+  Result.Stats.LpChecks += Retry.LpChecks;
+  Result.Stats.TemplateLevelsTried += Retry.TemplateLevelsTried;
+  if (!Retry.Progress)
+    return false;
+  Refined.Progress = true;
+  Refined.UsedFallback = Refined.UsedFallback && Retry.UsedFallback;
   return true;
 }
 
@@ -169,6 +213,13 @@ EngineResult verifyArg(const Program &P, SmtSolver &Solver,
       Result.Note = "abstract reachability node limit reached";
       return finish();
     }
+    if (Reached.Kind == ArgRunResult::Kind::ResourceOut) {
+      // The graph keeps its frontier queued; the verdict is Unknown with
+      // the controller's reason, and everything built so far survives in
+      // Result.Predicates as the best-so-far invariant map.
+      Result.Note = "resources exhausted during abstract reachability";
+      return finish();
+    }
 
     // Stale counterexamples (label computed before the precision grew at
     // a path location) are reconciled — pruned at the earliest stale node
@@ -187,6 +238,10 @@ EngineResult verifyArg(const Program &P, SmtSolver &Solver,
       Result.Note = "refinement budget exhausted";
       return finish();
     }
+    if (!resourceCharge(ResourceKind::Refinements)) {
+      Result.Note = "resources exhausted before refinement";
+      return finish();
+    }
     RefineResult Refined = refine(P, Cex, Result.Predicates, Solver,
                                   Opts.Refiner, Opts.PathInv);
     ++Iter;
@@ -196,12 +251,16 @@ EngineResult verifyArg(const Program &P, SmtSolver &Solver,
     if (Refined.UsedFallback)
       ++Result.Stats.Fallbacks;
 
+    escalateBudgetedRefinement(P, Cex, Solver, Opts, Refined, Result);
+
     if (tryWholeProgramEscalation(P, Solver, Opts, Refined,
                                   TriedWholeProgram, Result))
       return finish();
 
     if (!Refined.Progress) {
-      Result.Note = "refinement made no progress";
+      Result.Note = resourceExhausted()
+                        ? "resources exhausted during refinement"
+                        : "refinement made no progress";
       return finish();
     }
 
@@ -240,6 +299,11 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
       Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
       return Result;
     }
+    if (Reach.Kind == ReachResult::Kind::ResourceOut) {
+      Result.Note = "resources exhausted during abstract reachability";
+      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+      return Result;
+    }
 
     // Phase 2: counterexample analysis. The path formula's common prefix
     // with the previous iteration's path stays asserted in the checker's
@@ -256,6 +320,11 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
     // Phase 3: refinement.
     if (Iter == Opts.MaxRefinements)
       break; // Budget spent; report below.
+    if (!resourceCharge(ResourceKind::Refinements)) {
+      Result.Note = "resources exhausted before refinement";
+      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+      return Result;
+    }
     RefineResult Refined = refine(P, Cex, Result.Predicates, Solver,
                                   Opts.Refiner, Opts.PathInv);
     ++Result.Stats.Refinements;
@@ -264,6 +333,8 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
     if (Refined.UsedFallback)
       ++Result.Stats.Fallbacks;
 
+    escalateBudgetedRefinement(P, Cex, Solver, Opts, Refined, Result);
+
     if (tryWholeProgramEscalation(P, Solver, Opts, Refined,
                                   TriedWholeProgram, Result)) {
       Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
@@ -271,7 +342,9 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
     }
 
     if (!Refined.Progress) {
-      Result.Note = "refinement made no progress";
+      Result.Note = resourceExhausted()
+                        ? "resources exhausted during refinement"
+                        : "refinement made no progress";
       Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
       return Result;
     }
@@ -286,7 +359,29 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
 
 EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
                              const EngineOptions &Opts) {
-  return Opts.Reach.Mode == ReachMode::Restart
-             ? verifyRestart(P, Solver, Opts)
-             : verifyArg(P, Solver, Opts);
+  // Resource governance: one controller per run, visible to every layer
+  // below through the thread-local ResourceScope. The memory probe covers
+  // the two dominant allocation pools — the term arena and the BigInt
+  // limb heap — sampled at the controller's amortized poll points.
+  ResourceController RC(Opts.Limits);
+  TermManager &TM = P.termManager();
+  RC.setMemoryProbe([&TM]() -> uint64_t {
+    return static_cast<uint64_t>(TM.arenaBytes()) + bigIntHeapBytes();
+  });
+  RC.start();
+  ResourceScope Scope(RC);
+  EngineResult Result = Opts.Reach.Mode == ReachMode::Restart
+                            ? verifyRestart(P, Solver, Opts)
+                            : verifyArg(P, Solver, Opts);
+  Result.Stats.Resources = RC.spent();
+  Result.Stats.PeakMemoryBytes = RC.peakMemoryBytes();
+  // Exhaustion is never a verdict: a Safe or Unsafe reached before (or
+  // soundly despite) the trip stands; only Unknown carries the reason.
+  if (RC.exhausted() && Result.Verdict == EngineResult::Verdict::Unknown) {
+    Result.UnknownReason = resourceReasonName(RC.reason());
+    if (Result.Note.empty())
+      Result.Note =
+          std::string("resources exhausted: ") + Result.UnknownReason;
+  }
+  return Result;
 }

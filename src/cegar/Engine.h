@@ -23,6 +23,7 @@
 
 #include "cegar/AbstractReach.h"
 #include "cegar/Refiner.h"
+#include "core/Resource.h"
 #include "interp/Interpreter.h"
 
 namespace pathinv {
@@ -35,6 +36,11 @@ struct EngineOptions {
   PathInvOptions PathInv;
   /// Replay bug witnesses concretely before reporting Unsafe.
   bool ValidateWitness = true;
+  /// Resource governance: wall-clock deadline, memory ceiling, per-layer
+  /// step budgets. All zero (the default) means unlimited. Exhaustion
+  /// surfaces as Verdict::Unknown with EngineResult::UnknownReason set —
+  /// never as a wrong verdict, a crash, or an unusable solver.
+  ResourceLimits Limits;
 };
 
 /// Aggregate statistics of one verification run.
@@ -85,6 +91,13 @@ struct EngineStats {
   uint64_t Fallbacks = 0;
   uint64_t TemplateLevelsTried = 0;
   size_t FinalPredicates = 0;
+  // Resource governance: steps actually spent per budgeted layer (these
+  // are the partial stats that survive exhaustion), the peak tracked heap
+  // footprint, and how often the escalation ladder retried a
+  // budget-exhausted refinement with the cheaper backend.
+  ResourceSpent Resources;
+  uint64_t PeakMemoryBytes = 0;
+  uint64_t EscalationRetries = 0;
 };
 
 /// Verdict of a verification run.
@@ -98,7 +111,12 @@ struct EngineResult {
   /// The abstraction that proved safety (or the state at exhaustion).
   PredicateMap Predicates;
   EngineStats Stats;
-  std::string Note; ///< Reason for Unknown verdicts.
+  std::string Note; ///< Reason for Unknown verdicts (human-readable).
+  /// Machine-readable exhaustion reason when the ResourceController
+  /// tripped: one of "deadline", "memory", "sat_conflicts", "pivots",
+  /// "bnb_nodes", "synth_combos", "arg_expansions", "refinements",
+  /// "cancelled". Empty when the verdict is not resource-related.
+  std::string UnknownReason;
 };
 
 /// Verifies \p P: Safe (error location unreachable), Unsafe (with

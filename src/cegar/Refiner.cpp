@@ -181,6 +181,7 @@ RefineResult pathinv::refine(const Program &P, const Path &Cex,
     // backend is too weak); fall back to eliminating just this path.
     RefineResult Fallback = refineWithWpChain(P, Cex, Pi);
     Fallback.UsedFallback = true;
+    Fallback.ResourceOut = Inv.ResourceOut;
     Fallback.TemplateLevelsTried = Result.TemplateLevelsTried;
     Fallback.LpChecks = Result.LpChecks;
     return Fallback;

@@ -44,6 +44,11 @@ struct RefineResult {
                              ///< single-path baseline predicates were used.
   int TemplateLevelsTried = 0;
   uint64_t LpChecks = 0;
+  /// Path-invariant synthesis stopped on a resource limit rather than
+  /// exhausting its search space. The engine's escalation ladder retries
+  /// such refinements once with the cheaper interval backend before
+  /// giving up.
+  bool ResourceOut = false;
   /// The predicates this refinement actually added to the precision,
   /// attributed to the locations they were added at — the refinement's
   /// localized contribution. The ARG engine reacts to the contribution

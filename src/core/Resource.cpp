@@ -1,0 +1,165 @@
+//===- core/Resource.cpp - Resource governance implementation -------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Resource.h"
+
+#include "support/FaultInject.h"
+
+using namespace pathinv;
+
+const char *pathinv::resourceReasonName(ResourceKind Kind) {
+  switch (Kind) {
+  case ResourceKind::Deadline:
+    return "deadline";
+  case ResourceKind::Memory:
+    return "memory";
+  case ResourceKind::SatConflicts:
+    return "sat_conflicts";
+  case ResourceKind::Pivots:
+    return "pivots";
+  case ResourceKind::BnbNodes:
+    return "bnb_nodes";
+  case ResourceKind::SynthCombos:
+    return "synth_combos";
+  case ResourceKind::ArgExpansions:
+    return "arg_expansions";
+  case ResourceKind::Refinements:
+    return "refinements";
+  case ResourceKind::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+namespace {
+thread_local ResourceController *ActiveController = nullptr;
+} // namespace
+
+ResourceController *ResourceController::active() { return ActiveController; }
+
+void ResourceController::setActive(ResourceController *RC) {
+  ActiveController = RC;
+}
+
+void ResourceController::start() {
+  if (Limits.TimeoutSeconds > 0) {
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(Limits.TimeoutSeconds));
+    DeadlineArmed = true;
+  }
+}
+
+void ResourceController::cancel(ResourceKind Reason) {
+  if (Tripped)
+    return; // First reason wins.
+  Tripped = true;
+  TripReason = Reason;
+}
+
+void ResourceController::bump(ResourceKind Kind, uint64_t Delta) {
+  switch (Kind) {
+  case ResourceKind::SatConflicts:
+    Used.SatConflicts += Delta;
+    break;
+  case ResourceKind::Pivots:
+    Used.Pivots += Delta;
+    break;
+  case ResourceKind::BnbNodes:
+    Used.BnbNodes += Delta;
+    break;
+  case ResourceKind::SynthCombos:
+    Used.SynthCombos += Delta;
+    break;
+  case ResourceKind::ArgExpansions:
+    Used.ArgExpansions += Delta;
+    break;
+  case ResourceKind::Refinements:
+    Used.Refinements += Delta;
+    break;
+  default:
+    break; // Deadline/Memory/Cancelled are polled, not stepped.
+  }
+}
+
+bool ResourceController::checkBudget(ResourceKind Kind) {
+  uint64_t Limit = 0, Spent = 0;
+  switch (Kind) {
+  case ResourceKind::SatConflicts:
+    Limit = Limits.SatConflicts;
+    Spent = Used.SatConflicts;
+    break;
+  case ResourceKind::Pivots:
+    Limit = Limits.Pivots;
+    Spent = Used.Pivots;
+    break;
+  case ResourceKind::BnbNodes:
+    Limit = Limits.BnbNodes;
+    Spent = Used.BnbNodes;
+    break;
+  case ResourceKind::SynthCombos:
+    Limit = Limits.SynthCombos;
+    Spent = Used.SynthCombos;
+    break;
+  case ResourceKind::ArgExpansions:
+    Limit = Limits.ArgExpansions;
+    Spent = Used.ArgExpansions;
+    break;
+  case ResourceKind::Refinements:
+    Limit = Limits.Refinements;
+    Spent = Used.Refinements;
+    break;
+  default:
+    return true;
+  }
+  if (Limit != 0 && Spent >= Limit) {
+    cancel(Kind);
+    return false;
+  }
+  return true;
+}
+
+bool ResourceController::pollNow() {
+  ChargesSincePoll = 0;
+  if (Tripped)
+    return false;
+#if defined(PATHINV_FAULT_INJECT)
+  // The controller's poll is the "solver checkpoint" injection site: a
+  // triggered fault here models a deadline arriving at an arbitrary
+  // cooperative checkpoint deep in the stack.
+  if (fault::shouldFail(fault::Site::SolverCheckpoint))
+    cancel(ResourceKind::Deadline);
+  // Memory-site faults (arena growth, BigInt promotion) fire in layers
+  // that cannot see the controller; they park a pending flag we consume
+  // at the next checkpoint.
+  if (fault::consumePendingMemoryFault())
+    cancel(ResourceKind::Memory);
+  if (Tripped)
+    return false;
+#endif
+  if (DeadlineArmed && std::chrono::steady_clock::now() >= Deadline) {
+    cancel(ResourceKind::Deadline);
+    return false;
+  }
+  if (MemoryProbe) {
+    uint64_t Bytes = MemoryProbe();
+    if (Bytes > PeakMemory)
+      PeakMemory = Bytes;
+    if (Limits.MemoryBytes != 0 && Bytes >= Limits.MemoryBytes) {
+      cancel(ResourceKind::Memory);
+      return false;
+    }
+  }
+  // Re-check every step budget so a large amortized batch cannot overshoot
+  // a limit by more than one poll interval.
+  for (ResourceKind K :
+       {ResourceKind::SatConflicts, ResourceKind::Pivots,
+        ResourceKind::BnbNodes, ResourceKind::SynthCombos,
+        ResourceKind::ArgExpansions, ResourceKind::Refinements})
+    if (!checkBudget(K))
+      return false;
+  return true;
+}

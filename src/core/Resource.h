@@ -1,0 +1,192 @@
+//===- core/Resource.h - Resource governance for verification jobs -*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative resource governance: one ResourceController per verification
+/// job carries a wall-clock deadline, a soft memory ceiling, per-layer step
+/// budgets, and a cancellation flag. Every long-running loop in the stack
+/// (SAT conflicts, simplex pivots, branch-and-bound nodes, synthesis LP
+/// checks, ARG expansions, refinement rounds) charges its steps through
+/// resourceCharge(); when any limit trips, the charge call returns false and
+/// the layer unwinds through its normal failure path — checked status
+/// returns, never exceptions — leaving every solver object in a valid,
+/// reusable state.
+///
+/// The controller is sticky: the first limit to trip records the exhaustion
+/// reason, and every later charge fails immediately. The engine maps a
+/// tripped controller to Verdict::Unknown with the machine-readable reason
+/// (resourceReasonName()), partial stats, and the best-so-far invariant map.
+/// Exhaustion is never a verdict.
+///
+/// Threading model: the active controller is installed per thread with a
+/// ResourceScope RAII guard; resourceCharge() is a no-op returning true when
+/// no controller is installed, so library code stays usable without one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_CORE_RESOURCE_H
+#define PATHINV_CORE_RESOURCE_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace pathinv {
+
+/// The taxonomy of exhaustible resources. Doubles as the reason reported
+/// when the corresponding limit trips first.
+enum class ResourceKind : uint8_t {
+  Deadline,      ///< Wall-clock deadline passed.
+  Memory,        ///< Arena + BigInt heap bytes over the soft ceiling.
+  SatConflicts,  ///< CDCL conflicts across all SAT solves.
+  Pivots,        ///< Exact-rational simplex pivots.
+  BnbNodes,      ///< Theory branch-and-bound nodes.
+  SynthCombos,   ///< Synthesis LP feasibility checks.
+  ArgExpansions, ///< Abstract reachability node expansions.
+  Refinements,   ///< CEGAR refinement rounds.
+  Cancelled,     ///< External cooperative cancellation.
+};
+
+/// Machine-readable reason string for \p Kind (e.g. "deadline", "pivots").
+const char *resourceReasonName(ResourceKind Kind);
+
+/// Per-job limits. Zero means unlimited for every field.
+struct ResourceLimits {
+  double TimeoutSeconds = 0;  ///< Wall-clock deadline from start().
+  uint64_t MemoryBytes = 0;   ///< Soft ceiling on tracked heap bytes.
+  uint64_t SatConflicts = 0;  ///< Total CDCL conflict budget.
+  uint64_t Pivots = 0;        ///< Total simplex pivot budget.
+  uint64_t BnbNodes = 0;      ///< Total branch-and-bound node budget.
+  uint64_t SynthCombos = 0;   ///< Total synthesis LP-check budget.
+  uint64_t ArgExpansions = 0; ///< Total ARG expansion budget.
+  uint64_t Refinements = 0;   ///< Total refinement-round budget.
+
+  /// \returns true when every field is zero (nothing to enforce).
+  bool unlimited() const {
+    return TimeoutSeconds == 0 && MemoryBytes == 0 && SatConflicts == 0 &&
+           Pivots == 0 && BnbNodes == 0 && SynthCombos == 0 &&
+           ArgExpansions == 0 && Refinements == 0;
+  }
+};
+
+/// Step counters mirroring the budget fields; filled by spent().
+struct ResourceSpent {
+  uint64_t SatConflicts = 0;
+  uint64_t Pivots = 0;
+  uint64_t BnbNodes = 0;
+  uint64_t SynthCombos = 0;
+  uint64_t ArgExpansions = 0;
+  uint64_t Refinements = 0;
+};
+
+/// Cooperative, sticky resource controller. Not thread-safe: one controller
+/// governs one job on one thread (install with ResourceScope).
+class ResourceController {
+public:
+  explicit ResourceController(const ResourceLimits &Limits = {})
+      : Limits(Limits) {}
+
+  /// Arms the wall-clock deadline relative to now. Charges before start()
+  /// enforce step budgets but not the deadline.
+  void start();
+
+  /// Charges \p Delta steps of \p Kind. \returns true to proceed, false
+  /// when a limit has tripped (now or earlier). Amortizes the deadline /
+  /// memory / fault-injection poll to every PollInterval-th call, so the
+  /// per-step cost is a counter bump and a branch.
+  bool charge(ResourceKind Kind, uint64_t Delta = 1) {
+    if (Tripped)
+      return false;
+    bump(Kind, Delta);
+    if (++ChargesSincePoll >= PollInterval)
+      return pollNow();
+    return checkBudget(Kind);
+  }
+
+  /// Unamortized poll: deadline, memory probe, injected faults, budgets.
+  /// \returns true to proceed.
+  bool pollNow();
+
+  /// Trips the controller with \p Reason (first reason wins). Safe to call
+  /// from any layer; subsequent charges fail.
+  void cancel(ResourceKind Reason = ResourceKind::Cancelled);
+
+  /// \returns true once any limit has tripped.
+  bool exhausted() const { return Tripped; }
+
+  /// The first reason that tripped. Meaningful only when exhausted().
+  ResourceKind reason() const { return TripReason; }
+
+  /// Installs a probe returning currently tracked heap bytes (arena +
+  /// BigInt); polled when a memory ceiling is configured.
+  void setMemoryProbe(std::function<uint64_t()> Probe) {
+    MemoryProbe = std::move(Probe);
+  }
+
+  const ResourceLimits &limits() const { return Limits; }
+  ResourceSpent spent() const { return Used; }
+
+  /// Peak value the memory probe has returned, for stats reporting.
+  uint64_t peakMemoryBytes() const { return PeakMemory; }
+
+  /// The controller installed on this thread, or nullptr.
+  static ResourceController *active();
+
+  /// Number of steps between full polls in charge().
+  static constexpr uint32_t PollInterval = 256;
+
+private:
+  friend class ResourceScope;
+  static void setActive(ResourceController *RC);
+
+  void bump(ResourceKind Kind, uint64_t Delta);
+  bool checkBudget(ResourceKind Kind);
+
+  ResourceLimits Limits;
+  ResourceSpent Used;
+  std::function<uint64_t()> MemoryProbe;
+  std::chrono::steady_clock::time_point Deadline{};
+  bool DeadlineArmed = false;
+  bool Tripped = false;
+  ResourceKind TripReason = ResourceKind::Cancelled;
+  uint32_t ChargesSincePoll = 0;
+  uint64_t PeakMemory = 0;
+};
+
+/// RAII installer: makes \p RC the thread's active controller for the
+/// guard's lifetime, restoring the previous one on exit.
+class ResourceScope {
+public:
+  explicit ResourceScope(ResourceController &RC)
+      : Saved(ResourceController::active()) {
+    ResourceController::setActive(&RC);
+  }
+  ~ResourceScope() { ResourceController::setActive(Saved); }
+  ResourceScope(const ResourceScope &) = delete;
+  ResourceScope &operator=(const ResourceScope &) = delete;
+
+private:
+  ResourceController *Saved;
+};
+
+/// Charges \p Delta steps of \p Kind against the thread's active
+/// controller. \returns true to proceed (always true when no controller is
+/// installed), false when the job's resources are exhausted.
+inline bool resourceCharge(ResourceKind Kind, uint64_t Delta = 1) {
+  ResourceController *RC = ResourceController::active();
+  return !RC || RC->charge(Kind, Delta);
+}
+
+/// \returns true when the thread's active controller (if any) has tripped.
+/// Cheaper than a charge; for layers that only need to notice exhaustion.
+inline bool resourceExhausted() {
+  ResourceController *RC = ResourceController::active();
+  return RC && RC->exhausted();
+}
+
+} // namespace pathinv
+
+#endif // PATHINV_CORE_RESOURCE_H

@@ -101,6 +101,8 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
     Out = "UNKNOWN (" + R.Note + ")";
     break;
   }
+  if (!R.UnknownReason.empty())
+    Out += "\n  unknown reason:     " + R.UnknownReason;
   Out += "\n  refinements:        " + std::to_string(R.Stats.Refinements);
   Out += "\n  nodes expanded:     " + std::to_string(R.Stats.NodesExpanded);
   // The ARG engine's reuse/covering/context counters; the restart engine
@@ -135,6 +137,21 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
   Out += "\n  synthesis LPs:      " + std::to_string(R.Stats.LpChecks);
   Out += "\n  predicates:         " +
          std::to_string(R.Stats.FinalPredicates);
+  // Resource governance: what the run actually spent against its budgets.
+  // Printed even on exhaustion — these are the partial stats the resource
+  // model promises alongside an Unknown verdict.
+  const ResourceSpent &RS = R.Stats.Resources;
+  Out += "\n  resources spent:    " + std::to_string(RS.SatConflicts) +
+         " conflicts, " + std::to_string(RS.Pivots) + " pivots, " +
+         std::to_string(RS.BnbNodes) + " b&b nodes, " +
+         std::to_string(RS.SynthCombos) + " synth combos";
+  Out += "\n                      " + std::to_string(RS.ArgExpansions) +
+         " expansions, " + std::to_string(RS.Refinements) +
+         " refinements, peak memory " +
+         std::to_string(R.Stats.PeakMemoryBytes / 1024) + " KiB";
+  if (R.Stats.EscalationRetries != 0)
+    Out += "\n  escalation retries: " +
+           std::to_string(R.Stats.EscalationRetries);
   if (R.Verdict == EngineResult::Verdict::Unsafe) {
     Out += "\n  witness steps:      " + std::to_string(R.Witness.size());
     Out += R.WitnessReplayed ? "\n  witness replayed:   yes"

@@ -10,7 +10,53 @@
 
 using namespace pathinv;
 
-Rational pathinv::evalInt(const Term *T, const ConcreteState &State) {
+namespace {
+
+// Checked evaluation: terms outside the concretely executable fragment
+// (quantifiers, uninterpreted applications, array equality, fractional
+// indices, ...) clear Ok instead of asserting. Replay reaches this code
+// with terms lowered from untrusted .pil input, so an unsupported shape
+// must degrade into "witness not confirmed", never a crash.
+Rational evalIntChecked(const Term *T, const ConcreteState &State, bool &Ok);
+
+bool evalBoolChecked(const Term *T, const ConcreteState &State, bool &Ok) {
+  switch (T->kind()) {
+  case TermKind::True:
+    return true;
+  case TermKind::False:
+    return false;
+  case TermKind::Not:
+    return !evalBoolChecked(T->operand(0), State, Ok);
+  case TermKind::And:
+    for (const Term *Op : T->operands())
+      if (!evalBoolChecked(Op, State, Ok))
+        return false;
+    return true;
+  case TermKind::Or:
+    for (const Term *Op : T->operands())
+      if (evalBoolChecked(Op, State, Ok))
+        return true;
+    return false;
+  case TermKind::Eq:
+    if (T->operand(0)->isArray()) {
+      Ok = false; // Array equality has no concrete evaluation here.
+      return false;
+    }
+    return evalIntChecked(T->operand(0), State, Ok) ==
+           evalIntChecked(T->operand(1), State, Ok);
+  case TermKind::Le:
+    return evalIntChecked(T->operand(0), State, Ok) <=
+           evalIntChecked(T->operand(1), State, Ok);
+  case TermKind::Lt:
+    return evalIntChecked(T->operand(0), State, Ok) <
+           evalIntChecked(T->operand(1), State, Ok);
+  default:
+    Ok = false;
+    return false;
+  }
+}
+
+Rational evalIntChecked(const Term *T, const ConcreteState &State, bool &Ok) {
   switch (T->kind()) {
   case TermKind::IntConst:
     return T->value();
@@ -19,71 +65,58 @@ Rational pathinv::evalInt(const Term *T, const ConcreteState &State) {
   case TermKind::Add: {
     Rational Sum;
     for (const Term *Op : T->operands())
-      Sum += evalInt(Op, State);
+      Sum += evalIntChecked(Op, State, Ok);
     return Sum;
   }
   case TermKind::Mul:
-    return evalInt(T->operand(0), State) * evalInt(T->operand(1), State);
+    return evalIntChecked(T->operand(0), State, Ok) *
+           evalIntChecked(T->operand(1), State, Ok);
   case TermKind::Select: {
     const Term *ArrayVar = T->operand(0);
-    assert(ArrayVar->isVar() && "select from non-variable array");
-    Rational Index = evalInt(T->operand(1), State);
-    assert(Index.isInteger() && "fractional array index");
+    if (!ArrayVar->isVar()) {
+      Ok = false; // Select from a non-variable array (nested store).
+      return Rational();
+    }
+    Rational Index = evalIntChecked(T->operand(1), State, Ok);
+    if (!Index.isInteger()) {
+      Ok = false;
+      return Rational();
+    }
     auto It = State.Arrays.find(ArrayVar);
     if (It == State.Arrays.end())
       return Rational();
     return It->second.read(Index.floor().toInt64());
   }
   default:
-    assert(false && "cannot evaluate term kind concretely");
+    Ok = false;
     return Rational();
   }
 }
 
+} // namespace
+
+Rational pathinv::evalInt(const Term *T, const ConcreteState &State) {
+  bool Ok = true;
+  return evalIntChecked(T, State, Ok);
+}
+
 bool pathinv::evalBool(const Term *T, const ConcreteState &State) {
-  switch (T->kind()) {
-  case TermKind::True:
-    return true;
-  case TermKind::False:
-    return false;
-  case TermKind::Not:
-    return !evalBool(T->operand(0), State);
-  case TermKind::And:
-    for (const Term *Op : T->operands())
-      if (!evalBool(Op, State))
-        return false;
-    return true;
-  case TermKind::Or:
-    for (const Term *Op : T->operands())
-      if (evalBool(Op, State))
-        return true;
-    return false;
-  case TermKind::Eq:
-    if (T->operand(0)->isArray()) {
-      assert(false && "array equality in concrete evaluation");
-      return false;
-    }
-    return evalInt(T->operand(0), State) == evalInt(T->operand(1), State);
-  case TermKind::Le:
-    return evalInt(T->operand(0), State) <= evalInt(T->operand(1), State);
-  case TermKind::Lt:
-    return evalInt(T->operand(0), State) < evalInt(T->operand(1), State);
-  default:
-    assert(false && "cannot evaluate formula kind concretely");
-    return false;
-  }
+  bool Ok = true;
+  return evalBoolChecked(T, State, Ok);
 }
 
 namespace {
 
 /// Executes one builder-shaped transition relation. Returns false when a
-/// guard fails. Deterministic updates are conjuncts `v' = rhs` or
+/// guard fails or the relation falls outside the executable fragment
+/// (\p Ok cleared). Deterministic updates are conjuncts `v' = rhs` or
 /// `a' = store(...)`; everything else not mentioning primed variables is a
 /// guard; unconstrained (havocked) variables draw from HavocValues.
 bool executeStep(
     const Program &P, const Term *Rel, unsigned StepIndex,
     const ConcreteState &Cur, ConcreteState &Next,
-    const std::map<const Term *, Rational, TermIdLess> &HavocValues) {
+    const std::map<const Term *, Rational, TermIdLess> &HavocValues,
+    bool &Ok) {
   TermManager &TM = P.termManager();
   std::vector<const Term *> Conjuncts;
   flattenConjuncts(Rel, Conjuncts);
@@ -97,7 +130,10 @@ bool executeStep(
       if (isPrimedVar(Rhs))
         std::swap(Lhs, Rhs);
       if (isPrimedVar(Lhs)) {
-        assert(!Defs.count(Lhs) && "double definition in transition");
+        if (Defs.count(Lhs)) {
+          Ok = false; // Conflicting definitions; not executable.
+          return false;
+        }
         Defs[Lhs] = Rhs;
         continue;
       }
@@ -106,7 +142,7 @@ bool executeStep(
   }
 
   for (const Term *G : Guards) {
-    if (!evalBool(G, Cur))
+    if (!evalBoolChecked(G, Cur, Ok) || !Ok)
       return false;
   }
 
@@ -122,23 +158,32 @@ bool executeStep(
       if (DefIt != Defs.end()) {
         const Term *Rhs = DefIt->second;
         if (Rhs->kind() == TermKind::Store) {
-          assert(Rhs->operand(0) == Var && "store base mismatch");
-          Rational Index = evalInt(Rhs->operand(1), Cur);
-          assert(Index.isInteger() && "fractional store index");
+          if (Rhs->operand(0) != Var) {
+            Ok = false; // Store base is not the pre-state array.
+            return false;
+          }
+          Rational Index = evalIntChecked(Rhs->operand(1), Cur, Ok);
+          if (!Ok || !Index.isInteger()) {
+            Ok = false;
+            return false;
+          }
           NewValue.write(Index.floor().toInt64(),
-                         evalInt(Rhs->operand(2), Cur));
+                         evalIntChecked(Rhs->operand(2), Cur, Ok));
         } else if (Rhs->isVar() && Rhs->isArray()) {
           auto SrcIt = Cur.Arrays.find(Rhs);
           NewValue = SrcIt == Cur.Arrays.end() ? ArrayValue() : SrcIt->second;
         } else {
-          assert(false && "unsupported array update shape");
+          Ok = false; // Unsupported array update shape.
+          return false;
         }
       }
       Next.Arrays[Var] = std::move(NewValue);
       continue;
     }
     if (DefIt != Defs.end()) {
-      Next.Scalars[Var] = evalInt(DefIt->second, Cur);
+      Next.Scalars[Var] = evalIntChecked(DefIt->second, Cur, Ok);
+      if (!Ok)
+        return false;
       continue;
     }
     // Havoc: take the model's value for the post-step SSA instance.
@@ -147,7 +192,7 @@ bool executeStep(
     Next.Scalars[Var] =
         HavocIt == HavocValues.end() ? Cur.scalar(Var) : HavocIt->second;
   }
-  return true;
+  return Ok;
 }
 
 } // namespace
@@ -161,8 +206,10 @@ ReplayResult pathinv::replayPath(
   for (size_t K = 0; K < Steps.size(); ++K) {
     const Transition &T = P.transition(Steps[K]);
     ConcreteState Next;
+    bool Ok = true;
     if (!executeStep(P, T.Rel, static_cast<unsigned>(K), Cur, Next,
-                     HavocValues)) {
+                     HavocValues, Ok) ||
+        !Ok) {
       Result.FailedStep = static_cast<int>(K);
       return Result;
     }
@@ -177,10 +224,15 @@ ReplayResult pathinv::replayFromModel(
     const Program &P, const Path &Steps,
     const std::map<const Term *, Rational, TermIdLess> &Model) {
   TermManager &TM = P.termManager();
-  // Evaluates a linear SSA term using the model's atom values.
-  auto evalFromModel = [&Model](const Term *T) {
+  // Evaluates a linear SSA term using the model's atom values. Non-linear
+  // index terms leave Ok clear and the cell is skipped (the replay then
+  // simply fails to confirm the witness).
+  auto evalFromModel = [&Model](const Term *T, bool &Ok) {
     std::optional<LinearExpr> L = LinearExpr::fromTerm(T);
-    assert(L && "non-linear index in model evaluation");
+    if (!L) {
+      Ok = false;
+      return Rational();
+    }
     Rational Result = L->constant();
     for (const auto &[Atom, Coeff] : L->coefficients()) {
       auto It = Model.find(Atom);
@@ -199,8 +251,9 @@ ReplayResult pathinv::replayFromModel(
         if (Atom->kind() != TermKind::Select ||
             Atom->operand(0) != Instance)
           continue;
-        Rational Index = evalFromModel(Atom->operand(1));
-        if (Index.isInteger())
+        bool Ok = true;
+        Rational Index = evalFromModel(Atom->operand(1), Ok);
+        if (Ok && Index.isInteger())
           Value.write(Index.floor().toInt64(), Val);
       }
       Initial.Arrays[Var] = std::move(Value);

@@ -558,7 +558,10 @@ private:
 
   Expected<const Term *> parsePrimary() {
     if (Cur.Kind == Tok::Int) {
-      BigInt Value{std::string_view(Cur.Text)};
+      BigInt Value;
+      if (!BigInt::fromString(Cur.Text, Value))
+        return errT<const Term *>("malformed integer literal '" + Cur.Text +
+                                  "'");
       if (!advance())
         return Expected<const Term *>(ErrDiag);
       return TM.mkIntConst(Rational(std::move(Value)));

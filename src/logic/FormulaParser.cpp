@@ -436,7 +436,9 @@ private:
 
   Expected<const Term *> parsePostfix() {
     if (Cur.Kind == Tok::Int) {
-      BigInt Value(std::string_view(Cur.Text));
+      BigInt Value;
+      if (!BigInt::fromString(Cur.Text, Value))
+        return err("malformed integer literal '" + Cur.Text + "'");
       if (!advance())
         return Expected<const Term *>(ErrDiag);
       return TM.mkIntConst(Rational(std::move(Value)));

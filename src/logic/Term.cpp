@@ -6,6 +6,8 @@
 
 #include "logic/Term.h"
 
+#include "support/FaultInject.h"
+
 #include <algorithm>
 #include <cstring>
 #include <new>
@@ -122,6 +124,7 @@ TermManager::~TermManager() {
 void *TermManager::arenaAllocate(size_t Bytes) {
   Bytes = (Bytes + 7u) & ~size_t(7); // Keep the bump pointer 8-aligned.
   if (static_cast<size_t>(ArenaEnd - ArenaPtr) < Bytes) {
+    (void)fault::shouldFail(fault::Site::ArenaGrowth);
     size_t ChunkBytes = std::max(Bytes, NextChunkBytes);
     ArenaChunks.push_back(std::make_unique<char[]>(ChunkBytes));
     ArenaPtr = ArenaChunks.back().get();

@@ -6,6 +6,8 @@
 
 #include "smt/SatSolver.h"
 
+#include "core/Resource.h"
+
 #include <algorithm>
 
 using namespace pathinv;
@@ -377,6 +379,12 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
     if (ConflictClause >= 0) {
       ++Conflicts;
       ++ConflictsSinceRestart;
+      if (!resourceCharge(ResourceKind::SatConflicts)) {
+        // Cooperative interruption: unwind to level 0 so the clause
+        // database and watches are consistent for the next solve().
+        backtrack(0);
+        return Result::Interrupted;
+      }
       if (TrailLim.empty()) {
         KnownUnsat = true;
         return Result::Unsat;

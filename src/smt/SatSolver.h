@@ -45,7 +45,11 @@ struct Lit {
 /// CDCL SAT solver over clauses added with addClause().
 class SatSolver {
 public:
-  enum class Result : uint8_t { Sat, Unsat };
+  /// Interrupted: the job's ResourceController tripped mid-search. The
+  /// solver backtracks to level 0 and stays fully valid — clauses,
+  /// learned state, and activities are kept, and a later solve() resumes
+  /// from them. Interrupted is never a verdict about the clause set.
+  enum class Result : uint8_t { Sat, Unsat, Interrupted };
 
   /// Creates a fresh variable and returns its index.
   int addVar();

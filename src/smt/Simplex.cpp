@@ -6,6 +6,8 @@
 
 #include "smt/Simplex.h"
 
+#include "core/Resource.h"
+
 using namespace pathinv;
 
 int Simplex::addVar() {
@@ -327,6 +329,9 @@ Simplex::Result Simplex::check() {
       }
       return Result::Unsat;
     }
+
+    if (!resourceCharge(ResourceKind::Pivots))
+      return Result::Interrupted; // Between pivots: tableau consistent.
 
     pivotAndUpdate(Violating, Entering,
                    BelowLower ? Vars[Violating].Lower.Value

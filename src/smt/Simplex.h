@@ -41,7 +41,12 @@ enum class SimplexRel : uint8_t { Le, Lt, Ge, Gt, Eq };
 /// created by addVar(); constraints are linear combinations of variables.
 class Simplex {
 public:
-  enum class Result : uint8_t { Sat, Unsat };
+  /// Interrupted: the job's ResourceController tripped between pivots.
+  /// The tableau invariant holds (all rows consistent, bounds intact), so
+  /// the object remains fully usable — push/pop still work and a later
+  /// check() resumes the repair where it stopped. Interrupted says
+  /// nothing about feasibility.
+  enum class Result : uint8_t { Sat, Unsat, Interrupted };
 
   Simplex() = default;
 

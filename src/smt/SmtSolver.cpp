@@ -32,7 +32,8 @@ SmtSolver::Status SmtSolver::checkSat(const Term *Formula) {
   const Term *F = Formula;
   if (containsStore(Formula)) {
     Expected<const Term *> Reduced = eliminateArrayWrites(TM, Formula);
-    assert(Reduced && "array-write elimination failed; unsupported shape");
+    if (!Reduced)
+      return Status::Unknown; // Outside the array fragment: no verdict.
     F = Reduced.get();
   }
 
@@ -54,6 +55,8 @@ SmtSolver::Status SmtSolver::checkSat(const Term *Formula) {
     Ctx.pop();
     return Scoped;
   }();
+  if (R.isUnknown())
+    return Status::Unknown; // Interrupted results are never cached.
   if (R.isSat())
     Model = R.model().values();
   SatCache[Key] = R.isSat();

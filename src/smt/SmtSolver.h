@@ -38,14 +38,19 @@ class SmtSolver {
 public:
   explicit SmtSolver(TermManager &TM) : TM(TM), Ctx(TM) {}
 
-  enum class Status : uint8_t { Sat, Unsat };
+  /// Unknown: resources exhausted mid-query, or the formula fell outside
+  /// the supported array fragment. Never cached, never a verdict.
+  enum class Status : uint8_t { Sat, Unsat, Unknown };
 
   /// Decides satisfiability of quantifier-free \p Formula under the
   /// current assertions of context(). Array writes are eliminated on the
   /// whole formula first.
   Status checkSat(const Term *Formula);
 
-  /// \returns true iff \p Formula is unsatisfiable (memoized).
+  /// \returns true iff \p Formula is *proven* unsatisfiable (memoized).
+  /// Unknown maps to false — "not proven unsat" — which is the sound
+  /// direction for every caller (feasibility stays feasible, entailment
+  /// stays unproven).
   bool isUnsat(const Term *Formula);
 
   /// \returns true iff \p A entails \p B, i.e. A && !B is unsat.

@@ -203,6 +203,8 @@ SolverContext::checkConjunctions(const std::vector<const Term *> &Assumptions) {
       ++Stats.BnbLemmas;
   }
 
+  if (R.Interrupted)
+    return CheckResult::unknown(); // Resources exhausted; context reusable.
   if (R.IsSat)
     return CheckResult::sat(Model(std::move(R.Model)));
   std::vector<const Term *> Failed;
@@ -249,7 +251,10 @@ SolverContext::checkLazy(const std::vector<const Term *> &Assumptions) {
     collectAtoms(A, Active);
 
   while (true) {
-    if (Sat.solve(SatAssumps) == SatSolver::Result::Unsat) {
+    SatSolver::Result SatR = Sat.solve(SatAssumps);
+    if (SatR == SatSolver::Result::Interrupted)
+      return CheckResult::unknown(); // SAT core backtracked; reusable.
+    if (SatR == SatSolver::Result::Unsat) {
       // Depth-0 assertions live as permanent units with no selector, so
       // their participation cannot be traced; assume it.
       bool FromAssertions =
@@ -283,6 +288,8 @@ SolverContext::checkLazy(const std::vector<const Term *> &Assumptions) {
     }
     ++Stats.TheoryChecks;
     ConjResult R = Theory.solve(TheoryLits);
+    if (R.Interrupted)
+      return CheckResult::unknown();
     if (R.IsSat)
       return CheckResult::sat(Model(std::move(R.Model)));
 

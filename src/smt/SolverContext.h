@@ -108,9 +108,16 @@ private:
 
 /// Outcome of one checkSat(): a status plus the model (Sat) or core
 /// (Unsat), both value-typed.
+///
+/// Unknown means the job's ResourceController tripped mid-check: neither
+/// isSat() nor isUnsat() holds, the model and core are empty, and the
+/// context remains valid and reusable (scopes intact, tableau consistent).
+/// Since callers act on isSat()/isUnsat(), treating Unknown as "not
+/// proven" is sound everywhere: a feasibility check stays conservatively
+/// feasible, an entailment stays conservatively non-entailed.
 class CheckResult {
 public:
-  enum class Status : uint8_t { Sat, Unsat };
+  enum class Status : uint8_t { Sat, Unsat, Unknown };
 
   static CheckResult sat(Model M) {
     CheckResult R;
@@ -124,10 +131,16 @@ public:
     R.TheCore = std::move(C);
     return R;
   }
+  static CheckResult unknown() {
+    CheckResult R;
+    R.St = Status::Unknown;
+    return R;
+  }
 
   Status status() const { return St; }
   bool isSat() const { return St == Status::Sat; }
   bool isUnsat() const { return St == Status::Unsat; }
+  bool isUnknown() const { return St == Status::Unknown; }
   /// The model (empty unless Sat).
   const Model &model() const { return TheModel; }
   /// The unsat core (empty unless Unsat).

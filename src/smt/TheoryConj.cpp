@@ -6,6 +6,7 @@
 
 #include "smt/TheoryConj.h"
 
+#include "core/Resource.h"
 #include "smt/Congruence.h"
 
 #include <algorithm>
@@ -228,9 +229,12 @@ bool TheoryConjSolver::ensureBaseTableau() {
     for (size_t I = 0; I < BaseLits.size(); ++I)
       addFactArith(BaseSplx, BaseAtomVar, nullptr, BaseLits[I],
                    static_cast<int>(I));
-    BaseUnsat = BaseSplx.check() == Simplex::Result::Unsat;
+    Simplex::Result BaseResult = BaseSplx.check();
+    BaseUnsat = BaseResult == Simplex::Result::Unsat;
     BaseVarCount = BaseSplx.numVars();
-    BaseDirty = false;
+    // An interrupted base check proved nothing; keep the dirty bit so the
+    // next (uninterrupted) call re-establishes the base verdict.
+    BaseDirty = BaseResult == Simplex::Result::Interrupted;
   }
   return !BaseUnsat;
 }
@@ -281,7 +285,10 @@ struct BranchPlan {
 /// the assignment in place and pop() backtracks, so the base and query
 /// constraints are never re-asserted.
 struct BnbSearch {
-  enum class Status : uint8_t { Sat, Unsat, Exhausted };
+  /// Interrupted: the ResourceController tripped; unwind popping every
+  /// scope on the way out (like Exhausted) but do NOT fall back to the
+  /// scratch solver — the whole query must give up.
+  enum class Status : uint8_t { Sat, Unsat, Exhausted, Interrupted };
 
   TermManager &TM;
   Simplex &Splx;
@@ -439,6 +446,8 @@ struct BnbSearch {
     for (const BranchSide &Side : Plan->Sides) {
       if (NodesLeft == 0 || Depth >= static_cast<int>(MaxDepth))
         return Status::Exhausted;
+      if (!resourceCharge(ResourceKind::BnbNodes))
+        return Status::Interrupted;
       --NodesLeft;
       ++NodesCounter;
       int Tag = freshBranchTag();
@@ -446,8 +455,13 @@ struct BnbSearch {
       addLinearConstraint(Splx, AtomVar, InsertedAtoms, Side.Expr,
                           SimplexRel::Le, Tag);
       uint64_t PivotsBefore = Splx.numPivots();
-      bool SideFeasible = Splx.check() == Simplex::Result::Sat;
+      Simplex::Result SideResult = Splx.check();
       RepairPivots += Splx.numPivots() - PivotsBefore;
+      if (SideResult == Simplex::Result::Interrupted) {
+        Splx.pop();
+        return Status::Interrupted;
+      }
+      bool SideFeasible = SideResult == Simplex::Result::Sat;
       std::vector<int> Core;
       if (SideFeasible) {
         Status R = search(Depth + 1, ModelOut, Core);
@@ -565,7 +579,14 @@ bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
                         SimplexRel::Eq, freshDerivedTag(std::move(Just)));
   }
 
-  if (BaseSplx.check() == Simplex::Result::Unsat) {
+  Simplex::Result ScopeResult = BaseSplx.check();
+  if (ScopeResult == Simplex::Result::Interrupted) {
+    cleanupScope();
+    Out = ConjResult();
+    Out.Interrupted = true;
+    return true; // Done (no verdict); never fall back to scratch.
+  }
+  if (ScopeResult == Simplex::Result::Unsat) {
     finishUnsat(expandTags(BaseSplx.unsatCore()));
     cleanupScope();
     return true;
@@ -597,6 +618,12 @@ bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
   ModelMap AtomValues;
   std::vector<int> Core;
   BnbSearch::Status R = Search.search(/*Depth=*/0, AtomValues, Core);
+  if (R == BnbSearch::Status::Interrupted) {
+    cleanupScope();
+    Out = ConjResult();
+    Out.Interrupted = true;
+    return true; // Resources exhausted: no scratch retry.
+  }
   if (R == BnbSearch::Status::Exhausted) {
     cleanupScope();
     return false; // Budget spent or congruence split needed: use scratch.
@@ -652,11 +679,17 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
   // accumulates in UnionCore.
   auto runBranch = [&](const Term *BranchLit, std::vector<int> &UnionCore,
                        std::optional<ConjResult> &Final) {
+    if (!resourceCharge(ResourceKind::BnbNodes)) {
+      ConjResult R;
+      R.Interrupted = true;
+      Final = std::move(R);
+      return;
+    }
     std::vector<Fact> Child = Facts;
     int DecisionIdx = static_cast<int>(Child.size());
     Child.push_back({BranchLit, -1});
     ConjResult R = solveFacts(std::move(Child), Depth + 1);
-    if (R.IsSat) {
+    if (R.IsSat || R.Interrupted) {
       Final = std::move(R);
       return;
     }
@@ -724,7 +757,13 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
                         freshDerivedTag(std::move(Just)));
   }
 
-  if (Splx.check() == Simplex::Result::Unsat) {
+  Simplex::Result SplxResult = Splx.check();
+  if (SplxResult == Simplex::Result::Interrupted) {
+    ConjResult R;
+    R.Interrupted = true;
+    return R;
+  }
+  if (SplxResult == Simplex::Result::Unsat) {
     ConjResult R;
     R.Core = expandTags(Splx.unsatCore());
     return R;

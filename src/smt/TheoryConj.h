@@ -48,6 +48,10 @@ struct ConjResult {
   /// the inconsistency (an empty Core with BaseInCore set means the base
   /// alone is unsatisfiable).
   bool BaseInCore = false;
+  /// The job's ResourceController tripped mid-solve: IsSat/Model/Core are
+  /// meaningless, but the solver (scopes, tableau, atom maps) is back in a
+  /// valid, reusable state. Never a verdict.
+  bool Interrupted = false;
 };
 
 /// A bound lemma derived by the scoped branch-and-bound: the conjunction

@@ -15,6 +15,8 @@ using namespace pathinv;
 using pathinv::detail::absU64;
 using pathinv::detail::gcdU64;
 
+thread_local uint64_t pathinv::detail::BigIntHeapBytesCounter = 0;
+
 namespace {
 
 constexpr uint64_t LimbBase = uint64_t(1) << 32;
@@ -174,6 +176,7 @@ BigInt::BigInt(const BigInt &RHS) {
   } else {
     new (&Heap) HeapRep(RHS.Heap);
     IsInline = false;
+    bigIntHeapAccount(heapBytes());
   }
 }
 
@@ -182,8 +185,10 @@ BigInt::BigInt(BigInt &&RHS) noexcept {
     InlineValue = RHS.InlineValue;
     IsInline = true;
   } else {
+    bigIntHeapAccount(-RHS.heapBytes());
     new (&Heap) HeapRep(std::move(RHS.Heap));
     IsInline = false;
+    bigIntHeapAccount(heapBytes());
     // Leave the source in the canonical zero state so it stays usable.
     RHS.Heap.~HeapRep();
     RHS.IsInline = true;
@@ -195,7 +200,9 @@ BigInt &BigInt::operator=(const BigInt &RHS) {
   if (this == &RHS)
     return *this;
   if (!IsInline && !RHS.IsInline) {
+    bigIntHeapAccount(-heapBytes());
     Heap = RHS.Heap; // Reuses existing limb capacity.
+    bigIntHeapAccount(heapBytes());
     return *this;
   }
   if (RHS.IsInline) {
@@ -214,10 +221,14 @@ BigInt &BigInt::operator=(BigInt &&RHS) noexcept {
     resetToInline(RHS.InlineValue);
     return *this;
   }
-  if (!IsInline)
+  if (!IsInline) {
+    bigIntHeapAccount(-heapBytes() - RHS.heapBytes());
     Heap = std::move(RHS.Heap);
-  else
+    bigIntHeapAccount(heapBytes());
+  } else {
+    bigIntHeapAccount(-RHS.heapBytes());
     adoptHeap(RHS.Heap.Sign, std::move(RHS.Heap.Limbs));
+  }
   RHS.Heap.~HeapRep();
   RHS.IsInline = true;
   RHS.InlineValue = 0;

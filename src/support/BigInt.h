@@ -36,6 +36,8 @@
 #ifndef PATHINV_SUPPORT_BIGINT_H
 #define PATHINV_SUPPORT_BIGINT_H
 
+#include "support/FaultInject.h"
+
 #include <cassert>
 #include <cstdint>
 #include <new>
@@ -44,6 +46,24 @@
 #include <vector>
 
 namespace pathinv {
+
+namespace detail {
+/// Live heap bytes held by BigInt values on this thread (see
+/// bigIntHeapBytes()). Defined in BigInt.cpp.
+extern thread_local uint64_t BigIntHeapBytesCounter;
+} // namespace detail
+
+/// Adjusts the thread's live BigInt heap-byte counter. Internal hook —
+/// called on every heap-representation transition.
+inline void bigIntHeapAccount(int64_t Delta) noexcept {
+  detail::BigIntHeapBytesCounter += static_cast<uint64_t>(Delta);
+}
+
+/// \returns bytes currently held by heap BigInt representations on this
+/// thread — one input to the resource controller's memory probe.
+inline uint64_t bigIntHeapBytes() noexcept {
+  return detail::BigIntHeapBytesCounter;
+}
 
 /// Arbitrary-precision signed integer (inline int64_t fast path).
 class BigInt {
@@ -63,8 +83,10 @@ public:
   BigInt &operator=(const BigInt &RHS);
   BigInt &operator=(BigInt &&RHS) noexcept;
   ~BigInt() {
-    if (!IsInline)
+    if (!IsInline) {
+      bigIntHeapAccount(-heapBytes());
       Heap.~HeapRep();
+    }
   }
 
   /// Checked decimal parse. Returns false (and leaves \p Out untouched) on
@@ -175,15 +197,24 @@ private:
 
   void adoptHeap(int8_t Sign, std::vector<uint32_t> &&Limbs) {
     assert(IsInline && "adoptHeap over live heap state");
+    (void)fault::shouldFail(fault::Site::BigIntPromotion);
     new (&Heap) HeapRep{std::move(Limbs), Sign};
     IsInline = false;
+    bigIntHeapAccount(heapBytes());
   }
   void resetToInline(int64_t Value) {
     if (!IsInline) {
+      bigIntHeapAccount(-heapBytes());
       Heap.~HeapRep();
       IsInline = true;
     }
     InlineValue = Value;
+  }
+
+  /// Bytes of limb storage held by the heap representation (valid only
+  /// when !IsInline); the unit of the thread's heap-byte counter.
+  int64_t heapBytes() const {
+    return static_cast<int64_t>(Heap.Limbs.capacity() * sizeof(uint32_t));
   }
 
   static BigInt addSlow(const BigInt &A, const BigInt &B);

@@ -1,0 +1,53 @@
+//===- support/FaultInject.cpp - Deterministic fault injection ------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#if defined(PATHINV_FAULT_INJECT)
+
+namespace {
+// Thread-local so concurrent test shards cannot trip each other.
+thread_local uint64_t Countdown = 0; // 0 = disarmed.
+thread_local uint64_t Visits = 0;
+thread_local bool PendingMemoryFault = false;
+} // namespace
+
+namespace pathinv {
+namespace fault {
+
+void arm(uint64_t N) {
+  Countdown = N;
+  Visits = 0;
+  PendingMemoryFault = false;
+}
+
+void disarm() {
+  Countdown = 0;
+  PendingMemoryFault = false;
+}
+
+bool shouldFail(Site S) {
+  ++Visits;
+  if (Countdown == 0 || Visits != Countdown)
+    return false;
+  Countdown = 0; // One-shot: the fault fires exactly once.
+  if (S == Site::ArenaGrowth || S == Site::BigIntPromotion)
+    PendingMemoryFault = true;
+  return true;
+}
+
+bool consumePendingMemoryFault() {
+  bool Was = PendingMemoryFault;
+  PendingMemoryFault = false;
+  return Was;
+}
+
+uint64_t siteVisits() { return Visits; }
+
+} // namespace fault
+} // namespace pathinv
+
+#endif // PATHINV_FAULT_INJECT

@@ -1,0 +1,84 @@
+//===- support/FaultInject.h - Deterministic fault injection ----*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, replayable fault injection for the robustness test suite.
+///
+/// The harness is site-count-based: arming it with N means "the N-th visit
+/// to any injection site fails". Because site visits are a deterministic
+/// function of the input program and options, a failing N reproduces
+/// exactly — a test sweep over N = 1..K exercises a failure at every
+/// reachable depth of the stack.
+///
+/// Three site classes exist:
+///  * SolverCheckpoint — the ResourceController's amortized poll; a fault
+///    here models a deadline firing at an arbitrary cooperative
+///    checkpoint.
+///  * ArenaGrowth — TermManager slab allocation; models the arena hitting
+///    a memory ceiling.
+///  * BigIntPromotion — inline-to-heap promotion in BigInt; models
+///    coefficient blowup exhausting memory.
+///
+/// Memory-class sites fire in layers that cannot see the controller; they
+/// set a pending flag the controller consumes at its next checkpoint, so
+/// every fault still unwinds through the one cooperative cancellation
+/// path.
+///
+/// Everything compiles to no-ops unless PATHINV_FAULT_INJECT is defined
+/// (CMake option -DPATHINV_FAULT_INJECT=ON), so release builds carry zero
+/// overhead and zero extra state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SUPPORT_FAULTINJECT_H
+#define PATHINV_SUPPORT_FAULTINJECT_H
+
+#include <cstdint>
+
+namespace pathinv {
+namespace fault {
+
+enum class Site : uint8_t {
+  SolverCheckpoint, ///< ResourceController poll.
+  ArenaGrowth,      ///< TermManager slab allocation.
+  BigIntPromotion,  ///< BigInt inline-to-heap promotion.
+};
+
+#if defined(PATHINV_FAULT_INJECT)
+
+/// Arms the harness: the \p Countdown-th site visit (1-based) fails.
+/// Passing 0 disarms. Resets all counters and pending flags.
+void arm(uint64_t Countdown);
+
+/// Disarms the harness and clears pending flags.
+void disarm();
+
+/// Records a visit to \p S. \returns true when this visit is the armed
+/// one — the caller must fail. Memory-class sites additionally park a
+/// pending flag for the controller.
+bool shouldFail(Site S);
+
+/// Consumes the pending memory-fault flag set by a memory-class site.
+bool consumePendingMemoryFault();
+
+/// Total site visits since the last arm()/disarm(), for sweep sizing: run
+/// once uninjected, read the count, then sweep 1..count.
+uint64_t siteVisits();
+
+#else
+
+inline void arm(uint64_t) {}
+inline void disarm() {}
+inline bool shouldFail(Site) { return false; }
+inline bool consumePendingMemoryFault() { return false; }
+inline uint64_t siteVisits() { return 0; }
+
+#endif // PATHINV_FAULT_INJECT
+
+} // namespace fault
+} // namespace pathinv
+
+#endif // PATHINV_SUPPORT_FAULTINJECT_H

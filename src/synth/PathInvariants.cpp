@@ -7,6 +7,7 @@
 #include "synth/PathInvariants.h"
 
 #include "absint/Interval.h"
+#include "core/Resource.h"
 #include "program/CutSet.h"
 #include "smt/SmtSolver.h"
 #include "synth/TemplateHeuristics.h"
@@ -34,10 +35,13 @@ PathInvResult pathinv::generatePathInvariants(const Program &P,
     SynthResult Synth = solveConditions(Pool, Gen.Conditions, Opts.Synth);
     Result.LpChecks += Synth.LpChecks;
     if (!Synth.Found) {
+      Result.ResourceOut |= Synth.ResourceOut;
       Result.FailureReason = Synth.ResourceOut
                                  ? "solver budget exhausted"
                                  : "no solution within template level " +
                                        std::to_string(Level);
+      if (resourceExhausted())
+        return Result; // Escalating cannot help a tripped controller.
       continue; // Escalate the template (the Section 5 refinement step).
     }
 

@@ -48,6 +48,10 @@ struct PathInvResult {
   int LevelsTried = 0; ///< Number of template maps attempted.
   uint64_t LpChecks = 0;
   std::string FailureReason;
+  /// Synthesis stopped on a resource limit (its own LP-check budget or
+  /// the job's ResourceController) rather than exhausting the search
+  /// space — the escalation ladder keys off this.
+  bool ResourceOut = false;
 };
 
 /// Constraint-based backend (the paper's instantiation).

@@ -6,6 +6,7 @@
 
 #include "synth/Solver.h"
 
+#include "core/Resource.h"
 #include "smt/Simplex.h"
 #include "synth/Farkas.h"
 
@@ -130,10 +131,19 @@ private:
                   int *ConflictTag) {
     if (Budget == 0)
       return false;
+    if (!resourceCharge(ResourceKind::SynthCombos)) {
+      Budget = 0; // Controller tripped: reuse the budget unwind path.
+      return false;
+    }
     --Budget;
     ++LpChecks;
     lpAddConstraints(S, Cs, Tag);
-    if (S.LP.check() != Simplex::Result::Sat) {
+    Simplex::Result R = S.LP.check();
+    if (R == Simplex::Result::Interrupted) {
+      Budget = 0; // No verdict and no core; end the search.
+      return false;
+    }
+    if (R != Simplex::Result::Sat) {
       if (ConflictTag) {
         *ConflictTag = -1;
         for (int CoreTag : S.LP.unsatCore())
@@ -295,7 +305,8 @@ private:
     // The active branch was feasible before the rebuild; replaying it is
     // bookkeeping, not exploration, so it is not charged to the budget.
     Simplex::Result R = Lp.LP.check();
-    assert(R == Simplex::Result::Sat && "active branch became infeasible");
+    assert((R == Simplex::Result::Sat || R == Simplex::Result::Interrupted) &&
+           "active branch became infeasible");
     (void)R;
   }
 

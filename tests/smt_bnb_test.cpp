@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Resource.h"
 #include "logic/LinearExpr.h"
 #include "smt/SmtSolver.h"
 #include "smt/SolverContext.h"
@@ -245,6 +246,79 @@ TEST(SmtBnbTest, BudgetExhaustionFallsBackSoundly) {
   runStorm(TM2, Disabled, 0xfeedbeefull, 100);
   EXPECT_GT(Disabled.numScratchFallbacks(), 0u);
   EXPECT_EQ(Disabled.numBnbNodes(), 0u);
+}
+
+TEST(SmtBnbTest, RandomCancellationLeavesSolverReusable) {
+  // Mid-scope interruption storm: every query runs under a fresh
+  // ResourceController with a tiny randomized pivot or branch-node
+  // budget, so cancellation lands at arbitrary checkpoints — mid-pivot
+  // sequence, mid-branch, inside the scoped cleanup. After every query
+  // (interrupted or not) the same solver must answer the identical query
+  // cleanly and agree with a from-scratch solve, proving the cached base
+  // tableau and scope stack survived the unwind.
+  TermManager TM;
+  TheoryConjSolver Inc(TM);
+  LiteralGen Gen(TM, 0x5eedc0deull);
+  std::vector<std::vector<const Term *>> BaseScopes;
+
+  std::vector<const Term *> Box = Gen.boxBounds(10);
+  for (const Term *L : Box)
+    Inc.assertBase(L);
+
+  int Interrupts = 0;
+  for (int Round = 0; Round < 200; ++Round) {
+    switch (Gen.raw() % 4) {
+    case 0: {
+      Inc.pushBase();
+      BaseScopes.emplace_back(Gen.conjunction(1 + Gen.raw() % 3));
+      for (const Term *L : BaseScopes.back())
+        Inc.assertBase(L);
+      break;
+    }
+    case 1:
+      if (!BaseScopes.empty()) {
+        Inc.popBase();
+        BaseScopes.pop_back();
+      }
+      break;
+    default:
+      break;
+    }
+
+    std::vector<const Term *> Query = Gen.conjunction(2 + Gen.raw() % 3);
+    ResourceLimits Limits;
+    if (Gen.raw() % 2)
+      Limits.Pivots = 1 + Gen.raw() % 25;
+    else
+      Limits.BnbNodes = 1 + Gen.raw() % 4;
+    ResourceController RC(Limits);
+    RC.start();
+    ConjResult R;
+    {
+      ResourceScope Scope(RC);
+      R = Inc.solveWithBase(Query);
+    }
+    if (R.Interrupted)
+      ++Interrupts;
+
+    // Reusability + differential: the stormed solver, now uncancelled,
+    // must agree with a fresh from-scratch solve of base ++ query.
+    ConjResult Clean = Inc.solveWithBase(Query);
+    ASSERT_FALSE(Clean.Interrupted);
+    std::vector<const Term *> All = Box;
+    for (const auto &Scope : BaseScopes)
+      All.insert(All.end(), Scope.begin(), Scope.end());
+    All.insert(All.end(), Query.begin(), Query.end());
+    TheoryConjSolver Fresh(TM);
+    ASSERT_EQ(Clean.IsSat, Fresh.solve(All).IsSat)
+        << "post-interrupt verdict diverged in round " << Round;
+    if (!R.Interrupted) {
+      ASSERT_EQ(R.IsSat, Clean.IsSat)
+          << "budgeted verdict diverged in round " << Round;
+    }
+  }
+  // The budgets are tight enough that some queries must have tripped.
+  EXPECT_GT(Interrupts, 0);
 }
 
 TEST(SmtBnbTest, BranchLemmasAreTheoryValid) {

@@ -12,11 +12,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/Resource.h"
 #include "logic/FormulaParser.h"
 #include "smt/SmtSolver.h"
 #include "smt/SolverContext.h"
 
 #include <gtest/gtest.h>
+
+#include <random>
 
 using namespace pathinv;
 
@@ -347,6 +350,113 @@ TEST(SolverContextDifferentialTest, MatchesOneShotVerdicts) {
           << P << "  |-?  " << Q;
     }
   }
+}
+
+TEST(SolverContextInterruption, StormCancelledAtRandomCheckpoints) {
+  // Push/pop storm with cooperative cancellation: every check runs under
+  // a fresh ResourceController with a tiny randomized pivot (or SAT
+  // conflict) budget, so checks are interrupted at arbitrary points in
+  // the CDCL(T) loop. An interrupted check must answer Unknown — never a
+  // verdict — and leave the context fully usable: the identical state is
+  // differentially re-solved on the stormed context (uncancelled) and on
+  // a fresh context built from the mirrored assertion stack.
+  TermManager TM;
+  SortEnv Env;
+  smt::SolverContext Ctx(TM);
+  std::mt19937_64 Rng(0x17a9c0ffull);
+
+  auto parse = [&](const std::string &Text) {
+    auto F = parseFormula(TM, Text, Env);
+    EXPECT_TRUE(F.hasValue()) << F.error().render();
+    return F.get();
+  };
+  // Formula pool biased toward pivot- and split-heavy shapes; the
+  // disjunctions route through the lazy CDCL(T) path.
+  auto randomFormula = [&]() {
+    std::string X = "x" + std::to_string(Rng() % 4);
+    std::string Y = "x" + std::to_string(Rng() % 4);
+    std::string C = std::to_string(static_cast<int64_t>(Rng() % 15) - 7);
+    switch (Rng() % 6) {
+    case 0:
+      return parse(X + " + " + Y + " <= " + C);
+    case 1:
+      return parse("2*" + X + " = " + Y + " + " + C);
+    case 2:
+      return parse(X + " != " + C);
+    case 3:
+      return parse(X + " >= " + C);
+    case 4:
+      return parse(X + " <= " + C + " || " + Y + " >= " + C);
+    default:
+      return parse(X + " < " + Y + " || " + X + " = " + C);
+    }
+  };
+
+  std::vector<std::vector<const Term *>> Mirror; // One entry per scope.
+  Mirror.emplace_back(); // Depth 0.
+  int Interrupts = 0;
+  for (int Round = 0; Round < 120; ++Round) {
+    switch (Rng() % 4) {
+    case 0: {
+      Ctx.push();
+      Mirror.emplace_back();
+      const Term *F = randomFormula();
+      Ctx.assertTerm(F);
+      Mirror.back().push_back(F);
+      break;
+    }
+    case 1:
+      if (Mirror.size() > 1) {
+        Ctx.pop();
+        Mirror.pop_back();
+      }
+      break;
+    default: {
+      const Term *F = randomFormula();
+      Ctx.assertTerm(F);
+      Mirror.back().push_back(F);
+      break;
+    }
+    }
+
+    ResourceLimits Limits;
+    if (Rng() % 2)
+      Limits.Pivots = 1 + Rng() % 20;
+    else
+      Limits.SatConflicts = 1 + Rng() % 3;
+    ResourceController RC(Limits);
+    RC.start();
+    smt::CheckResult R = smt::CheckResult::unknown();
+    {
+      ResourceScope Scope(RC);
+      R = Ctx.checkSat();
+    }
+    if (R.isUnknown()) {
+      ++Interrupts;
+      EXPECT_FALSE(R.isSat());
+      EXPECT_FALSE(R.isUnsat());
+    }
+
+    // Differential re-solve: stormed context (no controller) vs. a fresh
+    // context replaying the mirrored assertion stack scope by scope.
+    smt::CheckResult Clean = Ctx.checkSat();
+    ASSERT_FALSE(Clean.isUnknown());
+    smt::SolverContext Fresh(TM);
+    for (size_t S = 0; S < Mirror.size(); ++S) {
+      if (S != 0)
+        Fresh.push();
+      for (const Term *F : Mirror[S])
+        Fresh.assertTerm(F);
+    }
+    ASSERT_EQ(Clean.isSat(), Fresh.checkSat().isSat())
+        << "context diverged after interruption in round " << Round;
+    if (!R.isUnknown()) {
+      ASSERT_EQ(R.isSat(), Clean.isSat())
+          << "budgeted verdict diverged in round " << Round;
+    }
+  }
+  // The budgets are tight enough that some checks must have tripped.
+  EXPECT_GT(Interrupts, 0);
 }
 
 } // namespace

@@ -26,7 +26,12 @@
 ///    ratio and wall-time speedup between the two. Verdicts must agree.
 ///  * End-to-end verification of the paper's example programs
 ///    (tests/TestPrograms.h) through the CEGAR engine, recording wall time,
-///    peak term counts, and cumulative SMT/SAT statistics.
+///    peak term counts, and cumulative SMT/SAT statistics. The e2e runs are
+///    governed: a ResourceController with generous budgets is live, so the
+///    amortized checkpoint polls are on the measured path (their overhead
+///    is gated by the end-to-end wall-time regression check) and every run
+///    records whether it exhausted a budget — the regression checker fails
+///    on any exhaustion under these defaults.
 ///
 /// Usage: pathinv_bench [--out FILE] [--iters N] [--smoke]
 ///
@@ -35,6 +40,7 @@
 #include "RefArith.h"
 #include "RefTermCore.h"
 #include "TestPrograms.h"
+#include "core/Resource.h"
 #include "core/Verifier.h"
 #include "logic/Term.h"
 #include "logic/TermRewrite.h"
@@ -496,6 +502,9 @@ struct E2EResult {
   uint64_t PathConjunctsReused = 0;
   uint64_t NodesExpanded = 0;
   uint64_t NodesReused = 0;
+  std::string UnknownReason; // Empty unless a resource budget tripped.
+  uint64_t GovernedPivots = 0;
+  uint64_t GovernedSynthCombos = 0;
 };
 
 const char *verdictName(const pathinv::EngineResult &R) {
@@ -572,10 +581,29 @@ ReuseResult refinementReuseWorkload(int Loops) {
   return R;
 }
 
-E2EResult runProgram(const char *Name, const char *Source) {
+/// Generous budgets for the governed e2e runs: far above what any of the
+/// paper programs needs (partition, the heaviest, uses ~45k pivots and
+/// ~20k synth combos), but finite — so every charge site performs the
+/// real budget comparison and the bench measures the checkpoints' true
+/// overhead. An exhaustion under these limits is a regression.
+pathinv::ResourceLimits generousLimits() {
+  pathinv::ResourceLimits L;
+  L.TimeoutSeconds = 600;
+  L.MemoryBytes = 1ull << 30;
+  L.SatConflicts = 50'000'000;
+  L.Pivots = 200'000'000;
+  L.BnbNodes = 10'000'000;
+  L.SynthCombos = 50'000'000;
+  L.ArgExpansions = 1'000'000;
+  L.Refinements = 10'000;
+  return L;
+}
+
+E2EResult runProgramOnce(const char *Name, const char *Source) {
   E2EResult R;
   R.Program = Name;
   pathinv::Verifier V;
+  V.options().Limits = generousLimits();
   auto Start = Clock::now();
   pathinv::Expected<pathinv::EngineResult> Res = V.verifySource(Source);
   R.WallMs = elapsedMs(Start, Clock::now());
@@ -588,6 +616,9 @@ E2EResult runProgram(const char *Name, const char *Source) {
     R.PathConjunctsReused = Res.get().Stats.PathConjunctsReused;
     R.NodesExpanded = Res.get().Stats.NodesExpanded;
     R.NodesReused = Res.get().Stats.NodesReused;
+    R.UnknownReason = Res.get().UnknownReason;
+    R.GovernedPivots = Res.get().Stats.Resources.Pivots;
+    R.GovernedSynthCombos = Res.get().Stats.Resources.SynthCombos;
   }
   R.PeakTerms = V.termManager().numTerms();
   R.SmtQueries = V.solver().numQueries();
@@ -596,6 +627,20 @@ E2EResult runProgram(const char *Name, const char *Source) {
   R.SatDecisions = V.solver().numSatDecisions();
   R.SatPropagations = V.solver().numSatPropagations();
   return R;
+}
+
+/// Best-of-\p Iters end-to-end run (fresh verifier per iteration), same
+/// keep-the-fastest policy as the microbenchmarks: the verification work
+/// is deterministic, so the minimum wall time is the least-noisy sample
+/// and the counters are identical across iterations.
+E2EResult runProgram(const char *Name, const char *Source, int Iters) {
+  E2EResult Best;
+  for (int I = 0; I < Iters; ++I) {
+    E2EResult R = runProgramOnce(Name, Source);
+    if (I == 0 || R.WallMs < Best.WallMs)
+      Best = std::move(R);
+  }
+  return Best;
 }
 
 void emitMicro(std::ostream &Out, const char *Key, const char *NewMode,
@@ -620,7 +665,7 @@ void emitMicro(std::ostream &Out, const char *Key, const char *NewMode,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string OutPath = "BENCH_5.json";
+  std::string OutPath = "BENCH_6.json";
   int Iters = 5;
   bool Smoke = false;
   for (int I = 1; I < Argc; ++I) {
@@ -736,16 +781,19 @@ int main(int Argc, char **Argv) {
   double E2ETotalMs = 0;
   for (const auto &P : Programs) {
     std::cerr << "[bench] end-to-end: " << P.Name << "\n";
-    E2E.push_back(runProgram(P.Name, P.Source));
+    E2E.push_back(runProgram(P.Name, P.Source, Iters));
     E2ETotalMs += E2E.back().WallMs;
     std::cerr << "[bench]   " << E2E.back().Verdict << " in "
               << E2E.back().WallMs << " ms, " << E2E.back().PeakTerms
               << " terms\n";
+    if (!E2E.back().UnknownReason.empty())
+      std::cerr << "[bench]   WARNING: exhausted resource budget ("
+                << E2E.back().UnknownReason << ") under generous limits\n";
   }
 
   std::ostringstream Json;
   Json << "{\n";
-  Json << "  \"schema\": \"pathinv-bench-v5\",\n";
+  Json << "  \"schema\": \"pathinv-bench-v6\",\n";
   Json << "  \"config\": {\"iters\": " << Iters
        << ", \"smoke\": " << (Smoke ? "true" : "false")
        << ", \"construct_rounds\": " << ConstructRounds
@@ -758,7 +806,8 @@ int main(int Argc, char **Argv) {
        << ", \"split_chain_len\": " << SplitChainLen
        << ", \"split_queries\": " << SplitQueries
        << ", \"split_rounds\": " << SplitRounds
-       << ", \"reuse_loops\": " << ReuseLoops << "},\n";
+       << ", \"reuse_loops\": " << ReuseLoops
+       << ", \"e2e_governed\": true},\n";
   Json << "  \"microbench\": {\n";
   emitMicro(Json, "construct", "arena", ConstructArena, ConstructRef);
   Json << ",\n";
@@ -821,7 +870,10 @@ int main(int Argc, char **Argv) {
          << ", \"assumption_queries\": " << R.AssumptionQueries
          << ", \"path_conjuncts_reused\": " << R.PathConjunctsReused
          << ", \"nodes_expanded\": " << R.NodesExpanded
-         << ", \"nodes_reused\": " << R.NodesReused << "}"
+         << ", \"nodes_reused\": " << R.NodesReused
+         << ", \"unknown_reason\": \"" << R.UnknownReason << "\""
+         << ", \"governed_pivots\": " << R.GovernedPivots
+         << ", \"governed_synth_combos\": " << R.GovernedSynthCombos << "}"
          << (I + 1 < E2E.size() ? "," : "") << "\n";
   }
   Json << "  ],\n";

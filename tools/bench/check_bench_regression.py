@@ -11,6 +11,11 @@ Gates:
     (1 + max-regression) x baseline;
   * every end-to-end program still reports the verdict recorded in the
     baseline;
+  * no end-to-end program exhausted a resource budget: from schema v6 on
+    the e2e runs are governed by a ResourceController with generous
+    budgets, and an entry with a non-empty unknown_reason means the
+    verifier gave up under limits the paper programs comfortably fit —
+    a governance regression, not a timing one;
   * microbench throughput (ops_per_sec of the system-under-test mode)
     for keys present in BOTH files may not regress by more than
     max-regression — absolute and therefore machine-dependent, so only
@@ -63,6 +68,15 @@ def main():
         if entry["verdict"] != expected:
             print(f"FAIL: {entry['program']} verdict changed: "
                   f"{expected} -> {entry['verdict']}")
+            ok = False
+
+    # Governed e2e runs (schema v6+) must never exhaust their generous
+    # budgets; older baselines simply lack the field.
+    for entry in cur["end_to_end"]:
+        reason = entry.get("unknown_reason", "")
+        if reason:
+            print(f"FAIL: {entry['program']} exhausted a resource budget "
+                  f"under generous limits (reason: {reason})")
             ok = False
 
     base_ms = base["end_to_end_total_wall_ms"]

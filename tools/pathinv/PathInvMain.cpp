@@ -12,16 +12,23 @@
 ///   --reach=arg|restart                       reachability engine
 ///   --max-refinements=N                       CEGAR iteration budget
 ///   --max-nodes=N                             abstract reachability budget
+///   --timeout=SEC                             wall-clock deadline
+///   --memory=MB                               soft tracked-heap ceiling
+///   --budgets=k=v,...                         per-layer step budgets
 ///   --stats                                   per-layer statistics
 ///   --quiet                                   verdict only
 ///
-/// Exit codes: 0 Safe, 1 Unsafe, 2 Unknown, 3 usage/parse error.
+/// Exit-code contract: 0 Safe, 1 Unsafe, 2 Unknown-or-error. Resource
+/// exhaustion, unsupported input, usage and parse errors all land on 2 —
+/// an automation driver can trust that 0 and 1 are *proven* verdicts and
+/// everything else is "no verdict", never a crash.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Verifier.h"
 #include "smt/SolverContext.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -40,10 +47,16 @@ int usage(const char *Argv0) {
       << "                       the legacy restart-the-world tree\n"
       << "  --max-refinements=N  CEGAR iteration budget (default 40)\n"
       << "  --max-nodes=N        abstract reachability node budget\n"
+      << "  --timeout=SEC        wall-clock deadline (0 = unlimited)\n"
+      << "  --memory=MB          soft ceiling on tracked heap bytes\n"
+      << "  --budgets=k=v,...    per-layer step budgets; keys:\n"
+      << "                       sat_conflicts, pivots, bnb_nodes,\n"
+      << "                       synth_combos, arg_expansions, refinements\n"
       << "  --stats              print per-layer statistics\n"
       << "  --quiet              print only the verdict line\n"
-      << "exit codes: 0 Safe, 1 Unsafe, 2 Unknown, 3 usage/parse error\n";
-  return 3;
+      << "exit codes: 0 Safe, 1 Unsafe, 2 Unknown or error (resource\n"
+      << "exhaustion, unsupported input, usage/parse errors)\n";
+  return 2;
 }
 
 bool parseUint(const char *Text, uint64_t &Out) {
@@ -52,6 +65,58 @@ bool parseUint(const char *Text, uint64_t &Out) {
   if (End == Text || *End != '\0')
     return false;
   Out = V;
+  return true;
+}
+
+bool parseSeconds(const char *Text, double &Out) {
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || V < 0)
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parses a "--budgets=" value: comma-separated key=value pairs keyed by
+/// the Unknown-reason taxonomy. \returns false (with a message) on any
+/// unknown key or malformed count.
+bool parseBudgets(const char *Text, pathinv::ResourceLimits &Limits) {
+  std::string Spec = Text;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Pair = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    size_t Eq = Pair.find('=');
+    if (Eq == std::string::npos) {
+      std::cerr << "malformed budget '" << Pair << "' (want key=count)\n";
+      return false;
+    }
+    std::string Key = Pair.substr(0, Eq);
+    uint64_t Count = 0;
+    if (!parseUint(Pair.c_str() + Eq + 1, Count)) {
+      std::cerr << "malformed budget count in '" << Pair << "'\n";
+      return false;
+    }
+    if (Key == "sat_conflicts") {
+      Limits.SatConflicts = Count;
+    } else if (Key == "pivots") {
+      Limits.Pivots = Count;
+    } else if (Key == "bnb_nodes") {
+      Limits.BnbNodes = Count;
+    } else if (Key == "synth_combos") {
+      Limits.SynthCombos = Count;
+    } else if (Key == "arg_expansions") {
+      Limits.ArgExpansions = Count;
+    } else if (Key == "refinements") {
+      Limits.Refinements = Count;
+    } else {
+      std::cerr << "unknown budget key '" << Key << "'\n";
+      return false;
+    }
+  }
   return true;
 }
 
@@ -95,6 +160,17 @@ int main(int Argc, char **Argv) {
     } else if (const char *V = valueOf("--max-nodes=")) {
       if (!parseUint(V, Opts.Reach.MaxNodes))
         return usage(Argv[0]);
+    } else if (const char *V = valueOf("--timeout=")) {
+      if (!parseSeconds(V, Opts.Limits.TimeoutSeconds))
+        return usage(Argv[0]);
+    } else if (const char *V = valueOf("--memory=")) {
+      uint64_t MegaBytes = 0;
+      if (!parseUint(V, MegaBytes))
+        return usage(Argv[0]);
+      Opts.Limits.MemoryBytes = MegaBytes * 1024 * 1024;
+    } else if (const char *V = valueOf("--budgets=")) {
+      if (!parseBudgets(V, Opts.Limits))
+        return usage(Argv[0]);
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (Arg == "--quiet") {
@@ -124,7 +200,7 @@ int main(int Argc, char **Argv) {
     std::ifstream In(InputPath);
     if (!In) {
       std::cerr << "cannot read " << InputPath << "\n";
-      return 3;
+      return 2;
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
@@ -135,7 +211,7 @@ int main(int Argc, char **Argv) {
   pathinv::Expected<pathinv::Program> P = V.loadSource(Source);
   if (!P) {
     std::cerr << InputPath << ": " << P.error().render() << "\n";
-    return 3;
+    return 2;
   }
   pathinv::EngineResult R = V.verifyProgram(P.get());
 
