@@ -84,6 +84,16 @@ std::string Arg::verifyInvariants() const {
         return at("coverer violates the covering rule");
       if (!N.Children.empty())
         return at("covered node has children");
+      // Rotation invariant: the engine re-points covers at the strongest
+      // available coverer, so no other candidate may cover this node with
+      // strictly fewer literals than the one it holds.
+      for (const ArgNode &Cand : Nodes) {
+        if (&Cand == &Nodes[N.CoveredBy])
+          continue;
+        if (canCover(Cand, N) &&
+            Cand.Literals.size() < Nodes[N.CoveredBy].Literals.size())
+          return at("covered node missed a strictly more general coverer");
+      }
     }
   }
   return "";
@@ -96,7 +106,7 @@ std::string Arg::verifyInvariants() const {
 ReachEngine::ReachEngine(const Program &P, const Precision &Pi,
                          SmtSolver &Solver, const ReachOptions &Opts)
     : P(P), TM(P.termManager()), Pi(Pi), Solver(Solver), Opts(Opts),
-      Ctx(TM), ExpandedAt(P.numLocations()) {
+      Ctx(TM), ExpandedAt(P.numLocations()), CoveredAt(P.numLocations()) {
   ArgNode Root;
   Root.Loc = P.entry();
   Root.St = ArgNode::State::Leaf;
@@ -281,20 +291,45 @@ int ReachEngine::findCoverer(int Id) {
   const ArgNode &N = node(Id);
   std::vector<int> &Cands = ExpandedAt[N.Loc];
   size_t Kept = 0;
-  int Found = -1;
+  int Best = -1;
   for (int CandId : Cands) {
     // Compact out candidates a refinement pruned.
     if (node(CandId).St != ArgNode::State::Expanded)
       continue;
     Cands[Kept++] = CandId;
-    if (Found >= 0)
-      continue;
     ++Stats.CoverChecks;
-    if (canCover(node(CandId), N))
-      Found = CandId;
+    if (!canCover(node(CandId), N))
+      continue;
+    // Strongest candidate: fewest literals — the most general abstract
+    // region, so later refinements (which only ever strengthen labels)
+    // are least likely to break the cover. Candidates appear in id order,
+    // so strict < resolves ties to the smallest id deterministically.
+    if (Best < 0 || node(CandId).Literals.size() < node(Best).Literals.size())
+      Best = CandId;
   }
   Cands.resize(Kept);
-  return Found;
+  return Best;
+}
+
+void ReachEngine::rotateCovers(int NewCoverer) {
+  const ArgNode &Cov = node(NewCoverer);
+  std::vector<int> &Covered = CoveredAt[Cov.Loc];
+  size_t Kept = 0;
+  for (int Id : Covered) {
+    ArgNode &N = node(Id);
+    if (N.St != ArgNode::State::Covered)
+      continue; // Cover broke (or the node was pruned): compact out.
+    Covered[Kept++] = Id;
+    if (N.CoveredBy == NewCoverer)
+      continue;
+    ++Stats.CoverChecks;
+    if (canCover(Cov, N) &&
+        Cov.Literals.size() < node(N.CoveredBy).Literals.size()) {
+      N.CoveredBy = NewCoverer;
+      ++Stats.CoverRotations;
+    }
+  }
+  Covered.resize(Kept);
 }
 
 ArgRunResult ReachEngine::run() {
@@ -356,6 +391,7 @@ ArgRunResult ReachEngine::run() {
       ArgNode &N = node(Id);
       N.St = ArgNode::State::Covered;
       N.CoveredBy = Cov;
+      CoveredAt[N.Loc].push_back(Id);
       ++Stats.NodesCovered;
       if (ForcedAttempt)
         ++Stats.ForcedCovers;
@@ -368,6 +404,9 @@ ArgRunResult ReachEngine::run() {
     N.St = ArgNode::State::Expanded;
     ExpandedAt[N.Loc].push_back(Id);
     ++Stats.NodesExpanded;
+    // The fresh expansion may be a strictly more general coverer than
+    // what existing covered nodes at this location currently hold.
+    rotateCovers(Id);
     // Trip detection happens at the next loop head (the node is complete).
     (void)resourceCharge(ResourceKind::ArgExpansions);
   }
@@ -406,6 +445,17 @@ void ReachEngine::refreshCovers() {
       M.St = ArgNode::State::Leaf;
       M.CoveredBy = -1;
       enqueue(static_cast<int>(I));
+      continue;
+    }
+    // The cover survived, but the settle sweep may have strengthened its
+    // coverer past a sibling that stayed general: rotate to the strongest
+    // candidate so the cover is maximally refinement-resistant (and the
+    // rotation invariant holds when verifyInvariants runs next).
+    int Best = findCoverer(static_cast<int>(I));
+    if (Best >= 0 && Best != M.CoveredBy &&
+        node(Best).Literals.size() < node(M.CoveredBy).Literals.size()) {
+      M.CoveredBy = Best;
+      ++Stats.CoverRotations;
     }
   }
 }

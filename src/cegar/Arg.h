@@ -156,7 +156,11 @@ public:
   ///  * covering is acyclic and well-formed — coverers are live expanded
   ///    nodes at the same location whose literal set is a subset of the
   ///    coveree's, and only Covered nodes carry a CoveredBy link;
-  ///  * covered nodes have no (expanded) children.
+  ///  * covered nodes have no (expanded) children;
+  ///  * covers are rotated to strength — no live expanded complete node
+  ///    at the same location could cover the coveree with strictly fewer
+  ///    literals than its current coverer (the engine re-points covers at
+  ///    the strongest candidate whenever one appears).
   /// \returns an empty string when all invariants hold, else a diagnostic.
   std::string verifyInvariants() const;
 
@@ -182,6 +186,10 @@ struct ArgStats {
   uint64_t CoverChecks = 0;       ///< Candidate subset comparisons.
   uint64_t NodesCovered = 0;
   uint64_t ForcedCovers = 0;      ///< Stale-leaf relabels ending covered.
+  /// Covered nodes re-pointed at a strictly more general coverer (fewer
+  /// literals) than the one they held — on new expansions and on cover
+  /// refreshes after refinements.
+  uint64_t CoverRotations = 0;
   uint64_t NodesPruned = 0;
   uint64_t NodesReused = 0;       ///< Expanded nodes surviving a refinement
                                   ///< without relabelling (summed over
@@ -256,14 +264,24 @@ private:
   /// mark an infeasible edge. \returns false when the incoming edge is
   /// abstractly infeasible (the node is marked Infeasible).
   bool labelNode(int Id);
-  /// \returns the id of a live expanded node at \p Id's location whose
-  /// literals are a subset of \p Id's, or -1.
+  /// \returns the id of the *strongest* live expanded node at \p Id's
+  /// location whose literals are a subset of \p Id's — fewest literals
+  /// (most general abstract region, hence the biggest covered family),
+  /// smallest id on ties — or -1 when none covers.
   int findCoverer(int Id);
+  /// Coverer rotation at expansion time: re-points every covered node at
+  /// \p NewCoverer's location whose current coverer has strictly more
+  /// literals (the new node covers a strictly more general region, so
+  /// refinements that strengthen the old coverer's label break fewer
+  /// covers). Compacts dead entries out of CoveredAt as it scans.
+  void rotateCovers(int NewCoverer);
   /// Marks the subtree rooted at \p Id pruned (parent links untouched).
   void pruneSubtree(int Id);
   /// Re-enqueues every covered node whose coverer is no longer a live
   /// expanded node with a subset label (pruning and relabelling both
-  /// break covers).
+  /// break covers), and rotates every surviving cover to the strongest
+  /// candidate coverer (relabelling can strengthen an old coverer past a
+  /// sibling that stayed general).
   void refreshCovers();
   /// The settle sweep: brings every expanded node's label up to date with
   /// the precision (one top-down id-ordered pass — children always have
@@ -292,6 +310,9 @@ private:
       Worklist;
   /// Live expanded node ids per location — the covering candidate index.
   std::vector<std::vector<int>> ExpandedAt;
+  /// Covered node ids per location — the rotation index (entries go stale
+  /// when a cover breaks; scans compact them out lazily).
+  std::vector<std::vector<int>> CoveredAt;
   /// Label batching: a node's label is a pure function of (state formula,
   /// transition relation, location) under a fixed precision, so the
   /// outcome of one labelling batch is memoized under that key and

@@ -83,20 +83,30 @@ bool tryWholeProgramEscalation(const Program &P, SmtSolver &Solver,
   if (!(Refined.UsedFallback || !Refined.Progress) || Tried ||
       Opts.Refiner == RefinerKind::PathFormula)
     return false;
-  Tried = true;
+  if (resourceExhausted())
+    return false; // Keep the one-shot intact: under a tripped controller
+                  // (including a portfolio slice pause) the generation
+                  // could only fail, and a resumed run still needs it.
   PathInvResult Whole =
       Opts.Refiner == RefinerKind::PathInvariantIntervals
           ? generateIntervalInvariants(P, Solver)
           : generatePathInvariants(P, Solver, Opts.PathInv);
   Result.Stats.LpChecks += Whole.LpChecks;
   Result.Stats.TemplateLevelsTried += Whole.LevelsTried;
-  if (!Whole.Found)
+  if (!Whole.Found) {
+    // Only a generation that ran to completion proves the map doesn't
+    // exist; an interrupted attempt must stay retryable after resume.
+    Tried = !resourceExhausted();
     return false;
+  }
+  Tried = true;
   std::vector<std::pair<LocId, const Term *>> Localized;
   Whole.Map.collectLocalized(Localized);
   for (const auto &[Loc, Pred] : Localized)
     Result.Predicates.add(Loc, Pred);
   Result.Verdict = EngineResult::Verdict::Safe;
+  Result.Invariants = Whole.Map;
+  Result.HasInvariants = true;
   Result.Note = "proved by whole-program invariant map";
   return true;
 }
@@ -173,81 +183,116 @@ void syncReachStats(EngineStats &S, const ArgStats &A) {
   S.NodesPruned = A.NodesPruned;
   S.CoverChecks = A.CoverChecks;
   S.NodesCovered = A.NodesCovered;
+  S.CoverRotations = A.CoverRotations;
   S.ForcedCovers = A.ForcedCovers;
   S.RelabelsBatched = A.RelabelsBatched;
 }
 
+} // namespace
+
+/// All loop state lives here so a slice-paused run() resumes exactly
+/// where it stopped: the persistent ARG (or the restart iteration
+/// counter), the incremental path-formula checker, the grown precision
+/// (inside Result.Predicates, which ReachEngine references), and the
+/// escalation/iteration flags.
+struct CegarEngine::Impl {
+  Impl(const Program &P, SmtSolver &Solver, const EngineOptions &Opts)
+      : P(P), Solver(Solver), Opts(Opts), PathChecker(P.termManager()) {
+    if (Opts.Reach.Mode != ReachMode::Restart)
+      Reach = std::make_unique<ReachEngine>(P, Result.Predicates, Solver,
+                                            Opts.Reach);
+  }
+
+  const Program &P;
+  SmtSolver &Solver;
+  EngineOptions Opts;
+  PathFormulaChecker PathChecker;
+  /// Persistent accumulator; run() returns a copy. Result.Predicates is
+  /// the live precision the ARG labels against.
+  EngineResult Result;
+  std::unique_ptr<ReachEngine> Reach; ///< Null in ReachMode::Restart.
+  uint64_t Iter = 0;
+  bool TriedWholeProgram = false;
+  bool Done = false; ///< Terminal (not just slice-paused) outcome reached.
+
+  void runArg();
+  void runRestart();
+  void finishArg();
+};
+
+/// Folds the ARG/solver-context/path-checker counters into the result
+/// stats (all lifetime totals — safe to overwrite on every exit).
+void CegarEngine::Impl::finishArg() {
+  syncReachStats(Result.Stats, Reach->stats());
+  smt::ContextStats Ctx = Reach->context().stats();
+  Result.Stats.ReachContextChecks = Ctx.Checks;
+  Result.Stats.ReachLearnedPurges = Ctx.LearnedPurges;
+  Result.Stats.ReachClausesPurged = Ctx.ClausesPurged;
+  Result.Stats.ReachRedundantClauses = Ctx.RedundantClauses;
+  Result.Stats.ReachBnbNodes = Ctx.BnbNodes;
+  Result.Stats.ReachScratchFallbacks = Ctx.ScratchFallbacks;
+  Result.Stats.PathConjunctsReused = PathChecker.reusedConjuncts();
+  Result.Stats.PathConjunctsAsserted = PathChecker.assertedConjuncts();
+  Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
+}
+
 /// The CEGAR loop over the persistent ARG (ReachMode::Arg): refinement
 /// prunes the pivot subtree and resumes instead of restarting.
-EngineResult verifyArg(const Program &P, SmtSolver &Solver,
-                       const EngineOptions &Opts) {
-  TermManager &TM = P.termManager();
-  EngineResult Result;
-  bool TriedWholeProgram = false;
-  PathFormulaChecker PathChecker(TM);
-  ReachEngine Reach(P, Result.Predicates, Solver, Opts.Reach);
-
-  auto finish = [&]() -> EngineResult & {
-    syncReachStats(Result.Stats, Reach.stats());
-    smt::ContextStats Ctx = Reach.context().stats();
-    Result.Stats.ReachContextChecks = Ctx.Checks;
-    Result.Stats.ReachLearnedPurges = Ctx.LearnedPurges;
-    Result.Stats.ReachClausesPurged = Ctx.ClausesPurged;
-    Result.Stats.ReachRedundantClauses = Ctx.RedundantClauses;
-    Result.Stats.ReachBnbNodes = Ctx.BnbNodes;
-    Result.Stats.ReachScratchFallbacks = Ctx.ScratchFallbacks;
-    Result.Stats.PathConjunctsReused = PathChecker.reusedConjuncts();
-    Result.Stats.PathConjunctsAsserted = PathChecker.assertedConjuncts();
-    Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-    return Result;
-  };
-
-  for (uint64_t Iter = 0;;) {
+void CegarEngine::Impl::runArg() {
+  for (;;) {
     // Phase 1: resume abstract reachability on the persistent graph.
-    ArgRunResult Reached = Reach.run();
+    ArgRunResult Reached = Reach->run();
     if (Reached.Kind == ArgRunResult::Kind::Proof) {
       Result.Verdict = EngineResult::Verdict::Safe;
-      return finish();
+      return finishArg();
     }
     if (Reached.Kind == ArgRunResult::Kind::NodeLimit) {
       Result.Note = "abstract reachability node limit reached";
-      return finish();
+      return finishArg();
     }
     if (Reached.Kind == ArgRunResult::Kind::ResourceOut) {
       // The graph keeps its frontier queued; the verdict is Unknown with
       // the controller's reason, and everything built so far survives in
-      // Result.Predicates as the best-so-far invariant map.
+      // Result.Predicates as the best-so-far invariant map. (On a slice
+      // pause this is where the next run() call picks the job back up.)
       Result.Note = "resources exhausted during abstract reachability";
-      return finish();
+      return finishArg();
     }
 
     // Stale counterexamples (label computed before the precision grew at
     // a path location) are reconciled — pruned at the earliest stale node
     // and re-explored — not analyzed: the refiner only ever sees paths
     // that reflect the full current precision.
-    if (Reach.reconcileStalePath(Reached))
+    if (Reach->reconcileStalePath(Reached))
       continue;
 
     // Phase 2: counterexample analysis.
     const Path &Cex = Reached.ErrorPath;
     if (analyzeCounterexample(P, Cex, PathChecker, Opts, Result))
-      return finish();
+      return finishArg();
 
     // Phase 3: refinement.
     if (Iter == Opts.MaxRefinements) {
       Result.Note = "refinement budget exhausted";
-      return finish();
+      return finishArg();
     }
     if (!resourceCharge(ResourceKind::Refinements)) {
       Result.Note = "resources exhausted before refinement";
-      return finish();
+      return finishArg();
     }
     RefineResult Refined = refine(P, Cex, Result.Predicates, Solver,
                                   Opts.Refiner, Opts.PathInv);
-    ++Iter;
-    ++Result.Stats.Refinements;
     Result.Stats.LpChecks += Refined.LpChecks;
     Result.Stats.TemplateLevelsTried += Refined.TemplateLevelsTried;
+    if (!Refined.Progress && resourceExhausted()) {
+      // Interrupted mid-refinement (slice pause or real exhaustion):
+      // report without consuming the iteration or the escalation ladder,
+      // so a resumed run retries this path with the full machinery.
+      Result.Note = "resources exhausted during refinement";
+      return finishArg();
+    }
+    ++Iter;
+    ++Result.Stats.Refinements;
     if (Refined.UsedFallback)
       ++Result.Stats.Fallbacks;
 
@@ -255,32 +300,24 @@ EngineResult verifyArg(const Program &P, SmtSolver &Solver,
 
     if (tryWholeProgramEscalation(P, Solver, Opts, Refined,
                                   TriedWholeProgram, Result))
-      return finish();
+      return finishArg();
 
     if (!Refined.Progress) {
-      Result.Note = resourceExhausted()
-                        ? "resources exhausted during refinement"
-                        : "refinement made no progress";
-      return finish();
+      Result.Note = "refinement made no progress";
+      return finishArg();
     }
 
     // Subtree-scoped refinement: replay the path under the grown
     // precision and prune below the first edge it refutes; everything
     // the new predicates cannot invalidate survives.
-    Reach.applyRefinement(Reached);
+    Reach->applyRefinement(Reached);
   }
 }
 
 /// The legacy loop (ReachMode::Restart): every refinement throws the
 /// whole abstract reachability tree away and re-explores from scratch.
-EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
-                           const EngineOptions &Opts) {
-  TermManager &TM = P.termManager();
-  EngineResult Result;
-  bool TriedWholeProgram = false;
-  PathFormulaChecker PathChecker(TM);
-
-  for (uint64_t Iter = 0; Iter <= Opts.MaxRefinements; ++Iter) {
+void CegarEngine::Impl::runRestart() {
+  for (; Iter <= Opts.MaxRefinements; ++Iter) {
     // Phase 1: abstract reachability.
     ReachResult Reach =
         abstractReach(P, Result.Predicates, Solver, Opts.Reach);
@@ -288,21 +325,19 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
     Result.Stats.EntailmentQueries += Reach.EntailmentQueries;
     Result.Stats.AssumptionQueries += Reach.AssumptionQueries;
     Result.Stats.ModelFilteredQueries += Reach.ModelFilteredQueries;
+    Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
 
     if (Reach.Kind == ReachResult::Kind::Proof) {
       Result.Verdict = EngineResult::Verdict::Safe;
-      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-      return Result;
+      return;
     }
     if (Reach.Kind == ReachResult::Kind::NodeLimit) {
       Result.Note = "abstract reachability node limit reached";
-      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-      return Result;
+      return;
     }
     if (Reach.Kind == ReachResult::Kind::ResourceOut) {
       Result.Note = "resources exhausted during abstract reachability";
-      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-      return Result;
+      return;
     }
 
     // Phase 2: counterexample analysis. The path formula's common prefix
@@ -312,24 +347,27 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
     bool Feasible = analyzeCounterexample(P, Cex, PathChecker, Opts, Result);
     Result.Stats.PathConjunctsReused = PathChecker.reusedConjuncts();
     Result.Stats.PathConjunctsAsserted = PathChecker.assertedConjuncts();
-    if (Feasible) {
-      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-      return Result;
-    }
+    if (Feasible)
+      return;
 
     // Phase 3: refinement.
     if (Iter == Opts.MaxRefinements)
       break; // Budget spent; report below.
     if (!resourceCharge(ResourceKind::Refinements)) {
       Result.Note = "resources exhausted before refinement";
-      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-      return Result;
+      return;
     }
     RefineResult Refined = refine(P, Cex, Result.Predicates, Solver,
                                   Opts.Refiner, Opts.PathInv);
-    ++Result.Stats.Refinements;
     Result.Stats.LpChecks += Refined.LpChecks;
     Result.Stats.TemplateLevelsTried += Refined.TemplateLevelsTried;
+    if (!Refined.Progress && resourceExhausted()) {
+      // Interrupted mid-refinement: keep the iteration and escalation
+      // ladder unconsumed so a resumed run retries this path.
+      Result.Note = "resources exhausted during refinement";
+      return;
+    }
+    ++Result.Stats.Refinements;
     if (Refined.UsedFallback)
       ++Result.Stats.Fallbacks;
 
@@ -338,24 +376,42 @@ EngineResult verifyRestart(const Program &P, SmtSolver &Solver,
     if (tryWholeProgramEscalation(P, Solver, Opts, Refined,
                                   TriedWholeProgram, Result)) {
       Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-      return Result;
+      return;
     }
 
     if (!Refined.Progress) {
-      Result.Note = resourceExhausted()
-                        ? "resources exhausted during refinement"
-                        : "refinement made no progress";
-      Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-      return Result;
+      Result.Note = "refinement made no progress";
+      return;
     }
   }
 
   Result.Note = "refinement budget exhausted";
   Result.Stats.FinalPredicates = Result.Predicates.totalPredicates();
-  return Result;
 }
 
-} // namespace
+CegarEngine::CegarEngine(const Program &P, SmtSolver &Solver,
+                         const EngineOptions &Opts)
+    : I(std::make_unique<Impl>(P, Solver, Opts)) {}
+
+CegarEngine::~CegarEngine() = default;
+
+EngineResult CegarEngine::run() {
+  if (I->Done)
+    return I->Result;
+  // A resumed run starts clean: the previous pause's provisional note
+  // must not leak into the continued job's outcome.
+  I->Result.Note.clear();
+  I->Result.UnknownReason.clear();
+  if (I->Opts.Reach.Mode == ReachMode::Restart)
+    I->runRestart();
+  else
+    I->runArg();
+  ResourceController *RC = ResourceController::active();
+  bool Paused = I->Result.Verdict == EngineResult::Verdict::Unknown && RC &&
+                RC->slicePaused();
+  I->Done = !Paused;
+  return I->Result;
+}
 
 EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
                              const EngineOptions &Opts) {
@@ -370,18 +426,12 @@ EngineResult pathinv::verify(const Program &P, SmtSolver &Solver,
   });
   RC.start();
   ResourceScope Scope(RC);
-  EngineResult Result = Opts.Reach.Mode == ReachMode::Restart
-                            ? verifyRestart(P, Solver, Opts)
-                            : verifyArg(P, Solver, Opts);
-  Result.Stats.Resources = RC.spent();
-  Result.Stats.PeakMemoryBytes = RC.peakMemoryBytes();
+  CegarEngine Engine(P, Solver, Opts);
+  EngineResult Result = Engine.run();
   // Exhaustion is never a verdict: a Safe or Unsafe reached before (or
   // soundly despite) the trip stands; only Unknown carries the reason.
-  if (RC.exhausted() && Result.Verdict == EngineResult::Verdict::Unknown) {
-    Result.UnknownReason = resourceReasonName(RC.reason());
-    if (Result.Note.empty())
-      Result.Note =
-          std::string("resources exhausted: ") + Result.UnknownReason;
-  }
+  finalizeEngineResult(Result, RC);
+  if (!Result.UnknownReason.empty() && Result.Note.empty())
+    Result.Note = std::string("resources exhausted: ") + Result.UnknownReason;
   return Result;
 }

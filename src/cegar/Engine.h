@@ -16,111 +16,40 @@
 /// graph-wide — while ReachMode::Restart keeps the legacy
 /// restart-the-world tree as a differential oracle for one release.
 ///
+/// EngineOptions/EngineStats/EngineResult live in core/Engine.h, shared
+/// with the PDR backend; this header adds the CEGAR implementation of the
+/// VerificationEngine interface plus the historical verify() free
+/// function (CEGAR-only, installs its own controller).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHINV_CEGAR_ENGINE_H
 #define PATHINV_CEGAR_ENGINE_H
 
-#include "cegar/AbstractReach.h"
-#include "cegar/Refiner.h"
-#include "core/Resource.h"
-#include "interp/Interpreter.h"
+#include "core/Engine.h"
 
 namespace pathinv {
 
-/// Engine configuration.
-struct EngineOptions {
-  RefinerKind Refiner = RefinerKind::PathInvariant;
-  uint64_t MaxRefinements = 40;
-  ReachOptions Reach;
-  PathInvOptions PathInv;
-  /// Replay bug witnesses concretely before reporting Unsafe.
-  bool ValidateWitness = true;
-  /// Resource governance: wall-clock deadline, memory ceiling, per-layer
-  /// step budgets. All zero (the default) means unlimited. Exhaustion
-  /// surfaces as Verdict::Unknown with EngineResult::UnknownReason set —
-  /// never as a wrong verdict, a crash, or an unusable solver.
-  ResourceLimits Limits;
+/// The CEGAR backend. Holds the persistent ARG, the incremental
+/// path-formula checker, and the grown precision across run() calls, so
+/// a slice-paused job resumes mid-refinement-loop.
+class CegarEngine final : public VerificationEngine {
+public:
+  CegarEngine(const Program &P, SmtSolver &Solver, const EngineOptions &Opts);
+  ~CegarEngine() override;
+
+  const char *name() const override { return "cegar"; }
+  EngineResult run() override;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
 };
 
-/// Aggregate statistics of one verification run.
-struct EngineStats {
-  uint64_t Refinements = 0;
-  uint64_t NodesExpanded = 0;
-  uint64_t EntailmentQueries = 0;
-  /// Entailment queries served incrementally (assumption flips on an
-  /// asserted post-image) during abstract reachability.
-  uint64_t AssumptionQueries = 0;
-  /// Entailment queries skipped outright because the post-image's
-  /// feasibility model already witnessed the answer.
-  uint64_t ModelFilteredQueries = 0;
-  // ARG engine only: incremental reuse vs. fresh work at the engine level.
-  /// Expanded nodes retained across refinements (summed per refinement) —
-  /// exploration the restart engine would redo.
-  uint64_t NodesReused = 0;
-  /// Nodes removed by subtree-scoped pruning (refinements and stale-path
-  /// reconciliations).
-  uint64_t NodesPruned = 0;
-  /// Covering candidate comparisons, and how many nodes ended covered.
-  uint64_t CoverChecks = 0;
-  uint64_t NodesCovered = 0;
-  /// Stale leaves relabelled under a grown precision that an existing
-  /// expanded node then covered (expansion saved).
-  uint64_t ForcedCovers = 0;
-  /// Labelling batches replayed from an identical memoized batch at the
-  /// same location (one assumption-flip group per location/post pair per
-  /// precision state) — settle sweeps and converged loop unrollings.
-  uint64_t RelabelsBatched = 0;
-  // ARG engine only: the run-lifetime solver context behind reachability
-  // (its checks, and the learned-clause garbage collection keeping it
-  // bounded). The facade solver's stats live in Verifier::solverStats().
-  uint64_t ReachContextChecks = 0;
-  uint64_t ReachLearnedPurges = 0;
-  uint64_t ReachClausesPurged = 0;
-  uint64_t ReachRedundantClauses = 0;
-  /// Branch-and-bound work inside the reach context's theory solver, and
-  /// how often a query still had to abandon the cached tableau. A rising
-  /// fallback count is a regression in incrementality.
-  uint64_t ReachBnbNodes = 0;
-  uint64_t ReachScratchFallbacks = 0;
-  /// Path-formula conjuncts found already asserted from the previous
-  /// iteration's path (prefix reuse) vs. conjuncts freshly asserted.
-  uint64_t PathConjunctsReused = 0;
-  uint64_t PathConjunctsAsserted = 0;
-  uint64_t LpChecks = 0;
-  uint64_t Fallbacks = 0;
-  uint64_t TemplateLevelsTried = 0;
-  size_t FinalPredicates = 0;
-  // Resource governance: steps actually spent per budgeted layer (these
-  // are the partial stats that survive exhaustion), the peak tracked heap
-  // footprint, and how often the escalation ladder retried a
-  // budget-exhausted refinement with the cheaper backend.
-  ResourceSpent Resources;
-  uint64_t PeakMemoryBytes = 0;
-  uint64_t EscalationRetries = 0;
-};
-
-/// Verdict of a verification run.
-struct EngineResult {
-  enum class Verdict : uint8_t { Safe, Unsafe, Unknown } Verdict =
-      Verdict::Unknown;
-  /// For Unsafe: the feasible error path and a replay of it.
-  Path Witness;
-  ReplayResult Replay;
-  bool WitnessReplayed = false;
-  /// The abstraction that proved safety (or the state at exhaustion).
-  PredicateMap Predicates;
-  EngineStats Stats;
-  std::string Note; ///< Reason for Unknown verdicts (human-readable).
-  /// Machine-readable exhaustion reason when the ResourceController
-  /// tripped: one of "deadline", "memory", "sat_conflicts", "pivots",
-  /// "bnb_nodes", "synth_combos", "arg_expansions", "refinements",
-  /// "cancelled". Empty when the verdict is not resource-related.
-  std::string UnknownReason;
-};
-
-/// Verifies \p P: Safe (error location unreachable), Unsafe (with
-/// witness), or Unknown (budgets exhausted / refinement stuck).
+/// Verifies \p P with the CEGAR engine under a fresh per-job
+/// ResourceController built from Opts.Limits: Safe (error location
+/// unreachable), Unsafe (with witness), or Unknown (budgets exhausted /
+/// refinement stuck).
 EngineResult verify(const Program &P, SmtSolver &Solver,
                     const EngineOptions &Opts = {});
 

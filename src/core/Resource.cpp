@@ -28,6 +28,8 @@ const char *pathinv::resourceReasonName(ResourceKind Kind) {
     return "arg_expansions";
   case ResourceKind::Refinements:
     return "refinements";
+  case ResourceKind::PdrObligations:
+    return "pdr_obligations";
   case ResourceKind::Cancelled:
     return "cancelled";
   }
@@ -54,10 +56,32 @@ void ResourceController::start() {
 }
 
 void ResourceController::cancel(ResourceKind Reason) {
-  if (Tripped)
-    return; // First reason wins.
+  if (Tripped && !SlicePaused)
+    return; // First real reason wins.
+  // A real cancellation converts a transient slice pause into a sticky
+  // trip (the portfolio cancelling the losing lane mid-pause).
+  SlicePaused = false;
   Tripped = true;
   TripReason = Reason;
+}
+
+void ResourceController::beginSlice(double Seconds) {
+  SliceDeadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(Seconds));
+  SliceArmed = true;
+  // Force the first charge of the slice through a full poll so a slice
+  // shorter than one amortization window still gets noticed.
+  ChargesSincePoll = PollInterval;
+}
+
+void ResourceController::endSlice() {
+  SliceArmed = false;
+  if (SlicePaused) {
+    SlicePaused = false;
+    Tripped = false;
+  }
 }
 
 void ResourceController::bump(ResourceKind Kind, uint64_t Delta) {
@@ -79,6 +103,9 @@ void ResourceController::bump(ResourceKind Kind, uint64_t Delta) {
     break;
   case ResourceKind::Refinements:
     Used.Refinements += Delta;
+    break;
+  case ResourceKind::PdrObligations:
+    Used.PdrObligations += Delta;
     break;
   default:
     break; // Deadline/Memory/Cancelled are polled, not stepped.
@@ -111,6 +138,10 @@ bool ResourceController::checkBudget(ResourceKind Kind) {
   case ResourceKind::Refinements:
     Limit = Limits.Refinements;
     Spent = Used.Refinements;
+    break;
+  case ResourceKind::PdrObligations:
+    Limit = Limits.PdrObligations;
+    Spent = Used.PdrObligations;
     break;
   default:
     return true;
@@ -158,8 +189,17 @@ bool ResourceController::pollNow() {
   for (ResourceKind K :
        {ResourceKind::SatConflicts, ResourceKind::Pivots,
         ResourceKind::BnbNodes, ResourceKind::SynthCombos,
-        ResourceKind::ArgExpansions, ResourceKind::Refinements})
+        ResourceKind::ArgExpansions, ResourceKind::Refinements,
+        ResourceKind::PdrObligations})
     if (!checkBudget(K))
       return false;
+  // The portfolio slice deadline is checked last: every real limit takes
+  // precedence, so a pause is only reported when the job could otherwise
+  // continue.
+  if (SliceArmed && std::chrono::steady_clock::now() >= SliceDeadline) {
+    Tripped = true;
+    SlicePaused = true;
+    return false;
+  }
   return true;
 }

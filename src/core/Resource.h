@@ -39,15 +39,16 @@ namespace pathinv {
 /// The taxonomy of exhaustible resources. Doubles as the reason reported
 /// when the corresponding limit trips first.
 enum class ResourceKind : uint8_t {
-  Deadline,      ///< Wall-clock deadline passed.
-  Memory,        ///< Arena + BigInt heap bytes over the soft ceiling.
-  SatConflicts,  ///< CDCL conflicts across all SAT solves.
-  Pivots,        ///< Exact-rational simplex pivots.
-  BnbNodes,      ///< Theory branch-and-bound nodes.
-  SynthCombos,   ///< Synthesis LP feasibility checks.
-  ArgExpansions, ///< Abstract reachability node expansions.
-  Refinements,   ///< CEGAR refinement rounds.
-  Cancelled,     ///< External cooperative cancellation.
+  Deadline,       ///< Wall-clock deadline passed.
+  Memory,         ///< Arena + BigInt heap bytes over the soft ceiling.
+  SatConflicts,   ///< CDCL conflicts across all SAT solves.
+  Pivots,         ///< Exact-rational simplex pivots.
+  BnbNodes,       ///< Theory branch-and-bound nodes.
+  SynthCombos,    ///< Synthesis LP feasibility checks.
+  ArgExpansions,  ///< Abstract reachability node expansions.
+  Refinements,    ///< CEGAR refinement rounds.
+  PdrObligations, ///< PDR proof obligations processed.
+  Cancelled,      ///< External cooperative cancellation.
 };
 
 /// Machine-readable reason string for \p Kind (e.g. "deadline", "pivots").
@@ -63,12 +64,13 @@ struct ResourceLimits {
   uint64_t SynthCombos = 0;   ///< Total synthesis LP-check budget.
   uint64_t ArgExpansions = 0; ///< Total ARG expansion budget.
   uint64_t Refinements = 0;   ///< Total refinement-round budget.
+  uint64_t PdrObligations = 0; ///< Total PDR proof-obligation budget.
 
   /// \returns true when every field is zero (nothing to enforce).
   bool unlimited() const {
     return TimeoutSeconds == 0 && MemoryBytes == 0 && SatConflicts == 0 &&
            Pivots == 0 && BnbNodes == 0 && SynthCombos == 0 &&
-           ArgExpansions == 0 && Refinements == 0;
+           ArgExpansions == 0 && Refinements == 0 && PdrObligations == 0;
   }
 };
 
@@ -80,6 +82,7 @@ struct ResourceSpent {
   uint64_t SynthCombos = 0;
   uint64_t ArgExpansions = 0;
   uint64_t Refinements = 0;
+  uint64_t PdrObligations = 0;
 };
 
 /// Cooperative, sticky resource controller. Not thread-safe: one controller
@@ -111,8 +114,23 @@ public:
   bool pollNow();
 
   /// Trips the controller with \p Reason (first reason wins). Safe to call
-  /// from any layer; subsequent charges fail.
+  /// from any layer; subsequent charges fail. A real cancellation
+  /// overrides a transient slice pause (see beginSlice).
   void cancel(ResourceKind Reason = ResourceKind::Cancelled);
+
+  /// Portfolio time-slicing: arms a transient deadline \p Seconds from
+  /// now. When it passes, charges start failing exactly as on a real trip
+  /// — every layer unwinds through its normal checked-status path — but
+  /// the pause is NOT sticky: endSlice() rearms the controller and the
+  /// engine may resume. Real limits always win over a slice pause: they
+  /// are checked first, and cancel() overrides a pause.
+  void beginSlice(double Seconds);
+  /// Disarms the slice deadline and clears a slice-only pause. Real trips
+  /// (deadline, budgets, cancellation) survive.
+  void endSlice();
+  /// \returns true while the controller is tripped only by the slice
+  /// deadline — the engine was paused, not exhausted.
+  bool slicePaused() const { return SlicePaused; }
 
   /// \returns true once any limit has tripped.
   bool exhausted() const { return Tripped; }
@@ -149,7 +167,10 @@ private:
   ResourceSpent Used;
   std::function<uint64_t()> MemoryProbe;
   std::chrono::steady_clock::time_point Deadline{};
+  std::chrono::steady_clock::time_point SliceDeadline{};
   bool DeadlineArmed = false;
+  bool SliceArmed = false;
+  bool SlicePaused = false;
   bool Tripped = false;
   ResourceKind TripReason = ResourceKind::Cancelled;
   uint32_t ChargesSincePoll = 0;

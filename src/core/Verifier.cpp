@@ -6,6 +6,7 @@
 
 #include "core/Verifier.h"
 
+#include "core/Engine.h"
 #include "smt/SmtSolver.h"
 
 using namespace pathinv;
@@ -78,7 +79,7 @@ std::string pathinv::formatSolverStats(const Verifier::SolverLayerStats &S) {
 EngineResult Verifier::verifyProgram(const Program &P) {
   assert(&P.termManager() == TM.get() &&
          "program built against a foreign term manager");
-  return verify(P, *Solver, Opts);
+  return runEngine(P, *Solver, Opts);
 }
 
 Expected<EngineResult> Verifier::verifySource(std::string_view PilSource) {
@@ -116,7 +117,8 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
     Out += "\n  covering:           " +
            std::to_string(R.Stats.NodesCovered) + " covered / " +
            std::to_string(R.Stats.CoverChecks) + " checks (forced: " +
-           std::to_string(R.Stats.ForcedCovers) + ")";
+           std::to_string(R.Stats.ForcedCovers) + ", rotated: " +
+           std::to_string(R.Stats.CoverRotations) + ")";
     Out += "\n  reach solver:       " +
            std::to_string(R.Stats.ReachContextChecks) + " checks, gc " +
            std::to_string(R.Stats.ReachLearnedPurges) + " purges / " +
@@ -137,6 +139,21 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
   Out += "\n  synthesis LPs:      " + std::to_string(R.Stats.LpChecks);
   Out += "\n  predicates:         " +
          std::to_string(R.Stats.FinalPredicates);
+  // PDR backend counters (zero unless the pdr or portfolio engine ran).
+  if (R.Stats.PdrFrames != 0 || R.Stats.PdrObligations != 0) {
+    Out += "\n  pdr frames:         " + std::to_string(R.Stats.PdrFrames) +
+           " (clauses learned: " +
+           std::to_string(R.Stats.PdrClausesLearned) + ", pushed: " +
+           std::to_string(R.Stats.PdrClausesPushed) + ")";
+    Out += "\n  pdr obligations:    " +
+           std::to_string(R.Stats.PdrObligations) +
+           " (cex candidates: " + std::to_string(R.Stats.PdrCexCandidates) +
+           ", literals dropped: " +
+           std::to_string(R.Stats.PdrGenDroppedLits) + ")";
+    Out += "\n  pdr queries:        " +
+           std::to_string(R.Stats.PdrFrameQueries) + " frame, " +
+           std::to_string(R.Stats.PdrFacadeQueries) + " facade";
+  }
   // Resource governance: what the run actually spent against its budgets.
   // Printed even on exhaustion — these are the partial stats the resource
   // model promises alongside an Unknown verdict.

@@ -1,0 +1,33 @@
+//===- smt/FrameQuery.cpp - Assumption-batch frame queries -----------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/FrameQuery.h"
+
+using namespace pathinv;
+using namespace pathinv::smt;
+
+CheckResult
+FrameQueryContext::query(const Term *Base,
+                         const std::vector<const Term *> &Assumptions) {
+  ++Queries;
+  Ctx.push();
+  Ctx.assertTerm(Base);
+  CheckResult Result = Ctx.checkSat(Assumptions);
+  Ctx.pop();
+  return Result;
+}
+
+CheckResult
+FrameQueryContext::query(const std::vector<const Term *> &Base,
+                         const std::vector<const Term *> &Assumptions) {
+  ++Queries;
+  Ctx.push();
+  for (const Term *F : Base)
+    Ctx.assertTerm(F);
+  CheckResult Result = Ctx.checkSat(Assumptions);
+  Ctx.pop();
+  return Result;
+}

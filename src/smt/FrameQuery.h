@@ -1,0 +1,57 @@
+//===- smt/FrameQuery.h - Assumption-batch frame queries --------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The query shape PDR drives the incremental solver with: decide
+/// Base ∧ assumption-literals, where Base changes per query (a frame's
+/// clauses conjoined with one transition relation) but the queries share
+/// encodings, learned clauses, and the cached tableau through one
+/// long-lived SolverContext. Each query is a push/assert/checkSat/pop
+/// cycle; on Unsat the failed-assumption core names the cube literals
+/// that were actually needed — the raw material of PDR generalization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SMT_FRAMEQUERY_H
+#define PATHINV_SMT_FRAMEQUERY_H
+
+#include "smt/SolverContext.h"
+
+namespace pathinv {
+namespace smt {
+
+/// One persistent context serving all of an engine's frame queries.
+/// Scoped asserts keep the context clean between queries while the
+/// solver's learned state accumulates across them.
+class FrameQueryContext {
+public:
+  explicit FrameQueryContext(TermManager &TM) : Ctx(TM) {}
+
+  /// Decides \p Base ∧ \p Assumptions (all quantifier-free and
+  /// store-free). \p Base is asserted in a throwaway scope; on Unsat the
+  /// result's core names the failed assumptions. Unknown means the
+  /// active ResourceController tripped mid-check; the context stays
+  /// reusable.
+  CheckResult query(const Term *Base,
+                    const std::vector<const Term *> &Assumptions);
+
+  /// Same, with the base given as a conjunct list (avoids building one
+  /// big conjunction term per query).
+  CheckResult query(const std::vector<const Term *> &Base,
+                    const std::vector<const Term *> &Assumptions);
+
+  SolverContext &context() { return Ctx; }
+  uint64_t queries() const { return Queries; }
+
+private:
+  SolverContext Ctx;
+  uint64_t Queries = 0;
+};
+
+} // namespace smt
+} // namespace pathinv
+
+#endif // PATHINV_SMT_FRAMEQUERY_H

@@ -133,19 +133,47 @@ bool assertIntoClosure(CongruenceClosure &CC, const Term *Lit, int Tag,
   return true;
 }
 
-/// An argument pair whose ordering must be decided to restore functional
-/// consistency of two reads/applications.
+/// A functional-consistency violation between two reads/applications
+/// \c U and \c V. When an argument pair's equality is neither congruence-
+/// known nor already asserted as a fact, \c X / \c Y name the first such
+/// pair and the caller branches on its ordering. When every argument
+/// equality is established (X == nullptr), the violation is resolved by
+/// the derived fact U = V, justified by \c PremiseTags — the fact indices
+/// explaining the array equality and each argument equality. The second
+/// case is what terminates splitting over *arithmetic* argument terms:
+/// the congruence closure only represents vars/constants/reads/
+/// applications, so an asserted equality like 1 = 1 + i can never become
+/// CC-known and ordering splits alone would re-fire forever.
 struct FunctionalSplit {
-  const Term *X;
-  const Term *Y;
+  const Term *X = nullptr;
+  const Term *Y = nullptr;
+  const Term *U = nullptr;
+  const Term *V = nullptr;
+  std::vector<int> PremiseTags;
 };
+
+/// Equality literals currently asserted as facts, keyed by their operand
+/// pair (both orders), mapped to the fact index.
+using AssertedEqMap = std::map<std::pair<const Term *, const Term *>, int>;
 
 /// Finds the first pair of reads/applications that violates functional
 /// consistency under \p AtomValues: same kind and symbol, argument values
 /// equal in the model, result values different, and not already congruent.
+/// \p AssertedEq (optional) lets an asserted-but-not-CC-representable
+/// argument equality count as established, with its fact index collected
+/// into the premise instead of re-branching on it.
 std::optional<FunctionalSplit> findFunctionalViolation(
     CongruenceClosure &CC,
-    const std::map<const Term *, Rational, TermIdLess> &AtomValues) {
+    const std::map<const Term *, Rational, TermIdLess> &AtomValues,
+    const AssertedEqMap *AssertedEq = nullptr) {
+  auto assertedTag = [&](const Term *X, const Term *Y) -> std::optional<int> {
+    if (!AssertedEq)
+      return std::nullopt;
+    auto It = AssertedEq->find({X, Y});
+    if (It == AssertedEq->end())
+      return std::nullopt;
+    return It->second;
+  };
   const auto &Nodes = CC.nodes();
   for (size_t I = 0; I < Nodes.size(); ++I) {
     for (size_t J = I + 1; J < Nodes.size(); ++J) {
@@ -166,7 +194,9 @@ std::optional<FunctionalSplit> findFunctionalViolation(
         continue;
       size_t FirstArg = U->kind() == TermKind::Select ? 1 : 0;
       bool ArgsEqualInModel = true;
-      const Term *SplitX = nullptr, *SplitY = nullptr;
+      FunctionalSplit Split;
+      Split.U = U;
+      Split.V = V;
       for (size_t K = FirstArg; K < U->numOperands(); ++K) {
         const Term *X = U->operand(K);
         const Term *Y = V->operand(K);
@@ -174,17 +204,216 @@ std::optional<FunctionalSplit> findFunctionalViolation(
           ArgsEqualInModel = false;
           break;
         }
-        if (!CC.areEqual(X, Y) && !SplitX) {
-          SplitX = X;
-          SplitY = Y;
+        if (X == Y)
+          continue;
+        if (CC.areEqual(X, Y)) {
+          std::vector<int> Just = CC.explainEquality(X, Y);
+          Split.PremiseTags.insert(Split.PremiseTags.end(), Just.begin(),
+                                   Just.end());
+          continue;
+        }
+        if (std::optional<int> Tag = assertedTag(X, Y)) {
+          Split.PremiseTags.push_back(*Tag);
+          continue;
+        }
+        if (!Split.X) {
+          Split.X = X;
+          Split.Y = Y;
         }
       }
       if (!ArgsEqualInModel)
         continue;
       if (evalUnderModel(U, AtomValues) == evalUnderModel(V, AtomValues))
         continue; // Functionally consistent as-is.
-      assert(SplitX && "congruence violation without a splittable arg");
-      return FunctionalSplit{SplitX, SplitY};
+      if (U->kind() == TermKind::Select &&
+          U->operand(0) != V->operand(0)) {
+        std::vector<int> Just =
+            CC.explainEquality(U->operand(0), V->operand(0));
+        Split.PremiseTags.insert(Split.PremiseTags.end(), Just.begin(),
+                                 Just.end());
+      }
+      assert((Split.X || AssertedEq) &&
+             "congruence violation without a splittable arg");
+      return Split;
+    }
+  }
+  return std::nullopt;
+}
+
+/// One constraint of the integer infeasibility pre-check: Expr = 0 (IsEq)
+/// or Expr <= 0, all coefficients integral, with the input fact indices
+/// that justify it (substitutions merge justifications).
+struct IntLinFact {
+  LinearExpr E;
+  bool IsEq;
+  std::vector<int> Tags;
+  bool Dead = false;
+};
+
+/// Omega-lite integer infeasibility test over the arithmetic facts.
+///
+/// Naive branch-and-bound diverges on conjunctions whose rational
+/// relaxation is unbounded along a ray carrying no integer point (e.g.
+/// a = 3i and a + 4 <= 3n <= a + 5: rationally satisfiable arbitrarily
+/// far up the ray, integrally empty because 3(n - i) has to land in
+/// [4, 5]). Two classic pieces of integer reasoning refute such systems
+/// without search: substituting away unit-coefficient equalities, then
+/// GCD-tightening opposing bounds per direction — a direction vector with
+/// coefficient gcd g admits only multiples of g, so an integer-empty
+/// [lower, upper] interval is a contradiction the simplex cannot see.
+///
+/// \returns the contradicting input fact indices, or nullopt when no
+/// contradiction was found (which is NOT a satisfiability verdict — the
+/// caller proceeds to branch). \p FactT exposes .Literal.
+template <typename FactT>
+std::optional<std::vector<int>>
+integerInfeasibleCore(const std::vector<FactT> &Facts) {
+  std::vector<IntLinFact> Lin;
+  for (size_t I = 0; I < Facts.size(); ++I) {
+    const Term *Lit = Facts[I].Literal;
+    if (Lit->isTrue() || Lit->isFalse() || Lit->kind() == TermKind::Not)
+      continue;
+    if (Lit->kind() == TermKind::Eq && Lit->operand(0)->isArray())
+      continue;
+    std::optional<LinearAtom> Atom = decomposeAtom(Lit);
+    if (!Atom)
+      continue;
+    IntLinFact F;
+    F.E = normalizeToIntegral(Atom->Expr);
+    F.IsEq = Atom->Rel == RelKind::Eq;
+    if (Atom->Rel == RelKind::Lt)
+      F.E.addConstant(Rational(1)); // Integer atoms: e < 0 is e + 1 <= 0.
+    F.Tags.push_back(static_cast<int>(I));
+    Lin.push_back(std::move(F));
+  }
+
+  auto finishCore = [](std::vector<int> Tags) {
+    std::sort(Tags.begin(), Tags.end());
+    Tags.erase(std::unique(Tags.begin(), Tags.end()), Tags.end());
+    return Tags;
+  };
+  auto varGcd = [](const LinearExpr &E) {
+    BigInt G;
+    for (const auto &[Atom, C] : E.coefficients())
+      G = BigInt::gcd(G, C.numerator());
+    return G;
+  };
+
+  // Equality phase: GCD-test every equality and eliminate variables that
+  // appear with a unit coefficient. Each substitution removes a variable
+  // from the whole system and retires one equality, so this terminates.
+  bool Substituted = true;
+  while (Substituted) {
+    Substituted = false;
+    for (size_t I = 0; I < Lin.size(); ++I) {
+      if (Lin[I].Dead || !Lin[I].IsEq)
+        continue;
+      const LinearExpr &E = Lin[I].E;
+      if (E.isConstant()) {
+        if (E.constant() != Rational(0))
+          return finishCore(Lin[I].Tags);
+        Lin[I].Dead = true;
+        continue;
+      }
+      BigInt G = varGcd(E);
+      // g must divide the constant for e = 0 to have an integer solution.
+      if (!(E.constant() / Rational(G)).isInteger())
+        return finishCore(Lin[I].Tags);
+      const Term *Var = nullptr;
+      Rational VC;
+      for (const auto &[A, C] : E.coefficients())
+        if (C == Rational(1) || C == Rational(-1)) {
+          Var = A;
+          VC = C;
+          break;
+        }
+      if (!Var)
+        continue;
+      // e = R + VC*Var = 0 solves to Var = -VC*R (VC is +-1).
+      LinearExpr Sub = E;
+      Sub.addTerm(Var, -VC);
+      Sub.scale(-VC);
+      for (size_t J = 0; J < Lin.size(); ++J) {
+        if (J == I || Lin[J].Dead)
+          continue;
+        Rational D = Lin[J].E.coefficientOf(Var);
+        if (D == Rational(0))
+          continue;
+        Lin[J].E.addTerm(Var, -D);
+        Lin[J].E.add(Sub * D);
+        Lin[J].Tags.insert(Lin[J].Tags.end(), Lin[I].Tags.begin(),
+                           Lin[I].Tags.end());
+      }
+      Lin[I].Dead = true; // The equality now just defines Var.
+      Substituted = true;
+    }
+  }
+
+  // Bound phase: per primitive direction v (coefficients divided by their
+  // gcd, sign-normalized on the first atom), keep the tightest integer
+  // upper and lower bounds; crossing bounds refute the system. The
+  // flooring/ceiling after gcd division is what the rational simplex
+  // cannot do.
+  struct Bounds {
+    bool HasLo = false, HasUp = false;
+    Rational Lo, Up;
+    std::vector<int> LoTags, UpTags;
+  };
+  std::map<std::vector<std::pair<const Term *, Rational>>, Bounds> Dirs;
+  for (const IntLinFact &F : Lin) {
+    if (F.Dead)
+      continue;
+    const LinearExpr &E = F.E;
+    if (E.isConstant()) {
+      bool Bad = F.IsEq ? E.constant() != Rational(0)
+                        : E.constant() > Rational(0);
+      if (Bad)
+        return finishCore(F.Tags);
+      continue;
+    }
+    BigInt G = varGcd(E);
+    Rational RG{G};
+    std::vector<std::pair<const Term *, Rational>> Dir;
+    for (const auto &[A, C] : E.coefficients())
+      Dir.emplace_back(A, C / RG);
+    bool Flip = Dir.front().second < Rational(0);
+    if (Flip)
+      for (auto &[A, C] : Dir)
+        C = -C;
+    // c0 + g*v REL 0 with v = dir-part (w = -v when flipped):
+    //   <= : v <= -c0/g, i.e. w >= c0/g.
+    //   =  : v = -c0/g exactly (both bounds).
+    Rational V = -E.constant() / RG;
+    if (Flip)
+      V = -V;
+    Bounds &B = Dirs[Dir];
+    auto tighten = [&](bool Upper, const Rational &Bound) {
+      if (Upper) {
+        if (!B.HasUp || Bound < B.Up) {
+          B.HasUp = true;
+          B.Up = Bound;
+          B.UpTags = F.Tags;
+        }
+      } else if (!B.HasLo || Bound > B.Lo) {
+        B.HasLo = true;
+        B.Lo = Bound;
+        B.LoTags = F.Tags;
+      }
+    };
+    if (F.IsEq) {
+      tighten(true, Rational(V.floor()));
+      tighten(false, Rational(V.ceil()));
+    } else if (!Flip) {
+      tighten(true, Rational(V.floor()));
+    } else {
+      tighten(false, Rational(V.ceil()));
+    }
+  }
+  for (const auto &[Dir, B] : Dirs) {
+    if (B.HasLo && B.HasUp && B.Lo > B.Up) {
+      std::vector<int> Core = B.LoTags;
+      Core.insert(Core.end(), B.UpTags.begin(), B.UpTags.end());
+      return finishCore(Core);
     }
   }
   return std::nullopt;
@@ -786,6 +1015,25 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
     AtomValues.try_emplace(Node, Rational());
   }
 
+  // --- Phase 3.5: integer infeasibility pre-check -------------------------
+  // Before committing to a branch-and-bound descent, try to refute the
+  // conjunction with substitution + GCD reasoning: branching alone
+  // diverges on integer-empty unbounded rays (the PDR backend's frame
+  // queries reach such systems; plain path formulas happen not to). Only
+  // worth running when a fractional value would trigger a branch.
+  bool AnyFractional = false;
+  for (const auto &[Atom, Value] : AtomValues)
+    if (!Value.isInteger()) {
+      AnyFractional = true;
+      break;
+    }
+  if (AnyFractional)
+    if (std::optional<std::vector<int>> Core = integerInfeasibleCore(Facts)) {
+      ConjResult R;
+      R.Core = std::move(*Core);
+      return R;
+    }
+
   // --- Phase 4a: integrality splits (branch and bound) --------------------
   // Program variables, array cells, and function values are integers; the
   // simplex model is rational. A fractional value triggers the classic
@@ -839,8 +1087,48 @@ ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
   }
 
   // --- Phase 5: functional-consistency splits ------------------------------
+  AssertedEqMap AssertedEq;
+  for (size_t I = 0; I < Facts.size(); ++I) {
+    const Term *L = Facts[I].Literal;
+    if (L->kind() != TermKind::Eq)
+      continue;
+    AssertedEq.insert({{L->operand(0), L->operand(1)}, static_cast<int>(I)});
+    AssertedEq.insert({{L->operand(1), L->operand(0)}, static_cast<int>(I)});
+  }
   if (std::optional<FunctionalSplit> Split =
-          findFunctionalViolation(CC, AtomValues)) {
+          findFunctionalViolation(CC, AtomValues, &AssertedEq)) {
+    if (!Split->X) {
+      // Every argument equality is already established (congruence-known
+      // or asserted as a fact), yet the results still disagree: the
+      // violation cannot be resolved by further ordering splits — the
+      // closure cannot absorb equalities over arithmetic argument terms.
+      // Close it with the implied result equality U = V, which *is*
+      // representable (both sides are reads/applications). In an UNSAT
+      // core the lemma's index is replaced by its premise tags: the
+      // premises imply the lemma, so the substitution over-approximates
+      // the core, which is the sound direction.
+      if (!resourceCharge(ResourceKind::BnbNodes)) {
+        ConjResult R;
+        R.Interrupted = true;
+        return R;
+      }
+      std::vector<Fact> Child = Facts;
+      int LemmaIdx = static_cast<int>(Child.size());
+      Child.push_back({TM.mkEq(Split->U, Split->V), -1});
+      ConjResult R = solveFacts(std::move(Child), Depth + 1);
+      if (!R.IsSat && !R.Interrupted) {
+        auto It = std::find(R.Core.begin(), R.Core.end(), LemmaIdx);
+        if (It != R.Core.end()) {
+          R.Core.erase(It);
+          R.Core.insert(R.Core.end(), Split->PremiseTags.begin(),
+                        Split->PremiseTags.end());
+          std::sort(R.Core.begin(), R.Core.end());
+          R.Core.erase(std::unique(R.Core.begin(), R.Core.end()),
+                       R.Core.end());
+        }
+      }
+      return R;
+    }
     // X < Y, Y < X, or X = Y (exhaustive).
     std::vector<int> UnionCore;
     std::optional<ConjResult> Final;

@@ -58,7 +58,8 @@ bool isKnownReason(const std::string &Reason) {
   static const std::set<std::string> Taxonomy = {
       "deadline",    "memory",         "sat_conflicts",
       "pivots",      "bnb_nodes",      "synth_combos",
-      "arg_expansions", "refinements", "cancelled"};
+      "arg_expansions", "refinements", "pdr_obligations",
+      "cancelled"};
   return Taxonomy.count(Reason) != 0;
 }
 
@@ -202,6 +203,136 @@ TEST(RobustnessTest, EscalationLadderIsObservable) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// PDR backend under the same governance contract
+//===----------------------------------------------------------------------===//
+
+TEST(RobustnessTest, PdrBudgetsExhaustToReasonedUnknown) {
+  struct BudgetCase {
+    const char *Name;
+    ResourceLimits Limits;
+  };
+  std::vector<BudgetCase> Cases;
+  {
+    BudgetCase C;
+    C.Name = "pdr_obligations";
+    C.Limits.PdrObligations = 2;
+    Cases.push_back(C);
+  }
+  {
+    BudgetCase C;
+    C.Name = "sat_conflicts";
+    C.Limits.SatConflicts = 2;
+    Cases.push_back(C);
+  }
+  {
+    BudgetCase C;
+    C.Name = "pivots";
+    C.Limits.Pivots = 40;
+    Cases.push_back(C);
+  }
+  {
+    BudgetCase C;
+    C.Name = "synth_combos";
+    C.Limits.SynthCombos = 5;
+    Cases.push_back(C);
+  }
+
+  for (const ProgSpec &Prog : paperPrograms()) {
+    for (const BudgetCase &BC : Cases) {
+      Verifier V;
+      V.options().Engine = EngineKind::Pdr;
+      V.options().Limits = BC.Limits;
+      EngineResult R = runOnce(V, Prog.Source);
+      expectGracefulOutcome(R, Prog, BC.Name);
+    }
+  }
+}
+
+TEST(RobustnessTest, PdrEngineReusableAfterInterrupt) {
+  // An obligation budget stops PDR mid-frame; the same verifier with the
+  // limits lifted must then prove the program. Frames, the obligation
+  // queue, or the incremental frame-query context left in a wedged state
+  // would surface here.
+  Verifier V;
+  V.options().Engine = EngineKind::Pdr;
+  V.options().Limits.PdrObligations = 3;
+  EngineResult Throttled = runOnce(V, testprogs::Partition);
+  expectGracefulOutcome(Throttled,
+                        {"partition", testprogs::Partition, Verdict::Safe},
+                        "pdr_obligations=3");
+
+  V.options().Limits = ResourceLimits();
+  EngineResult Clean = runOnce(V, testprogs::Partition);
+  EXPECT_EQ(Clean.Verdict, Verdict::Safe)
+      << "pdr wrong verdict after interrupted run: " << Clean.Note;
+}
+
+//===----------------------------------------------------------------------===//
+// Portfolio racing under the same governance contract
+//===----------------------------------------------------------------------===//
+
+TEST(RobustnessTest, PortfolioBudgetsExhaustWithPerEngineAttribution) {
+  // Step budgets tight enough to stop both lanes (and the shared probe)
+  // on every nontrivial program. The portfolio must never convert double
+  // exhaustion into a verdict, and its combined Unknown must attribute
+  // each engine's reason by name.
+  ResourceLimits Tight;
+  Tight.SatConflicts = 2;
+  Tight.Pivots = 40;
+  Tight.BnbNodes = 2;
+  Tight.SynthCombos = 5;
+  Tight.ArgExpansions = 3;
+  Tight.Refinements = 1;
+  Tight.PdrObligations = 2;
+
+  for (const ProgSpec &Prog : paperPrograms()) {
+    Verifier V;
+    V.options().Engine = EngineKind::Portfolio;
+    V.options().Limits = Tight;
+    EngineResult R = runOnce(V, Prog.Source);
+    expectGracefulOutcome(R, Prog, "portfolio tight budgets");
+    if (R.Verdict == Verdict::Unknown) {
+      EXPECT_NE(R.Note.find("cegar:"), std::string::npos)
+          << Prog.Name << ": " << R.Note;
+      EXPECT_NE(R.Note.find("pdr:"), std::string::npos)
+          << Prog.Name << ": " << R.Note;
+    }
+  }
+}
+
+TEST(RobustnessTest, PortfolioDeadlineNeverBecomesAVerdict) {
+  // Partition needs seconds under either engine and the probe alike; a
+  // 250 ms wall deadline must surface as Unknown/"deadline" with both
+  // lanes' exhaustion attributed, never as a guessed verdict.
+  Verifier V;
+  V.options().Engine = EngineKind::Portfolio;
+  V.options().Limits.TimeoutSeconds = 0.25;
+  EngineResult R = runOnce(V, testprogs::Partition);
+  ASSERT_EQ(R.Verdict, Verdict::Unknown);
+  EXPECT_EQ(R.UnknownReason, "deadline");
+  EXPECT_NE(R.Note.find("portfolio exhausted"), std::string::npos) << R.Note;
+  EXPECT_NE(R.Note.find("cegar:"), std::string::npos) << R.Note;
+  EXPECT_NE(R.Note.find("pdr:"), std::string::npos) << R.Note;
+}
+
+TEST(RobustnessTest, PortfolioReusableAfterInterrupt) {
+  // Same contract as the single engines: a deadline-interrupted portfolio
+  // run, then the same verifier unrestricted must reach the verdict.
+  Verifier V;
+  V.options().Engine = EngineKind::Portfolio;
+  V.options().Limits.TimeoutSeconds = 0.2;
+  EngineResult Throttled = runOnce(V, testprogs::InitCheck);
+  expectGracefulOutcome(Throttled,
+                        {"init_check", testprogs::InitCheck, Verdict::Safe},
+                        "portfolio deadline=0.2");
+
+  V.options().Limits = ResourceLimits();
+  EngineResult Clean = runOnce(V, testprogs::InitCheck);
+  EXPECT_EQ(Clean.Verdict, Verdict::Safe)
+      << "portfolio wrong verdict after interrupted run: " << Clean.Note;
+}
+
 #if defined(PATHINV_FAULT_INJECT)
 
 TEST(RobustnessTest, FaultInjectionSweepIsGraceful) {
@@ -235,9 +366,43 @@ TEST(RobustnessTest, FaultInjectionSweepIsGraceful) {
   }
 }
 
+TEST(RobustnessTest, FaultInjectionSweepCoversPdrAndPortfolio) {
+  // The same deterministic sweep through the PDR frame loop and the
+  // portfolio driver (lanes + shared probe). Kept to quickly decidable
+  // programs so each injected run exercises the recovery path, not the
+  // solver's endurance.
+  const uint64_t Seeds[] = {1, 2, 3, 5, 8, 20, 60};
+  const ProgSpec Cheap[] = {
+      {"straight_safe", testprogs::StraightSafe, Verdict::Safe},
+      {"init_check_buggy", testprogs::InitCheckBuggy, Verdict::Unsafe},
+      {"scalar_bug", testprogs::ScalarBug, Verdict::Unsafe},
+  };
+  for (EngineKind Kind : {EngineKind::Pdr, EngineKind::Portfolio}) {
+    for (const ProgSpec &Prog : Cheap) {
+      for (uint64_t Seed : Seeds) {
+        Verifier V;
+        V.options().Engine = Kind;
+        fault::arm(Seed);
+        EngineResult Injected = runOnce(V, Prog.Source);
+        fault::disarm();
+        expectGracefulOutcome(Injected, Prog, engineKindName(Kind));
+
+        EngineResult Clean = runOnce(V, Prog.Source);
+        EXPECT_EQ(Clean.Verdict, Prog.Expected)
+            << Prog.Name << " seed " << Seed << " under "
+            << engineKindName(Kind) << ": wrong verdict after injected run";
+      }
+    }
+  }
+}
+
 #else
 
 TEST(RobustnessTest, FaultInjectionSweepIsGraceful) {
+  GTEST_SKIP() << "compiled without PATHINV_FAULT_INJECT";
+}
+
+TEST(RobustnessTest, FaultInjectionSweepCoversPdrAndPortfolio) {
   GTEST_SKIP() << "compiled without PATHINV_FAULT_INJECT";
 }
 

@@ -24,9 +24,21 @@
 ///    persistent-ARG engine (subtree-scoped refinement) and once on the
 ///    legacy restart engine — so the JSON carries a genuine node-expansion
 ///    ratio and wall-time speedup between the two. Verdicts must agree.
+///  * A `synthesis_partition` microbenchmark: whole-program constraint
+///    synthesis on PARTITION (the search hotspot of the paper programs),
+///    measured directly as LP checks per second. The run must find the
+///    map — a failed search is a correctness bug, not a slow one.
+///  * A `pdr_frames` microbenchmark: delta-encoded clause-frame churn
+///    (blocking with subsumption pruning, blocked-cube queries, clause
+///    pushing, frame collection) — the PDR engine's bookkeeping inner
+///    loop, with no solver on the measured path.
 ///  * End-to-end verification of the paper's example programs
-///    (tests/TestPrograms.h) through the CEGAR engine, recording wall time,
-///    peak term counts, and cumulative SMT/SAT statistics. The e2e runs are
+///    (tests/TestPrograms.h) through all three engines — cegar, pdr, and
+///    the portfolio — recording per-engine wall time and verdicts (which
+///    must agree; the harness aborts otherwise) plus the cegar run's peak
+///    term counts and cumulative SMT/SAT statistics. Each entry carries
+///    `portfolio_ratio` = portfolio wall / best single-engine wall, the
+///    metric the regression checker gates at 1.2. The e2e runs are
 ///    governed: a ResourceController with generous budgets is live, so the
 ///    amortized checkpoint polls are on the measured path (their overhead
 ///    is gated by the end-to-end wall-time regression check) and every run
@@ -43,6 +55,8 @@
 #include "core/Resource.h"
 #include "core/Verifier.h"
 #include "logic/Term.h"
+#include "pdr/Frames.h"
+#include "synth/PathInvariants.h"
 #include "logic/TermRewrite.h"
 #include "smt/SmtSolver.h"
 #include "smt/SolverContext.h"
@@ -581,6 +595,136 @@ ReuseResult refinementReuseWorkload(int Loops) {
   return R;
 }
 
+/// Whole-program synthesis on PARTITION: the constraint-based search the
+/// CEGAR escalation ladder and the portfolio probe both end on for the
+/// hard Safe programs. Measured directly so the hotspot has its own
+/// trajectory line instead of hiding inside e2e walls. The throughput
+/// unit is LP feasibility checks. The search must succeed and the
+/// resulting map is the proof artifact — a miss aborts the harness.
+struct SynthBenchResult {
+  uint64_t LpChecks = 0;
+  double WallMs = 0;
+  int LevelUsed = -1;
+  int LevelsTried = 0;
+
+  double opsPerSec() const {
+    return WallMs > 0 ? 1000.0 * static_cast<double>(LpChecks) / WallMs : 0;
+  }
+};
+
+SynthBenchResult synthesisPartitionWorkload(int Iters) {
+  SynthBenchResult Best;
+  for (int I = 0; I < Iters; ++I) {
+    pathinv::Verifier V;
+    pathinv::Expected<pathinv::Program> P =
+        V.loadSource(pathinv::testprogs::Partition);
+    if (!P) {
+      std::cerr << "[bench] synthesis-partition: cannot load program: "
+                << P.error().render() << "\n";
+      std::abort();
+    }
+    auto Start = Clock::now();
+    pathinv::PathInvResult R =
+        pathinv::generatePathInvariants(P.get(), V.solver());
+    double Ms = elapsedMs(Start, Clock::now());
+    if (!R.Found) {
+      std::cerr << "[bench] synthesis-partition: search failed ("
+                << R.FailureReason << ")\n";
+      std::abort();
+    }
+    if (I == 0 || Ms < Best.WallMs) {
+      Best.LpChecks = R.LpChecks;
+      Best.WallMs = Ms;
+      Best.LevelUsed = R.LevelUsed;
+      Best.LevelsTried = R.LevelsTried;
+    }
+  }
+  return Best;
+}
+
+/// Delta-encoded frame churn: the PDR engine's bookkeeping inner loop
+/// (addBlockedCube with subsumption pruning, isBlocked queries, clause
+/// pushing, frame collection) on synthetic cubes over a literal pool,
+/// with no solver on the measured path. Cube shapes repeat with both
+/// subsumed and subsuming variants so the pruning paths run hot, the way
+/// they do once generalization starts dropping literals. \returns the
+/// operation count (the throughput unit); \p ClausesOut accumulates the
+/// surviving clause total as an in-process sanity check.
+uint64_t pdrFramesWorkload(int Rounds, uint64_t &ClausesOut) {
+  pathinv::TermManager TM;
+  constexpr int NumVars = 8;
+  std::vector<const pathinv::Term *> Vars;
+  for (int I = 0; I < NumVars; ++I)
+    Vars.push_back(TM.mkVar("x" + std::to_string(I), pathinv::Sort::Int));
+  // Literal pool: bounds in both directions over every variable.
+  std::vector<const pathinv::Term *> Pool;
+  for (int I = 0; I < NumVars; ++I)
+    for (int B = 0; B < 4; ++B) {
+      Pool.push_back(TM.mkLe(TM.mkIntConst(B), Vars[I]));
+      Pool.push_back(TM.mkLe(Vars[I], TM.mkIntConst(8 + B)));
+    }
+
+  constexpr int NumLocs = 24;
+  pathinv::Program P(TM, Vars);
+  std::vector<pathinv::LocId> Locs;
+  for (int I = 0; I < NumLocs; ++I)
+    Locs.push_back(P.addLocation("l" + std::to_string(I)));
+  P.setEntry(Locs.front());
+  P.setError(Locs.back());
+
+  constexpr int LevelsPerRound = 10;
+  constexpr int CubesPerRound = 320;
+  uint64_t Ops = 0;
+  ClausesOut = 0;
+  for (int R = 0; R < Rounds; ++R) {
+    pathinv::pdr::Frames F(P);
+    for (int L = 0; L < LevelsPerRound; ++L)
+      F.extend();
+    size_t Frontier = F.frontier();
+    for (int C = 0; C < CubesPerRound; ++C) {
+      // Entry (location 0) never takes clauses; cycle over the rest.
+      pathinv::LocId Loc = Locs[1 + (C * 5 + R) % (NumLocs - 1)];
+      size_t Level = 1 + static_cast<size_t>(C * 7 + R) % (Frontier - 1);
+      pathinv::pdr::Cube Cube = {Pool[(C * 3 + R) % Pool.size()],
+                                 Pool[(C * 11 + 1) % Pool.size()],
+                                 Pool[(C * 17 + 2) % Pool.size()]};
+      F.addBlockedCube(Level, Loc, Cube);
+      ++Ops;
+      // Every fourth cube re-lands as a generalized (subsuming) variant
+      // one level higher, retiring the longer one it subsumes.
+      if (C % 4 == 0) {
+        Cube.pop_back();
+        F.addBlockedCube(std::min(Level + 1, Frontier), Loc,
+                         std::move(Cube));
+        ++Ops;
+      }
+      pathinv::pdr::Cube Probe = {Pool[(C * 3 + R) % Pool.size()]};
+      F.isBlocked(Level, Loc, Probe);
+      ++Ops;
+    }
+    // Push sweep: move every surviving clause below the frontier up one
+    // level, the way the propagation phase does after a frame settles.
+    for (size_t Level = 1; Level < Frontier; ++Level)
+      for (pathinv::LocId Loc : Locs)
+        while (!F.cubesAt(Level, Loc).empty()) {
+          F.pushCube(Level, Loc, 0);
+          ++Ops;
+        }
+    std::vector<const pathinv::Term *> Clauses;
+    for (pathinv::LocId Loc : Locs) {
+      Clauses.clear();
+      F.collectClauses(TM, 1, Loc, Clauses);
+      ++Ops;
+    }
+    ClausesOut += F.totalClauses();
+  }
+  if (ClausesOut == 0) {
+    std::cerr << "[bench] pdr-frames: churn left no clauses behind\n";
+    std::abort();
+  }
+  return Ops;
+}
+
 /// Generous budgets for the governed e2e runs: far above what any of the
 /// paper programs needs (partition, the heaviest, uses ~45k pivots and
 /// ~20k synth combos), but finite — so every charge site performs the
@@ -643,6 +787,68 @@ E2EResult runProgram(const char *Name, const char *Source, int Iters) {
   return Best;
 }
 
+/// One governed run of an alternate engine (pdr or the portfolio) on the
+/// same program, for the three-way e2e comparison. Only the fields that
+/// are meaningful across engines are kept; the cegar run carries the
+/// detailed solver counters.
+struct EngineRun {
+  std::string Verdict;
+  double WallMs = 0;
+  std::string UnknownReason;
+  uint64_t PdrFrames = 0;
+  uint64_t PdrObligations = 0;
+  uint64_t PdrClausesLearned = 0;
+  uint64_t PdrClausesPushed = 0;
+};
+
+EngineRun runEngineOnce(pathinv::EngineKind Kind, const char *Source) {
+  EngineRun R;
+  pathinv::EngineOptions Opts;
+  Opts.Engine = Kind;
+  Opts.Limits = generousLimits();
+  pathinv::Verifier V(Opts);
+  auto Start = Clock::now();
+  pathinv::Expected<pathinv::EngineResult> Res = V.verifySource(Source);
+  R.WallMs = elapsedMs(Start, Clock::now());
+  if (!Res) {
+    R.Verdict = "error: " + Res.error().render();
+    return R;
+  }
+  R.Verdict = verdictName(Res.get());
+  R.UnknownReason = Res.get().UnknownReason;
+  R.PdrFrames = Res.get().Stats.PdrFrames;
+  R.PdrObligations = Res.get().Stats.PdrObligations;
+  R.PdrClausesLearned = Res.get().Stats.PdrClausesLearned;
+  R.PdrClausesPushed = Res.get().Stats.PdrClausesPushed;
+  return R;
+}
+
+EngineRun runEngine(pathinv::EngineKind Kind, const char *Source,
+                    int Iters) {
+  EngineRun Best;
+  for (int I = 0; I < Iters; ++I) {
+    EngineRun R = runEngineOnce(Kind, Source);
+    if (I == 0 || R.WallMs < Best.WallMs)
+      Best = std::move(R);
+  }
+  return Best;
+}
+
+/// Full three-engine entry for one program. `PortfolioRatio` is the
+/// acceptance metric: portfolio wall over the better single engine's
+/// wall, best-of-iters on both sides, gated at 1.2 by the regression
+/// checker.
+struct E2EEntry {
+  E2EResult Cegar;
+  EngineRun Pdr;
+  EngineRun Portfolio;
+
+  double bestSingleMs() const { return std::min(Cegar.WallMs, Pdr.WallMs); }
+  double portfolioRatio() const {
+    return bestSingleMs() > 0 ? Portfolio.WallMs / bestSingleMs() : 0;
+  }
+};
+
 void emitMicro(std::ostream &Out, const char *Key, const char *NewMode,
                const MicroResult &New, const MicroResult &Ref) {
   auto Entry = [&](const char *Mode, const MicroResult &M) {
@@ -665,7 +871,7 @@ void emitMicro(std::ostream &Out, const char *Key, const char *NewMode,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string OutPath = "BENCH_6.json";
+  std::string OutPath = "BENCH_7.json";
   int Iters = 5;
   bool Smoke = false;
   for (int I = 1; I < Argc; ++I) {
@@ -694,6 +900,10 @@ int main(int Argc, char **Argv) {
   const int SplitQueries = Smoke ? 12 : 30;
   const int SplitRounds = Smoke ? 5 : 20;
   const int ReuseLoops = Smoke ? 4 : 10;
+  // Whole-program synthesis on PARTITION is seconds per run; best-of-2
+  // keeps the full bench bounded while still shedding warm-up noise.
+  const int SynthIters = Smoke ? 1 : std::min(Iters, 2);
+  const int FrameRounds = Smoke ? 20 : 200;
 
   // Fail on an unwritable output path now, not after minutes of benching.
   std::ofstream Out(OutPath);
@@ -757,6 +967,30 @@ int main(int Argc, char **Argv) {
             << Split.RefFallbacks << " fallbacks) — speedup "
             << Split.speedup() << "x\n";
 
+  std::cerr << "[bench] synthesis-partition (" << SynthIters << " iters)\n";
+  SynthBenchResult Synth = synthesisPartitionWorkload(SynthIters);
+  std::cerr << "[bench]   " << Synth.LpChecks << " LP checks in "
+            << Synth.WallMs << " ms (" << Synth.opsPerSec()
+            << " /s, template level " << Synth.LevelUsed << ")\n";
+
+  std::cerr << "[bench] pdr-frames (" << FrameRounds << " rounds x "
+            << Iters << " iters)\n";
+  MicroResult Frames;
+  uint64_t FrameClauses = 0;
+  for (int I = 0; I < Iters; ++I) {
+    uint64_t Clauses = 0;
+    auto Start = Clock::now();
+    uint64_t Ops = pdrFramesWorkload(FrameRounds, Clauses);
+    double Ms = elapsedMs(Start, Clock::now());
+    if (I == 0 || Ms < Frames.WallMs) {
+      Frames.Ops = Ops;
+      Frames.WallMs = Ms;
+      FrameClauses = Clauses;
+    }
+  }
+  std::cerr << "[bench]   " << Frames.Ops << " frame ops in "
+            << Frames.WallMs << " ms (" << Frames.opsPerSec() << " /s)\n";
+
   std::cerr << "[bench] refinement reuse (" << ReuseLoops
             << " sequential loops, arg vs restart)\n";
   ReuseResult Reuse = refinementReuseWorkload(ReuseLoops);
@@ -777,23 +1011,42 @@ int main(int Argc, char **Argv) {
       {"scalar_bug", pathinv::testprogs::ScalarBug},
       {"straight_safe", pathinv::testprogs::StraightSafe},
   };
-  std::vector<E2EResult> E2E;
-  double E2ETotalMs = 0;
+  std::vector<E2EEntry> E2E;
+  double E2ETotalMs = 0, PdrTotalMs = 0, PortfolioTotalMs = 0;
   for (const auto &P : Programs) {
     std::cerr << "[bench] end-to-end: " << P.Name << "\n";
-    E2E.push_back(runProgram(P.Name, P.Source, Iters));
-    E2ETotalMs += E2E.back().WallMs;
-    std::cerr << "[bench]   " << E2E.back().Verdict << " in "
-              << E2E.back().WallMs << " ms, " << E2E.back().PeakTerms
-              << " terms\n";
-    if (!E2E.back().UnknownReason.empty())
-      std::cerr << "[bench]   WARNING: exhausted resource budget ("
-                << E2E.back().UnknownReason << ") under generous limits\n";
+    E2EEntry Entry;
+    Entry.Cegar = runProgram(P.Name, P.Source, Iters);
+    Entry.Pdr = runEngine(pathinv::EngineKind::Pdr, P.Source, Iters);
+    Entry.Portfolio =
+        runEngine(pathinv::EngineKind::Portfolio, P.Source, Iters);
+    if (Entry.Cegar.Verdict != Entry.Pdr.Verdict ||
+        Entry.Cegar.Verdict != Entry.Portfolio.Verdict) {
+      std::cerr << "[bench] engine verdict mismatch on " << P.Name
+                << ": cegar " << Entry.Cegar.Verdict << ", pdr "
+                << Entry.Pdr.Verdict << ", portfolio "
+                << Entry.Portfolio.Verdict << "\n";
+      std::abort();
+    }
+    E2ETotalMs += Entry.Cegar.WallMs;
+    PdrTotalMs += Entry.Pdr.WallMs;
+    PortfolioTotalMs += Entry.Portfolio.WallMs;
+    std::cerr << "[bench]   " << Entry.Cegar.Verdict << ": cegar "
+              << Entry.Cegar.WallMs << " ms, pdr " << Entry.Pdr.WallMs
+              << " ms, portfolio " << Entry.Portfolio.WallMs
+              << " ms (ratio " << Entry.portfolioRatio() << "x)\n";
+    for (const std::string &Reason :
+         {Entry.Cegar.UnknownReason, Entry.Pdr.UnknownReason,
+          Entry.Portfolio.UnknownReason})
+      if (!Reason.empty())
+        std::cerr << "[bench]   WARNING: exhausted resource budget ("
+                  << Reason << ") under generous limits\n";
+    E2E.push_back(std::move(Entry));
   }
 
   std::ostringstream Json;
   Json << "{\n";
-  Json << "  \"schema\": \"pathinv-bench-v6\",\n";
+  Json << "  \"schema\": \"pathinv-bench-v7\",\n";
   Json << "  \"config\": {\"iters\": " << Iters
        << ", \"smoke\": " << (Smoke ? "true" : "false")
        << ", \"construct_rounds\": " << ConstructRounds
@@ -807,7 +1060,9 @@ int main(int Argc, char **Argv) {
        << ", \"split_queries\": " << SplitQueries
        << ", \"split_rounds\": " << SplitRounds
        << ", \"reuse_loops\": " << ReuseLoops
-       << ", \"e2e_governed\": true},\n";
+       << ", \"synth_iters\": " << SynthIters
+       << ", \"frame_rounds\": " << FrameRounds
+       << ", \"e2e_governed\": true, \"e2e_engines\": 3},\n";
   Json << "  \"microbench\": {\n";
   emitMicro(Json, "construct", "arena", ConstructArena, ConstructRef);
   Json << ",\n";
@@ -836,6 +1091,24 @@ int main(int Argc, char **Argv) {
          << "      \"reference_scratch_fallbacks\": " << Split.RefFallbacks
          << "\n    }";
   }
+  Json << ",\n";
+  // Single-mode workloads: no in-process reference exists (whole-program
+  // synthesis and the delta frames are new subsystems, not rewrites), so
+  // the entry carries the ops_per_sec trajectory line only and the
+  // regression checker's cross-file floor does the gating.
+  Json << "    \"synthesis_partition\": {\n"
+       << "      \"synthesis\": {\"ops\": " << Synth.LpChecks
+       << ", \"wall_ms\": " << Synth.WallMs
+       << ", \"ops_per_sec\": " << Synth.opsPerSec() << "},\n"
+       << "      \"lp_checks\": " << Synth.LpChecks << ",\n"
+       << "      \"template_level_used\": " << Synth.LevelUsed << ",\n"
+       << "      \"template_levels_tried\": " << Synth.LevelsTried
+       << "\n    },\n";
+  Json << "    \"pdr_frames\": {\n"
+       << "      \"frames\": {\"ops\": " << Frames.Ops
+       << ", \"wall_ms\": " << Frames.WallMs
+       << ", \"ops_per_sec\": " << Frames.opsPerSec() << "},\n"
+       << "      \"surviving_clauses\": " << FrameClauses << "\n    }";
   Json << "\n  },\n";
   Json << "  \"incremental\": {\"queries\": " << Inc.Queries
        << ", \"one_shot_wall_ms\": " << Inc.OneShotMs
@@ -857,7 +1130,12 @@ int main(int Argc, char **Argv) {
        << ", \"speedup_vs_restart\": " << Reuse.speedup() << "},\n";
   Json << "  \"end_to_end\": [\n";
   for (size_t I = 0; I < E2E.size(); ++I) {
-    const E2EResult &R = E2E[I];
+    const E2EResult &R = E2E[I].Cegar;
+    const EngineRun &Pdr = E2E[I].Pdr;
+    const EngineRun &Pf = E2E[I].Portfolio;
+    // Top-level fields are the cegar (default engine) run, keeping every
+    // v6 counter comparable; the alternate engines nest under "pdr" and
+    // "portfolio".
     Json << "    {\"program\": \"" << R.Program << "\", \"verdict\": \""
          << R.Verdict << "\", \"wall_ms\": " << R.WallMs
          << ", \"peak_terms\": " << R.PeakTerms
@@ -873,11 +1151,27 @@ int main(int Argc, char **Argv) {
          << ", \"nodes_reused\": " << R.NodesReused
          << ", \"unknown_reason\": \"" << R.UnknownReason << "\""
          << ", \"governed_pivots\": " << R.GovernedPivots
-         << ", \"governed_synth_combos\": " << R.GovernedSynthCombos << "}"
+         << ", \"governed_synth_combos\": " << R.GovernedSynthCombos
+         << ",\n     \"pdr\": {\"verdict\": \"" << Pdr.Verdict
+         << "\", \"wall_ms\": " << Pdr.WallMs
+         << ", \"frames\": " << Pdr.PdrFrames
+         << ", \"obligations\": " << Pdr.PdrObligations
+         << ", \"clauses_learned\": " << Pdr.PdrClausesLearned
+         << ", \"clauses_pushed\": " << Pdr.PdrClausesPushed
+         << ", \"unknown_reason\": \"" << Pdr.UnknownReason << "\"}"
+         << ",\n     \"portfolio\": {\"verdict\": \"" << Pf.Verdict
+         << "\", \"wall_ms\": " << Pf.WallMs
+         << ", \"unknown_reason\": \"" << Pf.UnknownReason << "\"}"
+         << ", \"portfolio_ratio\": " << E2E[I].portfolioRatio() << "}"
          << (I + 1 < E2E.size() ? "," : "") << "\n";
   }
   Json << "  ],\n";
-  Json << "  \"end_to_end_total_wall_ms\": " << E2ETotalMs << "\n";
+  // Kept as the cegar sum for continuity with the v6 trajectory line; the
+  // per-engine totals sit alongside.
+  Json << "  \"end_to_end_total_wall_ms\": " << E2ETotalMs << ",\n";
+  Json << "  \"end_to_end_engine_totals\": {\"cegar\": " << E2ETotalMs
+       << ", \"pdr\": " << PdrTotalMs
+       << ", \"portfolio\": " << PortfolioTotalMs << "}\n";
   Json << "}\n";
 
   Out << Json.str();

@@ -5,6 +5,7 @@ Usage: check_bench_regression.py BASELINE.json CURRENT.json
            [--max-regression 0.20]
            [--require-microbench KEY:MINSPEEDUP ...]
            [--require-reuse MINRATIO]
+           [--require-portfolio MAXRATIO [--portfolio-noise-ms MS]]
 
 Gates:
   * end_to_end_total_wall_ms: current may be at most
@@ -26,7 +27,15 @@ Gates:
     microbench's speedup_vs_reference (e.g. rational_pivot:1.5);
   * --require-reuse MIN enforces a floor on the refinement_reuse
     workload's node-expansion ratio (restart nodes / arg nodes) and
-    re-checks that both reachability engines agreed on the verdict.
+    re-checks that both reachability engines agreed on the verdict;
+  * --require-portfolio MAX enforces, per e2e program (schema v7+), that
+    the portfolio wall is at most MAX x the better single engine's wall
+    — the racing overhead bound. The gate is a within-file ratio, so it
+    is machine-independent and holds on cross-machine comparisons too.
+    Programs that finish in a few ms would make the ratio pure
+    scheduling noise, so a wall within --portfolio-noise-ms (default
+    250) of the best single engine passes regardless of the ratio. The
+    gate also re-checks that all three engines agreed on the verdict.
 
 Exits 0 when every gate holds, 1 otherwise.
 """
@@ -51,6 +60,17 @@ def main():
                     help="fail unless refinement_reuse.node_ratio (restart "
                          "nodes / arg nodes) reaches MINRATIO and both "
                          "engines agree on the verdict")
+    ap.add_argument("--require-portfolio", type=float, default=None,
+                    metavar="MAXRATIO",
+                    help="fail if any e2e program's portfolio wall exceeds "
+                         "MAXRATIO x the better single engine's wall "
+                         "(subject to --portfolio-noise-ms), or if the "
+                         "three engines disagree on a verdict")
+    ap.add_argument("--portfolio-noise-ms", type=float, default=250.0,
+                    metavar="MS",
+                    help="absolute slack for the portfolio gate: a wall "
+                         "within MS of the best single engine passes "
+                         "regardless of the ratio (ms-scale programs)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -71,13 +91,20 @@ def main():
             ok = False
 
     # Governed e2e runs (schema v6+) must never exhaust their generous
-    # budgets; older baselines simply lack the field.
+    # budgets; older baselines simply lack the field. From v7 the pdr and
+    # portfolio sub-runs carry their own unknown_reason, held to the same
+    # standard.
     for entry in cur["end_to_end"]:
-        reason = entry.get("unknown_reason", "")
-        if reason:
-            print(f"FAIL: {entry['program']} exhausted a resource budget "
-                  f"under generous limits (reason: {reason})")
-            ok = False
+        for engine in ("", "pdr", "portfolio"):
+            run = entry.get(engine, {}) if engine else entry
+            reason = run.get("unknown_reason", "") if isinstance(run, dict) \
+                else ""
+            if reason:
+                label = f"{entry['program']}/{engine}" if engine \
+                    else entry["program"]
+                print(f"FAIL: {label} exhausted a resource budget "
+                      f"under generous limits (reason: {reason})")
+                ok = False
 
     base_ms = base["end_to_end_total_wall_ms"]
     cur_ms = cur["end_to_end_total_wall_ms"]
@@ -155,6 +182,41 @@ def main():
                 ok = False
             else:
                 print("OK:   " + line)
+
+    if args.require_portfolio is not None:
+        gated = 0
+        for entry in cur["end_to_end"]:
+            pdr = entry.get("pdr")
+            pf = entry.get("portfolio")
+            if not isinstance(pdr, dict) or not isinstance(pf, dict):
+                print(f"FAIL: {entry['program']} lacks the three-engine "
+                      f"runs the portfolio gate needs (schema v7+)")
+                ok = False
+                continue
+            gated += 1
+            verdicts = {entry["verdict"], pdr.get("verdict"),
+                        pf.get("verdict")}
+            if len(verdicts) != 1:
+                print(f"FAIL: {entry['program']} engine verdicts disagree: "
+                      f"cegar={entry['verdict']} pdr={pdr.get('verdict')} "
+                      f"portfolio={pf.get('verdict')}")
+                ok = False
+            best = min(entry["wall_ms"], pdr["wall_ms"])
+            limit = max(best * args.require_portfolio,
+                        best + args.portfolio_noise_ms)
+            wall = pf["wall_ms"]
+            ratio = wall / best if best else float("inf")
+            line = (f"portfolio {entry['program']}: {wall:.1f} ms vs best "
+                    f"single {best:.1f} ms ({ratio:.2f}x, limit "
+                    f"{limit:.1f} ms)")
+            if wall > limit:
+                print("FAIL: " + line)
+                ok = False
+            else:
+                print("OK:   " + line)
+        if gated == 0:
+            print("FAIL: portfolio gate matched no end-to-end entries")
+            ok = False
 
     if "incremental" in cur:
         inc = cur["incremental"]

@@ -8,8 +8,9 @@
 /// Command-line driver: verify a PIL procedure from a file (or stdin).
 ///
 /// Usage: pathinv [options] <file.pil | ->
+///   --engine=cegar|pdr|portfolio              verification backend
 ///   --refiner=pathinv|intervals|pathformula   refinement strategy
-///   --reach=arg|restart                       reachability engine
+///   --reach=arg|restart                       CEGAR reachability engine
 ///   --max-refinements=N                       CEGAR iteration budget
 ///   --max-nodes=N                             abstract reachability budget
 ///   --timeout=SEC                             wall-clock deadline
@@ -40,18 +41,23 @@ namespace {
 int usage(const char *Argv0) {
   std::cerr
       << "usage: " << Argv0 << " [options] <file.pil | ->\n"
+      << "  --engine=cegar|pdr|portfolio  verification backend: path-\n"
+      << "                       invariant CEGAR (default), IC3/PDR over\n"
+      << "                       the transition relation, or a governed\n"
+      << "                       time-sliced race of both\n"
       << "  --refiner=pathinv|intervals|pathformula  refinement strategy\n"
       << "                                           (default: pathinv)\n"
-      << "  --reach=arg|restart  reachability engine: persistent ARG with\n"
-      << "                       subtree-scoped refinement (default), or\n"
-      << "                       the legacy restart-the-world tree\n"
+      << "  --reach=arg|restart  CEGAR reachability engine: persistent ARG\n"
+      << "                       with subtree-scoped refinement (default),\n"
+      << "                       or the legacy restart-the-world tree\n"
       << "  --max-refinements=N  CEGAR iteration budget (default 40)\n"
       << "  --max-nodes=N        abstract reachability node budget\n"
       << "  --timeout=SEC        wall-clock deadline (0 = unlimited)\n"
       << "  --memory=MB          soft ceiling on tracked heap bytes\n"
       << "  --budgets=k=v,...    per-layer step budgets; keys:\n"
       << "                       sat_conflicts, pivots, bnb_nodes,\n"
-      << "                       synth_combos, arg_expansions, refinements\n"
+      << "                       synth_combos, arg_expansions, refinements,\n"
+      << "                       pdr_obligations\n"
       << "  --stats              print per-layer statistics\n"
       << "  --quiet              print only the verdict line\n"
       << "exit codes: 0 Safe, 1 Unsafe, 2 Unknown or error (resource\n"
@@ -112,6 +118,8 @@ bool parseBudgets(const char *Text, pathinv::ResourceLimits &Limits) {
       Limits.ArgExpansions = Count;
     } else if (Key == "refinements") {
       Limits.Refinements = Count;
+    } else if (Key == "pdr_obligations") {
+      Limits.PdrObligations = Count;
     } else {
       std::cerr << "unknown budget key '" << Key << "'\n";
       return false;
@@ -134,7 +142,12 @@ int main(int Argc, char **Argv) {
       size_t Len = std::strlen(Prefix);
       return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
     };
-    if (const char *V = valueOf("--refiner=")) {
+    if (const char *V = valueOf("--engine=")) {
+      if (!pathinv::parseEngineKind(V, Opts.Engine)) {
+        std::cerr << "unknown engine '" << V << "'\n";
+        return usage(Argv[0]);
+      }
+    } else if (const char *V = valueOf("--refiner=")) {
       if (std::strcmp(V, "pathinv") == 0) {
         Opts.Refiner = pathinv::RefinerKind::PathInvariant;
       } else if (std::strcmp(V, "intervals") == 0) {
