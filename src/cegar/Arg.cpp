@@ -9,6 +9,7 @@
 #include "core/Resource.h"
 #include "smt/QuantInst.h"
 #include "smt/SmtSolver.h"
+#include "synth/InvariantMap.h"
 
 #include <algorithm>
 
@@ -371,6 +372,16 @@ ArgRunResult ReachEngine::run() {
           Result.ErrorPath.push_back(node(Chain[I]).InTrans);
         Result.PathNodes = std::move(Chain);
         Result.Kind = ArgRunResult::Kind::Counterexample;
+        // The error node stays queued: its path is reported, not decided.
+        // If the caller's analysis is cut short (deadline, slice pause)
+        // before refinement prunes or drops this node, a resumed run must
+        // rediscover the same path — otherwise the worklist drains around
+        // a live undecided counterexample and run() declares a spurious
+        // Proof (observed as a fuzz-oracle Safe-without-certificate, and
+        // on unsafe programs an unsound Safe). Once the path is actually
+        // refuted the node is relabelled or pruned and the stale queue
+        // entry is skipped like any other.
+        enqueue(Id);
         return Result;
       }
       if (!labelNode(Id))
@@ -537,6 +548,53 @@ void ReachEngine::applyRefinement(const ArgRunResult &R) {
   std::string Violation = Graph.verifyInvariants();
   assert(Violation.empty() && "ARG invariants violated after refinement");
 #endif
+}
+
+bool ReachEngine::exportInvariantMap(InvariantMap &Out) const {
+  TermManager &TM = P.termManager();
+  std::vector<std::vector<const Term *>> Disjuncts(
+      static_cast<size_t>(P.numLocations()));
+  for (size_t Id = 0; Id < Graph.Nodes.size(); ++Id) {
+    const ArgNode &N = Graph.Nodes[Id];
+    if (!N.isLive())
+      continue;
+    if (N.Incomplete)
+      return false; // A dropped error edge breaks (I1) into the error loc.
+    switch (N.St) {
+    case ArgNode::State::Shell:
+    case ArgNode::State::Leaf:
+      return false; // Not a fixpoint: unexplored frontier remains.
+    case ArgNode::State::Expanded: {
+      if (N.Loc == P.entry() && Id != 0)
+        return false; // Loop head at entry: needs a non-true eta(entry).
+      std::vector<const Term *> Lits(N.Literals.begin(), N.Literals.end());
+      Disjuncts[static_cast<size_t>(N.Loc)].push_back(
+          TM.mkAnd(std::move(Lits)));
+      break;
+    }
+    case ArgNode::State::Covered:
+      // Subsumed by a weaker expanded node at the same location: its
+      // region is inside that node's disjunct.
+      if (N.Loc == P.entry() && Id != 0)
+        return false;
+      break;
+    case ArgNode::State::Infeasible:
+    case ArgNode::State::Pruned:
+      break; // Empty region / not part of the cover.
+    }
+  }
+  Out.Inv.clear();
+  for (LocId Loc = 0; Loc < P.numLocations(); ++Loc) {
+    if (Loc == P.entry())
+      continue; // Implicitly true — matches the root's empty label.
+    std::vector<const Term *> &Ds = Disjuncts[static_cast<size_t>(Loc)];
+    if (Loc == P.error() || Ds.empty()) {
+      Out.Inv[Loc] = TM.mkFalse(); // Abstractly unreachable.
+      continue;
+    }
+    Out.Inv[Loc] = TM.mkOr(std::move(Ds));
+  }
+  return true;
 }
 
 bool ReachEngine::reconcileStalePath(const ArgRunResult &R) {

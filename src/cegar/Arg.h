@@ -79,6 +79,7 @@
 namespace pathinv {
 
 class SmtSolver;
+struct InvariantMap;
 
 /// One node of the abstract reachability graph.
 struct ArgNode {
@@ -249,6 +250,23 @@ public:
   /// instead of analyzing a stale counterexample. Returns false when the
   /// path stands under the full current precision.
   bool reconcileStalePath(const ArgRunResult &R);
+
+  /// Reads a safety certificate off a proof fixpoint: eta(l) is the
+  /// disjunction, over the live *expanded* nodes at l, of each node's
+  /// literal conjunction (covered nodes are subsumed by their weaker
+  /// coverer at the same location, infeasible nodes denote the empty
+  /// region, and node-less locations are abstractly unreachable, so both
+  /// map to false). The entry keeps its implicit `true` (the root's label
+  /// is definitionally empty) and the error maps to false. \returns false
+  /// — with \p Out untouched — when the graph cannot certify: not at a
+  /// fixpoint (live shells/leaves remain), any live node is Incomplete (a
+  /// concretely-dropped error edge means the exported map would fail
+  /// inductiveness into the error location), or a non-root node sits at
+  /// the entry location (a loop head at entry would need a nontrivial
+  /// entry invariant, which (I0) forbids). The caller must still validate
+  /// the result with checkInvariantMap before reporting it — the export
+  /// is a read-off, not a proof.
+  bool exportInvariantMap(InvariantMap &Out) const;
 
   const Arg &arg() const { return Graph; }
   const ArgStats &stats() const { return Stats; }

@@ -218,7 +218,32 @@ struct CegarEngine::Impl {
   void runArg();
   void runRestart();
   void finishArg();
+  void exportArgCertificate();
 };
+
+/// Reads an invariant-map certificate off the ARG proof and validates it
+/// independently before attaching it to the Safe verdict. The validation
+/// runs under a fresh unlimited controller: the proof is already complete,
+/// and a certificate that silently disappears whenever a portfolio slice
+/// pause or a tripped budget lands on this exact line would make Safe
+/// results nondeterministically certificate-free. A map that fails either
+/// the read-off or the check is dropped — the verdict itself never
+/// depends on the certificate.
+void CegarEngine::Impl::exportArgCertificate() {
+  if (!Opts.ExportCertificate || Result.HasInvariants || !Reach)
+    return;
+  InvariantMap Map;
+  if (!Reach->exportInvariantMap(Map))
+    return;
+  ResourceController Ungoverned;
+  Ungoverned.start();
+  ResourceScope Scope(Ungoverned);
+  InvariantCheckResult Check = checkInvariantMap(P, Map, Solver);
+  if (!Check.Ok)
+    return;
+  Result.Invariants = std::move(Map);
+  Result.HasInvariants = true;
+}
 
 /// Folds the ARG/solver-context/path-checker counters into the result
 /// stats (all lifetime totals — safe to overwrite on every exit).
@@ -244,6 +269,7 @@ void CegarEngine::Impl::runArg() {
     ArgRunResult Reached = Reach->run();
     if (Reached.Kind == ArgRunResult::Kind::Proof) {
       Result.Verdict = EngineResult::Verdict::Safe;
+      exportArgCertificate();
       return finishArg();
     }
     if (Reached.Kind == ArgRunResult::Kind::NodeLimit) {
@@ -284,10 +310,16 @@ void CegarEngine::Impl::runArg() {
                                   Opts.Refiner, Opts.PathInv);
     Result.Stats.LpChecks += Refined.LpChecks;
     Result.Stats.TemplateLevelsTried += Refined.TemplateLevelsTried;
-    if (!Refined.Progress && resourceExhausted()) {
+    if (resourceExhausted()) {
       // Interrupted mid-refinement (slice pause or real exhaustion):
       // report without consuming the iteration or the escalation ladder,
-      // so a resumed run retries this path with the full machinery.
+      // so a resumed run retries this path with the full machinery. This
+      // holds even when the cut-short synthesis made partial progress —
+      // applying a half-grown precision can fail to refute the path
+      // abstractly, and the drop-the-edge fallback below would leave the
+      // ARG permanently Incomplete (a sound Safe, but one that can never
+      // export a certificate). Any predicates already added are kept: the
+      // precision grows monotonically and the retry only adds more.
       Result.Note = "resources exhausted during refinement";
       return finishArg();
     }
@@ -361,9 +393,10 @@ void CegarEngine::Impl::runRestart() {
                                   Opts.Refiner, Opts.PathInv);
     Result.Stats.LpChecks += Refined.LpChecks;
     Result.Stats.TemplateLevelsTried += Refined.TemplateLevelsTried;
-    if (!Refined.Progress && resourceExhausted()) {
-      // Interrupted mid-refinement: keep the iteration and escalation
-      // ladder unconsumed so a resumed run retries this path.
+    if (resourceExhausted()) {
+      // Interrupted mid-refinement (even with partial progress): keep the
+      // iteration and escalation ladder unconsumed so a resumed run
+      // retries this path under a full budget.
       Result.Note = "resources exhausted during refinement";
       return;
     }

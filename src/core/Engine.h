@@ -62,6 +62,12 @@ struct EngineOptions {
   PathInvOptions PathInv;
   /// Replay bug witnesses concretely before reporting Unsafe.
   bool ValidateWitness = true;
+  /// Export a checkable invariant-map certificate from CEGAR ARG proofs
+  /// (PDR fixpoints and whole-program escalations always carry one). The
+  /// map is read off the proof graph and independently validated with
+  /// checkInvariantMap before it is attached; when the read-off or the
+  /// validation fails the Safe verdict stands without a certificate.
+  bool ExportCertificate = true;
   /// Portfolio round-robin slice length for the first round; later rounds
   /// double it without bound so short jobs interleave finely while long
   /// jobs amortize the switch cost (and no atomic engine step can outgrow

@@ -1,0 +1,462 @@
+//===- fuzz/Generate.cpp - Seeded PIL program generation -------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ground-truth construction (see Fuzz.h): every safe program is emitted
+// around a planted inductive invariant, so its assertion is a consequence
+// by construction; every unsafe program is a safe program with one
+// targeted mutation, and the mutation only counts after the bounded
+// interpreter exhibits a concrete error execution on the exact emitted
+// source. A mutation that the interpreter cannot confirm within bounds is
+// discarded (the case falls back to the safe variant) — the corpus never
+// contains a case whose label rests on intuition.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "interp/Interpreter.h"
+#include "lang/Lower.h"
+#include "lang/Parser.h"
+
+#include <utility>
+
+using namespace pathinv;
+using namespace pathinv::fuzz;
+
+namespace {
+
+/// Deterministic xorshift64 stream. The multiplier decorrelates adjacent
+/// seeds (1, 2, 3, ... are the common CLI inputs) before the shifts mix.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : S(Seed * 2654435769ULL + 1) {
+    next();
+    next();
+  }
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  /// Uniform-ish integer in [Lo, Hi], inclusive.
+  int range(int Lo, int Hi) {
+    return Lo + static_cast<int>(next() %
+                                 static_cast<uint64_t>(Hi - Lo + 1));
+  }
+  bool chance(int Percent) { return range(0, 99) < Percent; }
+  int pm() { return chance(50) ? 1 : -1; } ///< +1 or -1.
+
+private:
+  uint64_t S;
+};
+
+/// Renders a linear combination as PIL expression text: terms joined with
+/// binary +/-, coefficient-1 magnitudes bare, the empty sum as "0".
+class LinExpr {
+public:
+  LinExpr &add(int Coef, const std::string &Var = "") {
+    if (Coef == 0 && !Var.empty())
+      return *this;
+    if (Coef == 0 && S.empty())
+      return *this; // Trailing zero constants vanish; str() restores "0".
+    int Abs = Coef < 0 ? -Coef : Coef;
+    std::string Mag = Var.empty()           ? std::to_string(Abs)
+                      : Abs == 1            ? Var
+                                            : std::to_string(Abs) + "*" + Var;
+    if (S.empty())
+      S = (Coef < 0 ? "-" : "") + Mag;
+    else
+      S += (Coef < 0 ? " - " : " + ") + Mag;
+    return *this;
+  }
+  std::string str() const { return S.empty() ? "0" : S; }
+
+private:
+  std::string S;
+};
+
+std::string assign(const std::string &Var, const LinExpr &E,
+                   int Indent = 2) {
+  return std::string(static_cast<size_t>(Indent), ' ') + Var + " = " +
+         E.str() + ";\n";
+}
+
+std::string incr(const std::string &Var, int Delta, int Indent = 2) {
+  return assign(Var, LinExpr().add(1, Var).add(Delta), Indent);
+}
+
+/// One mutation candidate: the name recorded in the report plus the full
+/// mutated source.
+struct Candidate {
+  std::string Name;
+  std::string Source;
+};
+
+/// Tries the candidates in seeded order; the first one the bounded
+/// interpreter confirms becomes the unsafe case.
+bool pickConfirmed(std::vector<Candidate> &Cands, Rng &R,
+                   GeneratedProgram &GP) {
+  for (size_t I = Cands.size(); I > 1; --I)
+    std::swap(Cands[I - 1],
+              Cands[static_cast<size_t>(R.range(0, static_cast<int>(I) - 1))]);
+  for (const Candidate &C : Cands) {
+    if (confirmsUnsafe(C.Source)) {
+      GP.ExpectSafe = false;
+      GP.Source = C.Source;
+      GP.Mutation = C.Name;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Family "straight": loop-free, optional input-guarded branch --------
+//
+// Planted facts: y == C1 always; the branch only ever adds n with n > C2
+// >= 0, so x + y >= C0 + C1 at the assertion.
+
+struct StraightSpec {
+  int C0 = 0, C1 = 0, C2 = 0;
+  bool HasIf = true, HasNoise = false;
+  int AssertDelta = 0; ///< Bound constant off-by (mutation).
+  int InitDelta = 0;   ///< x's init perturbed, assertion not (mutation).
+  bool SwapInit = false; ///< x/y initializers exchanged (mutation).
+  bool BumpY = false;    ///< Branch also clobbers y (mutation).
+};
+
+std::string emitStraight(const StraightSpec &S) {
+  std::string Out = "proc f(n) {\n  var x, y";
+  if (S.HasNoise)
+    Out += ", z";
+  Out += ";\n";
+  Out += assign("x", LinExpr().add(S.SwapInit ? S.C1 : S.C0 + S.InitDelta));
+  Out += assign("y", LinExpr().add(S.SwapInit ? S.C0 : S.C1));
+  if (S.HasNoise)
+    Out += "  z = nondet();\n";
+  if (S.HasIf) {
+    Out += "  if (n > " + std::to_string(S.C2) + ") {\n";
+    Out += "    x = x + n;\n";
+    if (S.BumpY)
+      Out += incr("y", -1, 4);
+    Out += "  }\n";
+  }
+  Out += "  assert(y == " + std::to_string(S.C1) + " && " +
+         LinExpr().add(1, "x").add(1, "y").str() + " >= " +
+         std::to_string(S.C0 + S.C1 + S.AssertDelta) + ");\n}\n";
+  return Out;
+}
+
+void genStraight(Rng &R, bool WantUnsafe, GeneratedProgram &GP) {
+  GP.Family = "straight";
+  StraightSpec S;
+  S.C0 = R.range(-3, 3);
+  S.C1 = R.range(-3, 3);
+  S.C2 = R.range(0, 2);
+  S.HasIf = R.chance(70);
+  S.HasNoise = R.chance(30);
+  if (WantUnsafe) {
+    std::vector<Candidate> Cands;
+    auto Mut = [&](const char *Name, auto Edit) {
+      StraightSpec M = S;
+      Edit(M);
+      Cands.push_back({Name, emitStraight(M)});
+    };
+    Mut("assert_const", [&](StraightSpec &M) { M.AssertDelta = 1; });
+    Mut("init_perturb", [&](StraightSpec &M) { M.InitDelta = -1; });
+    if (S.C0 != S.C1)
+      Mut("swap_init", [&](StraightSpec &M) { M.SwapInit = true; });
+    if (S.HasIf)
+      Mut("branch_perturb", [&](StraightSpec &M) { M.BumpY = true; });
+    if (pickConfirmed(Cands, R, GP))
+      return;
+  }
+  GP.Source = emitStraight(S);
+}
+
+// --- Family "counter": deterministic loop x += P ------------------------
+//
+// Planted invariant: x == P*i + X0 (and i <= n when the assertion speaks
+// about n; the exit condition then forces i == n).
+
+struct CounterSpec {
+  int X0 = 0, P = 1;
+  bool AssertOnN = false; ///< assert x == P*n + X0 (needs assume(n>=0)).
+  bool HasAssume = true, HasNoise = false;
+  bool GuardLe = false; ///< while (i <= n) — one extra iteration (mutation).
+  int AssertDelta = 0, InitDelta = 0, BodyDelta = 0;
+};
+
+std::string emitCounter(const CounterSpec &S) {
+  std::string Out = "proc f(n) {\n  var x, i";
+  if (S.HasNoise)
+    Out += ", z";
+  Out += ";\n";
+  if (S.HasAssume)
+    Out += "  assume(n >= 0);\n";
+  Out += assign("x", LinExpr().add(S.X0 + S.InitDelta));
+  Out += assign("i", LinExpr().add(0));
+  if (S.HasNoise)
+    Out += "  z = nondet();\n";
+  Out += std::string("  while (i <") + (S.GuardLe ? "=" : "") + " n) {\n";
+  Out += incr("x", S.P + S.BodyDelta, 4);
+  Out += incr("i", 1, 4);
+  Out += "  }\n";
+  Out += "  assert(x == " +
+         LinExpr()
+             .add(S.P, S.AssertOnN ? "n" : "i")
+             .add(S.X0 + S.AssertDelta)
+             .str() +
+         ");\n}\n";
+  return Out;
+}
+
+void genCounter(Rng &R, bool WantUnsafe, GeneratedProgram &GP) {
+  GP.Family = "counter";
+  CounterSpec S;
+  S.X0 = R.range(-3, 3);
+  do
+    S.P = R.range(-3, 3);
+  while (S.P == 0);
+  S.AssertOnN = R.chance(50);
+  S.HasAssume = S.AssertOnN || R.chance(70);
+  S.HasNoise = R.chance(25);
+  if (WantUnsafe) {
+    std::vector<Candidate> Cands;
+    auto Mut = [&](const char *Name, auto Edit) {
+      CounterSpec M = S;
+      Edit(M);
+      Cands.push_back({Name, emitCounter(M)});
+    };
+    int D = R.pm();
+    Mut("assert_const", [&](CounterSpec &M) { M.AssertDelta = D; });
+    Mut("init_perturb", [&](CounterSpec &M) { M.InitDelta = D; });
+    Mut("branch_perturb", [&](CounterSpec &M) { M.BodyDelta = D; });
+    if (S.AssertOnN) {
+      Mut("drop_assume", [&](CounterSpec &M) { M.HasAssume = false; });
+      Mut("guard_le", [&](CounterSpec &M) { M.GuardLe = true; });
+    }
+    if (pickConfirmed(Cands, R, GP))
+      return;
+  }
+  GP.Source = emitCounter(S);
+}
+
+// --- Family "forward": nondeterministic two-branch loop -----------------
+//
+// The paper's FORWARD shape. Planted invariant: A*x + y == C*i + D with
+// C = A*P1 + Q1 and the else-branch completing the same relation
+// (Q2 = C - A*P2), D = A*X0 + Y0.
+
+struct ForwardSpec {
+  int A = 1, X0 = 0, Y0 = 0, P1 = 0, P2 = 0, Q1 = 0;
+  bool HasAssume = true, HasNoise = false;
+  int AssertDelta = 0, InitDelta = 0, BranchDelta = 0;
+
+  int c() const { return A * P1 + Q1; }
+  int q2() const { return c() - A * P2; }
+  int d() const { return A * X0 + Y0; }
+};
+
+std::string emitForward(const ForwardSpec &S) {
+  std::string Out = "proc f(n) {\n  var x, y, i";
+  if (S.HasNoise)
+    Out += ", z";
+  Out += ";\n";
+  if (S.HasAssume)
+    Out += "  assume(n >= 0);\n";
+  Out += assign("x", LinExpr().add(S.X0 + S.InitDelta));
+  Out += assign("y", LinExpr().add(S.Y0));
+  Out += assign("i", LinExpr().add(0));
+  if (S.HasNoise)
+    Out += "  z = nondet();\n";
+  Out += "  while (i < n) {\n    if (*) {\n";
+  Out += incr("x", S.P1, 6);
+  Out += incr("y", S.Q1, 6);
+  Out += "    } else {\n";
+  Out += incr("x", S.P2, 6);
+  Out += incr("y", S.q2() + S.BranchDelta, 6);
+  Out += "    }\n";
+  Out += incr("i", 1, 4);
+  Out += "  }\n";
+  Out += "  assert(" + LinExpr().add(S.A, "x").add(1, "y").str() + " == " +
+         LinExpr().add(S.c(), "i").add(S.d() + S.AssertDelta).str() +
+         ");\n}\n";
+  return Out;
+}
+
+void genForward(Rng &R, bool WantUnsafe, GeneratedProgram &GP) {
+  GP.Family = "forward";
+  ForwardSpec S;
+  S.A = R.range(1, 3);
+  S.X0 = R.range(-2, 2);
+  S.Y0 = R.range(-2, 2);
+  S.P1 = R.range(-2, 2);
+  S.P2 = R.range(-2, 2);
+  S.Q1 = R.range(-2, 2);
+  S.HasAssume = R.chance(60);
+  S.HasNoise = R.chance(25);
+  if (WantUnsafe) {
+    std::vector<Candidate> Cands;
+    auto Mut = [&](const char *Name, auto Edit) {
+      ForwardSpec M = S;
+      Edit(M);
+      Cands.push_back({Name, emitForward(M)});
+    };
+    int D = R.pm();
+    Mut("assert_const", [&](ForwardSpec &M) { M.AssertDelta = D; });
+    Mut("init_perturb", [&](ForwardSpec &M) { M.InitDelta = D; });
+    Mut("branch_perturb", [&](ForwardSpec &M) { M.BranchDelta = D; });
+    if (pickConfirmed(Cands, R, GP))
+      return;
+  }
+  GP.Source = emitForward(S);
+}
+
+// --- Family "ineq": nonnegative nondeterministic growth -----------------
+//
+// Planted invariant: x >= X0 (every branch adds a nonnegative amount).
+
+struct IneqSpec {
+  int X0 = 0, P1 = 0, P2 = 0; // P1, P2 >= 0.
+  bool HasNoise = false;
+  int AssertDelta = 0, InitDelta = 0;
+  bool NegBranch = false; ///< else-branch decrements instead (mutation).
+};
+
+std::string emitIneq(const IneqSpec &S) {
+  std::string Out = "proc f(n) {\n  var x, i";
+  if (S.HasNoise)
+    Out += ", z";
+  Out += ";\n  assume(n >= 0);\n";
+  Out += assign("x", LinExpr().add(S.X0 + S.InitDelta));
+  Out += assign("i", LinExpr().add(0));
+  if (S.HasNoise)
+    Out += "  z = nondet();\n";
+  Out += "  while (i < n) {\n    if (*) {\n";
+  Out += incr("x", S.P1, 6);
+  Out += "    } else {\n";
+  Out += incr("x", S.NegBranch ? -1 : S.P2, 6);
+  Out += "    }\n";
+  Out += incr("i", 1, 4);
+  Out += "  }\n";
+  Out += "  assert(x >= " + std::to_string(S.X0 + S.AssertDelta) +
+         ");\n}\n";
+  return Out;
+}
+
+void genIneq(Rng &R, bool WantUnsafe, GeneratedProgram &GP) {
+  GP.Family = "ineq";
+  IneqSpec S;
+  S.X0 = R.range(-2, 2);
+  S.P1 = R.range(0, 3);
+  S.P2 = R.range(0, 3);
+  S.HasNoise = R.chance(25);
+  if (WantUnsafe) {
+    std::vector<Candidate> Cands;
+    auto Mut = [&](const char *Name, auto Edit) {
+      IneqSpec M = S;
+      Edit(M);
+      Cands.push_back({Name, emitIneq(M)});
+    };
+    Mut("assert_const", [&](IneqSpec &M) { M.AssertDelta = 1; });
+    Mut("init_perturb", [&](IneqSpec &M) { M.InitDelta = -1; });
+    Mut("branch_perturb", [&](IneqSpec &M) { M.NegBranch = true; });
+    if (pickConfirmed(Cands, R, GP))
+      return;
+  }
+  GP.Source = emitIneq(S);
+}
+
+// --- Family "twoloop": two sequential counting loops --------------------
+//
+// Planted invariants: x == Inc*i (first loop), x == Inc*n + Inc*i
+// (second); the exits force i == n each time, so x == 2*Inc*n at the end.
+
+struct TwoLoopSpec {
+  int Inc = 1;
+  bool HasAssume = true;
+  bool Guard2Le = false; ///< Second loop runs once more (mutation).
+  int AssertDelta = 0, Body2Delta = 0;
+};
+
+std::string emitTwoLoop(const TwoLoopSpec &S) {
+  std::string Out = "proc f(n) {\n  var x, i;\n";
+  if (S.HasAssume)
+    Out += "  assume(n >= 0);\n";
+  Out += assign("x", LinExpr().add(0));
+  Out += assign("i", LinExpr().add(0));
+  Out += "  while (i < n) {\n";
+  Out += incr("x", S.Inc, 4);
+  Out += incr("i", 1, 4);
+  Out += "  }\n";
+  Out += assign("i", LinExpr().add(0));
+  Out += std::string("  while (i <") + (S.Guard2Le ? "=" : "") + " n) {\n";
+  Out += incr("x", S.Inc + S.Body2Delta, 4);
+  Out += incr("i", 1, 4);
+  Out += "  }\n";
+  Out += "  assert(x == " +
+         LinExpr().add(2 * S.Inc, "n").add(S.AssertDelta).str() + ");\n}\n";
+  return Out;
+}
+
+void genTwoLoop(Rng &R, bool WantUnsafe, GeneratedProgram &GP) {
+  GP.Family = "twoloop";
+  TwoLoopSpec S;
+  S.Inc = R.range(1, 2);
+  if (WantUnsafe) {
+    std::vector<Candidate> Cands;
+    auto Mut = [&](const char *Name, auto Edit) {
+      TwoLoopSpec M = S;
+      Edit(M);
+      Cands.push_back({Name, emitTwoLoop(M)});
+    };
+    int D = R.pm();
+    Mut("assert_const", [&](TwoLoopSpec &M) { M.AssertDelta = D; });
+    Mut("branch_perturb", [&](TwoLoopSpec &M) { M.Body2Delta = 1; });
+    Mut("guard_le", [&](TwoLoopSpec &M) { M.Guard2Le = true; });
+    Mut("drop_assume", [&](TwoLoopSpec &M) { M.HasAssume = false; });
+    if (pickConfirmed(Cands, R, GP))
+      return;
+  }
+  GP.Source = emitTwoLoop(S);
+}
+
+} // namespace
+
+bool fuzz::confirmsUnsafe(const std::string &Source) {
+  TermManager TM;
+  Expected<ProcAst> Proc = parseProc(TM, Source);
+  if (!Proc)
+    return false;
+  Program P = lowerProc(TM, Proc.get());
+  BoundedSearchOptions Opts;
+  for (const Term *Param : Proc.get().Params)
+    if (!Param->isArray())
+      Opts.Inputs.push_back(Param);
+  return searchForError(P, Opts).ErrorReached;
+}
+
+GeneratedProgram fuzz::generateProgram(uint64_t Seed) {
+  Rng R(Seed);
+  GeneratedProgram GP;
+  GP.Seed = Seed;
+  // The unsafe share targets ~45%; unconfirmable mutations fall back to
+  // the safe variant, so the realized share is slightly lower.
+  bool WantUnsafe = R.chance(45);
+  int Fam = R.range(0, 99);
+  if (Fam < 15)
+    genStraight(R, WantUnsafe, GP);
+  else if (Fam < 45)
+    genCounter(R, WantUnsafe, GP);
+  else if (Fam < 70)
+    genForward(R, WantUnsafe, GP);
+  else if (Fam < 90)
+    genIneq(R, WantUnsafe, GP);
+  else
+    genTwoLoop(R, WantUnsafe, GP);
+  return GP;
+}

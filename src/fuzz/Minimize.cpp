@@ -1,0 +1,323 @@
+//===- fuzz/Minimize.cpp - ddmin-style PIL program shrinking ---------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Greedy delta debugging over the PIL AST: each round enumerates shrinking
+// edits (contiguous statement chunks first, then single statements, then
+// structural unwraps, conjunct drops, and constant narrowing), re-prints
+// the candidate with the PIL pretty-printer, and accepts the first edit
+// the failure predicate still confirms. Every accepted edit strictly
+// decreases the (statements, term nodes, constant mass) metric, so the
+// loop reaches a fixpoint; 1-minimality is not guaranteed (nor needed —
+// the goal is a human-readable reproducer).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "lang/Parser.h"
+#include "lang/PilPrinter.h"
+
+#include <array>
+#include <functional>
+#include <tuple>
+
+using namespace pathinv;
+using namespace pathinv::fuzz;
+
+namespace {
+
+std::unique_ptr<Stmt> cloneStmt(const Stmt &S) {
+  auto C = std::make_unique<Stmt>();
+  C->K = S.K;
+  C->Var = S.Var;
+  C->Index = S.Index;
+  C->Rhs = S.Rhs;
+  C->Cond = S.Cond;
+  C->Loc = S.Loc;
+  for (const auto &Child : S.Children)
+    C->Children.push_back(cloneStmt(*Child));
+  return C;
+}
+
+ProcAst cloneProc(const ProcAst &P) {
+  ProcAst C;
+  C.Name = P.Name;
+  C.Params = P.Params;
+  C.Locals = P.Locals;
+  C.Body = cloneStmt(*P.Body);
+  return C;
+}
+
+/// Pre-order visit of every block statement (the body and all nested
+/// if/while bodies share this shape).
+void forEachBlock(Stmt &S, const std::function<void(Stmt &)> &Fn) {
+  if (S.K == Stmt::Kind::Block)
+    Fn(S);
+  for (auto &Child : S.Children)
+    forEachBlock(*Child, Fn);
+}
+
+/// The \p N-th block in pre-order (asserts existence via null check at
+/// the caller).
+Stmt *nthBlock(Stmt &S, int N) {
+  Stmt *Found = nullptr;
+  int Seen = 0;
+  forEachBlock(S, [&](Stmt &B) {
+    if (Seen++ == N && !Found)
+      Found = &B;
+  });
+  return Found;
+}
+
+// --- Size metric --------------------------------------------------------
+
+uint64_t termNodes(const Term *T) {
+  if (!T)
+    return 0;
+  uint64_t N = 1;
+  for (const Term *Op : T->operands())
+    N += termNodes(Op);
+  return N;
+}
+
+/// Clamped absolute magnitude of every integer constant, summed; constant
+/// narrowing must strictly decrease this.
+uint64_t constMass(const Term *T) {
+  if (!T)
+    return 0;
+  if (T->isIntConst()) {
+    Rational Abs = T->value().abs();
+    BigInt Floor = Abs.floor();
+    uint64_t Mass = 1000000;
+    if (Floor.fitsInt64() && Floor.toInt64() < 1000000)
+      Mass = static_cast<uint64_t>(Floor.toInt64());
+    return Mass;
+  }
+  uint64_t N = 0;
+  for (const Term *Op : T->operands())
+    N += constMass(Op);
+  return N;
+}
+
+using Size = std::tuple<uint64_t, uint64_t, uint64_t>;
+
+void measureStmt(const Stmt &S, Size &Sz) {
+  if (S.K != Stmt::Kind::Block)
+    ++std::get<0>(Sz);
+  for (const Term *T : {S.Cond, S.Rhs, S.Index}) {
+    std::get<1>(Sz) += termNodes(T);
+    std::get<2>(Sz) += constMass(T);
+  }
+  for (const auto &Child : S.Children)
+    measureStmt(*Child, Sz);
+}
+
+Size measure(const ProcAst &P) {
+  Size Sz{0, 0, 0};
+  measureStmt(*P.Body, Sz);
+  return Sz;
+}
+
+// --- Term rewriting (constant narrowing, conjunct dropping) -------------
+
+const Term *replaceConst(TermManager &TM, const Term *T,
+                         const Rational &From, const Rational &To) {
+  auto Rec = [&](const Term *Op) { return replaceConst(TM, Op, From, To); };
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    return T->value() == From ? TM.mkIntConst(To) : T;
+  case TermKind::Add:
+  case TermKind::And:
+  case TermKind::Or: {
+    std::vector<const Term *> Ops;
+    for (const Term *Op : T->operands())
+      Ops.push_back(Rec(Op));
+    return T->kind() == TermKind::Add   ? TM.mkAdd(std::move(Ops))
+           : T->kind() == TermKind::And ? TM.mkAnd(std::move(Ops))
+                                        : TM.mkOr(std::move(Ops));
+  }
+  case TermKind::Mul:
+    return TM.mkMul(Rec(T->operand(0)), Rec(T->operand(1)));
+  case TermKind::Select:
+    return TM.mkSelect(Rec(T->operand(0)), Rec(T->operand(1)));
+  case TermKind::Eq:
+    return TM.mkEq(Rec(T->operand(0)), Rec(T->operand(1)));
+  case TermKind::Le:
+    return TM.mkLe(Rec(T->operand(0)), Rec(T->operand(1)));
+  case TermKind::Lt:
+    return TM.mkLt(Rec(T->operand(0)), Rec(T->operand(1)));
+  case TermKind::Not:
+    return TM.mkNot(Rec(T->operand(0)));
+  default:
+    // Variables, true/false, and anything outside the PIL fragment pass
+    // through untouched.
+    return T;
+  }
+}
+
+void collectConsts(const Term *T, std::vector<Rational> &Out) {
+  if (!T)
+    return;
+  if (T->isIntConst()) {
+    if (!T->value().isZero()) {
+      for (const Rational &Seen : Out)
+        if (Seen == T->value())
+          return;
+      Out.push_back(T->value());
+    }
+    return;
+  }
+  for (const Term *Op : T->operands())
+    collectConsts(Op, Out);
+}
+
+void rewriteStmtTerms(
+    Stmt &S, const std::function<const Term *(const Term *)> &Fn) {
+  if (S.Cond)
+    S.Cond = Fn(S.Cond);
+  if (S.Rhs)
+    S.Rhs = Fn(S.Rhs);
+  if (S.Index)
+    S.Index = Fn(S.Index);
+  for (auto &Child : S.Children)
+    rewriteStmtTerms(*Child, Fn);
+}
+
+// --- Variant enumeration ------------------------------------------------
+
+/// Emits every one-edit shrink of \p Cur, coarse cuts first.
+void collectVariants(TermManager &TM, const ProcAst &Cur,
+                     std::vector<ProcAst> &Out) {
+  // Block shapes, recorded once against the original.
+  std::vector<size_t> BlockSizes;
+  forEachBlock(*Cur.Body, [&](Stmt &B) { BlockSizes.push_back(B.Children.size()); });
+
+  auto removeRange = [&](int Block, size_t Pos, size_t Len) {
+    ProcAst V = cloneProc(Cur);
+    Stmt *B = nthBlock(*V.Body, Block);
+    B->Children.erase(B->Children.begin() + static_cast<long>(Pos),
+                      B->Children.begin() + static_cast<long>(Pos + Len));
+    Out.push_back(std::move(V));
+  };
+
+  // 1. Contiguous chunks (halves, then quarters) — the ddmin-style
+  // coarse-to-fine schedule.
+  for (int B = 0; B < static_cast<int>(BlockSizes.size()); ++B) {
+    size_t K = BlockSizes[static_cast<size_t>(B)];
+    for (size_t Len = K / 2; Len >= 2; Len /= 2)
+      for (size_t Pos = 0; Pos + Len <= K; Pos += Len)
+        removeRange(B, Pos, Len);
+  }
+  // 2. Single statements.
+  for (int B = 0; B < static_cast<int>(BlockSizes.size()); ++B)
+    for (size_t Pos = 0; Pos < BlockSizes[static_cast<size_t>(B)]; ++Pos)
+      removeRange(B, Pos, 1);
+
+  // 3. Structural unwraps and condition shrinking, per child slot.
+  for (int B = 0; B < static_cast<int>(BlockSizes.size()); ++B) {
+    for (size_t Pos = 0; Pos < BlockSizes[static_cast<size_t>(B)]; ++Pos) {
+      // Inspect the original child to decide which edits apply.
+      ProcAst Probe = cloneProc(Cur);
+      Stmt *Child = nthBlock(*Probe.Body, B)->Children[Pos].get();
+      auto Unwrap = [&](size_t WhichChild) {
+        ProcAst V = cloneProc(Cur);
+        Stmt *Blk = nthBlock(*V.Body, B);
+        std::unique_ptr<Stmt> Body =
+            std::move(Blk->Children[Pos]->Children[WhichChild]);
+        Blk->Children[Pos] = std::move(Body); // A Block child is legal here.
+        Out.push_back(std::move(V));
+      };
+      if (Child->K == Stmt::Kind::If) {
+        Unwrap(0);
+        if (Child->Children.size() > 1) {
+          Unwrap(1);
+          ProcAst V = cloneProc(Cur); // Drop the else branch only.
+          nthBlock(*V.Body, B)->Children[Pos]->Children.pop_back();
+          Out.push_back(std::move(V));
+        }
+      }
+      if (Child->K == Stmt::Kind::While)
+        Unwrap(0);
+      if ((Child->K == Stmt::Kind::Assume ||
+           Child->K == Stmt::Kind::Assert) &&
+          Child->Cond && Child->Cond->kind() == TermKind::And) {
+        size_t N = 0;
+        for (const Term *Op : Child->Cond->operands()) {
+          (void)Op;
+          ++N;
+        }
+        for (size_t Drop = 0; Drop < N; ++Drop) {
+          ProcAst V = cloneProc(Cur);
+          Stmt *Tgt = nthBlock(*V.Body, B)->Children[Pos].get();
+          std::vector<const Term *> Keep;
+          size_t I = 0;
+          for (const Term *Op : Tgt->Cond->operands())
+            if (I++ != Drop)
+              Keep.push_back(Op);
+          Tgt->Cond = TM.mkAnd(std::move(Keep));
+          Out.push_back(std::move(V));
+        }
+      }
+    }
+  }
+
+  // 4. Constant narrowing: each distinct non-zero constant toward zero.
+  std::vector<Rational> Consts;
+  std::function<void(const Stmt &)> Walk = [&](const Stmt &S) {
+    collectConsts(S.Cond, Consts);
+    collectConsts(S.Rhs, Consts);
+    collectConsts(S.Index, Consts);
+    for (const auto &Child : S.Children)
+      Walk(*Child);
+  };
+  Walk(*Cur.Body);
+  for (const Rational &C : Consts) {
+    std::array<Rational, 2> Targets = {
+        Rational(0), C + Rational(C.isNegative() ? 1 : -1)};
+    for (const Rational &To : Targets) {
+      if (To == C)
+        continue;
+      ProcAst V = cloneProc(Cur);
+      rewriteStmtTerms(*V.Body, [&](const Term *T) {
+        return replaceConst(TM, T, C, To);
+      });
+      Out.push_back(std::move(V));
+    }
+  }
+}
+
+} // namespace
+
+std::string fuzz::minimizeProgram(const std::string &Source,
+                                  const FailurePredicate &Fails,
+                                  int MaxRounds) {
+  TermManager TM;
+  Expected<ProcAst> Parsed = parseProc(TM, Source);
+  if (!Parsed || !Fails(Source))
+    return Source;
+  ProcAst Cur = Parsed.take();
+  Size CurSize = measure(Cur);
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    bool Improved = false;
+    std::vector<ProcAst> Variants;
+    collectVariants(TM, Cur, Variants);
+    for (ProcAst &V : Variants) {
+      Size Sz = measure(V);
+      if (!(Sz < CurSize))
+        continue;
+      std::string Text = printPil(V);
+      if (!Fails(Text))
+        continue;
+      Cur = std::move(V);
+      CurSize = Sz;
+      Improved = true;
+      break;
+    }
+    if (!Improved)
+      break; // Fixpoint: no single edit keeps the failure alive.
+  }
+  return printPil(Cur);
+}

@@ -220,6 +220,140 @@ ReplayResult pathinv::replayPath(
   return Result;
 }
 
+namespace {
+
+/// DFS driver behind searchForError: one instance per initial state.
+class BoundedSearcher {
+public:
+  BoundedSearcher(const Program &P, const BoundedSearchOptions &Opts,
+                  uint64_t &StepsExecuted)
+      : P(P), TM(P.termManager()), Opts(Opts), StepsExecuted(StepsExecuted) {
+    // Precompute, per transition, which scalars it havocs: a scalar with
+    // no `v' = ...` conjunct draws a free value (executeStep then reads it
+    // from HavocValues). Builder-shaped relations havoc at most one
+    // variable, but the scan is general.
+    HavocVars.resize(static_cast<size_t>(P.numTransitions()));
+    for (int I = 0; I < P.numTransitions(); ++I) {
+      std::vector<const Term *> Conjuncts;
+      flattenConjuncts(P.transition(I).Rel, Conjuncts);
+      TermSet Defined;
+      for (const Term *C : Conjuncts) {
+        if (C->kind() != TermKind::Eq)
+          continue;
+        const Term *Lhs = C->operand(0);
+        const Term *Rhs = C->operand(1);
+        if (isPrimedVar(Rhs))
+          std::swap(Lhs, Rhs);
+        if (isPrimedVar(Lhs))
+          Defined.insert(Lhs);
+      }
+      for (const Term *Var : P.variables()) {
+        if (Var->isArray())
+          continue;
+        if (!Defined.count(primedVar(TM, Var)))
+          HavocVars[I].push_back(Var);
+      }
+    }
+  }
+
+  bool search(const ConcreteState &Initial, BoundedSearchResult &Out) {
+    Path Steps;
+    std::map<const Term *, Rational, TermIdLess> Havocs;
+    if (!dfs(P.entry(), Initial, 0, Steps, Havocs))
+      return false;
+    Out.ErrorReached = true;
+    Out.ErrorPath = std::move(Steps);
+    Out.Initial = Initial;
+    Out.HavocValues = std::move(Havocs);
+    return true;
+  }
+
+private:
+  bool dfs(LocId Loc, const ConcreteState &Cur, int Depth, Path &Steps,
+           std::map<const Term *, Rational, TermIdLess> &Havocs) {
+    if (Loc == P.error())
+      return true;
+    if (Depth >= Opts.MaxSteps)
+      return false;
+    for (int TransIdx : P.successorsOf(Loc)) {
+      const std::vector<const Term *> &Free =
+          HavocVars[static_cast<size_t>(TransIdx)];
+      // Enumerate menu values for each havocked scalar (cartesian, but
+      // builder relations havoc at most one, so this is a flat loop).
+      size_t Combos = 1;
+      for (size_t I = 0; I < Free.size(); ++I)
+        Combos *= Opts.Menu.size();
+      for (size_t Combo = 0; Combo < Combos; ++Combo) {
+        if (StepsExecuted >= Opts.MaxTotalSteps)
+          return false;
+        size_t Rem = Combo;
+        for (const Term *Var : Free) {
+          const Term *Key =
+              ssaVar(TM, Var, static_cast<unsigned>(Depth) + 1);
+          Havocs[Key] = Rational(Opts.Menu[Rem % Opts.Menu.size()]);
+          Rem /= Opts.Menu.size();
+        }
+        ++StepsExecuted;
+        ConcreteState Next;
+        bool Ok = true;
+        if (!executeStep(P, P.transition(TransIdx).Rel,
+                         static_cast<unsigned>(Depth), Cur, Next, Havocs,
+                         Ok) ||
+            !Ok)
+          continue;
+        Steps.push_back(TransIdx);
+        if (dfs(P.transition(TransIdx).To, Next, Depth + 1, Steps, Havocs))
+          return true;
+        Steps.pop_back();
+      }
+    }
+    return false;
+  }
+
+  const Program &P;
+  TermManager &TM;
+  const BoundedSearchOptions &Opts;
+  uint64_t &StepsExecuted;
+  std::vector<std::vector<const Term *>> HavocVars;
+};
+
+} // namespace
+
+BoundedSearchResult
+pathinv::searchForError(const Program &P, const BoundedSearchOptions &Opts0) {
+  BoundedSearchOptions Opts = Opts0;
+  if (Opts.Menu.empty())
+    Opts.Menu.push_back(0);
+  BoundedSearchResult Result;
+  BoundedSearcher Searcher(P, Opts, Result.StepsExecuted);
+
+  // Enumerate initial assignments of the declared inputs over the menu;
+  // with no inputs there is exactly one initial state (all zeros).
+  std::vector<size_t> Pick(Opts.Inputs.size(), 0);
+  for (;;) {
+    ConcreteState Initial;
+    for (size_t I = 0; I < Opts.Inputs.size(); ++I) {
+      const Term *Var = Opts.Inputs[I];
+      if (Var->isArray())
+        continue; // Array inputs default to all zeros.
+      Initial.Scalars[Var] = Rational(Opts.Menu[Pick[I]]);
+    }
+    if (Searcher.search(Initial, Result))
+      return Result;
+    if (Result.StepsExecuted >= Opts.MaxTotalSteps)
+      return Result;
+    // Odometer increment over the input menu.
+    size_t I = 0;
+    for (; I < Pick.size(); ++I) {
+      if (++Pick[I] < Opts.Menu.size())
+        break;
+      Pick[I] = 0;
+    }
+    if (I == Pick.size())
+      return Result;
+  }
+}
+
 ReplayResult pathinv::replayFromModel(
     const Program &P, const Path &Steps,
     const std::map<const Term *, Rational, TermIdLess> &Model) {

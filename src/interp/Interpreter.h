@@ -80,6 +80,44 @@ ReplayResult
 replayFromModel(const Program &P, const Path &Steps,
                 const std::map<const Term *, Rational, TermIdLess> &Model);
 
+/// Options for the bounded concrete error search (searchForError).
+struct BoundedSearchOptions {
+  /// Variables whose *initial* value is enumerated from Menu (program
+  /// inputs, typically the procedure parameters). Every other scalar
+  /// starts at 0 and every array cell defaults to 0.
+  std::vector<const Term *> Inputs;
+  /// Candidate values for inputs and for havocked (`nondet()`) variables.
+  std::vector<int64_t> Menu = {0, 1, -1, 2, 3, -2, 4};
+  /// Depth bound: transitions along one path.
+  int MaxSteps = 96;
+  /// Total executed-step budget across the whole search.
+  uint64_t MaxTotalSteps = 200000;
+};
+
+/// Result of a bounded concrete search for an error path.
+struct BoundedSearchResult {
+  bool ErrorReached = false;
+  /// Transition indices from entry to the error location.
+  Path ErrorPath;
+  /// Initial state of the found execution.
+  ConcreteState Initial;
+  /// Havoc choices of the found execution, keyed like replayPath's
+  /// HavocValues (SSA instance x@K+1 for the havoc at step K).
+  std::map<const Term *, Rational, TermIdLess> HavocValues;
+  uint64_t StepsExecuted = 0;
+};
+
+/// Exhaustive bounded execution: explores every path of \p P from entry up
+/// to the step bounds, enumerating initial values of Opts.Inputs and every
+/// havoc choice from Opts.Menu, and both branches of nondeterministic
+/// conditions. \returns the first error-reaching execution found (its
+/// replay via replayPath is feasible by construction), or ErrorReached =
+/// false when no menu-valued execution reaches the error within bounds —
+/// which is NOT a safety proof, only "no cheap witness". This is the
+/// fuzzer's ground-truth confirm step for mutated programs.
+BoundedSearchResult searchForError(const Program &P,
+                                   const BoundedSearchOptions &Opts = {});
+
 } // namespace pathinv
 
 #endif // PATHINV_INTERP_INTERPRETER_H

@@ -1,0 +1,302 @@
+//===- lang/PilPrinter.cpp - AST back to PIL source text -------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/PilPrinter.h"
+
+#include "logic/TermPrinter.h"
+
+#include <cassert>
+
+using namespace pathinv;
+
+namespace {
+
+// Integer-expression precedence (PIL `expr` grammar): addition, then
+// multiplication, then primaries. A child is parenthesized when its level
+// is looser than the context demands.
+enum Prec : int { PrecAdd = 0, PrecMul = 1, PrecPrimary = 2 };
+
+int exprPrec(const Term *T) {
+  switch (T->kind()) {
+  case TermKind::Add:
+    return PrecAdd;
+  case TermKind::Mul:
+    return PrecMul;
+  default:
+    return PrecPrimary;
+  }
+}
+
+void printExpr(const Term *T, int Context, std::string &Out);
+
+void printExprParen(const Term *T, int Context, std::string &Out) {
+  bool Paren = exprPrec(T) < Context;
+  if (Paren)
+    Out += "(";
+  printExpr(T, Paren ? PrecAdd : Context, Out);
+  if (Paren)
+    Out += ")";
+}
+
+void printExpr(const Term *T, int Context, std::string &Out) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    if (T->value().isNegative() && Context > PrecAdd) {
+      Out += "(" + T->value().toString() + ")";
+    } else {
+      Out += T->value().toString();
+    }
+    return;
+  case TermKind::Var:
+    Out += T->name();
+    return;
+  case TermKind::Add: {
+    // Fold negative summands into subtractions so `x + -1*y` renders as
+    // the PIL-native `x - y`.
+    bool First = true;
+    for (const Term *Op : T->operands()) {
+      Rational Coeff(1);
+      const Term *Body = Op;
+      if (Op->kind() == TermKind::Mul && Op->operand(0)->isIntConst()) {
+        Coeff = Op->operand(0)->value();
+        Body = Op->operand(1);
+      } else if (Op->isIntConst()) {
+        Coeff = Op->value();
+        Body = nullptr;
+      }
+      bool Negative = Coeff.isNegative();
+      if (First)
+        Out += Negative ? "-" : "";
+      else
+        Out += Negative ? " - " : " + ";
+      First = false;
+      Rational AbsCoeff = Coeff.abs();
+      if (!Body) {
+        Out += AbsCoeff.toString();
+        continue;
+      }
+      if (!AbsCoeff.isOne())
+        Out += AbsCoeff.toString() + "*";
+      printExprParen(Body, PrecMul + 1, Out);
+    }
+    return;
+  }
+  case TermKind::Mul:
+    printExprParen(T->operand(0), PrecMul, Out);
+    Out += "*";
+    printExprParen(T->operand(1), PrecMul + 1, Out);
+    return;
+  case TermKind::Select:
+    // The PIL grammar only reads through array *variables*; nested stores
+    // cannot appear in a parsed AST.
+    Out += T->operand(0)->name();
+    Out += "[";
+    printExpr(T->operand(1), PrecAdd, Out);
+    Out += "]";
+    return;
+  default:
+    // Store/Apply/Forall/boolean terms have no PIL expression syntax and
+    // the parser never places them in expression position.
+    assert(false && "term shape outside the PIL expression grammar");
+    Out += printTerm(T);
+    return;
+  }
+}
+
+void printBool(const Term *T, std::string &Out);
+
+/// Renders one `&&`/`||` operand. The PIL boolean grammar takes
+/// comparisons, `!`, `true`/`false`, and parenthesized groups as atoms, so
+/// nested connectives get wrapped.
+void printBoolAtom(const Term *T, std::string &Out) {
+  if (T->kind() == TermKind::And || T->kind() == TermKind::Or) {
+    Out += "(";
+    printBool(T, Out);
+    Out += ")";
+    return;
+  }
+  printBool(T, Out);
+}
+
+void printBool(const Term *T, std::string &Out) {
+  switch (T->kind()) {
+  case TermKind::True:
+    Out += "true";
+    return;
+  case TermKind::False:
+    Out += "false";
+    return;
+  case TermKind::Eq:
+    printExprParen(T->operand(0), PrecAdd, Out);
+    Out += " == ";
+    printExprParen(T->operand(1), PrecAdd, Out);
+    return;
+  case TermKind::Le:
+    printExprParen(T->operand(0), PrecAdd, Out);
+    Out += " <= ";
+    printExprParen(T->operand(1), PrecAdd, Out);
+    return;
+  case TermKind::Lt:
+    printExprParen(T->operand(0), PrecAdd, Out);
+    Out += " < ";
+    printExprParen(T->operand(1), PrecAdd, Out);
+    return;
+  case TermKind::Not:
+    if (T->operand(0)->kind() == TermKind::Eq) {
+      const Term *Eq = T->operand(0);
+      printExprParen(Eq->operand(0), PrecAdd, Out);
+      Out += " != ";
+      printExprParen(Eq->operand(1), PrecAdd, Out);
+      return;
+    }
+    Out += "!(";
+    printBool(T->operand(0), Out);
+    Out += ")";
+    return;
+  case TermKind::And: {
+    bool First = true;
+    for (const Term *Op : T->operands()) {
+      if (!First)
+        Out += " && ";
+      First = false;
+      printBoolAtom(Op, Out);
+    }
+    return;
+  }
+  case TermKind::Or: {
+    bool First = true;
+    for (const Term *Op : T->operands()) {
+      if (!First)
+        Out += " || ";
+      First = false;
+      printBoolAtom(Op, Out);
+    }
+    return;
+  }
+  default:
+    assert(false && "term shape outside the PIL boolean grammar");
+    Out += printTerm(T);
+    return;
+  }
+}
+
+void printStmt(const Stmt &S, int Indent, std::string &Out);
+
+/// Prints \p S's statements (flattening a Block) inside braces already
+/// emitted by the caller.
+void printBody(const Stmt &S, int Indent, std::string &Out) {
+  if (S.K == Stmt::Kind::Block) {
+    for (const auto &Child : S.Children)
+      printStmt(*Child, Indent, Out);
+    return;
+  }
+  printStmt(S, Indent, Out);
+}
+
+void printStmt(const Stmt &S, int Indent, std::string &Out) {
+  std::string Pad(static_cast<size_t>(Indent), ' ');
+  switch (S.K) {
+  case Stmt::Kind::Assign:
+    Out += Pad + S.Var->name() + " = " +
+           (S.Rhs ? printPilExpr(S.Rhs) : std::string("nondet()")) + ";\n";
+    return;
+  case Stmt::Kind::ArrayAssign:
+    Out += Pad + S.Var->name() + "[" + printPilExpr(S.Index) +
+           "] = " + printPilExpr(S.Rhs) + ";\n";
+    return;
+  case Stmt::Kind::Assume: {
+    std::string Cond;
+    printBool(S.Cond, Cond);
+    Out += Pad + "assume(" + Cond + ");\n";
+    return;
+  }
+  case Stmt::Kind::Assert: {
+    std::string Cond;
+    printBool(S.Cond, Cond);
+    Out += Pad + "assert(" + Cond + ");\n";
+    return;
+  }
+  case Stmt::Kind::If: {
+    std::string Cond = "*";
+    if (S.Cond) {
+      Cond.clear();
+      printBool(S.Cond, Cond);
+    }
+    Out += Pad + "if (" + Cond + ") {\n";
+    printBody(*S.Children[0], Indent + 2, Out);
+    Out += Pad + "}";
+    if (S.Children.size() > 1) {
+      Out += " else {\n";
+      printBody(*S.Children[1], Indent + 2, Out);
+      Out += Pad + "}";
+    }
+    Out += "\n";
+    return;
+  }
+  case Stmt::Kind::While: {
+    std::string Cond = "*";
+    if (S.Cond) {
+      Cond.clear();
+      printBool(S.Cond, Cond);
+    }
+    Out += Pad + "while (" + Cond + ") {\n";
+    printBody(*S.Children[0], Indent + 2, Out);
+    Out += Pad + "}\n";
+    return;
+  }
+  case Stmt::Kind::Block:
+    for (const auto &Child : S.Children)
+      printStmt(*Child, Indent, Out);
+    return;
+  case Stmt::Kind::Skip:
+    Out += Pad + "skip;\n";
+    return;
+  }
+  assert(false && "unknown statement kind");
+}
+
+} // namespace
+
+std::string pathinv::printPilExpr(const Term *T) {
+  std::string Out;
+  if (T->isBool())
+    printBool(T, Out);
+  else
+    printExpr(T, PrecAdd, Out);
+  return Out;
+}
+
+std::string pathinv::printPilStmt(const Stmt &S, int Indent) {
+  std::string Out;
+  printStmt(S, Indent, Out);
+  return Out;
+}
+
+std::string pathinv::printPil(const ProcAst &Proc) {
+  std::string Out = "proc " + Proc.Name + "(";
+  bool First = true;
+  for (const Term *Param : Proc.Params) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Param->name();
+    if (Param->isArray())
+      Out += "[]";
+  }
+  Out += ") {\n";
+  std::string Vars, Arrays;
+  for (const Term *Local : Proc.Locals) {
+    std::string &Line = Local->isArray() ? Arrays : Vars;
+    Line += Line.empty() ? Local->name() : ", " + Local->name();
+  }
+  if (!Vars.empty())
+    Out += "  var " + Vars + ";\n";
+  if (!Arrays.empty())
+    Out += "  array " + Arrays + ";\n";
+  printBody(*Proc.Body, 2, Out);
+  Out += "}\n";
+  return Out;
+}

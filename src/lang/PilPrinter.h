@@ -1,0 +1,44 @@
+//===- lang/PilPrinter.h - AST back to PIL source text ---------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a ProcAst back into parseable PIL source text. This is the
+/// inverse of lang/Parser.h up to whitespace and redundant parentheses:
+/// parseProc(printPil(parseProc(S))) yields the same AST (term pointers
+/// and all, since terms are interned). The fuzzer's minimizer depends on
+/// this round trip — it edits the AST and re-emits source so every
+/// shrunken candidate goes through the same untrusted-input front door as
+/// the original program.
+///
+/// Note the dialect difference from logic/TermPrinter.h: TermPrinter emits
+/// the paper's logic notation (`=`, `a{i := 0}`, `forall`), which the PIL
+/// expression grammar does not accept. This printer emits PIL surface
+/// syntax (`==`, `!=`, `&&`, `||`) and rejects nothing: every term shape
+/// the PIL parser can produce is printable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_LANG_PILPRINTER_H
+#define PATHINV_LANG_PILPRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace pathinv {
+
+/// Renders \p T in PIL expression syntax (`==`, `&&`, `a[i]`, ...).
+std::string printPilExpr(const Term *T);
+
+/// Renders \p S as statements at \p Indent spaces.
+std::string printPilStmt(const Stmt &S, int Indent = 2);
+
+/// Renders the whole procedure as parseable PIL source.
+std::string printPil(const ProcAst &Proc);
+
+} // namespace pathinv
+
+#endif // PATHINV_LANG_PILPRINTER_H

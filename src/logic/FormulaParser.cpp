@@ -73,6 +73,9 @@ public:
       while (Pos < Text.size() &&
              (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
               Text[Pos] == '_' || Text[Pos] == '\'' || Text[Pos] == '@' ||
+              // Skolem/bound-variable decoration in engine-exported
+              // certificates (e.g. `k$1_0` from the array fragment).
+              Text[Pos] == '$' ||
               std::isdigit(static_cast<unsigned char>(Text[Pos]))))
         ++Pos;
       T.Text = std::string(Text.substr(Start, Pos - Start));

@@ -900,7 +900,17 @@ TheoryConjSolver::solveWithBase(const std::vector<const Term *> &Query) {
 }
 
 ConjResult TheoryConjSolver::solveFacts(std::vector<Fact> Facts, int Depth) {
-  assert(Depth < 256 && "runaway theory splitting");
+  // A pathological split stack (branch-and-bound over a wide integer range
+  // whose bound tightening never converges, found by the fuzz oracle)
+  // degrades to an interrupted result instead of recursing without bound.
+  // Upstream maps Interrupted to Unknown — never to a verdict — so depth
+  // exhaustion behaves exactly like a tripped resource budget.
+  constexpr int MaxSplitDepth = 256;
+  if (Depth >= MaxSplitDepth) {
+    ConjResult R;
+    R.Interrupted = true;
+    return R;
+  }
 
   // Runs one split branch. Appends BranchLit as a decision, recurses, and
   // feeds the outcome to the caller: a SAT result or a decision-free core

@@ -6,6 +6,7 @@
 
 #include "synth/InvariantMap.h"
 
+#include "logic/FormulaParser.h"
 #include "logic/TermPrinter.h"
 #include "program/CutSet.h"
 #include "program/PathFormula.h"
@@ -87,4 +88,105 @@ InvariantCheckResult pathinv::checkInvariantMap(const Program &P,
   }
   Result.Ok = true;
   return Result;
+}
+
+static const char CertHeader[] = "pathinv-cert-v1";
+
+std::string pathinv::serializeCertificate(const Program &P,
+                                          const InvariantMap &Map) {
+  TermManager &TM = P.termManager();
+  std::string Out = CertHeader;
+  Out += "\n";
+  for (const auto &[Loc, Formula] : Map.Inv) {
+    if (Formula->isTrue())
+      continue; // Absent locations are implicitly true.
+    Out += P.locationName(Loc) + " := " + printTerm(Formula) + "\n";
+  }
+  // The safety obligation eta(error) = false must appear explicitly even
+  // when the map left it implicit (InvariantMap::at would default a
+  // missing error entry to *true*, and a parsed certificate must not
+  // depend on the producer's in-memory defaults).
+  if (Map.Inv.find(P.error()) == Map.Inv.end())
+    Out += P.locationName(P.error()) + " := " + printTerm(TM.mkFalse()) +
+           "\n";
+  return Out;
+}
+
+Expected<InvariantMap> pathinv::parseCertificate(const Program &P,
+                                                 const std::string &Text) {
+  using EIM = Expected<InvariantMap>;
+  TermManager &TM = P.termManager();
+  // Certificates speak only the program's vocabulary: seeding the sort
+  // environment pins every program variable to its declared sort, and the
+  // post-parse free-variable audit rejects identifiers the parser had to
+  // invent.
+  SortEnv Env;
+  for (const Term *Var : P.variables())
+    Env[Var->name()] = Var->sort();
+  SortEnv Known = Env;
+
+  InvariantMap Map;
+  size_t Pos = 0;
+  unsigned LineNo = 0;
+  bool SawHeader = false;
+  while (Pos <= Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    std::string Line = Text.substr(
+        Pos, Eol == std::string::npos ? std::string::npos : Eol - Pos);
+    Pos = Eol == std::string::npos ? Text.size() + 1 : Eol + 1;
+    ++LineNo;
+    // Trim and skip blanks/comments.
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    Line = Line.substr(B, E - B + 1);
+    if (Line[0] == '#')
+      continue;
+    if (!SawHeader) {
+      if (Line != CertHeader)
+        return EIM::makeError("expected certificate header '" +
+                                  std::string(CertHeader) + "', got '" +
+                                  Line + "'",
+                              {LineNo, 1});
+      SawHeader = true;
+      continue;
+    }
+    size_t Sep = Line.find(":=");
+    if (Sep == std::string::npos)
+      return EIM::makeError("expected '<location> := <formula>'",
+                            {LineNo, 1});
+    std::string LocName = Line.substr(0, Sep);
+    LocName.erase(LocName.find_last_not_of(" \t") + 1);
+    LocId Loc = -1;
+    for (LocId L = 0; L < P.numLocations(); ++L)
+      if (P.locationName(L) == LocName) {
+        Loc = L;
+        break;
+      }
+    if (Loc < 0)
+      return EIM::makeError("unknown location '" + LocName + "'",
+                            {LineNo, 1});
+    if (Map.Inv.count(Loc))
+      return EIM::makeError("duplicate entry for location '" + LocName +
+                                "'",
+                            {LineNo, 1});
+    Expected<const Term *> Formula =
+        parseFormula(TM, Line.substr(Sep + 2), Env);
+    if (!Formula)
+      return EIM::makeError("bad formula for '" + LocName +
+                                "': " + Formula.error().render(),
+                            {LineNo, 1});
+    Map.Inv[Loc] = Formula.get();
+  }
+  if (!SawHeader)
+    return EIM::makeError("empty certificate (missing header)", {});
+  for (const auto &[Name, S] : Env) {
+    (void)S;
+    if (!Known.count(Name))
+      return EIM::makeError("certificate mentions unknown variable '" +
+                                Name + "'",
+                            {});
+  }
+  return Map;
 }

@@ -23,6 +23,7 @@
 #define PATHINV_SYNTH_INVARIANTMAP_H
 
 #include "program/Program.h"
+#include "support/Diagnostics.h"
 
 #include <map>
 #include <string>
@@ -65,6 +66,22 @@ struct InvariantCheckResult {
 InvariantCheckResult checkInvariantMap(const Program &P,
                                        const InvariantMap &Map,
                                        SmtSolver &Solver);
+
+/// Serializes \p Map as a portable `pathinv-cert-v1` certificate: the
+/// version header, then one `<location-name> := <formula>` line per mapped
+/// location in TermPrinter notation. Locations implicitly `true` are
+/// omitted; the error location's `false` is always emitted so a truncated
+/// file cannot silently weaken into a trivial certificate. The output
+/// round-trips through parseCertificate against the same program.
+std::string serializeCertificate(const Program &P, const InvariantMap &Map);
+
+/// Parses a `pathinv-cert-v1` certificate against \p P: location names are
+/// resolved in the program (L0/LE/L<k> names are unique per lowering) and
+/// formulas parse in the program's variable sorts, so a certificate cannot
+/// smuggle in fresh variables under inferred sorts. Parsing performs NO
+/// semantic validation — run the result through checkInvariantMap.
+Expected<InvariantMap> parseCertificate(const Program &P,
+                                        const std::string &Text);
 
 } // namespace pathinv
 

@@ -54,6 +54,7 @@
 #include "TestPrograms.h"
 #include "core/Resource.h"
 #include "core/Verifier.h"
+#include "fuzz/Fuzz.h"
 #include "logic/Term.h"
 #include "pdr/Frames.h"
 #include "synth/PathInvariants.h"
@@ -725,6 +726,52 @@ uint64_t pdrFramesWorkload(int Rounds, uint64_t &ClausesOut) {
   return Ops;
 }
 
+/// Fuzz-oracle throughput: a fixed seed block through the full
+/// differential pipeline — generate (with constructed ground truth), run
+/// all three engines under the oracle's deterministic budgets, replay
+/// every Unsafe witness, re-validate every Safe certificate. The
+/// throughput unit is adjudicated programs; any adjudication bug aborts
+/// the harness (the bench never records a number for a broken oracle).
+struct FuzzOracleResult {
+  int Programs = 0;
+  double WallMs = 0;
+  int SafeVerdicts = 0;
+  int UnsafeVerdicts = 0;
+  int UnknownVerdicts = 0;
+
+  double opsPerSec() const {
+    return WallMs > 0 ? 1000.0 * static_cast<double>(Programs) / WallMs : 0;
+  }
+};
+
+FuzzOracleResult fuzzOracleWorkload(int Seeds) {
+  FuzzOracleResult R;
+  pathinv::fuzz::SweepOptions Opts;
+  Opts.FirstSeed = 1;
+  Opts.Count = Seeds;
+  // Tight wall backstop (step budgets stay at the oracle defaults):
+  // deadline-bound programs contribute a constant, machine-independent
+  // 5 s per exhausted engine run instead of swamping the throughput
+  // number with waiting.
+  Opts.Oracle.Budget.TimeoutSeconds = 5;
+  auto Start = Clock::now();
+  pathinv::fuzz::SweepResult Sweep = pathinv::fuzz::runSweep(Opts);
+  R.WallMs = elapsedMs(Start, Clock::now());
+  if (!Sweep.ok()) {
+    std::cerr << "[bench] fuzz-oracle: " << Sweep.BugReports.size()
+              << " adjudication bugs in the fixed seed block\n";
+    for (const pathinv::fuzz::OracleReport &Rep : Sweep.BugReports)
+      for (const std::string &Bug : Rep.Bugs)
+        std::cerr << "[bench]   seed " << Rep.Seed << ": " << Bug << "\n";
+    std::abort();
+  }
+  R.Programs = Sweep.Programs;
+  R.SafeVerdicts = Sweep.SafeVerdicts;
+  R.UnsafeVerdicts = Sweep.UnsafeVerdicts;
+  R.UnknownVerdicts = Sweep.UnknownVerdicts;
+  return R;
+}
+
 /// Generous budgets for the governed e2e runs: far above what any of the
 /// paper programs needs (partition, the heaviest, uses ~45k pivots and
 /// ~20k synth combos), but finite — so every charge site performs the
@@ -871,7 +918,7 @@ void emitMicro(std::ostream &Out, const char *Key, const char *NewMode,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string OutPath = "BENCH_7.json";
+  std::string OutPath = "BENCH_8.json";
   int Iters = 5;
   bool Smoke = false;
   for (int I = 1; I < Argc; ++I) {
@@ -904,6 +951,10 @@ int main(int Argc, char **Argv) {
   // keeps the full bench bounded while still shedding warm-up noise.
   const int SynthIters = Smoke ? 1 : std::min(Iters, 2);
   const int FrameRounds = Smoke ? 20 : 200;
+  // Single pass (no best-of-iters): the sweep is deterministic and wide
+  // enough (every program x three engines x replay/validation) that one
+  // run is a stable throughput sample.
+  const int FuzzSeeds = Smoke ? 10 : 40;
 
   // Fail on an unwritable output path now, not after minutes of benching.
   std::ofstream Out(OutPath);
@@ -991,6 +1042,15 @@ int main(int Argc, char **Argv) {
   std::cerr << "[bench]   " << Frames.Ops << " frame ops in "
             << Frames.WallMs << " ms (" << Frames.opsPerSec() << " /s)\n";
 
+  std::cerr << "[bench] fuzz-oracle (" << FuzzSeeds
+            << " seeds x 3 engines, witness-exact adjudication)\n";
+  FuzzOracleResult Fuzz = fuzzOracleWorkload(FuzzSeeds);
+  std::cerr << "[bench]   " << Fuzz.Programs << " programs in "
+            << Fuzz.WallMs << " ms (" << Fuzz.opsPerSec() << " /s; "
+            << Fuzz.SafeVerdicts << " safe certified, "
+            << Fuzz.UnsafeVerdicts << " unsafe replayed, "
+            << Fuzz.UnknownVerdicts << " unknown)\n";
+
   std::cerr << "[bench] refinement reuse (" << ReuseLoops
             << " sequential loops, arg vs restart)\n";
   ReuseResult Reuse = refinementReuseWorkload(ReuseLoops);
@@ -1046,7 +1106,7 @@ int main(int Argc, char **Argv) {
 
   std::ostringstream Json;
   Json << "{\n";
-  Json << "  \"schema\": \"pathinv-bench-v7\",\n";
+  Json << "  \"schema\": \"pathinv-bench-v8\",\n";
   Json << "  \"config\": {\"iters\": " << Iters
        << ", \"smoke\": " << (Smoke ? "true" : "false")
        << ", \"construct_rounds\": " << ConstructRounds
@@ -1062,6 +1122,7 @@ int main(int Argc, char **Argv) {
        << ", \"reuse_loops\": " << ReuseLoops
        << ", \"synth_iters\": " << SynthIters
        << ", \"frame_rounds\": " << FrameRounds
+       << ", \"fuzz_seeds\": " << FuzzSeeds
        << ", \"e2e_governed\": true, \"e2e_engines\": 3},\n";
   Json << "  \"microbench\": {\n";
   emitMicro(Json, "construct", "arena", ConstructArena, ConstructRef);
@@ -1108,7 +1169,18 @@ int main(int Argc, char **Argv) {
        << "      \"frames\": {\"ops\": " << Frames.Ops
        << ", \"wall_ms\": " << Frames.WallMs
        << ", \"ops_per_sec\": " << Frames.opsPerSec() << "},\n"
-       << "      \"surviving_clauses\": " << FrameClauses << "\n    }";
+       << "      \"surviving_clauses\": " << FrameClauses << "\n    },\n";
+  // Differential-oracle throughput (adjudicated programs/s): generate,
+  // verify under three engines, replay every witness, validate every
+  // certificate. Zero tolerated bugs — the workload aborts otherwise, so
+  // a recorded number always describes a sound oracle.
+  Json << "    \"fuzz_oracle\": {\n"
+       << "      \"oracle\": {\"ops\": " << Fuzz.Programs
+       << ", \"wall_ms\": " << Fuzz.WallMs
+       << ", \"ops_per_sec\": " << Fuzz.opsPerSec() << "},\n"
+       << "      \"safe_certified\": " << Fuzz.SafeVerdicts << ",\n"
+       << "      \"unsafe_replayed\": " << Fuzz.UnsafeVerdicts << ",\n"
+       << "      \"unknown\": " << Fuzz.UnknownVerdicts << "\n    }";
   Json << "\n  },\n";
   Json << "  \"incremental\": {\"queries\": " << Inc.Queries
        << ", \"one_shot_wall_ms\": " << Inc.OneShotMs

@@ -58,6 +58,10 @@ int usage(const char *Argv0) {
       << "                       sat_conflicts, pivots, bnb_nodes,\n"
       << "                       synth_combos, arg_expansions, refinements,\n"
       << "                       pdr_obligations\n"
+      << "  --emit-cert=FILE     on a Safe verdict, write the invariant-map\n"
+      << "                       certificate (validate offline with\n"
+      << "                       pathinv-check); fails the run when the\n"
+      << "                       proof carried no exportable certificate\n"
       << "  --stats              print per-layer statistics\n"
       << "  --quiet              print only the verdict line\n"
       << "exit codes: 0 Safe, 1 Unsafe, 2 Unknown or error (resource\n"
@@ -135,6 +139,7 @@ int main(int Argc, char **Argv) {
   bool Stats = false;
   bool Quiet = false;
   std::string InputPath;
+  std::string EmitCertPath;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -184,6 +189,8 @@ int main(int Argc, char **Argv) {
     } else if (const char *V = valueOf("--budgets=")) {
       if (!parseBudgets(V, Opts.Limits))
         return usage(Argv[0]);
+    } else if (const char *V = valueOf("--emit-cert=")) {
+      EmitCertPath = V;
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (Arg == "--quiet") {
@@ -249,6 +256,24 @@ int main(int Argc, char **Argv) {
   }
   if (Stats)
     std::cout << pathinv::formatSolverStats(V.solverStats());
+
+  if (!EmitCertPath.empty() &&
+      R.Verdict == pathinv::EngineResult::Verdict::Safe) {
+    // A Safe verdict without an exportable certificate (or an unwritable
+    // output) degrades the run to exit 2: the caller asked for checkable
+    // evidence, and "safe, trust me" is not that.
+    if (!R.HasInvariants) {
+      std::cerr << "no certificate: the proof did not export an invariant "
+                   "map\n";
+      return 2;
+    }
+    std::ofstream CertOut(EmitCertPath);
+    if (!CertOut) {
+      std::cerr << "cannot write " << EmitCertPath << "\n";
+      return 2;
+    }
+    CertOut << pathinv::serializeCertificate(P.get(), R.Invariants);
+  }
 
   switch (R.Verdict) {
   case pathinv::EngineResult::Verdict::Safe:
