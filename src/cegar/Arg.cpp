@@ -558,8 +558,15 @@ bool ReachEngine::exportInvariantMap(InvariantMap &Out) const {
     const ArgNode &N = Graph.Nodes[Id];
     if (!N.isLive())
       continue;
-    if (N.Incomplete)
-      return false; // A dropped error edge breaks (I1) into the error loc.
+    // Incomplete nodes (a soundly-dropped infeasible error edge) do NOT
+    // refuse the export: the dropped edge was concretely infeasible, so
+    // the read-off map is still a candidate proof — whether the node's
+    // label also excludes the error *single-step* (what inductiveness
+    // (I1) needs, typically established by the very refinement that
+    // dropped the edge) is exactly what the caller's mandatory
+    // checkInvariantMap validation decides. Refusing here threw away
+    // every certificate on programs whose proof route passed through one
+    // spurious error path.
     switch (N.St) {
     case ArgNode::State::Shell:
     case ArgNode::State::Leaf:

@@ -259,13 +259,14 @@ public:
   /// map to false). The entry keeps its implicit `true` (the root's label
   /// is definitionally empty) and the error maps to false. \returns false
   /// — with \p Out untouched — when the graph cannot certify: not at a
-  /// fixpoint (live shells/leaves remain), any live node is Incomplete (a
-  /// concretely-dropped error edge means the exported map would fail
-  /// inductiveness into the error location), or a non-root node sits at
+  /// fixpoint (live shells/leaves remain), or a non-root node sits at
   /// the entry location (a loop head at entry would need a nontrivial
-  /// entry invariant, which (I0) forbids). The caller must still validate
-  /// the result with checkInvariantMap before reporting it — the export
-  /// is a read-off, not a proof.
+  /// entry invariant, which (I0) forbids). Incomplete nodes
+  /// (soundly-dropped infeasible error edges) do not refuse the export:
+  /// whether their labels also exclude the error single-step is settled
+  /// by the caller's mandatory checkInvariantMap validation. The export
+  /// is a read-off, not a proof — the caller must always validate before
+  /// reporting.
   bool exportInvariantMap(InvariantMap &Out) const;
 
   const Arg &arg() const { return Graph; }

@@ -201,6 +201,12 @@ struct CegarEngine::Impl {
     if (Opts.Reach.Mode != ReachMode::Restart)
       Reach = std::make_unique<ReachEngine>(P, Result.Predicates, Solver,
                                             Opts.Reach);
+    // One persistent synthesis learner per job: combo verdicts survive
+    // across refinement-interval retries, whole-program escalations, and
+    // slice-paused resumes (Opts is held by value, so the pointer stays
+    // stable for the engine's lifetime).
+    if (!this->Opts.PathInv.Synth.Learner)
+      this->Opts.PathInv.Synth.Learner = &Learner;
   }
 
   const Program &P;
@@ -211,6 +217,9 @@ struct CegarEngine::Impl {
   /// the live precision the ARG labels against.
   EngineResult Result;
   std::unique_ptr<ReachEngine> Reach; ///< Null in ReachMode::Restart.
+  /// Persistent conflict-learning state of every synthesis search this
+  /// job runs (whole-program probes included).
+  SynthLearner Learner;
   uint64_t Iter = 0;
   bool TriedWholeProgram = false;
   bool Done = false; ///< Terminal (not just slice-paused) outcome reached.
@@ -443,6 +452,13 @@ EngineResult CegarEngine::run() {
   bool Paused = I->Result.Verdict == EngineResult::Verdict::Unknown && RC &&
                 RC->slicePaused();
   I->Done = !Paused;
+  // Learner lifetime totals (overwritten each exit, like the other
+  // persistent-context counters).
+  const SynthLearnStats &L = I->Opts.PathInv.Synth.Learner->Stats;
+  I->Result.Stats.SynthNogoods = L.Nogoods;
+  I->Result.Stats.SynthCombosDeduped = L.CombosDeduped;
+  I->Result.Stats.SynthLemmasReused = L.LemmasReused;
+  I->Result.Stats.SynthCuts = L.Cuts;
   return I->Result;
 }
 

@@ -88,15 +88,26 @@ bool runWholeProgramProbe(const Program &P, SmtSolver &Solver,
                           EngineResult &Out) {
   if (Opts.Refiner == RefinerKind::PathFormula)
     return false; // No synthesis backend configured for this job.
+  // The probe's searches share a learner across template levels (the
+  // escalation ladder re-derives many of the same combos), local to the
+  // probe unless the caller wired a persistent one.
+  SynthLearner ProbeLearner;
+  PathInvOptions PIOpts = Opts.PathInv;
+  if (!PIOpts.Synth.Learner)
+    PIOpts.Synth.Learner = &ProbeLearner;
   PathInvResult Whole;
   {
     ResourceScope Scope(RC);
     Whole = Opts.Refiner == RefinerKind::PathInvariantIntervals
                 ? generateIntervalInvariants(P, Solver)
-                : generatePathInvariants(P, Solver, Opts.PathInv);
+                : generatePathInvariants(P, Solver, PIOpts);
   }
   Out.Stats.LpChecks += Whole.LpChecks;
   Out.Stats.TemplateLevelsTried += Whole.LevelsTried;
+  Out.Stats.SynthNogoods += Whole.Learn.Nogoods;
+  Out.Stats.SynthCombosDeduped += Whole.Learn.CombosDeduped;
+  Out.Stats.SynthLemmasReused += Whole.Learn.LemmasReused;
+  Out.Stats.SynthCuts += Whole.Learn.Cuts;
   if (!Whole.Found)
     return false;
   std::vector<std::pair<LocId, const Term *>> Localized;
@@ -164,14 +175,39 @@ EngineResult runPortfolio(const Program &P, SmtSolver &Solver,
       bool Paused = L->RC.slicePaused();
       L->RC.endSlice();
       if (L->Last.Verdict != EngineResult::Verdict::Unknown) {
+        Lane *Winner = L;
+        Lane *Loser = Other;
+        std::string Extra;
+        // Certificate preference: before settling on a Safe verdict that
+        // carries no validated invariant map, give the trailing lane the
+        // slice it was about to get anyway. If it finishes Safe *with* a
+        // validated certificate, that lane's result is strictly more
+        // useful (the map is an independently checkable proof artifact);
+        // a disagreeing or still-running trailer changes nothing.
+        if (L->Last.Verdict == EngineResult::Verdict::Safe &&
+            !L->Last.HasInvariants && !Other->Done) {
+          Other->RC.beginSlice(Slice);
+          {
+            ResourceScope Scope(Other->RC);
+            Other->Last = Other->Eng->run();
+          }
+          Other->RC.endSlice();
+          if (Other->Last.Verdict == EngineResult::Verdict::Safe &&
+              Other->Last.HasInvariants) {
+            Winner = Other;
+            Loser = L;
+            Extra = " (validated certificate preferred)";
+          }
+        }
         // Definitive verdict: sticky-cancel the loser and report.
-        Other->RC.cancel();
-        finalizeEngineResult(L->Last, L->RC);
-        std::string Won =
-            std::string("portfolio: ") + L->Eng->name() + " won the race";
-        L->Last.Note =
-            L->Last.Note.empty() ? Won : L->Last.Note + "; " + Won;
-        return L->Last;
+        Loser->RC.cancel();
+        finalizeEngineResult(Winner->Last, Winner->RC);
+        std::string Won = std::string("portfolio: ") +
+                          Winner->Eng->name() + " won the race" + Extra;
+        Winner->Last.Note = Winner->Last.Note.empty()
+                                ? Won
+                                : Winner->Last.Note + "; " + Won;
+        return Winner->Last;
       }
       if (!Paused) {
         // Genuine Unknown (resources out or refinement stuck), not a

@@ -139,6 +139,13 @@ struct EngineStats {
   uint64_t LpChecks = 0;
   uint64_t Fallbacks = 0;
   uint64_t TemplateLevelsTried = 0;
+  // Conflict learning inside the synthesis search (the engine owns one
+  // persistent SynthLearner; these are its lifetime totals, so reuse
+  // across template levels, Farkas scopes, and restarts is visible here).
+  uint64_t SynthNogoods = 0;
+  uint64_t SynthCombosDeduped = 0;
+  uint64_t SynthLemmasReused = 0;
+  uint64_t SynthCuts = 0;
   size_t FinalPredicates = 0;
   // PDR engine only: clause-frame lifecycle counters.
   /// Frames opened (frontier level reached + 1).

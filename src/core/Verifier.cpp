@@ -40,6 +40,7 @@ Verifier::SolverLayerStats Verifier::solverStats() const {
   S.BnbRepairPivots = C.BnbRepairPivots;
   S.BnbLemmas = C.BnbLemmas;
   S.ScratchFallbacks = C.ScratchFallbacks;
+  S.CutRows = C.CutRows;
   S.SatConflicts = C.SatConflicts;
   S.SatDecisions = C.SatDecisions;
   S.SatPropagations = C.SatPropagations;
@@ -65,8 +66,8 @@ std::string pathinv::formatSolverStats(const Verifier::SolverLayerStats &S) {
   Out += "  theory b&b:         " + std::to_string(S.BnbNodes) +
          " nodes, " + std::to_string(S.BnbRepairPivots) +
          " repair pivots, " + std::to_string(S.BnbLemmas) +
-         " bound lemmas, " + std::to_string(S.ScratchFallbacks) +
-         " scratch fallbacks\n";
+         " bound lemmas, " + std::to_string(S.CutRows) + " cut rows, " +
+         std::to_string(S.ScratchFallbacks) + " scratch fallbacks\n";
   Out += "  cdcl:               " + std::to_string(S.SatConflicts) +
          " conflicts, " + std::to_string(S.SatDecisions) + " decisions, " +
          std::to_string(S.SatPropagations) + " propagations\n";
@@ -137,6 +138,10 @@ std::string pathinv::formatResult(const Program &, const EngineResult &R) {
          std::to_string(R.Stats.PathConjunctsAsserted) + " asserted, " +
          std::to_string(R.Stats.PathConjunctsReused) + " reused";
   Out += "\n  synthesis LPs:      " + std::to_string(R.Stats.LpChecks);
+  Out += "\n  synthesis learning: " + std::to_string(R.Stats.SynthNogoods) +
+         " nogood prunes, " + std::to_string(R.Stats.SynthCombosDeduped) +
+         " combos deduped, " + std::to_string(R.Stats.SynthLemmasReused) +
+         " lemmas reused, " + std::to_string(R.Stats.SynthCuts) + " cuts";
   Out += "\n  predicates:         " +
          std::to_string(R.Stats.FinalPredicates);
   // PDR backend counters (zero unless the pdr or portfolio engine ran).

@@ -87,6 +87,8 @@ public:
     uint64_t BnbRepairPivots = 0;
     uint64_t BnbLemmas = 0;
     uint64_t ScratchFallbacks = 0;
+    /// Distilled cut rows installed on the cached base tableau.
+    uint64_t CutRows = 0;
     // CDCL core.
     uint64_t SatConflicts = 0;
     uint64_t SatDecisions = 0;

@@ -43,6 +43,11 @@ struct PdrEngine::Impl {
     for (int T = 0; T < P.numTransitions(); ++T)
       Incoming[static_cast<size_t>(P.transition(T).To)].push_back(T);
     rebuildPool();
+    // Persistent conflict-learning state for the synthesis searches of
+    // refineSpurious and the whole-program escalation (Opts is a copy, so
+    // the pointer stays valid for the engine's lifetime).
+    if (!this->Opts.PathInv.Synth.Learner)
+      this->Opts.PathInv.Synth.Learner = &Learner;
   }
 
   const Program &P;
@@ -52,6 +57,9 @@ struct PdrEngine::Impl {
   smt::FrameQueryContext FQ;
   Frames F;
   EngineResult Result;
+  /// Conflict-learning state shared by every synthesis search this job
+  /// runs; combo verdicts persist across refinement rounds.
+  SynthLearner Learner;
 
   /// The cube language: quantifier-free, store-free atoms over unprimed
   /// variables, harvested from the transition relations and from every
@@ -568,6 +576,11 @@ EngineResult PdrEngine::run() {
   I->runLoop();
   I->Result.Stats.PdrFrames = I->F.frontier();
   I->Result.Stats.FinalPredicates = I->Result.Predicates.totalPredicates();
+  const SynthLearnStats &L = I->Opts.PathInv.Synth.Learner->Stats;
+  I->Result.Stats.SynthNogoods = L.Nogoods;
+  I->Result.Stats.SynthCombosDeduped = L.CombosDeduped;
+  I->Result.Stats.SynthLemmasReused = L.LemmasReused;
+  I->Result.Stats.SynthCuts = L.Cuts;
   ResourceController *RC = ResourceController::active();
   bool Paused = I->Result.Verdict == EngineResult::Verdict::Unknown && RC &&
                 RC->slicePaused();

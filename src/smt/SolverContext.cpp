@@ -315,6 +315,7 @@ ContextStats SolverContext::stats() const {
   S.BnbNodes = Theory.numBnbNodes();
   S.BnbRepairPivots = Theory.numBnbRepairPivots();
   S.ScratchFallbacks = Theory.numScratchFallbacks();
+  S.CutRows = Theory.numCutRows();
   S.ClausesPurged = Sat.numPurgedClauses();
   S.RedundantClauses = Sat.numRedundantClauses();
   return S;

@@ -180,6 +180,7 @@ struct ContextStats {
   uint64_t BnbRepairPivots = 0; ///< Pivots repairing branch-bound scopes.
   uint64_t BnbLemmas = 0;       ///< Branch-derived bound lemmas learned.
   uint64_t ScratchFallbacks = 0; ///< Queries that left the cached tableau.
+  uint64_t CutRows = 0;         ///< Distilled cut-row installs on the base.
 };
 
 /// Incremental SMT context. See the file comment for the architecture.

@@ -10,6 +10,7 @@
 #include "smt/Congruence.h"
 
 #include <algorithm>
+#include <set>
 
 using namespace pathinv;
 
@@ -455,6 +456,10 @@ bool TheoryConjSolver::ensureBaseTableau() {
     ++SimplexRuns;
     BaseSplx = Simplex();
     BaseAtomVar.clear();
+    // The rebuild drops every installed cut row with the tableau; each is
+    // re-installed (premises permitting) by the next installCutRows().
+    for (CutRow &C : CutRows)
+      C.Installed = false;
     for (size_t I = 0; I < BaseLits.size(); ++I)
       addFactArith(BaseSplx, BaseAtomVar, nullptr, BaseLits[I],
                    static_cast<int>(I));
@@ -466,6 +471,52 @@ bool TheoryConjSolver::ensureBaseTableau() {
     BaseDirty = BaseResult == Simplex::Result::Interrupted;
   }
   return !BaseUnsat;
+}
+
+void TheoryConjSolver::installCutRows() {
+  bool AnyPending = false;
+  for (const CutRow &C : CutRows)
+    AnyPending |= !C.Installed;
+  if (!AnyPending)
+    return;
+  std::set<const Term *, TermIdLess> Asserted(BaseLits.begin(),
+                                              BaseLits.end());
+  for (CutRow &C : CutRows) {
+    if (C.Installed)
+      continue;
+    bool Entailed = true;
+    for (const Term *P : C.Premises)
+      Entailed &= Asserted.count(P) != 0;
+    if (!Entailed)
+      continue; // Premises retracted; the row waits for a matching base.
+    // Root-scope row: survives every query scope until the next rebuild.
+    // Base ∧ premises |= Bound, so the row never changes satisfiability —
+    // it only lets refuted branches conflict without their own scope.
+    addFactArith(BaseSplx, BaseAtomVar, nullptr, C.Bound, CutTag);
+    C.Installed = true;
+    ++CutRowsInstalled;
+  }
+}
+
+void TheoryConjSolver::distillCuts(std::vector<BranchLemma> &BaseOnly) {
+  for (BranchLemma &L : BaseOnly) {
+    if (CutRows.size() >= MaxCutRows)
+      return;
+    auto It = CutSurfaceCount.find(L.Bound);
+    if (It == CutSurfaceCount.end()) {
+      if (CutSurfaceCount.size() < MaxCutCandidates)
+        CutSurfaceCount.emplace(L.Bound, 1);
+      continue;
+    }
+    if (++It->second < 2)
+      continue;
+    bool Known = false;
+    for (const CutRow &C : CutRows)
+      Known |= C.Bound == L.Bound;
+    if (Known)
+      continue;
+    CutRows.push_back({std::move(L.Premises), L.Bound, /*Installed=*/false});
+  }
 }
 
 namespace {
@@ -540,6 +591,12 @@ struct BnbSearch {
   static constexpr size_t MaxPendingLemmas = 64;
   static constexpr size_t MaxLemmaPremises = 12;
 
+  /// Facts below this index are retained base literals. Lemmas resting on
+  /// them alone are cut-row candidates (collected separately so the
+  /// owning solver can distill repeat offenders into permanent rows).
+  int NumBaseFacts = 0;
+  std::vector<BranchLemma> *BaseOnlyLemmas = nullptr;
+
   int numFacts() const { return static_cast<int>(FactLits.size()); }
 
   int freshBranchTag() {
@@ -608,6 +665,23 @@ struct BnbSearch {
       return Plan;
     }
 
+    // Disequality phase. A violated `A != B` forces `A <= B - 1` or
+    // `A >= B + 1` over the integers (the same tightening addFactArith
+    // applies to strict inequalities); the branch constraint is the
+    // *slack expression* A - B -+ 1, not a single-atom bound, so one
+    // decision moves every atom the difference mentions. Path formulas
+    // deliver disequalities in chains over shared atoms (x0 != x1,
+    // x1 != x2, ...): branch on the candidate whose slack expression
+    // overlaps the most other unseparated candidates — the repair that
+    // separates it drags the shared atoms along, often separating the
+    // neighbours in the same pivot, and the complement bounds it surfaces
+    // as lemma heads speak for the whole chain.
+    struct DiseqCand {
+      int FactIdx;
+      const Term *A, *B;
+      LinearExpr Diff;
+    };
+    std::vector<DiseqCand> Cands;
     for (int I = 0; I < numFacts(); ++I) {
       const Term *Lit = FactLits[I];
       if (Lit->kind() != TermKind::Not)
@@ -619,20 +693,47 @@ struct BnbSearch {
         continue;
       if (evalUnderModel(A, Values) != evalUnderModel(B, Values))
         continue; // Model already separates the two sides.
-      // A != B forces A <= B - 1 or A >= B + 1 over the integers (the
-      // same tightening addFactArith applies to strict inequalities).
-      LinearExpr Diff = *LinearExpr::fromTerm(A) - *LinearExpr::fromTerm(B);
-      BranchPlan Plan;
-      Plan.Sides[0].Expr = normalizeToIntegral(Diff);
-      Plan.Sides[0].Expr.addConstant(Rational(1));
-      Plan.Sides[0].Complement = TM.mkLe(B, A);
-      Plan.Sides[1].Expr = normalizeToIntegral(-Diff);
-      Plan.Sides[1].Expr.addConstant(Rational(1));
-      Plan.Sides[1].Complement = TM.mkLe(A, B);
-      Plan.ExhaustTag = I;
-      return Plan;
+      Cands.push_back(
+          {I, A, B, *LinearExpr::fromTerm(A) - *LinearExpr::fromTerm(B)});
     }
-    return std::nullopt;
+    if (Cands.empty())
+      return std::nullopt;
+    size_t Best = 0;
+    if (Cands.size() > 1) {
+      int BestScore = -1;
+      for (size_t I = 0; I < Cands.size(); ++I) {
+        int Score = 0;
+        for (size_t J = 0; J < Cands.size(); ++J) {
+          if (I == J)
+            continue;
+          bool Shares = false;
+          for (const auto &[AtomI, Coeff] : Cands[I].Diff.coefficients()) {
+            (void)Coeff;
+            if (Cands[J].Diff.coefficients().count(AtomI)) {
+              Shares = true;
+              break;
+            }
+          }
+          Score += Shares ? 1 : 0;
+        }
+        // Ties keep the earliest fact index: deterministic, and matches
+        // the pre-scoring order on chain-free queries.
+        if (Score > BestScore) {
+          BestScore = Score;
+          Best = I;
+        }
+      }
+    }
+    const DiseqCand &D = Cands[Best];
+    BranchPlan Plan;
+    Plan.Sides[0].Expr = normalizeToIntegral(D.Diff);
+    Plan.Sides[0].Expr.addConstant(Rational(1));
+    Plan.Sides[0].Complement = TM.mkLe(D.B, D.A);
+    Plan.Sides[1].Expr = normalizeToIntegral(-D.Diff);
+    Plan.Sides[1].Expr.addConstant(Rational(1));
+    Plan.Sides[1].Complement = TM.mkLe(D.A, D.B);
+    Plan.ExhaustTag = D.FactIdx;
+    return Plan;
   }
 
   /// Surfaces `premises -> Complement` when a refuted side's core rests on
@@ -647,11 +748,23 @@ struct BnbSearch {
     std::vector<int> Facts = expandToFacts(CoreSansTag);
     if (Facts.size() > MaxLemmaPremises)
       return;
+    bool BaseOnly = true;
+    for (int I : Facts) {
+      // A cut row (negative tag) is base-entailed but carries no premise
+      // set of its own: a lemma justified through one would be recorded
+      // with too-weak premises — an unsound clause. Never surface those.
+      if (I < 0)
+        return;
+      BaseOnly &= I < NumBaseFacts;
+    }
     BranchLemma L;
     L.Bound = Side.Complement;
     L.Premises.reserve(Facts.size());
     for (int I : Facts)
       L.Premises.push_back(FactLits[I]);
+    if (BaseOnly && BaseOnlyLemmas &&
+        BaseOnlyLemmas->size() < MaxPendingLemmas)
+      BaseOnlyLemmas->push_back(L);
     Lemmas.push_back(std::move(L));
     ++LemmasProduced;
   }
@@ -760,6 +873,9 @@ bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
     return true;
   }
   ++BaseReuses;
+  // With the base solved and no query scope open yet, land any distilled
+  // cut rows whose premises are currently asserted.
+  installCutRows();
 
   // Phase 2 (scoped): query constraints plus CC equality exchange, asserted
   // inside a tableau scope on top of the solved base. Tags >= NumFacts are
@@ -844,9 +960,15 @@ bool TheoryConjSolver::trySolveScoped(const std::vector<const Term *> &Query,
                    BnbRepairPivots,
                    PendingLemmas,
                    BranchLemmasProduced};
+  std::vector<BranchLemma> BaseOnlyLemmas;
+  Search.NumBaseFacts = NumBase;
+  Search.BaseOnlyLemmas = &BaseOnlyLemmas;
   ModelMap AtomValues;
   std::vector<int> Core;
   BnbSearch::Status R = Search.search(/*Depth=*/0, AtomValues, Core);
+  // Whatever the outcome, base-only refutations the search surfaced are
+  // candidates for permanent cut rows on future queries of this base.
+  distillCuts(BaseOnlyLemmas);
   if (R == BnbSearch::Status::Interrupted) {
     cleanupScope();
     Out = ConjResult();

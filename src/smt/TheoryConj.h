@@ -158,6 +158,9 @@ public:
   uint64_t numScratchFallbacks() const { return ScratchFallbacks; }
   /// Branch lemmas produced (whether or not they were drained).
   uint64_t numBranchLemmas() const { return BranchLemmasProduced; }
+  /// Cut-row installs onto the cached base tableau (re-installs after a
+  /// base rebuild count again — this measures rows the tableau carried).
+  uint64_t numCutRows() const { return CutRowsInstalled; }
 
 private:
   /// A constraint with provenance: Origin >= 0 is an input literal index,
@@ -185,6 +188,34 @@ private:
   /// arithmetically unsatisfiable on its own.
   bool ensureBaseTableau();
 
+  /// A distilled cut: an integer bound the scoped search derived from
+  /// base literals alone, at least twice. While its premises stay
+  /// asserted, the bound is base-entailed, so it can sit as a permanent
+  /// row of the cached tableau (tagged \c CutTag) — branch refutations
+  /// that used to take a push/check/pop cycle per query become immediate
+  /// root conflicts. A base rebuild drops the rows; they are re-installed
+  /// only if every premise is still in BaseLits.
+  struct CutRow {
+    std::vector<const Term *> Premises;
+    const Term *Bound;
+    bool Installed = false;
+  };
+  /// Tag for cut rows. Negative so it can never collide with a fact
+  /// index or derived tag; core expansion maps it to BaseInCore (the row
+  /// is base-entailed), and lemma surfacing skips any core containing one
+  /// (a cut carries no premise set of its own — learning through it would
+  /// produce an unsoundly weak clause).
+  static constexpr int CutTag = -2;
+  static constexpr size_t MaxCutRows = 64;
+  static constexpr size_t MaxCutCandidates = 1024;
+
+  /// Installs pending cut rows whose premises are currently asserted.
+  /// Called with the base tableau valid and no query scope open.
+  void installCutRows();
+  /// Counts freshly surfaced base-only lemmas and promotes bounds seen
+  /// >= 2 times into CutRows.
+  void distillCuts(std::vector<BranchLemma> &BaseOnly);
+
   TermManager &TM;
   uint64_t SimplexRuns = 0;
 
@@ -205,6 +236,12 @@ private:
   uint64_t ScratchFallbacks = 0;
   uint64_t BranchLemmasProduced = 0;
   std::vector<BranchLemma> PendingLemmas;
+
+  std::vector<CutRow> CutRows;
+  /// Times each bound term was surfaced as a base-only lemma head (the
+  /// promotion threshold); bounded by MaxCutCandidates.
+  std::map<const Term *, int, TermIdLess> CutSurfaceCount;
+  uint64_t CutRowsInstalled = 0;
 };
 
 } // namespace pathinv

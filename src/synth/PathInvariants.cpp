@@ -34,6 +34,7 @@ PathInvResult pathinv::generatePathInvariants(const Program &P,
 
     SynthResult Synth = solveConditions(Pool, Gen.Conditions, Opts.Synth);
     Result.LpChecks += Synth.LpChecks;
+    Result.Learn.add(Synth.Learn);
     if (!Synth.Found) {
       Result.ResourceOut |= Synth.ResourceOut;
       Result.FailureReason = Synth.ResourceOut

@@ -47,6 +47,8 @@ struct PathInvResult {
   int LevelUsed = -1;  ///< Template escalation level that succeeded.
   int LevelsTried = 0; ///< Number of template maps attempted.
   uint64_t LpChecks = 0;
+  /// Conflict-learning work accumulated across all template levels tried.
+  SynthLearnStats Learn;
   std::string FailureReason;
   /// Synthesis stopped on a resource limit (its own LP-check budget or
   /// the job's ResourceController) rather than exhausting the search

@@ -21,6 +21,7 @@
 #define PATHINV_SYNTH_SOLVER_H
 
 #include "synth/ConstraintGen.h"
+#include "synth/Learn.h"
 
 namespace pathinv {
 
@@ -34,6 +35,16 @@ struct SynthOptions {
   /// escalated than ground out (the search reports ResourceOut, so
   /// callers distinguish "proved impossible" from "gave up").
   uint64_t MaxLpChecks = 25000;
+  /// Conflict learning: nogoods, combo dedup, root cuts, and the combo
+  /// verdict cache. Off, the search is exactly the pre-learning
+  /// backjumping DFS — the bench harness's in-process reference and the
+  /// differential sweep's oracle both pin that mode.
+  bool Learning = true;
+  /// Optional persistent learner. When set (engines own one per job),
+  /// combo verdicts survive across solveConditions calls — across
+  /// template levels, Farkas scope teardowns, and search restarts. When
+  /// null, a run-local learner still dedups within the call.
+  SynthLearner *Learner = nullptr;
 };
 
 /// Outcome of a synthesis run.
@@ -43,6 +54,8 @@ struct SynthResult {
   /// Values for every unknown in the pool (unconstrained ones are zero).
   std::vector<Rational> Assignment;
   uint64_t LpChecks = 0;
+  /// Learning work done by this run (deltas, not learner lifetime).
+  SynthLearnStats Learn;
 };
 
 /// Searches for an unknown assignment satisfying one alternative of every

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestPrograms.h"
+#include "fuzz/Fuzz.h"
 #include "lang/Lower.h"
 #include "logic/FormulaParser.h"
 #include "logic/TermPrinter.h"
@@ -134,6 +135,183 @@ TEST(FarkasTest, RefuteInfeasibleAntecedent) {
   EXPECT_FALSE(solveConditions(Pool2, {Cond2}).Found);
 }
 
+// --- Conflict learning ------------------------------------------------------
+
+TEST(SynthLearnTest, FingerprintCanonicalAcrossPools) {
+  // The same constraint shape must serialize identically no matter which
+  // raw ids the pool handed out — that is what makes the verdict cache
+  // cross-scope (every template level allocates a fresh pool).
+  auto mk = [](int A, int B) {
+    std::vector<PolyConstraint> Cs;
+    Cs.push_back({Poly::unknown(A) + Poly::unknown(B) * Rational(2), false});
+    Cs.push_back({Poly::unknown(B), true});
+    return Cs;
+  };
+  UnknownPool P1;
+  int A1 = P1.add(UnknownKind::Param, "a");
+  int B1 = P1.add(UnknownKind::Multiplier, "b");
+  UnknownPool P2;
+  P2.add(UnknownKind::Multiplier, "pad"); // shifts every later raw id
+  int A2 = P2.add(UnknownKind::Param, "other");
+  int B2 = P2.add(UnknownKind::Multiplier, "names");
+  EXPECT_EQ(fingerprintCombo(mk(A1, B1), P1), fingerprintCombo(mk(A2, B2), P2));
+
+  // Kinds are part of the identity: a Multiplier carries an implicit
+  // >= 0 in the LP, so swapping kinds must change the fingerprint.
+  UnknownPool P3;
+  int A3 = P3.add(UnknownKind::Param, "a");
+  int B3 = P3.add(UnknownKind::Param, "b");
+  EXPECT_NE(fingerprintCombo(mk(A1, B1), P1), fingerprintCombo(mk(A3, B3), P3));
+
+  // So is the relation: <= 0 vs = 0 on the same polynomial.
+  std::vector<PolyConstraint> Le{{Poly::unknown(A1), false}};
+  std::vector<PolyConstraint> Eq{{Poly::unknown(A1), true}};
+  EXPECT_NE(fingerprintCombo(Le, P1), fingerprintCombo(Eq, P1));
+}
+
+TEST(SynthLearnTest, DedupAcrossDuplicateAlternatives) {
+  // Two identical alternatives enumerate isomorphic combos (fresh
+  // multipliers each, same canonical shape); the duplicates must be
+  // recognized by fingerprint and never submitted to the LP again.
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  auto mkRow = [&](int64_t CoeffX, int64_t Const) {
+    ParamLinExpr E;
+    E.addTerm(X, Poly(Rational(CoeffX)));
+    E.addConstant(Poly(Rational(Const)));
+    return E;
+  };
+  std::vector<Row> Ante{Row::le(mkRow(1, -1)), Row::le(mkRow(-1, 0))};
+  Condition Cond;
+  ConditionAlternative Alt;
+  Alt.Instances.push_back({Ante, mkRow(1, -2)});
+  Cond.Alternatives.push_back(Alt);
+  Cond.Alternatives.push_back(Alt); // exact duplicate
+
+  UnknownPool Pool;
+  SynthResult R = solveConditions(Pool, {Cond});
+  EXPECT_TRUE(R.Found);
+  EXPECT_GT(R.Learn.CombosDeduped, 0u);
+
+  // Learning off: same verdict, no dedup accounting.
+  UnknownPool Pool2;
+  SynthOptions Off;
+  Off.Learning = false;
+  SynthResult R2 = solveConditions(Pool2, {Cond}, Off);
+  EXPECT_TRUE(R2.Found);
+  EXPECT_EQ(R2.Learn.CombosDeduped, 0u);
+}
+
+TEST(SynthLearnTest, VerdictCachePersistsAcrossRuns) {
+  // A persistent learner carries combo verdicts across solveConditions
+  // calls — the cross-scope reuse that survives Farkas scope teardowns.
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  auto mkRow = [&](int64_t CoeffX, int64_t Const) {
+    ParamLinExpr E;
+    E.addTerm(X, Poly(Rational(CoeffX)));
+    E.addConstant(Poly(Rational(Const)));
+    return E;
+  };
+  Condition Cond;
+  ConditionAlternative Alt;
+  Alt.Instances.push_back(
+      {{Row::le(mkRow(1, -1)), Row::le(mkRow(-1, 0))}, mkRow(1, -2)});
+  Cond.Alternatives.push_back(Alt);
+
+  SynthLearner Learner;
+  SynthOptions Opts;
+  Opts.Learner = &Learner;
+
+  UnknownPool Pool1;
+  SynthResult R1 = solveConditions(Pool1, {Cond}, Opts);
+  ASSERT_TRUE(R1.Found);
+  EXPECT_EQ(R1.Learn.LemmasReused, 0u) << "first run has nothing to reuse";
+
+  UnknownPool Pool2; // fresh pool: fresh multiplier ids, same shapes
+  SynthResult R2 = solveConditions(Pool2, {Cond}, Opts);
+  ASSERT_TRUE(R2.Found);
+  EXPECT_GT(R2.Learn.LemmasReused, 0u);
+  EXPECT_LT(R2.LpChecks, R1.LpChecks)
+      << "cached verdicts should replace leaf LP checks";
+  EXPECT_EQ(Learner.Stats.LemmasReused, R2.Learn.LemmasReused)
+      << "lifetime totals accumulate the per-run deltas";
+}
+
+TEST(SynthLearnTest, LearningOffMatchesOnSyntheticConditions) {
+  // Verdict parity on both polarities of a small Farkas query.
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  auto mkRow = [&](int64_t CoeffX, int64_t Const) {
+    ParamLinExpr E;
+    E.addTerm(X, Poly(Rational(CoeffX)));
+    E.addConstant(Poly(Rational(Const)));
+    return E;
+  };
+  std::vector<Row> Ante{Row::le(mkRow(1, -1)), Row::le(mkRow(-1, 0))};
+  for (int64_t Const : {-2, 1}) { // derivable / not derivable
+    Condition Cond;
+    ConditionAlternative Alt;
+    Alt.Instances.push_back({Ante, mkRow(1, Const)});
+    Cond.Alternatives.push_back(Alt);
+    UnknownPool PoolOn, PoolOff;
+    SynthOptions Off;
+    Off.Learning = false;
+    SynthResult On = solveConditions(PoolOn, {Cond});
+    SynthResult Ref = solveConditions(PoolOff, {Cond}, Off);
+    EXPECT_EQ(On.Found, Ref.Found) << "target const " << Const;
+  }
+}
+
+TEST(SynthLearnTest, NogoodPrunesRepeatedConflict) {
+  // Hand-built condition system whose conflict cores mix depths, so the
+  // backjumping search revisits a recorded conflict. Per-depth choices
+  // over params a, b: {a<=0 | a>=2}, {b<=0 | b>=2}, {a>=1 | b>=1}
+  // (each injected as "x <= 0 |= x + expr <= 0", which Farkas-reduces
+  // to "expr <= 0"). The first descent refutes a>=1 against a<=0 (core
+  // depths {0,2}) and b>=1 against b<=0 (core depths {1,2}), backjumps
+  // to depth 1, flips to b>=2 — and then meets a>=1 again under the
+  // unchanged a<=0: exactly the recorded nogood, pruned without an LP
+  // check before the search completes on {a<=0, b>=2, b>=1}.
+  TermManager TM;
+  const Term *X = TM.mkVar("x", Sort::Int);
+  UnknownPool Pool;
+  int A = Pool.add(UnknownKind::Param, "a");
+  int B = Pool.add(UnknownKind::Param, "b");
+  ParamLinExpr AnteE;
+  AnteE.addTerm(X, Poly(Rational(1)));
+  std::vector<Row> Ante{Row::le(AnteE)};
+  auto mkAlt = [&](Poly Const) {
+    ParamLinExpr T;
+    T.addTerm(X, Poly(Rational(1)));
+    T.addConstant(Const);
+    ConditionAlternative Alt;
+    Alt.Instances.push_back({Ante, T});
+    return Alt;
+  };
+  Poly PA = Poly::unknown(A), PB = Poly::unknown(B);
+  Condition C1, C2, C3;
+  C1.Alternatives = {mkAlt(PA), mkAlt(Poly(Rational(2)) - PA)};
+  C2.Alternatives = {mkAlt(PB), mkAlt(Poly(Rational(2)) - PB)};
+  C3.Alternatives = {mkAlt(Poly(Rational(1)) - PA),
+                     mkAlt(Poly(Rational(1)) - PB)};
+  SynthResult R = solveConditions(Pool, {C1, C2, C3});
+  EXPECT_TRUE(R.Found);
+  EXPECT_GT(R.Learn.Nogoods, 0u);
+
+  // Learning off: same verdict, nothing pruned by nogoods.
+  UnknownPool Pool2;
+  int A2 = Pool2.add(UnknownKind::Param, "a");
+  int B2 = Pool2.add(UnknownKind::Param, "b");
+  (void)A2;
+  (void)B2;
+  SynthOptions Off;
+  Off.Learning = false;
+  SynthResult ROff = solveConditions(Pool2, {C1, C2, C3}, Off);
+  EXPECT_TRUE(ROff.Found);
+  EXPECT_EQ(ROff.Learn.Nogoods, 0u);
+}
+
 // --- End-to-end synthesis on the paper's programs ----------------------------
 
 class SynthFixture : public ::testing::Test {
@@ -235,6 +413,85 @@ TEST_F(SynthFixture, IntervalBackendCannotDoRelational) {
   Program P = load(testprogs::Forward);
   PathInvResult R = generateIntervalInvariants(P, Solver);
   EXPECT_FALSE(R.Found);
+}
+
+TEST_F(SynthFixture, LearningDifferentialPaperPrograms) {
+  // Learning-enabled search must agree with the learning-off reference on
+  // every paper program: same verdict, same escalation level, and the
+  // learned-mode map must independently validate. One persistent learner
+  // spans all programs, as in the engines.
+  SynthLearner Learner;
+  struct Case {
+    const char *Name;
+    const char *Source;
+    uint64_t Budget;
+  };
+  const Case Cases[] = {
+      {"Forward", testprogs::Forward, 25000},
+      {"InitCheck", testprogs::InitCheck, 25000},
+      {"StraightSafe", testprogs::StraightSafe, 25000},
+      {"InitCheckBuggy", testprogs::InitCheckBuggy, 2000},
+  };
+  uint64_t Learned = 0;
+  for (const Case &C : Cases) {
+    Program P = load(C.Source);
+    PathInvOptions On, Off;
+    On.Synth.Learner = &Learner;
+    On.Synth.MaxLpChecks = C.Budget;
+    Off.Synth.Learning = false;
+    Off.Synth.MaxLpChecks = C.Budget;
+    PathInvResult ROn = generatePathInvariants(P, Solver, On);
+    PathInvResult ROff = generatePathInvariants(P, Solver, Off);
+    EXPECT_EQ(ROn.Found, ROff.Found) << C.Name;
+    if (ROn.Found && ROff.Found) {
+      EXPECT_EQ(ROn.LevelUsed, ROff.LevelUsed) << C.Name;
+    }
+    if (ROn.Found) {
+      EXPECT_TRUE(checkInvariantMap(P, ROn.Map, Solver).Ok) << C.Name;
+    }
+    Learned += ROn.Learn.CombosDeduped + ROn.Learn.LemmasReused +
+               ROn.Learn.Nogoods;
+  }
+  EXPECT_GT(Learned, 0u) << "sweep never exercised the learning machinery";
+}
+
+TEST_F(SynthFixture, LearningDifferentialFuzzSeeds) {
+  // Fuzz-generated programs, learning-on vs learning-off under matched
+  // budgets. A seed where either mode trips its resource budget proves
+  // nothing about verdicts (budget trips are not verdicts) and is skipped;
+  // everything else must agree exactly.
+  SynthLearner Learner;
+  const uint64_t Budget = 3000;
+  uint64_t Learned = 0;
+  int Compared = 0;
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    fuzz::GeneratedProgram GP = fuzz::generateProgram(Seed);
+    TermManager LocalTM;
+    auto PE = loadProgram(LocalTM, GP.Source);
+    ASSERT_TRUE(PE.hasValue()) << "seed " << Seed << ": " << GP.Source;
+    Program P = PE.take();
+    SmtSolver LocalSolver{LocalTM};
+    PathInvOptions On, Off;
+    On.Synth.Learner = &Learner;
+    On.Synth.MaxLpChecks = Budget;
+    Off.Synth.Learning = false;
+    Off.Synth.MaxLpChecks = Budget;
+    PathInvResult ROn = generatePathInvariants(P, LocalSolver, On);
+    PathInvResult ROff = generatePathInvariants(P, LocalSolver, Off);
+    Learned += ROn.Learn.CombosDeduped + ROn.Learn.LemmasReused +
+               ROn.Learn.Nogoods;
+    if (ROn.ResourceOut || ROff.ResourceOut)
+      continue;
+    ++Compared;
+    EXPECT_EQ(ROn.Found, ROff.Found) << "seed " << Seed;
+    if (ROn.Found && ROff.Found) {
+      EXPECT_EQ(ROn.LevelUsed, ROff.LevelUsed) << "seed " << Seed;
+      EXPECT_TRUE(checkInvariantMap(P, ROn.Map, LocalSolver).Ok)
+          << "seed " << Seed;
+    }
+  }
+  EXPECT_GE(Compared, 25) << "budget trips swallowed most of the sweep";
+  EXPECT_GT(Learned, 0u);
 }
 
 TEST_F(SynthFixture, CheckerRejectsBogusMap) {

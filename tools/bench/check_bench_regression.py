@@ -126,7 +126,9 @@ def main():
     def under_test(entry):
         for mode, stats in entry.items():
             # Skip the reference mode, the ratio, and scalar side-channel
-            # fields (e.g. integer_split's bnb_nodes/scratch_fallbacks).
+            # fields (e.g. integer_split's bnb_nodes/scratch_fallbacks,
+            # synthesis_partition's lp_checks and synth_nogoods /
+            # synth_combos_deduped / synth_lemmas_reused / synth_cuts).
             if mode in ("reference", "speedup_vs_reference"):
                 continue
             if isinstance(stats, dict):
