@@ -1,0 +1,135 @@
+//===- core/Fingerprint.cpp - Deterministic program fingerprints ----------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fingerprint.h"
+
+#include "logic/Term.h"
+#include "program/Program.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace pathinv;
+
+namespace {
+
+/// Two FNV-1a 64 streams with distinct offset bases fed the same bytes.
+/// Not cryptographic — collisions cost a recomputation, never a wrong
+/// answer (every cache hit is revalidated; see Fingerprint.h).
+struct Hasher {
+  uint64_t Hi = 0xcbf29ce484222325ULL;
+  uint64_t Lo = 0x9e3779b97f4a7c15ULL;
+
+  void bytes(const char *Data, size_t Len) {
+    for (size_t K = 0; K < Len; ++K) {
+      unsigned char C = static_cast<unsigned char>(Data[K]);
+      Hi = (Hi ^ C) * 0x100000001b3ULL;
+      Lo = (Lo ^ C) * 0x00000100000001b3ULL;
+      Lo ^= Lo >> 29; // Extra avalanche keeps the streams independent.
+    }
+  }
+  void str(const std::string &S) {
+    u64(S.size()); // Length-prefix so "ab","c" != "a","bc".
+    bytes(S.data(), S.size());
+  }
+  void u64(uint64_t V) {
+    char Buf[8];
+    for (int K = 0; K < 8; ++K)
+      Buf[K] = static_cast<char>((V >> (8 * K)) & 0xff);
+    bytes(Buf, 8);
+  }
+};
+
+/// Renders a term for hashing, independent of the TermManager that interned
+/// it. The regular printer is NOT suitable here: term construction sorts
+/// commutative operand lists (And/Or/Add/Eq/Mul) by interned term id, and
+/// ids depend on what else the arena has interned — the same source loaded
+/// into a "warm" manager prints `a && b` where a fresh one prints `b && a`.
+/// A cache key must be a pure function of program structure, so this
+/// renderer sorts commutative operands by their own rendered strings
+/// instead. Non-commutative kinds keep operand order (it is meaningful).
+std::string canonicalRender(const Term *T) {
+  std::string Out;
+  Out += '(';
+  Out += termKindName(T->kind());
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    Out += ' ';
+    Out += T->value().toString();
+    break;
+  case TermKind::Var:
+    Out += ' ';
+    Out += T->name();
+    Out += ':';
+    Out += std::to_string(static_cast<int>(T->sort()));
+    break;
+  case TermKind::Apply:
+    Out += ' ';
+    Out += T->name();
+    break;
+  default:
+    break;
+  }
+  bool Commutative = T->kind() == TermKind::And || T->kind() == TermKind::Or ||
+                     T->kind() == TermKind::Add || T->kind() == TermKind::Mul ||
+                     T->kind() == TermKind::Eq;
+  std::vector<std::string> Ops;
+  Ops.reserve(T->operands().size());
+  for (const Term *Op : T->operands())
+    Ops.push_back(canonicalRender(Op));
+  if (Commutative)
+    std::sort(Ops.begin(), Ops.end());
+  for (const std::string &Op : Ops) {
+    Out += ' ';
+    Out += Op;
+  }
+  Out += ')';
+  return Out;
+}
+
+} // namespace
+
+std::string Fingerprint::hex() const {
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+Fingerprint pathinv::fingerprintProgram(const Program &P) {
+  Hasher H;
+  H.str("pathinv-fp-v1");
+  // Variables: canonical render carries name plus sort tag (the name alone
+  // would conflate an integer x with an array x). Sorted, because the
+  // program's variable list is in first-interning order, which depends on
+  // arena warmth, not on the source.
+  std::vector<std::string> Vars;
+  Vars.reserve(P.variables().size());
+  for (const Term *Var : P.variables())
+    Vars.push_back(canonicalRender(Var));
+  std::sort(Vars.begin(), Vars.end());
+  H.u64(Vars.size());
+  for (const std::string &V : Vars)
+    H.str(V);
+  // Locations by dense index; names participate because certificates
+  // resolve locations by name.
+  H.u64(static_cast<uint64_t>(P.numLocations()));
+  for (LocId Loc = 0; Loc < P.numLocations(); ++Loc)
+    H.str(P.locationName(Loc));
+  H.u64(static_cast<uint64_t>(P.entry()));
+  H.u64(static_cast<uint64_t>(P.error()));
+  // Transitions in program order (source order, stable): structure plus the
+  // canonically rendered relation.
+  H.u64(static_cast<uint64_t>(P.numTransitions()));
+  for (const Transition &T : P.transitions()) {
+    H.u64(static_cast<uint64_t>(T.From));
+    H.u64(static_cast<uint64_t>(T.To));
+    H.str(canonicalRender(T.Rel));
+  }
+  return Fingerprint{H.Hi, H.Lo};
+}

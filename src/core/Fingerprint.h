@@ -1,0 +1,63 @@
+//===- core/Fingerprint.h - Deterministic program fingerprints -*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 128-bit structural fingerprint of a lowered program, stable across
+/// TermManager instances and process runs: it hashes a canonical render
+/// of the transition system (variables with sorts, location names,
+/// entry/error, and every transition's source/target/relation). The
+/// render sorts commutative operand lists (And/Or/Add/Mul/Eq) by their
+/// own rendered strings rather than trusting term order — term
+/// construction orders those lists by interned id, which depends on what
+/// else the arena has interned, so the ordinary printed form of the same
+/// source differs between a fresh and a "warm" TermManager. Two programs
+/// share a fingerprint iff their lowered transition systems are equal
+/// modulo that commutative reordering, so the pathinvd verdict cache can
+/// key on it without sharing any term arena between workers.
+///
+/// The fingerprint is a cache *key*, not a trust boundary: cache hits are
+/// always revalidated against the program they are served for
+/// (checkInvariantMap for Safe certificates, concrete witness replay for
+/// Unsafe), so even a full collision or a poisoned entry cannot produce a
+/// wrong answer — only a wasted recomputation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_CORE_FINGERPRINT_H
+#define PATHINV_CORE_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+
+namespace pathinv {
+
+class Program;
+
+/// A 128-bit fingerprint (two independent 64-bit FNV-1a streams over the
+/// same canonical byte sequence).
+struct Fingerprint {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Fingerprint &RHS) const {
+    return Hi == RHS.Hi && Lo == RHS.Lo;
+  }
+  bool operator!=(const Fingerprint &RHS) const { return !(*this == RHS); }
+  bool operator<(const Fingerprint &RHS) const {
+    return Hi != RHS.Hi ? Hi < RHS.Hi : Lo < RHS.Lo;
+  }
+
+  /// 32 lowercase hex digits, e.g. for protocol responses and logs.
+  std::string hex() const;
+};
+
+/// Fingerprints \p P's transition system (see file comment for what is
+/// hashed). Deterministic across term managers and runs.
+Fingerprint fingerprintProgram(const Program &P);
+
+} // namespace pathinv
+
+#endif // PATHINV_CORE_FINGERPRINT_H

@@ -157,6 +157,15 @@ bool ResourceController::pollNow() {
   ChargesSincePoll = 0;
   if (Tripped)
     return false;
+  // External cancellation (the one cross-thread channel; see
+  // ResourceLimits::CancelFlag) outranks every other cause: the
+  // supervisor asking for the job's death must not lose the race to a
+  // budget trip reporting a softer reason.
+  if (Limits.CancelFlag &&
+      Limits.CancelFlag->load(std::memory_order_relaxed)) {
+    cancel(ResourceKind::Cancelled);
+    return false;
+  }
 #if defined(PATHINV_FAULT_INJECT)
   // The controller's poll is the "solver checkpoint" injection site: a
   // triggered fault here models a deadline arriving at an arbitrary

@@ -30,6 +30,7 @@
 #ifndef PATHINV_CORE_RESOURCE_H
 #define PATHINV_CORE_RESOURCE_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -65,6 +66,18 @@ struct ResourceLimits {
   uint64_t ArgExpansions = 0; ///< Total ARG expansion budget.
   uint64_t Refinements = 0;   ///< Total refinement-round budget.
   uint64_t PdrObligations = 0; ///< Total PDR proof-obligation budget.
+
+  /// Optional externally-owned cancellation flag, polled at every full
+  /// poll. This is the ONE thread-safe channel into a controller: the
+  /// controller itself is single-threaded by design (one job, one worker
+  /// thread), but a supervisor on another thread may set this atomic to
+  /// request cooperative cancellation — pathinvd's drain path cancels
+  /// in-flight jobs this way. The flag is polled, never written, by the
+  /// controller; it propagates into every controller constructed from
+  /// these limits (portfolio lanes, the shared synthesis probe), so one
+  /// store cancels the whole job tree. Not a "limit": ignored by
+  /// unlimited().
+  const std::atomic<bool> *CancelFlag = nullptr;
 
   /// \returns true when every field is zero (nothing to enforce).
   bool unlimited() const {

@@ -1,0 +1,469 @@
+//===- serve/Json.cpp - Minimal JSON for the service protocol -------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace pathinv;
+using namespace pathinv::serve;
+
+void Json::set(const std::string &Key, Json V) {
+  for (auto &[K2, V2] : Members) {
+    if (K2 == Key) {
+      V2 = std::move(V);
+      return;
+    }
+  }
+  Members.emplace_back(Key, std::move(V));
+}
+
+const Json *Json::find(const std::string &Key) const {
+  for (const auto &[K2, V2] : Members)
+    if (K2 == Key)
+      return &V2;
+  return nullptr;
+}
+
+std::string Json::stringOr(const std::string &Key, std::string Def) const {
+  const Json *V = find(Key);
+  return V && V->isString() ? V->asString() : Def;
+}
+
+int64_t Json::intOr(const std::string &Key, int64_t Def) const {
+  const Json *V = find(Key);
+  return V && V->isNumber() ? V->asInt() : Def;
+}
+
+double Json::doubleOr(const std::string &Key, double Def) const {
+  const Json *V = find(Key);
+  return V && V->isNumber() ? V->asDouble() : Def;
+}
+
+bool Json::boolOr(const std::string &Key, bool Def) const {
+  const Json *V = find(Key);
+  return V && V->isBool() ? V->asBool() : Def;
+}
+
+namespace {
+
+void writeEscaped(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C; // UTF-8 bytes pass through verbatim.
+      }
+    }
+  }
+  Out += '"';
+}
+
+void writeValue(const Json &J, std::string &Out) {
+  switch (J.kind()) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += J.asBool() ? "true" : "false";
+    break;
+  case Json::Kind::Int:
+    Out += std::to_string(J.asInt());
+    break;
+  case Json::Kind::Double: {
+    double D = J.asDouble();
+    if (!std::isfinite(D)) {
+      Out += "null"; // JSON has no Inf/NaN; null is the least-wrong spelling.
+      break;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+    Out += Buf;
+    break;
+  }
+  case Json::Kind::String:
+    writeEscaped(J.asString(), Out);
+    break;
+  case Json::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Json &E : J.elements()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeValue(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Json::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[K, V] : J.members()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeEscaped(K, Out);
+      Out += ':';
+      writeValue(V, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+/// Recursive-descent parser over a raw byte range.
+class Parser {
+public:
+  Parser(const char *Begin, const char *End) : Cur(Begin), End(End) {}
+
+  bool parse(Json &Out, std::string &Error) {
+    skipWs();
+    if (!value(Out, Error))
+      return false;
+    skipWs();
+    if (Cur != End) {
+      Error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  const char *Cur;
+  const char *End;
+  /// Recursion guard: a hostile "[[[[..." line must cost one error
+  /// response, not the process's stack. 64 levels is far beyond any
+  /// legitimate protocol payload (which nests 2 deep).
+  int Depth = 0;
+  static constexpr int MaxDepth = 64;
+
+  void skipWs() {
+    while (Cur != End &&
+           (*Cur == ' ' || *Cur == '\t' || *Cur == '\n' || *Cur == '\r'))
+      ++Cur;
+  }
+
+  bool literal(const char *Text, std::string &Error) {
+    size_t Len = std::strlen(Text);
+    if (static_cast<size_t>(End - Cur) < Len ||
+        std::memcmp(Cur, Text, Len) != 0) {
+      Error = std::string("expected '") + Text + "'";
+      return false;
+    }
+    Cur += Len;
+    return true;
+  }
+
+  static void appendUtf8(uint32_t Cp, std::string &Out) {
+    if (Cp < 0x80) {
+      Out += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      Out += static_cast<char>(0xC0 | (Cp >> 6));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else if (Cp < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Cp >> 12));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Cp >> 18));
+      Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Cp & 0x3F));
+    }
+  }
+
+  bool hex4(uint32_t &Out, std::string &Error) {
+    if (End - Cur < 4) {
+      Error = "truncated \\u escape";
+      return false;
+    }
+    Out = 0;
+    for (int K = 0; K < 4; ++K) {
+      char C = *Cur++;
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= C - '0';
+      else if (C >= 'a' && C <= 'f')
+        Out |= C - 'a' + 10;
+      else if (C >= 'A' && C <= 'F')
+        Out |= C - 'A' + 10;
+      else {
+        Error = "bad hex digit in \\u escape";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool stringBody(std::string &Out, std::string &Error) {
+    ++Cur; // Opening quote.
+    while (Cur != End && *Cur != '"') {
+      char C = *Cur;
+      if (static_cast<unsigned char>(C) < 0x20) {
+        Error = "raw control character in string";
+        return false;
+      }
+      if (C != '\\') {
+        Out += C;
+        ++Cur;
+        continue;
+      }
+      if (++Cur == End) {
+        Error = "truncated escape";
+        return false;
+      }
+      char E = *Cur++;
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        uint32_t Cp = 0;
+        if (!hex4(Cp, Error))
+          return false;
+        if (Cp >= 0xD800 && Cp <= 0xDBFF) { // High surrogate: need the pair.
+          if (End - Cur < 6 || Cur[0] != '\\' || Cur[1] != 'u') {
+            Error = "unpaired surrogate";
+            return false;
+          }
+          Cur += 2;
+          uint32_t Lo = 0;
+          if (!hex4(Lo, Error))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF) {
+            Error = "bad low surrogate";
+            return false;
+          }
+          Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (Cp >= 0xDC00 && Cp <= 0xDFFF) {
+          Error = "unpaired surrogate";
+          return false;
+        }
+        appendUtf8(Cp, Out);
+        break;
+      }
+      default:
+        Error = "unknown escape";
+        return false;
+      }
+    }
+    if (Cur == End) {
+      Error = "unterminated string";
+      return false;
+    }
+    ++Cur; // Closing quote.
+    return true;
+  }
+
+  bool number(Json &Out, std::string &Error) {
+    const char *Start = Cur;
+    if (Cur != End && *Cur == '-')
+      ++Cur;
+    bool Integral = true;
+    while (Cur != End && ((*Cur >= '0' && *Cur <= '9') || *Cur == '.' ||
+                          *Cur == 'e' || *Cur == 'E' || *Cur == '+' ||
+                          *Cur == '-')) {
+      if (*Cur == '.' || *Cur == 'e' || *Cur == 'E')
+        Integral = false;
+      ++Cur;
+    }
+    std::string Text(Start, Cur);
+    if (Text.empty() || Text == "-") {
+      Error = "malformed number";
+      return false;
+    }
+    if (Integral) {
+      errno = 0;
+      char *EndP = nullptr;
+      long long V = std::strtoll(Text.c_str(), &EndP, 10);
+      if (errno == 0 && EndP == Text.c_str() + Text.size()) {
+        Out = Json::integer(V);
+        return true;
+      }
+      // Out-of-int64-range integral literal: fall through to double.
+    }
+    errno = 0;
+    char *EndP = nullptr;
+    double D = std::strtod(Text.c_str(), &EndP);
+    if (EndP != Text.c_str() + Text.size()) {
+      Error = "malformed number";
+      return false;
+    }
+    Out = Json::number(D);
+    return true;
+  }
+
+  bool value(Json &Out, std::string &Error) {
+    if (Cur == End) {
+      Error = "unexpected end of input";
+      return false;
+    }
+    if (Depth >= MaxDepth) {
+      Error = "nesting too deep";
+      return false;
+    }
+    ++Depth;
+    bool Ok = valueInner(Out, Error);
+    --Depth;
+    return Ok;
+  }
+
+  bool valueInner(Json &Out, std::string &Error) {
+    switch (*Cur) {
+    case 'n':
+      return literal("null", Error) && (Out = Json(), true);
+    case 't':
+      return literal("true", Error) && (Out = Json::boolean(true), true);
+    case 'f':
+      return literal("false", Error) && (Out = Json::boolean(false), true);
+    case '"': {
+      std::string S;
+      if (!stringBody(S, Error))
+        return false;
+      Out = Json::string(std::move(S));
+      return true;
+    }
+    case '[': {
+      ++Cur;
+      Out = Json::array();
+      skipWs();
+      if (Cur != End && *Cur == ']') {
+        ++Cur;
+        return true;
+      }
+      for (;;) {
+        Json Elem;
+        skipWs();
+        if (!value(Elem, Error))
+          return false;
+        Out.push(std::move(Elem));
+        skipWs();
+        if (Cur == End) {
+          Error = "unterminated array";
+          return false;
+        }
+        if (*Cur == ',') {
+          ++Cur;
+          continue;
+        }
+        if (*Cur == ']') {
+          ++Cur;
+          return true;
+        }
+        Error = "expected ',' or ']'";
+        return false;
+      }
+    }
+    case '{': {
+      ++Cur;
+      Out = Json::object();
+      skipWs();
+      if (Cur != End && *Cur == '}') {
+        ++Cur;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        if (Cur == End || *Cur != '"') {
+          Error = "expected object key";
+          return false;
+        }
+        std::string Key;
+        if (!stringBody(Key, Error))
+          return false;
+        skipWs();
+        if (Cur == End || *Cur != ':') {
+          Error = "expected ':'";
+          return false;
+        }
+        ++Cur;
+        skipWs();
+        Json Member;
+        if (!value(Member, Error))
+          return false;
+        Out.set(Key, std::move(Member));
+        skipWs();
+        if (Cur == End) {
+          Error = "unterminated object";
+          return false;
+        }
+        if (*Cur == ',') {
+          ++Cur;
+          continue;
+        }
+        if (*Cur == '}') {
+          ++Cur;
+          return true;
+        }
+        Error = "expected ',' or '}'";
+        return false;
+      }
+    }
+    default:
+      return number(Out, Error);
+    }
+  }
+};
+
+} // namespace
+
+std::string Json::write() const {
+  std::string Out;
+  writeValue(*this, Out);
+  return Out;
+}
+
+bool pathinv::serve::parseJson(const std::string &Text, Json &Out,
+                               std::string &Error) {
+  Parser P(Text.data(), Text.data() + Text.size());
+  return P.parse(Out, Error);
+}

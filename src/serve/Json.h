@@ -1,0 +1,132 @@
+//===- serve/Json.h - Minimal JSON for the service protocol ----*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON value type with a strict parser and a
+/// deterministic writer, sized for the pathinvd newline-delimited
+/// protocol. No external dependencies.
+///
+/// Deliberate scope limits (all fine for the protocol):
+///  * numbers are stored as int64 when the text is integral and fits,
+///    double otherwise;
+///  * object keys keep insertion order (the writer is deterministic, so
+///    protocol responses are byte-stable for tests);
+///  * \uXXXX escapes decode to UTF-8; surrogate pairs are supported;
+///  * the parser rejects trailing garbage — a protocol line is exactly
+///    one JSON value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SERVE_JSON_H
+#define PATHINV_SERVE_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pathinv {
+namespace serve {
+
+/// A JSON value (null / bool / integer / double / string / array / object).
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  static Json boolean(bool B) {
+    Json J;
+    J.K = Kind::Bool;
+    J.B = B;
+    return J;
+  }
+  static Json integer(int64_t I) {
+    Json J;
+    J.K = Kind::Int;
+    J.I = I;
+    return J;
+  }
+  static Json number(double D) {
+    Json J;
+    J.K = Kind::Double;
+    J.D = D;
+    return J;
+  }
+  static Json string(std::string S) {
+    Json J;
+    J.K = Kind::String;
+    J.S = std::move(S);
+    return J;
+  }
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  int64_t asInt() const { return K == Kind::Double ? (int64_t)D : I; }
+  double asDouble() const { return K == Kind::Int ? (double)I : D; }
+  const std::string &asString() const { return S; }
+  const std::vector<Json> &elements() const { return Elems; }
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Members;
+  }
+
+  /// Appends \p V to an array value.
+  void push(Json V) { Elems.push_back(std::move(V)); }
+  /// Sets member \p Key of an object value (appends; replaces when the
+  /// key already exists, keeping its original position).
+  void set(const std::string &Key, Json V);
+
+  /// \returns the member named \p Key, or nullptr. Object values only.
+  const Json *find(const std::string &Key) const;
+
+  // Typed member lookups with defaults — the protocol-decoding idiom.
+  std::string stringOr(const std::string &Key, std::string Def = "") const;
+  int64_t intOr(const std::string &Key, int64_t Def = 0) const;
+  double doubleOr(const std::string &Key, double Def = 0) const;
+  bool boolOr(const std::string &Key, bool Def = false) const;
+
+  /// Serializes compactly (no whitespace). Deterministic: members write
+  /// in insertion order, strings escape minimally, doubles render with
+  /// enough digits to round-trip.
+  std::string write() const;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<Json> Elems;
+  std::vector<std::pair<std::string, Json>> Members;
+};
+
+/// Parses exactly one JSON value from \p Text (leading/trailing whitespace
+/// allowed, anything else after the value is an error). \returns false
+/// with \p Error set on malformed input.
+bool parseJson(const std::string &Text, Json &Out, std::string &Error);
+
+} // namespace serve
+} // namespace pathinv
+
+#endif // PATHINV_SERVE_JSON_H

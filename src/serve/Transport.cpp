@@ -1,0 +1,178 @@
+//===- serve/Transport.cpp - pathinvd socket transport --------------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Transport.h"
+
+#include "serve/Server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace pathinv;
+using namespace pathinv::serve;
+
+namespace {
+
+bool isBlankLine(const std::string &Line) {
+  for (char C : Line)
+    if (C != ' ' && C != '\t' && C != '\r')
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool SocketListener::start(const std::string &SocketPath,
+                           std::string &Error) {
+  if (ListenFd >= 0) {
+    Error = "listener already started";
+    return false;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(SocketPath.c_str()); // A stale socket from a dead daemon.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = std::string("bind ") + SocketPath + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Error = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(SocketPath.c_str());
+    return false;
+  }
+  Path = SocketPath;
+  ListenFd = Fd;
+  Stopping.store(false);
+  AcceptThread = std::thread(&SocketListener::acceptLoop, this);
+  return true;
+}
+
+void SocketListener::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping.store(true);
+  // Unblock and retire the accept loop first, so no connection can be
+  // added behind the shutdown sweep below (it would block in recv with
+  // nobody left to wake it).
+  ::shutdown(ListenFd, SHUT_RDWR);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    for (auto &C : Conns) {
+      std::lock_guard<std::mutex> WLock(C->WriteMu);
+      if (!C->Closed && C->Fd >= 0)
+        ::shutdown(C->Fd, SHUT_RDWR);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    for (auto &C : Conns) {
+      if (C->Reader.joinable())
+        C->Reader.join(); // The reader closes the fd on its way out.
+      std::lock_guard<std::mutex> WLock(C->WriteMu);
+      if (!C->Closed && C->Fd >= 0)
+        ::close(C->Fd);
+      C->Closed = true;
+      C->Fd = -1;
+    }
+    Conns.clear();
+  }
+  ::close(ListenFd);
+  ListenFd = -1;
+  if (!Path.empty())
+    ::unlink(Path.c_str());
+}
+
+void SocketListener::acceptLoop() {
+  while (!Stopping.load()) {
+    pollfd Pfd{ListenFd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 200);
+    if (Stopping.load())
+      return;
+    if (Ready <= 0)
+      continue;
+    int ClientFd = ::accept(ListenFd, nullptr, nullptr);
+    if (ClientFd < 0)
+      continue;
+    auto C = std::make_shared<Conn>();
+    C->Fd = ClientFd;
+    {
+      std::lock_guard<std::mutex> Lock(ConnsMu);
+      Conns.push_back(C);
+    }
+    C->Reader = std::thread(&SocketListener::connectionLoop, this, C);
+  }
+}
+
+void SocketListener::connectionLoop(std::shared_ptr<Conn> C) {
+  std::string Buffer;
+  char Chunk[4096];
+  for (;;) {
+    ssize_t N = ::recv(C->Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Buffer.append(Chunk, static_cast<size_t>(N));
+    size_t Start = 0;
+    for (size_t Nl = Buffer.find('\n', Start); Nl != std::string::npos;
+         Nl = Buffer.find('\n', Start)) {
+      std::string Line = Buffer.substr(Start, Nl - Start);
+      Start = Nl + 1;
+      if (isBlankLine(Line))
+        continue;
+      // The callback may fire on this thread (rejections) or on a worker
+      // later; either way it serializes on WriteMu and respects Closed —
+      // the fd is only read under that mutex, so a concurrent disconnect
+      // cannot hand the writer a reused descriptor.
+      Srv.submitLine(Line, [C](std::string Out) {
+        std::lock_guard<std::mutex> WLock(C->WriteMu);
+        if (C->Closed)
+          return;
+        size_t Off = 0;
+        while (Off < Out.size()) {
+          ssize_t W = ::send(C->Fd, Out.data() + Off, Out.size() - Off,
+                             MSG_NOSIGNAL);
+          if (W <= 0) {
+            if (W < 0 && errno == EINTR)
+              continue;
+            C->Closed = true; // Peer gone; drop later responses too.
+            return;
+          }
+          Off += static_cast<size_t>(W);
+        }
+      });
+    }
+    Buffer.erase(0, Start);
+  }
+  // Peer disconnected (or stop() shut us down): mark closed and release
+  // the fd. Writers take WriteMu and check Closed before touching the fd,
+  // so a completion racing this close drops its line instead of writing
+  // to a reused descriptor.
+  std::lock_guard<std::mutex> Lock(C->WriteMu);
+  C->Closed = true;
+  ::close(C->Fd);
+  C->Fd = -1;
+}

@@ -1,0 +1,81 @@
+//===- serve/Transport.h - pathinvd socket transport -----------*- C++ -*-===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unix-domain-socket front end of pathinvd. One listener thread
+/// accepts connections; each connection gets a reader thread that feeds
+/// request lines to the Server and a mutex-serialized writer that ships
+/// responses back as they complete (out of submission order — that is
+/// what the protocol's "id" is for).
+///
+/// Fault containment at the transport layer mirrors the service's: a
+/// client that disconnects mid-job costs nothing (its late responses are
+/// dropped at the closed-connection check), a malformed line costs one
+/// "error" response, and stop() force-closes every connection so no
+/// reader thread can outlive the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHINV_SERVE_TRANSPORT_H
+#define PATHINV_SERVE_TRANSPORT_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pathinv {
+namespace serve {
+
+class Server;
+
+/// Accepts pathinvd protocol connections on a unix-domain socket.
+class SocketListener {
+public:
+  explicit SocketListener(Server &Srv) : Srv(Srv) {}
+  ~SocketListener() { stop(); }
+  SocketListener(const SocketListener &) = delete;
+  SocketListener &operator=(const SocketListener &) = delete;
+
+  /// Binds \p Path (unlinking a stale socket first), listens, and starts
+  /// the accept thread. \returns false with \p Error on failure.
+  bool start(const std::string &Path, std::string &Error);
+
+  /// Closes the listener and every live connection, joins all transport
+  /// threads, and unlinks the socket path. Idempotent.
+  void stop();
+
+  const std::string &path() const { return Path; }
+
+private:
+  /// One accepted connection. Closed is guarded by WriteMu: a response
+  /// callback that fires after the peer disconnected sees Closed and
+  /// drops its line instead of writing to a dead (or reused) fd.
+  struct Conn {
+    int Fd = -1;
+    std::mutex WriteMu;
+    bool Closed = false;
+    std::thread Reader;
+  };
+
+  void acceptLoop();
+  void connectionLoop(std::shared_ptr<Conn> C);
+
+  Server &Srv;
+  std::string Path;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  std::thread AcceptThread;
+  std::mutex ConnsMu;
+  std::vector<std::shared_ptr<Conn>> Conns;
+};
+
+} // namespace serve
+} // namespace pathinv
+
+#endif // PATHINV_SERVE_TRANSPORT_H

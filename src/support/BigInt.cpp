@@ -15,7 +15,20 @@ using namespace pathinv;
 using pathinv::detail::absU64;
 using pathinv::detail::gcdU64;
 
-thread_local uint64_t pathinv::detail::BigIntHeapBytesCounter = 0;
+namespace {
+/// Live heap bytes held by BigInt values on this thread. Deliberately
+/// confined to this TU — see the bigIntHeapAccount declaration in
+/// BigInt.h for why no other TU may touch the thread_local directly.
+thread_local uint64_t BigIntHeapBytesCounter = 0;
+} // namespace
+
+void pathinv::bigIntHeapAccount(int64_t Delta) noexcept {
+  BigIntHeapBytesCounter += static_cast<uint64_t>(Delta);
+}
+
+uint64_t pathinv::bigIntHeapBytes() noexcept {
+  return BigIntHeapBytesCounter;
+}
 
 namespace {
 

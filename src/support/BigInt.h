@@ -47,23 +47,31 @@
 
 namespace pathinv {
 
-namespace detail {
-/// Live heap bytes held by BigInt values on this thread (see
-/// bigIntHeapBytes()). Defined in BigInt.cpp.
-extern thread_local uint64_t BigIntHeapBytesCounter;
-} // namespace detail
+/// Adjusts the calling thread's live BigInt heap-byte counter. Internal
+/// hook — called on every heap-representation transition. Out-of-line on
+/// purpose: the counter is a thread_local owned by BigInt.cpp, and
+/// keeping every access in the defining TU sidesteps a GCC 12 UBSan
+/// false positive ("load of null pointer") on cross-TU thread_local
+/// reads hoisted across thread joins at -O2.
+void bigIntHeapAccount(int64_t Delta) noexcept;
 
-/// Adjusts the thread's live BigInt heap-byte counter. Internal hook —
-/// called on every heap-representation transition.
-inline void bigIntHeapAccount(int64_t Delta) noexcept {
-  detail::BigIntHeapBytesCounter += static_cast<uint64_t>(Delta);
-}
-
-/// \returns bytes currently held by heap BigInt representations on this
-/// thread — one input to the resource controller's memory probe.
-inline uint64_t bigIntHeapBytes() noexcept {
-  return detail::BigIntHeapBytesCounter;
-}
+/// \returns bytes currently held by heap BigInt representations on the
+/// calling thread — one input to the resource controller's memory probe.
+///
+/// Threading contract: the counter is strictly per-thread and relies on
+/// BigInt values being created and destroyed on the SAME thread. That
+/// invariant holds everywhere by construction — every BigInt lives inside
+/// one job's solver stack, and a job runs start-to-finish on one worker
+/// thread (pathinvd never migrates a job between workers, and results
+/// crossing threads are serialized to strings first). A value allocated
+/// on thread A and freed on thread B would leave A's counter permanently
+/// inflated and drive B's below zero (unsigned wraparound) — if you ever
+/// need to hand terms or rationals across threads, serialize them. The
+/// counter is monotone-balanced, not reset between jobs: a worker's
+/// successive jobs see the counter return to the same baseline once each
+/// job's values die, which is what makes the per-job memory ceiling
+/// meaningful on a long-lived worker.
+uint64_t bigIntHeapBytes() noexcept;
 
 /// Arbitrary-precision signed integer (inline int64_t fast path).
 class BigInt {

@@ -13,7 +13,7 @@
 /// exactly — a test sweep over N = 1..K exercises a failure at every
 /// reachable depth of the stack.
 ///
-/// Three site classes exist:
+/// Six site classes exist:
 ///  * SolverCheckpoint — the ResourceController's amortized poll; a fault
 ///    here models a deadline firing at an arbitrary cooperative
 ///    checkpoint.
@@ -21,11 +21,34 @@
 ///    a memory ceiling.
 ///  * BigIntPromotion — inline-to-heap promotion in BigInt; models
 ///    coefficient blowup exhausting memory.
+///  * ServeWorkerSpawn — pathinvd worker-thread creation; models thread
+///    exhaustion at startup. The server degrades to fewer workers (never
+///    below one) instead of dying.
+///  * ServeAdmission — pathinvd queue admission; models an allocation
+///    failure while enqueueing. The one job is shed with a
+///    machine-readable rejection; the queue and every other job are
+///    untouched.
+///  * ServeCacheInsert — pathinvd verdict-cache insertion; models a
+///    failure while publishing a result. The job's answer is unaffected;
+///    only the cache misses out on the entry.
 ///
-/// Memory-class sites fire in layers that cannot see the controller; they
-/// set a pending flag the controller consumes at its next checkpoint, so
-/// every fault still unwinds through the one cooperative cancellation
-/// path.
+/// Memory-class sites (ArenaGrowth, BigIntPromotion) fire in layers that
+/// cannot see the controller; they set a pending flag the controller
+/// consumes at its next checkpoint, so every fault still unwinds through
+/// the one cooperative cancellation path. Serve-class sites are consumed
+/// directly by the server loop, which degrades the single affected
+/// operation and carries on.
+///
+/// Threading contract: ALL harness state (countdown, visit counter,
+/// pending flags) is thread_local. arm() arms the CALLING thread only;
+/// site visits on other threads neither count against nor trigger this
+/// thread's countdown. This is deliberate: pathinvd workers each arm
+/// their own harness (or none), so a sweep injecting into one job cannot
+/// perturb a concurrently running job — matching the service's "degrade
+/// a job, never the process" contract — and concurrent test shards stay
+/// deterministic. A test that wants a fault *inside* a worker must arm on
+/// that worker's thread (pathinvd exposes a per-job arming hook for
+/// exactly this; see serve/Server.h JobRequest::FaultArm).
 ///
 /// Everything compiles to no-ops unless PATHINV_FAULT_INJECT is defined
 /// (CMake option -DPATHINV_FAULT_INJECT=ON), so release builds carry zero
@@ -45,6 +68,9 @@ enum class Site : uint8_t {
   SolverCheckpoint, ///< ResourceController poll.
   ArenaGrowth,      ///< TermManager slab allocation.
   BigIntPromotion,  ///< BigInt inline-to-heap promotion.
+  ServeWorkerSpawn, ///< pathinvd worker-thread creation.
+  ServeAdmission,   ///< pathinvd job-queue admission.
+  ServeCacheInsert, ///< pathinvd verdict-cache insertion.
 };
 
 #if defined(PATHINV_FAULT_INJECT)

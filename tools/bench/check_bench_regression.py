@@ -42,7 +42,37 @@ Exits 0 when every gate holds, 1 otherwise.
 
 import argparse
 import json
+import os
 import sys
+
+
+def load_bench(path):
+    """Load a BENCH_<n>.json, failing loudly on the ways a bad run can
+    leave a husk behind: a 0-byte file (the bench binary died before its
+    single atomic write), unparseable JSON, or JSON that lacks the e2e
+    section every schema version has. A silent `json.load` traceback
+    buries the actual problem ("your baseline is empty") under a decoder
+    stack."""
+    try:
+        size = os.path.getsize(path)
+    except OSError as err:
+        sys.exit(f"FATAL: cannot stat bench file {path}: {err}")
+    if size == 0:
+        sys.exit(f"FATAL: bench file {path} is empty (0 bytes) — the "
+                 f"benchmark run that was supposed to produce it died "
+                 f"before writing results; regenerate it with "
+                 f"tools/bench/pathinv_bench --out {os.path.basename(path)}")
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as err:
+        sys.exit(f"FATAL: bench file {path} is not valid JSON ({err}) — "
+                 f"regenerate it, do not hand-edit")
+    if not isinstance(data, dict) or "end_to_end" not in data \
+            or "end_to_end_total_wall_ms" not in data:
+        sys.exit(f"FATAL: bench file {path} parses but lacks the "
+                 f"end_to_end section — not a pathinv_bench output?")
+    return data
 
 
 def main():
@@ -73,10 +103,8 @@ def main():
                          "regardless of the ratio (ms-scale programs)")
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.current) as f:
-        cur = json.load(f)
+    base = load_bench(args.baseline)
+    cur = load_bench(args.current)
 
     ok = True
 

@@ -1,0 +1,164 @@
+//===- tools/serve/PathInvClientMain.cpp - pathinvd socket client ---------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// pathinv-client: a minimal pathinvd socket client for scripts and CI.
+/// Reads protocol request lines from stdin, ships them over the
+/// unix-domain socket, and prints one response line per request (in
+/// completion order — correlate by "id").
+///
+/// Usage: pathinv-client --socket=PATH [--timeout=SEC]
+///
+/// Exit codes: 0 when every request got a response, 2 on usage/connect
+/// errors, 3 when the deadline expired or the server closed early.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::cerr << "usage: " << Argv0 << " --socket=PATH [--timeout=SEC]\n"
+            << "Reads pathinvd request lines from stdin, prints one\n"
+            << "response line per request (completion order).\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath;
+  double TimeoutS = 300;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.compare(0, 9, "--socket=") == 0) {
+      SocketPath = Arg.substr(9);
+    } else if (Arg.compare(0, 10, "--timeout=") == 0) {
+      char *End = nullptr;
+      TimeoutS = std::strtod(Arg.c_str() + 10, &End);
+      if (End == Arg.c_str() + 10 || *End != '\0' || TimeoutS <= 0)
+        return usage(Argv[0]);
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (SocketPath.empty())
+    return usage(Argv[0]);
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::cerr << "socket path too long\n";
+    return 2;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::perror("socket");
+    return 2;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::cerr << "connect " << SocketPath << ": " << std::strerror(errno)
+              << "\n";
+    ::close(Fd);
+    return 2;
+  }
+
+  // Ship every non-blank stdin line; count them so we know how many
+  // responses to wait for.
+  std::ostringstream In;
+  In << std::cin.rdbuf();
+  std::string Requests = In.str();
+  size_t Expected = 0;
+  {
+    size_t Start = 0;
+    while (Start <= Requests.size()) {
+      size_t Nl = Requests.find('\n', Start);
+      std::string Line = Requests.substr(
+          Start, Nl == std::string::npos ? std::string::npos : Nl - Start);
+      bool Blank = true;
+      for (char C : Line)
+        if (C != ' ' && C != '\t' && C != '\r') {
+          Blank = false;
+          break;
+        }
+      if (!Blank)
+        ++Expected;
+      if (Nl == std::string::npos)
+        break;
+      Start = Nl + 1;
+    }
+  }
+  if (!Requests.empty() && Requests.back() != '\n')
+    Requests += '\n';
+  size_t Off = 0;
+  while (Off < Requests.size()) {
+    ssize_t N = ::send(Fd, Requests.data() + Off, Requests.size() - Off, 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      std::cerr << "send: " << std::strerror(errno) << "\n";
+      ::close(Fd);
+      return 3;
+    }
+    Off += static_cast<size_t>(N);
+  }
+
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(TimeoutS);
+  std::string Buffer;
+  size_t Got = 0;
+  char Chunk[4096];
+  while (Got < Expected) {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Deadline - std::chrono::steady_clock::now());
+    if (Left.count() <= 0) {
+      std::cerr << "timeout: got " << Got << "/" << Expected
+                << " responses\n";
+      ::close(Fd);
+      return 3;
+    }
+    pollfd Pfd{Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, static_cast<int>(Left.count()));
+    if (Ready <= 0)
+      continue;
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      std::cerr << "server closed after " << Got << "/" << Expected
+                << " responses\n";
+      ::close(Fd);
+      return 3;
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+    size_t Start = 0;
+    for (size_t Nl = Buffer.find('\n', Start); Nl != std::string::npos;
+         Nl = Buffer.find('\n', Start)) {
+      std::cout << Buffer.substr(Start, Nl - Start) << "\n";
+      ++Got;
+      Start = Nl + 1;
+    }
+    Buffer.erase(0, Start);
+  }
+  std::cout.flush();
+  ::close(Fd);
+  return 0;
+}

@@ -1,0 +1,217 @@
+//===- tools/serve/PathInvServeMain.cpp - pathinvd daemon -----------------===//
+//
+// Part of the path-invariants reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// pathinvd: the long-lived verification service. Speaks the
+/// newline-delimited JSON protocol (serve/Protocol.h) over stdin/stdout
+/// and, with --socket, over a unix-domain socket at the same time.
+///
+/// Usage: pathinvd [options]
+///   --socket=PATH        also listen on a unix-domain socket
+///   --workers=N          worker threads (default: hardware concurrency)
+///   --queue=N            admission queue capacity (default 64)
+///   --cache=N            verdict-cache capacity (default 4096, 0 off)
+///   --max-attempts=N     retry-ladder length (default 3)
+///   --timeout=SEC        default per-attempt wall deadline (default 60)
+///   --engine=E           default engine: cegar|pdr|portfolio
+///   --no-stdio           serve the socket only (stdin is ignored)
+///
+/// Lifecycle: runs until stdin closes (stdio mode), a "shutdown" request
+/// arrives, or SIGTERM/SIGINT. All three trigger the same graceful
+/// drain: admission stops, queued jobs are answered "draining",
+/// in-flight jobs finish. A second signal escalates to cancelling the
+/// in-flight jobs through their controllers (they answer Unknown with
+/// reason "cancelled" — still an answer). Exit code 0 on any orderly
+/// shutdown; 2 on startup errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "serve/Transport.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <poll.h>
+#include <unistd.h>
+
+using namespace pathinv;
+using namespace pathinv::serve;
+
+namespace {
+
+// Written by the signal handler, polled by the main loop. sig_atomic_t
+// is the only type async-signal-safe to write from a handler.
+volatile std::sig_atomic_t SignalCount = 0;
+
+void onSignal(int) { SignalCount = SignalCount + 1; }
+
+int usage(const char *Argv0) {
+  std::cerr << "usage: " << Argv0 << " [options]\n"
+            << "  --socket=PATH     also listen on a unix-domain socket\n"
+            << "  --workers=N       worker threads (default: cores)\n"
+            << "  --queue=N         admission queue capacity (default 64)\n"
+            << "  --cache=N         verdict-cache entries (default 4096)\n"
+            << "  --max-attempts=N  retry-ladder length (default 3)\n"
+            << "  --timeout=SEC     default per-attempt deadline (60)\n"
+            << "  --engine=E        default engine (portfolio)\n"
+            << "  --no-stdio        serve the socket only\n"
+            << "Speaks one JSON request per line; see the README's\n"
+            << "service chapter for the protocol.\n";
+  return 2;
+}
+
+bool parseUnsigned(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServeOptions Opts;
+  std::string SocketPath;
+  bool UseStdio = true;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    uint64_t N = 0;
+    if (const char *V = valueOf("--socket=")) {
+      SocketPath = V;
+    } else if (const char *V = valueOf("--workers=")) {
+      if (!parseUnsigned(V, N))
+        return usage(Argv[0]);
+      Opts.Workers = static_cast<unsigned>(N);
+    } else if (const char *V = valueOf("--queue=")) {
+      if (!parseUnsigned(V, N) || N == 0)
+        return usage(Argv[0]);
+      Opts.QueueCapacity = N;
+    } else if (const char *V = valueOf("--cache=")) {
+      if (!parseUnsigned(V, N))
+        return usage(Argv[0]);
+      Opts.CacheCapacity = N;
+    } else if (const char *V = valueOf("--max-attempts=")) {
+      if (!parseUnsigned(V, N) || N == 0 || N > 16)
+        return usage(Argv[0]);
+      Opts.MaxAttempts = static_cast<int>(N);
+    } else if (const char *V = valueOf("--timeout=")) {
+      char *End = nullptr;
+      double S = std::strtod(V, &End);
+      if (End == V || *End != '\0' || S < 0)
+        return usage(Argv[0]);
+      Opts.DefaultLimits.TimeoutSeconds = S;
+    } else if (const char *V = valueOf("--engine=")) {
+      if (!parseEngineKind(V, Opts.DefaultEngine)) {
+        std::cerr << "unknown engine '" << V << "'\n";
+        return usage(Argv[0]);
+      }
+    } else if (Arg == "--no-stdio") {
+      UseStdio = false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown option '" << Arg << "'\n";
+      return usage(Argv[0]);
+    }
+  }
+  if (!UseStdio && SocketPath.empty()) {
+    std::cerr << "--no-stdio needs --socket\n";
+    return usage(Argv[0]);
+  }
+
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN); // A vanished client must not kill us.
+
+  Server Srv(Opts);
+  SocketListener Listener(Srv);
+  if (!SocketPath.empty()) {
+    std::string Error;
+    if (!Listener.start(SocketPath, Error)) {
+      std::cerr << "pathinvd: " << Error << "\n";
+      return 2;
+    }
+  }
+
+  // Stdio transport: line-buffered reads via poll so signals and
+  // shutdown requests are noticed within 200ms even with no input.
+  // Responses are written from worker threads under one stdout mutex.
+  std::mutex OutMu;
+  auto Emit = [&OutMu](std::string Line) {
+    std::lock_guard<std::mutex> Lock(OutMu);
+    std::fwrite(Line.data(), 1, Line.size(), stdout);
+    std::fflush(stdout);
+  };
+
+  std::string Buffer;
+  bool StdinOpen = UseStdio;
+  while (SignalCount == 0 && !Srv.shutdownRequested()) {
+    if (!StdinOpen) {
+      // Socket-only (by flag, or stdin hit EOF while a socket is up):
+      // just wait for a stop condition.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
+    }
+    pollfd Pfd{STDIN_FILENO, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 200);
+    if (Ready <= 0)
+      continue;
+    char Chunk[4096];
+    ssize_t N = ::read(STDIN_FILENO, Chunk, sizeof(Chunk));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      StdinOpen = false;
+      if (SocketPath.empty())
+        break; // Sole transport gone: drain and exit.
+      continue;
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+    size_t Start = 0;
+    for (size_t Nl = Buffer.find('\n', Start); Nl != std::string::npos;
+         Nl = Buffer.find('\n', Start)) {
+      std::string Line = Buffer.substr(Start, Nl - Start);
+      Start = Nl + 1;
+      bool Blank = true;
+      for (char C : Line)
+        if (C != ' ' && C != '\t' && C != '\r') {
+          Blank = false;
+          break;
+        }
+      if (!Blank)
+        Srv.submitLine(Line, Emit);
+    }
+    Buffer.erase(0, Start);
+  }
+
+  // Orderly shutdown: drain (graceful first), wait out the in-flight
+  // jobs — escalating to cancellation if a second signal arrives — then
+  // retire the transports and join the pool.
+  Srv.drain(/*CancelInFlight=*/SignalCount >= 2);
+  while (Srv.stats().InFlight > 0) {
+    if (SignalCount >= 2)
+      Srv.drain(/*CancelInFlight=*/true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  Listener.stop();
+  return 0;
+}

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""End-to-end check of the pathinvd service against the pathinv CLI.
+
+Starts a pathinvd daemon on a unix-domain socket, submits every
+examples/*.pil through the pathinv-client socket client, and requires the
+service verdict to match what a one-shot `pathinv` run says about the
+same file. Then exercises the service-only surface the CLI does not have:
+a cache re-submission must hit (attempts == 0, engine "cache"), a hostile
+non-JSON line must come back as a machine-readable error, `stats` must
+report the traffic, and SIGTERM must drain gracefully (exit 0, socket
+unlinked).
+
+Usage: e2e_socket_check.py BUILDDIR [EXAMPLESDIR]
+
+Exit 0 on full agreement, 1 on any mismatch, 2 on harness errors.
+"""
+
+import glob
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+CLI_VERDICT = {0: "safe", 1: "unsafe", 2: "unknown"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    build = sys.argv[1]
+    examples = sys.argv[2] if len(sys.argv) > 2 else "examples"
+    pathinv = os.path.join(build, "tools", "pathinv", "pathinv")
+    pathinvd = os.path.join(build, "tools", "serve", "pathinvd")
+    client = os.path.join(build, "tools", "serve", "pathinv-client")
+    for exe in (pathinv, pathinvd, client):
+        if not os.access(exe, os.X_OK):
+            print(f"missing executable: {exe}")
+            return 2
+    files = sorted(glob.glob(os.path.join(examples, "*.pil")))
+    if not files:
+        print(f"no .pil files under {examples}")
+        return 2
+
+    # Ground truth: the one-shot CLI's exit code per file (0 Safe, 1
+    # Unsafe, 2 Unknown/error). The same wall deadline as the service
+    # requests keeps slow-program Unknowns aligned on both sides.
+    expected = {}
+    for f in files:
+        code = subprocess.run(
+            [pathinv, "--quiet", "--timeout=60", f],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        ).returncode
+        if code not in CLI_VERDICT:
+            fail(f"pathinv {f} exited {code} (not a verdict)")
+        expected[f] = CLI_VERDICT[code]
+        print(f"cli:   {os.path.basename(f)} -> {expected[f]}")
+
+    sock = f"/tmp/pathinvd-e2e-{os.getpid()}.sock"
+    daemon = subprocess.Popen(
+        [pathinvd, f"--socket={sock}", "--no-stdio", "--workers=2",
+         "--timeout=60"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        deadline = time.monotonic() + 10
+        while not os.path.exists(sock):
+            if time.monotonic() > deadline or daemon.poll() is not None:
+                print(daemon.stderr.read() if daemon.poll() is not None
+                      else "")
+                fail("daemon did not create its socket")
+            time.sleep(0.05)
+
+        def drive(lines, timeout=300):
+            run = subprocess.run(
+                [client, f"--socket={sock}", f"--timeout={timeout}"],
+                input="\n".join(lines) + "\n",
+                capture_output=True, text=True)
+            if run.returncode != 0:
+                fail(f"pathinv-client exited {run.returncode}: "
+                     f"{run.stderr.strip()}")
+            return [json.loads(l) for l in run.stdout.splitlines() if l]
+
+        # One verify request per example, all shipped on one connection.
+        reqs = []
+        for f in files:
+            with open(f) as fh:
+                src = fh.read()
+            reqs.append(json.dumps(
+                {"id": f, "op": "verify", "program": src, "timeout_s": 60}))
+        byid = {r["id"]: r for r in drive(reqs)}
+        ok = True
+        for f in files:
+            resp = byid.get(f)
+            if resp is None:
+                print(f"FAIL: {f}: no response")
+                ok = False
+                continue
+            if resp.get("status") != "ok":
+                print(f"FAIL: {f}: status {resp.get('status')}: "
+                      f"{resp.get('error')}")
+                ok = False
+                continue
+            got = resp.get("verdict")
+            if got != expected[f]:
+                print(f"FAIL: {f}: service says {got}, CLI says "
+                      f"{expected[f]} ({resp.get('note', '')})")
+                ok = False
+            else:
+                print(f"serve: {os.path.basename(f)} -> {got} "
+                      f"(engine {resp.get('engine')}, "
+                      f"attempts {resp.get('attempts')})")
+        if not ok:
+            fail("service/CLI verdict mismatch")
+
+        # Decided verdicts must now be cache hits: attempts 0, engine
+        # "cache" — revalidated, not re-proved.
+        decided = [f for f in files if expected[f] in ("safe", "unsafe")]
+        for resp in drive([r for r, f in zip(reqs, files) if f in decided]):
+            if resp.get("cache") != "hit" or resp.get("attempts") != 0 \
+                    or resp.get("engine") != "cache":
+                fail(f"{resp.get('id')}: expected a revalidated cache hit, "
+                     f"got cache={resp.get('cache')} "
+                     f"engine={resp.get('engine')} "
+                     f"attempts={resp.get('attempts')}")
+        print(f"cache: {len(decided)} resubmissions all hit")
+
+        # Hostile input costs one machine-readable error, never the
+        # connection or the process.
+        hostile = drive(['this is not json', '{"op": "nope"}',
+                         json.dumps({"op": "ping", "id": "alive"})])
+        if sum(1 for r in hostile if r.get("status") == "error") != 2:
+            fail(f"hostile lines not rejected as errors: {hostile}")
+        if not any(r.get("status") == "ok" and r.get("id") == "alive"
+                   for r in hostile):
+            fail("ping after hostile lines did not answer ok")
+        print("hostile: 2 machine-readable errors, connection survived")
+
+        stats = drive([json.dumps({"op": "stats", "id": "s"})])[0]
+        if stats.get("status") != "ok" or \
+                stats.get("stats", {}).get("completed", 0) < len(files):
+            fail(f"stats did not report the traffic: {stats}")
+        print(f"stats: completed={stats['stats']['completed']} "
+              f"cache_hits={stats['stats'].get('cache_hits')}")
+
+        # Graceful drain: SIGTERM answers everything, exits 0, unlinks
+        # the socket.
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=60)
+        if code != 0:
+            fail(f"daemon exited {code} on SIGTERM, expected 0")
+        if os.path.exists(sock):
+            fail("daemon left its socket behind after drain")
+        print("drain: SIGTERM -> exit 0, socket unlinked")
+        print(f"PASS: {len(files)} programs, service == CLI on all")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        try:
+            os.unlink(sock)
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    sys.exit(main())
